@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Ablation: evaluation-speed comparison between the learned
+ * performance model and the simulator — the paper's motivation for
+ * the GNN is replacing "expensive-to-evaluate cycle-accurate
+ * simulators" with millisecond-scale learned predictions.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "gnn/model.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+BM_SimulatorEvaluation(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    const auto &rec = ds.records[ds.size() / 3];
+    sim::Simulator sim(arch::configV1());
+    for (auto _ : state) {
+        // Full pipeline: lower the network, compile, simulate.
+        nas::Network net = nas::buildNetwork(rec.spec);
+        auto r = sim.run(net, &rec.spec);
+        benchmark::DoNotOptimize(r.latencyMs);
+    }
+}
+BENCHMARK(BM_SimulatorEvaluation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LearnedModelEvaluation(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    const auto &rec = ds.records[ds.size() / 3];
+    Rng rng(7);
+    gnn::GraphNetModel model;
+    model.init({}, rng);
+    for (auto _ : state) {
+        gnn::GraphsTuple g = gnn::featurize(rec.spec);
+        auto r = gnn::forward(model, g);
+        benchmark::DoNotOptimize(r.prediction);
+    }
+}
+BENCHMARK(BM_LearnedModelEvaluation)->Unit(benchmark::kMicrosecond);
+
+void
+BM_LearnedModelFeaturizedEvaluation(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    gnn::GraphsTuple g = gnn::featurize(ds.records[ds.size() / 3].spec);
+    Rng rng(7);
+    gnn::GraphNetModel model;
+    model.init({}, rng);
+    for (auto _ : state) {
+        auto r = gnn::forward(model, g);
+        benchmark::DoNotOptimize(r.prediction);
+    }
+}
+BENCHMARK(BM_LearnedModelFeaturizedEvaluation)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Ablation — learned model vs simulator evaluation speed",
+        "learned predictions land in microseconds-to-milliseconds, "
+        "enabling rapid design-space exploration");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

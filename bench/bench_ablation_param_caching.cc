@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Ablation: parameter caching on vs off (the section-3 optimization;
+ * the paper always simulates with it enabled). We re-simulate a
+ * deterministic sample of cells plus the showcased anchors with the
+ * optimization disabled and report the slowdown per configuration and
+ * model-size band.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/parallel_for.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    // Deterministic sample across the size spectrum.
+    std::vector<const nas::ModelRecord *> sample;
+    size_t stride = std::max<size_t>(1, ds.size() / 2000);
+    for (size_t i = 0; i < ds.size(); i += stride)
+        sample.push_back(&ds.records[i]);
+
+    AsciiTable t("Ablation — parameter caching");
+    t.header({"Config", "band (params)", "cached mean ms",
+              "uncached mean ms", "slowdown"});
+    for (int c = 0; c < 3; c++) {
+        auto cfg = arch::allConfigs()[static_cast<size_t>(c)];
+        cfg.compiler.parameterCaching = false;
+        sim::Simulator uncached(cfg);
+
+        const double edges_m[4] = {0, 5, 30, 51};
+        std::array<double, 3> cached_sum = {};
+        std::array<double, 3> uncached_sum = {};
+        std::array<uint64_t, 3> n = {};
+        std::vector<double> uncached_lat(sample.size());
+        parallelFor(0, sample.size(), [&](size_t i, unsigned) {
+            uncached_lat[i] =
+                uncached.runCell(sample[i]->spec).latencyMs;
+        });
+        for (size_t i = 0; i < sample.size(); i++) {
+            double m =
+                static_cast<double>(sample[i]->params) / 1e6;
+            for (int b = 0; b < 3; b++) {
+                if (m >= edges_m[b] && m < edges_m[b + 1]) {
+                    cached_sum[static_cast<size_t>(b)] +=
+                        sample[i]->latencyMs[static_cast<size_t>(c)];
+                    uncached_sum[static_cast<size_t>(b)] +=
+                        uncached_lat[i];
+                    n[static_cast<size_t>(b)]++;
+                }
+            }
+        }
+        const char *bands[3] = {"< 5M", "5M - 30M", "> 30M"};
+        for (int b = 0; b < 3; b++) {
+            if (!n[static_cast<size_t>(b)])
+                continue;
+            double ca = cached_sum[static_cast<size_t>(b)] /
+                        static_cast<double>(n[static_cast<size_t>(b)]);
+            double un = uncached_sum[static_cast<size_t>(b)] /
+                        static_cast<double>(n[static_cast<size_t>(b)]);
+            t.row({bench::configName(c), bands[b], fmtDouble(ca, 3),
+                   fmtDouble(un, 3), fmtDouble(un / ca, 2) + "x"});
+        }
+    }
+    t.print(std::cout);
+    std::cout << "expected: V1 (largest cache) benefits most; beyond "
+                 "the cache size caching has diminishing returns "
+                 "(paper section 6.1)\n";
+}
+
+void
+BM_SimulateUncached(benchmark::State &state)
+{
+    auto cfg = arch::configV1();
+    cfg.compiler.parameterCaching = false;
+    sim::Simulator sim(cfg);
+    const auto &cell = nas::anchorCells()[0].cell;
+    nas::Network net = nas::buildNetwork(cell);
+    for (auto _ : state) {
+        auto r = sim.run(net, &cell);
+        benchmark::DoNotOptimize(r.latencyMs);
+    }
+}
+BENCHMARK(BM_SimulateUncached)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Ablation — parameter caching",
+        "caching parameters on-chip avoids re-streaming the model "
+        "every inference (paper section 3)");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

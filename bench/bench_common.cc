@@ -1,0 +1,103 @@
+#include "bench_common.hh"
+
+#include <filesystem>
+#include <iostream>
+#include <unordered_map>
+
+namespace etpu::bench
+{
+
+const nas::Dataset &
+dataset()
+{
+    return pipeline::sharedDataset();
+}
+
+const std::vector<const nas::ModelRecord *> &
+filteredRecords()
+{
+    static const std::vector<const nas::ModelRecord *> recs =
+        dataset().filterByAccuracy(accuracyFilter);
+    return recs;
+}
+
+int
+winnerIndex(const nas::ModelRecord &r)
+{
+    int best = 0;
+    for (int c = 1; c < nas::numAccelerators; c++) {
+        if (r.latencyMs[static_cast<size_t>(c)] <
+            r.latencyMs[static_cast<size_t>(best)]) {
+            best = c;
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+const std::unordered_map<Hash128, const nas::ModelRecord *> &
+fingerprintIndex()
+{
+    static const auto index = [] {
+        std::unordered_map<Hash128, const nas::ModelRecord *> map;
+        map.reserve(dataset().size());
+        for (const auto &r : dataset().records)
+            map.emplace(r.spec.fingerprint(), &r);
+        return map;
+    }();
+    return index;
+}
+
+} // namespace
+
+const nas::ModelRecord *
+findRecord(const Hash128 &fingerprint)
+{
+    auto it = fingerprintIndex().find(fingerprint);
+    return it == fingerprintIndex().end() ? nullptr : it->second;
+}
+
+const nas::ModelRecord *
+anchorRecord(size_t anchor_index)
+{
+    const auto &anchors = nas::anchorCells();
+    if (anchor_index >= anchors.size())
+        return nullptr;
+    return findRecord(anchors[anchor_index].cell.fingerprint());
+}
+
+void
+banner(const std::string &experiment, const std::string &claim)
+{
+    std::cout << "\n=== " << experiment << " ===\n"
+              << "paper: " << claim << "\n"
+              << "dataset: " << fmtCount(dataset().size())
+              << " models (" << fmtCount(filteredRecords().size())
+              << " with accuracy >= 70%)\n\n";
+}
+
+std::string
+vsPaper(double ours, double paper, int precision)
+{
+    return fmtDouble(ours, precision) + " (paper " +
+           fmtDouble(paper, precision) + ")";
+}
+
+std::string
+configName(int c)
+{
+    return arch::allConfigs()[static_cast<size_t>(c)].name;
+}
+
+std::string
+csvDir()
+{
+    std::string dir = "bench_csv";
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    return dir;
+}
+
+} // namespace etpu::bench

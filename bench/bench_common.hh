@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Shared plumbing for the per-table / per-figure bench binaries: the
+ * cached characterization dataset, winner/bucket helpers and the
+ * paper-vs-ours report formatting.
+ *
+ * Environment knobs:
+ *  - ETPU_SAMPLE=N        characterize only N sampled cells (fast runs)
+ *  - ETPU_DATASET_PATH=P  dataset cache location
+ *  - ETPU_THREADS=N       worker threads
+ */
+
+#ifndef ETPU_BENCH_COMMON_HH
+#define ETPU_BENCH_COMMON_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "arch/config.hh"
+#include "common/table.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/dataset.hh"
+#include "pipeline/builder.hh"
+
+namespace etpu::bench
+{
+
+/** Paper accuracy threshold used by most evaluation tables. */
+inline constexpr double accuracyFilter = 0.70;
+
+/** The shared dataset (built and cached on first use). */
+const nas::Dataset &dataset();
+
+/** Records passing the >=70% accuracy filter. */
+const std::vector<const nas::ModelRecord *> &filteredRecords();
+
+/** Index of the fastest configuration for a record (0=V1,1=V2,2=V3). */
+int winnerIndex(const nas::ModelRecord &r);
+
+/** Look up a record by cell fingerprint; null when absent. */
+const nas::ModelRecord *findRecord(const Hash128 &fingerprint);
+
+/** Record of a paper anchor cell (by anchor index), null if absent. */
+const nas::ModelRecord *anchorRecord(size_t anchor_index);
+
+/** Print the bench banner: experiment id and paper context. */
+void banner(const std::string &experiment, const std::string &claim);
+
+/** "ours (paper X)" cell formatting. */
+std::string vsPaper(double ours, double paper, int precision = 4);
+
+/** Name of config c ("V1"/"V2"/"V3"). */
+std::string configName(int c);
+
+/** Directory for CSV series dumps (created on demand). */
+std::string csvDir();
+
+} // namespace etpu::bench
+
+#endif // ETPU_BENCH_COMMON_HH

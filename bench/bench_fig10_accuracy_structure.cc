@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Figure 10: mean validation accuracy vs graph depth and graph width.
+ * The paper's whiskers put the optima at depth 3 and width 5.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+printAxis(const char *name, const std::map<int, std::vector<double>> &by)
+{
+    AsciiTable t(std::string("Figure 10 — accuracy vs ") + name);
+    t.header({name, "# models", "mean acc", "p25", "p75"});
+    int best = -1;
+    double best_mean = -1;
+    for (const auto &[key, accs] : by) {
+        auto s = stats::summarize(accs);
+        if (s.mean > best_mean) {
+            best_mean = s.mean;
+            best = key;
+        }
+        t.row({std::to_string(key), fmtCount(accs.size()),
+               fmtDouble(s.mean, 4),
+               fmtDouble(stats::quantile(accs, 0.25), 4),
+               fmtDouble(stats::quantile(accs, 0.75), 4)});
+    }
+    t.print(std::cout);
+    std::cout << "best mean accuracy at " << name << " = " << best
+              << "\n\n";
+}
+
+void
+report()
+{
+    const auto &recs = bench::filteredRecords();
+    std::map<int, std::vector<double>> by_depth, by_width;
+    for (const auto *r : recs) {
+        by_depth[r->depth].push_back(r->accuracy);
+        by_width[r->width].push_back(r->accuracy);
+    }
+    printAxis("depth", by_depth);
+    printAxis("width", by_width);
+    std::cout << "paper optima: depth 3, width 5\n";
+}
+
+void
+BM_StructureAggregation(benchmark::State &state)
+{
+    const auto &recs = bench::filteredRecords();
+    for (auto _ : state) {
+        double sums[16] = {};
+        for (const auto *r : recs)
+            sums[std::min<int>(r->depth, 15)] += r->accuracy;
+        benchmark::DoNotOptimize(sums[3]);
+    }
+}
+BENCHMARK(BM_StructureAggregation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 10 — accuracy vs graph structure",
+        "depth beyond 3 hurts accuracy; width keeps helping up to 5");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

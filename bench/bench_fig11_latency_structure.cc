@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Figure 11: latency vs graph depth (top row) and width (bottom row)
+ * for each configuration. Latency grows with depth — except a dip at
+ * depths 4-5 where models average fewer parameters (Table 7) — and
+ * falls with width thanks to the output-channel split across parallel
+ * branches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+printAxis(const char *name, bool by_width)
+{
+    const auto &recs = bench::filteredRecords();
+    std::map<int, std::array<std::vector<double>, 3>> groups;
+    for (const auto *r : recs) {
+        int key = by_width ? r->width : r->depth;
+        for (int c = 0; c < 3; c++) {
+            groups[key][static_cast<size_t>(c)].push_back(
+                r->latencyMs[static_cast<size_t>(c)]);
+        }
+    }
+    AsciiTable t(std::string("Figure 11 — latency vs ") + name);
+    t.header({name, "# models", "V1 mean ms", "V2 mean ms",
+              "V3 mean ms"});
+    for (const auto &[key, lat] : groups) {
+        t.row({std::to_string(key), fmtCount(lat[0].size()),
+               fmtDouble(stats::summarize(lat[0]).mean, 3),
+               fmtDouble(stats::summarize(lat[1]).mean, 3),
+               fmtDouble(stats::summarize(lat[2]).mean, 3)});
+    }
+    t.print(std::cout);
+}
+
+void
+report()
+{
+    printAxis("depth", false);
+    std::cout << "paper: latency rises with depth, dipping at 4-5 "
+                 "(fewer parameters, Table 7)\n\n";
+    printAxis("width", true);
+    std::cout << "paper: wider graphs run faster (more parallelism, "
+                 "split channels)\n";
+}
+
+void
+BM_GroupByStructure(benchmark::State &state)
+{
+    const auto &recs = bench::filteredRecords();
+    for (auto _ : state) {
+        double sums[16] = {};
+        for (const auto *r : recs)
+            sums[std::min<int>(r->width, 15)] += r->latencyMs[1];
+        benchmark::DoNotOptimize(sums[5]);
+    }
+}
+BENCHMARK(BM_GroupByStructure)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 11 — latency vs graph structure",
+        "depth increases latency (with a dip at 4-5); width decreases "
+        "it on every configuration");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Figure 12: per-operation-count latency statistics for conv3x3,
+ * conv1x1 and maxpool3x3 on every configuration, with the best/worst
+ * achievable accuracy per operation category (the green/red stars).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+struct PaperStar
+{
+    const char *op;
+    double maxAcc;
+    int maxCount;
+    double minAcc;
+    int minCount;
+};
+
+const PaperStar paperStars[3] = {
+    {"conv3x3", 95.055, 4, 9.475, 2},
+    {"conv1x1", 94.895, 2, 9.492, 1},
+    {"maxpool3x3", 94.758, 1, 9.475, 3},
+};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    for (int op = 0; op < 3; op++) {
+        auto count_of = [&](const nas::ModelRecord &r) {
+            return op == 0 ? r.numConv3x3
+                   : op == 1 ? r.numConv1x1
+                             : r.numMaxPool;
+        };
+        AsciiTable t(std::string("Figure 12 — latency vs #") +
+                     paperStars[op].op);
+        t.header({"count", "# models", "V1 mean ms", "V2 mean ms",
+                  "V3 mean ms", "min..max acc %"});
+        for (int n = 1; n <= 5; n++) {
+            std::array<std::vector<double>, 3> lat;
+            double amin = 2.0, amax = -1.0;
+            for (const auto &r : ds.records) {
+                if (count_of(r) != n)
+                    continue;
+                for (int c = 0; c < 3; c++) {
+                    lat[static_cast<size_t>(c)].push_back(
+                        r.latencyMs[static_cast<size_t>(c)]);
+                }
+                amin = std::min(amin, static_cast<double>(r.accuracy));
+                amax = std::max(amax, static_cast<double>(r.accuracy));
+            }
+            if (lat[0].empty())
+                continue;
+            t.row({std::to_string(n), fmtCount(lat[0].size()),
+                   fmtDouble(stats::summarize(lat[0]).mean, 3),
+                   fmtDouble(stats::summarize(lat[1]).mean, 3),
+                   fmtDouble(stats::summarize(lat[2]).mean, 3),
+                   fmtDouble(amin * 100, 2) + " .. " +
+                       fmtDouble(amax * 100, 3)});
+        }
+        t.print(std::cout);
+
+        // Category-wide accuracy stars.
+        double best_acc = -1, worst_acc = 2;
+        int best_n = 0, worst_n = 0;
+        for (const auto &r : ds.records) {
+            int n = count_of(r);
+            if (n == 0)
+                continue;
+            if (r.accuracy > best_acc) {
+                best_acc = r.accuracy;
+                best_n = n;
+            }
+            if (r.accuracy < worst_acc) {
+                worst_acc = r.accuracy;
+                worst_n = n;
+            }
+        }
+        const PaperStar &p = paperStars[op];
+        std::cout << "green star: (" << fmtDouble(best_acc * 100, 3)
+                  << "%, " << best_n << ")  paper: ("
+                  << fmtDouble(p.maxAcc, 3) << "%, " << p.maxCount
+                  << ")\n"
+                  << "red star:   (" << fmtDouble(worst_acc * 100, 3)
+                  << "%, " << worst_n << ")  paper: ("
+                  << fmtDouble(p.minAcc, 3) << "%, " << p.minCount
+                  << ")\n\n";
+    }
+    std::cout << "paper: conv3x3 count dominates latency (most "
+                 "parameters); same-count latencies still span "
+                 "0.2-5 ms\n";
+}
+
+void
+BM_OpCountScan(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        double sums[8] = {};
+        for (const auto &r : ds.records)
+            sums[std::min<int>(r.numConv3x3, 7)] += r.latencyMs[0];
+        benchmark::DoNotOptimize(sums[4]);
+    }
+}
+BENCHMARK(BM_OpCountScan)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 12 — op counts vs latency",
+        "latency climbs with conv3x3 count; the best model has 4 "
+        "conv3x3 at 95.055%, the best pooled model 1 maxpool at "
+        "94.758%");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 13: among cells with five 3x3 convolutions, the latency
+ * extremes on V2: a depth-3 parallel cell at 0.36 ms (accuracy 0.919)
+ * vs a depth-6 chain at 4.936 ms (accuracy 0.938). Depth, not op
+ * count, separates them: parallel branches split the output channels.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    const nas::ModelRecord *lo = nullptr, *hi = nullptr;
+    for (const auto &r : ds.records) {
+        if (r.numConv3x3 != 5 || r.numConv1x1 || r.numMaxPool)
+            continue;
+        if (!lo || r.latencyMs[1] < lo->latencyMs[1])
+            lo = &r;
+        if (!hi || r.latencyMs[1] > hi->latencyMs[1])
+            hi = &r;
+    }
+    if (!lo || !hi) {
+        std::cout << "no five-conv3x3 cells in this dataset sample; "
+                     "run without ETPU_SAMPLE for the full space\n";
+        return;
+    }
+
+    AsciiTable t("Figure 13 — five-conv3x3 latency extremes on V2");
+    t.header({"Extreme", "Depth", "V2 latency ms (ours/paper)",
+              "Accuracy (ours/paper)", "Cell"});
+    t.row({"lowest", std::to_string(lo->depth),
+           bench::vsPaper(lo->latencyMs[1], 0.36, 3),
+           bench::vsPaper(lo->accuracy, 0.919, 3),
+           lo->spec.dag.str()});
+    t.row({"highest", std::to_string(hi->depth),
+           bench::vsPaper(hi->latencyMs[1], 4.936, 3),
+           bench::vsPaper(hi->accuracy, 0.938, 3),
+           hi->spec.dag.str()});
+    t.print(std::cout);
+    std::cout << "latency ratio: "
+              << fmtDouble(hi->latencyMs[1] / lo->latencyMs[1], 1)
+              << "x (paper " << fmtDouble(4.936 / 0.36, 1) << "x)\n";
+}
+
+void
+BM_ScanFiveConvCells(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        double lo = 1e30, hi = -1;
+        for (const auto &r : ds.records) {
+            if (r.numConv3x3 != 5 || r.numConv1x1 || r.numMaxPool)
+                continue;
+            lo = std::min(lo, static_cast<double>(r.latencyMs[1]));
+            hi = std::max(hi, static_cast<double>(r.latencyMs[1]));
+        }
+        benchmark::DoNotOptimize(hi - lo);
+    }
+}
+BENCHMARK(BM_ScanFiveConvCells)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 13 — conv3x3-count latency extremes",
+        "with five conv3x3 each, a depth-3 cell runs 0.36 ms while a "
+        "depth-6 chain runs 4.936 ms on V2");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 14: trainable parameters vs latency per configuration. The
+ * paper's reading: tiny models are cached by all three and tie;
+ * mid-size models (5-30M) run fastest on V1 (largest on-chip SRAM);
+ * past the caching crossover the bandwidth-rich V2/V3 take over, with
+ * V2 ahead of V3 thanks to sustained interconnect bandwidth.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    const double edges_m[8] = {0, 2, 5, 10, 20, 30, 40, 51};
+
+    AsciiTable t("Figure 14 — latency by parameter-size band");
+    t.header({"Params (millions)", "# models", "V1 mean ms",
+              "V2 mean ms", "V3 mean ms", "winner"});
+    for (int b = 0; b + 1 < 8; b++) {
+        std::array<std::vector<double>, 3> lat;
+        for (const auto &r : ds.records) {
+            double m = static_cast<double>(r.params) / 1e6;
+            if (m < edges_m[b] || m >= edges_m[b + 1])
+                continue;
+            for (int c = 0; c < 3; c++) {
+                lat[static_cast<size_t>(c)].push_back(
+                    r.latencyMs[static_cast<size_t>(c)]);
+            }
+        }
+        if (lat[0].empty())
+            continue;
+        double means[3];
+        for (int c = 0; c < 3; c++)
+            means[c] = stats::summarize(lat[static_cast<size_t>(c)]).mean;
+        int w = 0;
+        for (int c = 1; c < 3; c++) {
+            if (means[c] < means[w])
+                w = c;
+        }
+        t.row({fmtDouble(edges_m[b], 0) + "-" +
+                   fmtDouble(edges_m[b + 1], 0),
+               fmtCount(lat[0].size()), fmtDouble(means[0], 3),
+               fmtDouble(means[1], 3), fmtDouble(means[2], 3),
+               bench::configName(w)});
+    }
+    t.print(std::cout);
+    std::cout << "paper: V1 best for ~5-30M; V2/V3 best beyond the "
+                 "caching crossover; V2 ahead of V3\n";
+
+    CsvWriter csv(bench::csvDir() + "/fig14_params_latency.csv");
+    csv.row({"params", "v1_ms", "v2_ms", "v3_ms"});
+    size_t stride = std::max<size_t>(1, ds.size() / 20000);
+    for (size_t i = 0; i < ds.size(); i += stride) {
+        const auto &r = ds.records[i];
+        csv.rowDoubles({static_cast<double>(r.params), r.latencyMs[0],
+                        r.latencyMs[1], r.latencyMs[2]});
+    }
+    std::cout << "scatter series written to " << bench::csvDir()
+              << "/fig14_params_latency.csv\n";
+}
+
+void
+BM_ParamBandAggregation(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        double sums[8] = {};
+        for (const auto &r : ds.records) {
+            sums[std::min<uint64_t>(r.params / 10000000, 7)] +=
+                r.latencyMs[2];
+        }
+        benchmark::DoNotOptimize(sums[1]);
+    }
+}
+BENCHMARK(BM_ParamBandAggregation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 14 — parameters vs latency",
+        "latency tracks parameter count; the winner changes with model "
+        "size through the parameter-caching crossover");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

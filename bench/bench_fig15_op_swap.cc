@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Figure 15: the aggregated latency impact of swapping cell
+ * operations. For every cell we substitute all occurrences of one
+ * operation type with another, locate the resulting cell in the
+ * dataset by isomorphism fingerprint (same adjacency, new ops), and
+ * average the latency delta. Percentages follow the paper's
+ * convention (delta relative to the post-swap latency).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+using nas::Op;
+
+const Op swapOps[3] = {Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3};
+const char *swapNames[3] = {"Conv3x3", "Conv1x1", "MaxPool3x3"};
+
+// paperDelta[cfg][from][to] in ms; paperPct likewise in percent.
+const double paperDelta[3][3][3] = {
+    {{0, -1.532, -1.608}, {1.683, 0, -0.089}, {1.78, 0.085, 0}},
+    {{0, -1.459, -1.504}, {1.463, 0, -0.010}, {1.5, 0.036, 0}},
+    {{0, -1.68, -1.75}, {1.65, 0, -0.016}, {1.715, 0.071, 0}},
+};
+const double paperPct[3][3][3] = {
+    {{0, -110.1, -113.4}, {210.7, 0, -7.6}, {229.9, 7.5, 0}},
+    {{0, -102.7, -102.4}, {173.6, 0, -0.06}, {174.31, -0.72, 0}},
+    {{0, -113.1, -115.4}, {202.39, 0, -4.82}, {214.32, 5.34, 0}},
+};
+
+struct SwapResult
+{
+    double deltaMs[3][3][3] = {};
+    double deltaPct[3][3][3] = {};
+    uint64_t matched[3][3] = {};
+    uint64_t skipped[3][3] = {};
+};
+
+SwapResult
+computeSwaps()
+{
+    const auto &ds = bench::dataset();
+    SwapResult res;
+    double pct_sum[3][3][3] = {};
+    for (const auto &r : ds.records) {
+        for (int from = 0; from < 3; from++) {
+            if ((from == 0 && !r.numConv3x3) ||
+                (from == 1 && !r.numConv1x1) ||
+                (from == 2 && !r.numMaxPool)) {
+                continue;
+            }
+            for (int to = 0; to < 3; to++) {
+                if (from == to)
+                    continue;
+                nas::CellSpec swapped = r.spec;
+                for (auto &op : swapped.ops) {
+                    if (op == swapOps[from])
+                        op = swapOps[to];
+                }
+                const nas::ModelRecord *other =
+                    bench::findRecord(swapped.fingerprint());
+                if (!other) {
+                    res.skipped[from][to]++;
+                    continue;
+                }
+                res.matched[from][to]++;
+                for (int c = 0; c < 3; c++) {
+                    double before = r.latencyMs[static_cast<size_t>(c)];
+                    double after =
+                        other->latencyMs[static_cast<size_t>(c)];
+                    res.deltaMs[c][from][to] += after - before;
+                    pct_sum[c][from][to] +=
+                        100.0 * (after - before) / after;
+                }
+            }
+        }
+    }
+    for (int c = 0; c < 3; c++) {
+        for (int from = 0; from < 3; from++) {
+            for (int to = 0; to < 3; to++) {
+                if (!res.matched[from][to])
+                    continue;
+                double n =
+                    static_cast<double>(res.matched[from][to]);
+                res.deltaMs[c][from][to] /= n;
+                res.deltaPct[c][from][to] = pct_sum[c][from][to] / n;
+            }
+        }
+    }
+    return res;
+}
+
+void
+report()
+{
+    SwapResult res = computeSwaps();
+    for (int c = 0; c < 3; c++) {
+        AsciiTable t("Figure 15" + std::string(1, 'a' + c) + " — " +
+                     bench::configName(c) +
+                     " avg change in latency, ms (ours / paper)");
+        t.header({"from \\ to", swapNames[0], swapNames[1],
+                  swapNames[2]});
+        for (int from = 0; from < 3; from++) {
+            std::vector<std::string> cells = {swapNames[from]};
+            for (int to = 0; to < 3; to++) {
+                if (from == to) {
+                    cells.push_back("0");
+                } else {
+                    cells.push_back(bench::vsPaper(
+                        res.deltaMs[c][from][to],
+                        paperDelta[c][from][to], 3));
+                }
+            }
+            t.row(cells);
+        }
+        t.print(std::cout);
+
+        AsciiTable p("Figure 15" + std::string(1, 'a' + c) + " — " +
+                     bench::configName(c) +
+                     " avg % change in latency (ours / paper)");
+        p.header({"from \\ to", swapNames[0], swapNames[1],
+                  swapNames[2]});
+        for (int from = 0; from < 3; from++) {
+            std::vector<std::string> cells = {swapNames[from]};
+            for (int to = 0; to < 3; to++) {
+                if (from == to) {
+                    cells.push_back("0");
+                } else {
+                    cells.push_back(bench::vsPaper(
+                        res.deltaPct[c][from][to],
+                        paperPct[c][from][to], 1));
+                }
+            }
+            p.row(cells);
+        }
+        p.print(std::cout);
+    }
+    uint64_t matched = 0, skipped = 0;
+    for (int from = 0; from < 3; from++) {
+        for (int to = 0; to < 3; to++) {
+            matched += res.matched[from][to];
+            skipped += res.skipped[from][to];
+        }
+    }
+    std::cout << "swaps matched: " << fmtCount(matched)
+              << ", skipped (no isomorphic partner in dataset): "
+              << fmtCount(skipped) << "\n";
+}
+
+void
+BM_SwapLookup(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    const auto &rec = ds.records[ds.size() / 2];
+    for (auto _ : state) {
+        nas::CellSpec swapped = rec.spec;
+        for (auto &op : swapped.ops) {
+            if (op == Op::Conv3x3)
+                op = Op::Conv1x1;
+        }
+        benchmark::DoNotOptimize(
+            bench::findRecord(swapped.fingerprint()));
+    }
+}
+BENCHMARK(BM_SwapLookup)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 15 — operation swap impact",
+        "replacing conv1x1/maxpool with conv3x3 raises latency by "
+        "~1.5-1.8 ms on all configurations, and the deltas are not "
+        "symmetric");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 5: accuracy-vs-latency scatter per configuration. The paper's
+ * observation is that models cluster into latency buckets keyed by the
+ * number of 3x3 convolutions per cell: the first three buckets
+ * (<2 ms, 2-3 ms, 3-4 ms) average 1.48, 2.0 and 3.0 conv3x3 ops.
+ * Scatter samples are dumped to bench_csv/fig5_<config>.csv.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const double paperConv3x3PerBucket[3] = {1.48, 2.0, 3.0};
+
+void
+report()
+{
+    const auto &recs = bench::filteredRecords();
+    for (int c = 0; c < 3; c++) {
+        // Latency buckets: <2, 2-3, 3-4, >=4 ms.
+        double conv3_sum[4] = {};
+        uint64_t count[4] = {};
+        for (const auto *r : recs) {
+            double lat = r->latencyMs[static_cast<size_t>(c)];
+            int b = lat < 2.0 ? 0 : lat < 3.0 ? 1 : lat < 4.0 ? 2 : 3;
+            conv3_sum[b] += r->numConv3x3;
+            count[b]++;
+        }
+        AsciiTable t("Figure 5" + std::string(1, 'a' + c) + " — " +
+                     bench::configName(c) +
+                     " latency buckets vs #conv3x3");
+        t.header({"Latency bucket", "# models", "Avg #conv3x3 (ours)",
+                  "Avg #conv3x3 (paper)"});
+        const char *names[4] = {"< 2.0 ms", "2.0 - 3.0 ms",
+                                "3.0 - 4.0 ms", ">= 4.0 ms"};
+        for (int b = 0; b < 4; b++) {
+            double avg =
+                count[b] ? conv3_sum[b] / static_cast<double>(count[b])
+                         : 0.0;
+            t.row({names[b], fmtCount(count[b]), fmtDouble(avg, 2),
+                   b < 3 ? fmtDouble(paperConv3x3PerBucket[b], 2)
+                         : "n/a"});
+        }
+        t.print(std::cout);
+    }
+
+    // Scatter sample for external plotting.
+    for (int c = 0; c < 3; c++) {
+        CsvWriter csv(bench::csvDir() + "/fig5_" +
+                      bench::configName(c) + ".csv");
+        csv.row({"latency_ms", "mean_validation_accuracy"});
+        size_t stride = std::max<size_t>(1, recs.size() / 20000);
+        for (size_t i = 0; i < recs.size(); i += stride) {
+            csv.rowDoubles({recs[i]->latencyMs[static_cast<size_t>(c)],
+                            recs[i]->accuracy});
+        }
+    }
+    std::cout << "scatter series written to " << bench::csvDir()
+              << "/fig5_V*.csv\n";
+}
+
+void
+BM_LatencyBucketing(benchmark::State &state)
+{
+    const auto &recs = bench::filteredRecords();
+    for (auto _ : state) {
+        uint64_t counts[4] = {};
+        for (const auto *r : recs) {
+            double lat = r->latencyMs[0];
+            counts[lat < 2 ? 0 : lat < 3 ? 1 : lat < 4 ? 2 : 3]++;
+        }
+        benchmark::DoNotOptimize(counts[0]);
+    }
+}
+BENCHMARK(BM_LatencyBucketing)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 5 — accuracy vs latency",
+        "data clusters into latency buckets; adding one conv3x3 per "
+        "cell jumps a model to the next bucket");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Figure 6: latency-vs-energy relation for V1 and V2 over the >=70%
+ * accuracy models. The relation is linear; below ~3 ms V2's cloud sits
+ * lower (smaller static/SRAM footprint), above it V1's does (parameter
+ * caching avoids the DRAM streaming energy).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/csv.hh"
+#include "stats/linreg.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &recs = bench::filteredRecords();
+
+    AsciiTable t("Figure 6 — energy vs latency (V1, V2)");
+    t.header({"Config", "slope (mJ/ms)", "intercept (mJ)", "R^2"});
+    for (int c = 0; c < 2; c++) {
+        std::vector<double> lat, en;
+        for (const auto *r : recs) {
+            lat.push_back(r->latencyMs[static_cast<size_t>(c)]);
+            en.push_back(r->energyMj[static_cast<size_t>(c)]);
+        }
+        auto fit = stats::fitLinear(lat, en);
+        t.row({bench::configName(c), fmtDouble(fit.slope, 3),
+               fmtDouble(fit.intercept, 3), fmtDouble(fit.r2, 4)});
+    }
+    t.print(std::cout);
+
+    // Binned means: who has lower energy at the same latency?
+    AsciiTable cross("Energy at equal latency (binned means)");
+    cross.header({"Latency bin", "V1 mean mJ", "V2 mean mJ",
+                  "lower-energy config"});
+    const double edges[7] = {0, 1, 2, 3, 4, 5, 10};
+    for (int b = 0; b < 6; b++) {
+        double sum[2] = {};
+        uint64_t n[2] = {};
+        for (const auto *r : recs) {
+            for (int c = 0; c < 2; c++) {
+                double lat = r->latencyMs[static_cast<size_t>(c)];
+                if (lat >= edges[b] && lat < edges[b + 1]) {
+                    sum[c] += r->energyMj[static_cast<size_t>(c)];
+                    n[c]++;
+                }
+            }
+        }
+        if (!n[0] || !n[1])
+            continue;
+        double v1 = sum[0] / static_cast<double>(n[0]);
+        double v2 = sum[1] / static_cast<double>(n[1]);
+        cross.row({fmtDouble(edges[b], 0) + "-" +
+                       fmtDouble(edges[b + 1], 0) + " ms",
+                   fmtDouble(v1, 2), fmtDouble(v2, 2),
+                   v1 < v2 ? "V1" : "V2"});
+    }
+    cross.print(std::cout);
+    std::cout << "paper: V2 lower below ~3 ms, V1 lower above\n";
+
+    CsvWriter csv(bench::csvDir() + "/fig6_latency_energy.csv");
+    csv.row({"config", "latency_ms", "energy_mj"});
+    size_t stride = std::max<size_t>(1, recs.size() / 20000);
+    for (size_t i = 0; i < recs.size(); i += stride) {
+        for (int c = 0; c < 2; c++) {
+            csv.row({bench::configName(c),
+                     fmtDouble(recs[i]->latencyMs[static_cast<size_t>(c)], 5),
+                     fmtDouble(recs[i]->energyMj[static_cast<size_t>(c)], 5)});
+        }
+    }
+    std::cout << "scatter series written to " << bench::csvDir()
+              << "/fig6_latency_energy.csv\n";
+}
+
+void
+BM_LinearFit(benchmark::State &state)
+{
+    const auto &recs = bench::filteredRecords();
+    std::vector<double> lat, en;
+    for (const auto *r : recs) {
+        lat.push_back(r->latencyMs[0]);
+        en.push_back(r->energyMj[0]);
+    }
+    for (auto _ : state) {
+        auto fit = stats::fitLinear(lat, en);
+        benchmark::DoNotOptimize(fit.slope);
+    }
+}
+BENCHMARK(BM_LinearFit)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 6 — latency vs energy",
+        "linear latency/energy relation; V2 cheaper for fast models, "
+        "V1 cheaper at equal latency for slow models");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Figure 7: the NASBench cell with the highest mean validation
+ * accuracy (95.055%, four 3x3 convolutions, 41,557,898 trainable
+ * parameters) and its latency on every configuration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const double paperLatency[3] = {4.633768, 4.185697, 4.535305};
+
+void
+report()
+{
+    const nas::AnchorCell &anchor = nas::anchorCells()[0];
+    const nas::ModelRecord *rec = bench::anchorRecord(0);
+    std::cout << "cell: " << anchor.cell.str() << "\n";
+    if (!rec) {
+        std::cout << "anchor missing from the dataset sample; "
+                     "simulating directly\n";
+    }
+    std::cout << "params: "
+              << fmtCount(rec ? rec->params
+                              : nas::countTrainableParams(anchor.cell))
+              << " (paper 41,557,898)\n"
+              << "accuracy: "
+              << fmtDouble(
+                     (rec ? rec->accuracy : anchor.accuracy) * 100, 3)
+              << "% (paper 95.055%)\n\n";
+
+    AsciiTable t("Figure 7b — latency of the best-accuracy cell");
+    t.header({"Accelerator", "Latency ms (ours)", "Latency ms (paper)"});
+    double ours[3];
+    for (int c = 0; c < 3; c++) {
+        if (rec) {
+            ours[c] = rec->latencyMs[static_cast<size_t>(c)];
+        } else {
+            sim::Simulator sim(arch::allConfigs()[static_cast<size_t>(c)]);
+            ours[c] = sim.runCell(anchor.cell).latencyMs;
+        }
+        t.row({bench::configName(c), fmtDouble(ours[c], 6),
+               fmtDouble(paperLatency[c], 6)});
+    }
+    t.print(std::cout);
+    int best = 0;
+    for (int c = 1; c < 3; c++) {
+        if (ours[c] < ours[best])
+            best = c;
+    }
+    std::cout << "winner: " << bench::configName(best)
+              << " (paper: V2)\n";
+}
+
+void
+BM_SimulateFig7Cell(benchmark::State &state)
+{
+    const auto &cell = nas::anchorCells()[0].cell;
+    nas::Network net = nas::buildNetwork(cell);
+    sim::Simulator sim(
+        arch::allConfigs()[static_cast<size_t>(state.range(0))]);
+    for (auto _ : state) {
+        auto r = sim.run(net, &cell);
+        benchmark::DoNotOptimize(r.latencyMs);
+    }
+}
+BENCHMARK(BM_SimulateFig7Cell)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 7 — best-accuracy cell",
+        "the highest-accuracy cell (95.055%) runs fastest on V2 "
+        "(4.19 ms, 10% below V1)");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Figure 8: the second-best cell (94.895%, two conv1x1 + two conv3x3,
+ * 25,042,826 parameters): trading 0.16% accuracy buys up to 1.78x
+ * lower latency, and the winner flips from V2 to V1.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const double paperLatency[3] = {2.597874, 2.679829, 2.799071};
+const double paperSpeedup[3] = {1.78, 1.56, 1.62};
+const double paperBestLatency[3] = {4.633768, 4.185697, 4.535305};
+
+double
+latencyOf(size_t anchor_index, int c)
+{
+    if (const auto *rec = bench::anchorRecord(anchor_index))
+        return rec->latencyMs[static_cast<size_t>(c)];
+    sim::Simulator sim(arch::allConfigs()[static_cast<size_t>(c)]);
+    return sim.runCell(nas::anchorCells()[anchor_index].cell).latencyMs;
+}
+
+void
+report()
+{
+    const nas::AnchorCell &anchor = nas::anchorCells()[1];
+    uint64_t params = nas::countTrainableParams(anchor.cell);
+    uint64_t best_params =
+        nas::countTrainableParams(nas::anchorCells()[0].cell);
+    std::cout << "cell: " << anchor.cell.str() << "\n"
+              << "params: " << fmtCount(params)
+              << " (paper 25,042,826), "
+              << fmtDouble(100.0 * (1.0 -
+                                    static_cast<double>(params) /
+                                        static_cast<double>(best_params)),
+                           1)
+              << "% fewer than the best cell\n"
+              << "accuracy: " << fmtDouble(anchor.accuracy * 100, 3)
+              << "% (paper 94.895%)\n\n";
+
+    AsciiTable t("Figure 8b — latency and speedup over the best cell");
+    t.header({"Accelerator", "Latency ms (ours/paper)",
+              "Speedup vs best cell (ours/paper)"});
+    double ours[3];
+    for (int c = 0; c < 3; c++) {
+        ours[c] = latencyOf(1, c);
+        double speedup = latencyOf(0, c) / ours[c];
+        (void)paperBestLatency;
+        t.row({bench::configName(c),
+               bench::vsPaper(ours[c], paperLatency[c], 4),
+               bench::vsPaper(speedup, paperSpeedup[c], 2)});
+    }
+    t.print(std::cout);
+    int best = 0;
+    for (int c = 1; c < 3; c++) {
+        if (ours[c] < ours[best])
+            best = c;
+    }
+    std::cout << "winner: " << bench::configName(best)
+              << " (paper: V1)\n";
+}
+
+void
+BM_SimulateFig8Cell(benchmark::State &state)
+{
+    const auto &cell = nas::anchorCells()[1].cell;
+    nas::Network net = nas::buildNetwork(cell);
+    sim::Simulator sim(arch::configV1());
+    for (auto _ : state) {
+        auto r = sim.run(net, &cell);
+        benchmark::DoNotOptimize(r.latencyMs);
+    }
+}
+BENCHMARK(BM_SimulateFig8Cell)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 8 — second-best cell",
+        "0.16% accuracy trade buys up to 1.78x latency on V1; V1 "
+        "becomes the winner thanks to its conv1x1 efficiency");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Figure 9: latency vs accuracy for the five highest-accuracy models,
+ * annotated with the configuration that wins each (the paper's
+ * dashed-line regions read V2, V1, V2, V1).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    std::vector<const nas::ModelRecord *> sorted;
+    sorted.reserve(ds.size());
+    for (const auto &r : ds.records)
+        sorted.push_back(&r);
+    std::partial_sort(sorted.begin(), sorted.begin() + 5, sorted.end(),
+                      [](const auto *a, const auto *b) {
+                          return a->accuracy > b->accuracy;
+                      });
+
+    AsciiTable t("Figure 9 — top-5 accuracy models");
+    t.header({"Rank", "Accuracy %", "V1 ms", "V2 ms", "V3 ms",
+              "Winner"});
+    for (int i = 0; i < 5; i++) {
+        const auto *r = sorted[static_cast<size_t>(i)];
+        t.row({std::to_string(i + 1),
+               fmtDouble(r->accuracy * 100, 3),
+               fmtDouble(r->latencyMs[0], 4),
+               fmtDouble(r->latencyMs[1], 4),
+               fmtDouble(r->latencyMs[2], 4),
+               bench::configName(bench::winnerIndex(*r))});
+    }
+    t.print(std::cout);
+    std::cout << "paper's winner sequence along the accuracy "
+                 "frontier: V2, V1, V2, V1\n";
+}
+
+void
+BM_TopKSelection(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        std::vector<const nas::ModelRecord *> sorted;
+        sorted.reserve(ds.size());
+        for (const auto &r : ds.records)
+            sorted.push_back(&r);
+        std::partial_sort(sorted.begin(), sorted.begin() + 5,
+                          sorted.end(),
+                          [](const auto *a, const auto *b) {
+                              return a->accuracy > b->accuracy;
+                          });
+        benchmark::DoNotOptimize(sorted[0]);
+    }
+}
+BENCHMARK(BM_TopKSelection)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Figure 9 — top-5 frontier",
+        "among the five most accurate models the lowest-latency config "
+        "alternates between V2 and V1, leaving headroom to trade tiny "
+        "accuracy for large latency wins");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 1: the distribution of NASBench-101 models across ten equal
+ * intervals of trainable parameters. Our parameter accounting matches
+ * the released dataset exactly (min 227,274, max 49,979,274), so the
+ * bin edges coincide with the paper's.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/histogram.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const uint64_t paperCounts[10] = {210673, 102488, 44272, 3513, 38003,
+                                  4413,   15041,  3533,  1209, 479};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    uint64_t lo = UINT64_MAX, hi = 0;
+    for (const auto &r : ds.records) {
+        lo = std::min(lo, r.params);
+        hi = std::max(hi, r.params);
+    }
+    std::cout << "parameter range: [" << fmtCount(lo) << ", "
+              << fmtCount(hi) << "]  (paper: [227,274, 49,979,274])\n";
+
+    // Exact [min, max) edges; the max-parameter model clamps into the
+    // last bin, matching the paper's interval bookkeeping.
+    stats::Histogram hist(static_cast<double>(lo),
+                          static_cast<double>(hi), 10);
+    for (const auto &r : ds.records)
+        hist.add(static_cast<double>(r.params));
+
+    AsciiTable t("Table 1 — models per trainable-parameter interval");
+    t.header({"Interval", "# of Models (ours)", "# of Models (paper)"});
+    for (int b = 0; b < hist.numBins(); b++) {
+        t.row({hist.binLabel(b), fmtCount(hist.count(b)),
+               fmtCount(paperCounts[b])});
+    }
+    t.row({"total", fmtCount(hist.total()), fmtCount(423624)});
+    t.print(std::cout);
+}
+
+void
+BM_ParamHistogram(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        stats::Histogram hist(2e5, 5e7, 10);
+        for (const auto &r : ds.records)
+            hist.add(static_cast<double>(r.params));
+        benchmark::DoNotOptimize(hist.total());
+    }
+    state.counters["models"] = static_cast<double>(ds.size());
+}
+BENCHMARK(BM_ParamHistogram)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 1 — parameter distribution",
+        "423,624 models spanning 227,274..49,979,274 trainable "
+        "parameters, heavily skewed to the first interval");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 2: the microarchitectural parameters of the three studied Edge
+ * TPU configurations, with peak TOPS derived from the template (2 ops
+ * per MAC x MACs/cycle x clock) rather than hard-coded.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "arch/config.hh"
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+report()
+{
+    const auto &configs = arch::allConfigs();
+    AsciiTable t("Table 2 — studied Edge TPU configurations");
+    t.header({"Parameter", "V1", "V2", "V3"});
+    auto row = [&](const std::string &name, auto getter) {
+        t.row({name, getter(configs[0]), getter(configs[1]),
+               getter(configs[2])});
+    };
+    using C = arch::AcceleratorConfig;
+    row("Clock Frequency (MHz)", [](const C &c) {
+        return fmtDouble(c.clockMhz, 0);
+    });
+    row("# of (X, Y)-PEs", [](const C &c) {
+        return "(" + std::to_string(c.xPes) + ", " +
+               std::to_string(c.yPes) + ")";
+    });
+    row("PE Memory (KB)", [](const C &c) {
+        return fmtCount(c.peMemoryBytes >> 10);
+    });
+    row("# of Cores per PE", [](const C &c) {
+        return std::to_string(c.coresPerPe);
+    });
+    row("Core Memory (KB)", [](const C &c) {
+        return fmtCount(c.coreMemoryBytes >> 10);
+    });
+    row("# of Compute Lanes", [](const C &c) {
+        return std::to_string(c.computeLanes);
+    });
+    row("Instruction Memory", [](const C &c) {
+        return fmtCount(c.instructionMemoryEntries);
+    });
+    row("Parameter Memory", [](const C &c) {
+        return fmtCount(c.parameterMemoryWords);
+    });
+    row("Activation Memory", [](const C &c) {
+        return fmtCount(c.activationMemoryWords);
+    });
+    row("I/O Bandwidth (GB/s)", [](const C &c) {
+        return fmtDouble(c.ioBandwidthGBs, 0);
+    });
+    row("Peak TOPS (derived)", [](const C &c) {
+        return fmtDouble(c.peakTops(), 2);
+    });
+    t.print(std::cout);
+    std::cout << "paper peak TOPS: 26.2 / 8.73 / 8.73\n";
+}
+
+void
+BM_DeriveConfigs(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto v1 = arch::configV1();
+        auto v2 = arch::configV2();
+        auto v3 = arch::configV3();
+        benchmark::DoNotOptimize(v1.peakTops() + v2.peakTops() +
+                                 v3.peakTops());
+    }
+}
+BENCHMARK(BM_DeriveConfigs);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "\n=== Table 2 — accelerator configurations ===\n\n";
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

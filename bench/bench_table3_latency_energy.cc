@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table 3: min/max/avg inference latency and energy over the models
+ * with >= 70% mean validation accuracy, per configuration, with the
+ * accuracy of the extreme models in parentheses (as in the paper).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+struct PaperRow
+{
+    double minLat, maxLat, avgLat;
+    double minEn, maxEn, avgEn; //!< <0 means N/A
+};
+
+const PaperRow paperRows[3] = {
+    {0.079111, 5.676561, 0.9631, 0.198351, 23.807941, 4.252673},
+    {0.074647, 5.653848, 1.03485, 0.170954, 23.462845, 3.9127185},
+    {0.074647, 5.666214, 1.0655, -1, -1, -1},
+};
+
+void
+report()
+{
+    const auto &recs = bench::filteredRecords();
+    AsciiTable t("Table 3 — latency/energy summary (accuracy >= 70%)");
+    t.header({"Metric", "V1", "V2", "V3"});
+
+    std::vector<std::string> rows[6];
+    for (int c = 0; c < 3; c++) {
+        std::vector<double> lat, en;
+        lat.reserve(recs.size());
+        en.reserve(recs.size());
+        for (const auto *r : recs) {
+            lat.push_back(r->latencyMs[static_cast<size_t>(c)]);
+            en.push_back(r->energyMj[static_cast<size_t>(c)]);
+        }
+        auto ls = stats::summarize(lat);
+        auto es = stats::summarize(en);
+        auto acc_at = [&](size_t i) {
+            return " (" + fmtDouble(recs[i]->accuracy * 100, 2) + "%)";
+        };
+        const PaperRow &p = paperRows[c];
+        rows[0].push_back(bench::vsPaper(ls.min, p.minLat, 6) +
+                          acc_at(ls.argmin));
+        rows[1].push_back(bench::vsPaper(ls.max, p.maxLat, 6) +
+                          acc_at(ls.argmax));
+        rows[2].push_back(bench::vsPaper(ls.mean, p.avgLat, 4));
+        bool na = p.minEn < 0;
+        rows[3].push_back(na ? fmtDouble(es.min, 6) + " (paper N/A)"
+                             : bench::vsPaper(es.min, p.minEn, 6) +
+                                   acc_at(es.argmin));
+        rows[4].push_back(na ? fmtDouble(es.max, 6) + " (paper N/A)"
+                             : bench::vsPaper(es.max, p.maxEn, 6) +
+                                   acc_at(es.argmax));
+        rows[5].push_back(na ? fmtDouble(es.mean, 4) + " (paper N/A)"
+                             : bench::vsPaper(es.mean, p.avgEn, 4));
+    }
+    const char *names[6] = {"Min. Latency (ms)", "Max. Latency (ms)",
+                            "Avg. Latency (ms)", "Min. Energy (mJ)",
+                            "Max. Energy (mJ)",  "Avg. Energy (mJ)"};
+    for (int m = 0; m < 6; m++) {
+        std::vector<std::string> cells = {names[m]};
+        cells.insert(cells.end(), rows[m].begin(), rows[m].end());
+        t.row(cells);
+    }
+    t.print(std::cout);
+}
+
+void
+BM_SummarizeFilteredRecords(benchmark::State &state)
+{
+    const auto &recs = bench::filteredRecords();
+    for (auto _ : state) {
+        double sum = 0;
+        for (const auto *r : recs)
+            sum += r->latencyMs[0];
+        benchmark::DoNotOptimize(sum);
+    }
+    state.counters["records"] = static_cast<double>(recs.size());
+}
+BENCHMARK(BM_SummarizeFilteredRecords)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 3 — latency/energy summary",
+        "V2 delivers the highest accuracy (94.33%) at lower max "
+        "latency; avg latency orders V1 < V2 < V3");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

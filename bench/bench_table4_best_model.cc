@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 4: latency and energy of the highest-accuracy model (95.055%
+ * after 108 epochs) on the three configurations.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const double paperLatency[3] = {4.633768, 4.185697, 4.535305};
+const double paperEnergy[2] = {19.894033, 19.745373};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    const auto &best = ds.records[ds.bestAccuracyIndex()];
+    std::cout << "best model: " << best.spec.str() << "\n"
+              << "accuracy: " << fmtDouble(best.accuracy * 100, 3)
+              << "% (paper 95.055%)   params: " << fmtCount(best.params)
+              << " (paper 41,557,898)\n\n";
+
+    AsciiTable t("Table 4 — best-accuracy model");
+    t.header({"Metric", "V1", "V2", "V3"});
+    std::vector<std::string> lat = {"Latency (ms)"};
+    std::vector<std::string> en = {"Energy (mJ)"};
+    for (int c = 0; c < 3; c++) {
+        lat.push_back(bench::vsPaper(
+            best.latencyMs[static_cast<size_t>(c)], paperLatency[c], 4));
+        en.push_back(
+            c < 2 ? bench::vsPaper(best.energyMj[static_cast<size_t>(c)],
+                                   paperEnergy[c], 4)
+                  : fmtDouble(best.energyMj[2], 4) + " (paper N/A)");
+    }
+    t.row(lat);
+    t.row(en);
+    t.print(std::cout);
+
+    int winner = bench::winnerIndex(best);
+    std::cout << "lowest latency: " << bench::configName(winner)
+              << " (paper: V2)\n";
+}
+
+void
+BM_SimulateBestModel(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    const auto &best = ds.records[ds.bestAccuracyIndex()];
+    sim::Simulator v2(arch::configV2());
+    nas::Network net = nas::buildNetwork(best.spec);
+    for (auto _ : state) {
+        auto r = v2.run(net, &best.spec);
+        benchmark::DoNotOptimize(r.latencyMs);
+    }
+}
+BENCHMARK(BM_SimulateBestModel)->Unit(benchmark::kMicrosecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 4 — best-accuracy model",
+        "for the 95.055%-accuracy model, V2 yields the lowest latency "
+        "(4.19 ms, ~10% below V1)");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

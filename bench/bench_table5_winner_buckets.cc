@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Table 5: split the models into three buckets by which configuration
+ * yields the lowest latency; report bucket sizes and the average
+ * latency/energy of each bucket on every configuration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+struct PaperBucket
+{
+    uint64_t count;
+    double lat[3];
+    double enV1, enV2;
+};
+
+const PaperBucket paperBuckets[3] = {
+    {392725, {0.80, 0.90, 0.92}, 3.58, 3.58},
+    {24325, {3.73, 3.39, 3.61}, 6.96, 15.67},
+    {6570, {2.59, 0.31, 0.25}, 0.85, 0.64},
+};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    std::array<uint64_t, 3> count = {};
+    std::array<std::array<double, 3>, 3> lat = {};
+    std::array<std::array<double, 3>, 3> en = {};
+    for (const auto &r : ds.records) {
+        auto w = static_cast<size_t>(bench::winnerIndex(r));
+        count[w]++;
+        for (size_t c = 0; c < 3; c++) {
+            lat[w][c] += r.latencyMs[c];
+            en[w][c] += r.energyMj[c];
+        }
+    }
+
+    AsciiTable t("Table 5 — per-configuration winner buckets");
+    t.header({"Bucket", "# of Models", "V1 lat/en", "V2 lat/en",
+              "V3 lat (en N/A in paper)"});
+    for (size_t w = 0; w < 3; w++) {
+        uint64_t n = std::max<uint64_t>(count[w], 1);
+        const PaperBucket &p = paperBuckets[w];
+        std::vector<std::string> cells;
+        cells.push_back("Latency(" + bench::configName(static_cast<int>(w)) +
+                        ") <=");
+        cells.push_back(fmtCount(count[w]) + " (paper " +
+                        fmtCount(p.count) + ")");
+        for (size_t c = 0; c < 3; c++) {
+            std::string cell =
+                bench::vsPaper(lat[w][c] / n, p.lat[c], 2);
+            if (c == 0)
+                cell += ", " + bench::vsPaper(en[w][c] / n, p.enV1, 2);
+            if (c == 1)
+                cell += ", " + bench::vsPaper(en[w][c] / n, p.enV2, 2);
+            cells.push_back(cell);
+        }
+        t.row(cells);
+    }
+    t.print(std::cout);
+
+    double v1_share =
+        100.0 * count[0] / static_cast<double>(ds.size());
+    std::cout << "V1 wins " << fmtDouble(v1_share, 1)
+              << "% of all models (paper 92.7%)\n";
+}
+
+void
+BM_WinnerBucketing(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        uint64_t acc = 0;
+        for (const auto &r : ds.records)
+            acc += static_cast<uint64_t>(bench::winnerIndex(r));
+        benchmark::DoNotOptimize(acc);
+    }
+    state.counters["models"] = static_cast<double>(ds.size());
+}
+BENCHMARK(BM_WinnerBucketing)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 5 — winner buckets",
+        "V1 wins most models; V2 wins the large streamed models; V3 "
+        "wins a small bucket of conv1x1/pool-heavy cells where V1 is "
+        "~10x slower");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Table 6: model characteristics of the first (V1 wins) vs the last
+ * (V3 wins) winner bucket: average op counts, graph depth and
+ * trainable parameters.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+struct Acc
+{
+    double c3 = 0, c1 = 0, mp = 0, depth = 0, params = 0;
+    uint64_t n = 0;
+
+    void
+    add(const nas::ModelRecord &r)
+    {
+        c3 += r.numConv3x3;
+        c1 += r.numConv1x1;
+        mp += r.numMaxPool;
+        depth += r.depth;
+        params += static_cast<double>(r.params);
+        n++;
+    }
+};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    Acc v1_bucket, v3_bucket;
+    for (const auto &r : ds.records) {
+        int w = bench::winnerIndex(r);
+        if (w == 0)
+            v1_bucket.add(r);
+        else if (w == 2)
+            v3_bucket.add(r);
+    }
+    auto avg = [](double sum, uint64_t n) {
+        return n ? sum / static_cast<double>(n) : 0.0;
+    };
+
+    AsciiTable t("Table 6 — first vs last bucket characteristics");
+    t.header({"Characteristic", "Latency(V1)<= (ours/paper)",
+              "Latency(V3)<= (ours/paper)"});
+    t.row({"Avg. # of Conv 3x3",
+           bench::vsPaper(avg(v1_bucket.c3, v1_bucket.n), 1.53, 2),
+           bench::vsPaper(avg(v3_bucket.c3, v3_bucket.n), 0.78, 2)});
+    t.row({"Avg. # of Conv 1x1",
+           bench::vsPaper(avg(v1_bucket.c1, v1_bucket.n), 1.65, 2),
+           bench::vsPaper(avg(v3_bucket.c1, v3_bucket.n), 2.17, 2)});
+    t.row({"Avg. # of MaxPool 3x3",
+           bench::vsPaper(avg(v1_bucket.mp, v1_bucket.n), 1.66, 2),
+           bench::vsPaper(avg(v3_bucket.mp, v3_bucket.n), 1.77, 2)});
+    t.row({"Avg. Graph Depth",
+           bench::vsPaper(avg(v1_bucket.depth, v1_bucket.n), 4.96, 2),
+           bench::vsPaper(avg(v3_bucket.depth, v3_bucket.n), 4.64, 2)});
+    t.row({"Avg. # of Trainable Parameters",
+           bench::vsPaper(avg(v1_bucket.params, v1_bucket.n),
+                          7054471.34, 0),
+           bench::vsPaper(avg(v3_bucket.params, v3_bucket.n),
+                          1417485.36, 0)});
+    t.print(std::cout);
+}
+
+void
+BM_BucketCharacterization(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        Acc a;
+        for (const auto &r : ds.records) {
+            if (bench::winnerIndex(r) == 2)
+                a.add(r);
+        }
+        benchmark::DoNotOptimize(a.params);
+    }
+}
+BENCHMARK(BM_BucketCharacterization)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 6 — bucket characteristics",
+        "the V1 bucket holds conv3x3-rich, parameter-heavy models; the "
+        "V3 bucket holds small models rich in conv1x1/maxpool");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Table 7: average number of trainable parameters per graph depth —
+ * the explanation for the latency dip at depths 4-5 in Figure 11.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <map>
+
+#include "bench_common.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+const std::map<int, double> paperValues = {
+    {3, 7442469.77}, {4, 6144266.36}, {5, 6399201.72}, {6, 8428092.52}};
+
+void
+report()
+{
+    const auto &ds = bench::dataset();
+    std::map<int, std::pair<double, uint64_t>> by_depth;
+    for (const auto &r : ds.records) {
+        auto &[sum, n] = by_depth[r.depth];
+        sum += static_cast<double>(r.params);
+        n++;
+    }
+
+    AsciiTable t("Table 7 — average parameters vs graph depth");
+    t.header({"Graph Depth", "Avg. # of Parameters (ours)",
+              "Avg. # of Parameters (paper)", "# of Models"});
+    for (const auto &[depth, agg] : by_depth) {
+        auto it = paperValues.find(depth);
+        t.row({std::to_string(depth),
+               fmtDouble(agg.first / static_cast<double>(agg.second), 2),
+               it == paperValues.end() ? "n/a"
+                                       : fmtDouble(it->second, 2),
+               fmtCount(agg.second)});
+    }
+    t.print(std::cout);
+    std::cout << "(the paper lists depths 3-6; the dip at depths 4-5 "
+                 "drives the Figure 11 latency dip)\n";
+}
+
+void
+BM_DepthAggregation(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        double sums[8] = {};
+        for (const auto &r : ds.records)
+            sums[std::min<int>(r.depth, 7)] +=
+                static_cast<double>(r.params);
+        benchmark::DoNotOptimize(sums[3]);
+    }
+}
+BENCHMARK(BM_DepthAggregation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    etpu::bench::banner(
+        "Table 7 — parameters vs depth",
+        "depth-4/5 graphs average fewer parameters than depth-3 and "
+        "depth-6 graphs");
+    report();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Design-space exploration with the parameterized accelerator
+ * template: sweep PE grid, core memory and I/O bandwidth around the V2
+ * design point for a mid-size workload and print the latency/energy
+ * Pareto frontier — the co-design loop the paper's learned model is
+ * meant to accelerate.
+ *
+ *   $ ./design_space_exploration
+ */
+
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "arch/config.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/network.hh"
+#include "tpusim/simulator.hh"
+
+int
+main()
+{
+    using namespace etpu;
+
+    // Workload: the paper's second-best cell (25M parameters).
+    const nas::CellSpec &cell = nas::anchorCells()[1].cell;
+    nas::Network net = nas::buildNetwork(cell);
+    std::cout << "workload: " << cell.str() << "\n"
+              << fmtCount(net.trainableParams()) << " parameters\n\n";
+
+    struct Point
+    {
+        std::string label;
+        double latencyMs;
+        double energyMj;
+        double peakTops;
+    };
+    std::vector<Point> points;
+
+    for (auto [x, y] : {std::pair{2, 2}, {4, 2}, {4, 4}, {8, 4}}) {
+        for (uint64_t core_kb : {16, 32, 64}) {
+            for (double bw : {16.0, 32.0, 64.0}) {
+                auto cfg = arch::configV2();
+                cfg.xPes = x;
+                cfg.yPes = y;
+                cfg.coreMemoryBytes = core_kb << 10;
+                cfg.ioBandwidthGBs = bw;
+                sim::Simulator sim(cfg);
+                sim::PerfResult r = sim.run(net, &cell);
+                points.push_back(
+                    {strfmt("(", x, ",", y, ") PEs, ", core_kb,
+                            "KB core, ", bw, "GB/s"),
+                     r.latencyMs, r.energyMj, cfg.peakTops()});
+            }
+        }
+    }
+
+    // Pareto frontier on (latency, energy).
+    std::sort(points.begin(), points.end(),
+              [](const Point &a, const Point &b) {
+                  return a.latencyMs < b.latencyMs;
+              });
+    AsciiTable t("latency/energy Pareto frontier");
+    t.header({"design point", "peak TOPS", "latency ms", "energy mJ"});
+    double best_energy = 1e30;
+    int kept = 0;
+    for (const auto &p : points) {
+        if (p.energyMj < best_energy) {
+            best_energy = p.energyMj;
+            t.row({p.label, fmtDouble(p.peakTops, 2),
+                   fmtDouble(p.latencyMs, 4), fmtDouble(p.energyMj, 3)});
+            kept++;
+        }
+    }
+    t.print(std::cout);
+    std::cout << kept << " Pareto-optimal of " << points.size()
+              << " design points\n";
+    return 0;
+}

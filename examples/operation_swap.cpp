@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Single-cell operation-swap study (the paper's Figure 15 methodology
+ * at cell granularity): take one cell, substitute each operation type
+ * for another, and show how the latency responds on each Edge TPU
+ * configuration.
+ *
+ *   $ ./operation_swap
+ */
+
+#include <iostream>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nasbench/network.hh"
+#include "tpusim/simulator.hh"
+
+int
+main()
+{
+    using namespace etpu;
+    using nas::Op;
+
+    // Base cell: a mixed conv/pool cell with a parallel branch.
+    graph::Dag dag(5);
+    dag.addEdge(0, 1);
+    dag.addEdge(0, 2);
+    dag.addEdge(1, 3);
+    dag.addEdge(2, 3);
+    dag.addEdge(3, 4);
+    nas::CellSpec base(dag, {Op::Input, Op::Conv1x1, Op::MaxPool3x3,
+                             Op::Conv3x3, Op::Output});
+    std::cout << "base cell: " << base.str() << "\n\n";
+
+    std::vector<sim::Simulator> sims;
+    for (const auto &cfg : arch::allConfigs())
+        sims.emplace_back(cfg);
+
+    auto simulate = [&](const nas::CellSpec &cell,
+                        std::array<double, 3> &lat) {
+        nas::Network net = nas::buildNetwork(cell);
+        for (size_t c = 0; c < sims.size(); c++)
+            lat[c] = sims[c].run(net, &cell).latencyMs;
+        return net.trainableParams();
+    };
+
+    std::array<double, 3> base_lat;
+    uint64_t base_params = simulate(base, base_lat);
+
+    AsciiTable t("operation-swap latency impact");
+    t.header({"variant", "params", "V1 ms", "V2 ms", "V3 ms",
+              "delta V2 ms"});
+    t.row({"base", fmtCount(base_params), fmtDouble(base_lat[0], 4),
+           fmtDouble(base_lat[1], 4), fmtDouble(base_lat[2], 4), "-"});
+
+    const std::pair<Op, Op> swaps[6] = {
+        {Op::Conv3x3, Op::Conv1x1},    {Op::Conv3x3, Op::MaxPool3x3},
+        {Op::Conv1x1, Op::Conv3x3},    {Op::Conv1x1, Op::MaxPool3x3},
+        {Op::MaxPool3x3, Op::Conv3x3}, {Op::MaxPool3x3, Op::Conv1x1}};
+    for (auto [from, to] : swaps) {
+        nas::CellSpec variant = base;
+        for (auto &op : variant.ops) {
+            if (op == from)
+                op = to;
+        }
+        std::array<double, 3> lat;
+        uint64_t params = simulate(variant, lat);
+        t.row({strfmt(opName(from), " -> ", opName(to)),
+               fmtCount(params), fmtDouble(lat[0], 4),
+               fmtDouble(lat[1], 4), fmtDouble(lat[2], 4),
+               fmtDouble(lat[1] - base_lat[1], 4)});
+    }
+    t.print(std::cout);
+    std::cout << "paper Figure 15: swaps into conv3x3 add ~1.5 ms on "
+                 "average; swaps out of it remove as much\n";
+    return 0;
+}

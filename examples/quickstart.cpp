@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Quickstart: define a NASBench-style cell by hand, lower it to the
+ * full CIFAR-10 network, and simulate it on the three studied Edge TPU
+ * configurations.
+ *
+ *   $ ./quickstart
+ */
+
+#include <iostream>
+
+#include "arch/config.hh"
+#include "common/table.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/network.hh"
+#include "tpusim/simulator.hh"
+
+int
+main()
+{
+    using namespace etpu;
+
+    // 1. Describe a cell: input -> conv3x3 -> conv1x1 -> output with a
+    //    skip connection from the input to the output.
+    graph::Dag dag(4);
+    dag.addEdge(0, 1);
+    dag.addEdge(1, 2);
+    dag.addEdge(2, 3);
+    dag.addEdge(0, 3);
+    nas::CellSpec cell(dag, {nas::Op::Input, nas::Op::Conv3x3,
+                             nas::Op::Conv1x1, nas::Op::Output});
+    std::cout << "cell: " << cell.str() << "\n"
+              << "depth " << cell.depth() << ", width " << cell.width()
+              << "\n\n";
+
+    // 2. Lower it to the concrete CIFAR-10 network (stem + 3 stacks of
+    //    3 cells + classifier head).
+    nas::Network net = nas::buildNetwork(cell);
+    std::cout << "lowered network: " << net.layers.size() << " layers, "
+              << fmtCount(net.trainableParams())
+              << " trainable parameters, " << fmtCount(net.totalMacs())
+              << " MACs/inference\n"
+              << "surrogate accuracy: "
+              << fmtDouble(nas::surrogateAccuracy(cell) * 100, 2)
+              << "%\n\n";
+
+    // 3. Simulate on each studied accelerator configuration.
+    AsciiTable t("simulated inference");
+    t.header({"config", "latency ms", "energy mJ", "MAC util %",
+              "DRAM MB", "ops"});
+    for (const auto &cfg : arch::allConfigs()) {
+        sim::Simulator sim(cfg);
+        sim::PerfResult r = sim.run(net, &cell);
+        t.row({cfg.name, fmtDouble(r.latencyMs, 4),
+               cfg.energy.available ? fmtDouble(r.energyMj, 4)
+                                    : fmtDouble(r.energyMj, 4) + "*",
+               fmtDouble(100 * r.utilization(cfg), 1),
+               fmtDouble(static_cast<double>(r.dramBytes) / 1e6, 2),
+               std::to_string(r.numOps)});
+    }
+    t.print(std::cout);
+    std::cout << "(*) the paper reports no V3 energy model; ours is "
+                 "an estimate\n";
+    return 0;
+}

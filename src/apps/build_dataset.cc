@@ -1,0 +1,75 @@
+/**
+ * @file
+ * CLI that enumerates the NASBench-101 cell space, simulates every cell
+ * on the three Edge TPU configurations and writes the binary dataset
+ * cache consumed by the bench binaries.
+ *
+ * Usage: etpu_build_dataset [--sample N] [--out PATH] [--threads N]
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/enumerator.hh"
+#include "pipeline/builder.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace etpu;
+
+    std::string out_path = pipeline::datasetCachePath();
+    size_t sample = 0;
+    unsigned threads = 0;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--sample") {
+            sample = static_cast<size_t>(std::atoll(next()));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(std::atoi(next()));
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: etpu_build_dataset [--sample N] "
+                         "[--out PATH] [--threads N]\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+
+    nas::EnumerationStats stats;
+    auto cells = nas::enumerateCells({}, &stats, threads);
+    std::cout << "enumerated " << fmtCount(stats.uniqueCells)
+              << " unique cells (" << fmtCount(stats.labeledCandidates)
+              << " labeled candidates)\n";
+
+    if (sample && sample < cells.size()) {
+        Rng rng(0xda7a5e7ull);
+        for (size_t i = 0; i < sample; i++) {
+            size_t j = i + rng.uniformInt(cells.size() - i);
+            std::swap(cells[i], cells[j]);
+        }
+        cells.resize(sample);
+        for (const auto &anchor : nas::anchorCells())
+            cells.push_back(anchor.cell);
+        std::cout << "sampled down to " << cells.size() << " cells\n";
+    }
+
+    auto ds = pipeline::buildDataset(cells, threads);
+    ds.save(out_path);
+    std::cout << "wrote " << fmtCount(ds.size()) << " records to "
+              << out_path << "\n";
+    return 0;
+}

@@ -1,0 +1,162 @@
+#include "config.hh"
+
+#include "common/logging.hh"
+
+namespace etpu::arch
+{
+
+uint64_t
+AcceleratorConfig::macsPerCycle() const
+{
+    return static_cast<uint64_t>(totalCores()) * computeLanes *
+           macsPerLane;
+}
+
+uint64_t
+AcceleratorConfig::vectorOpsPerCycle() const
+{
+    return static_cast<uint64_t>(totalCores()) * computeLanes;
+}
+
+double
+AcceleratorConfig::peakTops() const
+{
+    return 2.0 * static_cast<double>(macsPerCycle()) * clockMhz * 1e6 /
+           1e12;
+}
+
+uint64_t
+AcceleratorConfig::totalPeMemoryBytes() const
+{
+    return peMemoryBytes * static_cast<uint64_t>(numPes());
+}
+
+uint64_t
+AcceleratorConfig::totalCoreMemoryBytes() const
+{
+    return coreMemoryBytes * static_cast<uint64_t>(totalCores());
+}
+
+double
+AcceleratorConfig::sustainedDramBytesPerSec() const
+{
+    return ioBandwidthGBs * 1e9 * dramEfficiency;
+}
+
+double
+AcceleratorConfig::nocBytesPerCycle() const
+{
+    return nocLinkBytesPerCycle * numPes();
+}
+
+void
+AcceleratorConfig::validate() const
+{
+    if (clockMhz <= 0)
+        etpu_fatal(name, ": clock must be positive");
+    if (xPes <= 0 || yPes <= 0)
+        etpu_fatal(name, ": PE array dimensions must be positive");
+    if (coresPerPe <= 0 || computeLanes <= 0 || macsPerLane <= 0)
+        etpu_fatal(name, ": core/lane/MAC counts must be positive");
+    if (peMemoryBytes == 0 || coreMemoryBytes == 0)
+        etpu_fatal(name, ": memories must be non-empty");
+    if (ioBandwidthGBs <= 0)
+        etpu_fatal(name, ": I/O bandwidth must be positive");
+    if (energy.available &&
+        (energy.pjPerMac < 0 || energy.pjPerDramByte < 0 ||
+         energy.pjPerSramByte < 0 || energy.staticWatts < 0)) {
+        etpu_fatal(name, ": energy coefficients must be non-negative");
+    }
+}
+
+AcceleratorConfig
+configV1()
+{
+    AcceleratorConfig c;
+    c.name = "V1";
+    c.clockMhz = 800;
+    c.xPes = 4;
+    c.yPes = 4;
+    c.peMemoryBytes = 2ull << 20;   // 2 MB
+    c.coresPerPe = 4;
+    c.coreMemoryBytes = 32ull << 10; // 32 KB
+    c.computeLanes = 64;
+    c.parameterMemoryWords = 16384;
+    c.ioBandwidthGBs = 17;
+    c.dramEfficiency = 0.40;
+    c.inferenceOverheadUs = 50.0;
+    // Wide staging fabric: double-width parameter memory halves the
+    // per-instruction dispatch cost and doubles the broadcast width.
+    c.opOverheadPerPeCycles = 40.0;
+    c.nocLinkBytesPerCycle = 32.0;
+    c.weightBusBytesPerCycle = 32.0;
+    // Large-SRAM die: higher leakage; little streaming when cached.
+    c.energy.staticWatts = 3.4;
+    c.energy.pjPerSramByte = 1.4;
+    // Older toolchain generation (see CompilerFeatures).
+    c.compiler.fallbackOnPoolDominatedCells = true;
+    c.compiler.peMemoryWeightFraction = 0.25;
+    c.validate();
+    return c;
+}
+
+AcceleratorConfig
+configV2()
+{
+    AcceleratorConfig c;
+    c.name = "V2";
+    c.clockMhz = 1066;
+    c.xPes = 4;
+    c.yPes = 4;
+    c.peMemoryBytes = 384ull << 10; // 384 KB
+    c.coresPerPe = 1;
+    c.coreMemoryBytes = 32ull << 10;
+    c.computeLanes = 64;
+    c.parameterMemoryWords = 8192;
+    c.ioBandwidthGBs = 32;
+    c.dramEfficiency = 0.30;
+    c.inferenceOverheadUs = 12.0;
+    c.energy.staticWatts = 1.8;
+    c.validate();
+    return c;
+}
+
+AcceleratorConfig
+configV3()
+{
+    AcceleratorConfig c;
+    c.name = "V3";
+    c.clockMhz = 1066;
+    c.xPes = 4;
+    c.yPes = 1;
+    c.peMemoryBytes = 2ull << 20;
+    c.coresPerPe = 8;
+    c.coreMemoryBytes = 8ull << 10;
+    c.computeLanes = 32;
+    c.parameterMemoryWords = 8192;
+    c.ioBandwidthGBs = 32;
+    c.dramEfficiency = 0.26;
+    c.inferenceOverheadUs = 10.0;
+    // Four PEs keep the dispatch/sync portion of the per-instruction
+    // overhead low; the eight cores per PE add a modest serialization.
+    c.opOverheadPerCoreCycles = 40.0;
+    // Four wide PE links, but the intra-PE weight bus still serializes
+    // across the eight cores at the narrow width.
+    c.nocLinkBytesPerCycle = 32.0;
+    // The paper's V3 energy model was unavailable; ours is implemented
+    // but flagged so benches can report "N/A" like the paper.
+    c.energy.available = false;
+    c.energy.staticWatts = 2.0;
+    c.validate();
+    return c;
+}
+
+const std::array<AcceleratorConfig, 3> &
+allConfigs()
+{
+    static const std::array<AcceleratorConfig, 3> configs = {
+        configV1(), configV2(), configV3()};
+    return configs;
+}
+
+} // namespace etpu::arch

@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Parameterized Edge TPU accelerator template (paper Figure 1 / Table 2):
+ * a 2D array of processing engines (PEs), each with one or more compute
+ * cores, each core with multiple SIMD lanes of multi-way MAC units; PE
+ * memory holds activations/partials, core memory holds parameters; an
+ * on-chip controller moves data between DRAM and the arrays.
+ */
+
+#ifndef ETPU_ARCH_CONFIG_HH
+#define ETPU_ARCH_CONFIG_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace etpu::arch
+{
+
+/** Energy coefficients for the simulator's energy model. */
+struct EnergyModel
+{
+    bool available = true;  //!< paper: V3 energy model "N/A"
+    double pjPerMac = 0.4;      //!< int8 MAC incl. local datapath
+    double pjPerVectorOp = 0.2;
+    double pjPerSramByte = 1.2; //!< staging/core/PE memory access
+    double pjPerDramByte = 170.0;
+    /** Power while the accelerator is actively computing/streaming. */
+    double staticWatts = 1.0;
+    /** Power while idle (e.g. waiting on a host-side partition). */
+    double idleWatts = 0.15;
+};
+
+/** Compiler behaviour knobs that differ across toolchain generations. */
+struct CompilerFeatures
+{
+    /**
+     * Older toolchains cannot keep pool-dominated cell bodies fused on
+     * the accelerator; such cells are partitioned and their interior
+     * runs CPU-side with DRAM round trips (paper section 3 notes that
+     * unsupported subgraphs fall back to the CPU).
+     */
+    bool fallbackOnPoolDominatedCells = false;
+
+    /** Parameter caching optimization (paper section 3) enabled. */
+    bool parameterCaching = true;
+
+    /**
+     * Fraction of PE memory the allocator may devote to pinned (cached)
+     * parameters; the rest is reserved for activations and partials.
+     */
+    double peMemoryWeightFraction = 0.5;
+};
+
+/** One accelerator configuration (a column of Table 2). */
+struct AcceleratorConfig
+{
+    std::string name;
+    double clockMhz = 0.0;
+    int xPes = 0;
+    int yPes = 0;
+    uint64_t peMemoryBytes = 0;   //!< per PE
+    int coresPerPe = 0;
+    uint64_t coreMemoryBytes = 0; //!< per core
+    int computeLanes = 0;         //!< per core
+    int macsPerLane = 4;          //!< multi-way MAC units per lane
+    uint64_t instructionMemoryEntries = 16384;
+    uint64_t parameterMemoryWords = 16384;  //!< controller staging
+    uint64_t activationMemoryWords = 1024;  //!< controller staging
+    double ioBandwidthGBs = 0.0;
+
+    /**
+     * Sustained fraction of the peak I/O bandwidth for long parameter
+     * streams. Calibrated per configuration; the paper attributes the
+     * V2-over-V3 streaming edge to V2's larger PE/interconnect count.
+     */
+    double dramEfficiency = 0.30;
+
+    /** Per-inference host/runtime overhead (dispatch, fences), us. */
+    double inferenceOverheadUs = 20.0;
+
+    /** Controller dispatch cost per instruction, cycles. */
+    double opOverheadBaseCycles = 300.0;
+
+    /** PE-array configuration/sync cost per instruction, cycles/PE. */
+    double opOverheadPerPeCycles = 80.0;
+
+    /** Core reconfiguration cost per instruction, cycles/core. */
+    double opOverheadPerCoreCycles = 12.0;
+
+    /**
+     * Per-PE activation link width in bytes/cycle. Activations scatter
+     * and gather across PEs at the aggregate rate link * numPes, so
+     * fewer PEs mean less usable on-chip interconnect bandwidth (the
+     * paper's explanation for V2 sustaining more than V3).
+     */
+    double nocLinkBytesPerCycle = 16.0;
+
+    /**
+     * Weight-distribution bus width in bytes/cycle. Weights not pinned
+     * in core memory are rebroadcast each inference to the core
+     * memories (output-stationary spatial tiling replicates weights
+     * across PEs), costing bytes / bus-width cycles.
+     */
+    double weightBusBytesPerCycle = 16.0;
+
+    EnergyModel energy;
+    CompilerFeatures compiler;
+
+    /** Total PE count (X * Y). */
+    int numPes() const { return xPes * yPes; }
+
+    /** Total compute cores across the chip. */
+    int totalCores() const { return numPes() * coresPerPe; }
+
+    /** MACs retired per cycle at full utilization. */
+    uint64_t macsPerCycle() const;
+
+    /** Elementwise vector ops per cycle (one per lane). */
+    uint64_t vectorOpsPerCycle() const;
+
+    /** Peak TOPS (2 ops per MAC), the last row of Table 2. */
+    double peakTops() const;
+
+    /** Sum of PE memories. */
+    uint64_t totalPeMemoryBytes() const;
+
+    /** Sum of core memories. */
+    uint64_t totalCoreMemoryBytes() const;
+
+    /** Clock period in nanoseconds. */
+    double clockPeriodNs() const { return 1e3 / clockMhz; }
+
+    /**
+     * Sustained DRAM bandwidth in bytes/second. Sustained transfer
+     * efficiency grows with the PE count: more PEs mean more on-chip
+     * interconnect links absorbing the stream (the paper attributes
+     * V2 > V3 streaming performance to exactly this).
+     */
+    double sustainedDramBytesPerSec() const;
+
+    /** On-chip interconnect bandwidth in bytes/cycle. */
+    double nocBytesPerCycle() const;
+
+    /** Panic if the configuration is inconsistent. */
+    void validate() const;
+};
+
+/** Table 2, column V1: high peak TOPS (26.2). */
+AcceleratorConfig configV1();
+
+/** Table 2, column V2: low peak TOPS, small on-chip memory. */
+AcceleratorConfig configV2();
+
+/** Table 2, column V3: low peak TOPS, large on-chip memory. */
+AcceleratorConfig configV3();
+
+/** All three studied configurations in paper order. */
+const std::array<AcceleratorConfig, 3> &allConfigs();
+
+} // namespace etpu::arch
+
+#endif // ETPU_ARCH_CONFIG_HH

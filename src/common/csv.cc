@@ -1,0 +1,55 @@
+#include "csv.hh"
+
+#include <iomanip>
+#include <sstream>
+
+namespace etpu
+{
+
+CsvWriter::CsvWriter(const std::string &path)
+    : out_(path)
+{
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    if (!needs_quote)
+        return cell;
+    std::string out = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &cells)
+{
+    for (size_t i = 0; i < cells.size(); i++) {
+        if (i)
+            out_ << ',';
+        out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+}
+
+void
+CsvWriter::rowDoubles(const std::vector<double> &vals, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(vals.size());
+    for (double v : vals) {
+        std::ostringstream oss;
+        oss << std::setprecision(precision) << v;
+        cells.push_back(oss.str());
+    }
+    row(cells);
+}
+
+} // namespace etpu

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Small CSV writer used by benches to dump figure series (scatter data)
+ * next to the printed summaries, so plots can be regenerated externally.
+ */
+
+#ifndef ETPU_COMMON_CSV_HH
+#define ETPU_COMMON_CSV_HH
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace etpu
+{
+
+/** RFC-4180-ish CSV writer (quotes cells containing , " or newline). */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(const std::string &path);
+
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** Write one row of cells. */
+    void row(const std::vector<std::string> &cells);
+
+    /** Convenience: write a row of doubles. */
+    void rowDoubles(const std::vector<double> &vals, int precision = 6);
+
+  private:
+    static std::string escape(const std::string &cell);
+
+    std::ofstream out_;
+};
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_CSV_HH

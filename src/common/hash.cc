@@ -1,0 +1,76 @@
+#include "hash.hh"
+
+#include <cstring>
+
+namespace etpu
+{
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Hash128
+hash128(uint64_t x)
+{
+    Hash128 h;
+    h.hi = mix64(x ^ 0x2545f4914f6cdd1dull);
+    h.lo = mix64(x + 0x6a09e667f3bcc909ull);
+    return h;
+}
+
+Hash128
+hashCombine(const Hash128 &a, const Hash128 &b)
+{
+    Hash128 h;
+    h.hi = mix64(a.hi ^ (b.hi + 0x9e3779b97f4a7c15ull + (a.hi << 6)));
+    h.lo = mix64(a.lo ^ (b.lo + 0xc2b2ae3d27d4eb4full + (a.lo << 6)));
+    // Cross-mix so hi/lo do not evolve independently.
+    uint64_t cross = mix64(h.hi ^ h.lo);
+    h.hi ^= cross;
+    h.lo += cross;
+    return h;
+}
+
+Hash128
+hashAbsorb(const Hash128 &h, uint64_t word)
+{
+    return hashCombine(h, hash128(word));
+}
+
+Hash128
+hashBytes(const void *data, size_t len)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    Hash128 h = hash128(0x8c6bb9d1u ^ static_cast<uint64_t>(len));
+    size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h = hashAbsorb(h, w);
+    }
+    if (i < len) {
+        uint64_t w = 0;
+        std::memcpy(&w, p + i, len - i);
+        h = hashAbsorb(h, w);
+    }
+    return h;
+}
+
+std::string
+Hash128::str() const
+{
+    static const char *digits = "0123456789abcdef";
+    std::string s(32, '0');
+    for (int i = 0; i < 16; i++) {
+        s[15 - i] = digits[(hi >> (4 * i)) & 0xf];
+        s[31 - i] = digits[(lo >> (4 * i)) & 0xf];
+    }
+    return s;
+}
+
+} // namespace etpu

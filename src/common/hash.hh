@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 128-bit non-cryptographic hashing used for isomorphism-invariant graph
+ * fingerprints. The NASBench-101 reference implementation uses MD5 over
+ * string encodings; any collision-resistant 128-bit hash preserves the
+ * dedup semantics, so we use fast SplitMix/Murmur-style mixing.
+ */
+
+#ifndef ETPU_COMMON_HASH_HH
+#define ETPU_COMMON_HASH_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace etpu
+{
+
+/** A 128-bit hash value with ordering and equality. */
+struct Hash128
+{
+    uint64_t hi = 0;
+    uint64_t lo = 0;
+
+    bool operator==(const Hash128 &o) const = default;
+    auto operator<=>(const Hash128 &o) const = default;
+
+    /** Hex string (for debugging and stable textual fingerprints). */
+    std::string str() const;
+};
+
+/** Strong 64-bit finalizer (SplitMix64). */
+uint64_t mix64(uint64_t x);
+
+/** Hash a single 64-bit value into 128 bits. */
+Hash128 hash128(uint64_t x);
+
+/** Combine two 128-bit hashes order-dependently. */
+Hash128 hashCombine(const Hash128 &a, const Hash128 &b);
+
+/** Absorb a 64-bit word into a running 128-bit hash. */
+Hash128 hashAbsorb(const Hash128 &h, uint64_t word);
+
+/** Hash a byte buffer into 128 bits. */
+Hash128 hashBytes(const void *data, size_t len);
+
+} // namespace etpu
+
+namespace std
+{
+/** std::hash support so Hash128 works as an unordered_* key. */
+template <>
+struct hash<etpu::Hash128>
+{
+    size_t
+    operator()(const etpu::Hash128 &h) const noexcept
+    {
+        return static_cast<size_t>(h.hi ^ (h.lo * 0x9e3779b97f4a7c15ull));
+    }
+};
+} // namespace std
+
+#endif // ETPU_COMMON_HASH_HH

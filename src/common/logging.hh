@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Status/error reporting helpers in the gem5 spirit: panic() for internal
+ * invariant violations, fatal() for user-caused unrecoverable errors,
+ * warn()/inform() for status messages, plus a tiny stream-based strfmt().
+ */
+
+#ifndef ETPU_COMMON_LOGGING_HH
+#define ETPU_COMMON_LOGGING_HH
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace etpu
+{
+
+/**
+ * Concatenate arbitrary ostream-printable values into a std::string.
+ *
+ * @param args Values to print; formatted with operator<<.
+ * @return The concatenated string.
+ */
+template <typename... Args>
+std::string
+strfmt(Args &&...args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+namespace detail
+{
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+} // namespace detail
+
+} // namespace etpu
+
+/** Abort: something happened that indicates a bug in this library. */
+#define etpu_panic(...) \
+    ::etpu::detail::panicImpl(__FILE__, __LINE__, ::etpu::strfmt(__VA_ARGS__))
+
+/** Exit(1): the simulation cannot continue due to a user error. */
+#define etpu_fatal(...) \
+    ::etpu::detail::fatalImpl(__FILE__, __LINE__, ::etpu::strfmt(__VA_ARGS__))
+
+/** Non-fatal warning to stderr. */
+#define etpu_warn(...) \
+    ::etpu::detail::warnImpl(::etpu::strfmt(__VA_ARGS__))
+
+/** Informational message to stderr. */
+#define etpu_inform(...) \
+    ::etpu::detail::informImpl(::etpu::strfmt(__VA_ARGS__))
+
+#endif // ETPU_COMMON_LOGGING_HH

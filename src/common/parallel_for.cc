@@ -1,0 +1,20 @@
+#include "parallel_for.hh"
+
+#include <cstdlib>
+
+namespace etpu
+{
+
+unsigned
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("ETPU_THREADS")) {
+        int n = std::atoi(env);
+        if (n > 0)
+            return static_cast<unsigned>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 4;
+}
+
+} // namespace etpu

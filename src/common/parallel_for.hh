@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Chunked parallel-for over an index range using std::thread. Used by the
+ * enumerator and the dataset builder, where each index is independent.
+ */
+
+#ifndef ETPU_COMMON_PARALLEL_FOR_HH
+#define ETPU_COMMON_PARALLEL_FOR_HH
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace etpu
+{
+
+/** @return the worker count honoring the ETPU_THREADS env override. */
+unsigned defaultThreadCount();
+
+/**
+ * Run fn(begin..end) partitioned dynamically across threads.
+ *
+ * @param begin First index (inclusive).
+ * @param end Last index (exclusive).
+ * @param fn Callable taking (size_t index, unsigned worker_id).
+ * @param threads Worker count; 0 means defaultThreadCount().
+ */
+template <typename Fn>
+void
+parallelFor(size_t begin, size_t end, Fn &&fn, unsigned threads = 0)
+{
+    if (end <= begin)
+        return;
+    unsigned n_workers = threads ? threads : defaultThreadCount();
+    size_t total = end - begin;
+    n_workers = static_cast<unsigned>(
+        std::min<size_t>(n_workers, total));
+    if (n_workers <= 1) {
+        for (size_t i = begin; i < end; i++)
+            fn(i, 0u);
+        return;
+    }
+
+    // Dynamic chunking: workers grab fixed-size chunks from a shared
+    // cursor so skewed per-index costs still balance.
+    size_t chunk = std::max<size_t>(1, total / (n_workers * 16));
+    std::atomic<size_t> cursor{begin};
+    std::vector<std::thread> pool;
+    pool.reserve(n_workers);
+    for (unsigned w = 0; w < n_workers; w++) {
+        pool.emplace_back([&, w]() {
+            for (;;) {
+                size_t start = cursor.fetch_add(chunk);
+                if (start >= end)
+                    return;
+                size_t stop = std::min(end, start + chunk);
+                for (size_t i = start; i < stop; i++)
+                    fn(i, w);
+            }
+        });
+    }
+    for (auto &t : pool)
+        t.join();
+}
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_PARALLEL_FOR_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small deterministic PRNG (xoshiro256** seeded via SplitMix64) plus
+ * helpers for uniform/normal/truncated-normal draws. Determinism across
+ * platforms matters more here than statistical sophistication: the whole
+ * reproduction pipeline (accuracy surrogate, dataset splits, GNN init)
+ * must be bit-stable from a seed.
+ */
+
+#ifndef ETPU_COMMON_RNG_HH
+#define ETPU_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace etpu
+{
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Seed all four lanes from a single 64-bit seed via SplitMix64. */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bull);
+
+    /** Next raw 64-bit value. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). @pre n > 0. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** Standard normal via Box-Muller. */
+    double normal();
+
+    /** Normal with given mean/stddev. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Truncated normal: standard normal resampled until |z| <= 2, then
+     * scaled. Matches the TensorFlow truncated_normal initializer
+     * semantics used by the paper's learned model.
+     */
+    double truncatedNormal(double stddev);
+
+  private:
+    uint64_t s_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_RNG_HH

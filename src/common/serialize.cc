@@ -1,0 +1,36 @@
+#include "serialize.hh"
+
+namespace etpu
+{
+
+BinaryWriter::BinaryWriter(const std::string &path)
+    : out_(path, std::ios::binary)
+{
+}
+
+void
+BinaryWriter::writeString(const std::string &s)
+{
+    write<uint64_t>(s.size());
+    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+BinaryReader::BinaryReader(const std::string &path)
+    : in_(path, std::ios::binary)
+{
+}
+
+std::string
+BinaryReader::readString()
+{
+    auto n = read<uint64_t>();
+    std::string s(n, '\0');
+    if (n) {
+        in_.read(s.data(), static_cast<std::streamsize>(n));
+        if (!in_)
+            etpu_fatal("binary read past end of file (string)");
+    }
+    return s;
+}
+
+} // namespace etpu

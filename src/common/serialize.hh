@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Minimal little-endian binary serialization for the dataset cache.
+ * Format: fixed-width PODs and length-prefixed vectors; a magic number
+ * plus version guard against stale caches.
+ */
+
+#ifndef ETPU_COMMON_SERIALIZE_HH
+#define ETPU_COMMON_SERIALIZE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "logging.hh"
+
+namespace etpu
+{
+
+/** Streaming binary writer over a file. */
+class BinaryWriter
+{
+  public:
+    explicit BinaryWriter(const std::string &path);
+
+    /** @return true if the file opened successfully. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    template <typename T>
+    void
+    write(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        out_.write(reinterpret_cast<const char *>(&v), sizeof(T));
+    }
+
+    template <typename T>
+    void
+    writeVec(const std::vector<T> &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        write<uint64_t>(v.size());
+        if (!v.empty()) {
+            out_.write(reinterpret_cast<const char *>(v.data()),
+                       static_cast<std::streamsize>(sizeof(T) * v.size()));
+        }
+    }
+
+    void writeString(const std::string &s);
+
+  private:
+    std::ofstream out_;
+};
+
+/** Streaming binary reader over a file. */
+class BinaryReader
+{
+  public:
+    explicit BinaryReader(const std::string &path);
+
+    bool ok() const { return static_cast<bool>(in_); }
+
+    template <typename T>
+    T
+    read()
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v{};
+        in_.read(reinterpret_cast<char *>(&v), sizeof(T));
+        if (!in_)
+            etpu_fatal("binary read past end of file");
+        return v;
+    }
+
+    template <typename T>
+    std::vector<T>
+    readVec()
+    {
+        auto n = read<uint64_t>();
+        std::vector<T> v(n);
+        if (n) {
+            in_.read(reinterpret_cast<char *>(v.data()),
+                     static_cast<std::streamsize>(sizeof(T) * n));
+            if (!in_)
+                etpu_fatal("binary read past end of file (vector)");
+        }
+        return v;
+    }
+
+    std::string readString();
+
+  private:
+    std::ifstream in_;
+};
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_SERIALIZE_HH

@@ -1,0 +1,103 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace etpu
+{
+
+AsciiTable::AsciiTable(std::string title)
+    : title_(std::move(title))
+{
+}
+
+void
+AsciiTable::header(std::vector<std::string> cells)
+{
+    header_ = std::move(cells);
+}
+
+void
+AsciiTable::row(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+AsciiTable::print(std::ostream &os) const
+{
+    size_t n_cols = header_.size();
+    for (const auto &r : rows_)
+        n_cols = std::max(n_cols, r.size());
+    std::vector<size_t> width(n_cols, 0);
+    auto widen = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); c++)
+            width[c] = std::max(width[c], cells[c].size());
+    };
+    widen(header_);
+    for (const auto &r : rows_)
+        widen(r);
+
+    auto rule = [&]() {
+        os << '+';
+        for (size_t c = 0; c < n_cols; c++)
+            os << std::string(width[c] + 2, '-') << '+';
+        os << '\n';
+    };
+    auto line = [&](const std::vector<std::string> &cells) {
+        os << '|';
+        for (size_t c = 0; c < n_cols; c++) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            os << ' ' << cell << std::string(width[c] - cell.size(), ' ')
+               << " |";
+        }
+        os << '\n';
+    };
+
+    if (!title_.empty())
+        os << title_ << '\n';
+    rule();
+    if (!header_.empty()) {
+        line(header_);
+        rule();
+    }
+    for (const auto &r : rows_)
+        line(r);
+    rule();
+}
+
+std::string
+AsciiTable::str() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+std::string
+fmtCount(uint64_t v)
+{
+    std::string raw = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        count++;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace etpu

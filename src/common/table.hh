@@ -1,0 +1,49 @@
+/**
+ * @file
+ * ASCII table printer used by the bench binaries to emit paper-style
+ * tables (a header row plus string cells, auto-sized columns).
+ */
+
+#ifndef ETPU_COMMON_TABLE_HH
+#define ETPU_COMMON_TABLE_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace etpu
+{
+
+/** Column-aligned ASCII table with an optional title. */
+class AsciiTable
+{
+  public:
+    explicit AsciiTable(std::string title = "");
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. */
+    void row(std::vector<std::string> cells);
+
+    /** Render the table to a stream. */
+    void print(std::ostream &os) const;
+
+    /** Render the table to a string. */
+    std::string str() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with the given precision (fixed notation). */
+std::string fmtDouble(double v, int precision = 4);
+
+/** Format an integer with thousands separators, e.g. 423,624. */
+std::string fmtCount(uint64_t v);
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_TABLE_HH

@@ -1,0 +1,54 @@
+#include "adam.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::gnn
+{
+
+Adam::Adam(GraphNetModel &model, double lr, double beta1, double beta2,
+           double epsilon)
+    : model_(model), m_(model.zeroClone()), v_(model.zeroClone()),
+      lr_(lr), beta1_(beta1), beta2_(beta2), epsilon_(epsilon)
+{
+}
+
+void
+Adam::step(GraphNetModel &grad)
+{
+    t_++;
+    double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+    double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+
+    // Walk the three models in lock-step by collecting pointers.
+    std::vector<Matrix *> params, grads, ms, vs;
+    model_.forEach([&](Matrix &m) { params.push_back(&m); });
+    grad.forEach([&](Matrix &m) { grads.push_back(&m); });
+    m_.forEach([&](Matrix &m) { ms.push_back(&m); });
+    v_.forEach([&](Matrix &m) { vs.push_back(&m); });
+    if (params.size() != grads.size() || params.size() != ms.size())
+        etpu_panic("Adam: model/grad structure mismatch");
+
+    for (size_t i = 0; i < params.size(); i++) {
+        auto &p = params[i]->data();
+        auto &g = grads[i]->data();
+        auto &m = ms[i]->data();
+        auto &v = vs[i]->data();
+        if (p.size() != g.size())
+            etpu_panic("Adam: parameter tensor shape mismatch");
+        for (size_t k = 0; k < p.size(); k++) {
+            double gk = g[k];
+            double mk = beta1_ * m[k] + (1.0 - beta1_) * gk;
+            double vk = beta2_ * v[k] + (1.0 - beta2_) * gk * gk;
+            m[k] = static_cast<float>(mk);
+            v[k] = static_cast<float>(vk);
+            double mhat = mk / bc1;
+            double vhat = vk / bc2;
+            p[k] -= static_cast<float>(lr_ * mhat /
+                                       (std::sqrt(vhat) + epsilon_));
+        }
+    }
+}
+
+} // namespace etpu::gnn

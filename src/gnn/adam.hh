@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Adam optimizer [Kingma & Ba] over a GraphNetModel, with the paper's
+ * default hyperparameters (lr 1e-3, beta1 0.9, beta2 0.999).
+ */
+
+#ifndef ETPU_GNN_ADAM_HH
+#define ETPU_GNN_ADAM_HH
+
+#include "gnn/model.hh"
+
+namespace etpu::gnn
+{
+
+/** Adam optimizer state bound to one model. */
+class Adam
+{
+  public:
+    /** @param model Model whose parameters will be updated in place. */
+    explicit Adam(GraphNetModel &model, double lr = 1e-3,
+                  double beta1 = 0.9, double beta2 = 0.999,
+                  double epsilon = 1e-8);
+
+    /**
+     * Apply one update from accumulated gradients.
+     *
+     * @param grad Gradient buffer with the model's shapes; consumed
+     *        as-is (scale before calling if it holds a sum over a
+     *        batch rather than a mean).
+     */
+    void step(GraphNetModel &grad);
+
+    /** Updates applied so far. */
+    int64_t iterations() const { return t_; }
+
+    double learningRate() const { return lr_; }
+
+  private:
+    GraphNetModel &model_;
+    GraphNetModel m_; //!< first-moment estimate
+    GraphNetModel v_; //!< second-moment estimate
+    double lr_, beta1_, beta2_, epsilon_;
+    int64_t t_ = 0;
+};
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_ADAM_HH

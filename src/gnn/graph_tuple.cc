@@ -1,0 +1,30 @@
+#include "graph_tuple.hh"
+
+namespace etpu::gnn
+{
+
+GraphsTuple
+featurize(const nas::CellSpec &cell)
+{
+    GraphsTuple g;
+    int n = cell.numVertices();
+    g.nodes = Matrix(n, 1);
+    for (int v = 0; v < n; v++)
+        g.nodes.at(v, 0) = opFloatCode(cell.ops[v]);
+
+    auto edges = cell.dag.edges();
+    g.edges = Matrix(static_cast<int>(edges.size()), 1);
+    g.senders.reserve(edges.size());
+    g.receivers.reserve(edges.size());
+    for (size_t i = 0; i < edges.size(); i++) {
+        g.edges.at(static_cast<int>(i), 0) = 1.0f;
+        g.senders.push_back(edges[i].first);
+        g.receivers.push_back(edges[i].second);
+    }
+
+    g.global = Matrix(1, 1);
+    g.global.at(0, 0) = 1.0f;
+    return g;
+}
+
+} // namespace etpu::gnn

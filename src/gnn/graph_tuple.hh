@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The GraphsTuple input representation of the learned model (paper
+ * Figure 4): per-node float codes for the operations, unit edge
+ * features, a unit global feature, and sender/receiver index lists.
+ */
+
+#ifndef ETPU_GNN_GRAPH_TUPLE_HH
+#define ETPU_GNN_GRAPH_TUPLE_HH
+
+#include <vector>
+
+#include "gnn/matrix.hh"
+#include "nasbench/cell_spec.hh"
+
+namespace etpu::gnn
+{
+
+/** One input graph. */
+struct GraphsTuple
+{
+    Matrix nodes;  //!< N x nodeFeatures
+    Matrix edges;  //!< E x edgeFeatures
+    Matrix global; //!< 1 x globalFeatures
+    std::vector<int> senders;   //!< per edge, source node index
+    std::vector<int> receivers; //!< per edge, destination node index
+
+    int numNodes() const { return nodes.rows(); }
+    int numEdges() const { return edges.rows(); }
+};
+
+/**
+ * Encode a NASBench cell per the paper's Figure 4: input=1.0,
+ * conv3x3=2.0, maxpool3x3=3.0, conv1x1=4.0, output=5.0; all edge and
+ * global features are 1.0.
+ */
+GraphsTuple featurize(const nas::CellSpec &cell);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_GRAPH_TUPLE_HH

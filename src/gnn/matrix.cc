@@ -1,0 +1,164 @@
+#include "matrix.hh"
+
+#include "common/logging.hh"
+
+namespace etpu::gnn
+{
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols),
+      data_(static_cast<size_t>(rows) * cols, 0.0f)
+{
+    if (rows < 0 || cols < 0)
+        etpu_panic("negative matrix shape ", rows, "x", cols);
+}
+
+void
+Matrix::zero()
+{
+    std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void
+Matrix::addInPlace(const Matrix &other)
+{
+    if (rows_ != other.rows_ || cols_ != other.cols_)
+        etpu_panic("addInPlace shape mismatch ", rows_, "x", cols_,
+                   " vs ", other.rows_, "x", other.cols_);
+    for (size_t i = 0; i < data_.size(); i++)
+        data_[i] += other.data_[i];
+}
+
+void
+Matrix::scale(float s)
+{
+    for (auto &v : data_)
+        v *= s;
+}
+
+Matrix
+matmul(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.rows())
+        etpu_panic("matmul shape mismatch");
+    Matrix c(a.rows(), b.cols());
+    for (int i = 0; i < a.rows(); i++) {
+        for (int k = 0; k < a.cols(); k++) {
+            float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            float *crow = c.row(i);
+            for (int j = 0; j < b.cols(); j++)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulTN(const Matrix &a, const Matrix &b)
+{
+    if (a.rows() != b.rows())
+        etpu_panic("matmulTN shape mismatch");
+    Matrix c(a.cols(), b.cols());
+    for (int k = 0; k < a.rows(); k++) {
+        const float *arow = a.row(k);
+        const float *brow = b.row(k);
+        for (int i = 0; i < a.cols(); i++) {
+            float av = arow[i];
+            if (av == 0.0f)
+                continue;
+            float *crow = c.row(i);
+            for (int j = 0; j < b.cols(); j++)
+                crow[j] += av * brow[j];
+        }
+    }
+    return c;
+}
+
+Matrix
+matmulNT(const Matrix &a, const Matrix &b)
+{
+    if (a.cols() != b.cols())
+        etpu_panic("matmulNT shape mismatch");
+    Matrix c(a.rows(), b.rows());
+    for (int i = 0; i < a.rows(); i++) {
+        const float *arow = a.row(i);
+        float *crow = c.row(i);
+        for (int j = 0; j < b.rows(); j++) {
+            const float *brow = b.row(j);
+            float dot = 0.0f;
+            for (int k = 0; k < a.cols(); k++)
+                dot += arow[k] * brow[k];
+            crow[j] += dot;
+        }
+    }
+    return c;
+}
+
+Matrix
+hcat(const std::vector<const Matrix *> &parts)
+{
+    if (parts.empty())
+        etpu_panic("hcat of nothing");
+    int rows = parts[0]->rows();
+    int cols = 0;
+    for (const Matrix *p : parts) {
+        if (p->rows() != rows)
+            etpu_panic("hcat row mismatch");
+        cols += p->cols();
+    }
+    Matrix out(rows, cols);
+    for (int r = 0; r < rows; r++) {
+        float *orow = out.row(r);
+        int offset = 0;
+        for (const Matrix *p : parts) {
+            const float *prow = p->row(r);
+            for (int c = 0; c < p->cols(); c++)
+                orow[offset + c] = prow[c];
+            offset += p->cols();
+        }
+    }
+    return out;
+}
+
+std::vector<Matrix>
+hsplit(const Matrix &m, const std::vector<int> &widths)
+{
+    int total = 0;
+    for (int w : widths)
+        total += w;
+    if (total != m.cols())
+        etpu_panic("hsplit widths ", total, " != cols ", m.cols());
+    std::vector<Matrix> out;
+    out.reserve(widths.size());
+    int offset = 0;
+    for (int w : widths) {
+        Matrix part(m.rows(), w);
+        for (int r = 0; r < m.rows(); r++) {
+            const float *mrow = m.row(r);
+            float *prow = part.row(r);
+            for (int c = 0; c < w; c++)
+                prow[c] = mrow[offset + c];
+        }
+        out.push_back(std::move(part));
+        offset += w;
+    }
+    return out;
+}
+
+Matrix
+colSum(const Matrix &m)
+{
+    Matrix out(1, m.cols());
+    for (int r = 0; r < m.rows(); r++) {
+        const float *mrow = m.row(r);
+        float *orow = out.row(0);
+        for (int c = 0; c < m.cols(); c++)
+            orow[c] += mrow[c];
+    }
+    return out;
+}
+
+} // namespace etpu::gnn

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Minimal dense float matrix used by the learned performance model.
+ * Row-major storage; graphs here have at most 7 nodes and 9 edges with
+ * 16-dimensional latents, so simple loops are fast enough and keep the
+ * backward passes auditable.
+ */
+
+#ifndef ETPU_GNN_MATRIX_HH
+#define ETPU_GNN_MATRIX_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace etpu::gnn
+{
+
+/** Dense row-major float matrix. */
+class Matrix
+{
+  public:
+    Matrix() = default;
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(int rows, int cols);
+
+    int rows() const { return rows_; }
+    int cols() const { return cols_; }
+    bool empty() const { return data_.empty(); }
+
+    float &at(int r, int c) { return data_[idx(r, c)]; }
+    float at(int r, int c) const { return data_[idx(r, c)]; }
+
+    float *row(int r) { return data_.data() + idx(r, 0); }
+    const float *row(int r) const { return data_.data() + idx(r, 0); }
+
+    std::vector<float> &data() { return data_; }
+    const std::vector<float> &data() const { return data_; }
+
+    /** Reset all entries to zero, keeping the shape. */
+    void zero();
+
+    /** Elementwise in-place addition. @pre same shape. */
+    void addInPlace(const Matrix &other);
+
+    /** Multiply all entries by s. */
+    void scale(float s);
+
+  private:
+    size_t
+    idx(int r, int c) const
+    {
+        return static_cast<size_t>(r) * cols_ + c;
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<float> data_;
+};
+
+/** C = A * B. @pre A.cols == B.rows. */
+Matrix matmul(const Matrix &a, const Matrix &b);
+
+/** C = A^T * B. @pre A.rows == B.rows. */
+Matrix matmulTN(const Matrix &a, const Matrix &b);
+
+/** C = A * B^T. @pre A.cols == B.cols. */
+Matrix matmulNT(const Matrix &a, const Matrix &b);
+
+/** Concatenate matrices horizontally (same row count). */
+Matrix hcat(const std::vector<const Matrix *> &parts);
+
+/** Split dy (from an hcat) back into per-part column slices. */
+std::vector<Matrix> hsplit(const Matrix &m, const std::vector<int> &widths);
+
+/** Row vector holding the column sums of m (1 x cols). */
+Matrix colSum(const Matrix &m);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_MATRIX_HH

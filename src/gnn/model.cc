@@ -1,0 +1,303 @@
+#include "model.hh"
+
+#include "common/logging.hh"
+
+namespace etpu::gnn
+{
+
+namespace
+{
+
+/** Repeat a 1-row matrix n times. */
+Matrix
+broadcastRows(const Matrix &row, int n)
+{
+    Matrix out(n, row.cols());
+    for (int r = 0; r < n; r++) {
+        float *orow = out.row(r);
+        const float *irow = row.row(0);
+        for (int c = 0; c < row.cols(); c++)
+            orow[c] = irow[c];
+    }
+    return out;
+}
+
+/** Gather rows of src by index. */
+Matrix
+gatherRows(const Matrix &src, const std::vector<int> &idx)
+{
+    Matrix out(static_cast<int>(idx.size()), src.cols());
+    for (size_t i = 0; i < idx.size(); i++) {
+        const float *srow = src.row(idx[i]);
+        float *orow = out.row(static_cast<int>(i));
+        for (int c = 0; c < src.cols(); c++)
+            orow[c] = srow[c];
+    }
+    return out;
+}
+
+/** dst[idx[i]] += part[i] for each row. */
+void
+scatterAddRows(Matrix &dst, const std::vector<int> &idx,
+               const Matrix &part)
+{
+    for (size_t i = 0; i < idx.size(); i++) {
+        float *drow = dst.row(idx[i]);
+        const float *prow = part.row(static_cast<int>(i));
+        for (int c = 0; c < dst.cols(); c++)
+            drow[c] += prow[c];
+    }
+}
+
+/** Sum of e' rows grouped by receiving node. */
+Matrix
+aggregateIncoming(const Matrix &edge_latents,
+                  const std::vector<int> &receivers, int num_nodes)
+{
+    Matrix out(num_nodes, edge_latents.cols());
+    scatterAddRows(out, receivers, edge_latents);
+    return out;
+}
+
+/** Per-step forward caches. */
+struct StepCache
+{
+    Matrix inE, inN, inG; //!< concat(encoded, previous) per entity
+    MlpCache edge, node, global, dec;
+    Matrix eOut, nOut, gOut;
+    Matrix decOut;
+};
+
+/** Whole-pass caches. */
+struct Tape
+{
+    MlpCache encE, encN, encG;
+    Matrix encEdgeOut, encNodeOut, encGlobalOut;
+    std::vector<StepCache> steps;
+};
+
+/** Run the full forward pass, filling the tape. */
+ForwardResult
+runForward(const GraphNetModel &model, const GraphsTuple &g, Tape &tape)
+{
+    const int n_steps = model.cfg.messagePassingSteps;
+    tape.encEdgeOut = mlpForward(model.encEdge, g.edges, tape.encE);
+    tape.encNodeOut = mlpForward(model.encNode, g.nodes, tape.encN);
+    tape.encGlobalOut = mlpForward(model.encGlobal, g.global, tape.encG);
+
+    ForwardResult result;
+    Matrix prevE = tape.encEdgeOut;
+    Matrix prevN = tape.encNodeOut;
+    Matrix prevG = tape.encGlobalOut;
+
+    tape.steps.resize(static_cast<size_t>(n_steps));
+    for (int t = 0; t < n_steps; t++) {
+        StepCache &sc = tape.steps[static_cast<size_t>(t)];
+        sc.inE = hcat({&tape.encEdgeOut, &prevE});
+        sc.inN = hcat({&tape.encNodeOut, &prevN});
+        sc.inG = hcat({&tape.encGlobalOut, &prevG});
+
+        // Edge update: previous edge feature, adjacent node features
+        // and the global feature.
+        Matrix send = gatherRows(sc.inN, g.senders);
+        Matrix recv = gatherRows(sc.inN, g.receivers);
+        Matrix gRep = broadcastRows(sc.inG, g.numEdges());
+        Matrix xE = hcat({&sc.inE, &send, &recv, &gRep});
+        sc.eOut = mlpForward(model.coreEdge, xE, sc.edge);
+
+        // Node update: previous node feature, summed incoming edge
+        // features and the global feature.
+        Matrix agg =
+            aggregateIncoming(sc.eOut, g.receivers, g.numNodes());
+        Matrix gRepN = broadcastRows(sc.inG, g.numNodes());
+        Matrix xN = hcat({&sc.inN, &agg, &gRepN});
+        sc.nOut = mlpForward(model.coreNode, xN, sc.node);
+
+        // Global update: previous global feature and the globally
+        // aggregated node and edge features.
+        Matrix sumN = colSum(sc.nOut);
+        Matrix sumE = colSum(sc.eOut);
+        Matrix xG = hcat({&sc.inG, &sumN, &sumE});
+        sc.gOut = mlpForward(model.coreGlobal, xG, sc.global);
+
+        // Decode the global attribute into the predicted metric.
+        sc.decOut = mlpForward(model.decGlobal, sc.gOut, sc.dec);
+        Matrix pred = denseForward(model.output, sc.decOut);
+        result.stepPredictions.push_back(pred.at(0, 0));
+
+        prevE = sc.eOut;
+        prevN = sc.nOut;
+        prevG = sc.gOut;
+    }
+    result.prediction = result.stepPredictions.back();
+    return result;
+}
+
+} // namespace
+
+void
+GraphNetModel::init(const ModelConfig &config, Rng &rng)
+{
+    cfg = config;
+    int latent = cfg.latent;
+    encEdge.init(cfg.edgeFeatures, latent, rng);
+    encNode.init(cfg.nodeFeatures, latent, rng);
+    encGlobal.init(cfg.globalFeatures, latent, rng);
+    // Core inputs carry the concat(encoded, previous) skip (2L wide).
+    coreEdge.init(2 * latent * 4, latent, rng);
+    coreNode.init(2 * latent + latent + 2 * latent, latent, rng);
+    coreGlobal.init(2 * latent + latent + latent, latent, rng);
+    decGlobal.init(latent, latent, rng);
+    output.init(latent, 1, rng);
+}
+
+GraphNetModel
+GraphNetModel::zeroClone() const
+{
+    GraphNetModel z;
+    z.cfg = cfg;
+    int latent = cfg.latent;
+    z.encEdge.initZero(cfg.edgeFeatures, latent);
+    z.encNode.initZero(cfg.nodeFeatures, latent);
+    z.encGlobal.initZero(cfg.globalFeatures, latent);
+    z.coreEdge.initZero(2 * latent * 4, latent);
+    z.coreNode.initZero(2 * latent + latent + 2 * latent, latent);
+    z.coreGlobal.initZero(2 * latent + latent + latent, latent);
+    z.decGlobal.initZero(latent, latent);
+    z.output.initZero(latent, 1);
+    return z;
+}
+
+void
+GraphNetModel::forEach(const std::function<void(Matrix &)> &fn)
+{
+    forEachMatrix(encEdge, fn);
+    forEachMatrix(encNode, fn);
+    forEachMatrix(encGlobal, fn);
+    forEachMatrix(coreEdge, fn);
+    forEachMatrix(coreNode, fn);
+    forEachMatrix(coreGlobal, fn);
+    forEachMatrix(decGlobal, fn);
+    forEachMatrix(output, fn);
+}
+
+size_t
+GraphNetModel::parameterCount() const
+{
+    size_t count = 0;
+    const_cast<GraphNetModel *>(this)->forEach(
+        [&](Matrix &m) { count += m.data().size(); });
+    return count;
+}
+
+ForwardResult
+forward(const GraphNetModel &model, const GraphsTuple &g)
+{
+    Tape tape;
+    return runForward(model, g, tape);
+}
+
+double
+forwardBackward(const GraphNetModel &model, const GraphsTuple &g,
+                double target, GraphNetModel &grad, ForwardResult *out)
+{
+    Tape tape;
+    ForwardResult fwd = runForward(model, g, tape);
+    if (out)
+        *out = fwd;
+
+    const int n_steps = model.cfg.messagePassingSteps;
+    const int latent = model.cfg.latent;
+    double loss = 0.0;
+    for (double p : fwd.stepPredictions)
+        loss += (p - target) * (p - target);
+    loss /= n_steps;
+
+    // Gradients wrt each step's outputs, carried backwards.
+    Matrix dPrevE(g.numEdges(), latent);
+    Matrix dPrevN(g.numNodes(), latent);
+    Matrix dPrevG(1, latent);
+    // Gradients accumulated on the encoder outputs (skip connections
+    // feed them into every step).
+    Matrix dEncE(g.numEdges(), latent);
+    Matrix dEncN(g.numNodes(), latent);
+    Matrix dEncG(1, latent);
+
+    for (int t = n_steps - 1; t >= 0; t--) {
+        StepCache &sc = tape.steps[static_cast<size_t>(t)];
+
+        // Loss path: prediction -> output dense -> global decoder.
+        double dpred =
+            2.0 * (fwd.stepPredictions[static_cast<size_t>(t)] - target) /
+            n_steps;
+        Matrix dPred(1, 1);
+        dPred.at(0, 0) = static_cast<float>(dpred);
+        Matrix dDecOut =
+            denseBackward(model.output, sc.decOut, dPred, grad.output);
+        Matrix dGOut =
+            mlpBackward(model.decGlobal, sc.dec, dDecOut, grad.decGlobal);
+        dGOut.addInPlace(dPrevG);
+
+        // Global block backward.
+        Matrix dxG =
+            mlpBackward(model.coreGlobal, sc.global, dGOut,
+                        grad.coreGlobal);
+        auto gParts = hsplit(dxG, {2 * latent, latent, latent});
+        Matrix dInG = std::move(gParts[0]);
+        // Summed node/edge latents broadcast the gradient to each row.
+        Matrix dNOut = broadcastRows(gParts[1], g.numNodes());
+        Matrix dEOut = broadcastRows(gParts[2], g.numEdges());
+        dNOut.addInPlace(dPrevN);
+        dEOut.addInPlace(dPrevE);
+
+        // Node block backward.
+        Matrix dxN =
+            mlpBackward(model.coreNode, sc.node, dNOut, grad.coreNode);
+        auto nParts = hsplit(dxN, {2 * latent, latent, 2 * latent});
+        Matrix dInN = std::move(nParts[0]);
+        // Incoming-edge aggregation scatters back to the edges.
+        for (size_t e = 0; e < g.receivers.size(); e++) {
+            float *drow = dEOut.row(static_cast<int>(e));
+            const float *arow = nParts[1].row(g.receivers[e]);
+            for (int c = 0; c < latent; c++)
+                drow[c] += arow[c];
+        }
+        dInG.addInPlace(colSum(nParts[2]));
+
+        // Edge block backward.
+        Matrix dxE =
+            mlpBackward(model.coreEdge, sc.edge, dEOut, grad.coreEdge);
+        auto eParts = hsplit(
+            dxE, {2 * latent, 2 * latent, 2 * latent, 2 * latent});
+        Matrix dInE = std::move(eParts[0]);
+        scatterAddRows(dInN, g.senders, eParts[1]);
+        scatterAddRows(dInN, g.receivers, eParts[2]);
+        dInG.addInPlace(colSum(eParts[3]));
+
+        // Split the concat(encoded, previous) inputs: the encoder half
+        // accumulates across steps, the previous half flows to the
+        // outputs of step t-1.
+        auto eSplit = hsplit(dInE, {latent, latent});
+        auto nSplit = hsplit(dInN, {latent, latent});
+        auto gSplit = hsplit(dInG, {latent, latent});
+        dEncE.addInPlace(eSplit[0]);
+        dEncN.addInPlace(nSplit[0]);
+        dEncG.addInPlace(gSplit[0]);
+        dPrevE = std::move(eSplit[1]);
+        dPrevN = std::move(nSplit[1]);
+        dPrevG = std::move(gSplit[1]);
+    }
+
+    // The step-0 "previous" state was the encoder output itself.
+    dEncE.addInPlace(dPrevE);
+    dEncN.addInPlace(dPrevN);
+    dEncG.addInPlace(dPrevG);
+
+    mlpBackward(model.encEdge, tape.encE, dEncE, grad.encEdge);
+    mlpBackward(model.encNode, tape.encN, dEncN, grad.encNode);
+    mlpBackward(model.encGlobal, tape.encG, dEncG, grad.encGlobal);
+
+    return loss;
+}
+
+} // namespace etpu::gnn

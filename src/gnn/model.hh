@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The graph-based learned performance model (paper Figure 3): an
+ * encoder, a recurrent full-GraphNet core with concat skip connections,
+ * and a decoder whose updated global attribute is the predicted metric.
+ * Every component is a 2x16 MLP with layer normalization; aggregations
+ * are sums, matching the default Graph Nets configuration the paper
+ * uses. The loss sums the per-message-passing-step prediction error so
+ * the model converges across every iteration of message passing.
+ */
+
+#ifndef ETPU_GNN_MODEL_HH
+#define ETPU_GNN_MODEL_HH
+
+#include "gnn/graph_tuple.hh"
+#include "gnn/nn.hh"
+
+namespace etpu::gnn
+{
+
+/** Hyperparameters of the learned model. */
+struct ModelConfig
+{
+    int latent = 16;           //!< width of every latent feature
+    int messagePassingSteps = 3;
+    int nodeFeatures = 1;
+    int edgeFeatures = 1;
+    int globalFeatures = 1;
+};
+
+/** Parameters of the encode-process-decode graph network. */
+struct GraphNetModel
+{
+    ModelConfig cfg;
+
+    Mlp encEdge, encNode, encGlobal;
+    Mlp coreEdge, coreNode, coreGlobal;
+    Mlp decGlobal;
+    DenseLayer output; //!< latent -> 1 scalar
+
+    /** Random initialization per the paper's training setup. */
+    void init(const ModelConfig &config, Rng &rng);
+
+    /** Same-shape zero-initialized clone, used as a gradient buffer. */
+    GraphNetModel zeroClone() const;
+
+    /** Visit all parameter matrices (encoder, core, decoder, output). */
+    void forEach(const std::function<void(Matrix &)> &fn);
+
+    /** Number of scalar parameters. */
+    size_t parameterCount() const;
+};
+
+/** Result of a forward pass. */
+struct ForwardResult
+{
+    std::vector<double> stepPredictions; //!< one per message pass
+    double prediction = 0.0;             //!< final step's output
+};
+
+/** Forward pass only (inference). */
+ForwardResult forward(const GraphNetModel &model, const GraphsTuple &g);
+
+/**
+ * Forward + backward for one graph against a scalar target.
+ *
+ * The loss is the mean over message-passing steps of the squared
+ * prediction error. Gradients are ACCUMULATED into `grad` (callers zero
+ * or merge them), making multi-threaded batch accumulation trivial.
+ *
+ * @return the loss value.
+ */
+double forwardBackward(const GraphNetModel &model, const GraphsTuple &g,
+                       double target, GraphNetModel &grad,
+                       ForwardResult *out = nullptr);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_MODEL_HH

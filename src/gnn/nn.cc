@@ -1,0 +1,200 @@
+#include "nn.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::gnn
+{
+
+void
+DenseLayer::init(int in, int out, Rng &rng)
+{
+    w = Matrix(in, out);
+    b = Matrix(1, out);
+    // Truncated normal with stddev proportional to 1/sqrt(fan-in) and
+    // zero bias, as in the paper's training setup.
+    float stddev = 1.0f / std::sqrt(static_cast<float>(in));
+    for (auto &v : w.data())
+        v = static_cast<float>(rng.truncatedNormal(stddev));
+}
+
+void
+DenseLayer::initZero(int in, int out)
+{
+    w = Matrix(in, out);
+    b = Matrix(1, out);
+}
+
+Matrix
+denseForward(const DenseLayer &p, const Matrix &x)
+{
+    Matrix y = matmul(x, p.w);
+    for (int r = 0; r < y.rows(); r++) {
+        float *yrow = y.row(r);
+        const float *brow = p.b.row(0);
+        for (int c = 0; c < y.cols(); c++)
+            yrow[c] += brow[c];
+    }
+    return y;
+}
+
+Matrix
+denseBackward(const DenseLayer &p, const Matrix &x, const Matrix &dy,
+              DenseLayer &grad)
+{
+    grad.w.addInPlace(matmulTN(x, dy));
+    grad.b.addInPlace(colSum(dy));
+    return matmulNT(dy, p.w);
+}
+
+void
+LayerNorm::init(int features)
+{
+    gamma = Matrix(1, features);
+    beta = Matrix(1, features);
+    for (auto &v : gamma.data())
+        v = 1.0f;
+}
+
+void
+LayerNorm::initZero(int features)
+{
+    gamma = Matrix(1, features);
+    beta = Matrix(1, features);
+}
+
+namespace
+{
+constexpr float lnEpsilon = 1e-5f;
+} // namespace
+
+Matrix
+layerNormForward(const LayerNorm &p, const Matrix &x,
+                 LayerNormCache &cache)
+{
+    int f = x.cols();
+    cache.xhat = Matrix(x.rows(), f);
+    cache.invStd.assign(static_cast<size_t>(x.rows()), 0.0f);
+    Matrix y(x.rows(), f);
+    for (int r = 0; r < x.rows(); r++) {
+        const float *xr = x.row(r);
+        float mean = 0.0f;
+        for (int c = 0; c < f; c++)
+            mean += xr[c];
+        mean /= static_cast<float>(f);
+        float var = 0.0f;
+        for (int c = 0; c < f; c++)
+            var += (xr[c] - mean) * (xr[c] - mean);
+        var /= static_cast<float>(f);
+        float inv_std = 1.0f / std::sqrt(var + lnEpsilon);
+        cache.invStd[static_cast<size_t>(r)] = inv_std;
+        float *hr = cache.xhat.row(r);
+        float *yr = y.row(r);
+        const float *g = p.gamma.row(0);
+        const float *bt = p.beta.row(0);
+        for (int c = 0; c < f; c++) {
+            hr[c] = (xr[c] - mean) * inv_std;
+            yr[c] = hr[c] * g[c] + bt[c];
+        }
+    }
+    return y;
+}
+
+Matrix
+layerNormBackward(const LayerNorm &p, const LayerNormCache &cache,
+                  const Matrix &dy, LayerNorm &grad)
+{
+    int f = dy.cols();
+    Matrix dx(dy.rows(), f);
+    const float *g = p.gamma.row(0);
+    for (int r = 0; r < dy.rows(); r++) {
+        const float *dyr = dy.row(r);
+        const float *hr = cache.xhat.row(r);
+        float inv_std = cache.invStd[static_cast<size_t>(r)];
+        // dgamma/dbeta accumulate per feature.
+        float *dgam = grad.gamma.row(0);
+        float *dbet = grad.beta.row(0);
+        float sum_dxhat = 0.0f;
+        float sum_dxhat_xhat = 0.0f;
+        for (int c = 0; c < f; c++) {
+            dgam[c] += dyr[c] * hr[c];
+            dbet[c] += dyr[c];
+            float dxhat = dyr[c] * g[c];
+            sum_dxhat += dxhat;
+            sum_dxhat_xhat += dxhat * hr[c];
+        }
+        float *dxr = dx.row(r);
+        float inv_f = 1.0f / static_cast<float>(f);
+        for (int c = 0; c < f; c++) {
+            float dxhat = dyr[c] * g[c];
+            dxr[c] = inv_std * (dxhat - inv_f * sum_dxhat -
+                                hr[c] * inv_f * sum_dxhat_xhat);
+        }
+    }
+    return dx;
+}
+
+void
+Mlp::init(int in, int hidden, Rng &rng)
+{
+    l1.init(in, hidden, rng);
+    l2.init(hidden, hidden, rng);
+    ln.init(hidden);
+}
+
+void
+Mlp::initZero(int in, int hidden)
+{
+    l1.initZero(in, hidden);
+    l2.initZero(hidden, hidden);
+    ln.initZero(hidden);
+}
+
+Matrix
+mlpForward(const Mlp &p, const Matrix &x, MlpCache &cache)
+{
+    cache.x = x;
+    cache.h1 = denseForward(p.l1, x);
+    cache.h1r = cache.h1;
+    for (auto &v : cache.h1r.data())
+        v = v > 0.0f ? v : 0.0f;
+    cache.h2 = denseForward(p.l2, cache.h1r);
+    return layerNormForward(p.ln, cache.h2, cache.ln);
+}
+
+Matrix
+mlpBackward(const Mlp &p, const MlpCache &cache, const Matrix &dy,
+            Mlp &grad)
+{
+    Matrix dh2 = layerNormBackward(p.ln, cache.ln, dy, grad.ln);
+    Matrix dh1r = denseBackward(p.l2, cache.h1r, dh2, grad.l2);
+    // ReLU gate.
+    for (int r = 0; r < dh1r.rows(); r++) {
+        float *drow = dh1r.row(r);
+        const float *hrow = cache.h1.row(r);
+        for (int c = 0; c < dh1r.cols(); c++) {
+            if (hrow[c] <= 0.0f)
+                drow[c] = 0.0f;
+        }
+    }
+    return denseBackward(p.l1, cache.x, dh1r, grad.l1);
+}
+
+void
+forEachMatrix(DenseLayer &d, const std::function<void(Matrix &)> &fn)
+{
+    fn(d.w);
+    fn(d.b);
+}
+
+void
+forEachMatrix(Mlp &m, const std::function<void(Matrix &)> &fn)
+{
+    forEachMatrix(m.l1, fn);
+    forEachMatrix(m.l2, fn);
+    fn(m.ln.gamma);
+    fn(m.ln.beta);
+}
+
+} // namespace etpu::gnn

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Neural-network building blocks of the learned performance model:
+ * dense layers, layer normalization [Ba et al.] and the 2x16 MLP + LN
+ * block the paper uses for every edge/node/global model. Each block
+ * struct doubles as its own gradient container (same shapes), which
+ * keeps the Adam optimizer and multi-threaded gradient accumulation
+ * generic.
+ */
+
+#ifndef ETPU_GNN_NN_HH
+#define ETPU_GNN_NN_HH
+
+#include <functional>
+
+#include "common/rng.hh"
+#include "gnn/matrix.hh"
+
+namespace etpu::gnn
+{
+
+/** Fully-connected layer y = x W + b. */
+struct DenseLayer
+{
+    Matrix w; //!< in x out
+    Matrix b; //!< 1 x out
+
+    /** Allocate and truncated-normal-initialize (paper section 5). */
+    void init(int in, int out, Rng &rng);
+
+    /** Allocate zeroed storage with the same shapes (for gradients). */
+    void initZero(int in, int out);
+};
+
+/** y = x W + b. */
+Matrix denseForward(const DenseLayer &p, const Matrix &x);
+
+/**
+ * Backward pass of the dense layer.
+ *
+ * @param p Layer parameters.
+ * @param x Cached input.
+ * @param dy Gradient of the loss wrt the output.
+ * @param grad Gradient accumulator (same shapes as p).
+ * @return Gradient wrt the input.
+ */
+Matrix denseBackward(const DenseLayer &p, const Matrix &x,
+                     const Matrix &dy, DenseLayer &grad);
+
+/** Layer normalization with learned scale and offset. */
+struct LayerNorm
+{
+    Matrix gamma; //!< 1 x features (init 1)
+    Matrix beta;  //!< 1 x features (init 0)
+
+    void init(int features);
+    void initZero(int features);
+};
+
+/** Forward cache of layer norm (normalized input, inverse stddev). */
+struct LayerNormCache
+{
+    Matrix xhat;
+    std::vector<float> invStd;
+};
+
+Matrix layerNormForward(const LayerNorm &p, const Matrix &x,
+                        LayerNormCache &cache);
+
+Matrix layerNormBackward(const LayerNorm &p, const LayerNormCache &cache,
+                         const Matrix &dy, LayerNorm &grad);
+
+/**
+ * The paper's block: two dense layers of `hidden` units with a ReLU in
+ * between, followed by layer normalization.
+ */
+struct Mlp
+{
+    DenseLayer l1;
+    DenseLayer l2;
+    LayerNorm ln;
+
+    void init(int in, int hidden, Rng &rng);
+    void initZero(int in, int hidden);
+};
+
+/** Forward cache for the MLP block. */
+struct MlpCache
+{
+    Matrix x;    //!< input
+    Matrix h1;   //!< pre-ReLU activations
+    Matrix h1r;  //!< post-ReLU activations
+    Matrix h2;   //!< second dense output (pre-LN)
+    LayerNormCache ln;
+};
+
+Matrix mlpForward(const Mlp &p, const Matrix &x, MlpCache &cache);
+
+/** @return gradient wrt the MLP input. */
+Matrix mlpBackward(const Mlp &p, const MlpCache &cache, const Matrix &dy,
+                   Mlp &grad);
+
+/** Visit every parameter matrix of an Mlp (for optimizers). */
+void forEachMatrix(Mlp &m, const std::function<void(Matrix &)> &fn);
+
+/** Visit every parameter matrix of a DenseLayer. */
+void forEachMatrix(DenseLayer &d, const std::function<void(Matrix &)> &fn);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_NN_HH

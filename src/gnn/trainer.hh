@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Training and evaluation harness for the learned performance model:
+ * 60/20/20 split, z-score target normalization, mini-batch Adam with
+ * multi-threaded gradient accumulation, and the paper's evaluation
+ * metrics — average accuracy (1 - mean relative error), Spearman
+ * rank-order and Pearson linear correlation (Table 8).
+ */
+
+#ifndef ETPU_GNN_TRAINER_HH
+#define ETPU_GNN_TRAINER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gnn/adam.hh"
+#include "gnn/graph_tuple.hh"
+#include "gnn/model.hh"
+
+namespace etpu::gnn
+{
+
+/** One training sample: a featurized graph and its measured metric. */
+struct Sample
+{
+    GraphsTuple graph;
+    double target = 0.0; //!< e.g. latency in ms
+};
+
+/** Training hyperparameters (defaults follow the paper's Table 8). */
+struct TrainConfig
+{
+    ModelConfig model;
+    double learningRate = 1e-3;
+    int batchSize = 16;
+    int epochs = 3;
+    /** Global gradient-norm clip (stabilizes the skewed targets). */
+    double maxGradNorm = 5.0;
+    uint64_t seed = 0x5eed;
+    unsigned threads = 0; //!< 0 = auto
+    bool verbose = false;
+};
+
+/** Table 8 evaluation metrics. */
+struct EvalMetrics
+{
+    double avgAccuracy = 0.0; //!< 1 - mean(|pred - true| / true)
+    double spearman = 0.0;
+    double pearson = 0.0;
+    double mse = 0.0;         //!< on normalized targets
+    size_t count = 0;
+};
+
+/** Trains one GraphNetModel on (graph -> metric) samples. */
+class Trainer
+{
+  public:
+    explicit Trainer(const TrainConfig &cfg = {});
+
+    /**
+     * Fit target normalization and train for cfg.epochs.
+     *
+     * @param train Training samples (raw metric targets).
+     * @return final epoch's mean training loss (normalized space).
+     */
+    double train(const std::vector<Sample> &train);
+
+    /** Predict the raw metric for one graph. */
+    double predict(const GraphsTuple &g) const;
+
+    /** Evaluate on held-out samples. */
+    EvalMetrics evaluate(const std::vector<Sample> &test) const;
+
+    const GraphNetModel &model() const { return model_; }
+    GraphNetModel &model() { return model_; }
+
+  private:
+    TrainConfig cfg_;
+    GraphNetModel model_;
+    Adam adam_;
+    double targetMean_ = 0.0;
+    double targetStd_ = 1.0;
+};
+
+/**
+ * Deterministic 60/20/20 train/validation/test split (the paper's
+ * methodology).
+ */
+struct SplitIndices
+{
+    std::vector<size_t> train, validation, test;
+};
+SplitIndices splitDataset(size_t n, uint64_t seed);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_TRAINER_HH

@@ -1,0 +1,195 @@
+#include "dag.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace etpu::graph
+{
+
+Dag::Dag(int n)
+    : n_(n)
+{
+    if (n < 0 || n > maxVertices)
+        etpu_panic("Dag vertex count out of range: ", n);
+}
+
+Dag
+Dag::fromUpperBits(int n, uint64_t bits)
+{
+    Dag d(n);
+    int k = 0;
+    for (int j = 1; j < n; j++) {
+        for (int i = 0; i < j; i++, k++) {
+            if (bits & (1ull << k))
+                d.addEdge(i, j);
+        }
+    }
+    return d;
+}
+
+uint64_t
+Dag::upperBits() const
+{
+    uint64_t bits = 0;
+    int k = 0;
+    for (int j = 1; j < n_; j++) {
+        for (int i = 0; i < j; i++, k++) {
+            if (hasEdge(i, j))
+                bits |= (1ull << k);
+        }
+    }
+    return bits;
+}
+
+int
+Dag::numEdges() const
+{
+    int total = 0;
+    for (int u = 0; u < n_; u++)
+        total += std::popcount(out_[u]);
+    return total;
+}
+
+void
+Dag::addEdge(int u, int v)
+{
+    if (u < 0 || v >= n_ || u >= v)
+        etpu_panic("bad edge ", u, "->", v, " in ", n_, "-vertex DAG");
+    out_[u] |= (1u << v);
+    in_[v] |= (1u << u);
+}
+
+void
+Dag::removeEdge(int u, int v)
+{
+    if (u < 0 || v >= n_ || u >= v)
+        etpu_panic("bad edge ", u, "->", v);
+    out_[u] &= ~(1u << v);
+    in_[v] &= ~(1u << u);
+}
+
+bool
+Dag::hasEdge(int u, int v) const
+{
+    if (u < 0 || u >= n_ || v < 0 || v >= n_)
+        return false;
+    return out_[u] & (1u << v);
+}
+
+int
+Dag::outDegree(int u) const
+{
+    return std::popcount(out_[u]);
+}
+
+int
+Dag::inDegree(int v) const
+{
+    return std::popcount(in_[v]);
+}
+
+bool
+Dag::isFullDag() const
+{
+    if (n_ < 2)
+        return false;
+    for (int u = 0; u < n_ - 1; u++) {
+        if (out_[u] == 0)
+            return false;
+    }
+    for (int v = 1; v < n_; v++) {
+        if (in_[v] == 0)
+            return false;
+    }
+    return true;
+}
+
+bool
+Dag::allReachableFromInput() const
+{
+    uint32_t reached = 1u;
+    for (int u = 0; u < n_; u++) {
+        if (reached & (1u << u))
+            reached |= out_[u];
+    }
+    return std::popcount(reached) == n_;
+}
+
+bool
+Dag::allReachOutput() const
+{
+    uint32_t reaching = 1u << (n_ - 1);
+    for (int v = n_ - 1; v >= 0; v--) {
+        if (reaching & (1u << v))
+            reaching |= in_[v];
+    }
+    return std::popcount(reaching) == n_;
+}
+
+int
+Dag::depth() const
+{
+    if (n_ == 0)
+        return 0;
+    // Longest path ending at each vertex, measured in edges. Vertex
+    // order is topological by construction.
+    int longest[maxVertices] = {};
+    for (int v = 1; v < n_; v++) {
+        int best = 0;
+        uint32_t preds = in_[v];
+        while (preds) {
+            int u = std::countr_zero(preds);
+            preds &= preds - 1;
+            best = std::max(best, longest[u] + 1);
+        }
+        longest[v] = best;
+    }
+    return longest[n_ - 1];
+}
+
+int
+Dag::width() const
+{
+    // Max directed cut over prefix cuts {0..k} vs {k+1..n-1}.
+    int best = 0;
+    for (int k = 0; k < n_ - 1; k++) {
+        int crossing = 0;
+        for (int u = 0; u <= k; u++) {
+            uint32_t later = out_[u] & ~((1u << (k + 1)) - 1);
+            crossing += std::popcount(later);
+        }
+        best = std::max(best, crossing);
+    }
+    return best;
+}
+
+std::vector<std::pair<int, int>>
+Dag::edges() const
+{
+    std::vector<std::pair<int, int>> result;
+    for (int u = 0; u < n_; u++) {
+        uint32_t succs = out_[u];
+        while (succs) {
+            int v = std::countr_zero(succs);
+            succs &= succs - 1;
+            result.emplace_back(u, v);
+        }
+    }
+    return result;
+}
+
+std::string
+Dag::str() const
+{
+    std::string s;
+    for (auto [u, v] : edges()) {
+        if (!s.empty())
+            s += ' ';
+        s += std::to_string(u) + "->" + std::to_string(v);
+    }
+    return s;
+}
+
+} // namespace etpu::graph

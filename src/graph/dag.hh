@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Small directed-acyclic-graph type used for NASBench-101 cells: at most
+ * 32 vertices, adjacency stored as per-row bitmasks with edges only from
+ * lower to higher indices (upper-triangular), which makes vertex order a
+ * valid topological order.
+ */
+
+#ifndef ETPU_GRAPH_DAG_HH
+#define ETPU_GRAPH_DAG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etpu::graph
+{
+
+/** Upper-triangular DAG over vertices 0..n-1 (vertex 0 = source). */
+class Dag
+{
+  public:
+    static constexpr int maxVertices = 32;
+
+    Dag() = default;
+
+    /** Create an edgeless DAG with n vertices. */
+    explicit Dag(int n);
+
+    /**
+     * Create a DAG from the packed upper-triangular bitmask where bit k
+     * corresponds to edge (i, j) for pairs enumerated as
+     * (0,1),(0,2),(1,2),(0,3),(1,3),(2,3),... (column-major by target).
+     */
+    static Dag fromUpperBits(int n, uint64_t bits);
+
+    /** Number of vertices. */
+    int numVertices() const { return n_; }
+
+    /** Number of edges. */
+    int numEdges() const;
+
+    /** Add edge u -> v. @pre u < v. */
+    void addEdge(int u, int v);
+
+    /** Remove edge u -> v if present. */
+    void removeEdge(int u, int v);
+
+    /** @return true if edge u -> v exists. */
+    bool hasEdge(int u, int v) const;
+
+    /** Bitmask of successors of u. */
+    uint32_t outMask(int u) const { return out_[u]; }
+
+    /** Bitmask of predecessors of v. */
+    uint32_t inMask(int v) const { return in_[v]; }
+
+    /** Out-degree of u. */
+    int outDegree(int u) const;
+
+    /** In-degree of v. */
+    int inDegree(int v) const;
+
+    /**
+     * NASBench "full DAG" check: every non-output vertex has at least one
+     * out-edge and every non-input vertex has at least one in-edge. For
+     * upper-triangular matrices this implies every vertex lies on a path
+     * from vertex 0 to vertex n-1.
+     */
+    bool isFullDag() const;
+
+    /** @return true if all vertices are reachable from vertex 0. */
+    bool allReachableFromInput() const;
+
+    /** @return true if vertex n-1 is reachable from every vertex. */
+    bool allReachOutput() const;
+
+    /**
+     * Graph depth: number of vertices on the longest path from vertex 0
+     * to vertex n-1 minus one (edge count of the longest path), the
+     * NASBench-101 definition used in the paper's Figures 10/11.
+     */
+    int depth() const;
+
+    /**
+     * Graph width: maximum directed cut, i.e. the maximum over prefix
+     * cuts (in topological order) of the number of edges crossing the
+     * cut. Same terminology as NASBench-101.
+     */
+    int width() const;
+
+    /** All edges as (src, dst) pairs in deterministic order. */
+    std::vector<std::pair<int, int>> edges() const;
+
+    /** Packed upper-triangular bitmask (inverse of fromUpperBits). */
+    uint64_t upperBits() const;
+
+    /** Human-readable adjacency list, e.g. "0->1 0->2 1->3". */
+    std::string str() const;
+
+    bool operator==(const Dag &o) const = default;
+
+  private:
+    int n_ = 0;
+    uint32_t out_[maxVertices] = {};
+    uint32_t in_[maxVertices] = {};
+};
+
+} // namespace etpu::graph
+
+#endif // ETPU_GRAPH_DAG_HH

@@ -1,0 +1,120 @@
+#include "wl_hash.hh"
+
+#include <algorithm>
+#include <bit>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace etpu::graph
+{
+
+Hash128
+wlFingerprint(const Dag &dag, const std::vector<int> &labels)
+{
+    int n = dag.numVertices();
+    if (static_cast<int>(labels.size()) != n)
+        etpu_panic("label count ", labels.size(), " != vertices ", n);
+
+    std::vector<Hash128> hashes(n), next(n);
+    for (int v = 0; v < n; v++) {
+        Hash128 h = hash128(0x5eedull);
+        h = hashAbsorb(h, static_cast<uint64_t>(dag.outDegree(v)));
+        h = hashAbsorb(h, static_cast<uint64_t>(dag.inDegree(v)));
+        h = hashAbsorb(h, static_cast<uint64_t>(labels[v]) + 0x1000);
+        hashes[v] = h;
+    }
+
+    std::vector<Hash128> neigh;
+    for (int round = 0; round < n; round++) {
+        for (int v = 0; v < n; v++) {
+            Hash128 h = hash128(0xc0feull);
+
+            neigh.clear();
+            uint32_t preds = dag.inMask(v);
+            while (preds) {
+                int u = std::countr_zero(preds);
+                preds &= preds - 1;
+                neigh.push_back(hashes[u]);
+            }
+            std::sort(neigh.begin(), neigh.end());
+            for (const auto &x : neigh)
+                h = hashCombine(h, x);
+
+            h = hashAbsorb(h, 0x7c7cull); // in/out separator
+
+            neigh.clear();
+            uint32_t succs = dag.outMask(v);
+            while (succs) {
+                int u = std::countr_zero(succs);
+                succs &= succs - 1;
+                neigh.push_back(hashes[u]);
+            }
+            std::sort(neigh.begin(), neigh.end());
+            for (const auto &x : neigh)
+                h = hashCombine(h, x);
+
+            h = hashCombine(h, hashes[v]);
+            next[v] = h;
+        }
+        std::swap(hashes, next);
+    }
+
+    std::sort(hashes.begin(), hashes.end());
+    Hash128 fp = hash128(0xf17e ^ static_cast<uint64_t>(n));
+    for (const auto &x : hashes)
+        fp = hashCombine(fp, x);
+    return fp;
+}
+
+bool
+isomorphic(const Dag &a, const std::vector<int> &la, const Dag &b,
+           const std::vector<int> &lb)
+{
+    int n = a.numVertices();
+    if (b.numVertices() != n || a.numEdges() != b.numEdges())
+        return false;
+    if (n == 0)
+        return true;
+    if (la[0] != lb[0] || la[n - 1] != lb[n - 1])
+        return false;
+    if (n <= 2)
+        return a == b && la == lb;
+
+    // Permute interior vertices of a onto interior vertices of b.
+    // perm[i] = image in b of vertex i in a.
+    std::vector<int> interior(n - 2);
+    std::iota(interior.begin(), interior.end(), 1);
+    std::vector<int> perm(n);
+    perm[0] = 0;
+    perm[n - 1] = n - 1;
+    do {
+        for (int i = 1; i < n - 1; i++)
+            perm[i] = interior[i - 1];
+        bool match = true;
+        for (int v = 0; v < n && match; v++) {
+            if (la[v] != lb[perm[v]])
+                match = false;
+        }
+        for (int u = 0; u < n && match; u++) {
+            for (int v = u + 1; v < n && match; v++) {
+                // a can only have the edge u->v between this pair; b can
+                // only have the edge min(perm)->max(perm). Directions must
+                // be preserved, so a forward a-edge mapped backwards in b
+                // is a mismatch even if b has the reverse edge.
+                bool ea = a.hasEdge(u, v);
+                bool eb_fwd = perm[u] < perm[v] &&
+                              b.hasEdge(perm[u], perm[v]);
+                bool eb_rev = perm[v] < perm[u] &&
+                              b.hasEdge(perm[v], perm[u]);
+                if (ea != eb_fwd || (!ea && eb_rev))
+                    match = false;
+            }
+        }
+        if (match)
+            return true;
+    } while (std::next_permutation(interior.begin(), interior.end()));
+    return false;
+}
+
+} // namespace etpu::graph

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Isomorphism-invariant fingerprint of a labeled DAG following the
+ * NASBench-101 `graph_util.hash_module` algorithm: initialize each vertex
+ * hash from (out-degree, in-degree, label); run |V| rounds in which each
+ * vertex absorbs the sorted multisets of its in- and out-neighbor hashes;
+ * the fingerprint is a hash of the sorted final vertex hashes. The
+ * reference uses MD5 over strings; we use a fast 128-bit hash, which
+ * preserves the dedup semantics (same Weisfeiler-Lehman refinement).
+ */
+
+#ifndef ETPU_GRAPH_WL_HASH_HH
+#define ETPU_GRAPH_WL_HASH_HH
+
+#include <vector>
+
+#include "common/hash.hh"
+#include "graph/dag.hh"
+
+namespace etpu::graph
+{
+
+/**
+ * Compute the WL-style fingerprint of a labeled DAG.
+ *
+ * @param dag The graph.
+ * @param labels One integer label per vertex (role/op code).
+ * @return 128-bit isomorphism-invariant fingerprint.
+ */
+Hash128 wlFingerprint(const Dag &dag, const std::vector<int> &labels);
+
+/**
+ * Exact labeled-DAG isomorphism test for validation. Tries every
+ * permutation of interior vertices (vertex 0 and n-1 are fixed roles)
+ * that preserves labels and adjacency. Exponential; for tests only.
+ */
+bool isomorphic(const Dag &a, const std::vector<int> &la, const Dag &b,
+                const std::vector<int> &lb);
+
+} // namespace etpu::graph
+
+#endif // ETPU_GRAPH_WL_HASH_HH

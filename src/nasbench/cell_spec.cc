@@ -1,0 +1,97 @@
+#include "cell_spec.hh"
+
+#include "common/logging.hh"
+#include "graph/wl_hash.hh"
+
+namespace etpu::nas
+{
+
+CellSpec::CellSpec(graph::Dag d, std::vector<Op> o)
+    : dag(std::move(d)), ops(std::move(o))
+{
+    if (static_cast<int>(ops.size()) != dag.numVertices())
+        etpu_panic("ops size ", ops.size(), " != vertices ",
+                   dag.numVertices());
+}
+
+bool
+CellSpec::valid(const SpaceLimits &limits) const
+{
+    int n = dag.numVertices();
+    if (n < 2 || n > limits.maxVertices)
+        return false;
+    if (static_cast<int>(ops.size()) != n)
+        return false;
+    if (dag.numEdges() > limits.maxEdges)
+        return false;
+    if (ops.front() != Op::Input || ops.back() != Op::Output)
+        return false;
+    for (int v = 1; v < n - 1; v++) {
+        if (ops[v] != Op::Conv3x3 && ops[v] != Op::Conv1x1 &&
+            ops[v] != Op::MaxPool3x3) {
+            return false;
+        }
+    }
+    return dag.isFullDag();
+}
+
+int
+CellSpec::opCount(Op op) const
+{
+    int count = 0;
+    for (int v = 1; v + 1 < numVertices(); v++) {
+        if (ops[v] == op)
+            count++;
+    }
+    return count;
+}
+
+Hash128
+CellSpec::fingerprint() const
+{
+    std::vector<int> labels;
+    labels.reserve(ops.size());
+    for (Op op : ops)
+        labels.push_back(opLabel(op));
+    return graph::wlFingerprint(dag, labels);
+}
+
+std::string
+CellSpec::str() const
+{
+    std::string s = "[";
+    for (size_t i = 0; i < ops.size(); i++) {
+        if (i)
+            s += ',';
+        s += opName(ops[i]);
+    }
+    s += "] ";
+    s += dag.str();
+    return s;
+}
+
+std::vector<uint8_t>
+CellSpec::packedOps() const
+{
+    std::vector<uint8_t> out;
+    out.reserve(ops.size());
+    for (Op op : ops)
+        out.push_back(static_cast<uint8_t>(op));
+    return out;
+}
+
+CellSpec
+makeChainCell(const std::vector<Op> &interior)
+{
+    int n = static_cast<int>(interior.size()) + 2;
+    graph::Dag d(n);
+    for (int v = 0; v + 1 < n; v++)
+        d.addEdge(v, v + 1);
+    std::vector<Op> ops;
+    ops.push_back(Op::Input);
+    ops.insert(ops.end(), interior.begin(), interior.end());
+    ops.push_back(Op::Output);
+    return CellSpec(std::move(d), std::move(ops));
+}
+
+} // namespace etpu::nas

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A NASBench-101 cell: a labeled DAG with at most 7 vertices and 9 edges
+ * whose first vertex is the input, last vertex is the output, and whose
+ * interior vertices carry one of three operations.
+ */
+
+#ifndef ETPU_NASBENCH_CELL_SPEC_HH
+#define ETPU_NASBENCH_CELL_SPEC_HH
+
+#include <string>
+#include <vector>
+
+#include "common/hash.hh"
+#include "graph/dag.hh"
+#include "nasbench/ops.hh"
+
+namespace etpu::nas
+{
+
+/** NASBench-101 search-space limits. */
+struct SpaceLimits
+{
+    int maxVertices = 7;
+    int maxEdges = 9;
+};
+
+/** A labeled cell DAG. */
+struct CellSpec
+{
+    graph::Dag dag;
+    std::vector<Op> ops;
+
+    CellSpec() = default;
+    CellSpec(graph::Dag d, std::vector<Op> o);
+
+    /** Number of vertices. */
+    int numVertices() const { return dag.numVertices(); }
+
+    /** Number of edges. */
+    int numEdges() const { return dag.numEdges(); }
+
+    /**
+     * Validity per NASBench-101: vertex/edge limits, input/output roles
+     * at the ends, valid interior ops, and full-DAG connectivity.
+     */
+    bool valid(const SpaceLimits &limits = {}) const;
+
+    /** Count of interior vertices with the given op. */
+    int opCount(Op op) const;
+
+    /** Longest input->output path length in edges. */
+    int depth() const { return dag.depth(); }
+
+    /** Maximum directed cut (NASBench-101 width). */
+    int width() const { return dag.width(); }
+
+    /** Isomorphism-invariant fingerprint (dedup key). */
+    Hash128 fingerprint() const;
+
+    /** Readable description, e.g. "[in,c3,c1,out] 0->1 1->2 2->3". */
+    std::string str() const;
+
+    /** Pack ops into one byte per op for serialization. */
+    std::vector<uint8_t> packedOps() const;
+
+    bool operator==(const CellSpec &o) const = default;
+};
+
+/**
+ * Build the chain cell in->op->op->...->out from interior ops, a common
+ * construction in tests and examples.
+ */
+CellSpec makeChainCell(const std::vector<Op> &interior);
+
+} // namespace etpu::nas
+
+#endif // ETPU_NASBENCH_CELL_SPEC_HH

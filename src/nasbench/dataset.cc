@@ -1,0 +1,116 @@
+#include "dataset.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace etpu::nas
+{
+
+namespace
+{
+constexpr uint64_t datasetMagic = 0x45545055445330ull; // "ETPUDS0"
+constexpr uint32_t datasetVersion = 3;
+} // namespace
+
+void
+Dataset::save(const std::string &path) const
+{
+    BinaryWriter w(path);
+    if (!w.ok())
+        etpu_fatal("cannot open dataset cache for writing: ", path);
+    w.write(datasetMagic);
+    w.write(datasetVersion);
+    w.write<uint64_t>(records.size());
+    for (const auto &r : records) {
+        w.write<uint8_t>(static_cast<uint8_t>(r.spec.numVertices()));
+        w.write<uint32_t>(static_cast<uint32_t>(r.spec.dag.upperBits()));
+        for (uint8_t op : r.spec.packedOps())
+            w.write<uint8_t>(op);
+        w.write(r.params);
+        w.write(r.macs);
+        w.write(r.weightBytes);
+        w.write(r.accuracy);
+        w.write(r.depth);
+        w.write(r.width);
+        w.write(r.numConv3x3);
+        w.write(r.numConv1x1);
+        w.write(r.numMaxPool);
+        for (float v : r.latencyMs)
+            w.write(v);
+        for (float v : r.energyMj)
+            w.write(v);
+    }
+}
+
+bool
+Dataset::load(const std::string &path, Dataset &out)
+{
+    BinaryReader r(path);
+    if (!r.ok())
+        return false;
+    if (r.read<uint64_t>() != datasetMagic)
+        return false;
+    if (r.read<uint32_t>() != datasetVersion)
+        return false;
+    uint64_t count = r.read<uint64_t>();
+    out.records.clear();
+    out.records.reserve(count);
+    for (uint64_t i = 0; i < count; i++) {
+        ModelRecord rec;
+        int n = r.read<uint8_t>();
+        uint32_t bits = r.read<uint32_t>();
+        std::vector<Op> ops;
+        ops.reserve(n);
+        for (int v = 0; v < n; v++)
+            ops.push_back(static_cast<Op>(r.read<uint8_t>()));
+        rec.spec = CellSpec(graph::Dag::fromUpperBits(n, bits),
+                            std::move(ops));
+        rec.params = r.read<uint64_t>();
+        rec.macs = r.read<uint64_t>();
+        rec.weightBytes = r.read<uint64_t>();
+        rec.accuracy = r.read<float>();
+        rec.depth = r.read<uint8_t>();
+        rec.width = r.read<uint8_t>();
+        rec.numConv3x3 = r.read<uint8_t>();
+        rec.numConv1x1 = r.read<uint8_t>();
+        rec.numMaxPool = r.read<uint8_t>();
+        for (float &v : rec.latencyMs)
+            v = r.read<float>();
+        for (float &v : rec.energyMj)
+            v = r.read<float>();
+        out.records.push_back(std::move(rec));
+    }
+    return true;
+}
+
+std::vector<const ModelRecord *>
+Dataset::filterByAccuracy(double min_accuracy) const
+{
+    std::vector<const ModelRecord *> out;
+    out.reserve(records.size());
+    // Compare in float so a record pinned to exactly the threshold
+    // (e.g. 0.7f) is kept.
+    auto threshold = static_cast<float>(min_accuracy);
+    for (const auto &r : records) {
+        if (r.accuracy >= threshold)
+            out.push_back(&r);
+    }
+    return out;
+}
+
+size_t
+Dataset::bestAccuracyIndex() const
+{
+    if (records.empty())
+        etpu_panic("bestAccuracyIndex on empty dataset");
+    size_t best = 0;
+    for (size_t i = 1; i < records.size(); i++) {
+        if (records[i].accuracy > records[best].accuracy)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace etpu::nas

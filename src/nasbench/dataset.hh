@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The characterization dataset: one record per unique NASBench-101 cell
+ * holding structural properties, the surrogate accuracy, and the
+ * simulated latency/energy on each studied accelerator configuration.
+ * Mirrors the paper's ~1.5M measurement campaign (3 x 423K latency,
+ * 2 x 423K energy). Binary save/load keeps bench startup fast.
+ */
+
+#ifndef ETPU_NASBENCH_DATASET_HH
+#define ETPU_NASBENCH_DATASET_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nasbench/cell_spec.hh"
+
+namespace etpu::nas
+{
+
+/** Number of studied accelerator configurations (V1, V2, V3). */
+inline constexpr int numAccelerators = 3;
+
+/** Per-model characterization record. */
+struct ModelRecord
+{
+    CellSpec spec;
+    uint64_t params = 0;        //!< trainable parameters
+    uint64_t macs = 0;          //!< MACs per inference
+    uint64_t weightBytes = 0;   //!< deployed (int8) weight footprint
+    float accuracy = 0.0f;      //!< surrogate mean validation accuracy
+    uint8_t depth = 0;
+    uint8_t width = 0;
+    uint8_t numConv3x3 = 0;
+    uint8_t numConv1x1 = 0;
+    uint8_t numMaxPool = 0;
+    /** Simulated inference latency per config, milliseconds. */
+    std::array<float, numAccelerators> latencyMs = {};
+    /** Simulated inference energy per config, millijoules. */
+    std::array<float, numAccelerators> energyMj = {};
+};
+
+/** The full characterization dataset. */
+class Dataset
+{
+  public:
+    std::vector<ModelRecord> records;
+
+    /** @return number of records. */
+    size_t size() const { return records.size(); }
+
+    /** Persist to a binary cache file. */
+    void save(const std::string &path) const;
+
+    /**
+     * Load from a binary cache file.
+     *
+     * @param path Cache path.
+     * @param out Destination dataset.
+     * @return false if the file is missing or has a stale format.
+     */
+    static bool load(const std::string &path, Dataset &out);
+
+    /** Records with accuracy >= the threshold (paper uses 70%). */
+    std::vector<const ModelRecord *>
+    filterByAccuracy(double min_accuracy) const;
+
+    /** Index of the record with the highest accuracy. */
+    size_t bestAccuracyIndex() const;
+};
+
+} // namespace etpu::nas
+
+#endif // ETPU_NASBENCH_DATASET_HH

@@ -1,0 +1,138 @@
+#include "enumerator.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <unordered_map>
+
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+
+namespace etpu::nas
+{
+
+namespace
+{
+
+/** Advance a base-3 counter over the interior ops; false on wrap. */
+bool
+nextLabeling(std::vector<Op> &ops)
+{
+    // ops[0] is Input and ops.back() is Output; cycle interior slots
+    // through Conv3x3 -> Conv1x1 -> MaxPool3x3.
+    for (size_t i = 1; i + 1 < ops.size(); i++) {
+        if (ops[i] == Op::Conv3x3) {
+            ops[i] = Op::Conv1x1;
+            return true;
+        } else if (ops[i] == Op::Conv1x1) {
+            ops[i] = Op::MaxPool3x3;
+            return true;
+        }
+        ops[i] = Op::Conv3x3; // carry
+    }
+    return false;
+}
+
+/** Deterministic sort key for the final cell ordering. */
+uint64_t
+opsKey(const CellSpec &c)
+{
+    uint64_t key = 0;
+    for (Op op : c.ops)
+        key = key * 8 + static_cast<uint64_t>(op);
+    return key;
+}
+
+/**
+ * Canonical order among isomorphic representatives: vertex count,
+ * adjacency bits, then op codes. Keeping the minimum makes the
+ * enumeration output independent of thread scheduling.
+ */
+bool
+cellLess(const CellSpec &a, const CellSpec &b)
+{
+    if (a.numVertices() != b.numVertices())
+        return a.numVertices() < b.numVertices();
+    uint64_t ba = a.dag.upperBits();
+    uint64_t bb = b.dag.upperBits();
+    if (ba != bb)
+        return ba < bb;
+    return opsKey(a) < opsKey(b);
+}
+
+} // namespace
+
+std::vector<CellSpec>
+enumerateCells(const SpaceLimits &limits, EnumerationStats *stats,
+               unsigned threads)
+{
+    if (limits.maxVertices < 2 || limits.maxVertices > 12)
+        etpu_fatal("enumerateCells: unsupported maxVertices ",
+                   limits.maxVertices);
+
+    unsigned n_workers = threads ? threads : defaultThreadCount();
+    std::vector<std::unordered_map<Hash128, CellSpec>> shards(n_workers);
+    std::atomic<uint64_t> matrices_visited{0};
+    std::atomic<uint64_t> matrices_kept{0};
+    std::atomic<uint64_t> labeled_candidates{0};
+
+    for (int n = 2; n <= limits.maxVertices; n++) {
+        uint64_t n_masks = 1ull << (n * (n - 1) / 2);
+        parallelFor(0, n_masks, [&](size_t mask, unsigned worker) {
+            matrices_visited.fetch_add(1, std::memory_order_relaxed);
+            if (std::popcount(static_cast<uint64_t>(mask)) >
+                limits.maxEdges) {
+                return;
+            }
+            graph::Dag dag = graph::Dag::fromUpperBits(n, mask);
+            if (!dag.isFullDag())
+                return;
+            matrices_kept.fetch_add(1, std::memory_order_relaxed);
+
+            std::vector<Op> ops(n, Op::Conv3x3);
+            ops.front() = Op::Input;
+            ops.back() = Op::Output;
+            auto &shard = shards[worker];
+            do {
+                labeled_candidates.fetch_add(1,
+                                             std::memory_order_relaxed);
+                CellSpec cell(dag, ops);
+                Hash128 fp = cell.fingerprint();
+                auto [it, inserted] = shard.try_emplace(fp, cell);
+                if (!inserted && cellLess(cell, it->second))
+                    it->second = std::move(cell);
+            } while (nextLabeling(ops));
+        }, n_workers);
+    }
+
+    // Merge per-worker shards (each already unique internally).
+    std::unordered_map<Hash128, CellSpec> merged;
+    size_t reserve = 0;
+    for (const auto &s : shards)
+        reserve += s.size();
+    merged.reserve(reserve);
+    for (auto &s : shards) {
+        for (auto &kv : s) {
+            auto [it, inserted] = merged.try_emplace(kv.first, kv.second);
+            if (!inserted && cellLess(kv.second, it->second))
+                it->second = std::move(kv.second);
+        }
+        s.clear();
+    }
+
+    std::vector<CellSpec> cells;
+    cells.reserve(merged.size());
+    for (auto &kv : merged)
+        cells.push_back(std::move(kv.second));
+    std::sort(cells.begin(), cells.end(), cellLess);
+
+    if (stats) {
+        stats->matricesVisited = matrices_visited.load();
+        stats->matricesKept = matrices_kept.load();
+        stats->labeledCandidates = labeled_candidates.load();
+        stats->uniqueCells = cells.size();
+    }
+    return cells;
+}
+
+} // namespace etpu::nas

@@ -1,0 +1,455 @@
+#include "network.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace etpu::nas
+{
+
+std::string_view
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Stem: return "stem";
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Projection: return "projection";
+      case LayerKind::MaxPool: return "maxpool";
+      case LayerKind::Downsample: return "downsample";
+      case LayerKind::Add: return "add";
+      case LayerKind::Concat: return "concat";
+      case LayerKind::GlobalPool: return "globalpool";
+      case LayerKind::Dense: return "dense";
+    }
+    return "?";
+}
+
+bool
+Layer::hasParams() const
+{
+    switch (kind) {
+      case LayerKind::Stem:
+      case LayerKind::Conv:
+      case LayerKind::Projection:
+      case LayerKind::Dense:
+        return true;
+      default:
+        return false;
+    }
+}
+
+uint64_t
+Layer::paramCount() const
+{
+    uint64_t k = static_cast<uint64_t>(kernel);
+    uint64_t ci = static_cast<uint64_t>(cin);
+    uint64_t co = static_cast<uint64_t>(cout);
+    switch (kind) {
+      case LayerKind::Stem:
+      case LayerKind::Conv:
+      case LayerKind::Projection:
+        // Bias-free conv + batch norm (gamma, beta per channel).
+        return k * k * ci * co + 2 * co;
+      case LayerKind::Dense:
+        return ci * co + co;
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Layer::weightBytes() const
+{
+    uint64_t k = static_cast<uint64_t>(kernel);
+    uint64_t ci = static_cast<uint64_t>(cin);
+    uint64_t co = static_cast<uint64_t>(cout);
+    switch (kind) {
+      case LayerKind::Stem:
+      case LayerKind::Conv:
+      case LayerKind::Projection:
+      case LayerKind::Dense:
+        // int8 weights + folded BN/bias as int32 scale + int32 offset.
+        return k * k * ci * co + 8 * co;
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Layer::macs() const
+{
+    uint64_t k = static_cast<uint64_t>(kernel);
+    uint64_t ci = static_cast<uint64_t>(cin);
+    uint64_t co = static_cast<uint64_t>(cout);
+    uint64_t spatial = static_cast<uint64_t>(outH) * outW;
+    switch (kind) {
+      case LayerKind::Stem:
+      case LayerKind::Conv:
+      case LayerKind::Projection:
+        return spatial * k * k * ci * co;
+      case LayerKind::Dense:
+        return ci * co;
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Layer::vectorOps() const
+{
+    uint64_t k = static_cast<uint64_t>(kernel);
+    uint64_t ci = static_cast<uint64_t>(cin);
+    uint64_t co = static_cast<uint64_t>(cout);
+    uint64_t in_spatial = static_cast<uint64_t>(h) * w;
+    uint64_t out_spatial = static_cast<uint64_t>(outH) * outW;
+    switch (kind) {
+      case LayerKind::MaxPool:
+      case LayerKind::Downsample:
+        return out_spatial * co * k * k;
+      case LayerKind::Add:
+        return in_spatial * ci * static_cast<uint64_t>(fanIn);
+      case LayerKind::Concat:
+        return out_spatial * co;
+      case LayerKind::GlobalPool:
+        return in_spatial * ci;
+      default:
+        return 0;
+    }
+}
+
+uint64_t
+Layer::inputBytes() const
+{
+    uint64_t in_spatial = static_cast<uint64_t>(h) * w;
+    uint64_t ci = static_cast<uint64_t>(cin);
+    if (kind == LayerKind::Add)
+        return in_spatial * ci * static_cast<uint64_t>(fanIn);
+    if (kind == LayerKind::Concat)
+        return in_spatial * static_cast<uint64_t>(cout);
+    return in_spatial * ci;
+}
+
+uint64_t
+Layer::outputBytes() const
+{
+    return static_cast<uint64_t>(outH) * outW * cout;
+}
+
+uint64_t
+Network::trainableParams() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.paramCount();
+    return total;
+}
+
+uint64_t
+Network::totalMacs() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.macs();
+    return total;
+}
+
+uint64_t
+Network::totalVectorOps() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.vectorOps();
+    return total;
+}
+
+uint64_t
+Network::totalWeightBytes() const
+{
+    uint64_t total = 0;
+    for (const auto &l : layers)
+        total += l.weightBytes();
+    return total;
+}
+
+int
+Network::outputLayer() const
+{
+    return static_cast<int>(layers.size()) - 1;
+}
+
+std::vector<int>
+computeVertexChannels(int in_ch, int out_ch, const graph::Dag &dag)
+{
+    int n = dag.numVertices();
+    std::vector<int> ch(n, 0);
+    ch[0] = in_ch;
+    ch[n - 1] = out_ch;
+    if (n == 2)
+        return ch;
+
+    // In-degree of the output counting interior vertices only.
+    int out_fanin = 0;
+    for (int v = 1; v < n - 1; v++) {
+        if (dag.hasEdge(v, n - 1))
+            out_fanin++;
+    }
+    if (out_fanin == 0)
+        etpu_panic("full DAG with no interior->output edge: ", dag.str());
+
+    int interior = out_ch / out_fanin;
+    int correction = out_ch % out_fanin;
+    for (int v = 1; v < n - 1; v++) {
+        if (dag.hasEdge(v, n - 1)) {
+            ch[v] = interior;
+            if (correction) {
+                ch[v]++;
+                correction--;
+            }
+        }
+    }
+
+    // Propagate backwards: a vertex not feeding the output takes the max
+    // channel count over its interior successors.
+    for (int v = n - 3; v >= 1; v--) {
+        if (!dag.hasEdge(v, n - 1)) {
+            for (int dst = v + 1; dst < n - 1; dst++) {
+                if (dag.hasEdge(v, dst))
+                    ch[v] = std::max(ch[v], ch[dst]);
+            }
+        }
+        if (ch[v] <= 0)
+            etpu_panic("vertex ", v, " got zero channels: ", dag.str());
+    }
+    return ch;
+}
+
+namespace
+{
+
+/**
+ * Lower one cell. Returns the index of the layer producing the cell
+ * output.
+ */
+int
+buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
+          int h, int w, int cin, int cout, int cell_index)
+{
+    const graph::Dag &dag = cell.dag;
+    int n = dag.numVertices();
+    auto ch = computeVertexChannels(cin, cout, dag);
+
+    auto push = [&](Layer l) {
+        layers.push_back(std::move(l));
+        return static_cast<int>(layers.size()) - 1;
+    };
+    auto projection = [&](int to_ch, int vertex) {
+        Layer l;
+        l.kind = LayerKind::Projection;
+        l.kernel = 1;
+        l.h = h;
+        l.w = w;
+        l.outH = h;
+        l.outW = w;
+        l.cin = cin;
+        l.cout = to_ch;
+        l.cellIndex = cell_index;
+        l.vertex = vertex;
+        l.deps = {input_layer};
+        return push(std::move(l));
+    };
+
+    // V == 2: input connected directly to output; a lone projection.
+    if (n == 2)
+        return projection(cout, n - 1);
+
+    std::vector<int> producer(n, -1);
+    producer[0] = input_layer;
+
+    for (int t = 1; t < n - 1; t++) {
+        std::vector<int32_t> fan_in;
+        for (int src = 1; src < t; src++) {
+            if (dag.hasEdge(src, t))
+                fan_in.push_back(producer[src]); // truncation is free
+        }
+        if (dag.hasEdge(0, t))
+            fan_in.push_back(projection(ch[t], t));
+        if (fan_in.empty())
+            etpu_panic("interior vertex with no fan-in");
+
+        int vertex_input;
+        if (fan_in.size() == 1) {
+            vertex_input = fan_in[0];
+        } else {
+            Layer add;
+            add.kind = LayerKind::Add;
+            add.h = h;
+            add.w = w;
+            add.outH = h;
+            add.outW = w;
+            add.cin = ch[t];
+            add.cout = ch[t];
+            add.fanIn = static_cast<int>(fan_in.size());
+            add.cellIndex = cell_index;
+            add.vertex = t;
+            add.deps = fan_in;
+            vertex_input = push(std::move(add));
+        }
+
+        Layer op;
+        op.h = h;
+        op.w = w;
+        op.outH = h;
+        op.outW = w;
+        op.cin = ch[t];
+        op.cout = ch[t];
+        op.cellIndex = cell_index;
+        op.vertex = t;
+        op.deps = {vertex_input};
+        switch (cell.ops[t]) {
+          case Op::Conv3x3:
+            op.kind = LayerKind::Conv;
+            op.kernel = 3;
+            break;
+          case Op::Conv1x1:
+            op.kind = LayerKind::Conv;
+            op.kernel = 1;
+            break;
+          case Op::MaxPool3x3:
+            op.kind = LayerKind::MaxPool;
+            op.kernel = 3;
+            break;
+          default:
+            etpu_panic("bad interior op");
+        }
+        producer[t] = push(std::move(op));
+    }
+
+    // Output vertex: concatenate interior fan-in, then add the projected
+    // input if the input connects directly to the output.
+    std::vector<int32_t> concat_in;
+    for (int src = 1; src < n - 1; src++) {
+        if (dag.hasEdge(src, n - 1))
+            concat_in.push_back(producer[src]);
+    }
+    if (concat_in.empty())
+        etpu_panic("full DAG without interior->output edge");
+
+    Layer concat;
+    concat.kind = LayerKind::Concat;
+    concat.h = h;
+    concat.w = w;
+    concat.outH = h;
+    concat.outW = w;
+    concat.cin = cout;
+    concat.cout = cout;
+    concat.fanIn = static_cast<int>(concat_in.size());
+    concat.cellIndex = cell_index;
+    concat.vertex = n - 1;
+    concat.deps = concat_in;
+    int out_layer = push(std::move(concat));
+
+    if (dag.hasEdge(0, n - 1)) {
+        int proj = projection(cout, n - 1);
+        Layer add;
+        add.kind = LayerKind::Add;
+        add.h = h;
+        add.w = w;
+        add.outH = h;
+        add.outW = w;
+        add.cin = cout;
+        add.cout = cout;
+        add.fanIn = 2;
+        add.cellIndex = cell_index;
+        add.vertex = n - 1;
+        add.deps = {out_layer, proj};
+        out_layer = push(std::move(add));
+    }
+    return out_layer;
+}
+
+} // namespace
+
+Network
+buildNetwork(const CellSpec &cell, const NetworkConfig &cfg)
+{
+    if (!cell.valid())
+        etpu_panic("buildNetwork on invalid cell: ", cell.str());
+
+    Network net;
+    auto &layers = net.layers;
+
+    int h = cfg.imageSize;
+    int w = cfg.imageSize;
+
+    Layer stem;
+    stem.kind = LayerKind::Stem;
+    stem.kernel = 3;
+    stem.h = h;
+    stem.w = w;
+    stem.outH = h;
+    stem.outW = w;
+    stem.cin = cfg.imageChannels;
+    stem.cout = cfg.stemChannels;
+    layers.push_back(stem);
+    int prev = 0;
+    int channels = cfg.stemChannels;
+
+    for (int s = 0; s < cfg.numStacks; s++) {
+        if (s > 0) {
+            Layer down;
+            down.kind = LayerKind::Downsample;
+            down.kernel = 2;
+            down.stride = 2;
+            down.h = h;
+            down.w = w;
+            down.outH = h / 2;
+            down.outW = w / 2;
+            down.cin = channels;
+            down.cout = channels;
+            down.deps = {prev};
+            layers.push_back(down);
+            prev = static_cast<int>(layers.size()) - 1;
+            h /= 2;
+            w /= 2;
+        }
+        int stack_channels = cfg.stemChannels << s;
+        for (int c = 0; c < cfg.cellsPerStack; c++) {
+            prev = buildCell(cell, layers, prev, h, w, channels,
+                             stack_channels, s * cfg.cellsPerStack + c);
+            channels = stack_channels;
+        }
+    }
+
+    Layer gap;
+    gap.kind = LayerKind::GlobalPool;
+    gap.h = h;
+    gap.w = w;
+    gap.outH = 1;
+    gap.outW = 1;
+    gap.cin = channels;
+    gap.cout = channels;
+    gap.deps = {prev};
+    layers.push_back(gap);
+    prev = static_cast<int>(layers.size()) - 1;
+
+    Layer dense;
+    dense.kind = LayerKind::Dense;
+    dense.h = 1;
+    dense.w = 1;
+    dense.outH = 1;
+    dense.outW = 1;
+    dense.cin = channels;
+    dense.cout = cfg.numClasses;
+    dense.deps = {prev};
+    layers.push_back(dense);
+
+    return net;
+}
+
+uint64_t
+countTrainableParams(const CellSpec &cell, const NetworkConfig &cfg)
+{
+    return buildNetwork(cell, cfg).trainableParams();
+}
+
+} // namespace etpu::nas

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Builds the concrete convolutional network a NASBench-101 cell induces
+ * on CIFAR-10: stem (3x3 conv, 128 channels), three stacks of three
+ * cells with 2x2 max-pool downsampling (channel count doubled per
+ * stack), global average pooling and a dense classifier. Channel
+ * inference follows the NASBench-101 reference `compute_vertex_channels`
+ * and projection/truncation semantics, so trainable-parameter counts and
+ * layer shapes are faithful to the reference model builder.
+ */
+
+#ifndef ETPU_NASBENCH_NETWORK_HH
+#define ETPU_NASBENCH_NETWORK_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nasbench/cell_spec.hh"
+
+namespace etpu::nas
+{
+
+/** Kind of a concrete layer in the lowered network. */
+enum class LayerKind : uint8_t
+{
+    Stem,       //!< 3x3 conv stem
+    Conv,       //!< cell vertex convolution (1x1 or 3x3)
+    Projection, //!< 1x1 conv matching cell-input channels to a vertex
+    MaxPool,    //!< cell vertex 3x3 max-pool (stride 1, same padding)
+    Downsample, //!< between-stack 2x2 max-pool (stride 2)
+    Add,        //!< elementwise sum of a vertex's fan-in
+    Concat,     //!< channel concatenation at the cell output
+    GlobalPool, //!< global average pool
+    Dense,      //!< final classifier
+};
+
+/** Name of a layer kind. */
+std::string_view layerKindName(LayerKind kind);
+
+/** One concrete layer with shapes and dependency edges. */
+struct Layer
+{
+    LayerKind kind = LayerKind::Conv;
+    int kernel = 1; //!< conv kernel / pool window
+    int stride = 1;
+    int h = 0;      //!< input height
+    int w = 0;      //!< input width
+    int cin = 0;
+    int cout = 0;
+    int outH = 0;
+    int outW = 0;
+    int fanIn = 1;        //!< number of summed inputs (Add)
+    int cellIndex = -1;   //!< 0..8 for cell layers, -1 otherwise
+    int vertex = -1;      //!< cell vertex id for vertex-op layers
+    std::vector<int32_t> deps; //!< producer layer indices
+
+    /** @return true if the layer carries trainable weights. */
+    bool hasParams() const;
+
+    /** Trainable float parameters (conv weights + BN scale/offset). */
+    uint64_t paramCount() const;
+
+    /**
+     * Deployed weight footprint in bytes: int8 weights plus 8 bytes per
+     * output channel for the folded batch-norm scale and bias.
+     */
+    uint64_t weightBytes() const;
+
+    /** Multiply-accumulate operations to evaluate the layer once. */
+    uint64_t macs() const;
+
+    /** Non-MAC elementwise vector operations (pool/add/copy). */
+    uint64_t vectorOps() const;
+
+    /** Activation bytes read (int8). */
+    uint64_t inputBytes() const;
+
+    /** Activation bytes written (int8). */
+    uint64_t outputBytes() const;
+};
+
+/** Macro-architecture hyperparameters (NASBench-101 defaults). */
+struct NetworkConfig
+{
+    int stemChannels = 128;
+    int numStacks = 3;
+    int cellsPerStack = 3;
+    int imageSize = 32;
+    int imageChannels = 3;
+    int numClasses = 10;
+};
+
+/** A lowered network: layers in topological order. */
+struct Network
+{
+    std::vector<Layer> layers;
+
+    uint64_t trainableParams() const;
+    uint64_t totalMacs() const;
+    uint64_t totalVectorOps() const;
+    uint64_t totalWeightBytes() const;
+
+    /** Index of the final (Dense) layer. */
+    int outputLayer() const;
+};
+
+/**
+ * NASBench-101 channel inference: divide the cell's output channels
+ * among the vertices feeding the output (remainder to the earliest),
+ * then propagate backwards taking the max over successors.
+ *
+ * @param in_ch Cell input channels.
+ * @param out_ch Cell output channels.
+ * @param dag Cell graph.
+ * @return Channel count per vertex.
+ */
+std::vector<int> computeVertexChannels(int in_ch, int out_ch,
+                                       const graph::Dag &dag);
+
+/** Lower a cell into the full CIFAR-10 network. */
+Network buildNetwork(const CellSpec &cell, const NetworkConfig &cfg = {});
+
+/** Convenience: trainable parameters of the cell's full network. */
+uint64_t countTrainableParams(const CellSpec &cell,
+                              const NetworkConfig &cfg = {});
+
+} // namespace etpu::nas
+
+#endif // ETPU_NASBENCH_NETWORK_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * NASBench-101 vertex operations and their encodings. The float codes
+ * match the paper's Figure 4 (input=1.0, conv3x3=2.0, maxpool3x3=3.0,
+ * conv1x1=4.0, output=5.0), which the learned performance model uses as
+ * node features.
+ */
+
+#ifndef ETPU_NASBENCH_OPS_HH
+#define ETPU_NASBENCH_OPS_HH
+
+#include <array>
+#include <string_view>
+
+namespace etpu::nas
+{
+
+/** Vertex operation within a NASBench-101 cell. */
+enum class Op : uint8_t
+{
+    Input = 0,
+    Conv3x3 = 1,
+    Conv1x1 = 2,
+    MaxPool3x3 = 3,
+    Output = 4,
+};
+
+/** The three operations valid for interior vertices. */
+inline constexpr std::array<Op, 3> interiorOps = {
+    Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3};
+
+/** Human-readable op name. */
+constexpr std::string_view
+opName(Op op)
+{
+    switch (op) {
+      case Op::Input: return "input";
+      case Op::Conv3x3: return "conv3x3";
+      case Op::Conv1x1: return "conv1x1";
+      case Op::MaxPool3x3: return "maxpool3x3";
+      case Op::Output: return "output";
+    }
+    return "?";
+}
+
+/** Float encoding used as the GNN node feature (paper Figure 4). */
+constexpr float
+opFloatCode(Op op)
+{
+    switch (op) {
+      case Op::Input: return 1.0f;
+      case Op::Conv3x3: return 2.0f;
+      case Op::MaxPool3x3: return 3.0f;
+      case Op::Conv1x1: return 4.0f;
+      case Op::Output: return 5.0f;
+    }
+    return 0.0f;
+}
+
+/** Integer label for isomorphism fingerprinting. */
+constexpr int
+opLabel(Op op)
+{
+    return static_cast<int>(op);
+}
+
+} // namespace etpu::nas
+
+#endif // ETPU_NASBENCH_OPS_HH

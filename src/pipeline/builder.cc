@@ -1,0 +1,141 @@
+#include "builder.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "common/rng.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/network.hh"
+#include "tpusim/simulator.hh"
+
+namespace etpu::pipeline
+{
+
+nas::Dataset
+buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
+{
+    nas::Dataset ds;
+    ds.records.resize(cells.size());
+
+    std::vector<sim::Simulator> sims;
+    for (const auto &cfg : arch::allConfigs())
+        sims.emplace_back(cfg);
+
+    parallelFor(0, cells.size(), [&](size_t i, unsigned) {
+        const nas::CellSpec &cell = cells[i];
+        nas::ModelRecord &rec = ds.records[i];
+        rec.spec = cell;
+
+        nas::Network net = nas::buildNetwork(cell);
+        rec.params = net.trainableParams();
+        rec.macs = net.totalMacs();
+        rec.weightBytes = net.totalWeightBytes();
+        rec.accuracy =
+            static_cast<float>(nas::surrogateAccuracy(cell, rec.params));
+        rec.depth = static_cast<uint8_t>(cell.depth());
+        rec.width = static_cast<uint8_t>(cell.width());
+        rec.numConv3x3 =
+            static_cast<uint8_t>(cell.opCount(nas::Op::Conv3x3));
+        rec.numConv1x1 =
+            static_cast<uint8_t>(cell.opCount(nas::Op::Conv1x1));
+        rec.numMaxPool =
+            static_cast<uint8_t>(cell.opCount(nas::Op::MaxPool3x3));
+
+        for (size_t c = 0; c < sims.size(); c++) {
+            sim::PerfResult r = sims[c].run(net, &cell);
+            rec.latencyMs[c] = static_cast<float>(r.latencyMs);
+            rec.energyMj[c] = static_cast<float>(r.energyMj);
+        }
+    }, threads);
+    return ds;
+}
+
+nas::Dataset
+buildFullDataset(unsigned threads)
+{
+    etpu_inform("enumerating the NASBench-101 cell space...");
+    auto cells = nas::enumerateCells({}, nullptr, threads);
+    etpu_inform("enumerated ", cells.size(),
+                " unique cells; simulating...");
+    return buildDataset(cells, threads);
+}
+
+std::string
+datasetCachePath()
+{
+    if (const char *env = std::getenv("ETPU_DATASET_PATH"))
+        return env;
+    return "etpu_dataset.bin";
+}
+
+namespace
+{
+
+size_t
+sampleSizeFromEnv()
+{
+    if (const char *env = std::getenv("ETPU_SAMPLE")) {
+        long n = std::atol(env);
+        if (n > 0)
+            return static_cast<size_t>(n);
+    }
+    return 0;
+}
+
+nas::Dataset
+buildShared()
+{
+    size_t sample = sampleSizeFromEnv();
+    std::string path = datasetCachePath();
+    if (sample)
+        path += "." + std::to_string(sample) + ".sample";
+
+    nas::Dataset ds;
+    if (nas::Dataset::load(path, ds)) {
+        etpu_inform("loaded dataset cache (", ds.size(), " models) from ",
+                    path);
+        return ds;
+    }
+
+    auto cells = nas::enumerateCells();
+    if (sample && sample < cells.size()) {
+        // Deterministic subsample (Fisher-Yates prefix), keeping the
+        // anchor cells so the figure benches always see them.
+        Rng rng(0xda7a5e7ull);
+        for (size_t i = 0; i < sample; i++) {
+            size_t j = i + rng.uniformInt(cells.size() - i);
+            std::swap(cells[i], cells[j]);
+        }
+        cells.resize(sample);
+        for (const auto &anchor : nas::anchorCells()) {
+            bool present = false;
+            Hash128 fp = anchor.cell.fingerprint();
+            for (const auto &c : cells) {
+                if (c.fingerprint() == fp) {
+                    present = true;
+                    break;
+                }
+            }
+            if (!present)
+                cells.push_back(anchor.cell);
+        }
+    }
+    etpu_inform("building dataset for ", cells.size(),
+                " cells (this runs once, then is cached)...");
+    nas::Dataset ds2 = buildDataset(cells);
+    ds2.save(path);
+    etpu_inform("dataset cached to ", path);
+    return ds2;
+}
+
+} // namespace
+
+const nas::Dataset &
+sharedDataset()
+{
+    static const nas::Dataset ds = buildShared();
+    return ds;
+}
+
+} // namespace etpu::pipeline

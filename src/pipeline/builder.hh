@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The characterization pipeline: run every enumerated cell through the
+ * network builder, the accuracy surrogate and the three accelerator
+ * simulators, producing the dataset every bench consumes (the paper's
+ * ~1.5M latency + ~900K energy measurement campaign). Results are
+ * cached on disk because the benches are independent binaries.
+ */
+
+#ifndef ETPU_PIPELINE_BUILDER_HH
+#define ETPU_PIPELINE_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "nasbench/dataset.hh"
+#include "nasbench/enumerator.hh"
+
+namespace etpu::pipeline
+{
+
+/**
+ * Build records for the given cells (parallel).
+ *
+ * @param cells Cells to characterize.
+ * @param threads Worker threads (0 = auto).
+ * @return Dataset with structural, accuracy and simulation metrics.
+ */
+nas::Dataset buildDataset(const std::vector<nas::CellSpec> &cells,
+                          unsigned threads = 0);
+
+/** Enumerate the full space and build its dataset. */
+nas::Dataset buildFullDataset(unsigned threads = 0);
+
+/**
+ * Resolve the dataset cache path: $ETPU_DATASET_PATH if set, else
+ * "etpu_dataset.bin" in the current directory.
+ */
+std::string datasetCachePath();
+
+/**
+ * Load the shared dataset, building and caching it on first use.
+ *
+ * Honors $ETPU_SAMPLE: if set to N > 0, only a deterministic sample of
+ * N cells is characterized (cached separately), which keeps bench
+ * turnaround fast; unset or 0 means the full 423,624-cell space.
+ */
+const nas::Dataset &sharedDataset();
+
+} // namespace etpu::pipeline
+
+#endif // ETPU_PIPELINE_BUILDER_HH

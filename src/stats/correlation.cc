@@ -1,0 +1,65 @@
+#include "correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace etpu::stats
+{
+
+double
+pearson(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        etpu_panic("pearson: need two same-size samples (n >= 2)");
+    double n = static_cast<double>(x.size());
+    double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+    double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < x.size(); i++) {
+        double dx = x[i] - mx;
+        double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double>
+averageRanks(const std::vector<double> &x)
+{
+    std::vector<size_t> order(x.size());
+    std::iota(order.begin(), order.end(), size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](size_t a, size_t b) { return x[a] < x[b]; });
+    std::vector<double> ranks(x.size(), 0.0);
+    size_t i = 0;
+    while (i < order.size()) {
+        size_t j = i;
+        while (j + 1 < order.size() && x[order[j + 1]] == x[order[i]])
+            j++;
+        // Average rank over the tie group [i, j], 1-based.
+        double rank = (static_cast<double>(i) + static_cast<double>(j)) /
+                          2.0 +
+                      1.0;
+        for (size_t k = i; k <= j; k++)
+            ranks[order[k]] = rank;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+double
+spearman(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        etpu_panic("spearman: need two same-size samples (n >= 2)");
+    return pearson(averageRanks(x), averageRanks(y));
+}
+
+} // namespace etpu::stats

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Pearson linear and Spearman rank-order correlation, the two metrics
+ * the paper uses to evaluate the learned performance model (Table 8).
+ */
+
+#ifndef ETPU_STATS_CORRELATION_HH
+#define ETPU_STATS_CORRELATION_HH
+
+#include <vector>
+
+namespace etpu::stats
+{
+
+/** Pearson linear correlation coefficient. @pre sizes match, n >= 2. */
+double pearson(const std::vector<double> &x, const std::vector<double> &y);
+
+/**
+ * Spearman rank-order correlation with average ranks assigned to ties.
+ * @pre sizes match, n >= 2.
+ */
+double spearman(const std::vector<double> &x,
+                const std::vector<double> &y);
+
+/** Average (fractional) ranks of a sample, ties share the mean rank. */
+std::vector<double> averageRanks(const std::vector<double> &x);
+
+} // namespace etpu::stats
+
+#endif // ETPU_STATS_CORRELATION_HH

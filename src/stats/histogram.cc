@@ -1,0 +1,53 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+
+namespace etpu::stats
+{
+
+Histogram::Histogram(double lo, double hi, int bins)
+    : lo_(lo), hi_(hi)
+{
+    if (bins <= 0 || hi <= lo)
+        etpu_panic("bad histogram spec [", lo, ", ", hi, ") x", bins);
+    width_ = (hi - lo) / bins;
+    counts_.assign(static_cast<size_t>(bins), 0);
+}
+
+void
+Histogram::add(double x)
+{
+    int bin = static_cast<int>(std::floor((x - lo_) / width_));
+    bin = std::clamp(bin, 0, numBins() - 1);
+    counts_[static_cast<size_t>(bin)]++;
+    total_++;
+}
+
+double
+Histogram::binLo(int bin) const
+{
+    return lo_ + width_ * bin;
+}
+
+double
+Histogram::binHi(int bin) const
+{
+    return bin == numBins() - 1 ? hi_ : lo_ + width_ * (bin + 1);
+}
+
+std::string
+Histogram::binLabel(int bin, bool as_integer) const
+{
+    auto fmt = [&](double v) {
+        if (as_integer)
+            return fmtCount(static_cast<uint64_t>(std::llround(v)));
+        return fmtDouble(v, 3);
+    };
+    return "[" + fmt(binLo(bin)) + " — " + fmt(binHi(bin)) + ")";
+}
+
+} // namespace etpu::stats

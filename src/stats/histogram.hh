@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Fixed-interval histogram used for Table-1-style distributions (equal
+ * bins between the sample extremes).
+ */
+
+#ifndef ETPU_STATS_HISTOGRAM_HH
+#define ETPU_STATS_HISTOGRAM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etpu::stats
+{
+
+/** A histogram over equal-width bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Inclusive lower bound of the first bin.
+     * @param hi Exclusive upper bound of the last bin.
+     * @param bins Number of equal-width bins (> 0).
+     */
+    Histogram(double lo, double hi, int bins);
+
+    /** Add a sample (clamped into the boundary bins). */
+    void add(double x);
+
+    int numBins() const { return static_cast<int>(counts_.size()); }
+    uint64_t count(int bin) const { return counts_.at(bin); }
+    uint64_t total() const { return total_; }
+
+    /** Inclusive lower edge of a bin. */
+    double binLo(int bin) const;
+
+    /** Exclusive upper edge of a bin. */
+    double binHi(int bin) const;
+
+    /** "[lo — hi)" label like the paper's Table 1 rows. */
+    std::string binLabel(int bin, bool as_integer = true) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace etpu::stats
+
+#endif // ETPU_STATS_HISTOGRAM_HH

@@ -1,0 +1,35 @@
+#include "linreg.hh"
+
+#include <numeric>
+
+#include "common/logging.hh"
+
+namespace etpu::stats
+{
+
+LinearFit
+fitLinear(const std::vector<double> &x, const std::vector<double> &y)
+{
+    if (x.size() != y.size() || x.size() < 2)
+        etpu_panic("fitLinear: need two same-size samples (n >= 2)");
+    double n = static_cast<double>(x.size());
+    double mx = std::accumulate(x.begin(), x.end(), 0.0) / n;
+    double my = std::accumulate(y.begin(), y.end(), 0.0) / n;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (size_t i = 0; i < x.size(); i++) {
+        sxy += (x[i] - mx) * (y[i] - my);
+        sxx += (x[i] - mx) * (x[i] - mx);
+        syy += (y[i] - my) * (y[i] - my);
+    }
+    LinearFit fit;
+    if (sxx == 0.0) {
+        fit.intercept = my;
+        return fit;
+    }
+    fit.slope = sxy / sxx;
+    fit.intercept = my - fit.slope * mx;
+    fit.r2 = syy == 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+    return fit;
+}
+
+} // namespace etpu::stats

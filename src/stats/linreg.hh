@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Ordinary least squares y = a + b*x, used by figure benches to report
+ * trend lines (e.g. the linear latency/energy relation of Figure 6).
+ */
+
+#ifndef ETPU_STATS_LINREG_HH
+#define ETPU_STATS_LINREG_HH
+
+#include <vector>
+
+namespace etpu::stats
+{
+
+/** Least-squares fit result. */
+struct LinearFit
+{
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0; //!< coefficient of determination
+};
+
+/** Fit y = intercept + slope * x. @pre sizes match, n >= 2. */
+LinearFit fitLinear(const std::vector<double> &x,
+                    const std::vector<double> &y);
+
+} // namespace etpu::stats
+
+#endif // ETPU_STATS_LINREG_HH

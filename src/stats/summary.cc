@@ -1,0 +1,55 @@
+#include "summary.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::stats
+{
+
+Summary
+summarize(const std::vector<double> &xs)
+{
+    Summary s;
+    if (xs.empty())
+        return s;
+    s.count = xs.size();
+    s.min = xs[0];
+    s.max = xs[0];
+    double sum = 0.0;
+    for (size_t i = 0; i < xs.size(); i++) {
+        double x = xs[i];
+        sum += x;
+        if (x < s.min) {
+            s.min = x;
+            s.argmin = i;
+        }
+        if (x > s.max) {
+            s.max = x;
+            s.argmax = i;
+        }
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+    double var = 0.0;
+    for (double x : xs)
+        var += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(var / static_cast<double>(xs.size()));
+    return s;
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    if (xs.empty())
+        etpu_panic("quantile of empty sample");
+    q = std::clamp(q, 0.0, 1.0);
+    std::sort(xs.begin(), xs.end());
+    double pos = q * static_cast<double>(xs.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, xs.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+} // namespace etpu::stats

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Summary statistics over double samples: extremes, moments, quantiles.
+ */
+
+#ifndef ETPU_STATS_SUMMARY_HH
+#define ETPU_STATS_SUMMARY_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace etpu::stats
+{
+
+/** Accumulated summary of a sample. */
+struct Summary
+{
+    size_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;    //!< population standard deviation
+    size_t argmin = 0;      //!< index of the minimum sample
+    size_t argmax = 0;      //!< index of the maximum sample
+};
+
+/** Summarize a sample (empty input yields a zeroed summary). */
+Summary summarize(const std::vector<double> &xs);
+
+/**
+ * Linear-interpolated quantile of a sample.
+ *
+ * @param xs Sample (need not be sorted).
+ * @param q Quantile in [0, 1].
+ */
+double quantile(std::vector<double> xs, double q);
+
+} // namespace etpu::stats
+
+#endif // ETPU_STATS_SUMMARY_HH

@@ -1,0 +1,13 @@
+#include "calibration.hh"
+
+namespace etpu::sim
+{
+
+const Calibration &
+defaultCalibration()
+{
+    static const Calibration cal{};
+    return cal;
+}
+
+} // namespace etpu::sim

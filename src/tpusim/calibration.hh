@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Global calibration constants of the performance model that are not
+ * per-accelerator parameters. Values are tuned (see DESIGN.md section 4)
+ * so the published qualitative behaviours hold: Table 3 extremes, the
+ * Figure 14 caching crossovers, the Table 5 winner buckets and the
+ * Figure 6 energy crossover.
+ */
+
+#ifndef ETPU_TPUSIM_CALIBRATION_HH
+#define ETPU_TPUSIM_CALIBRATION_HH
+
+namespace etpu::sim
+{
+
+/** Calibration constants shared by all configurations. */
+struct Calibration
+{
+    /** Host CPU int8 conv throughput for partitioned subgraphs. */
+    double cpuGmacsPerSec = 90.0;
+
+    /** Host CPU elementwise throughput for partitioned subgraphs. */
+    double cpuGvecsPerSec = 30.0;
+
+    /** Host<->accelerator transition cost per partition switch, us. */
+    double hostSwitchUs = 15.0;
+
+    /**
+     * Efficiency multiplier when several output pixels are packed into
+     * one SIMD reduction because the reduce dimension is narrower than
+     * the lane array.
+     */
+    double packPenalty = 0.85;
+
+    /** Lower bound on compute efficiency after tiling losses. */
+    double minEfficiency = 0.02;
+
+    /** Double-buffer prefetch depth in streamed instructions. */
+    int prefetchDepth = 4;
+};
+
+/** The default (tuned) calibration. */
+const Calibration &defaultCalibration();
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_CALIBRATION_HH

@@ -1,0 +1,193 @@
+#include "compiler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::sim
+{
+
+double
+CompiledOp::efficiency(double floor) const
+{
+    return std::max(floor, laneUtil * coreUtil * spatialUtil);
+}
+
+Compiler::Compiler(const arch::AcceleratorConfig &config,
+                   const Calibration &cal)
+    : config_(config), cal_(cal)
+{
+    config_.validate();
+}
+
+bool
+Compiler::cellTriggersFallback(const nas::CellSpec &cell) const
+{
+    if (!config_.compiler.fallbackOnPoolDominatedCells)
+        return false;
+    // No 3x3 convolution to anchor operator fusion, and the cell body is
+    // dominated by pooling: the older toolchain partitions the cell off
+    // the accelerator (paper section 3).
+    return cell.opCount(nas::Op::Conv3x3) == 0 &&
+           cell.opCount(nas::Op::MaxPool3x3) >
+               cell.opCount(nas::Op::Conv1x1) + 1;
+}
+
+uint64_t
+Compiler::weightCacheBudget() const
+{
+    double pe_share = config_.compiler.peMemoryWeightFraction *
+                      static_cast<double>(config_.totalPeMemoryBytes());
+    return config_.totalCoreMemoryBytes() +
+           static_cast<uint64_t>(pe_share);
+}
+
+double
+Compiler::laneUtilization(const nas::Layer &layer) const
+{
+    if (layer.macs() == 0)
+        return 1.0;
+    // The SIMD reduction runs over the im2col'd reduce dimension.
+    double red = static_cast<double>(layer.kernel) * layer.kernel *
+                 layer.cin;
+    if (layer.kind == nas::LayerKind::Dense)
+        red = layer.cin;
+    double width = static_cast<double>(config_.computeLanes) *
+                   config_.macsPerLane;
+    if (red >= width) {
+        double tiles = std::ceil(red / width);
+        return red / (tiles * width);
+    }
+    // Narrow reductions pack several output pixels into one lane array;
+    // exact fits are free, ragged fits pay a packing penalty.
+    double pack = std::floor(width / red);
+    if (pack <= 1.0)
+        return red / width;
+    double util = std::min(1.0, red * pack / width);
+    bool exact = std::fmod(width, red) == 0.0;
+    return exact ? util : util * cal_.packPenalty;
+}
+
+double
+Compiler::coreUtilization(const nas::Layer &layer) const
+{
+    if (layer.macs() == 0)
+        return 1.0;
+    // Output channels are tiled across the cores of a PE.
+    double cores = config_.coresPerPe;
+    double tiles = std::ceil(layer.cout / cores);
+    return layer.cout / (tiles * cores);
+}
+
+double
+Compiler::spatialUtilization(const nas::Layer &layer) const
+{
+    if (layer.macs() == 0 && layer.vectorOps() == 0)
+        return 1.0;
+    // Fully-connected layers partition output channels, not pixels,
+    // across the PE array.
+    if (layer.kind == nas::LayerKind::Dense)
+        return 1.0;
+    // Output pixels are tiled across the PE array.
+    double pixels = static_cast<double>(layer.outH) * layer.outW;
+    double pes = config_.numPes();
+    double tiles = std::ceil(pixels / pes);
+    return pixels / (tiles * pes);
+}
+
+Program
+Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
+{
+    Program prog;
+    prog.parameterCaching = config_.compiler.parameterCaching;
+    prog.weightCacheBudget = weightCacheBudget();
+
+    bool fallback = cell && cellTriggersFallback(*cell);
+
+    prog.ops.reserve(net.layers.size());
+    for (size_t i = 0; i < net.layers.size(); i++) {
+        const nas::Layer &layer = net.layers[i];
+        CompiledOp op;
+        op.layer = static_cast<int>(i);
+        op.kind = layer.kind;
+        op.macs = layer.macs();
+        op.vectorOps = layer.vectorOps();
+        op.weightBytes = layer.weightBytes();
+        op.inputBytes = layer.inputBytes();
+        op.outputBytes = layer.outputBytes();
+        op.laneUtil = laneUtilization(layer);
+        op.coreUtil = coreUtilization(layer);
+        op.spatialUtil = spatialUtilization(layer);
+        op.deps.assign(layer.deps.begin(), layer.deps.end());
+        // The vertex operations of a fallback cell run on the host CPU
+        // with DRAM round trips at the partition boundary; projections
+        // and concat/add glue stay on the accelerator.
+        if (fallback && layer.cellIndex >= 0 &&
+            (layer.kind == nas::LayerKind::MaxPool ||
+             layer.kind == nas::LayerKind::Conv)) {
+            op.cpuFallback = true;
+            op.dramActBytes = op.inputBytes + op.outputBytes;
+        }
+        prog.ops.push_back(std::move(op));
+
+        prog.totalWeightBytes += layer.weightBytes();
+        uint64_t footprint = layer.inputBytes() + layer.outputBytes();
+        prog.peakActivationBytes =
+            std::max(prog.peakActivationBytes, footprint);
+    }
+
+    if (fallback) {
+        // Count partitioned cell instances (for the host-switch cost).
+        int max_cell = -1;
+        for (const auto &l : net.layers)
+            max_cell = std::max(max_cell, l.cellIndex);
+        prog.fallbackCellInstances = max_cell + 1;
+    }
+
+    // Activation spill: double-buffered working set beyond the PE
+    // memory share reserved for activations goes to DRAM.
+    double act_share = 1.0 - config_.compiler.peMemoryWeightFraction;
+    auto act_capacity = static_cast<uint64_t>(
+        act_share * static_cast<double>(config_.totalPeMemoryBytes()));
+    for (auto &op : prog.ops) {
+        uint64_t footprint = 2 * (op.inputBytes + op.outputBytes);
+        if (footprint > act_capacity && !op.cpuFallback)
+            op.dramActBytes += footprint - act_capacity;
+    }
+
+    // Parameter caching: pin weights starting from the LAST layers
+    // (whose streams would overlap worst with compute), filling core
+    // memories first (no per-inference rebroadcast) and then the PE
+    // memory share (rebroadcast to the cores each inference); the rest
+    // streams from DRAM every inference, prefetch-friendly because the
+    // streamed layers execute first.
+    uint64_t core_budget =
+        prog.parameterCaching ? config_.totalCoreMemoryBytes() : 0;
+    uint64_t pe_budget =
+        prog.parameterCaching
+            ? prog.weightCacheBudget - config_.totalCoreMemoryBytes()
+            : 0;
+    for (auto it = prog.ops.rbegin(); it != prog.ops.rend(); ++it) {
+        CompiledOp &op = *it;
+        if (op.weightBytes == 0)
+            continue;
+        if (op.cpuFallback) {
+            // Host-side weights never occupy accelerator memory and are
+            // not streamed over the device DMA.
+            op.weightStreamBytes = 0;
+            continue;
+        }
+        uint64_t core_cached = std::min(op.weightBytes, core_budget);
+        core_budget -= core_cached;
+        uint64_t pe_cached =
+            std::min(op.weightBytes - core_cached, pe_budget);
+        pe_budget -= pe_cached;
+        op.weightCoreResidentBytes = core_cached;
+        prog.cachedWeightBytes += core_cached + pe_cached;
+        op.weightStreamBytes = op.weightBytes - core_cached - pe_cached;
+    }
+    return prog;
+}
+
+} // namespace etpu::sim

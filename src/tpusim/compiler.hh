@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Ahead-of-time compiler mapping a lowered NASBench network onto an
+ * Edge TPU configuration (paper section 3 and Figure 2): computes the
+ * tiling of each operation across PEs / cores / SIMD lanes, plans the
+ * parameter-caching allocation across core and PE memories, models the
+ * activation working set, and — for older toolchain generations — marks
+ * pool-dominated cells for CPU fallback.
+ */
+
+#ifndef ETPU_TPUSIM_COMPILER_HH
+#define ETPU_TPUSIM_COMPILER_HH
+
+#include "arch/config.hh"
+#include "nasbench/cell_spec.hh"
+#include "nasbench/network.hh"
+#include "tpusim/calibration.hh"
+#include "tpusim/isa.hh"
+
+namespace etpu::sim
+{
+
+/** Compiler for the parameterized Edge TPU template. */
+class Compiler
+{
+  public:
+    /**
+     * @param config Target accelerator.
+     * @param cal Calibration constants (default: tuned values).
+     */
+    explicit Compiler(const arch::AcceleratorConfig &config,
+                      const Calibration &cal = defaultCalibration());
+
+    /**
+     * Compile a lowered network.
+     *
+     * @param net The network (from nas::buildNetwork).
+     * @param cell The originating cell (drives fallback decisions);
+     *        pass nullptr for hand-built networks.
+     * @return The compiled program.
+     */
+    Program compile(const nas::Network &net,
+                    const nas::CellSpec *cell = nullptr) const;
+
+    /**
+     * @return true if the older-toolchain CPU fallback triggers for
+     * this cell on the configured target: the cell has no 3x3
+     * convolution anchor and is max-pool dominated.
+     */
+    bool cellTriggersFallback(const nas::CellSpec &cell) const;
+
+    /** Weight-cache capacity in bytes for this configuration. */
+    uint64_t weightCacheBudget() const;
+
+    /** Lane (reduction) utilization for a layer. */
+    double laneUtilization(const nas::Layer &layer) const;
+
+    /** Core (output-channel) utilization for a layer. */
+    double coreUtilization(const nas::Layer &layer) const;
+
+    /** PE (spatial) utilization for a layer. */
+    double spatialUtilization(const nas::Layer &layer) const;
+
+  private:
+    arch::AcceleratorConfig config_;
+    Calibration cal_;
+};
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_COMPILER_HH

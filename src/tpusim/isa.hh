@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The compiled program representation: one CompiledOp per lowered
+ * network layer, annotated with the compiler's tiling efficiencies,
+ * parameter-caching decisions and (for older toolchains) CPU-fallback
+ * marking. This is the interface between the compiler and the
+ * performance simulator.
+ */
+
+#ifndef ETPU_TPUSIM_ISA_HH
+#define ETPU_TPUSIM_ISA_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "nasbench/network.hh"
+
+namespace etpu::sim
+{
+
+/** One scheduled instruction (a lowered layer). */
+struct CompiledOp
+{
+    int layer = -1;                 //!< index into Network::layers
+    nas::LayerKind kind = nas::LayerKind::Conv;
+    uint64_t macs = 0;
+    uint64_t vectorOps = 0;
+    uint64_t weightBytes = 0;       //!< full weight footprint
+    uint64_t weightStreamBytes = 0; //!< portion streamed per inference
+    /** Portion pinned in core memory (no per-inference rebroadcast). */
+    uint64_t weightCoreResidentBytes = 0;
+    uint64_t inputBytes = 0;
+    uint64_t outputBytes = 0;
+    uint64_t dramActBytes = 0;      //!< spill / round-trip traffic
+    double laneUtil = 1.0;
+    double coreUtil = 1.0;
+    double spatialUtil = 1.0;
+    bool cpuFallback = false;       //!< runs on the host CPU
+    std::vector<int32_t> deps;      //!< producer op indices
+
+    /** Combined compute efficiency from the tiling quantization. */
+    double efficiency(double floor) const;
+};
+
+/** A compiled network ready for simulation. */
+struct Program
+{
+    std::vector<CompiledOp> ops;
+    uint64_t totalWeightBytes = 0;
+    uint64_t cachedWeightBytes = 0;
+    uint64_t weightCacheBudget = 0;
+    uint64_t peakActivationBytes = 0;
+    int fallbackCellInstances = 0; //!< cell instances partitioned to CPU
+    bool parameterCaching = true;
+};
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_ISA_HH

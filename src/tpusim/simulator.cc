@@ -1,0 +1,193 @@
+#include "simulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::sim
+{
+
+double
+PerfResult::utilization(const arch::AcceleratorConfig &cfg) const
+{
+    if (latencyMs <= 0.0)
+        return 0.0;
+    double peak_macs = static_cast<double>(cfg.macsPerCycle()) *
+                       cfg.clockMhz * 1e3 * latencyMs;
+    return peak_macs > 0 ? static_cast<double>(macs) / peak_macs : 0.0;
+}
+
+Simulator::Simulator(const arch::AcceleratorConfig &config,
+                     const Calibration &cal)
+    : config_(config), cal_(cal)
+{
+    config_.validate();
+}
+
+PerfResult
+Simulator::run(const Program &prog) const
+{
+    PerfResult res;
+    res.numOps = static_cast<int>(prog.ops.size());
+    res.fallbackCellInstances = prog.fallbackCellInstances;
+
+    const double clock_hz = config_.clockMhz * 1e6;
+    const double dram_bps = config_.sustainedDramBytesPerSec();
+    const double noc_bytes_per_cycle = config_.nocBytesPerCycle();
+    const double macs_per_cycle =
+        static_cast<double>(config_.macsPerCycle());
+    const double vec_per_cycle =
+        static_cast<double>(config_.vectorOpsPerCycle());
+    const double op_overhead_cycles =
+        config_.opOverheadBaseCycles +
+        config_.opOverheadPerPeCycles * config_.numPes() +
+        config_.opOverheadPerCoreCycles * config_.coresPerPe;
+
+    // Timeline state, in seconds.
+    std::vector<double> finish(prog.ops.size(), 0.0);
+    double compute_free = 0.0; //!< when the PE array frees
+    double dma_free = 0.0;     //!< when the DMA engine frees
+    double cpu_free = 0.0;     //!< when the host CPU frees
+
+    // Streamed weights reuse a small set of staging buffers, so the
+    // DMA may run only `prefetchDepth` streamed instructions ahead of
+    // the compute consuming them.
+    std::vector<double> streamed_starts;
+
+    for (size_t i = 0; i < prog.ops.size(); i++) {
+        const CompiledOp &op = prog.ops[i];
+
+        double deps_ready = 0.0;
+        for (int32_t d : op.deps)
+            deps_ready = std::max(deps_ready, finish[d]);
+
+        // Spill / fallback round-trip traffic is serialized with the
+        // instruction (it is produced/consumed by it).
+        double act_dram_time =
+            static_cast<double>(op.dramActBytes) / dram_bps;
+        res.dramBytes += op.dramActBytes;
+
+        double start, duration;
+        if (op.cpuFallback) {
+            // The host executes the op; DMA moves activations across
+            // the partition boundary.
+            double cpu_compute =
+                static_cast<double>(op.macs) /
+                    (cal_.cpuGmacsPerSec * 1e9) +
+                static_cast<double>(op.vectorOps) /
+                    (cal_.cpuGvecsPerSec * 1e9);
+            start = std::max({deps_ready, cpu_free, dma_free});
+            duration = cpu_compute + act_dram_time;
+            cpu_free = start + duration;
+            dma_free = std::max(dma_free, start + act_dram_time);
+            res.cpuBusyMs += duration * 1e3;
+            res.cpuMacs += op.macs;
+            res.dmaBusyMs += act_dram_time * 1e3;
+            finish[i] = start + duration;
+            res.sramBytes += op.inputBytes + op.outputBytes;
+            continue;
+        }
+
+        // Double-buffered weight prefetch over the staging buffers.
+        double weight_ready = 0.0;
+        if (op.weightStreamBytes > 0) {
+            double weight_time =
+                static_cast<double>(op.weightStreamBytes) / dram_bps;
+            double buffer_free = 0.0;
+            size_t n = streamed_starts.size();
+            if (n >= static_cast<size_t>(cal_.prefetchDepth))
+                buffer_free = streamed_starts[n - cal_.prefetchDepth];
+            double dma_start = std::max(dma_free, buffer_free);
+            weight_ready = dma_start + weight_time;
+            dma_free = weight_ready;
+            res.dmaBusyMs += weight_time * 1e3;
+            res.dramBytes += op.weightStreamBytes;
+        }
+
+        // Weights not pinned in core memory are rebroadcast to the PE
+        // array over the NoC; the broadcast double-buffers against the
+        // MAC pipeline, so the op runs at the slower of the two.
+        double dist_cycles =
+            static_cast<double>(op.weightBytes -
+                                op.weightCoreResidentBytes) /
+            config_.weightBusBytesPerCycle;
+
+        double eff = op.efficiency(cal_.minEfficiency);
+        double mac_cycles =
+            static_cast<double>(op.macs) / (macs_per_cycle * eff);
+        double vec_cycles =
+            static_cast<double>(op.vectorOps) / vec_per_cycle;
+        double noc_cycles =
+            static_cast<double>(op.inputBytes + op.outputBytes) /
+            noc_bytes_per_cycle;
+        double cycles = op_overhead_cycles +
+                        std::max(mac_cycles + vec_cycles, dist_cycles) +
+                        noc_cycles;
+        start = std::max({deps_ready, compute_free, weight_ready});
+        duration = cycles / clock_hz + act_dram_time;
+        compute_free = start + duration;
+        if (op.weightStreamBytes > 0)
+            streamed_starts.push_back(start);
+        res.computeBusyMs += (cycles / clock_hz) * 1e3;
+        res.overheadMs += (op_overhead_cycles / clock_hz) * 1e3;
+        res.macs += op.macs;
+        if (act_dram_time > 0.0) {
+            dma_free = std::max(dma_free, start + duration);
+            res.dmaBusyMs += act_dram_time * 1e3;
+        }
+        finish[i] = start + duration;
+
+        res.sramBytes += op.inputBytes + op.outputBytes + op.weightBytes;
+    }
+
+    double end = std::max({compute_free, dma_free, cpu_free});
+
+    // Host round trips at partition boundaries.
+    double switch_time = 2.0 * prog.fallbackCellInstances *
+                         cal_.hostSwitchUs * 1e-6;
+    // Per-inference fixed overhead (runtime dispatch, input/output DMA).
+    double fixed = config_.inferenceOverheadUs * 1e-6;
+    res.overheadMs += (switch_time + fixed) * 1e3;
+
+    double latency_s = end + switch_time + fixed;
+    res.latencyMs = latency_s * 1e3;
+    res.cycles = latency_s * clock_hz;
+
+    // Energy model: dynamic compute + memory traffic, plus static power
+    // over the accelerator's *active* time and idle power while parked
+    // (so host-partitioned models burn little accelerator energy, as in
+    // the paper's Table 5).
+    const arch::EnergyModel &em = config_.energy;
+    res.energyAvailable = em.available;
+    double pj = static_cast<double>(res.macs) * em.pjPerMac +
+                static_cast<double>(res.sramBytes) * em.pjPerSramByte +
+                static_cast<double>(res.dramBytes) * em.pjPerDramByte;
+    for (const auto &op : prog.ops) {
+        if (!op.cpuFallback)
+            pj += static_cast<double>(op.vectorOps) * em.pjPerVectorOp;
+    }
+    double active_ms =
+        std::min(res.latencyMs, std::max(res.computeBusyMs,
+                                         res.dmaBusyMs));
+    double static_mj = em.staticWatts * active_ms +
+                       em.idleWatts * (res.latencyMs - active_ms);
+    res.energyMj = pj * 1e-9 + static_mj;
+    return res;
+}
+
+PerfResult
+Simulator::run(const nas::Network &net, const nas::CellSpec *cell) const
+{
+    Compiler compiler(config_, cal_);
+    return run(compiler.compile(net, cell));
+}
+
+PerfResult
+Simulator::runCell(const nas::CellSpec &cell) const
+{
+    nas::Network net = nas::buildNetwork(cell);
+    return run(net, &cell);
+}
+
+} // namespace etpu::sim

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Event-driven cycle-level performance and energy simulator for the
+ * Edge TPU template. Instructions issue in dependency order onto two
+ * timed resources — the DMA engine (parameter streaming, spill traffic)
+ * and the compute array — with double-buffered weight prefetch
+ * overlapping the previous instruction's compute, mirroring the
+ * execution style of Figure 2. CPU-fallback instructions occupy the
+ * host instead of the array and pay partition-switch costs.
+ */
+
+#ifndef ETPU_TPUSIM_SIMULATOR_HH
+#define ETPU_TPUSIM_SIMULATOR_HH
+
+#include <array>
+
+#include "arch/config.hh"
+#include "tpusim/compiler.hh"
+#include "tpusim/isa.hh"
+
+namespace etpu::sim
+{
+
+/** Simulation outcome with accounting breakdowns. */
+struct PerfResult
+{
+    double latencyMs = 0.0;
+    double cycles = 0.0;      //!< latency in accelerator clock cycles
+    double energyMj = 0.0;    //!< NaN-free even when model unavailable
+    bool energyAvailable = true;
+
+    uint64_t macs = 0;        //!< MACs retired on the accelerator
+    uint64_t cpuMacs = 0;     //!< MACs executed by the host (fallback)
+    uint64_t dramBytes = 0;   //!< total off-chip traffic
+    uint64_t sramBytes = 0;   //!< on-chip memory traffic
+    double computeBusyMs = 0.0;
+    double dmaBusyMs = 0.0;
+    double cpuBusyMs = 0.0;
+    double overheadMs = 0.0;  //!< dispatch + fixed inference overhead
+    int numOps = 0;
+    int fallbackCellInstances = 0;
+
+    /** Achieved fraction of peak MACs over the whole inference. */
+    double utilization(const arch::AcceleratorConfig &cfg) const;
+};
+
+/** The performance simulator. */
+class Simulator
+{
+  public:
+    explicit Simulator(const arch::AcceleratorConfig &config,
+                       const Calibration &cal = defaultCalibration());
+
+    /** Simulate a compiled program. */
+    PerfResult run(const Program &prog) const;
+
+    /** Compile and simulate a network in one step. */
+    PerfResult run(const nas::Network &net,
+                   const nas::CellSpec *cell = nullptr) const;
+
+    /** Convenience: build + compile + simulate a cell. */
+    PerfResult runCell(const nas::CellSpec &cell) const;
+
+    const arch::AcceleratorConfig &config() const { return config_; }
+
+  private:
+    arch::AcceleratorConfig config_;
+    Calibration cal_;
+};
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_SIMULATOR_HH

@@ -1,0 +1,119 @@
+/** @file Unit tests for the surrogate accuracy model. */
+
+#include <gtest/gtest.h>
+
+#include "nasbench/accuracy.hh"
+#include "nasbench/enumerator.hh"
+#include "nasbench/network.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::nas;
+
+TEST(Accuracy, AnchorsPinnedToPublishedValues)
+{
+    const auto &anchors = anchorCells();
+    ASSERT_GE(anchors.size(), 7u);
+    EXPECT_DOUBLE_EQ(surrogateAccuracy(anchors[0].cell), 0.95055);
+    EXPECT_DOUBLE_EQ(surrogateAccuracy(anchors[1].cell), 0.94895);
+    for (const auto &a : anchors)
+        EXPECT_DOUBLE_EQ(surrogateAccuracy(a.cell), a.accuracy);
+}
+
+TEST(Accuracy, AnchorsAreValidCells)
+{
+    for (const auto &a : anchorCells())
+        EXPECT_TRUE(a.cell.valid()) << a.name;
+}
+
+TEST(Accuracy, AnchorOpCountsMatchFigures)
+{
+    const auto &anchors = anchorCells();
+    EXPECT_EQ(anchors[0].cell.opCount(Op::Conv3x3), 4);  // Figure 7a
+    EXPECT_EQ(anchors[0].cell.opCount(Op::Conv1x1), 0);
+    EXPECT_EQ(anchors[1].cell.opCount(Op::Conv1x1), 2);  // Figure 8a
+    EXPECT_EQ(anchors[1].cell.opCount(Op::Conv3x3), 2);
+}
+
+TEST(Accuracy, BestAnchorIsGlobalMaximum)
+{
+    // No non-anchor cell may exceed the surrogate cap, which itself is
+    // below the best anchor's 95.055%.
+    EXPECT_LT(surrogateAccuracyCap, 0.95055);
+    auto cells = enumerateCells({5, 9});
+    for (const auto &c : cells)
+        EXPECT_LE(surrogateAccuracy(c), 0.95055);
+}
+
+TEST(Accuracy, Deterministic)
+{
+    auto cell = makeChainCell({Op::Conv3x3, Op::Conv1x1});
+    EXPECT_DOUBLE_EQ(surrogateAccuracy(cell), surrogateAccuracy(cell));
+}
+
+TEST(Accuracy, WithinRange)
+{
+    auto cells = enumerateCells({5, 9});
+    for (const auto &c : cells) {
+        double a = surrogateAccuracy(c);
+        EXPECT_GE(a, 0.05);
+        EXPECT_LE(a, 0.95055);
+    }
+}
+
+TEST(Accuracy, MostModelsAboveSeventyPercent)
+{
+    // The paper keeps 98.5% of models with accuracy >= 70%.
+    auto cells = enumerateCells({6, 9});
+    size_t above = 0;
+    for (const auto &c : cells) {
+        if (surrogateAccuracy(c) >= 0.70)
+            above++;
+    }
+    double frac =
+        static_cast<double>(above) / static_cast<double>(cells.size());
+    EXPECT_GT(frac, 0.95);
+    EXPECT_LT(frac, 1.0); // the failed-training cluster exists
+}
+
+TEST(Accuracy, FailureClusterNearChanceLevel)
+{
+    auto cells = enumerateCells({6, 9});
+    size_t failures = 0;
+    for (const auto &c : cells) {
+        double a = surrogateAccuracy(c);
+        if (a < 0.2) {
+            failures++;
+            EXPECT_GT(a, 0.07);
+            EXPECT_LT(a, 0.11);
+        }
+    }
+    EXPECT_GT(failures, 0u);
+}
+
+TEST(Accuracy, ParamsOverloadMatches)
+{
+    auto cell = makeChainCell({Op::Conv3x3});
+    uint64_t params = countTrainableParams(cell);
+    EXPECT_DOUBLE_EQ(surrogateAccuracy(cell),
+                     surrogateAccuracy(cell, params));
+}
+
+TEST(Accuracy, MoreCapacityHelpsOnAverage)
+{
+    // Average accuracy of 4-conv3x3 cells exceeds that of 4-maxpool
+    // cells (capacity + conv3x3 terms).
+    auto big = makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3});
+    auto small = makeChainCell({Op::MaxPool3x3, Op::MaxPool3x3,
+                                Op::MaxPool3x3, Op::MaxPool3x3});
+    // Both could be failure outliers; pick non-outliers by checking.
+    double ab = surrogateAccuracy(big);
+    double as = surrogateAccuracy(small);
+    if (ab > 0.2 && as > 0.2)
+        EXPECT_GT(ab, as);
+}
+
+} // namespace

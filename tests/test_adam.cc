@@ -1,0 +1,89 @@
+/** @file Unit tests for the Adam optimizer. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/adam.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+
+GraphNetModel
+tinyModel(uint64_t seed = 1)
+{
+    Rng rng(seed);
+    GraphNetModel m;
+    ModelConfig cfg;
+    cfg.latent = 4;
+    cfg.messagePassingSteps = 1;
+    m.init(cfg, rng);
+    return m;
+}
+
+TEST(Adam, FirstStepMovesByLearningRate)
+{
+    GraphNetModel m = tinyModel();
+    float before = m.output.w.at(0, 0);
+    Adam opt(m, 1e-3);
+    GraphNetModel grad = m.zeroClone();
+    grad.output.w.at(0, 0) = 0.5f; // arbitrary non-zero gradient
+    opt.step(grad);
+    // Bias-corrected Adam's first update is ~lr * sign(grad).
+    EXPECT_NEAR(m.output.w.at(0, 0), before - 1e-3f, 1e-5);
+}
+
+TEST(Adam, ZeroGradientLeavesParamsAlone)
+{
+    GraphNetModel m = tinyModel();
+    std::vector<float> before;
+    m.forEach([&](Matrix &mat) {
+        before.insert(before.end(), mat.data().begin(),
+                      mat.data().end());
+    });
+    Adam opt(m, 1e-3);
+    GraphNetModel grad = m.zeroClone();
+    opt.step(grad);
+    std::vector<float> after;
+    m.forEach([&](Matrix &mat) {
+        after.insert(after.end(), mat.data().begin(), mat.data().end());
+    });
+    EXPECT_EQ(before, after);
+}
+
+TEST(Adam, IterationsCount)
+{
+    GraphNetModel m = tinyModel();
+    Adam opt(m);
+    GraphNetModel grad = m.zeroClone();
+    EXPECT_EQ(opt.iterations(), 0);
+    opt.step(grad);
+    opt.step(grad);
+    EXPECT_EQ(opt.iterations(), 2);
+}
+
+TEST(Adam, MinimizesQuadraticOnParameter)
+{
+    // Treat output.w[0,0] as the variable of f(x) = (x - 3)^2.
+    GraphNetModel m = tinyModel();
+    Adam opt(m, 0.05);
+    for (int it = 0; it < 2000; it++) {
+        GraphNetModel grad = m.zeroClone();
+        float x = m.output.w.at(0, 0);
+        grad.output.w.at(0, 0) = 2.0f * (x - 3.0f);
+        opt.step(grad);
+    }
+    EXPECT_NEAR(m.output.w.at(0, 0), 3.0f, 1e-2);
+}
+
+TEST(Adam, DefaultLearningRateIsPaperValue)
+{
+    GraphNetModel m = tinyModel();
+    Adam opt(m);
+    EXPECT_DOUBLE_EQ(opt.learningRate(), 1e-3);
+}
+
+} // namespace

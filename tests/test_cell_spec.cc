@@ -1,0 +1,160 @@
+/** @file Unit tests for the NASBench cell specification. */
+
+#include <gtest/gtest.h>
+
+#include "nasbench/cell_spec.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::nas;
+
+CellSpec
+threeOpCell()
+{
+    graph::Dag d(5);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    d.addEdge(1, 3);
+    d.addEdge(2, 3);
+    d.addEdge(3, 4);
+    return CellSpec(d, {Op::Input, Op::Conv3x3, Op::Conv1x1,
+                        Op::MaxPool3x3, Op::Output});
+}
+
+TEST(Ops, FloatCodesMatchPaperFigure4)
+{
+    EXPECT_FLOAT_EQ(opFloatCode(Op::Input), 1.0f);
+    EXPECT_FLOAT_EQ(opFloatCode(Op::Conv3x3), 2.0f);
+    EXPECT_FLOAT_EQ(opFloatCode(Op::MaxPool3x3), 3.0f);
+    EXPECT_FLOAT_EQ(opFloatCode(Op::Conv1x1), 4.0f);
+    EXPECT_FLOAT_EQ(opFloatCode(Op::Output), 5.0f);
+}
+
+TEST(Ops, NamesAreStable)
+{
+    EXPECT_EQ(opName(Op::Conv3x3), "conv3x3");
+    EXPECT_EQ(opName(Op::MaxPool3x3), "maxpool3x3");
+}
+
+TEST(CellSpec, ValidCellPasses)
+{
+    EXPECT_TRUE(threeOpCell().valid());
+}
+
+TEST(CellSpec, MinimalTwoVertexCellIsValid)
+{
+    graph::Dag d(2);
+    d.addEdge(0, 1);
+    CellSpec c(d, {Op::Input, Op::Output});
+    EXPECT_TRUE(c.valid());
+}
+
+TEST(CellSpec, TooManyEdgesInvalid)
+{
+    graph::Dag d(6);
+    for (int u = 0; u < 5; u++) {
+        for (int v = u + 1; v < 6; v++)
+            d.addEdge(u, v); // 15 edges
+    }
+    CellSpec c(d, {Op::Input, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+                   Op::Conv3x3, Op::Output});
+    EXPECT_FALSE(c.valid());
+    SpaceLimits wide{7, 15};
+    EXPECT_TRUE(c.valid(wide));
+}
+
+TEST(CellSpec, TooManyVerticesInvalid)
+{
+    auto c = makeChainCell(std::vector<Op>(6, Op::Conv1x1)); // 8 vertices
+    EXPECT_FALSE(c.valid());
+    SpaceLimits wide{8, 9};
+    EXPECT_TRUE(c.valid(wide));
+}
+
+TEST(CellSpec, WrongEndpointsInvalid)
+{
+    graph::Dag d(3);
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    CellSpec c(d, {Op::Conv3x3, Op::Conv3x3, Op::Output});
+    EXPECT_FALSE(c.valid());
+    CellSpec c2(d, {Op::Input, Op::Output, Op::Output});
+    EXPECT_FALSE(c2.valid());
+}
+
+TEST(CellSpec, DanglingVertexInvalid)
+{
+    graph::Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(1, 3); // vertex 2 dangles
+    CellSpec c(d, {Op::Input, Op::Conv3x3, Op::Conv3x3, Op::Output});
+    EXPECT_FALSE(c.valid());
+}
+
+TEST(CellSpec, OpCountsIgnoreEndpoints)
+{
+    CellSpec c = threeOpCell();
+    EXPECT_EQ(c.opCount(Op::Conv3x3), 1);
+    EXPECT_EQ(c.opCount(Op::Conv1x1), 1);
+    EXPECT_EQ(c.opCount(Op::MaxPool3x3), 1);
+    EXPECT_EQ(c.opCount(Op::Input), 0);
+    EXPECT_EQ(c.opCount(Op::Output), 0);
+}
+
+TEST(CellSpec, DepthAndWidthDelegateToDag)
+{
+    CellSpec c = threeOpCell();
+    EXPECT_EQ(c.depth(), 3);
+    EXPECT_EQ(c.width(), 2);
+}
+
+TEST(CellSpec, FingerprintStableAndLabelSensitive)
+{
+    CellSpec a = threeOpCell();
+    CellSpec b = threeOpCell();
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    b.ops[1] = Op::Conv1x1;
+    EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CellSpec, FingerprintInvariantUnderBranchSwap)
+{
+    // Swap the two symmetric parallel branches with different ops.
+    graph::Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    d.addEdge(1, 3);
+    d.addEdge(2, 3);
+    CellSpec a(d, {Op::Input, Op::Conv3x3, Op::MaxPool3x3, Op::Output});
+    CellSpec b(d, {Op::Input, Op::MaxPool3x3, Op::Conv3x3, Op::Output});
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(CellSpec, MakeChainCell)
+{
+    auto c = makeChainCell({Op::Conv3x3, Op::Conv1x1});
+    EXPECT_EQ(c.numVertices(), 4);
+    EXPECT_EQ(c.numEdges(), 3);
+    EXPECT_TRUE(c.valid());
+    EXPECT_EQ(c.depth(), 3);
+}
+
+TEST(CellSpec, PackedOpsRoundTrip)
+{
+    CellSpec c = threeOpCell();
+    auto packed = c.packedOps();
+    ASSERT_EQ(packed.size(), 5u);
+    EXPECT_EQ(static_cast<Op>(packed[0]), Op::Input);
+    EXPECT_EQ(static_cast<Op>(packed[2]), Op::Conv1x1);
+}
+
+TEST(CellSpec, StrMentionsOpsAndEdges)
+{
+    std::string s = threeOpCell().str();
+    EXPECT_NE(s.find("conv3x3"), std::string::npos);
+    EXPECT_NE(s.find("0->1"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,263 @@
+/** @file Unit tests for the Edge TPU compiler. */
+
+#include <gtest/gtest.h>
+
+#include "tpusim/compiler.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::sim;
+using nas::Op;
+
+nas::CellSpec
+poolHeavyCell()
+{
+    return nas::makeChainCell(
+        {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3});
+}
+
+TEST(CompilerFallback, TriggersOnPoolDominatedCellsOnV1Only)
+{
+    Compiler v1(arch::configV1());
+    Compiler v2(arch::configV2());
+    Compiler v3(arch::configV3());
+    auto cell = poolHeavyCell();
+    EXPECT_TRUE(v1.cellTriggersFallback(cell));
+    EXPECT_FALSE(v2.cellTriggersFallback(cell));
+    EXPECT_FALSE(v3.cellTriggersFallback(cell));
+}
+
+TEST(CompilerFallback, Conv3x3AnchorsFusion)
+{
+    Compiler v1(arch::configV1());
+    auto anchored = nas::makeChainCell(
+        {Op::Conv3x3, Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3});
+    EXPECT_FALSE(v1.cellTriggersFallback(anchored));
+}
+
+TEST(CompilerFallback, BalancedPoolConvMixStaysOnDevice)
+{
+    Compiler v1(arch::configV1());
+    auto balanced = nas::makeChainCell(
+        {Op::Conv1x1, Op::MaxPool3x3, Op::MaxPool3x3});
+    // mp (2) is not > c1 (1) + 1.
+    EXPECT_FALSE(v1.cellTriggersFallback(balanced));
+}
+
+TEST(CompilerCache, BudgetCombinesCoreAndPeShares)
+{
+    auto cfg = arch::configV2();
+    Compiler c(cfg);
+    uint64_t expected =
+        cfg.totalCoreMemoryBytes() +
+        static_cast<uint64_t>(cfg.compiler.peMemoryWeightFraction *
+                              cfg.totalPeMemoryBytes());
+    EXPECT_EQ(c.weightCacheBudget(), expected);
+}
+
+TEST(CompilerCache, V1BudgetIsLargest)
+{
+    Compiler v1(arch::configV1());
+    Compiler v2(arch::configV2());
+    Compiler v3(arch::configV3());
+    EXPECT_GT(v1.weightCacheBudget(), v3.weightCacheBudget());
+    EXPECT_GT(v3.weightCacheBudget(), v2.weightCacheBudget());
+}
+
+TEST(CompilerCache, SmallModelFullyCached)
+{
+    auto cell = nas::makeChainCell({Op::MaxPool3x3});
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler c(arch::configV1());
+    Program p = c.compile(net, &cell);
+    EXPECT_EQ(p.cachedWeightBytes, p.totalWeightBytes);
+    for (const auto &op : p.ops)
+        EXPECT_EQ(op.weightStreamBytes, 0u);
+}
+
+TEST(CompilerCache, LargeModelPartiallyStreams)
+{
+    auto cell = nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+         Op::Conv3x3});
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler c(arch::configV2());
+    Program p = c.compile(net, &cell);
+    EXPECT_GT(p.totalWeightBytes, p.weightCacheBudget);
+    EXPECT_EQ(p.cachedWeightBytes, p.weightCacheBudget);
+    uint64_t streamed = 0;
+    for (const auto &op : p.ops)
+        streamed += op.weightStreamBytes;
+    EXPECT_EQ(streamed + p.cachedWeightBytes, p.totalWeightBytes);
+}
+
+TEST(CompilerCache, PinsDeepLayersStreamsEarlyOnes)
+{
+    auto cell = nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+         Op::Conv3x3});
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler c(arch::configV2());
+    Program p = c.compile(net, &cell);
+    // Find first fully-cached and last streamed weighted op.
+    int last_streamed = -1, first_cached = -1;
+    for (size_t i = 0; i < p.ops.size(); i++) {
+        const auto &op = p.ops[i];
+        if (op.weightBytes == 0)
+            continue;
+        if (op.weightStreamBytes > 0)
+            last_streamed = static_cast<int>(i);
+        if (op.weightStreamBytes == 0 && first_cached < 0)
+            first_cached = static_cast<int>(i);
+    }
+    ASSERT_GE(last_streamed, 0);
+    // Streams happen before the (fully) pinned tail.
+    int last_fully_cached = -1;
+    for (size_t i = 0; i < p.ops.size(); i++) {
+        const auto &op = p.ops[i];
+        if (op.weightBytes > 0 && op.weightStreamBytes == 0)
+            last_fully_cached = static_cast<int>(i);
+    }
+    EXPECT_GT(last_fully_cached, last_streamed);
+}
+
+TEST(CompilerCache, CachingDisabledStreamsEverything)
+{
+    auto cfg = arch::configV1();
+    cfg.compiler.parameterCaching = false;
+    auto cell = nas::makeChainCell({Op::Conv3x3});
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler c(cfg);
+    Program p = c.compile(net, &cell);
+    EXPECT_EQ(p.cachedWeightBytes, 0u);
+    uint64_t streamed = 0;
+    for (const auto &op : p.ops)
+        streamed += op.weightStreamBytes;
+    EXPECT_EQ(streamed, p.totalWeightBytes);
+}
+
+TEST(CompilerUtil, LaneUtilizationExactFit)
+{
+    Compiler v2(arch::configV2()); // 256-wide reduction
+    nas::Layer l;
+    l.kind = nas::LayerKind::Conv;
+    l.kernel = 1;
+    l.cin = 256;
+    l.cout = 64;
+    l.h = l.w = l.outH = l.outW = 8;
+    EXPECT_DOUBLE_EQ(v2.laneUtilization(l), 1.0);
+}
+
+TEST(CompilerUtil, LaneUtilizationQuantized)
+{
+    Compiler v2(arch::configV2());
+    nas::Layer l;
+    l.kind = nas::LayerKind::Conv;
+    l.kernel = 3;
+    l.cin = 128; // reduce dim 1152 over width 256 -> 1152/1280
+    l.cout = 128;
+    l.h = l.w = l.outH = l.outW = 8;
+    EXPECT_NEAR(v2.laneUtilization(l), 1152.0 / 1280.0, 1e-12);
+}
+
+TEST(CompilerUtil, NarrowReductionFavorsV3)
+{
+    // conv1x1 with 96 input channels: V2 packs raggedly, V3 does not.
+    nas::Layer l;
+    l.kind = nas::LayerKind::Conv;
+    l.kernel = 1;
+    l.cin = 96;
+    l.cout = 96;
+    l.h = l.w = l.outH = l.outW = 8;
+    Compiler v2(arch::configV2());
+    Compiler v3(arch::configV3());
+    EXPECT_GT(v3.laneUtilization(l), v2.laneUtilization(l));
+}
+
+TEST(CompilerUtil, CoreUtilizationQuantizesOutputChannels)
+{
+    Compiler v1(arch::configV1()); // 4 cores
+    nas::Layer l;
+    l.kind = nas::LayerKind::Conv;
+    l.kernel = 1;
+    l.cin = 128;
+    l.cout = 6; // ceil(6/4)*4 = 8
+    l.h = l.w = l.outH = l.outW = 8;
+    EXPECT_NEAR(v1.coreUtilization(l), 6.0 / 8.0, 1e-12);
+}
+
+TEST(CompilerUtil, SpatialUtilizationQuantizesPixels)
+{
+    Compiler v1(arch::configV1()); // 16 PEs
+    nas::Layer l;
+    l.kind = nas::LayerKind::Conv;
+    l.kernel = 1;
+    l.cin = 64;
+    l.cout = 64;
+    l.h = l.w = 5; // 25 pixels over 16 PEs -> 25/32
+    l.outH = l.outW = 5;
+    EXPECT_NEAR(v1.spatialUtilization(l), 25.0 / 32.0, 1e-12);
+}
+
+TEST(CompilerUtil, DensePartitionsChannelsNotPixels)
+{
+    Compiler v1(arch::configV1());
+    nas::Layer l;
+    l.kind = nas::LayerKind::Dense;
+    l.cin = 512;
+    l.cout = 10;
+    l.h = l.w = l.outH = l.outW = 1;
+    EXPECT_DOUBLE_EQ(v1.spatialUtilization(l), 1.0);
+}
+
+TEST(CompilerProgram, OneOpPerLayerWithSameDeps)
+{
+    auto cell = nas::makeChainCell({Op::Conv3x3, Op::Conv1x1});
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler c(arch::configV2());
+    Program p = c.compile(net, &cell);
+    ASSERT_EQ(p.ops.size(), net.layers.size());
+    for (size_t i = 0; i < p.ops.size(); i++) {
+        EXPECT_EQ(p.ops[i].layer, static_cast<int>(i));
+        EXPECT_EQ(p.ops[i].kind, net.layers[i].kind);
+        ASSERT_EQ(p.ops[i].deps.size(), net.layers[i].deps.size());
+    }
+}
+
+TEST(CompilerProgram, FallbackMarksOnlyVertexOps)
+{
+    auto cell = poolHeavyCell();
+    nas::Network net = nas::buildNetwork(cell);
+    Compiler v1(arch::configV1());
+    Program p = v1.compile(net, &cell);
+    EXPECT_EQ(p.fallbackCellInstances, 9);
+    for (const auto &op : p.ops) {
+        if (op.cpuFallback) {
+            EXPECT_TRUE(op.kind == nas::LayerKind::MaxPool ||
+                        op.kind == nas::LayerKind::Conv);
+            EXPECT_GT(op.dramActBytes, 0u);
+            EXPECT_EQ(op.weightStreamBytes, 0u);
+        } else {
+            EXPECT_NE(op.kind, nas::LayerKind::MaxPool);
+        }
+    }
+}
+
+TEST(CompilerProgram, EfficiencyWithinBounds)
+{
+    auto cell = nas::makeChainCell({Op::Conv3x3, Op::MaxPool3x3});
+    nas::Network net = nas::buildNetwork(cell);
+    for (const auto &cfg : arch::allConfigs()) {
+        Compiler c(cfg);
+        Program p = c.compile(net, &cell);
+        for (const auto &op : p.ops) {
+            double e = op.efficiency(0.02);
+            EXPECT_GE(e, 0.02);
+            EXPECT_LE(e, 1.0);
+        }
+    }
+}
+
+} // namespace

@@ -1,0 +1,146 @@
+/** @file Unit tests: accelerator presets must match Table 2. */
+
+#include <gtest/gtest.h>
+
+#include "arch/config.hh"
+
+namespace
+{
+
+using namespace etpu::arch;
+
+TEST(ConfigV1, MatchesTable2)
+{
+    auto c = configV1();
+    EXPECT_EQ(c.name, "V1");
+    EXPECT_DOUBLE_EQ(c.clockMhz, 800);
+    EXPECT_EQ(c.xPes, 4);
+    EXPECT_EQ(c.yPes, 4);
+    EXPECT_EQ(c.peMemoryBytes, 2u << 20);
+    EXPECT_EQ(c.coresPerPe, 4);
+    EXPECT_EQ(c.coreMemoryBytes, 32u << 10);
+    EXPECT_EQ(c.computeLanes, 64);
+    EXPECT_EQ(c.parameterMemoryWords, 16384u);
+    EXPECT_EQ(c.activationMemoryWords, 1024u);
+    EXPECT_DOUBLE_EQ(c.ioBandwidthGBs, 17);
+}
+
+TEST(ConfigV2, MatchesTable2)
+{
+    auto c = configV2();
+    EXPECT_DOUBLE_EQ(c.clockMhz, 1066);
+    EXPECT_EQ(c.numPes(), 16);
+    EXPECT_EQ(c.peMemoryBytes, 384u << 10);
+    EXPECT_EQ(c.coresPerPe, 1);
+    EXPECT_EQ(c.coreMemoryBytes, 32u << 10);
+    EXPECT_EQ(c.computeLanes, 64);
+    EXPECT_EQ(c.parameterMemoryWords, 8192u);
+    EXPECT_DOUBLE_EQ(c.ioBandwidthGBs, 32);
+}
+
+TEST(ConfigV3, MatchesTable2)
+{
+    auto c = configV3();
+    EXPECT_DOUBLE_EQ(c.clockMhz, 1066);
+    EXPECT_EQ(c.xPes, 4);
+    EXPECT_EQ(c.yPes, 1);
+    EXPECT_EQ(c.peMemoryBytes, 2u << 20);
+    EXPECT_EQ(c.coresPerPe, 8);
+    EXPECT_EQ(c.coreMemoryBytes, 8u << 10);
+    EXPECT_EQ(c.computeLanes, 32);
+    EXPECT_DOUBLE_EQ(c.ioBandwidthGBs, 32);
+}
+
+TEST(Config, PeakTopsMatchesTable2)
+{
+    // Derived: 2 ops/MAC * MACs/cycle * clock.
+    EXPECT_NEAR(configV1().peakTops(), 26.2, 0.05);
+    EXPECT_NEAR(configV2().peakTops(), 8.73, 0.01);
+    EXPECT_NEAR(configV3().peakTops(), 8.73, 0.01);
+}
+
+TEST(Config, MacsPerCycle)
+{
+    EXPECT_EQ(configV1().macsPerCycle(), 16384u);
+    EXPECT_EQ(configV2().macsPerCycle(), 4096u);
+    EXPECT_EQ(configV3().macsPerCycle(), 4096u);
+}
+
+TEST(Config, TotalMemories)
+{
+    EXPECT_EQ(configV1().totalPeMemoryBytes(), 32ull << 20);
+    EXPECT_EQ(configV1().totalCoreMemoryBytes(), 2ull << 20);
+    EXPECT_EQ(configV2().totalPeMemoryBytes(), 6ull << 20);
+    EXPECT_EQ(configV2().totalCoreMemoryBytes(), 512ull << 10);
+    EXPECT_EQ(configV3().totalPeMemoryBytes(), 8ull << 20);
+    EXPECT_EQ(configV3().totalCoreMemoryBytes(), 256ull << 10);
+}
+
+TEST(Config, V3CoversLargeOnChipMemoryDomain)
+{
+    // Paper: V2 = low TOPS small memory, V3 = low TOPS large memory.
+    EXPECT_GT(configV3().totalPeMemoryBytes(),
+              configV2().totalPeMemoryBytes());
+}
+
+TEST(Config, SustainedBandwidthOrdering)
+{
+    // V2 sustains the most; V1 the least in absolute terms.
+    EXPECT_GT(configV2().sustainedDramBytesPerSec(),
+              configV3().sustainedDramBytesPerSec());
+    EXPECT_GT(configV3().sustainedDramBytesPerSec(),
+              configV1().sustainedDramBytesPerSec());
+    // Sustained never exceeds peak.
+    for (const auto &c : allConfigs()) {
+        EXPECT_LE(c.sustainedDramBytesPerSec(),
+                  c.ioBandwidthGBs * 1e9);
+    }
+}
+
+TEST(Config, EnergyAvailability)
+{
+    // The paper's V3 energy model was unavailable (Tables 3-5 "N/A").
+    EXPECT_TRUE(configV1().energy.available);
+    EXPECT_TRUE(configV2().energy.available);
+    EXPECT_FALSE(configV3().energy.available);
+}
+
+TEST(Config, OnlyV1UsesOlderToolchain)
+{
+    EXPECT_TRUE(configV1().compiler.fallbackOnPoolDominatedCells);
+    EXPECT_FALSE(configV2().compiler.fallbackOnPoolDominatedCells);
+    EXPECT_FALSE(configV3().compiler.fallbackOnPoolDominatedCells);
+}
+
+TEST(Config, AllConfigsOrderedAndValid)
+{
+    const auto &all = allConfigs();
+    EXPECT_EQ(all[0].name, "V1");
+    EXPECT_EQ(all[1].name, "V2");
+    EXPECT_EQ(all[2].name, "V3");
+    for (const auto &c : all)
+        c.validate(); // must not fatal
+}
+
+TEST(Config, ValidateRejectsBrokenConfigs)
+{
+    auto c = configV1();
+    c.clockMhz = 0;
+    EXPECT_EXIT(c.validate(), ::testing::ExitedWithCode(1), "clock");
+
+    auto c2 = configV2();
+    c2.ioBandwidthGBs = -1;
+    EXPECT_EXIT(c2.validate(), ::testing::ExitedWithCode(1),
+                "bandwidth");
+
+    auto c3 = configV3();
+    c3.coresPerPe = 0;
+    EXPECT_EXIT(c3.validate(), ::testing::ExitedWithCode(1), "core");
+}
+
+TEST(Config, ClockPeriod)
+{
+    EXPECT_NEAR(configV1().clockPeriodNs(), 1.25, 1e-9);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/** @file Unit tests for the CSV writer. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/csv.hh"
+
+namespace
+{
+
+using etpu::CsvWriter;
+
+std::string
+readAll(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream oss;
+    oss << in.rdbuf();
+    return oss.str();
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Csv, PlainRows)
+{
+    std::string path = tmpPath("etpu_csv1.csv");
+    {
+        CsvWriter w(path);
+        ASSERT_TRUE(w.ok());
+        w.row({"a", "b", "c"});
+        w.row({"1", "2", "3"});
+    }
+    EXPECT_EQ(readAll(path), "a,b,c\n1,2,3\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, QuotesCellsWithCommas)
+{
+    std::string path = tmpPath("etpu_csv2.csv");
+    {
+        CsvWriter w(path);
+        w.row({"x,y", "plain"});
+    }
+    EXPECT_EQ(readAll(path), "\"x,y\",plain\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, EscapesEmbeddedQuotes)
+{
+    std::string path = tmpPath("etpu_csv3.csv");
+    {
+        CsvWriter w(path);
+        w.row({"say \"hi\""});
+    }
+    EXPECT_EQ(readAll(path), "\"say \"\"hi\"\"\"\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, DoubleRows)
+{
+    std::string path = tmpPath("etpu_csv4.csv");
+    {
+        CsvWriter w(path);
+        w.rowDoubles({1.5, 2.25}, 6);
+    }
+    EXPECT_EQ(readAll(path), "1.5,2.25\n");
+    std::remove(path.c_str());
+}
+
+} // namespace

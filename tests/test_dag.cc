@@ -1,0 +1,174 @@
+/** @file Unit tests for the DAG type and its structural metrics. */
+
+#include <gtest/gtest.h>
+
+#include "graph/dag.hh"
+
+namespace
+{
+
+using etpu::graph::Dag;
+
+Dag
+chain(int n)
+{
+    Dag d(n);
+    for (int v = 0; v + 1 < n; v++)
+        d.addEdge(v, v + 1);
+    return d;
+}
+
+TEST(Dag, EmptyGraphBasics)
+{
+    Dag d(4);
+    EXPECT_EQ(d.numVertices(), 4);
+    EXPECT_EQ(d.numEdges(), 0);
+    EXPECT_FALSE(d.hasEdge(0, 1));
+}
+
+TEST(Dag, AddRemoveEdge)
+{
+    Dag d(3);
+    d.addEdge(0, 2);
+    EXPECT_TRUE(d.hasEdge(0, 2));
+    EXPECT_EQ(d.numEdges(), 1);
+    d.removeEdge(0, 2);
+    EXPECT_FALSE(d.hasEdge(0, 2));
+    EXPECT_EQ(d.numEdges(), 0);
+}
+
+TEST(Dag, DegreesMatchEdges)
+{
+    Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    d.addEdge(1, 3);
+    d.addEdge(2, 3);
+    EXPECT_EQ(d.outDegree(0), 2);
+    EXPECT_EQ(d.inDegree(3), 2);
+    EXPECT_EQ(d.inDegree(0), 0);
+    EXPECT_EQ(d.outDegree(3), 0);
+}
+
+TEST(Dag, UpperBitsRoundTrip)
+{
+    for (uint64_t bits : {0ull, 1ull, 0b1011ull, 0b111111ull}) {
+        Dag d = Dag::fromUpperBits(4, bits);
+        EXPECT_EQ(d.upperBits(), bits);
+    }
+}
+
+TEST(Dag, UpperBitsEnumerationOrder)
+{
+    // Bit 0 is edge (0,1), bit 1 is (0,2), bit 2 is (1,2), ...
+    Dag d = Dag::fromUpperBits(3, 0b101);
+    EXPECT_TRUE(d.hasEdge(0, 1));
+    EXPECT_FALSE(d.hasEdge(0, 2));
+    EXPECT_TRUE(d.hasEdge(1, 2));
+}
+
+TEST(Dag, FullDagRequiresInAndOutEdges)
+{
+    Dag d(3);
+    d.addEdge(0, 2);
+    EXPECT_FALSE(d.isFullDag()); // vertex 1 dangling
+    d.addEdge(0, 1);
+    EXPECT_FALSE(d.isFullDag()); // vertex 1 has no out-edge
+    d.addEdge(1, 2);
+    EXPECT_TRUE(d.isFullDag());
+}
+
+TEST(Dag, TwoVertexFullDag)
+{
+    Dag d(2);
+    EXPECT_FALSE(d.isFullDag());
+    d.addEdge(0, 1);
+    EXPECT_TRUE(d.isFullDag());
+}
+
+TEST(Dag, Reachability)
+{
+    Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(1, 3);
+    EXPECT_FALSE(d.allReachableFromInput()); // 2 unreachable
+    d.addEdge(0, 2);
+    EXPECT_TRUE(d.allReachableFromInput());
+    EXPECT_FALSE(d.allReachOutput()); // 2 cannot reach 3
+    d.addEdge(2, 3);
+    EXPECT_TRUE(d.allReachOutput());
+}
+
+TEST(Dag, DepthOfChainIsEdgeCount)
+{
+    for (int n = 2; n <= 7; n++)
+        EXPECT_EQ(chain(n).depth(), n - 1);
+}
+
+TEST(Dag, DepthPicksLongestPath)
+{
+    Dag d(5);
+    d.addEdge(0, 4); // short path
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    d.addEdge(2, 3);
+    d.addEdge(3, 4); // long path
+    EXPECT_EQ(d.depth(), 4);
+}
+
+TEST(Dag, WidthOfChainIsOne)
+{
+    for (int n = 2; n <= 7; n++)
+        EXPECT_EQ(chain(n).width(), 1);
+}
+
+TEST(Dag, WidthCountsParallelBranches)
+{
+    // input fans out to 3 parallel vertices, all merging to output.
+    Dag d(5);
+    for (int v = 1; v <= 3; v++) {
+        d.addEdge(0, v);
+        d.addEdge(v, 4);
+    }
+    EXPECT_EQ(d.width(), 3);
+}
+
+TEST(Dag, WidthWithSkipEdge)
+{
+    Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    d.addEdge(2, 3);
+    d.addEdge(0, 3); // skip crosses every cut
+    EXPECT_EQ(d.width(), 2);
+}
+
+TEST(Dag, EdgesAreDeterministicallyOrdered)
+{
+    Dag d(4);
+    d.addEdge(1, 3);
+    d.addEdge(0, 2);
+    d.addEdge(0, 1);
+    auto edges = d.edges();
+    ASSERT_EQ(edges.size(), 3u);
+    EXPECT_EQ(edges[0], std::make_pair(0, 1));
+    EXPECT_EQ(edges[1], std::make_pair(0, 2));
+    EXPECT_EQ(edges[2], std::make_pair(1, 3));
+}
+
+TEST(Dag, StrFormat)
+{
+    Dag d(3);
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    EXPECT_EQ(d.str(), "0->1 1->2");
+}
+
+TEST(Dag, BackwardEdgePanics)
+{
+    Dag d(3);
+    EXPECT_DEATH(d.addEdge(2, 1), "bad edge");
+    EXPECT_DEATH(d.addEdge(1, 1), "bad edge");
+}
+
+} // namespace

@@ -1,0 +1,131 @@
+/** @file Randomized property tests over the DAG structural metrics. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "graph/dag.hh"
+
+namespace
+{
+
+using namespace etpu;
+using graph::Dag;
+
+Dag
+randomDag(Rng &rng, int n, double p)
+{
+    Dag d(n);
+    for (int u = 0; u < n; u++) {
+        for (int v = u + 1; v < n; v++) {
+            if (rng.uniform() < p)
+                d.addEdge(u, v);
+        }
+    }
+    return d;
+}
+
+class DagPropertyTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DagPropertyTest, UpperBitsRoundTripsRandomGraphs)
+{
+    Rng rng(GetParam());
+    for (int trial = 0; trial < 200; trial++) {
+        int n = 2 + static_cast<int>(rng.uniformInt(6));
+        Dag d = randomDag(rng, n, rng.uniform(0.1, 0.9));
+        Dag back = Dag::fromUpperBits(n, d.upperBits());
+        EXPECT_EQ(back, d);
+    }
+}
+
+TEST_P(DagPropertyTest, DepthBoundedByVertices)
+{
+    Rng rng(GetParam() + 100);
+    for (int trial = 0; trial < 200; trial++) {
+        int n = 2 + static_cast<int>(rng.uniformInt(6));
+        Dag d = randomDag(rng, n, 0.5);
+        EXPECT_LE(d.depth(), n - 1);
+        EXPECT_GE(d.depth(), 0);
+    }
+}
+
+TEST_P(DagPropertyTest, WidthBoundedByEdges)
+{
+    Rng rng(GetParam() + 200);
+    for (int trial = 0; trial < 200; trial++) {
+        int n = 2 + static_cast<int>(rng.uniformInt(6));
+        Dag d = randomDag(rng, n, 0.5);
+        EXPECT_LE(d.width(), d.numEdges());
+        if (d.numEdges() > 0)
+            EXPECT_GE(d.width(), 1);
+    }
+}
+
+TEST_P(DagPropertyTest, FullDagImpliesConnectivity)
+{
+    Rng rng(GetParam() + 300);
+    int checked = 0;
+    for (int trial = 0; trial < 500; trial++) {
+        int n = 2 + static_cast<int>(rng.uniformInt(6));
+        Dag d = randomDag(rng, n, 0.5);
+        if (!d.isFullDag())
+            continue;
+        checked++;
+        // For upper-triangular adjacency, the degree conditions imply
+        // every vertex lies on an input->output path.
+        EXPECT_TRUE(d.allReachableFromInput()) << d.str();
+        EXPECT_TRUE(d.allReachOutput()) << d.str();
+        EXPECT_GE(d.depth(), 1);
+    }
+    EXPECT_GT(checked, 20);
+}
+
+TEST_P(DagPropertyTest, AddingEdgesNeverReducesDepthOrWidthBelowOld)
+{
+    Rng rng(GetParam() + 400);
+    for (int trial = 0; trial < 100; trial++) {
+        int n = 3 + static_cast<int>(rng.uniformInt(5));
+        Dag d = randomDag(rng, n, 0.3);
+        int old_depth = d.depth();
+        // Add a random missing edge.
+        std::vector<std::pair<int, int>> missing;
+        for (int u = 0; u < n; u++) {
+            for (int v = u + 1; v < n; v++) {
+                if (!d.hasEdge(u, v))
+                    missing.emplace_back(u, v);
+            }
+        }
+        if (missing.empty())
+            continue;
+        auto [u, v] = missing[rng.uniformInt(missing.size())];
+        d.addEdge(u, v);
+        // New paths can only lengthen the longest input->output path.
+        EXPECT_GE(d.depth(), old_depth);
+    }
+}
+
+TEST_P(DagPropertyTest, EdgeListMatchesAdjacency)
+{
+    Rng rng(GetParam() + 500);
+    for (int trial = 0; trial < 100; trial++) {
+        int n = 2 + static_cast<int>(rng.uniformInt(6));
+        Dag d = randomDag(rng, n, 0.5);
+        auto edges = d.edges();
+        EXPECT_EQ(static_cast<int>(edges.size()), d.numEdges());
+        int sum_in = 0, sum_out = 0;
+        for (int v = 0; v < n; v++) {
+            sum_in += d.inDegree(v);
+            sum_out += d.outDegree(v);
+        }
+        EXPECT_EQ(sum_in, d.numEdges());
+        EXPECT_EQ(sum_out, d.numEdges());
+        for (auto [u, v] : edges)
+            EXPECT_TRUE(d.hasEdge(u, v));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+} // namespace

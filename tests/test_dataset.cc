@@ -1,0 +1,110 @@
+/** @file Unit tests for the dataset container and its serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "nasbench/dataset.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::nas;
+
+ModelRecord
+makeRecord(int n_interior, float accuracy)
+{
+    ModelRecord r;
+    std::vector<Op> interior(static_cast<size_t>(n_interior),
+                             Op::Conv3x3);
+    r.spec = makeChainCell(interior);
+    r.params = 1000u * static_cast<uint64_t>(n_interior + 1);
+    r.macs = r.params * 100;
+    r.weightBytes = r.params;
+    r.accuracy = accuracy;
+    r.depth = static_cast<uint8_t>(r.spec.depth());
+    r.width = static_cast<uint8_t>(r.spec.width());
+    r.numConv3x3 = static_cast<uint8_t>(n_interior);
+    for (int c = 0; c < numAccelerators; c++) {
+        r.latencyMs[static_cast<size_t>(c)] = 0.1f * (c + 1);
+        r.energyMj[static_cast<size_t>(c)] = 0.2f * (c + 1);
+    }
+    return r;
+}
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Dataset, SaveLoadRoundTrip)
+{
+    Dataset ds;
+    ds.records.push_back(makeRecord(1, 0.8f));
+    ds.records.push_back(makeRecord(3, 0.9f));
+    std::string path = tmpPath("etpu_ds_rt.bin");
+    ds.save(path);
+
+    Dataset loaded;
+    ASSERT_TRUE(Dataset::load(path, loaded));
+    ASSERT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.records[0].spec, ds.records[0].spec);
+    EXPECT_EQ(loaded.records[1].params, ds.records[1].params);
+    EXPECT_EQ(loaded.records[1].macs, ds.records[1].macs);
+    EXPECT_FLOAT_EQ(loaded.records[0].accuracy, 0.8f);
+    EXPECT_FLOAT_EQ(loaded.records[1].latencyMs[2], 0.3f);
+    EXPECT_FLOAT_EQ(loaded.records[1].energyMj[0], 0.2f);
+    EXPECT_EQ(loaded.records[1].numConv3x3, 3);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, LoadMissingFileFails)
+{
+    Dataset ds;
+    EXPECT_FALSE(Dataset::load("/nonexistent/ds.bin", ds));
+}
+
+TEST(Dataset, LoadRejectsGarbage)
+{
+    std::string path = tmpPath("etpu_ds_garbage.bin");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "not a dataset at all, definitely";
+    }
+    Dataset ds;
+    EXPECT_FALSE(Dataset::load(path, ds));
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, FilterByAccuracy)
+{
+    Dataset ds;
+    ds.records.push_back(makeRecord(1, 0.5f));
+    ds.records.push_back(makeRecord(2, 0.7f));
+    ds.records.push_back(makeRecord(3, 0.9f));
+    auto kept = ds.filterByAccuracy(0.7);
+    ASSERT_EQ(kept.size(), 2u);
+    EXPECT_FLOAT_EQ(kept[0]->accuracy, 0.7f);
+    EXPECT_FLOAT_EQ(kept[1]->accuracy, 0.9f);
+}
+
+TEST(Dataset, BestAccuracyIndex)
+{
+    Dataset ds;
+    ds.records.push_back(makeRecord(1, 0.5f));
+    ds.records.push_back(makeRecord(2, 0.95f));
+    ds.records.push_back(makeRecord(3, 0.9f));
+    EXPECT_EQ(ds.bestAccuracyIndex(), 1u);
+}
+
+TEST(Dataset, BestAccuracyOnEmptyPanics)
+{
+    Dataset ds;
+    EXPECT_DEATH(ds.bestAccuracyIndex(), "empty");
+}
+
+} // namespace

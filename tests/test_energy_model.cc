@@ -1,0 +1,129 @@
+/** @file Property tests for the simulator's energy model. */
+
+#include <gtest/gtest.h>
+
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::sim;
+using nas::Op;
+
+nas::CellSpec
+bigCell()
+{
+    return nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+         Op::Conv3x3});
+}
+
+class EnergyConfigTest
+    : public ::testing::TestWithParam<arch::AcceleratorConfig>
+{
+};
+
+TEST_P(EnergyConfigTest, RaisingDramCostRaisesStreamedModelEnergy)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg2 = cfg;
+    cfg2.energy.pjPerDramByte *= 2.0;
+    Simulator expensive(cfg2);
+    auto cell = bigCell();
+    EXPECT_GT(expensive.runCell(cell).energyMj,
+              base.runCell(cell).energyMj);
+}
+
+TEST_P(EnergyConfigTest, RaisingStaticPowerRaisesEveryModelEnergy)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg2 = cfg;
+    cfg2.energy.staticWatts += 1.0;
+    Simulator hot(cfg2);
+    for (const auto &cell :
+         {nas::makeChainCell({Op::MaxPool3x3}), bigCell()}) {
+        EXPECT_GT(hot.runCell(cell).energyMj,
+                  base.runCell(cell).energyMj);
+    }
+}
+
+TEST_P(EnergyConfigTest, RaisingMacCostRaisesComputeModelEnergy)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg2 = cfg;
+    cfg2.energy.pjPerMac *= 3.0;
+    Simulator heavy(cfg2);
+    auto cell = bigCell();
+    EXPECT_GT(heavy.runCell(cell).energyMj,
+              base.runCell(cell).energyMj);
+}
+
+TEST_P(EnergyConfigTest, LatencyUnaffectedByEnergyCoefficients)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg2 = cfg;
+    cfg2.energy.pjPerDramByte *= 5;
+    cfg2.energy.staticWatts *= 2;
+    cfg2.energy.pjPerMac *= 7;
+    Simulator changed(cfg2);
+    auto cell = bigCell();
+    EXPECT_DOUBLE_EQ(base.runCell(cell).latencyMs,
+                     changed.runCell(cell).latencyMs);
+}
+
+TEST_P(EnergyConfigTest, ImplicitPowerWithinPlausibleEdgeBudget)
+{
+    // Edge TPUs live in single-digit-watt envelopes; a calibrated
+    // model should too, across model sizes.
+    Simulator sim(GetParam());
+    for (const auto &cell :
+         {nas::makeChainCell({Op::Conv1x1}), bigCell()}) {
+        PerfResult r = sim.runCell(cell);
+        double watts = r.energyMj / r.latencyMs;
+        EXPECT_GT(watts, 0.2);
+        EXPECT_LT(watts, 10.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, EnergyConfigTest,
+    ::testing::ValuesIn(arch::allConfigs()),
+    [](const ::testing::TestParamInfo<arch::AcceleratorConfig> &info) {
+        return info.param.name;
+    });
+
+TEST(EnergyModel, CachingReducesEnergyOfStreamedModels)
+{
+    auto cfg = arch::configV1();
+    Simulator cached(cfg);
+    cfg.compiler.parameterCaching = false;
+    Simulator uncached(cfg);
+    auto cell = bigCell();
+    EXPECT_LT(cached.runCell(cell).energyMj,
+              uncached.runCell(cell).energyMj);
+}
+
+TEST(EnergyModel, V1StaticExceedsV2Static)
+{
+    // The larger-SRAM V1 die burns more static power; this drives the
+    // Figure 6 low-latency ordering.
+    EXPECT_GT(arch::configV1().energy.staticWatts,
+              arch::configV2().energy.staticWatts);
+}
+
+TEST(EnergyModel, EnergyLatencyRatioGrowsWithModelSize)
+{
+    // Bigger models stream more DRAM bytes per unit time.
+    Simulator sim(arch::configV2());
+    PerfResult small = sim.runCell(nas::makeChainCell({Op::Conv1x1}));
+    PerfResult large = sim.runCell(bigCell());
+    EXPECT_GT(large.energyMj / large.latencyMs,
+              small.energyMj / small.latencyMs);
+}
+
+} // namespace

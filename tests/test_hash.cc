@@ -1,0 +1,91 @@
+/** @file Unit tests for the 128-bit hashing utilities. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "common/hash.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+TEST(Mix64, IsDeterministic)
+{
+    EXPECT_EQ(mix64(12345), mix64(12345));
+    EXPECT_NE(mix64(12345), mix64(12346));
+}
+
+TEST(Mix64, ZeroDoesNotMapToZero)
+{
+    EXPECT_NE(mix64(0), 0u);
+}
+
+TEST(Hash128, DistinctInputsGiveDistinctHashes)
+{
+    std::set<Hash128> seen;
+    for (uint64_t i = 0; i < 10000; i++)
+        seen.insert(hash128(i));
+    EXPECT_EQ(seen.size(), 10000u);
+}
+
+TEST(Hash128, CombineIsOrderDependent)
+{
+    Hash128 a = hash128(1), b = hash128(2);
+    EXPECT_NE(hashCombine(a, b), hashCombine(b, a));
+}
+
+TEST(Hash128, CombineDiffersFromInputs)
+{
+    Hash128 a = hash128(1), b = hash128(2);
+    Hash128 c = hashCombine(a, b);
+    EXPECT_NE(c, a);
+    EXPECT_NE(c, b);
+}
+
+TEST(Hash128, AbsorbChangesValue)
+{
+    Hash128 h = hash128(7);
+    EXPECT_NE(hashAbsorb(h, 1), hashAbsorb(h, 2));
+}
+
+TEST(Hash128, BytesMatchesForIdenticalBuffers)
+{
+    const char buf[] = "edge tpu characterization";
+    EXPECT_EQ(hashBytes(buf, sizeof(buf)), hashBytes(buf, sizeof(buf)));
+}
+
+TEST(Hash128, BytesSensitiveToLengthAndContent)
+{
+    const char a[] = "abcdefgh";
+    const char b[] = "abcdefgi";
+    EXPECT_NE(hashBytes(a, 8), hashBytes(b, 8));
+    EXPECT_NE(hashBytes(a, 7), hashBytes(a, 8));
+}
+
+TEST(Hash128, HexStringIs32Chars)
+{
+    Hash128 h = hash128(99);
+    EXPECT_EQ(h.str().size(), 32u);
+    EXPECT_EQ(h.str().find_first_not_of("0123456789abcdef"),
+              std::string::npos);
+}
+
+TEST(Hash128, WorksAsUnorderedKey)
+{
+    std::unordered_set<Hash128> set;
+    for (uint64_t i = 0; i < 1000; i++)
+        set.insert(hash128(i));
+    EXPECT_EQ(set.size(), 1000u);
+    EXPECT_TRUE(set.count(hash128(500)));
+}
+
+TEST(Hash128, OrderingIsTotal)
+{
+    Hash128 a = hash128(1), b = hash128(2);
+    EXPECT_TRUE((a < b) || (b < a) || (a == b));
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+/** @file End-to-end integration tests across the whole pipeline. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "gnn/trainer.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/enumerator.hh"
+#include "pipeline/builder.hh"
+#include "tpusim/simulator.hh"
+#include "stats/correlation.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+/** Shared dataset over the <=5-vertex space (2,532 cells). */
+const nas::Dataset &
+smallSpaceDataset()
+{
+    static const nas::Dataset ds = [] {
+        auto cells = nas::enumerateCells({5, 9});
+        return pipeline::buildDataset(cells);
+    }();
+    return ds;
+}
+
+TEST(Integration, LatencyCorrelatesWithParameters)
+{
+    // Figure 14: latency is mostly proportional to trainable params.
+    const auto &ds = smallSpaceDataset();
+    std::vector<double> params, lat;
+    for (const auto &r : ds.records) {
+        params.push_back(static_cast<double>(r.params));
+        lat.push_back(r.latencyMs[0]);
+    }
+    EXPECT_GT(stats::spearman(params, lat), 0.8);
+}
+
+TEST(Integration, LatencyBucketsKeyedByConv3x3Count)
+{
+    // Figure 5: the number of 3x3 convolutions drives latency buckets.
+    const auto &ds = smallSpaceDataset();
+    std::array<std::vector<double>, 4> by_count;
+    for (const auto &r : ds.records) {
+        if (r.numConv3x3 < 4)
+            by_count[r.numConv3x3].push_back(r.latencyMs[1]);
+    }
+    for (int c = 0; c + 1 < 4; c++) {
+        ASSERT_FALSE(by_count[c].empty());
+        double mean_lo = stats::summarize(by_count[c]).mean;
+        double mean_hi = stats::summarize(by_count[c + 1]).mean;
+        EXPECT_LT(mean_lo, mean_hi) << "conv3x3 count " << c;
+    }
+}
+
+TEST(Integration, WinnerBucketsCoverWholeSpace)
+{
+    const auto &ds = smallSpaceDataset();
+    std::array<size_t, 3> wins = {0, 0, 0};
+    for (const auto &r : ds.records) {
+        int w = 0;
+        for (int c = 1; c < 3; c++) {
+            if (r.latencyMs[c] < r.latencyMs[w])
+                w = c;
+        }
+        wins[static_cast<size_t>(w)]++;
+    }
+    EXPECT_EQ(wins[0] + wins[1] + wins[2], ds.size());
+    // V1 wins the bulk of the space (paper Table 5: ~93%).
+    EXPECT_GT(static_cast<double>(wins[0]) / ds.size(), 0.5);
+}
+
+TEST(Integration, EnergyLatencyRelationIsLinear)
+{
+    // Figure 6: latency and energy are strongly linearly related.
+    const auto &ds = smallSpaceDataset();
+    std::vector<double> lat, en;
+    for (const auto &r : ds.records) {
+        lat.push_back(r.latencyMs[0]);
+        en.push_back(r.energyMj[0]);
+    }
+    EXPECT_GT(stats::pearson(lat, en), 0.9);
+}
+
+TEST(Integration, LearnedModelRanksLatencyWell)
+{
+    // Miniature Table 8: train the GNN on simulated V1 latencies of
+    // the small space and check the correlation metrics.
+    const auto &ds = smallSpaceDataset();
+    auto split = gnn::splitDataset(ds.size(), 0x5eed);
+    auto to_sample = [&](size_t idx) {
+        gnn::Sample s;
+        s.graph = gnn::featurize(ds.records[idx].spec);
+        s.target = ds.records[idx].latencyMs[0];
+        return s;
+    };
+    std::vector<gnn::Sample> train, test;
+    for (size_t i : split.train)
+        train.push_back(to_sample(i));
+    for (size_t i : split.test)
+        test.push_back(to_sample(i));
+
+    gnn::TrainConfig cfg;
+    cfg.epochs = 80;
+    gnn::Trainer trainer(cfg);
+    trainer.train(train);
+    gnn::EvalMetrics m = trainer.evaluate(test);
+    EXPECT_GT(m.spearman, 0.90);
+    EXPECT_GT(m.pearson, 0.95);
+    EXPECT_GT(m.avgAccuracy, 0.85);
+}
+
+TEST(Integration, CachingAblationSlowsLargeAnchors)
+{
+    auto cfg = arch::configV1();
+    sim::Simulator with(cfg);
+    cfg.compiler.parameterCaching = false;
+    sim::Simulator without(cfg);
+    const auto &best = nas::anchorCells()[0].cell;
+    double lat_with = with.runCell(best).latencyMs;
+    double lat_without = without.runCell(best).latencyMs;
+    EXPECT_GT(lat_without, lat_with * 1.05);
+}
+
+TEST(Integration, AccuracyFilterKeepsMostOfTheSpace)
+{
+    const auto &ds = smallSpaceDataset();
+    auto kept = ds.filterByAccuracy(0.70);
+    double frac =
+        static_cast<double>(kept.size()) / static_cast<double>(ds.size());
+    EXPECT_GT(frac, 0.95);
+}
+
+} // namespace

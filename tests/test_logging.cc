@@ -1,0 +1,51 @@
+/** @file Unit tests for strfmt and the status helpers. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace
+{
+
+using etpu::strfmt;
+
+TEST(Strfmt, ConcatenatesHeterogeneousValues)
+{
+    EXPECT_EQ(strfmt("a", 1, "b", 2.5), "a1b2.5");
+}
+
+TEST(Strfmt, EmptyProducesEmptyString)
+{
+    EXPECT_EQ(strfmt(), "");
+}
+
+TEST(Strfmt, HandlesBoolAndChar)
+{
+    EXPECT_EQ(strfmt(true, '!', 0), "1!0");
+}
+
+TEST(Strfmt, LongStringsAreNotTruncated)
+{
+    std::string big(10000, 'x');
+    EXPECT_EQ(strfmt(big, "y").size(), 10001u);
+}
+
+TEST(Logging, PanicAborts)
+{
+    EXPECT_DEATH({ etpu_panic("boom ", 42); }, "boom 42");
+}
+
+TEST(Logging, FatalExitsWithOne)
+{
+    EXPECT_EXIT({ etpu_fatal("bad input"); },
+                ::testing::ExitedWithCode(1), "bad input");
+}
+
+TEST(Logging, WarnAndInformDoNotTerminate)
+{
+    etpu_warn("this is only a warning");
+    etpu_inform("status message");
+    SUCCEED();
+}
+
+} // namespace

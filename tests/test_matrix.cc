@@ -1,0 +1,144 @@
+/** @file Unit tests for the dense matrix primitives. */
+
+#include <gtest/gtest.h>
+
+#include "gnn/matrix.hh"
+
+namespace
+{
+
+using namespace etpu::gnn;
+
+Matrix
+fill(int r, int c, float start)
+{
+    Matrix m(r, c);
+    float v = start;
+    for (int i = 0; i < r; i++) {
+        for (int j = 0; j < c; j++)
+            m.at(i, j) = v++;
+    }
+    return m;
+}
+
+TEST(Matrix, ZeroInitialized)
+{
+    Matrix m(3, 4);
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 4; j++)
+            EXPECT_FLOAT_EQ(m.at(i, j), 0.0f);
+    }
+}
+
+TEST(Matrix, Matmul2x2)
+{
+    Matrix a = fill(2, 2, 1); // [1 2; 3 4]
+    Matrix b = fill(2, 2, 5); // [5 6; 7 8]
+    Matrix c = matmul(a, b);
+    EXPECT_FLOAT_EQ(c.at(0, 0), 19);
+    EXPECT_FLOAT_EQ(c.at(0, 1), 22);
+    EXPECT_FLOAT_EQ(c.at(1, 0), 43);
+    EXPECT_FLOAT_EQ(c.at(1, 1), 50);
+}
+
+TEST(Matrix, MatmulRectangular)
+{
+    Matrix a = fill(2, 3, 1);
+    Matrix b = fill(3, 4, 1);
+    Matrix c = matmul(a, b);
+    EXPECT_EQ(c.rows(), 2);
+    EXPECT_EQ(c.cols(), 4);
+    // c[0][0] = 1*1 + 2*5 + 3*9 = 38
+    EXPECT_FLOAT_EQ(c.at(0, 0), 38);
+}
+
+TEST(Matrix, MatmulTNMatchesExplicitTranspose)
+{
+    Matrix a = fill(3, 2, 1);
+    Matrix b = fill(3, 4, 2);
+    Matrix c = matmulTN(a, b); // a^T (2x3) * b (3x4)
+    EXPECT_EQ(c.rows(), 2);
+    EXPECT_EQ(c.cols(), 4);
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 4; j++) {
+            float expect = 0;
+            for (int k = 0; k < 3; k++)
+                expect += a.at(k, i) * b.at(k, j);
+            EXPECT_FLOAT_EQ(c.at(i, j), expect);
+        }
+    }
+}
+
+TEST(Matrix, MatmulNTMatchesExplicitTranspose)
+{
+    Matrix a = fill(2, 3, 1);
+    Matrix b = fill(4, 3, 2);
+    Matrix c = matmulNT(a, b); // a (2x3) * b^T (3x4)
+    EXPECT_EQ(c.rows(), 2);
+    EXPECT_EQ(c.cols(), 4);
+    for (int i = 0; i < 2; i++) {
+        for (int j = 0; j < 4; j++) {
+            float expect = 0;
+            for (int k = 0; k < 3; k++)
+                expect += a.at(i, k) * b.at(j, k);
+            EXPECT_FLOAT_EQ(c.at(i, j), expect);
+        }
+    }
+}
+
+TEST(Matrix, ShapeMismatchPanics)
+{
+    Matrix a(2, 3), b(4, 2);
+    EXPECT_DEATH(matmul(a, b), "mismatch");
+}
+
+TEST(Matrix, HcatAndHsplitRoundTrip)
+{
+    Matrix a = fill(3, 2, 1);
+    Matrix b = fill(3, 4, 10);
+    Matrix cat = hcat({&a, &b});
+    EXPECT_EQ(cat.cols(), 6);
+    EXPECT_FLOAT_EQ(cat.at(1, 1), a.at(1, 1));
+    EXPECT_FLOAT_EQ(cat.at(2, 3), b.at(2, 1));
+    auto parts = hsplit(cat, {2, 4});
+    ASSERT_EQ(parts.size(), 2u);
+    for (int i = 0; i < 3; i++) {
+        for (int j = 0; j < 2; j++)
+            EXPECT_FLOAT_EQ(parts[0].at(i, j), a.at(i, j));
+        for (int j = 0; j < 4; j++)
+            EXPECT_FLOAT_EQ(parts[1].at(i, j), b.at(i, j));
+    }
+}
+
+TEST(Matrix, HsplitBadWidthsPanics)
+{
+    Matrix m(2, 5);
+    EXPECT_DEATH(hsplit(m, {2, 2}), "hsplit");
+}
+
+TEST(Matrix, ColSum)
+{
+    Matrix m = fill(3, 2, 1); // cols: {1,3,5}, {2,4,6}
+    Matrix s = colSum(m);
+    EXPECT_EQ(s.rows(), 1);
+    EXPECT_FLOAT_EQ(s.at(0, 0), 9);
+    EXPECT_FLOAT_EQ(s.at(0, 1), 12);
+}
+
+TEST(Matrix, AddInPlaceAndScale)
+{
+    Matrix a = fill(2, 2, 1);
+    Matrix b = fill(2, 2, 1);
+    a.addInPlace(b);
+    a.scale(0.5f);
+    EXPECT_FLOAT_EQ(a.at(0, 0), 1);
+    EXPECT_FLOAT_EQ(a.at(1, 1), 4);
+}
+
+TEST(Matrix, AddInPlaceShapeMismatchPanics)
+{
+    Matrix a(2, 2), b(2, 3);
+    EXPECT_DEATH(a.addInPlace(b), "mismatch");
+}
+
+} // namespace

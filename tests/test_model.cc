@@ -1,0 +1,187 @@
+/** @file Tests for the encode-process-decode graph network. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/model.hh"
+#include "nasbench/cell_spec.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+using nas::Op;
+
+GraphsTuple
+sampleGraph()
+{
+    auto cell = nas::makeChainCell({Op::Conv3x3, Op::Conv1x1,
+                                    Op::MaxPool3x3});
+    cell.dag.addEdge(0, 4);
+    cell.dag.addEdge(1, 3);
+    return featurize(cell);
+}
+
+GraphNetModel
+makeModel(int steps = 3, uint64_t seed = 42)
+{
+    Rng rng(seed);
+    GraphNetModel m;
+    ModelConfig cfg;
+    cfg.messagePassingSteps = steps;
+    m.init(cfg, rng);
+    return m;
+}
+
+TEST(Featurize, MatchesPaperEncoding)
+{
+    auto cell = nas::makeChainCell({Op::Conv3x3, Op::MaxPool3x3});
+    GraphsTuple g = featurize(cell);
+    ASSERT_EQ(g.numNodes(), 4);
+    EXPECT_FLOAT_EQ(g.nodes.at(0, 0), 1.0f); // input
+    EXPECT_FLOAT_EQ(g.nodes.at(1, 0), 2.0f); // conv3x3
+    EXPECT_FLOAT_EQ(g.nodes.at(2, 0), 3.0f); // maxpool
+    EXPECT_FLOAT_EQ(g.nodes.at(3, 0), 5.0f); // output
+    ASSERT_EQ(g.numEdges(), 3);
+    for (int e = 0; e < 3; e++)
+        EXPECT_FLOAT_EQ(g.edges.at(e, 0), 1.0f);
+    EXPECT_FLOAT_EQ(g.global.at(0, 0), 1.0f);
+    EXPECT_EQ(g.senders, (std::vector<int>{0, 1, 2}));
+    EXPECT_EQ(g.receivers, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Model, ForwardProducesOnePredictionPerStep)
+{
+    GraphNetModel m = makeModel(4);
+    ForwardResult r = forward(m, sampleGraph());
+    EXPECT_EQ(r.stepPredictions.size(), 4u);
+    EXPECT_DOUBLE_EQ(r.prediction, r.stepPredictions.back());
+    for (double p : r.stepPredictions)
+        EXPECT_TRUE(std::isfinite(p));
+}
+
+TEST(Model, DeterministicForward)
+{
+    GraphNetModel m = makeModel();
+    GraphsTuple g = sampleGraph();
+    EXPECT_DOUBLE_EQ(forward(m, g).prediction,
+                     forward(m, g).prediction);
+}
+
+TEST(Model, DifferentGraphsDifferentPredictions)
+{
+    GraphNetModel m = makeModel();
+    auto a = featurize(nas::makeChainCell({Op::Conv3x3}));
+    auto b = featurize(nas::makeChainCell({Op::MaxPool3x3}));
+    EXPECT_NE(forward(m, a).prediction, forward(m, b).prediction);
+}
+
+TEST(Model, ParameterCountMatchesArchitecture)
+{
+    GraphNetModel m = makeModel();
+    // Encoders: (1*16+16) + (16*16+16) + gamma/beta(32) each = 880x3.
+    // Core edge: (128*16+16)+(16*16+16)+32 = 2384; node: 80 -> 1616;
+    // global: 64 -> 1360; decoder 16 -> 880; output 16*1+1 = 17.
+    size_t expected = 3 * (16 + 16 + 256 + 16 + 32) +
+                      (128 * 16 + 16 + 256 + 16 + 32) +
+                      (80 * 16 + 16 + 256 + 16 + 32) +
+                      (64 * 16 + 16 + 256 + 16 + 32) +
+                      (16 * 16 + 16 + 256 + 16 + 32) + 17;
+    EXPECT_EQ(m.parameterCount(), expected);
+}
+
+TEST(Model, ZeroCloneHasSameStructureAllZero)
+{
+    GraphNetModel m = makeModel();
+    GraphNetModel z = m.zeroClone();
+    EXPECT_EQ(z.parameterCount(), m.parameterCount());
+    z.forEach([](Matrix &mat) {
+        for (float v : mat.data())
+            EXPECT_FLOAT_EQ(v, 0.0f);
+    });
+}
+
+TEST(Model, LossIsMeanSquaredOverSteps)
+{
+    GraphNetModel m = makeModel(2);
+    GraphsTuple g = sampleGraph();
+    ForwardResult fwd;
+    GraphNetModel grad = m.zeroClone();
+    double target = 0.25;
+    double loss = forwardBackward(m, g, target, grad, &fwd);
+    double expect = 0;
+    for (double p : fwd.stepPredictions)
+        expect += (p - target) * (p - target);
+    expect /= 2.0;
+    EXPECT_NEAR(loss, expect, 1e-9);
+}
+
+TEST(Model, BackwardFillsGradients)
+{
+    GraphNetModel m = makeModel();
+    GraphNetModel grad = m.zeroClone();
+    forwardBackward(m, sampleGraph(), 1.0, grad);
+    double gnorm = 0;
+    grad.forEach([&](Matrix &mat) {
+        for (float v : mat.data())
+            gnorm += static_cast<double>(v) * v;
+    });
+    EXPECT_GT(gnorm, 0.0);
+}
+
+TEST(Model, DirectionalGradientCheck)
+{
+    GraphNetModel m = makeModel();
+    GraphsTuple g = sampleGraph();
+    double target = 0.7;
+    GraphNetModel grad = m.zeroClone();
+    double l0 = forwardBackward(m, g, target, grad);
+
+    std::vector<Matrix *> pm, gm;
+    m.forEach([&](Matrix &mat) { pm.push_back(&mat); });
+    grad.forEach([&](Matrix &mat) { gm.push_back(&mat); });
+    double gnorm2 = 0;
+    for (auto *mat : gm) {
+        for (float v : mat->data())
+            gnorm2 += static_cast<double>(v) * v;
+    }
+    ASSERT_GT(gnorm2, 0.0);
+    double alpha = 1e-3 / std::sqrt(gnorm2);
+    for (size_t i = 0; i < pm.size(); i++) {
+        for (size_t k = 0; k < pm[i]->data().size(); k++)
+            pm[i]->data()[k] -=
+                static_cast<float>(alpha * gm[i]->data()[k]);
+    }
+    GraphNetModel g2 = m.zeroClone();
+    double l1 = forwardBackward(m, g, target, g2);
+    EXPECT_NEAR((l1 - l0) / (-alpha * gnorm2), 1.0, 0.05);
+}
+
+TEST(Model, PredictionInvariantUnderIsomorphicRelabeling)
+{
+    // Swapping two symmetric parallel branches (sum aggregation) must
+    // not change the prediction.
+    graph::Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(0, 2);
+    d.addEdge(1, 3);
+    d.addEdge(2, 3);
+    nas::CellSpec a(d, {Op::Input, Op::Conv3x3, Op::MaxPool3x3,
+                        Op::Output});
+    nas::CellSpec b(d, {Op::Input, Op::MaxPool3x3, Op::Conv3x3,
+                        Op::Output});
+    GraphNetModel m = makeModel();
+    EXPECT_NEAR(forward(m, featurize(a)).prediction,
+                forward(m, featurize(b)).prediction, 1e-5);
+}
+
+TEST(Model, SingleStepModelWorks)
+{
+    GraphNetModel m = makeModel(1);
+    ForwardResult r = forward(m, sampleGraph());
+    EXPECT_EQ(r.stepPredictions.size(), 1u);
+}
+
+} // namespace

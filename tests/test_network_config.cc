@@ -1,0 +1,121 @@
+/** @file Parameterized sweeps over the macro-architecture config. */
+
+#include <gtest/gtest.h>
+
+#include "nasbench/network.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::nas;
+
+class StemChannelSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(StemChannelSweep, ParamsScaleRoughlyQuadratically)
+{
+    NetworkConfig cfg;
+    cfg.stemChannels = GetParam();
+    auto cell = makeChainCell({Op::Conv3x3, Op::Conv1x1});
+    uint64_t params = countTrainableParams(cell, cfg);
+    EXPECT_GT(params, 0u);
+
+    NetworkConfig doubled = cfg;
+    doubled.stemChannels = GetParam() * 2;
+    uint64_t params2 = countTrainableParams(cell, doubled);
+    double ratio = static_cast<double>(params2) /
+                   static_cast<double>(params);
+    // Conv params are quadratic in channels; stem/dense mildly linear.
+    EXPECT_GT(ratio, 3.4);
+    EXPECT_LT(ratio, 4.1);
+}
+
+TEST_P(StemChannelSweep, MacsScaleWithChannels)
+{
+    NetworkConfig cfg;
+    cfg.stemChannels = GetParam();
+    auto cell = makeChainCell({Op::Conv3x3});
+    Network net = buildNetwork(cell, cfg);
+    NetworkConfig doubled = cfg;
+    doubled.stemChannels = GetParam() * 2;
+    Network net2 = buildNetwork(cell, doubled);
+    EXPECT_GT(net2.totalMacs(), 3 * net.totalMacs());
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, StemChannelSweep,
+                         ::testing::Values(16, 32, 64, 128));
+
+class StackSweep : public ::testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(StackSweep, LayerCountMatchesStructure)
+{
+    auto [stacks, cells_per_stack] = GetParam();
+    NetworkConfig cfg;
+    cfg.numStacks = stacks;
+    cfg.cellsPerStack = cells_per_stack;
+    // Image must survive (stacks-1) halvings.
+    cfg.imageSize = 1 << (stacks + 2);
+    auto cell = makeChainCell({Op::Conv3x3});
+    Network net = buildNetwork(cell, cfg);
+
+    // Per chain cell: projection + conv = 2 layers, one concat = 3.
+    int cell_layers = 3;
+    int expected = 1 + stacks * cells_per_stack * cell_layers +
+                   (stacks - 1) + 2;
+    EXPECT_EQ(static_cast<int>(net.layers.size()), expected);
+
+    // The dense head sees stemChannels << (stacks-1) features.
+    EXPECT_EQ(net.layers.back().cin, cfg.stemChannels << (stacks - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StackSweep,
+    ::testing::Values(std::pair{1, 1}, std::pair{2, 2}, std::pair{3, 3},
+                      std::pair{2, 5}));
+
+TEST(NetworkConfigTest, ClassCountChangesOnlyDenseLayer)
+{
+    auto cell = makeChainCell({Op::MaxPool3x3});
+    NetworkConfig ten;
+    NetworkConfig hundred;
+    hundred.numClasses = 100;
+    uint64_t p10 = countTrainableParams(cell, ten);
+    uint64_t p100 = countTrainableParams(cell, hundred);
+    // Delta = 90 * (512 weights + 1 bias).
+    EXPECT_EQ(p100 - p10, 90u * (512u + 1u));
+}
+
+TEST(NetworkConfigTest, ImageSizeChangesMacsNotParams)
+{
+    auto cell = makeChainCell({Op::Conv3x3});
+    NetworkConfig small;
+    small.imageSize = 16;
+    NetworkConfig big;
+    big.imageSize = 64;
+    EXPECT_EQ(countTrainableParams(cell, small),
+              countTrainableParams(cell, big));
+    EXPECT_GT(buildNetwork(cell, big).totalMacs(),
+              10 * buildNetwork(cell, small).totalMacs());
+}
+
+TEST(NetworkConfigTest, AllCellsShareSpecButDifferInChannels)
+{
+    // Stack 1 cells run at 128 channels, stack 3 at 512: the conv
+    // layers for the same vertex must differ in width across stacks.
+    auto cell = makeChainCell({Op::Conv3x3});
+    Network net = buildNetwork(cell);
+    int widths[9] = {};
+    for (const auto &l : net.layers) {
+        if (l.kind == LayerKind::Conv && l.cellIndex >= 0)
+            widths[l.cellIndex] = l.cout;
+    }
+    EXPECT_EQ(widths[0], 128);
+    EXPECT_EQ(widths[4], 256);
+    EXPECT_EQ(widths[8], 512);
+}
+
+} // namespace

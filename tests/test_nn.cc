@@ -1,0 +1,253 @@
+/** @file Gradient checks for the NN building blocks. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gnn/nn.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+
+Matrix
+randomMatrix(int r, int c, Rng &rng)
+{
+    Matrix m(r, c);
+    for (auto &v : m.data())
+        v = static_cast<float>(rng.normal());
+    return m;
+}
+
+/** Scalar loss used by gradient checks: sum of squares / 2. */
+double
+loss(const Matrix &y)
+{
+    double s = 0;
+    for (float v : y.data())
+        s += 0.5 * v * v;
+    return s;
+}
+
+Matrix
+lossGrad(const Matrix &y)
+{
+    return y; // d(sum y^2/2)/dy = y
+}
+
+TEST(Dense, ForwardMatchesManual)
+{
+    DenseLayer d;
+    d.initZero(2, 2);
+    d.w.at(0, 0) = 1;
+    d.w.at(0, 1) = 2;
+    d.w.at(1, 0) = 3;
+    d.w.at(1, 1) = 4;
+    d.b.at(0, 0) = 10;
+    d.b.at(0, 1) = 20;
+    Matrix x(1, 2);
+    x.at(0, 0) = 1;
+    x.at(0, 1) = 1;
+    Matrix y = denseForward(d, x);
+    EXPECT_FLOAT_EQ(y.at(0, 0), 14);
+    EXPECT_FLOAT_EQ(y.at(0, 1), 26);
+}
+
+TEST(Dense, InitStatistics)
+{
+    Rng rng(3);
+    DenseLayer d;
+    d.init(64, 64, rng);
+    double sum = 0, sq = 0;
+    for (float v : d.w.data()) {
+        sum += v;
+        sq += v * v;
+    }
+    double n = static_cast<double>(d.w.data().size());
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    // stddev ~ 1/sqrt(64) = 0.125 (slightly less after truncation).
+    EXPECT_NEAR(std::sqrt(sq / n), 0.118, 0.02);
+    for (float v : d.b.data())
+        EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(Dense, GradientCheck)
+{
+    Rng rng(1);
+    DenseLayer d;
+    d.init(4, 3, rng);
+    Matrix x = randomMatrix(5, 4, rng);
+
+    DenseLayer grad;
+    grad.initZero(4, 3);
+    Matrix y = denseForward(d, x);
+    Matrix dx = denseBackward(d, x, lossGrad(y), grad);
+
+    double eps = 1e-3;
+    // Check weight gradient entries.
+    for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 3; j++) {
+            float orig = d.w.at(i, j);
+            d.w.at(i, j) = orig + static_cast<float>(eps);
+            double lp = loss(denseForward(d, x));
+            d.w.at(i, j) = orig - static_cast<float>(eps);
+            double lm = loss(denseForward(d, x));
+            d.w.at(i, j) = orig;
+            EXPECT_NEAR(grad.w.at(i, j), (lp - lm) / (2 * eps), 2e-2);
+        }
+    }
+    // Check input gradient entries.
+    for (int i = 0; i < 5; i++) {
+        for (int j = 0; j < 4; j++) {
+            float orig = x.at(i, j);
+            x.at(i, j) = orig + static_cast<float>(eps);
+            double lp = loss(denseForward(d, x));
+            x.at(i, j) = orig - static_cast<float>(eps);
+            double lm = loss(denseForward(d, x));
+            x.at(i, j) = orig;
+            EXPECT_NEAR(dx.at(i, j), (lp - lm) / (2 * eps), 2e-2);
+        }
+    }
+}
+
+TEST(LayerNorm, NormalizesRows)
+{
+    LayerNorm ln;
+    ln.init(8);
+    Rng rng(2);
+    Matrix x = randomMatrix(4, 8, rng);
+    LayerNormCache cache;
+    Matrix y = layerNormForward(ln, x, cache);
+    for (int r = 0; r < y.rows(); r++) {
+        double mean = 0, var = 0;
+        for (int c = 0; c < 8; c++)
+            mean += y.at(r, c);
+        mean /= 8;
+        for (int c = 0; c < 8; c++)
+            var += (y.at(r, c) - mean) * (y.at(r, c) - mean);
+        var /= 8;
+        EXPECT_NEAR(mean, 0.0, 1e-5);
+        EXPECT_NEAR(var, 1.0, 1e-3);
+    }
+}
+
+TEST(LayerNorm, ScaleAndOffsetApplied)
+{
+    LayerNorm ln;
+    ln.init(4);
+    ln.gamma.at(0, 2) = 3.0f;
+    ln.beta.at(0, 1) = -1.0f;
+    Rng rng(4);
+    Matrix x = randomMatrix(1, 4, rng);
+    LayerNormCache cache;
+    Matrix y = layerNormForward(ln, x, cache);
+    EXPECT_NEAR(y.at(0, 2), cache.xhat.at(0, 2) * 3.0f, 1e-5);
+    EXPECT_NEAR(y.at(0, 1), cache.xhat.at(0, 1) - 1.0f, 1e-5);
+}
+
+TEST(LayerNorm, GradientCheck)
+{
+    LayerNorm ln;
+    ln.init(6);
+    Rng rng(5);
+    for (auto &v : ln.gamma.data())
+        v = static_cast<float>(1.0 + 0.1 * rng.normal());
+    Matrix x = randomMatrix(3, 6, rng);
+
+    LayerNorm grad;
+    grad.initZero(6);
+    LayerNormCache cache;
+    Matrix y = layerNormForward(ln, x, cache);
+    Matrix dx = layerNormBackward(ln, cache, lossGrad(y), grad);
+
+    double eps = 1e-3;
+    auto numeric = [&](float &slot) {
+        float orig = slot;
+        slot = orig + static_cast<float>(eps);
+        LayerNormCache c2;
+        double lp = loss(layerNormForward(ln, x, c2));
+        slot = orig - static_cast<float>(eps);
+        double lm = loss(layerNormForward(ln, x, c2));
+        slot = orig;
+        return (lp - lm) / (2 * eps);
+    };
+    for (int c = 0; c < 6; c++) {
+        EXPECT_NEAR(grad.gamma.at(0, c), numeric(ln.gamma.at(0, c)),
+                    3e-2);
+        EXPECT_NEAR(grad.beta.at(0, c), numeric(ln.beta.at(0, c)), 3e-2);
+    }
+    for (int r = 0; r < 3; r++) {
+        for (int c = 0; c < 6; c++)
+            EXPECT_NEAR(dx.at(r, c), numeric(x.at(r, c)), 3e-2);
+    }
+}
+
+TEST(Mlp, OutputShapeIsHiddenWidth)
+{
+    Rng rng(6);
+    Mlp mlp;
+    mlp.init(5, 16, rng);
+    Matrix x = randomMatrix(7, 5, rng);
+    MlpCache cache;
+    Matrix y = mlpForward(mlp, x, cache);
+    EXPECT_EQ(y.rows(), 7);
+    EXPECT_EQ(y.cols(), 16);
+}
+
+TEST(Mlp, ReluGateZeroesNegativePaths)
+{
+    Rng rng(7);
+    Mlp mlp;
+    mlp.init(3, 8, rng);
+    Matrix x = randomMatrix(2, 3, rng);
+    MlpCache cache;
+    mlpForward(mlp, x, cache);
+    for (int r = 0; r < 2; r++) {
+        for (int c = 0; c < 8; c++) {
+            if (cache.h1.at(r, c) <= 0.0f)
+                EXPECT_FLOAT_EQ(cache.h1r.at(r, c), 0.0f);
+            else
+                EXPECT_FLOAT_EQ(cache.h1r.at(r, c), cache.h1.at(r, c));
+        }
+    }
+}
+
+TEST(Mlp, DirectionalGradientCheck)
+{
+    Rng rng(8);
+    Mlp mlp;
+    mlp.init(4, 8, rng);
+    Matrix x = randomMatrix(6, 4, rng);
+
+    Mlp grad;
+    grad.initZero(4, 8);
+    MlpCache cache;
+    Matrix y = mlpForward(mlp, x, cache);
+    double l0 = loss(y);
+    mlpBackward(mlp, cache, lossGrad(y), grad);
+
+    // Step along -grad; the loss must drop by eps * |grad|^2.
+    double gnorm2 = 0;
+    std::vector<Matrix *> pm, gm;
+    forEachMatrix(mlp, [&](Matrix &m) { pm.push_back(&m); });
+    forEachMatrix(grad, [&](Matrix &m) { gm.push_back(&m); });
+    for (auto *g : gm) {
+        for (float v : g->data())
+            gnorm2 += static_cast<double>(v) * v;
+    }
+    ASSERT_GT(gnorm2, 0.0);
+    double alpha = 1e-4 / std::sqrt(gnorm2);
+    for (size_t i = 0; i < pm.size(); i++) {
+        for (size_t k = 0; k < pm[i]->data().size(); k++)
+            pm[i]->data()[k] -=
+                static_cast<float>(alpha * gm[i]->data()[k]);
+    }
+    MlpCache c2;
+    double l1 = loss(mlpForward(mlp, x, c2));
+    double expected = -alpha * gnorm2;
+    EXPECT_NEAR((l1 - l0) / expected, 1.0, 0.05);
+}
+
+} // namespace

@@ -1,0 +1,78 @@
+/** @file Unit tests for the chunked parallel-for. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/parallel_for.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    std::vector<std::atomic<int>> hits(10000);
+    parallelFor(0, hits.size(), [&](size_t i, unsigned) {
+        hits[i].fetch_add(1);
+    });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RespectsBeginOffset)
+{
+    std::atomic<uint64_t> sum{0};
+    parallelFor(100, 200, [&](size_t i, unsigned) { sum += i; });
+    uint64_t expected = 0;
+    for (size_t i = 100; i < 200; i++)
+        expected += i;
+    EXPECT_EQ(sum.load(), expected);
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop)
+{
+    int calls = 0;
+    parallelFor(5, 5, [&](size_t, unsigned) { calls++; });
+    parallelFor(7, 3, [&](size_t, unsigned) { calls++; });
+    EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelFor, SingleThreadFallback)
+{
+    std::vector<int> order;
+    parallelFor(0, 50, [&](size_t i, unsigned w) {
+        EXPECT_EQ(w, 0u);
+        order.push_back(static_cast<int>(i));
+    }, 1);
+    // Sequential execution preserves order.
+    for (int i = 0; i < 50; i++)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, WorkerIdsWithinBounds)
+{
+    std::atomic<bool> bad{false};
+    parallelFor(0, 10000, [&](size_t, unsigned w) {
+        if (w >= 8)
+            bad = true;
+    }, 8);
+    EXPECT_FALSE(bad.load());
+}
+
+TEST(ParallelFor, MoreThreadsThanWork)
+{
+    std::atomic<int> count{0};
+    parallelFor(0, 3, [&](size_t, unsigned) { count++; }, 16);
+    EXPECT_EQ(count.load(), 3);
+}
+
+TEST(DefaultThreadCount, Positive)
+{
+    EXPECT_GE(defaultThreadCount(), 1u);
+}
+
+} // namespace

@@ -1,0 +1,111 @@
+/** @file Tests for the dataset-building pipeline. */
+
+#include <gtest/gtest.h>
+
+#include "nasbench/accuracy.hh"
+#include "nasbench/network.hh"
+#include "pipeline/builder.hh"
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+using nas::Op;
+
+std::vector<nas::CellSpec>
+someCells()
+{
+    std::vector<nas::CellSpec> cells;
+    cells.push_back(nas::makeChainCell({Op::Conv3x3}));
+    cells.push_back(nas::makeChainCell({Op::Conv1x1, Op::MaxPool3x3}));
+    cells.push_back(nas::makeChainCell(
+        {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3}));
+    cells.push_back(nas::anchorCells()[0].cell);
+    return cells;
+}
+
+TEST(Pipeline, RecordsFullyPopulated)
+{
+    auto cells = someCells();
+    nas::Dataset ds = pipeline::buildDataset(cells, 2);
+    ASSERT_EQ(ds.size(), cells.size());
+    for (size_t i = 0; i < ds.size(); i++) {
+        const auto &r = ds.records[i];
+        EXPECT_EQ(r.spec, cells[i]);
+        EXPECT_GT(r.params, 0u);
+        EXPECT_GT(r.macs, 0u);
+        EXPECT_GT(r.weightBytes, 0u);
+        EXPECT_GT(r.accuracy, 0.0f);
+        EXPECT_GT(r.depth, 0);
+        EXPECT_GT(r.width, 0);
+        for (float l : r.latencyMs)
+            EXPECT_GT(l, 0.0f);
+        for (float e : r.energyMj)
+            EXPECT_GT(e, 0.0f);
+    }
+}
+
+TEST(Pipeline, MatchesDirectSimulation)
+{
+    auto cells = someCells();
+    nas::Dataset ds = pipeline::buildDataset(cells, 1);
+    sim::Simulator v2(arch::configV2());
+    for (size_t i = 0; i < cells.size(); i++) {
+        sim::PerfResult direct = v2.runCell(cells[i]);
+        EXPECT_FLOAT_EQ(ds.records[i].latencyMs[1],
+                        static_cast<float>(direct.latencyMs));
+        EXPECT_FLOAT_EQ(ds.records[i].energyMj[1],
+                        static_cast<float>(direct.energyMj));
+    }
+}
+
+TEST(Pipeline, MatchesStandaloneMetrics)
+{
+    auto cells = someCells();
+    nas::Dataset ds = pipeline::buildDataset(cells, 3);
+    for (size_t i = 0; i < cells.size(); i++) {
+        EXPECT_EQ(ds.records[i].params,
+                  nas::countTrainableParams(cells[i]));
+        EXPECT_FLOAT_EQ(
+            ds.records[i].accuracy,
+            static_cast<float>(nas::surrogateAccuracy(cells[i])));
+        EXPECT_EQ(ds.records[i].depth, cells[i].depth());
+        EXPECT_EQ(ds.records[i].width, cells[i].width());
+        EXPECT_EQ(ds.records[i].numConv3x3,
+                  cells[i].opCount(Op::Conv3x3));
+    }
+}
+
+TEST(Pipeline, DeterministicAcrossThreadCounts)
+{
+    auto cells = someCells();
+    nas::Dataset a = pipeline::buildDataset(cells, 1);
+    nas::Dataset b = pipeline::buildDataset(cells, 4);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); i++) {
+        EXPECT_EQ(a.records[i].latencyMs, b.records[i].latencyMs);
+        EXPECT_EQ(a.records[i].energyMj, b.records[i].energyMj);
+    }
+}
+
+TEST(Pipeline, AnchorLatenciesMatchPaperOrdering)
+{
+    // Figure 7b: for the best-accuracy model V2 yields the lowest
+    // latency across the three configurations.
+    nas::Dataset ds =
+        pipeline::buildDataset({nas::anchorCells()[0].cell}, 1);
+    const auto &r = ds.records[0];
+    EXPECT_LT(r.latencyMs[1], r.latencyMs[0]);
+    EXPECT_LT(r.latencyMs[1], r.latencyMs[2]);
+}
+
+TEST(Pipeline, CachePathHonorsEnvironment)
+{
+    setenv("ETPU_DATASET_PATH", "/tmp/etpu_custom.bin", 1);
+    EXPECT_EQ(pipeline::datasetCachePath(), "/tmp/etpu_custom.bin");
+    unsetenv("ETPU_DATASET_PATH");
+    EXPECT_EQ(pipeline::datasetCachePath(), "etpu_dataset.bin");
+}
+
+} // namespace

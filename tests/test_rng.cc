@@ -1,0 +1,116 @@
+/** @file Unit tests for the deterministic PRNG. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+
+namespace
+{
+
+using etpu::Rng;
+
+TEST(Rng, SameSeedSameSequence)
+{
+    Rng a(7), b(7);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(7), b(8);
+    int equal = 0;
+    for (int i = 0; i < 100; i++)
+        equal += a.next() == b.next();
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid)
+{
+    Rng r(0);
+    uint64_t x = r.next();
+    uint64_t y = r.next();
+    EXPECT_TRUE(x != 0 || y != 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(1);
+    for (int i = 0; i < 10000; i++) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(2);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng r(3);
+    for (int i = 0; i < 1000; i++) {
+        double u = r.uniform(-3.0, 7.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 7.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRange)
+{
+    Rng r(4);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 50000; i++)
+        counts[r.uniformInt(10)]++;
+    for (int c : counts)
+        EXPECT_NEAR(c, 5000, 500);
+}
+
+TEST(Rng, UniformIntOneAlwaysZero)
+{
+    Rng r(5);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(r.uniformInt(1), 0u);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng r(6);
+    const int n = 200000;
+    double sum = 0, sq = 0;
+    for (int i = 0; i < n; i++) {
+        double z = r.normal();
+        sum += z;
+        sq += z * z;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sq / n, 1.0, 0.03);
+}
+
+TEST(Rng, NormalWithParams)
+{
+    Rng r(7);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; i++)
+        sum += r.normal(5.0, 2.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, TruncatedNormalWithinTwoSigma)
+{
+    Rng r(8);
+    for (int i = 0; i < 20000; i++)
+        EXPECT_LE(std::abs(r.truncatedNormal(0.5)), 1.0 + 1e-9);
+}
+
+} // namespace

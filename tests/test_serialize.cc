@@ -1,0 +1,92 @@
+/** @file Unit tests for binary serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/serialize.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Serialize, PodRoundTrip)
+{
+    std::string path = tmpPath("etpu_ser_pod.bin");
+    {
+        BinaryWriter w(path);
+        ASSERT_TRUE(w.ok());
+        w.write<uint64_t>(0x1122334455667788ull);
+        w.write<int32_t>(-42);
+        w.write<double>(3.25);
+        w.write<uint8_t>(7);
+    }
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.read<uint64_t>(), 0x1122334455667788ull);
+    EXPECT_EQ(r.read<int32_t>(), -42);
+    EXPECT_EQ(r.read<double>(), 3.25);
+    EXPECT_EQ(r.read<uint8_t>(), 7);
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, VectorRoundTrip)
+{
+    std::string path = tmpPath("etpu_ser_vec.bin");
+    std::vector<float> vals = {1.5f, -2.0f, 0.0f, 1e9f};
+    {
+        BinaryWriter w(path);
+        w.writeVec(vals);
+        w.writeVec(std::vector<uint32_t>{});
+    }
+    BinaryReader r(path);
+    EXPECT_EQ(r.readVec<float>(), vals);
+    EXPECT_TRUE(r.readVec<uint32_t>().empty());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, StringRoundTrip)
+{
+    std::string path = tmpPath("etpu_ser_str.bin");
+    {
+        BinaryWriter w(path);
+        w.writeString("edge tpu");
+        w.writeString("");
+        w.writeString(std::string("\0binary\0", 8));
+    }
+    BinaryReader r(path);
+    EXPECT_EQ(r.readString(), "edge tpu");
+    EXPECT_EQ(r.readString(), "");
+    EXPECT_EQ(r.readString(), std::string("\0binary\0", 8));
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, MissingFileNotOk)
+{
+    BinaryReader r("/nonexistent/definitely/missing.bin");
+    EXPECT_FALSE(r.ok());
+}
+
+TEST(Serialize, ReadPastEndIsFatal)
+{
+    std::string path = tmpPath("etpu_ser_short.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint8_t>(1);
+    }
+    BinaryReader r(path);
+    EXPECT_EQ(r.read<uint8_t>(), 1);
+    EXPECT_EXIT({ r.read<uint64_t>(); }, ::testing::ExitedWithCode(1),
+                "past end");
+    std::remove(path.c_str());
+}
+
+} // namespace

@@ -1,0 +1,227 @@
+/** @file Property and behaviour tests for the performance simulator. */
+
+#include <gtest/gtest.h>
+
+#include "tpusim/simulator.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::sim;
+using nas::Op;
+
+nas::CellSpec
+bigCell()
+{
+    return nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+         Op::Conv3x3});
+}
+
+nas::CellSpec
+smallCell()
+{
+    return nas::makeChainCell({Op::MaxPool3x3});
+}
+
+class SimulatorConfigTest
+    : public ::testing::TestWithParam<arch::AcceleratorConfig>
+{
+};
+
+TEST_P(SimulatorConfigTest, LatencyAndCyclesPositive)
+{
+    Simulator sim(GetParam());
+    PerfResult r = sim.runCell(smallCell());
+    EXPECT_GT(r.latencyMs, 0.0);
+    EXPECT_GT(r.cycles, 0.0);
+    EXPECT_GT(r.numOps, 0);
+}
+
+TEST_P(SimulatorConfigTest, Deterministic)
+{
+    Simulator sim(GetParam());
+    PerfResult a = sim.runCell(bigCell());
+    PerfResult b = sim.runCell(bigCell());
+    EXPECT_DOUBLE_EQ(a.latencyMs, b.latencyMs);
+    EXPECT_DOUBLE_EQ(a.energyMj, b.energyMj);
+}
+
+TEST_P(SimulatorConfigTest, BiggerModelIsSlower)
+{
+    Simulator sim(GetParam());
+    EXPECT_GT(sim.runCell(bigCell()).latencyMs,
+              sim.runCell(smallCell()).latencyMs);
+}
+
+TEST_P(SimulatorConfigTest, CachingNeverHurts)
+{
+    auto cfg = GetParam();
+    Simulator with(cfg);
+    auto cfg_off = cfg;
+    cfg_off.compiler.parameterCaching = false;
+    Simulator without(cfg_off);
+    for (const auto &cell : {smallCell(), bigCell()}) {
+        EXPECT_LE(with.runCell(cell).latencyMs,
+                  without.runCell(cell).latencyMs + 1e-9);
+    }
+}
+
+TEST_P(SimulatorConfigTest, MoreBandwidthNeverHurtsBigModels)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg_fast = cfg;
+    cfg_fast.ioBandwidthGBs *= 2.0;
+    Simulator fast(cfg_fast);
+    EXPECT_LE(fast.runCell(bigCell()).latencyMs,
+              base.runCell(bigCell()).latencyMs + 1e-9);
+}
+
+TEST_P(SimulatorConfigTest, HigherClockIsFaster)
+{
+    auto cfg = GetParam();
+    Simulator base(cfg);
+    auto cfg_fast = cfg;
+    cfg_fast.clockMhz *= 2.0;
+    Simulator fast(cfg_fast);
+    EXPECT_LT(fast.runCell(smallCell()).latencyMs,
+              base.runCell(smallCell()).latencyMs);
+}
+
+TEST_P(SimulatorConfigTest, BusyTimesWithinLatency)
+{
+    Simulator sim(GetParam());
+    PerfResult r = sim.runCell(bigCell());
+    EXPECT_LE(r.computeBusyMs, r.latencyMs + 1e-9);
+    EXPECT_LE(r.dmaBusyMs, r.latencyMs + 1e-9);
+    EXPECT_GE(r.overheadMs, 0.0);
+}
+
+TEST_P(SimulatorConfigTest, UtilizationAtMostOne)
+{
+    Simulator sim(GetParam());
+    PerfResult r = sim.runCell(bigCell());
+    EXPECT_GT(r.utilization(sim.config()), 0.0);
+    EXPECT_LE(r.utilization(sim.config()), 1.0);
+}
+
+TEST_P(SimulatorConfigTest, DramTrafficCoversStreamedWeights)
+{
+    Simulator sim(GetParam());
+    Compiler compiler(GetParam());
+    auto cell = bigCell();
+    nas::Network net = nas::buildNetwork(cell);
+    Program p = compiler.compile(net, &cell);
+    uint64_t streamed = 0;
+    for (const auto &op : p.ops)
+        streamed += op.weightStreamBytes;
+    PerfResult r = sim.run(p);
+    EXPECT_GE(r.dramBytes, streamed);
+}
+
+TEST_P(SimulatorConfigTest, EnergyPositiveAndFlagged)
+{
+    Simulator sim(GetParam());
+    PerfResult r = sim.runCell(smallCell());
+    EXPECT_GT(r.energyMj, 0.0);
+    EXPECT_EQ(r.energyAvailable, GetParam().energy.available);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SimulatorConfigTest,
+    ::testing::ValuesIn(arch::allConfigs()),
+    [](const ::testing::TestParamInfo<arch::AcceleratorConfig> &info) {
+        return info.param.name;
+    });
+
+TEST(SimulatorFallback, PoolHeavyCellsSlowOnV1OnlyWithLowEnergy)
+{
+    // mp=3 > c1+1=2: triggers the V1 toolchain fallback; the conv1x1
+    // vertex contributes host-side MACs.
+    auto cell = nas::makeChainCell({Op::Conv1x1, Op::MaxPool3x3,
+                                    Op::MaxPool3x3, Op::MaxPool3x3});
+    Simulator v1(arch::configV1());
+    Simulator v2(arch::configV2());
+    Simulator v3(arch::configV3());
+    PerfResult r1 = v1.runCell(cell);
+    PerfResult r2 = v2.runCell(cell);
+    PerfResult r3 = v3.runCell(cell);
+    // Table 5, last bucket: V1 is several times slower; V2 and V3 are
+    // comparable and fast.
+    EXPECT_GT(r1.latencyMs, 3.0 * r2.latencyMs);
+    EXPECT_LT(r3.latencyMs, r2.latencyMs * 1.15);
+    EXPECT_GT(r1.fallbackCellInstances, 0);
+    EXPECT_EQ(r2.fallbackCellInstances, 0);
+    // Host executes part of the model on V1.
+    EXPECT_GT(r1.cpuMacs, 0u);
+    EXPECT_GT(r1.cpuBusyMs, 0.0);
+    // Accelerator-side energy stays low despite the high latency.
+    EXPECT_LT(r1.energyMj / r1.latencyMs, r2.energyMj / r2.latencyMs);
+}
+
+TEST(SimulatorCrossConfig, V1WinsComputeBoundMidModel)
+{
+    // ~7M-parameter conv3x3 model: cached on V1, streamed on V2/V3.
+    auto cell = nas::makeChainCell({Op::Conv3x3});
+    Simulator v1(arch::configV1());
+    Simulator v2(arch::configV2());
+    EXPECT_LT(v1.runCell(cell).latencyMs, v2.runCell(cell).latencyMs);
+}
+
+TEST(SimulatorCrossConfig, V2WinsLargestModels)
+{
+    // The Figure 14 crossover: beyond the V1 cache budget, bandwidth
+    // dominates and V2 takes over.
+    Simulator v1(arch::configV1());
+    Simulator v2(arch::configV2());
+    EXPECT_LT(v2.runCell(bigCell()).latencyMs,
+              v1.runCell(bigCell()).latencyMs);
+}
+
+TEST(SimulatorCrossConfig, LatencyWithinPaperRange)
+{
+    // All NASBench cells land in roughly [0.07, 7] ms on every config.
+    for (const auto &cfg : arch::allConfigs()) {
+        Simulator sim(cfg);
+        double lo = sim.runCell(smallCell()).latencyMs;
+        double hi = sim.runCell(bigCell()).latencyMs;
+        EXPECT_GT(lo, 0.05);
+        EXPECT_LT(lo, 0.2);
+        EXPECT_GT(hi, 3.0);
+        EXPECT_LT(hi, 8.0);
+    }
+}
+
+TEST(SimulatorOverhead, EmptyProgramIsJustFixedOverhead)
+{
+    Program empty;
+    Simulator sim(arch::configV2());
+    PerfResult r = sim.run(empty);
+    EXPECT_NEAR(r.latencyMs,
+                arch::configV2().inferenceOverheadUs * 1e-3, 1e-9);
+}
+
+TEST(SimulatorEnergy, ScalesWithModelSize)
+{
+    Simulator sim(arch::configV1());
+    EXPECT_GT(sim.runCell(bigCell()).energyMj,
+              5.0 * sim.runCell(smallCell()).energyMj);
+}
+
+TEST(SimulatorEnergy, WithinPaperMagnitude)
+{
+    // Paper Table 3: energies between ~0.17 and ~24 mJ.
+    Simulator v1(arch::configV1());
+    Simulator v2(arch::configV2());
+    for (const auto &cell : {smallCell(), bigCell()}) {
+        for (Simulator *sim : {&v1, &v2}) {
+            double e = sim->runCell(cell).energyMj;
+            EXPECT_GT(e, 0.05);
+            EXPECT_LT(e, 30.0);
+        }
+    }
+}
+
+} // namespace

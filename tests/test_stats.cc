@@ -1,0 +1,152 @@
+/** @file Unit tests for the statistics library. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/correlation.hh"
+#include "stats/histogram.hh"
+#include "stats/linreg.hh"
+#include "stats/summary.hh"
+
+namespace
+{
+
+using namespace etpu::stats;
+
+TEST(Summary, BasicMoments)
+{
+    Summary s = summarize({1, 2, 3, 4});
+    EXPECT_EQ(s.count, 4u);
+    EXPECT_DOUBLE_EQ(s.min, 1);
+    EXPECT_DOUBLE_EQ(s.max, 4);
+    EXPECT_DOUBLE_EQ(s.mean, 2.5);
+    EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+    EXPECT_EQ(s.argmin, 0u);
+    EXPECT_EQ(s.argmax, 3u);
+}
+
+TEST(Summary, EmptyIsZeroed)
+{
+    Summary s = summarize({});
+    EXPECT_EQ(s.count, 0u);
+    EXPECT_DOUBLE_EQ(s.mean, 0);
+}
+
+TEST(Summary, ArgExtremesFindFirstOccurrence)
+{
+    Summary s = summarize({5, 1, 7, 1, 7});
+    EXPECT_EQ(s.argmin, 1u);
+    EXPECT_EQ(s.argmax, 2u);
+}
+
+TEST(Quantile, MedianAndExtremes)
+{
+    std::vector<double> xs = {5, 1, 3, 2, 4};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2);
+}
+
+TEST(Pearson, PerfectCorrelation)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {10, 20, 30, 40};
+    EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+    std::vector<double> z = {-1, -2, -3, -4};
+    EXPECT_NEAR(pearson(x, z), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {2, 1, 4, 3, 5};
+    // Hand-computed: cov = 2.0, sx^2 = 2, sy^2 = 2 -> r = 0.8.
+    EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero)
+{
+    std::vector<double> x = {1, 1, 1};
+    std::vector<double> y = {1, 2, 3};
+    EXPECT_DOUBLE_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Ranks, AverageRanksWithTies)
+{
+    auto r = averageRanks({10, 20, 20, 30});
+    EXPECT_EQ(r, (std::vector<double>{1.0, 2.5, 2.5, 4.0}));
+}
+
+TEST(Spearman, MonotonicNonlinearIsPerfect)
+{
+    std::vector<double> x = {1, 2, 3, 4, 5};
+    std::vector<double> y = {1, 8, 27, 64, 125};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Spearman, KnownValueWithReversal)
+{
+    std::vector<double> x = {1, 2, 3};
+    std::vector<double> y = {3, 2, 1};
+    EXPECT_NEAR(spearman(x, y), -1.0, 1e-12);
+}
+
+TEST(Spearman, RobustToOutlierScale)
+{
+    std::vector<double> x = {1, 2, 3, 4};
+    std::vector<double> y = {2, 3, 4, 4000};
+    EXPECT_NEAR(spearman(x, y), 1.0, 1e-12);
+}
+
+TEST(Histogram, TableOneStyleBins)
+{
+    // Ten equal bins like the paper's Table 1.
+    Histogram h(227274, 49979274, 10);
+    EXPECT_EQ(h.numBins(), 10);
+    EXPECT_NEAR(h.binHi(0) - h.binLo(0), 4975200.0, 1.0);
+    h.add(227274);
+    h.add(5202473);
+    h.add(5202475);
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, ClampsOutOfRange)
+{
+    Histogram h(0, 10, 5);
+    h.add(-5);
+    h.add(15);
+    EXPECT_EQ(h.count(0), 1u);
+    EXPECT_EQ(h.count(4), 1u);
+}
+
+TEST(Histogram, LabelsAreFormatted)
+{
+    Histogram h(227274, 49979274, 10);
+    EXPECT_EQ(h.binLabel(0), "[227,274 — 5,202,474)");
+}
+
+TEST(Linreg, ExactLine)
+{
+    std::vector<double> x = {0, 1, 2, 3};
+    std::vector<double> y = {1, 3, 5, 7};
+    LinearFit f = fitLinear(x, y);
+    EXPECT_NEAR(f.slope, 2.0, 1e-12);
+    EXPECT_NEAR(f.intercept, 1.0, 1e-12);
+    EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Linreg, NoisyFitHasPartialR2)
+{
+    std::vector<double> x = {0, 1, 2, 3, 4};
+    std::vector<double> y = {0, 2, 1, 3, 2};
+    LinearFit f = fitLinear(x, y);
+    EXPECT_GT(f.slope, 0.0);
+    EXPECT_GT(f.r2, 0.0);
+    EXPECT_LT(f.r2, 1.0);
+}
+
+} // namespace

@@ -1,0 +1,58 @@
+/** @file Unit tests for the ASCII table printer and formatters. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+TEST(AsciiTable, RendersHeaderAndRows)
+{
+    AsciiTable t("Title");
+    t.header({"col1", "col2"});
+    t.row({"a", "bb"});
+    std::string s = t.str();
+    EXPECT_NE(s.find("Title"), std::string::npos);
+    EXPECT_NE(s.find("col1"), std::string::npos);
+    EXPECT_NE(s.find("| a "), std::string::npos);
+}
+
+TEST(AsciiTable, ColumnsAlignToWidestCell)
+{
+    AsciiTable t;
+    t.header({"h"});
+    t.row({"wide-cell-content"});
+    std::string s = t.str();
+    // Every line between rules must share the same width.
+    size_t first_nl = s.find('\n');
+    std::string rule = s.substr(0, first_nl);
+    EXPECT_NE(s.find(rule, first_nl), std::string::npos);
+}
+
+TEST(AsciiTable, HandlesRaggedRows)
+{
+    AsciiTable t;
+    t.header({"a", "b", "c"});
+    t.row({"only-one"});
+    EXPECT_FALSE(t.str().empty());
+}
+
+TEST(FmtDouble, FixedPrecision)
+{
+    EXPECT_EQ(fmtDouble(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtDouble(2.0, 4), "2.0000");
+}
+
+TEST(FmtCount, InsertsThousandsSeparators)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(423624), "423,624");
+    EXPECT_EQ(fmtCount(41557898), "41,557,898");
+}
+
+} // namespace

@@ -1,0 +1,143 @@
+/** @file Tests for the training/evaluation harness. */
+
+#include <gtest/gtest.h>
+
+#include "gnn/trainer.hh"
+#include "nasbench/enumerator.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+using nas::Op;
+
+std::vector<Sample>
+syntheticSamples(size_t count, uint64_t seed)
+{
+    auto cells = nas::enumerateCells({5, 9});
+    Rng rng(seed);
+    std::vector<Sample> samples;
+    for (size_t i = 0; i < count; i++) {
+        const auto &c = cells[rng.uniformInt(cells.size())];
+        Sample s;
+        s.graph = featurize(c);
+        // A structural "latency" the GNN can learn.
+        s.target = 0.2 + 0.5 * c.opCount(Op::Conv3x3) +
+                   0.15 * c.depth() + 0.05 * c.numEdges();
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+TEST(Split, SixtyTwentyTwenty)
+{
+    auto split = splitDataset(1000, 1);
+    EXPECT_EQ(split.train.size(), 600u);
+    EXPECT_EQ(split.validation.size(), 200u);
+    EXPECT_EQ(split.test.size(), 200u);
+}
+
+TEST(Split, CoversAllIndicesDisjointly)
+{
+    auto split = splitDataset(503, 2);
+    std::vector<bool> seen(503, false);
+    for (auto part : {&split.train, &split.validation, &split.test}) {
+        for (size_t i : *part) {
+            ASSERT_LT(i, 503u);
+            EXPECT_FALSE(seen[i]);
+            seen[i] = true;
+        }
+    }
+    for (bool b : seen)
+        EXPECT_TRUE(b);
+}
+
+TEST(Split, DeterministicBySeed)
+{
+    auto a = splitDataset(100, 7);
+    auto b = splitDataset(100, 7);
+    EXPECT_EQ(a.train, b.train);
+    auto c = splitDataset(100, 8);
+    EXPECT_NE(a.train, c.train);
+}
+
+TEST(Trainer, LossDecreasesDuringTraining)
+{
+    auto samples = syntheticSamples(64, 3);
+    TrainConfig cfg;
+    cfg.epochs = 1;
+    cfg.threads = 4;
+    Trainer t(cfg);
+    double first = t.train(samples);
+    TrainConfig cfg2;
+    cfg2.epochs = 40;
+    cfg2.threads = 4;
+    Trainer t2(cfg2);
+    double later = t2.train(samples);
+    EXPECT_LT(later, first);
+}
+
+TEST(Trainer, OverfitsSmallSet)
+{
+    auto samples = syntheticSamples(48, 4);
+    TrainConfig cfg;
+    cfg.epochs = 600; // 48 samples / batch 16 -> 3 steps per epoch
+    cfg.batchSize = 16;
+    cfg.threads = 8;
+    Trainer t(cfg);
+    t.train(samples);
+    EvalMetrics m = t.evaluate(samples);
+    EXPECT_GT(m.avgAccuracy, 0.88);
+    EXPECT_GT(m.spearman, 0.9);
+    EXPECT_GT(m.pearson, 0.9);
+}
+
+TEST(Trainer, PredictionDenormalizesToTargetScale)
+{
+    auto samples = syntheticSamples(48, 5);
+    TrainConfig cfg;
+    cfg.epochs = 60;
+    cfg.threads = 8;
+    Trainer t(cfg);
+    t.train(samples);
+    double lo = 1e18, hi = -1e18;
+    for (const auto &s : samples) {
+        lo = std::min(lo, s.target);
+        hi = std::max(hi, s.target);
+    }
+    double pred = t.predict(samples[0].graph);
+    EXPECT_GT(pred, lo - (hi - lo));
+    EXPECT_LT(pred, hi + (hi - lo));
+}
+
+TEST(Trainer, EvaluateOnEmptyIsZeroed)
+{
+    Trainer t;
+    EvalMetrics m = t.evaluate({});
+    EXPECT_EQ(m.count, 0u);
+    EXPECT_DOUBLE_EQ(m.avgAccuracy, 0.0);
+}
+
+TEST(Trainer, DeterministicGivenSeedAndSingleThread)
+{
+    auto samples = syntheticSamples(32, 6);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.threads = 1;
+    cfg.seed = 99;
+    Trainer a(cfg), b(cfg);
+    double la = a.train(samples);
+    double lb = b.train(samples);
+    EXPECT_DOUBLE_EQ(la, lb);
+    EXPECT_DOUBLE_EQ(a.predict(samples[0].graph),
+                     b.predict(samples[0].graph));
+}
+
+TEST(Trainer, TrainOnEmptyIsFatal)
+{
+    Trainer t;
+    EXPECT_EXIT(t.train({}), ::testing::ExitedWithCode(1), "empty");
+}
+
+} // namespace

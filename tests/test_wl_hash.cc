@@ -1,0 +1,178 @@
+/** @file Property tests: the WL fingerprint vs exact isomorphism. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.hh"
+#include "graph/wl_hash.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::graph;
+
+/** Permute interior vertices of (dag, labels) by perm (identity on 0
+ *  and n-1), producing a relabeled upper-triangular graph when the
+ *  permutation preserves topological order feasibility. */
+struct Labeled
+{
+    Dag dag;
+    std::vector<int> labels;
+};
+
+Labeled
+randomGraph(Rng &rng, int n)
+{
+    Dag d(n);
+    for (int u = 0; u < n; u++) {
+        for (int v = u + 1; v < n; v++) {
+            if (rng.uniform() < 0.4)
+                d.addEdge(u, v);
+        }
+    }
+    std::vector<int> labels(n);
+    labels[0] = 0;
+    labels[n - 1] = 4;
+    for (int v = 1; v < n - 1; v++)
+        labels[v] = 1 + static_cast<int>(rng.uniformInt(3));
+    return {d, labels};
+}
+
+/** Apply an interior permutation; edges that would become backward are
+ *  re-oriented to stay upper-triangular, which preserves isomorphism
+ *  as an (un)directed relabeling only when we map a DAG onto a DAG.
+ *  To stay exact, we instead permute only via topological-order
+ *  preserving swaps: swap two interior vertices with no edge between
+ *  them and identical neighbor-direction feasibility. Simpler: build
+ *  the permuted graph and skip if any edge becomes backward. */
+bool
+permute(const Labeled &in, const std::vector<int> &perm, Labeled &out)
+{
+    int n = in.dag.numVertices();
+    Dag d(n);
+    for (auto [u, v] : in.dag.edges()) {
+        int pu = perm[u], pv = perm[v];
+        if (pu > pv)
+            return false; // would break the topological indexing
+        d.addEdge(pu, pv);
+    }
+    std::vector<int> labels(n);
+    for (int v = 0; v < n; v++)
+        labels[perm[v]] = in.labels[v];
+    out = {d, labels};
+    return true;
+}
+
+TEST(WlHash, DeterministicForSameGraph)
+{
+    Rng rng(1);
+    auto g = randomGraph(rng, 6);
+    EXPECT_EQ(wlFingerprint(g.dag, g.labels),
+              wlFingerprint(g.dag, g.labels));
+}
+
+TEST(WlHash, LabelChangeChangesFingerprint)
+{
+    Rng rng(2);
+    auto g = randomGraph(rng, 6);
+    auto labels2 = g.labels;
+    labels2[2] = labels2[2] == 1 ? 2 : 1;
+    EXPECT_NE(wlFingerprint(g.dag, g.labels),
+              wlFingerprint(g.dag, labels2));
+}
+
+TEST(WlHash, EdgeChangeChangesFingerprint)
+{
+    Dag a(4), b(4);
+    a.addEdge(0, 1);
+    a.addEdge(1, 2);
+    a.addEdge(2, 3);
+    b.addEdge(0, 1);
+    b.addEdge(1, 3);
+    b.addEdge(1, 2);
+    std::vector<int> labels = {0, 1, 1, 4};
+    EXPECT_NE(wlFingerprint(a, labels), wlFingerprint(b, labels));
+}
+
+TEST(WlHash, InvariantUnderInteriorPermutation)
+{
+    Rng rng(3);
+    int tested = 0;
+    for (int trial = 0; trial < 400 && tested < 120; trial++) {
+        int n = 4 + static_cast<int>(rng.uniformInt(4)); // 4..7
+        auto g = randomGraph(rng, n);
+        std::vector<int> perm(n);
+        std::iota(perm.begin(), perm.end(), 0);
+        // random interior permutation
+        for (int i = n - 2; i > 1; i--) {
+            int j = 1 + static_cast<int>(rng.uniformInt(i));
+            std::swap(perm[i], perm[j]);
+        }
+        Labeled h;
+        if (!permute(g, perm, h))
+            continue;
+        tested++;
+        EXPECT_EQ(wlFingerprint(g.dag, g.labels),
+                  wlFingerprint(h.dag, h.labels))
+            << "graph " << g.dag.str();
+    }
+    EXPECT_GE(tested, 50);
+}
+
+TEST(WlHash, AgreesWithExactIsomorphismOnRandomPairs)
+{
+    Rng rng(4);
+    int mismatches = 0;
+    for (int trial = 0; trial < 300; trial++) {
+        int n = 4 + static_cast<int>(rng.uniformInt(3)); // 4..6
+        auto a = randomGraph(rng, n);
+        auto b = randomGraph(rng, n);
+        bool same_fp = wlFingerprint(a.dag, a.labels) ==
+                       wlFingerprint(b.dag, b.labels);
+        bool iso = isomorphic(a.dag, a.labels, b.dag, b.labels);
+        if (same_fp != iso)
+            mismatches++;
+    }
+    // The WL refinement is exact on these tiny labeled DAGs.
+    EXPECT_EQ(mismatches, 0);
+}
+
+TEST(ExactIso, IdenticalGraphsAreIsomorphic)
+{
+    Rng rng(5);
+    auto g = randomGraph(rng, 6);
+    EXPECT_TRUE(isomorphic(g.dag, g.labels, g.dag, g.labels));
+}
+
+TEST(ExactIso, DifferentSizesAreNot)
+{
+    Dag a(3), b(4);
+    a.addEdge(0, 1);
+    a.addEdge(1, 2);
+    b.addEdge(0, 1);
+    b.addEdge(1, 2);
+    b.addEdge(2, 3);
+    EXPECT_FALSE(isomorphic(a, {0, 1, 4}, b, {0, 1, 1, 4}));
+}
+
+TEST(ExactIso, DetectsInteriorRelabeling)
+{
+    // in -> A -> B -> out vs in -> B -> A -> out with A != B labels.
+    Dag d(4);
+    d.addEdge(0, 1);
+    d.addEdge(1, 2);
+    d.addEdge(2, 3);
+    EXPECT_FALSE(isomorphic(d, {0, 1, 2, 4}, d, {0, 2, 1, 4}));
+    // But a parallel-branch graph is symmetric under branch swap.
+    Dag p(4);
+    p.addEdge(0, 1);
+    p.addEdge(0, 2);
+    p.addEdge(1, 3);
+    p.addEdge(2, 3);
+    EXPECT_TRUE(isomorphic(p, {0, 1, 2, 4}, p, {0, 2, 1, 4}));
+}
+
+} // namespace
