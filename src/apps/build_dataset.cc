@@ -7,15 +7,16 @@
  * Usage: etpu_build_dataset [--sample N] [--out PATH] [--threads N]
  */
 
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <limits>
 #include <string>
 
+#include "common/env.hh"
 #include "common/logging.hh"
-#include "common/rng.hh"
 #include "common/table.hh"
-#include "nasbench/accuracy.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
 
@@ -24,8 +25,8 @@ main(int argc, char **argv)
 {
     using namespace etpu;
 
-    std::string out_path = pipeline::datasetCachePath();
-    size_t sample = 0;
+    std::string out_path;
+    size_t sample = pipeline::sampleSizeFromEnv();
     unsigned threads = 0;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -34,19 +35,37 @@ main(int argc, char **argv)
                 etpu_fatal("missing value for ", arg);
             return argv[++i];
         };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<uint64_t>(*n);
+        };
         if (arg == "--sample") {
-            sample = static_cast<size_t>(std::atoll(next()));
+            sample = static_cast<size_t>(next_count());
         } else if (arg == "--out") {
             out_path = next();
         } else if (arg == "--threads") {
-            threads = static_cast<unsigned>(std::atoi(next()));
+            constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+            threads = static_cast<unsigned>(std::min(next_count(), cap));
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: etpu_build_dataset [--sample N] "
-                         "[--out PATH] [--threads N]\n";
+                         "[--out PATH] [--threads N]\n"
+                         "defaults honor $ETPU_SAMPLE, "
+                         "$ETPU_DATASET_PATH and $ETPU_THREADS\n";
             return 0;
         } else {
             etpu_fatal("unknown argument ", arg);
         }
+    }
+
+    // Match sharedDataset()'s cache naming: sampled datasets must not
+    // pose as the full-space cache (an explicit --out always wins).
+    if (out_path.empty()) {
+        out_path = pipeline::datasetCachePath();
+        if (sample)
+            out_path = pipeline::sampledCachePath(out_path, sample);
     }
 
     nas::EnumerationStats stats;
@@ -55,17 +74,10 @@ main(int argc, char **argv)
               << " unique cells (" << fmtCount(stats.labeledCandidates)
               << " labeled candidates)\n";
 
-    if (sample && sample < cells.size()) {
-        Rng rng(0xda7a5e7ull);
-        for (size_t i = 0; i < sample; i++) {
-            size_t j = i + rng.uniformInt(cells.size() - i);
-            std::swap(cells[i], cells[j]);
-        }
-        cells.resize(sample);
-        for (const auto &anchor : nas::anchorCells())
-            cells.push_back(anchor.cell);
+    size_t enumerated = cells.size();
+    pipeline::sampleCells(cells, sample);
+    if (sample && sample < enumerated)
         std::cout << "sampled down to " << cells.size() << " cells\n";
-    }
 
     auto ds = pipeline::buildDataset(cells, threads);
     ds.save(out_path);

@@ -1,7 +1,9 @@
 #include "csv.hh"
 
-#include <iomanip>
-#include <sstream>
+#include <algorithm>
+#include <charconv>
+
+#include "common/logging.hh"
 
 namespace etpu
 {
@@ -9,6 +11,10 @@ namespace etpu
 CsvWriter::CsvWriter(const std::string &path)
     : out_(path)
 {
+    if (!out_) {
+        etpu_warn("CsvWriter: cannot open ", path,
+                  " for writing; all rows will be dropped");
+    }
 }
 
 std::string
@@ -42,12 +48,16 @@ CsvWriter::row(const std::vector<std::string> &cells)
 void
 CsvWriter::rowDoubles(const std::vector<double> &vals, int precision)
 {
+    // %.*g with max_digits10 significant digits round-trips any double;
+    // smaller caps trade fidelity for compactness.
+    int digits = std::clamp(precision, 1, maxRoundTripPrecision);
     std::vector<std::string> cells;
     cells.reserve(vals.size());
+    char buf[64];
     for (double v : vals) {
-        std::ostringstream oss;
-        oss << std::setprecision(precision) << v;
-        cells.push_back(oss.str());
+        auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, digits);
+        cells.emplace_back(buf, res.ptr);
     }
     row(cells);
 }

@@ -8,6 +8,7 @@
 #define ETPU_COMMON_CSV_HH
 
 #include <fstream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,11 @@ namespace etpu
 class CsvWriter
 {
   public:
+    /** Significant digits that guarantee double -> text -> double. */
+    static constexpr int maxRoundTripPrecision =
+        std::numeric_limits<double>::max_digits10;
+
+    /** Opens @p path; warns (once) if it cannot be written. */
     explicit CsvWriter(const std::string &path);
 
     bool ok() const { return static_cast<bool>(out_); }
@@ -25,8 +31,14 @@ class CsvWriter
     /** Write one row of cells. */
     void row(const std::vector<std::string> &cells);
 
-    /** Convenience: write a row of doubles. */
-    void rowDoubles(const std::vector<double> &vals, int precision = 6);
+    /**
+     * Convenience: write a row of doubles in %g-style notation.
+     *
+     * @param precision Cap on significant digits; the default keeps
+     *        full round-trip fidelity.
+     */
+    void rowDoubles(const std::vector<double> &vals,
+                    int precision = maxRoundTripPrecision);
 
   private:
     static std::string escape(const std::string &cell);

@@ -1,0 +1,53 @@
+#include "env.hh"
+
+#include <charconv>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+std::optional<long long>
+parseInt(std::string_view text)
+{
+    if (text.empty())
+        return std::nullopt;
+    long long value = 0;
+    const char *first = text.data();
+    const char *last = text.data() + text.size();
+    auto [ptr, ec] = std::from_chars(first, last, value, 10);
+    if (ec != std::errc() || ptr != last)
+        return std::nullopt;
+    return value;
+}
+
+std::optional<long long>
+envInt(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return std::nullopt;
+    auto value = parseInt(env);
+    if (!value) {
+        etpu_warn(name, "=\"", env,
+                  "\" is not a valid integer; ignoring it");
+    }
+    return value;
+}
+
+std::optional<uint64_t>
+envCount(const char *name)
+{
+    auto value = envInt(name);
+    if (!value)
+        return std::nullopt;
+    if (*value < 0) {
+        etpu_warn(name, "=", *value,
+                  " is negative; expected a count >= 0, ignoring it");
+        return std::nullopt;
+    }
+    return static_cast<uint64_t>(*value);
+}
+
+} // namespace etpu

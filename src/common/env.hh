@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Strict environment-variable parsing. The libc atoi/atol family maps
+ * garbage ("abc"), partial junk ("100x") and out-of-range values to 0
+ * or an unspecified result without any diagnostic, so a mistyped knob
+ * like ETPU_SAMPLE=100x silently falls back to the full 423,624-cell
+ * run. These helpers accept only a complete base-10 integer and warn
+ * once per lookup on anything else.
+ */
+
+#ifndef ETPU_COMMON_ENV_HH
+#define ETPU_COMMON_ENV_HH
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace etpu
+{
+
+/**
+ * Strictly parse a base-10 signed integer.
+ *
+ * The whole string must be consumed: an optional leading '-' followed
+ * by digits, nothing else (no whitespace, no trailing junk, no '+').
+ *
+ * @param text Candidate integer text.
+ * @return The value, or nullopt when text is empty, malformed or does
+ *         not fit in a long long.
+ */
+std::optional<long long> parseInt(std::string_view text);
+
+/**
+ * Read environment variable @p name as a strict integer.
+ *
+ * @return nullopt when unset; nullopt plus a warning when set but
+ *         malformed (junk, trailing characters, overflow).
+ */
+std::optional<long long> envInt(const char *name);
+
+/**
+ * Read environment variable @p name as a non-negative count.
+ *
+ * Like envInt(), but negative values are also treated as malformed
+ * (warned, nullopt). Used for ETPU_THREADS / ETPU_SAMPLE style knobs.
+ */
+std::optional<uint64_t> envCount(const char *name);
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_ENV_HH

@@ -27,7 +27,9 @@ std::string
 strfmt(Args &&...args)
 {
     std::ostringstream oss;
-    (oss << ... << std::forward<Args>(args));
+    // void cast: with an empty pack the fold is just `oss`, which GCC
+    // flags as a statement with no effect.
+    static_cast<void>((oss << ... << std::forward<Args>(args)));
     return oss.str();
 }
 

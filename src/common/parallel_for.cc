@@ -1,6 +1,9 @@
 #include "parallel_for.hh"
 
-#include <cstdlib>
+#include <limits>
+
+#include "common/env.hh"
+#include "common/logging.hh"
 
 namespace etpu
 {
@@ -8,13 +11,29 @@ namespace etpu
 unsigned
 defaultThreadCount()
 {
-    if (const char *env = std::getenv("ETPU_THREADS")) {
-        int n = std::atoi(env);
-        if (n > 0)
-            return static_cast<unsigned>(n);
+    if (auto n = envCount("ETPU_THREADS"); n && *n > 0) {
+        constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+        return static_cast<unsigned>(std::min(*n, cap));
     }
     unsigned hw = std::thread::hardware_concurrency();
     return hw ? hw : 4;
+}
+
+unsigned
+resolveWorkerCount(unsigned threads)
+{
+    unsigned n = threads ? threads : defaultThreadCount();
+    unsigned hw = std::thread::hardware_concurrency();
+    unsigned cap = std::max(1u, hw ? hw : 4) * 8;
+    if (n > cap) {
+        static std::atomic<bool> warned{false};
+        if (!warned.exchange(true)) {
+            etpu_warn("capping worker count ", n, " at ", cap,
+                      " (8x hardware concurrency)");
+        }
+        n = cap;
+    }
+    return n;
 }
 
 } // namespace etpu

@@ -20,12 +20,20 @@ namespace etpu
 unsigned defaultThreadCount();
 
 /**
+ * Resolve a requested worker count: 0 means defaultThreadCount(), and
+ * the result is capped at 8x hardware concurrency — the work is
+ * CPU-bound, and an absurd ETPU_THREADS/--threads must not exhaust
+ * memory spawning (or allocating state for) millions of workers.
+ */
+unsigned resolveWorkerCount(unsigned threads);
+
+/**
  * Run fn(begin..end) partitioned dynamically across threads.
  *
  * @param begin First index (inclusive).
  * @param end Last index (exclusive).
  * @param fn Callable taking (size_t index, unsigned worker_id).
- * @param threads Worker count; 0 means defaultThreadCount().
+ * @param threads Worker count, resolved via resolveWorkerCount().
  */
 template <typename Fn>
 void
@@ -33,7 +41,7 @@ parallelFor(size_t begin, size_t end, Fn &&fn, unsigned threads = 0)
 {
     if (end <= begin)
         return;
-    unsigned n_workers = threads ? threads : defaultThreadCount();
+    unsigned n_workers = resolveWorkerCount(threads);
     size_t total = end - begin;
     n_workers = static_cast<unsigned>(
         std::min<size_t>(n_workers, total));

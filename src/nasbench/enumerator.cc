@@ -70,7 +70,7 @@ enumerateCells(const SpaceLimits &limits, EnumerationStats *stats,
         etpu_fatal("enumerateCells: unsupported maxVertices ",
                    limits.maxVertices);
 
-    unsigned n_workers = threads ? threads : defaultThreadCount();
+    unsigned n_workers = resolveWorkerCount(threads);
     std::vector<std::unordered_map<Hash128, CellSpec>> shards(n_workers);
     std::atomic<uint64_t> matrices_visited{0};
     std::atomic<uint64_t> matrices_kept{0};

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/rng.hh"
@@ -69,19 +70,47 @@ datasetCachePath()
     return "etpu_dataset.bin";
 }
 
-namespace
-{
-
 size_t
 sampleSizeFromEnv()
 {
-    if (const char *env = std::getenv("ETPU_SAMPLE")) {
-        long n = std::atol(env);
-        if (n > 0)
-            return static_cast<size_t>(n);
-    }
+    if (auto n = envCount("ETPU_SAMPLE"))
+        return static_cast<size_t>(*n);
     return 0;
 }
+
+void
+sampleCells(std::vector<nas::CellSpec> &cells, size_t sample)
+{
+    if (!sample || sample >= cells.size())
+        return;
+    Rng rng(0xda7a5e7ull);
+    for (size_t i = 0; i < sample; i++) {
+        size_t j = i + rng.uniformInt(cells.size() - i);
+        std::swap(cells[i], cells[j]);
+    }
+    cells.resize(sample);
+    for (const auto &anchor : nas::anchorCells()) {
+        bool present = false;
+        Hash128 fp = anchor.cell.fingerprint();
+        for (const auto &c : cells) {
+            if (c.fingerprint() == fp) {
+                present = true;
+                break;
+            }
+        }
+        if (!present)
+            cells.push_back(anchor.cell);
+    }
+}
+
+std::string
+sampledCachePath(const std::string &path, size_t sample)
+{
+    return path + "." + std::to_string(sample) + ".sample";
+}
+
+namespace
+{
 
 nas::Dataset
 buildShared()
@@ -89,7 +118,7 @@ buildShared()
     size_t sample = sampleSizeFromEnv();
     std::string path = datasetCachePath();
     if (sample)
-        path += "." + std::to_string(sample) + ".sample";
+        path = sampledCachePath(path, sample);
 
     nas::Dataset ds;
     if (nas::Dataset::load(path, ds)) {
@@ -99,28 +128,7 @@ buildShared()
     }
 
     auto cells = nas::enumerateCells();
-    if (sample && sample < cells.size()) {
-        // Deterministic subsample (Fisher-Yates prefix), keeping the
-        // anchor cells so the figure benches always see them.
-        Rng rng(0xda7a5e7ull);
-        for (size_t i = 0; i < sample; i++) {
-            size_t j = i + rng.uniformInt(cells.size() - i);
-            std::swap(cells[i], cells[j]);
-        }
-        cells.resize(sample);
-        for (const auto &anchor : nas::anchorCells()) {
-            bool present = false;
-            Hash128 fp = anchor.cell.fingerprint();
-            for (const auto &c : cells) {
-                if (c.fingerprint() == fp) {
-                    present = true;
-                    break;
-                }
-            }
-            if (!present)
-                cells.push_back(anchor.cell);
-        }
-    }
+    sampleCells(cells, sample);
     etpu_inform("building dataset for ", cells.size(),
                 " cells (this runs once, then is cached)...");
     nas::Dataset ds2 = buildDataset(cells);

@@ -39,6 +39,23 @@ nas::Dataset buildFullDataset(unsigned threads = 0);
 std::string datasetCachePath();
 
 /**
+ * Sample size requested via $ETPU_SAMPLE (strictly parsed; malformed
+ * values warn and count as unset). 0 means "the full space".
+ */
+size_t sampleSizeFromEnv();
+
+/**
+ * Deterministically sample @p cells down to @p sample cells
+ * (fixed-seed Fisher-Yates prefix), then append any paper anchor cell
+ * the sample missed so the figure benches always see them. No-op when
+ * @p sample is 0 or not smaller than the cell count.
+ */
+void sampleCells(std::vector<nas::CellSpec> &cells, size_t sample);
+
+/** Cache path for an N-cell sampled dataset: "<path>.N.sample". */
+std::string sampledCachePath(const std::string &path, size_t sample);
+
+/**
  * Load the shared dataset, building and caching it on first use.
  *
  * Honors $ETPU_SAMPLE: if set to N > 0, only a deterministic sample of

@@ -112,8 +112,9 @@ TEST(Accuracy, MoreCapacityHelpsOnAverage)
     // Both could be failure outliers; pick non-outliers by checking.
     double ab = surrogateAccuracy(big);
     double as = surrogateAccuracy(small);
-    if (ab > 0.2 && as > 0.2)
+    if (ab > 0.2 && as > 0.2) {
         EXPECT_GT(ab, as);
+    }
 }
 
 } // namespace

@@ -75,4 +75,43 @@ TEST(Csv, DoubleRows)
     std::remove(path.c_str());
 }
 
+TEST(Csv, DoublesRoundTripAtDefaultPrecision)
+{
+    const std::vector<double> vals = {0.1, 1.0 / 3.0, 0.1 + 0.2,
+                                      123456.789012345,
+                                      3.14159265358979312e-7};
+    std::string path = tmpPath("etpu_csv5.csv");
+    {
+        CsvWriter w(path);
+        w.rowDoubles(vals);
+    }
+    std::stringstream line(readAll(path));
+    std::string cell;
+    for (double expected : vals) {
+        ASSERT_TRUE(std::getline(line, cell, ','));
+        // Bit-exact: the default precision must not lose information.
+        EXPECT_EQ(std::stod(cell), expected) << "cell " << cell;
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Csv, PrecisionStillCapsDigits)
+{
+    std::string path = tmpPath("etpu_csv6.csv");
+    {
+        CsvWriter w(path);
+        w.rowDoubles({1.0 / 3.0}, 3);
+    }
+    EXPECT_EQ(readAll(path), "0.333\n");
+    std::remove(path.c_str());
+}
+
+TEST(Csv, WarnsButSurvivesUnwritablePath)
+{
+    CsvWriter w("/nonexistent-etpu-dir/out.csv");
+    EXPECT_FALSE(w.ok());
+    w.row({"dropped"});
+    w.rowDoubles({1.0});
+}
+
 } // namespace

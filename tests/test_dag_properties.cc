@@ -57,8 +57,9 @@ TEST_P(DagPropertyTest, WidthBoundedByEdges)
         int n = 2 + static_cast<int>(rng.uniformInt(6));
         Dag d = randomDag(rng, n, 0.5);
         EXPECT_LE(d.width(), d.numEdges());
-        if (d.numEdges() > 0)
+        if (d.numEdges() > 0) {
             EXPECT_GE(d.width(), 1);
+        }
     }
 }
 

@@ -1,0 +1,115 @@
+/** @file Unit tests for strict environment-variable parsing. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <limits>
+#include <string>
+
+#include "common/env.hh"
+
+namespace
+{
+
+using etpu::envCount;
+using etpu::envInt;
+using etpu::parseInt;
+
+constexpr char kVar[] = "ETPU_TEST_ENV_VAR";
+
+class EnvParse : public ::testing::Test
+{
+  protected:
+    void TearDown() override { unsetenv(kVar); }
+
+    void set(const std::string &value)
+    {
+        setenv(kVar, value.c_str(), 1);
+    }
+};
+
+TEST(ParseInt, AcceptsPlainIntegers)
+{
+    EXPECT_EQ(parseInt("0"), 0);
+    EXPECT_EQ(parseInt("42"), 42);
+    EXPECT_EQ(parseInt("-7"), -7);
+    EXPECT_EQ(parseInt("007"), 7);
+}
+
+TEST(ParseInt, AcceptsFullLongLongRange)
+{
+    constexpr long long max = std::numeric_limits<long long>::max();
+    constexpr long long min = std::numeric_limits<long long>::min();
+    EXPECT_EQ(parseInt(std::to_string(max)), max);
+    EXPECT_EQ(parseInt(std::to_string(min)), min);
+}
+
+TEST(ParseInt, RejectsJunk)
+{
+    EXPECT_FALSE(parseInt(""));
+    EXPECT_FALSE(parseInt("abc"));
+    EXPECT_FALSE(parseInt("100x"));
+    EXPECT_FALSE(parseInt("x100"));
+    EXPECT_FALSE(parseInt("4.5"));
+    EXPECT_FALSE(parseInt(" 42"));
+    EXPECT_FALSE(parseInt("42 "));
+    EXPECT_FALSE(parseInt("+42"));
+    EXPECT_FALSE(parseInt("-"));
+    EXPECT_FALSE(parseInt("0x10"));
+}
+
+TEST(ParseInt, RejectsOverflow)
+{
+    // One past LLONG_MAX / LLONG_MIN, and something absurdly long.
+    EXPECT_FALSE(parseInt("9223372036854775808"));
+    EXPECT_FALSE(parseInt("-9223372036854775809"));
+    EXPECT_FALSE(parseInt("99999999999999999999999999999999"));
+}
+
+TEST_F(EnvParse, IntUnsetIsNullopt)
+{
+    unsetenv(kVar);
+    EXPECT_FALSE(envInt(kVar).has_value());
+}
+
+TEST_F(EnvParse, IntReadsValidValues)
+{
+    set("123");
+    EXPECT_EQ(envInt(kVar), 123);
+    set("-5");
+    EXPECT_EQ(envInt(kVar), -5);
+}
+
+TEST_F(EnvParse, IntRejectsMalformedValues)
+{
+    set("100x");
+    EXPECT_FALSE(envInt(kVar).has_value());
+    set("");
+    EXPECT_FALSE(envInt(kVar).has_value());
+    set("9223372036854775808");
+    EXPECT_FALSE(envInt(kVar).has_value());
+}
+
+TEST_F(EnvParse, CountAcceptsNonNegative)
+{
+    set("0");
+    EXPECT_EQ(envCount(kVar), 0u);
+    set("64");
+    EXPECT_EQ(envCount(kVar), 64u);
+}
+
+TEST_F(EnvParse, CountRejectsNegative)
+{
+    set("-4");
+    EXPECT_FALSE(envCount(kVar).has_value());
+}
+
+TEST_F(EnvParse, CountRejectsJunkAndOverflow)
+{
+    set("12 cores");
+    EXPECT_FALSE(envCount(kVar).has_value());
+    set("18446744073709551616");
+    EXPECT_FALSE(envCount(kVar).has_value());
+}
+
+} // namespace

@@ -206,10 +206,11 @@ TEST(Mlp, ReluGateZeroesNegativePaths)
     mlpForward(mlp, x, cache);
     for (int r = 0; r < 2; r++) {
         for (int c = 0; c < 8; c++) {
-            if (cache.h1.at(r, c) <= 0.0f)
+            if (cache.h1.at(r, c) <= 0.0f) {
                 EXPECT_FLOAT_EQ(cache.h1r.at(r, c), 0.0f);
-            else
+            } else {
                 EXPECT_FLOAT_EQ(cache.h1r.at(r, c), cache.h1.at(r, c));
+            }
         }
     }
 }

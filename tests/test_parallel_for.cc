@@ -75,4 +75,17 @@ TEST(DefaultThreadCount, Positive)
     EXPECT_GE(defaultThreadCount(), 1u);
 }
 
+TEST(ResolveWorkerCount, SmallRequestsPassThrough)
+{
+    EXPECT_GE(resolveWorkerCount(0), 1u);
+    EXPECT_EQ(resolveWorkerCount(3), 3u);
+}
+
+TEST(ResolveWorkerCount, CapsAbsurdRequests)
+{
+    // A huge --threads/ETPU_THREADS must not translate into millions
+    // of spawned threads or per-worker shard allocations.
+    EXPECT_LT(resolveWorkerCount(1u << 30), 100000u);
+}
+
 } // namespace
