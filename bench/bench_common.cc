@@ -4,13 +4,54 @@
 #include <iostream>
 #include <unordered_map>
 
+#include "common/logging.hh"
+
 namespace etpu::bench
 {
+
+namespace
+{
+/** Whether some bench path already forced the in-memory dataset. */
+bool datasetRequested = false;
+} // namespace
 
 const nas::Dataset &
 dataset()
 {
+    datasetRequested = true;
     return pipeline::sharedDataset();
+}
+
+void
+forEachRecord(const std::function<void(const nas::ModelRecord &)> &fn)
+{
+    if (!datasetRequested) {
+        std::string path = pipeline::resolvedCachePath();
+        std::error_code ec;
+        if (std::filesystem::exists(path, ec)) {
+            size_t delivered = 0;
+            bool clean = nas::Dataset::loadStreaming(
+                path, [&](const nas::ModelRecord &r) {
+                    delivered++;
+                    fn(r);
+                });
+            if (clean)
+                return;
+            if (delivered) {
+                // Some shards already reached fn and re-walking the
+                // full dataset would double-count, so a bench built on
+                // partial data must not report numbers with exit 0.
+                etpu_fatal("dataset cache ", path, " is damaged and ",
+                           delivered, " records already streamed; "
+                           "delete it or rerun etpu_build_dataset "
+                           "(--resume keeps finished shards)");
+            }
+            // Nothing delivered: fall through to the in-memory build,
+            // which rebuilds the cache from scratch.
+        }
+    }
+    for (const auto &r : dataset().records)
+        fn(r);
 }
 
 const std::vector<const nas::ModelRecord *> &

@@ -13,6 +13,7 @@
 #ifndef ETPU_BENCH_COMMON_HH
 #define ETPU_BENCH_COMMON_HH
 
+#include <functional>
 #include <optional>
 #include <string>
 #include <vector>
@@ -31,6 +32,21 @@ inline constexpr double accuracyFilter = 0.70;
 
 /** The shared dataset (built and cached on first use). */
 const nas::Dataset &dataset();
+
+/**
+ * Visit every record once, in dataset order, without requiring the
+ * whole dataset in memory: when the shared dataset is not already
+ * materialized and a v2 cache file exists, records stream from it
+ * shard by shard (Dataset::loadStreaming); otherwise the in-memory
+ * dataset is walked. Single-pass consumers (histograms, extrema,
+ * running sums) should prefer this over dataset().records.
+ *
+ * A cache that turns out damaged mid-stream is fatal (a bench must
+ * not publish numbers from a subset of the campaign); a cache that is
+ * unreadable from the start falls back to rebuilding in memory.
+ */
+void
+forEachRecord(const std::function<void(const nas::ModelRecord &)> &fn);
 
 /** Records passing the >=70% accuracy filter. */
 const std::vector<const nas::ModelRecord *> &filteredRecords();

@@ -2,9 +2,15 @@
  * @file
  * CLI that enumerates the NASBench-101 cell space, simulates every cell
  * on the three Edge TPU configurations and writes the binary dataset
- * cache consumed by the bench binaries.
+ * cache consumed by the bench binaries. The build is sharded and
+ * checkpointed: each finished shard is appended to "<out>.partial" with
+ * a CRC guard and recorded in "<out>.manifest", so a killed run picks
+ * up from the last finished shard with --resume instead of restarting
+ * the campaign.
  *
  * Usage: etpu_build_dataset [--sample N] [--out PATH] [--threads N]
+ *                           [--shards N] [--resume]
+ *                           [--stop-after-shards N]
  */
 
 #include <algorithm>
@@ -27,7 +33,7 @@ main(int argc, char **argv)
 
     std::string out_path;
     size_t sample = pipeline::sampleSizeFromEnv();
-    unsigned threads = 0;
+    pipeline::ShardedBuildOptions opts;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -48,12 +54,28 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--threads") {
             constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
-            threads = static_cast<unsigned>(std::min(next_count(), cap));
+            opts.threads =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--shards") {
+            opts.shards = static_cast<size_t>(next_count());
+        } else if (arg == "--resume") {
+            opts.resume = true;
+        } else if (arg == "--stop-after-shards") {
+            opts.stopAfterShards = static_cast<size_t>(next_count());
         } else if (arg == "--help" || arg == "-h") {
-            std::cout << "usage: etpu_build_dataset [--sample N] "
-                         "[--out PATH] [--threads N]\n"
-                         "defaults honor $ETPU_SAMPLE, "
-                         "$ETPU_DATASET_PATH and $ETPU_THREADS\n";
+            std::cout
+                << "usage: etpu_build_dataset [--sample N] [--out PATH] "
+                   "[--threads N]\n"
+                   "                          [--shards N] [--resume] "
+                   "[--stop-after-shards N]\n"
+                   "--shards 0 picks the shard count automatically; "
+                   "--resume adopts the\n"
+                   "verified shards an interrupted build left in "
+                   "<out>.partial/<out>.manifest;\n"
+                   "--stop-after-shards induces such an interruption "
+                   "(testing hook).\n"
+                   "defaults honor $ETPU_SAMPLE, $ETPU_DATASET_PATH, "
+                   "$ETPU_THREADS and $ETPU_SHARDS\n";
             return 0;
         } else {
             etpu_fatal("unknown argument ", arg);
@@ -69,7 +91,7 @@ main(int argc, char **argv)
     }
 
     nas::EnumerationStats stats;
-    auto cells = nas::enumerateCells({}, &stats, threads);
+    auto cells = nas::enumerateCells({}, &stats, opts.threads);
     std::cout << "enumerated " << fmtCount(stats.uniqueCells)
               << " unique cells (" << fmtCount(stats.labeledCandidates)
               << " labeled candidates)\n";
@@ -79,9 +101,18 @@ main(int argc, char **argv)
     if (sample && sample < enumerated)
         std::cout << "sampled down to " << cells.size() << " cells\n";
 
-    auto ds = pipeline::buildDataset(cells, threads);
-    ds.save(out_path);
-    std::cout << "wrote " << fmtCount(ds.size()) << " records to "
-              << out_path << "\n";
+    auto result = pipeline::buildDatasetSharded(cells, out_path, opts);
+    if (result.reused) {
+        std::cout << "resume: reused " << result.reused << " of "
+                  << result.shards << " shards\n";
+    }
+    if (!result.finished) {
+        std::cout << "stopped after " << (result.reused + result.built)
+                  << " of " << result.shards
+                  << " shards; rerun with --resume to finish\n";
+        return 0;
+    }
+    std::cout << "wrote " << fmtCount(result.records) << " records to "
+              << out_path << " (" << result.shards << " shards)\n";
     return 0;
 }

@@ -1,0 +1,38 @@
+#include "checksum.hh"
+
+#include <array>
+
+namespace etpu
+{
+
+namespace
+{
+
+constexpr std::array<uint32_t, 256>
+makeCrcTable()
+{
+    std::array<uint32_t, 256> table{};
+    for (uint32_t i = 0; i < 256; i++) {
+        uint32_t c = i;
+        for (int bit = 0; bit < 8; bit++)
+            c = (c & 1) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto crcTable = makeCrcTable();
+
+} // namespace
+
+uint32_t
+crc32(const void *data, size_t len, uint32_t crc)
+{
+    const auto *p = static_cast<const uint8_t *>(data);
+    uint32_t c = crc ^ 0xFFFFFFFFu;
+    for (size_t i = 0; i < len; i++)
+        c = crcTable[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+    return c ^ 0xFFFFFFFFu;
+}
+
+} // namespace etpu

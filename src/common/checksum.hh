@@ -1,0 +1,49 @@
+/**
+ * @file
+ * CRC32 (IEEE 802.3, reflected polynomial 0xEDB88320) used to guard the
+ * dataset cache's shard segments against truncation and bit flips. A
+ * cryptographic hash would be overkill: the threat model is a killed
+ * build, a half-written file or storage corruption, not an adversary.
+ */
+
+#ifndef ETPU_COMMON_CHECKSUM_HH
+#define ETPU_COMMON_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace etpu
+{
+
+/**
+ * One-shot / chainable CRC32.
+ *
+ * @param data Bytes to checksum.
+ * @param len Byte count.
+ * @param crc Previous CRC to continue from (0 starts a fresh sum), so
+ *        crc32(b, m, crc32(a, n)) == crc32(concat(a, b), n + m).
+ * @return The updated CRC.
+ */
+uint32_t crc32(const void *data, size_t len, uint32_t crc = 0);
+
+/** Incremental CRC32 accumulator (same stream semantics as crc32()). */
+class Crc32
+{
+  public:
+    /** Absorb @p len bytes at @p data. */
+    void
+    update(const void *data, size_t len)
+    {
+        state_ = crc32(data, len, state_);
+    }
+
+    /** CRC of everything absorbed so far. */
+    uint32_t value() const { return state_; }
+
+  private:
+    uint32_t state_ = 0;
+};
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_CHECKSUM_HH

@@ -1,10 +1,17 @@
 #include "serialize.hh"
 
+#include <algorithm>
+
 namespace etpu
 {
 
 BinaryWriter::BinaryWriter(const std::string &path)
-    : out_(path, std::ios::binary)
+    : file_(path, std::ios::binary), out_(&file_)
+{
+}
+
+BinaryWriter::BinaryWriter(std::ostream &out)
+    : out_(&out)
 {
 }
 
@@ -12,12 +19,72 @@ void
 BinaryWriter::writeString(const std::string &s)
 {
     write<uint64_t>(s.size());
-    out_.write(s.data(), static_cast<std::streamsize>(s.size()));
+    out_->write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+void
+BinaryWriter::writeBytes(const void *data, size_t len)
+{
+    out_->write(static_cast<const char *>(data),
+                static_cast<std::streamsize>(len));
 }
 
 BinaryReader::BinaryReader(const std::string &path)
-    : in_(path, std::ios::binary)
+    : file_(path, std::ios::binary), in_(&file_)
 {
+}
+
+BinaryReader::BinaryReader(std::istream &in)
+    : in_(&in)
+{
+}
+
+bool
+BinaryReader::exhausted()
+{
+    return !ok() || in_->peek() ==
+        std::istream::traits_type::eof();
+}
+
+bool
+BinaryReader::tryReadRaw(void *dst, size_t len)
+{
+    if (!*in_)
+        return false;
+    in_->read(static_cast<char *>(dst),
+              static_cast<std::streamsize>(len));
+    if (static_cast<size_t>(in_->gcount()) != len)
+        return false;
+    offset_ += len;
+    return true;
+}
+
+bool
+BinaryReader::tryReadBytes(void *dst, size_t len)
+{
+    return tryReadRaw(dst, len);
+}
+
+bool
+BinaryReader::tryReadBytes(std::string &dst, size_t len)
+{
+    // Grow in bounded chunks: len may come from a corrupt length field
+    // claiming exabytes, and a single resize(len) would throw before
+    // the short read could be reported. This way memory tracks the
+    // bytes actually present in the stream.
+    constexpr size_t chunk = 16 * 1024 * 1024;
+    dst.clear();
+    size_t got = 0;
+    while (got < len) {
+        size_t step = std::min(chunk, len - got);
+        dst.resize(got + step);
+        if (!tryReadRaw(dst.data() + got, step)) {
+            dst.clear();
+            return false;
+        }
+        got += step;
+    }
+    return true;
 }
 
 std::string
@@ -25,10 +92,9 @@ BinaryReader::readString()
 {
     auto n = read<uint64_t>();
     std::string s(n, '\0');
-    if (n) {
-        in_.read(s.data(), static_cast<std::streamsize>(n));
-        if (!in_)
-            etpu_fatal("binary read past end of file (string)");
+    if (n && !tryReadRaw(s.data(), n)) {
+        etpu_fatal("binary read past end of file (string) at byte ",
+                   offset_);
     }
     return s;
 }

@@ -3,6 +3,17 @@
  * Minimal little-endian binary serialization for the dataset cache.
  * Format: fixed-width PODs and length-prefixed vectors; a magic number
  * plus version guard against stale caches.
+ *
+ * Both endpoints work over a file they own or over any caller-provided
+ * std::ostream / std::istream (the sharded cache writer serializes each
+ * shard into a memory buffer before checksumming it, and the loader
+ * re-parses verified shard payloads from memory).
+ *
+ * Reads come in two flavors: read<T>() calls etpu_fatal() on a short
+ * file (for callers that already validated the stream), while
+ * tryRead<T>() reports truncation to the caller so cache loading can
+ * warn with byte offsets and fall back to rebuilding instead of killing
+ * the process.
  */
 
 #ifndef ETPU_COMMON_SERIALIZE_HH
@@ -19,21 +30,24 @@
 namespace etpu
 {
 
-/** Streaming binary writer over a file. */
+/** Streaming binary writer over an owned file or an external stream. */
 class BinaryWriter
 {
   public:
     explicit BinaryWriter(const std::string &path);
 
-    /** @return true if the file opened successfully. */
-    bool ok() const { return static_cast<bool>(out_); }
+    /** Write into a caller-owned stream (kept alive by the caller). */
+    explicit BinaryWriter(std::ostream &out);
+
+    /** @return true if the sink is healthy. */
+    bool ok() const { return static_cast<bool>(*out_); }
 
     template <typename T>
     void
     write(const T &v)
     {
         static_assert(std::is_trivially_copyable_v<T>);
-        out_.write(reinterpret_cast<const char *>(&v), sizeof(T));
+        out_->write(reinterpret_cast<const char *>(&v), sizeof(T));
     }
 
     template <typename T>
@@ -43,34 +57,70 @@ class BinaryWriter
         static_assert(std::is_trivially_copyable_v<T>);
         write<uint64_t>(v.size());
         if (!v.empty()) {
-            out_.write(reinterpret_cast<const char *>(v.data()),
-                       static_cast<std::streamsize>(sizeof(T) * v.size()));
+            out_->write(reinterpret_cast<const char *>(v.data()),
+                        static_cast<std::streamsize>(sizeof(T) * v.size()));
         }
     }
 
     void writeString(const std::string &s);
 
+    /** Raw bytes, no length prefix. */
+    void writeBytes(const void *data, size_t len);
+
   private:
-    std::ofstream out_;
+    std::ofstream file_;
+    std::ostream *out_;
 };
 
-/** Streaming binary reader over a file. */
+/** Streaming binary reader over an owned file or an external stream. */
 class BinaryReader
 {
   public:
     explicit BinaryReader(const std::string &path);
 
-    bool ok() const { return static_cast<bool>(in_); }
+    /** Read from a caller-owned stream (kept alive by the caller). */
+    explicit BinaryReader(std::istream &in);
+
+    bool ok() const { return static_cast<bool>(*in_); }
+
+    /**
+     * Bytes consumed by successful reads so far. A failed tryRead does
+     * not advance, so after a truncation this is the offset of the
+     * field that could not be read — the number cache-load warnings
+     * report.
+     */
+    uint64_t offset() const { return offset_; }
+
+    /** @return true when every byte has been consumed (clean EOF). */
+    bool exhausted();
+
+    /**
+     * Read one POD, reporting truncation instead of dying.
+     *
+     * @param v Destination; unspecified on failure.
+     * @return false when the stream ends before sizeof(T) bytes.
+     */
+    template <typename T>
+    bool
+    tryRead(T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        return tryReadRaw(&v, sizeof(T));
+    }
+
+    /** Read exactly @p len raw bytes into @p dst, or report failure. */
+    bool tryReadBytes(void *dst, size_t len);
+
+    /** Read exactly @p len raw bytes into a string, or report failure. */
+    bool tryReadBytes(std::string &dst, size_t len);
 
     template <typename T>
     T
     read()
     {
-        static_assert(std::is_trivially_copyable_v<T>);
         T v{};
-        in_.read(reinterpret_cast<char *>(&v), sizeof(T));
-        if (!in_)
-            etpu_fatal("binary read past end of file");
+        if (!tryRead(v))
+            etpu_fatal("binary read past end of file at byte ", offset_);
         return v;
     }
 
@@ -78,13 +128,12 @@ class BinaryReader
     std::vector<T>
     readVec()
     {
+        static_assert(std::is_trivially_copyable_v<T>);
         auto n = read<uint64_t>();
         std::vector<T> v(n);
-        if (n) {
-            in_.read(reinterpret_cast<char *>(v.data()),
-                     static_cast<std::streamsize>(sizeof(T) * n));
-            if (!in_)
-                etpu_fatal("binary read past end of file (vector)");
+        if (n && !tryReadRaw(v.data(), sizeof(T) * n)) {
+            etpu_fatal("binary read past end of file (vector) at byte ",
+                       offset_);
         }
         return v;
     }
@@ -92,7 +141,11 @@ class BinaryReader
     std::string readString();
 
   private:
-    std::ifstream in_;
+    bool tryReadRaw(void *dst, size_t len);
+
+    std::ifstream file_;
+    std::istream *in_;
+    uint64_t offset_ = 0;
 };
 
 } // namespace etpu

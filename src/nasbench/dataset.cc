@@ -1,7 +1,11 @@
 #include "dataset.hh"
 
 #include <algorithm>
+#include <filesystem>
+#include <limits>
+#include <sstream>
 
+#include "common/checksum.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 
@@ -10,79 +14,389 @@ namespace etpu::nas
 
 namespace
 {
-constexpr uint64_t datasetMagic = 0x45545055445330ull; // "ETPUDS0"
-constexpr uint32_t datasetVersion = 3;
-} // namespace
+
+// Legacy v1: a single unguarded blob of records.
+constexpr uint64_t magicV1 = 0x45545055445330ull; // "ETPUDS0"
+constexpr uint32_t versionV1 = 3;
+// v2: sharded, each segment length- and CRC32-guarded.
+constexpr uint64_t magicV2 = 0x45545055445332ull; // "ETPUDS2"
+constexpr uint32_t versionV2 = 4;
+
+using RecordFn = std::function<void(const ModelRecord &)>;
+using TotalFn = std::function<void(uint64_t)>;
+
+/**
+ * Smallest possible encoded record (a 2-vertex cell), used to bound
+ * how many records a file of a given size could possibly hold — the
+ * header's record count is not CRC-covered, so it must never be
+ * trusted for an allocation.
+ */
+constexpr uint64_t minRecordBytes = 64;
 
 void
-Dataset::save(const std::string &path) const
+hintTotal(const TotalFn &total_hint, uint64_t total, uint64_t file_size)
 {
+    if (!total_hint ||
+        file_size == std::numeric_limits<uint64_t>::max()) {
+        return;
+    }
+    total_hint(std::min(total, file_size / minRecordBytes));
+}
+
+/**
+ * Non-owning read-only streambuf over an already-verified payload
+ * buffer, so re-parsing a shard does not copy its megabytes a second
+ * time the way istringstream would.
+ */
+class MemoryBuf : public std::streambuf
+{
+  public:
+    MemoryBuf(const char *data, size_t len)
+    {
+        char *p = const_cast<char *>(data);
+        setg(p, p, p + len);
+    }
+};
+
+/**
+ * Parse @p count records from a CRC-verified shard payload and hand
+ * them to @p fn. Warns (naming @p path / @p shard) and returns false on
+ * truncation or leftover payload bytes.
+ */
+bool
+parseShardPayload(const std::string &path, size_t shard,
+                  const std::string &payload, uint64_t count,
+                  const RecordFn &fn)
+{
+    MemoryBuf buf(payload.data(), payload.size());
+    std::istream stream(&buf);
+    BinaryReader r(stream);
+    for (uint64_t i = 0; i < count; i++) {
+        ModelRecord rec;
+        if (!readRecord(r, rec)) {
+            etpu_warn("dataset cache ", path, ": shard ", shard,
+                      " corrupt inside record ", i, " of ", count,
+                      " (payload byte ", r.offset(), ")");
+            return false;
+        }
+        fn(rec);
+    }
+    if (!r.exhausted()) {
+        etpu_warn("dataset cache ", path, ": shard ", shard, " has ",
+                  payload.size() - r.offset(),
+                  " trailing payload bytes after record ", count,
+                  " (payload byte ", r.offset(), ")");
+        return false;
+    }
+    return true;
+}
+
+bool
+loadV1(const std::string &path, BinaryReader &r, const RecordFn &fn,
+       const TotalFn &total_hint, uint64_t file_size)
+{
+    etpu_warn("dataset cache ", path, ": legacy v1 format (no shard "
+              "checksums); loading, but a rebuild upgrades it to v2");
+    uint64_t count = 0;
+    if (!r.tryRead(count)) {
+        etpu_warn("dataset cache ", path, ": truncated at byte ",
+                  r.offset(), " (record count)");
+        return false;
+    }
+    hintTotal(total_hint, count, file_size);
+    for (uint64_t i = 0; i < count; i++) {
+        ModelRecord rec;
+        if (!readRecord(r, rec)) {
+            etpu_warn("dataset cache ", path,
+                      ": truncated or corrupt in record ", i, " of ",
+                      count, " at byte ", r.offset());
+            return false;
+        }
+        fn(rec);
+    }
+    if (!r.exhausted()) {
+        etpu_warn("dataset cache ", path,
+                  ": trailing garbage after byte ", r.offset());
+        return false;
+    }
+    return true;
+}
+
+bool
+loadV2(const std::string &path, BinaryReader &r, const RecordFn &fn,
+       bool stop_on_bad_shard, const TotalFn &total_hint,
+       uint64_t file_size)
+{
+    uint32_t shards = 0;
+    uint64_t total = 0;
+    if (!r.tryRead(shards) || !r.tryRead(total)) {
+        etpu_warn("dataset cache ", path,
+                  ": truncated header at byte ", r.offset());
+        return false;
+    }
+    hintTotal(total_hint, total, file_size);
+
+    bool all_good = true;
+    uint64_t verified = 0;
+    for (uint32_t s = 0; s < shards; s++) {
+        uint64_t payload_bytes = 0;
+        uint32_t crc = 0;
+        uint64_t count = 0;
+        if (!r.tryRead(payload_bytes) || !r.tryRead(crc) ||
+            !r.tryRead(count)) {
+            etpu_warn("dataset cache ", path, ": truncated in shard ",
+                      s, "'s header at byte ", r.offset());
+            return false;
+        }
+        if (payload_bytes > file_size - std::min(file_size, r.offset())) {
+            etpu_warn("dataset cache ", path, ": shard ", s,
+                      " claims a ", payload_bytes,
+                      "-byte payload at byte ", r.offset(),
+                      " but the file holds only ", file_size, " bytes");
+            return false;
+        }
+        std::string payload;
+        if (!r.tryReadBytes(payload, payload_bytes)) {
+            etpu_warn("dataset cache ", path, ": shard ", s,
+                      " truncated at byte ", r.offset(), " (expected ",
+                      payload_bytes, " payload bytes)");
+            return false;
+        }
+        Crc32 computed;
+        computed.update(&count, sizeof(count));
+        computed.update(payload.data(), payload.size());
+        if (computed.value() != crc) {
+            etpu_warn("dataset cache ", path, ": shard ", s,
+                      " CRC mismatch (stored 0x", std::hex, crc,
+                      ", computed 0x", computed.value(), std::dec,
+                      "); skipping its ", count, " records");
+            if (stop_on_bad_shard)
+                return false;
+            all_good = false;
+            continue;
+        }
+        if (!parseShardPayload(path, s, payload, count, fn)) {
+            if (stop_on_bad_shard)
+                return false;
+            all_good = false;
+            continue;
+        }
+        verified += count;
+    }
+    if (!r.exhausted()) {
+        etpu_warn("dataset cache ", path,
+                  ": trailing garbage after byte ", r.offset());
+        return false;
+    }
+    if (all_good && verified != total) {
+        etpu_warn("dataset cache ", path, ": header promises ", total,
+                  " records but the shards hold ", verified);
+        return false;
+    }
+    return all_good;
+}
+
+/**
+ * Walk a cache file of either format, dispatching records to @p fn.
+ * @p stop_on_bad_shard selects strict (all-or-nothing) semantics.
+ */
+bool
+loadImpl(const std::string &path, const RecordFn &fn,
+         bool stop_on_bad_shard, const TotalFn &total_hint = {})
+{
+    BinaryReader r(path);
+    if (!r.ok())
+        return false;
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    if (!r.tryRead(magic) || !r.tryRead(version)) {
+        etpu_warn("dataset cache ", path, ": truncated at byte ",
+                  r.offset(), " (shorter than the magic/version)");
+        return false;
+    }
+    std::error_code ec;
+    uint64_t file_size = std::filesystem::file_size(path, ec);
+    if (ec)
+        file_size = std::numeric_limits<uint64_t>::max();
+    if (magic == magicV2 && version == versionV2) {
+        return loadV2(path, r, fn, stop_on_bad_shard, total_hint,
+                      file_size);
+    }
+    if (magic == magicV1 && version == versionV1)
+        return loadV1(path, r, fn, total_hint, file_size);
+    if (magic == magicV1 || magic == magicV2) {
+        etpu_warn("dataset cache ", path,
+                  ": unsupported cache version ", version,
+                  "; rebuild the dataset");
+    }
+    return false;
+}
+
+} // namespace
+
+size_t
+defaultShardCount(size_t records)
+{
+    return std::max<size_t>(
+        1, (records + cacheShardTargetRecords - 1) /
+               cacheShardTargetRecords);
+}
+
+std::pair<size_t, size_t>
+shardRange(size_t total, size_t shards, size_t i)
+{
+    size_t base = total / shards;
+    size_t rem = total % shards;
+    size_t begin = i * base + std::min(i, rem);
+    size_t end = begin + base + (i < rem ? 1 : 0);
+    return {begin, end};
+}
+
+void
+appendRecord(BinaryWriter &w, const ModelRecord &r)
+{
+    w.write<uint8_t>(static_cast<uint8_t>(r.spec.numVertices()));
+    w.write<uint32_t>(static_cast<uint32_t>(r.spec.dag.upperBits()));
+    for (uint8_t op : r.spec.packedOps())
+        w.write<uint8_t>(op);
+    w.write(r.params);
+    w.write(r.macs);
+    w.write(r.weightBytes);
+    w.write(r.accuracy);
+    w.write(r.depth);
+    w.write(r.width);
+    w.write(r.numConv3x3);
+    w.write(r.numConv1x1);
+    w.write(r.numMaxPool);
+    for (float v : r.latencyMs)
+        w.write(v);
+    for (float v : r.energyMj)
+        w.write(v);
+}
+
+bool
+readRecord(BinaryReader &r, ModelRecord &out)
+{
+    uint8_t n = 0;
+    uint32_t bits = 0;
+    if (!r.tryRead(n) || !r.tryRead(bits))
+        return false;
+    if (n < 2 || n > graph::Dag::maxVertices)
+        return false;
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (int v = 0; v < n; v++) {
+        uint8_t op = 0;
+        if (!r.tryRead(op))
+            return false;
+        if (op > static_cast<uint8_t>(Op::Output))
+            return false;
+        ops.push_back(static_cast<Op>(op));
+    }
+    out.spec = CellSpec(graph::Dag::fromUpperBits(n, bits),
+                        std::move(ops));
+    bool fields_ok = r.tryRead(out.params) && r.tryRead(out.macs) &&
+                     r.tryRead(out.weightBytes) &&
+                     r.tryRead(out.accuracy) && r.tryRead(out.depth) &&
+                     r.tryRead(out.width) && r.tryRead(out.numConv3x3) &&
+                     r.tryRead(out.numConv1x1) &&
+                     r.tryRead(out.numMaxPool);
+    if (!fields_ok)
+        return false;
+    for (float &v : out.latencyMs) {
+        if (!r.tryRead(v))
+            return false;
+    }
+    for (float &v : out.energyMj) {
+        if (!r.tryRead(v))
+            return false;
+    }
+    return true;
+}
+
+std::string
+encodeCacheHeader(uint32_t shard_count, uint64_t total_records)
+{
+    std::ostringstream stream;
+    BinaryWriter w(stream);
+    w.write(magicV2);
+    w.write(versionV2);
+    w.write(shard_count);
+    w.write(total_records);
+    return std::move(stream).str();
+}
+
+ShardSegment
+encodeShardSegment(const ModelRecord *recs, size_t count)
+{
+    std::ostringstream payload_stream;
+    BinaryWriter pw(payload_stream);
+    for (size_t i = 0; i < count; i++)
+        appendRecord(pw, recs[i]);
+    std::string payload = std::move(payload_stream).str();
+
+    ShardSegment seg;
+    seg.records = count;
+    seg.payloadBytes = payload.size();
+    Crc32 crc;
+    crc.update(&seg.records, sizeof(seg.records));
+    crc.update(payload.data(), payload.size());
+    seg.crc = crc.value();
+
+    std::ostringstream stream;
+    BinaryWriter w(stream);
+    w.write(seg.payloadBytes);
+    w.write(seg.crc);
+    w.write(seg.records);
+    w.writeBytes(payload.data(), payload.size());
+    seg.bytes = std::move(stream).str();
+    return seg;
+}
+
+void
+Dataset::save(const std::string &path, size_t shards) const
+{
+    if (!shards)
+        shards = defaultShardCount(records.size());
+    shards = std::min(std::max<size_t>(shards, 1),
+                      std::max<size_t>(records.size(), 1));
     BinaryWriter w(path);
     if (!w.ok())
         etpu_fatal("cannot open dataset cache for writing: ", path);
-    w.write(datasetMagic);
-    w.write(datasetVersion);
-    w.write<uint64_t>(records.size());
-    for (const auto &r : records) {
-        w.write<uint8_t>(static_cast<uint8_t>(r.spec.numVertices()));
-        w.write<uint32_t>(static_cast<uint32_t>(r.spec.dag.upperBits()));
-        for (uint8_t op : r.spec.packedOps())
-            w.write<uint8_t>(op);
-        w.write(r.params);
-        w.write(r.macs);
-        w.write(r.weightBytes);
-        w.write(r.accuracy);
-        w.write(r.depth);
-        w.write(r.width);
-        w.write(r.numConv3x3);
-        w.write(r.numConv1x1);
-        w.write(r.numMaxPool);
-        for (float v : r.latencyMs)
-            w.write(v);
-        for (float v : r.energyMj)
-            w.write(v);
+    std::string header = encodeCacheHeader(
+        static_cast<uint32_t>(shards), records.size());
+    w.writeBytes(header.data(), header.size());
+    for (size_t s = 0; s < shards; s++) {
+        auto [begin, end] = shardRange(records.size(), shards, s);
+        ShardSegment seg =
+            encodeShardSegment(records.data() + begin, end - begin);
+        w.writeBytes(seg.bytes.data(), seg.bytes.size());
     }
+    if (!w.ok())
+        etpu_fatal("failed writing dataset cache: ", path);
 }
 
 bool
 Dataset::load(const std::string &path, Dataset &out)
 {
-    BinaryReader r(path);
-    if (!r.ok())
-        return false;
-    if (r.read<uint64_t>() != datasetMagic)
-        return false;
-    if (r.read<uint32_t>() != datasetVersion)
-        return false;
-    uint64_t count = r.read<uint64_t>();
     out.records.clear();
-    out.records.reserve(count);
-    for (uint64_t i = 0; i < count; i++) {
-        ModelRecord rec;
-        int n = r.read<uint8_t>();
-        uint32_t bits = r.read<uint32_t>();
-        std::vector<Op> ops;
-        ops.reserve(n);
-        for (int v = 0; v < n; v++)
-            ops.push_back(static_cast<Op>(r.read<uint8_t>()));
-        rec.spec = CellSpec(graph::Dag::fromUpperBits(n, bits),
-                            std::move(ops));
-        rec.params = r.read<uint64_t>();
-        rec.macs = r.read<uint64_t>();
-        rec.weightBytes = r.read<uint64_t>();
-        rec.accuracy = r.read<float>();
-        rec.depth = r.read<uint8_t>();
-        rec.width = r.read<uint8_t>();
-        rec.numConv3x3 = r.read<uint8_t>();
-        rec.numConv1x1 = r.read<uint8_t>();
-        rec.numMaxPool = r.read<uint8_t>();
-        for (float &v : rec.latencyMs)
-            v = r.read<float>();
-        for (float &v : rec.energyMj)
-            v = r.read<float>();
-        out.records.push_back(std::move(rec));
-    }
+    Dataset tmp;
+    bool clean = loadImpl(
+        path,
+        [&tmp](const ModelRecord &r) { tmp.records.push_back(r); },
+        /*stop_on_bad_shard=*/true,
+        [&tmp](uint64_t total) { tmp.records.reserve(total); });
+    if (!clean)
+        return false;
+    out.records = std::move(tmp.records);
     return true;
+}
+
+bool
+Dataset::loadStreaming(const std::string &path,
+                       const std::function<void(const ModelRecord &)> &fn)
+{
+    return loadImpl(path, fn, /*stop_on_bad_shard=*/false);
 }
 
 std::vector<const ModelRecord *>

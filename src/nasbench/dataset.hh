@@ -5,6 +5,19 @@
  * simulated latency/energy on each studied accelerator configuration.
  * Mirrors the paper's ~1.5M measurement campaign (3 x 423K latency,
  * 2 x 423K energy). Binary save/load keeps bench startup fast.
+ *
+ * Cache format v2 (little-endian):
+ *
+ *   header:   u64 magic "ETPUDS2" | u32 version | u32 shard count K
+ *             | u64 total records
+ *   K shards: u64 payload bytes | u32 crc32(record count || payload)
+ *             | u64 record count | payload (records back to back)
+ *
+ * Each shard is independently length- and CRC-guarded, so a truncated
+ * or bit-flipped cache is detected instead of loading garbage, and
+ * loadStreaming() can hand records to a consumer shard by shard without
+ * materializing all 423K. The legacy v1 single-blob format (magic
+ * "ETPUDS0") still loads, with a warning suggesting a rebuild.
  */
 
 #ifndef ETPU_NASBENCH_DATASET_HH
@@ -12,10 +25,18 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "nasbench/cell_spec.hh"
+
+namespace etpu
+{
+class BinaryReader;
+class BinaryWriter;
+} // namespace etpu
 
 namespace etpu::nas
 {
@@ -42,6 +63,57 @@ struct ModelRecord
     std::array<float, numAccelerators> energyMj = {};
 };
 
+/** Records-per-shard target the automatic shard count aims for. */
+inline constexpr size_t cacheShardTargetRecords = 65536;
+
+/**
+ * Automatic shard count for a dataset of @p records: one shard per
+ * cacheShardTargetRecords, at least one (the full 423,624-cell space
+ * maps to 7 shards).
+ */
+size_t defaultShardCount(size_t records);
+
+/**
+ * The contiguous [begin, end) slice of @p total records that shard
+ * @p i of @p shards covers. Deterministic and load-balanced (the first
+ * total mod shards shards take one extra record); shared by
+ * Dataset::save and the sharded builder so the partition — and thus
+ * the cache bytes — never depends on who wrote the file.
+ */
+std::pair<size_t, size_t> shardRange(size_t total, size_t shards,
+                                     size_t i);
+
+/** Serialize one record in the cache record encoding. */
+void appendRecord(BinaryWriter &w, const ModelRecord &r);
+
+/**
+ * Parse one record in the cache record encoding.
+ *
+ * @return false on truncation or an implausible vertex count (corrupt
+ *         stream); @p out is unspecified on failure.
+ */
+bool readRecord(BinaryReader &r, ModelRecord &out);
+
+/** Encode the v2 cache header for @p shard_count / @p total_records. */
+std::string encodeCacheHeader(uint32_t shard_count,
+                              uint64_t total_records);
+
+/** An encoded v2 shard segment plus the guard values it embeds. */
+struct ShardSegment
+{
+    std::string bytes;        //!< guards + payload, ready to append
+    uint64_t records = 0;     //!< record count
+    uint64_t payloadBytes = 0; //!< payload length (bytes minus guards)
+    uint32_t crc = 0;         //!< crc32(record count || payload)
+};
+
+/**
+ * Encode @p count records starting at @p recs as one v2 shard segment
+ * (guards + payload). Shared by Dataset::save and the sharded builder
+ * so both produce byte-identical files.
+ */
+ShardSegment encodeShardSegment(const ModelRecord *recs, size_t count);
+
 /** The full characterization dataset. */
 class Dataset
 {
@@ -51,17 +123,42 @@ class Dataset
     /** @return number of records. */
     size_t size() const { return records.size(); }
 
-    /** Persist to a binary cache file. */
-    void save(const std::string &path) const;
+    /**
+     * Persist to a v2 binary cache file.
+     *
+     * @param path Destination path.
+     * @param shards Shard count (0 = defaultShardCount(size())).
+     */
+    void save(const std::string &path, size_t shards = 0) const;
 
     /**
-     * Load from a binary cache file.
+     * Load from a binary cache file (v2, or legacy v1 with a warning).
+     *
+     * Strict: truncation, trailing garbage or any shard CRC mismatch
+     * is warned (with byte offsets) and fails the whole load, leaving
+     * @p out empty.
      *
      * @param path Cache path.
      * @param out Destination dataset.
-     * @return false if the file is missing or has a stale format.
+     * @return false if the file is missing, stale or corrupt.
      */
     static bool load(const std::string &path, Dataset &out);
+
+    /**
+     * Stream records from a cache file shard by shard, without
+     * materializing the dataset.
+     *
+     * Lenient per shard: a CRC-mismatched shard is warned and skipped
+     * (its records are not delivered) while later shards still stream;
+     * truncation stops the stream.
+     *
+     * @param path Cache path.
+     * @param fn Invoked once per verified record, in file order.
+     * @return true iff every shard verified and streamed cleanly.
+     */
+    static bool
+    loadStreaming(const std::string &path,
+                  const std::function<void(const ModelRecord &)> &fn);
 
     /** Records with accuracy >= the threshold (paper uses 70%). */
     std::vector<const ModelRecord *>

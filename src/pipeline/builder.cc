@@ -1,11 +1,19 @@
 #include "builder.hh"
 
+#include <charconv>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <future>
+#include <optional>
+#include <sstream>
 
+#include "common/checksum.hh"
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/rng.hh"
+#include "common/serialize.hh"
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
 #include "tpusim/simulator.hh"
@@ -13,19 +21,27 @@
 namespace etpu::pipeline
 {
 
-nas::Dataset
-buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
+namespace
 {
-    nas::Dataset ds;
-    ds.records.resize(cells.size());
 
+std::vector<sim::Simulator>
+makeSimulators()
+{
     std::vector<sim::Simulator> sims;
     for (const auto &cfg : arch::allConfigs())
         sims.emplace_back(cfg);
+    return sims;
+}
 
-    parallelFor(0, cells.size(), [&](size_t i, unsigned) {
-        const nas::CellSpec &cell = cells[i];
-        nas::ModelRecord &rec = ds.records[i];
+/** Characterize cells[begin..end) into out[0..end-begin). */
+void
+simulateRange(const std::vector<nas::CellSpec> &cells, size_t begin,
+              size_t end, std::vector<sim::Simulator> &sims,
+              nas::ModelRecord *out, unsigned threads)
+{
+    parallelFor(0, end - begin, [&](size_t i, unsigned) {
+        const nas::CellSpec &cell = cells[begin + i];
+        nas::ModelRecord &rec = out[i];
         rec.spec = cell;
 
         nas::Network net = nas::buildNetwork(cell);
@@ -49,6 +65,18 @@ buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
             rec.energyMj[c] = static_cast<float>(r.energyMj);
         }
     }, threads);
+}
+
+} // namespace
+
+nas::Dataset
+buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
+{
+    nas::Dataset ds;
+    ds.records.resize(cells.size());
+    auto sims = makeSimulators();
+    simulateRange(cells, 0, cells.size(), sims, ds.records.data(),
+                  threads);
     return ds;
 }
 
@@ -62,12 +90,407 @@ buildFullDataset(unsigned threads)
     return buildDataset(cells, threads);
 }
 
+// --- Sharded, resumable build -----------------------------------------
+
+namespace
+{
+
+constexpr std::string_view manifestHeader = "etpu-shard-manifest 2";
+
+/** One completed-shard entry in the manifest. */
+struct ManifestShard
+{
+    uint64_t records = 0;
+    uint64_t payloadBytes = 0;
+    uint32_t crc = 0;
+    uint64_t endOffset = 0; //!< partial-file offset after this segment
+};
+
+/** Parsed manifest sidecar. */
+struct Manifest
+{
+    uint64_t cells = 0;
+    uint64_t shards = 0;
+    std::vector<ManifestShard> done;
+};
+
+template <typename T>
+bool
+parseToken(const std::string &token, T &out, int base = 10)
+{
+    const char *first = token.data();
+    const char *last = first + token.size();
+    auto [ptr, ec] = std::from_chars(first, last, out, base);
+    return ec == std::errc() && ptr == last;
+}
+
+std::string
+manifestShardLine(size_t index, const ManifestShard &s)
+{
+    std::ostringstream line;
+    line << "shard " << index << " " << s.records << " "
+         << s.payloadBytes << " " << std::hex << s.crc << std::dec
+         << " " << s.endOffset;
+    return line.str();
+}
+
+/**
+ * Strictly parse the manifest sidecar. Missing file is silent (fresh
+ * build); any malformed content warns and counts as no manifest, so a
+ * corrupted sidecar costs a rebuild, never a wrong cache.
+ */
+std::optional<Manifest>
+readManifest(const std::string &mpath)
+{
+    std::ifstream in(mpath);
+    if (!in)
+        return std::nullopt;
+    auto corrupt = [&](const std::string &line) -> std::optional<Manifest> {
+        etpu_warn("build manifest ", mpath, ": malformed line \"", line,
+                  "\"; ignoring the manifest and rebuilding");
+        return std::nullopt;
+    };
+
+    std::string line;
+    if (!std::getline(in, line) || line != manifestHeader)
+        return corrupt(line);
+    Manifest m;
+    std::string word;
+    if (!std::getline(in, line))
+        return corrupt(line);
+    {
+        std::istringstream fields(line);
+        std::string value;
+        if (!(fields >> word >> value) || word != "cells" ||
+            !parseToken(value, m.cells) || (fields >> word)) {
+            return corrupt(line);
+        }
+    }
+    if (!std::getline(in, line))
+        return corrupt(line);
+    {
+        std::istringstream fields(line);
+        std::string value;
+        if (!(fields >> word >> value) || word != "shards" ||
+            !parseToken(value, m.shards) || (fields >> word)) {
+            return corrupt(line);
+        }
+    }
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream fields(line);
+        std::string index_s, records_s, bytes_s, crc_s, end_s;
+        uint64_t index = 0;
+        ManifestShard s;
+        if (!(fields >> word >> index_s >> records_s >> bytes_s >>
+              crc_s >> end_s) ||
+            word != "shard" || (fields >> word) ||
+            !parseToken(index_s, index) ||
+            !parseToken(records_s, s.records) ||
+            !parseToken(bytes_s, s.payloadBytes) ||
+            !parseToken(crc_s, s.crc, 16) ||
+            !parseToken(end_s, s.endOffset)) {
+            return corrupt(line);
+        }
+        if (index != m.done.size())
+            return corrupt(line);
+        m.done.push_back(s);
+    }
+    if (m.done.size() > m.shards)
+        return corrupt("more shard lines than shards");
+    return m;
+}
+
+/**
+ * Verify how much of the partial cache can be adopted: the header must
+ * match this build plan and each manifest shard must re-verify
+ * (framing fields and CRC) in order. @return the count of good leading
+ * shards (0 = start from scratch).
+ */
+size_t
+verifyPartialPrefix(const std::string &ppath, const Manifest &m,
+                    const std::string &header)
+{
+    BinaryReader r(ppath);
+    if (!r.ok()) {
+        etpu_warn("resume: manifest present but partial cache ", ppath,
+                  " is missing; rebuilding");
+        return 0;
+    }
+    std::string file_header;
+    if (!r.tryReadBytes(file_header, header.size()) ||
+        file_header != header) {
+        etpu_warn("resume: partial cache ", ppath,
+                  " has a stale header; rebuilding");
+        return 0;
+    }
+    for (size_t s = 0; s < m.done.size(); s++) {
+        const ManifestShard &want = m.done[s];
+        uint64_t payload_bytes = 0;
+        uint32_t crc = 0;
+        uint64_t count = 0;
+        if (!r.tryRead(payload_bytes) || !r.tryRead(crc) ||
+            !r.tryRead(count) || payload_bytes != want.payloadBytes ||
+            crc != want.crc || count != want.records) {
+            etpu_warn("resume: shard ", s, " in ", ppath,
+                      " does not match the manifest; keeping ", s,
+                      " shards");
+            return s;
+        }
+        std::string payload;
+        if (!r.tryReadBytes(payload, payload_bytes)) {
+            etpu_warn("resume: shard ", s, " in ", ppath,
+                      " is truncated; keeping ", s, " shards");
+            return s;
+        }
+        Crc32 computed;
+        computed.update(&count, sizeof(count));
+        computed.update(payload.data(), payload.size());
+        if (computed.value() != crc) {
+            etpu_warn("resume: shard ", s, " in ", ppath,
+                      " failed its CRC check (stored 0x", std::hex,
+                      crc, ", computed 0x", computed.value(), std::dec,
+                      "); keeping ", s, " shards");
+            return s;
+        }
+        if (r.offset() != want.endOffset) {
+            etpu_warn("resume: shard ", s, " in ", ppath,
+                      " ends at byte ", r.offset(),
+                      " but the manifest recorded ", want.endOffset,
+                      "; keeping ", s, " shards");
+            return s;
+        }
+    }
+    return m.done.size();
+}
+
+/** Write a fresh manifest holding the first @p upto entries of @p m. */
+bool
+writeManifestPrefix(const std::string &mpath, uint64_t cells,
+                    uint64_t shards, const std::vector<ManifestShard> &done,
+                    size_t upto)
+{
+    std::ofstream out(mpath, std::ios::trunc);
+    out << manifestHeader << "\n"
+        << "cells " << cells << "\n"
+        << "shards " << shards << "\n";
+    for (size_t i = 0; i < upto; i++)
+        out << manifestShardLine(i, done[i]) << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+/**
+ * Adopt shards from an interrupted build: parse + cross-verify the
+ * manifest and partial cache, truncate both to the verified prefix.
+ *
+ * @param resume_offset Set to the partial file's size after
+ *        truncation (where appending continues) when shards were
+ *        adopted; untouched otherwise.
+ * @return the number of shards already on disk.
+ */
+size_t
+adoptPreviousBuild(const std::string &ppath, const std::string &mpath,
+                   uint64_t n_cells, size_t n_shards,
+                   const std::string &header, uint64_t &resume_offset)
+{
+    auto m = readManifest(mpath);
+    if (!m)
+        return 0;
+    if (m->cells != n_cells || m->shards != n_shards) {
+        etpu_warn("resume: manifest ", mpath, " is for a different "
+                  "plan (", m->cells, " cells in ", m->shards,
+                  " shards vs. ", n_cells, " in ", n_shards,
+                  "); rebuilding");
+        return 0;
+    }
+    size_t good = verifyPartialPrefix(ppath, *m, header);
+    if (!good)
+        return 0;
+    if (good < m->done.size() &&
+        !writeManifestPrefix(mpath, n_cells, n_shards, m->done, good)) {
+        etpu_warn("resume: cannot rewrite manifest ", mpath,
+                  "; rebuilding");
+        return 0;
+    }
+    // Drop any bytes past the last verified shard (a half-written
+    // segment from the interruption, or segments we just disowned).
+    std::error_code ec;
+    std::filesystem::resize_file(ppath, m->done[good - 1].endOffset, ec);
+    if (ec) {
+        etpu_warn("resume: cannot truncate ", ppath, ": ",
+                  ec.message(), "; rebuilding");
+        return 0;
+    }
+    resume_offset = m->done[good - 1].endOffset;
+    return good;
+}
+
+} // namespace
+
+size_t
+shardCountFromEnv()
+{
+    if (auto n = envCount("ETPU_SHARDS"))
+        return static_cast<size_t>(*n);
+    return 0;
+}
+
+size_t
+resolveShardCount(size_t shards, size_t cells)
+{
+    if (!shards)
+        shards = shardCountFromEnv();
+    if (!shards)
+        shards = nas::defaultShardCount(cells);
+    return std::min(std::max<size_t>(shards, 1),
+                    std::max<size_t>(cells, 1));
+}
+
+std::string
+manifestPath(const std::string &path)
+{
+    return path + ".manifest";
+}
+
+std::string
+partialPath(const std::string &path)
+{
+    return path + ".partial";
+}
+
+ShardedBuildResult
+buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
+                    const std::string &out_path,
+                    const ShardedBuildOptions &opts)
+{
+    ShardedBuildResult result;
+    result.shards = resolveShardCount(opts.shards, cells.size());
+    const size_t n_shards = result.shards;
+    const std::string header = nas::encodeCacheHeader(
+        static_cast<uint32_t>(n_shards), cells.size());
+    const std::string ppath = partialPath(out_path);
+    const std::string mpath = manifestPath(out_path);
+
+    size_t done = 0;
+    uint64_t offset = header.size();
+    if (opts.resume) {
+        done = adoptPreviousBuild(ppath, mpath, cells.size(), n_shards,
+                                  header, offset);
+        if (done) {
+            etpu_inform("resume: reusing ", done, " of ", n_shards,
+                        " shards from ", ppath);
+        }
+    }
+    result.reused = done;
+
+    std::ofstream partial;
+    std::ofstream manifest;
+    if (done == 0) {
+        partial.open(ppath, std::ios::binary | std::ios::trunc);
+        if (!partial)
+            etpu_fatal("cannot open partial dataset cache for writing: ",
+                       ppath);
+        partial.write(header.data(),
+                      static_cast<std::streamsize>(header.size()));
+        partial.flush();
+        if (!writeManifestPrefix(mpath, cells.size(), n_shards, {}, 0))
+            etpu_fatal("cannot write build manifest: ", mpath);
+        manifest.open(mpath, std::ios::app);
+    } else {
+        partial.open(ppath, std::ios::binary | std::ios::app);
+        manifest.open(mpath, std::ios::app);
+    }
+    if (!partial || !manifest)
+        etpu_fatal("cannot open build state for ", out_path);
+
+    auto sims = makeSimulators();
+    std::vector<nas::ModelRecord> shard_records;
+    std::future<bool> writer;
+    bool stopped = false;
+
+    for (size_t s = done; s < n_shards; s++) {
+        if (opts.stopAfterShards && s >= opts.stopAfterShards) {
+            stopped = true;
+            break;
+        }
+        auto [begin, end] = nas::shardRange(cells.size(), n_shards, s);
+        shard_records.resize(end - begin);
+        simulateRange(cells, begin, end, sims, shard_records.data(),
+                      opts.threads);
+        nas::ShardSegment seg = nas::encodeShardSegment(
+            shard_records.data(), shard_records.size());
+
+        ManifestShard entry;
+        entry.records = seg.records;
+        entry.payloadBytes = seg.payloadBytes;
+        entry.crc = seg.crc;
+        offset += seg.bytes.size();
+        entry.endOffset = offset;
+        std::string manifest_line = manifestShardLine(s, entry);
+        std::string segment = std::move(seg.bytes);
+
+        // Overlap: hand the finished shard to the writer and move on to
+        // simulating the next one. The manifest line lands only after
+        // the segment is flushed, so a kill between them just rebuilds
+        // the unrecorded shard.
+        if (writer.valid() && !writer.get())
+            etpu_fatal("failed writing dataset shard to ", ppath);
+        writer = std::async(std::launch::async,
+                            [&partial, &manifest,
+                             segment = std::move(segment),
+                             manifest_line = std::move(manifest_line)] {
+            partial.write(segment.data(),
+                          static_cast<std::streamsize>(segment.size()));
+            partial.flush();
+            if (!partial)
+                return false;
+            manifest << manifest_line << "\n";
+            manifest.flush();
+            return static_cast<bool>(manifest);
+        });
+        result.built++;
+    }
+    if (writer.valid() && !writer.get())
+        etpu_fatal("failed writing dataset shard to ", ppath);
+    partial.close();
+    manifest.close();
+
+    if (stopped) {
+        etpu_inform("stopped after ", result.reused + result.built,
+                    " of ", n_shards, " shards (testing hook); resume "
+                    "with --resume");
+        return result;
+    }
+
+    std::error_code ec;
+    std::filesystem::rename(ppath, out_path, ec);
+    if (ec) {
+        etpu_fatal("cannot move finished dataset cache ", ppath,
+                   " to ", out_path, ": ", ec.message());
+    }
+    std::filesystem::remove(mpath, ec);
+    result.records = cells.size();
+    result.finished = true;
+    return result;
+}
+
 std::string
 datasetCachePath()
 {
     if (const char *env = std::getenv("ETPU_DATASET_PATH"))
         return env;
     return "etpu_dataset.bin";
+}
+
+std::string
+resolvedCachePath()
+{
+    std::string path = datasetCachePath();
+    if (size_t sample = sampleSizeFromEnv())
+        path = sampledCachePath(path, sample);
+    return path;
 }
 
 size_t
@@ -115,6 +538,8 @@ namespace
 nas::Dataset
 buildShared()
 {
+    // Parse $ETPU_SAMPLE once for both the path suffix and the
+    // sampling, so a malformed value warns a single time.
     size_t sample = sampleSizeFromEnv();
     std::string path = datasetCachePath();
     if (sample)
@@ -130,9 +555,14 @@ buildShared()
     auto cells = nas::enumerateCells();
     sampleCells(cells, sample);
     etpu_inform("building dataset for ", cells.size(),
-                " cells (this runs once, then is cached)...");
-    nas::Dataset ds2 = buildDataset(cells);
-    ds2.save(path);
+                " cells (sharded + resumable; this runs once, then is "
+                "cached)...");
+    ShardedBuildOptions opts;
+    opts.resume = true;
+    buildDatasetSharded(cells, path, opts);
+    nas::Dataset ds2;
+    if (!nas::Dataset::load(path, ds2))
+        etpu_fatal("freshly built dataset cache failed to load: ", path);
     etpu_inform("dataset cached to ", path);
     return ds2;
 }

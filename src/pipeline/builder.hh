@@ -5,6 +5,14 @@
  * simulators, producing the dataset every bench consumes (the paper's
  * ~1.5M latency + ~900K energy measurement campaign). Results are
  * cached on disk because the benches are independent binaries.
+ *
+ * The full campaign is driven shard-at-a-time (buildDatasetSharded):
+ * the cell space is partitioned deterministically, each shard is
+ * simulated in parallel and appended to the cache as a CRC-guarded
+ * segment, and a manifest records completed shards so an interrupted
+ * build resumes from the last finished shard instead of restarting.
+ * Shard i+1 simulates while shard i is still being written, so the
+ * first build overlaps compute with I/O.
  */
 
 #ifndef ETPU_PIPELINE_BUILDER_HH
@@ -20,7 +28,7 @@ namespace etpu::pipeline
 {
 
 /**
- * Build records for the given cells (parallel).
+ * Build records for the given cells (parallel, in memory).
  *
  * @param cells Cells to characterize.
  * @param threads Worker threads (0 = auto).
@@ -32,11 +40,74 @@ nas::Dataset buildDataset(const std::vector<nas::CellSpec> &cells,
 /** Enumerate the full space and build its dataset. */
 nas::Dataset buildFullDataset(unsigned threads = 0);
 
+/** Options for the sharded, resumable on-disk dataset build. */
+struct ShardedBuildOptions
+{
+    /** Worker threads per shard (0 = auto). */
+    unsigned threads = 0;
+    /** Shard count (0 = $ETPU_SHARDS if set, else automatic). */
+    size_t shards = 0;
+    /** Adopt verified shards left by an interrupted build. */
+    bool resume = false;
+    /**
+     * Testing hook: stop once this many shards are complete (counting
+     * resumed ones), leaving the partial cache and manifest behind as
+     * an induced interruption. 0 = run to completion.
+     */
+    size_t stopAfterShards = 0;
+};
+
+/** Outcome of a sharded build. */
+struct ShardedBuildResult
+{
+    size_t shards = 0;     //!< shards in the plan
+    size_t reused = 0;     //!< shards adopted from a previous run
+    size_t built = 0;      //!< shards simulated by this run
+    size_t records = 0;    //!< records in the finished cache
+    bool finished = false; //!< false when stopAfterShards interrupted
+};
+
+/**
+ * Build the dataset for @p cells shard by shard into @p out_path.
+ *
+ * For a given shard count the finished file is byte-identical
+ * regardless of thread count and of how many times the build was
+ * interrupted and resumed. Progress lives in "<out>.partial" plus
+ * "<out>.manifest" until the last shard lands, then the partial file
+ * is renamed over @p out_path and the manifest removed.
+ */
+ShardedBuildResult
+buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
+                    const std::string &out_path,
+                    const ShardedBuildOptions &opts = {});
+
+/** Shard count requested via $ETPU_SHARDS (0 = unset/auto). */
+size_t shardCountFromEnv();
+
+/**
+ * Resolve a shard count: 0 means $ETPU_SHARDS, else
+ * nas::defaultShardCount(@p cells); the result is clamped to
+ * [1, max(cells, 1)].
+ */
+size_t resolveShardCount(size_t shards, size_t cells);
+
+/** Manifest sidecar recording completed shards: "<path>.manifest". */
+std::string manifestPath(const std::string &path);
+
+/** In-progress cache being appended to: "<path>.partial". */
+std::string partialPath(const std::string &path);
+
 /**
  * Resolve the dataset cache path: $ETPU_DATASET_PATH if set, else
  * "etpu_dataset.bin" in the current directory.
  */
 std::string datasetCachePath();
+
+/**
+ * The cache path sharedDataset() actually reads: datasetCachePath(),
+ * with the ".N.sample" suffix applied when $ETPU_SAMPLE is set.
+ */
+std::string resolvedCachePath();
 
 /**
  * Sample size requested via $ETPU_SAMPLE (strictly parsed; malformed
@@ -60,7 +131,9 @@ std::string sampledCachePath(const std::string &path, size_t sample);
  *
  * Honors $ETPU_SAMPLE: if set to N > 0, only a deterministic sample of
  * N cells is characterized (cached separately), which keeps bench
- * turnaround fast; unset or 0 means the full 423,624-cell space.
+ * turnaround fast; unset or 0 means the full 423,624-cell space. First
+ * builds go through buildDatasetSharded with resume enabled, so a
+ * killed bench run continues where it stopped.
  */
 const nas::Dataset &sharedDataset();
 

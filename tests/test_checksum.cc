@@ -1,0 +1,79 @@
+/** @file Unit tests for the CRC32 used to guard dataset shards. */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+#include "common/checksum.hh"
+
+namespace
+{
+
+using etpu::crc32;
+using etpu::Crc32;
+
+TEST(Crc32, KnownVectors)
+{
+    // The canonical CRC32 check value.
+    const char *check = "123456789";
+    EXPECT_EQ(crc32(check, std::strlen(check)), 0xCBF43926u);
+
+    const char *a = "a";
+    EXPECT_EQ(crc32(a, 1), 0xE8B7BE43u);
+
+    const char *abc = "abc";
+    EXPECT_EQ(crc32(abc, 3), 0x352441C2u);
+}
+
+TEST(Crc32, EmptyIsZero)
+{
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+    EXPECT_EQ(crc32("x", 0), 0u);
+}
+
+TEST(Crc32, ChainingMatchesOneShot)
+{
+    std::string msg = "the quick brown fox jumps over the lazy dog";
+    uint32_t whole = crc32(msg.data(), msg.size());
+    for (size_t split = 0; split <= msg.size(); split++) {
+        uint32_t first = crc32(msg.data(), split);
+        uint32_t chained =
+            crc32(msg.data() + split, msg.size() - split, first);
+        EXPECT_EQ(chained, whole) << "split at " << split;
+    }
+}
+
+TEST(Crc32, AccumulatorMatchesOneShot)
+{
+    std::string msg = "shard payload bytes";
+    Crc32 acc;
+    acc.update(msg.data(), 5);
+    acc.update(msg.data() + 5, msg.size() - 5);
+    EXPECT_EQ(acc.value(), crc32(msg.data(), msg.size()));
+}
+
+TEST(Crc32, DetectsEverySingleByteFlip)
+{
+    std::string msg = "deterministic shard";
+    uint32_t clean = crc32(msg.data(), msg.size());
+    for (size_t i = 0; i < msg.size(); i++) {
+        for (uint8_t flip : {uint8_t{0x01}, uint8_t{0x80}}) {
+            std::string bad = msg;
+            bad[i] = static_cast<char>(bad[i] ^ flip);
+            EXPECT_NE(crc32(bad.data(), bad.size()), clean)
+                << "flip bit in byte " << i;
+        }
+    }
+}
+
+TEST(Crc32, LengthSensitive)
+{
+    // A truncated stream must not share the full stream's CRC.
+    std::string msg = "0000000000000000";
+    uint32_t whole = crc32(msg.data(), msg.size());
+    for (size_t len = 0; len < msg.size(); len++)
+        EXPECT_NE(crc32(msg.data(), len), whole) << "prefix " << len;
+}
+
+} // namespace

@@ -3,16 +3,26 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
+#include "common/serialize.hh"
 #include "nasbench/dataset.hh"
+#include "test_io_util.hh"
 
 namespace
 {
 
 using namespace etpu;
 using namespace etpu::nas;
+using namespace etpu::test;
+
+// v2 layout constants the corruption tests navigate by (see
+// dataset.hh): 24-byte header, 20 bytes of guards per shard segment.
+constexpr size_t headerBytes = 24;
+constexpr size_t guardBytes = 20;
 
 ModelRecord
 makeRecord(int n_interior, float accuracy)
@@ -35,10 +45,50 @@ makeRecord(int n_interior, float accuracy)
     return r;
 }
 
-std::string
-tmpPath(const std::string &name)
+Dataset
+makeDataset(size_t n)
 {
-    return (std::filesystem::temp_directory_path() / name).string();
+    Dataset ds;
+    for (size_t i = 0; i < n; i++) {
+        ds.records.push_back(makeRecord(1 + static_cast<int>(i % 4),
+                                        0.5f + 0.1f * (i % 5)));
+    }
+    return ds;
+}
+
+uint64_t
+u64At(const std::string &bytes, size_t offset)
+{
+    uint64_t v = 0;
+    std::memcpy(&v, bytes.data() + offset, sizeof(v));
+    return v;
+}
+
+/** Byte offset of shard @p shard's segment in v2 file @p bytes. */
+size_t
+segmentOffset(const std::string &bytes, size_t shard)
+{
+    size_t off = headerBytes;
+    for (size_t s = 0; s < shard; s++)
+        off += guardBytes + u64At(bytes, off);
+    return off;
+}
+
+void
+expectRecordsEqual(const ModelRecord &a, const ModelRecord &b)
+{
+    EXPECT_EQ(a.spec, b.spec);
+    EXPECT_EQ(a.params, b.params);
+    EXPECT_EQ(a.macs, b.macs);
+    EXPECT_EQ(a.weightBytes, b.weightBytes);
+    EXPECT_FLOAT_EQ(a.accuracy, b.accuracy);
+    EXPECT_EQ(a.depth, b.depth);
+    EXPECT_EQ(a.width, b.width);
+    EXPECT_EQ(a.numConv3x3, b.numConv3x3);
+    EXPECT_EQ(a.numConv1x1, b.numConv1x1);
+    EXPECT_EQ(a.numMaxPool, b.numMaxPool);
+    EXPECT_EQ(a.latencyMs, b.latencyMs);
+    EXPECT_EQ(a.energyMj, b.energyMj);
 }
 
 TEST(Dataset, SaveLoadRoundTrip)
@@ -62,6 +112,108 @@ TEST(Dataset, SaveLoadRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(Dataset, MultiShardRoundTripPreservesOrder)
+{
+    Dataset ds = makeDataset(11);
+    std::string path = tmpPath("etpu_ds_multishard.bin");
+    ds.save(path, 4); // 11 records -> shards of 3/3/3/2
+
+    Dataset loaded;
+    ASSERT_TRUE(Dataset::load(path, loaded));
+    ASSERT_EQ(loaded.size(), ds.size());
+    for (size_t i = 0; i < ds.size(); i++)
+        expectRecordsEqual(loaded.records[i], ds.records[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, EmptyDatasetRoundTrip)
+{
+    Dataset ds;
+    std::string path = tmpPath("etpu_ds_empty.bin");
+    ds.save(path);
+    Dataset loaded;
+    loaded.records.push_back(makeRecord(1, 0.5f));
+    ASSERT_TRUE(Dataset::load(path, loaded));
+    EXPECT_EQ(loaded.size(), 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, DefaultShardCount)
+{
+    EXPECT_EQ(defaultShardCount(0), 1u);
+    EXPECT_EQ(defaultShardCount(1), 1u);
+    EXPECT_EQ(defaultShardCount(cacheShardTargetRecords), 1u);
+    EXPECT_EQ(defaultShardCount(cacheShardTargetRecords + 1), 2u);
+    EXPECT_EQ(defaultShardCount(423624), 7u);
+}
+
+TEST(Dataset, ShardRangeCoversEveryRecordOnce)
+{
+    for (size_t total : {0u, 1u, 7u, 11u, 100u}) {
+        for (size_t shards : {1u, 2u, 3u, 7u}) {
+            size_t expect_begin = 0;
+            for (size_t s = 0; s < shards; s++) {
+                auto [begin, end] = shardRange(total, shards, s);
+                EXPECT_EQ(begin, expect_begin)
+                    << total << "/" << shards << "/" << s;
+                EXPECT_GE(end, begin);
+                // Balanced: shard sizes differ by at most one.
+                EXPECT_LE(end - begin, total / shards + 1);
+                expect_begin = end;
+            }
+            EXPECT_EQ(expect_begin, total) << total << "/" << shards;
+        }
+    }
+}
+
+TEST(Dataset, LegacyV1CacheStillLoadsWithWarning)
+{
+    Dataset ds = makeDataset(5);
+    std::string path = tmpPath("etpu_ds_v1.bin");
+    {
+        // The exact byte stream the pre-v2 binary wrote.
+        BinaryWriter w(path);
+        w.write<uint64_t>(0x45545055445330ull); // "ETPUDS0"
+        w.write<uint32_t>(3u);
+        w.write<uint64_t>(ds.records.size());
+        for (const auto &r : ds.records)
+            appendRecord(w, r);
+    }
+    Dataset loaded;
+    testing::internal::CaptureStderr();
+    ASSERT_TRUE(Dataset::load(path, loaded));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("legacy v1"), std::string::npos) << log;
+    ASSERT_EQ(loaded.size(), ds.size());
+    for (size_t i = 0; i < ds.size(); i++)
+        expectRecordsEqual(loaded.records[i], ds.records[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, LegacyV1TruncationRejected)
+{
+    Dataset ds = makeDataset(3);
+    std::string path = tmpPath("etpu_ds_v1_trunc.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint64_t>(0x45545055445330ull);
+        w.write<uint32_t>(3u);
+        w.write<uint64_t>(ds.records.size());
+        for (const auto &r : ds.records)
+            appendRecord(w, r);
+    }
+    std::string whole = readFile(path);
+    writeFile(path, whole.substr(0, whole.size() - 10));
+    Dataset loaded;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(Dataset::load(path, loaded));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("truncated or corrupt in record 2"),
+              std::string::npos)
+        << log;
+    std::remove(path.c_str());
+}
+
 TEST(Dataset, LoadMissingFileFails)
 {
     Dataset ds;
@@ -77,6 +229,148 @@ TEST(Dataset, LoadRejectsGarbage)
     }
     Dataset ds;
     EXPECT_FALSE(Dataset::load(path, ds));
+    std::remove(path.c_str());
+}
+
+// Truncate the v2 cache at EVERY byte (which includes every field
+// boundary of the header, the shard guards and the record fields) and
+// confirm the load fails cleanly each time instead of dying or
+// returning a partial dataset.
+TEST(Dataset, TruncationAtEveryByteRejected)
+{
+    Dataset ds = makeDataset(6);
+    std::string path = tmpPath("etpu_ds_trunc_all.bin");
+    ds.save(path, 2);
+    std::string whole = readFile(path);
+    ASSERT_GT(whole.size(), headerBytes);
+
+    std::string cut_path = tmpPath("etpu_ds_trunc_all_cut.bin");
+    testing::internal::CaptureStderr(); // silence the warning flood
+    for (size_t cut = 0; cut < whole.size(); cut++) {
+        writeFile(cut_path, whole.substr(0, cut));
+        Dataset loaded;
+        loaded.records.push_back(makeRecord(1, 0.5f));
+        EXPECT_FALSE(Dataset::load(cut_path, loaded)) << "cut " << cut;
+        EXPECT_TRUE(loaded.records.empty()) << "cut " << cut;
+    }
+    testing::internal::GetCapturedStderr();
+    std::remove(cut_path.c_str());
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, TrailingGarbageRejectedWithOffset)
+{
+    Dataset ds = makeDataset(4);
+    std::string path = tmpPath("etpu_ds_trailing.bin");
+    ds.save(path, 2);
+    std::string whole = readFile(path);
+    writeFile(path, whole + "junk");
+
+    Dataset loaded;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(Dataset::load(path, loaded));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("trailing garbage after byte " +
+                       std::to_string(whole.size())),
+              std::string::npos)
+        << log;
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, FlippedPayloadByteFailsLoadWithCrcMismatch)
+{
+    Dataset ds = makeDataset(12);
+    std::string path = tmpPath("etpu_ds_flip.bin");
+    ds.save(path, 4); // 3 records per shard
+    std::string whole = readFile(path);
+
+    // Flip one byte inside shard 1's payload.
+    size_t shard1 = segmentOffset(whole, 1);
+    std::string bad = whole;
+    bad[shard1 + guardBytes + 5] ^= 0x40;
+    writeFile(path, bad);
+
+    Dataset loaded;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(Dataset::load(path, loaded));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("shard 1 CRC mismatch"), std::string::npos)
+        << log;
+    EXPECT_TRUE(loaded.records.empty());
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, StreamingSkipsBadShardButDeliversTheRest)
+{
+    Dataset ds = makeDataset(12);
+    std::string path = tmpPath("etpu_ds_stream_skip.bin");
+    ds.save(path, 4);
+    std::string whole = readFile(path);
+
+    size_t shard2 = segmentOffset(whole, 2);
+    std::string bad = whole;
+    bad[shard2 + guardBytes] ^= 0x01;
+    writeFile(path, bad);
+
+    std::vector<ModelRecord> streamed;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(Dataset::loadStreaming(
+        path, [&](const ModelRecord &r) { streamed.push_back(r); }));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("shard 2 CRC mismatch"), std::string::npos)
+        << log;
+
+    // Shards 0, 1 and 3 (3 records each) still stream, in order.
+    ASSERT_EQ(streamed.size(), 9u);
+    for (size_t i = 0; i < 6; i++)
+        expectRecordsEqual(streamed[i], ds.records[i]);
+    for (size_t i = 6; i < 9; i++)
+        expectRecordsEqual(streamed[i], ds.records[i + 3]);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, StreamingCleanFileDeliversEverythingInOrder)
+{
+    Dataset ds = makeDataset(10);
+    std::string path = tmpPath("etpu_ds_stream.bin");
+    ds.save(path, 3);
+
+    std::vector<ModelRecord> streamed;
+    EXPECT_TRUE(Dataset::loadStreaming(
+        path, [&](const ModelRecord &r) { streamed.push_back(r); }));
+    ASSERT_EQ(streamed.size(), ds.size());
+    for (size_t i = 0; i < ds.size(); i++)
+        expectRecordsEqual(streamed[i], ds.records[i]);
+    std::remove(path.c_str());
+}
+
+TEST(Dataset, StreamingMissingFileFails)
+{
+    size_t calls = 0;
+    EXPECT_FALSE(Dataset::loadStreaming(
+        "/nonexistent/ds.bin",
+        [&](const ModelRecord &) { calls++; }));
+    EXPECT_EQ(calls, 0u);
+}
+
+TEST(Dataset, CorruptShardLengthFieldRejected)
+{
+    Dataset ds = makeDataset(6);
+    std::string path = tmpPath("etpu_ds_badlen.bin");
+    ds.save(path, 2);
+    std::string whole = readFile(path);
+
+    // Claim an absurd payload length for shard 0.
+    std::string bad = whole;
+    uint64_t huge = ~0ull;
+    std::memcpy(bad.data() + headerBytes, &huge, sizeof(huge));
+    writeFile(path, bad);
+
+    Dataset loaded;
+    testing::internal::CaptureStderr();
+    EXPECT_FALSE(Dataset::load(path, loaded));
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("payload"), std::string::npos) << log;
     std::remove(path.c_str());
 }
 

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Shared filesystem helpers for the serialization / dataset / pipeline
+ * test suites: temp-file naming plus whole-file reads and writes used
+ * by the truncation and corruption-injection tests.
+ */
+
+#ifndef ETPU_TESTS_TEST_IO_UTIL_HH
+#define ETPU_TESTS_TEST_IO_UTIL_HH
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace etpu::test
+{
+
+inline std::string
+tmpPath(const std::string &name)
+{
+    return (std::filesystem::temp_directory_path() / name).string();
+}
+
+inline std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+inline void
+writeFile(const std::string &path, const std::string &bytes)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+} // namespace etpu::test
+
+#endif // ETPU_TESTS_TEST_IO_UTIL_HH

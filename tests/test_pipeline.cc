@@ -2,15 +2,22 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
 #include "pipeline/builder.hh"
+#include "test_io_util.hh"
 #include "tpusim/simulator.hh"
 
 namespace
 {
 
 using namespace etpu;
+using namespace etpu::test;
 using nas::Op;
 
 std::vector<nas::CellSpec>
@@ -23,6 +30,43 @@ someCells()
         {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3}));
     cells.push_back(nas::anchorCells()[0].cell);
     return cells;
+}
+
+/**
+ * A deterministic list of @p n distinct chain cells (all base-3 op
+ * codes of growing length) — enough variety to exercise shard
+ * boundaries without enumerating the whole space.
+ */
+std::vector<nas::CellSpec>
+manyCells(size_t n)
+{
+    std::vector<nas::CellSpec> cells;
+    for (size_t len = 1; cells.size() < n && len <= 5; len++) {
+        size_t combos = 1;
+        for (size_t i = 0; i < len; i++)
+            combos *= nas::interiorOps.size();
+        for (size_t code = 0; code < combos && cells.size() < n;
+             code++) {
+            std::vector<Op> interior;
+            size_t x = code;
+            for (size_t i = 0; i < len; i++) {
+                interior.push_back(
+                    nas::interiorOps[x % nas::interiorOps.size()]);
+                x /= nas::interiorOps.size();
+            }
+            cells.push_back(nas::makeChainCell(interior));
+        }
+    }
+    EXPECT_EQ(cells.size(), n);
+    return cells;
+}
+
+void
+cleanupBuild(const std::string &path)
+{
+    std::remove(path.c_str());
+    std::remove(pipeline::partialPath(path).c_str());
+    std::remove(pipeline::manifestPath(path).c_str());
 }
 
 TEST(Pipeline, RecordsFullyPopulated)
@@ -89,6 +133,239 @@ TEST(Pipeline, DeterministicAcrossThreadCounts)
     }
 }
 
+// The determinism contract of the cache: one thread, eight threads,
+// and a sharded build all produce the same records in the same order
+// — and the same bytes on disk.
+TEST(Pipeline, ShardedBuildMatchesInMemoryBuildByteForByte)
+{
+    auto cells = manyCells(30);
+    nas::Dataset one = pipeline::buildDataset(cells, 1);
+    nas::Dataset eight = pipeline::buildDataset(cells, 8);
+
+    std::string ref_path = tmpPath("etpu_pipe_ref.bin");
+    std::string ref8_path = tmpPath("etpu_pipe_ref8.bin");
+    std::string sharded_path = tmpPath("etpu_pipe_sharded.bin");
+    one.save(ref_path, 4);
+    eight.save(ref8_path, 4);
+
+    pipeline::ShardedBuildOptions opts;
+    opts.threads = 8;
+    opts.shards = 4;
+    auto result = pipeline::buildDatasetSharded(cells, sharded_path,
+                                                opts);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.shards, 4u);
+    EXPECT_EQ(result.built, 4u);
+    EXPECT_EQ(result.records, cells.size());
+
+    std::string ref = readFile(ref_path);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(readFile(ref8_path), ref);
+    EXPECT_EQ(readFile(sharded_path), ref);
+    // No build residue once finished.
+    EXPECT_FALSE(std::filesystem::exists(
+        pipeline::partialPath(sharded_path)));
+    EXPECT_FALSE(std::filesystem::exists(
+        pipeline::manifestPath(sharded_path)));
+
+    cleanupBuild(ref_path);
+    cleanupBuild(ref8_path);
+    cleanupBuild(sharded_path);
+}
+
+// Kill-after-N-shards: an interrupted build leaves a partial cache and
+// manifest; resuming completes it into a file byte-identical to an
+// uninterrupted build.
+TEST(Pipeline, InterruptedBuildResumesToIdenticalBytes)
+{
+    auto cells = manyCells(26); // 4 shards of 7/7/6/6
+    std::string ref_path = tmpPath("etpu_pipe_resume_ref.bin");
+    std::string path = tmpPath("etpu_pipe_resume.bin");
+    pipeline::buildDataset(cells, 2).save(ref_path, 4);
+
+    pipeline::ShardedBuildOptions interrupt;
+    interrupt.threads = 2;
+    interrupt.shards = 4;
+    interrupt.stopAfterShards = 2;
+    auto first = pipeline::buildDatasetSharded(cells, path, interrupt);
+    EXPECT_FALSE(first.finished);
+    EXPECT_EQ(first.built, 2u);
+    EXPECT_TRUE(std::filesystem::exists(pipeline::partialPath(path)));
+    EXPECT_TRUE(std::filesystem::exists(pipeline::manifestPath(path)));
+    EXPECT_FALSE(std::filesystem::exists(path));
+
+    pipeline::ShardedBuildOptions resume;
+    resume.threads = 2;
+    resume.shards = 4;
+    resume.resume = true;
+    auto second = pipeline::buildDatasetSharded(cells, path, resume);
+    EXPECT_TRUE(second.finished);
+    EXPECT_EQ(second.reused, 2u);
+    EXPECT_EQ(second.built, 2u);
+
+    EXPECT_EQ(readFile(path), readFile(ref_path));
+    cleanupBuild(ref_path);
+    cleanupBuild(path);
+}
+
+// A manifest that stops mid-history (the build died between flushing a
+// shard and recording it) just rebuilds the unrecorded shard.
+TEST(Pipeline, PartialManifestResumesFromLastRecordedShard)
+{
+    auto cells = manyCells(24);
+    std::string ref_path = tmpPath("etpu_pipe_manifest_ref.bin");
+    std::string path = tmpPath("etpu_pipe_manifest.bin");
+    pipeline::buildDataset(cells, 2).save(ref_path, 4);
+
+    pipeline::ShardedBuildOptions interrupt;
+    interrupt.threads = 2;
+    interrupt.shards = 4;
+    interrupt.stopAfterShards = 3;
+    pipeline::buildDatasetSharded(cells, path, interrupt);
+
+    // Drop the last manifest line: shard 2's bytes are on disk but no
+    // longer vouched for.
+    std::string mpath = pipeline::manifestPath(path);
+    std::string manifest = readFile(mpath);
+    size_t last_line = manifest.rfind("shard 2 ");
+    ASSERT_NE(last_line, std::string::npos);
+    {
+        std::ofstream out(mpath, std::ios::trunc);
+        out << manifest.substr(0, last_line);
+    }
+
+    pipeline::ShardedBuildOptions resume;
+    resume.threads = 2;
+    resume.shards = 4;
+    resume.resume = true;
+    auto result = pipeline::buildDatasetSharded(cells, path, resume);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.reused, 2u);
+    EXPECT_EQ(result.built, 2u);
+    EXPECT_EQ(readFile(path), readFile(ref_path));
+    cleanupBuild(ref_path);
+    cleanupBuild(path);
+}
+
+// A corrupted manifest or a bit-flipped partial shard must never be
+// trusted: the build warns, discards what fails verification, and the
+// final cache still comes out byte-identical.
+TEST(Pipeline, CorruptManifestOrShardIsRebuilt)
+{
+    auto cells = manyCells(20);
+    std::string ref_path = tmpPath("etpu_pipe_corrupt_ref.bin");
+    std::string path = tmpPath("etpu_pipe_corrupt.bin");
+    pipeline::buildDataset(cells, 2).save(ref_path, 2);
+
+    // Corrupt manifest: flip a digit of a recorded CRC.
+    pipeline::ShardedBuildOptions interrupt;
+    interrupt.threads = 2;
+    interrupt.shards = 2;
+    interrupt.stopAfterShards = 1;
+    pipeline::buildDatasetSharded(cells, path, interrupt);
+    std::string mpath = pipeline::manifestPath(path);
+    std::string manifest = readFile(mpath);
+    size_t crc_field = manifest.find("shard 0 ");
+    ASSERT_NE(crc_field, std::string::npos);
+    // Last field on the line is the end offset; the one before is the
+    // CRC hex. Corrupt the structure instead: turn "shard" into "shred".
+    manifest.replace(crc_field, 5, "shred");
+    {
+        std::ofstream out(mpath, std::ios::trunc);
+        out << manifest;
+    }
+    pipeline::ShardedBuildOptions resume;
+    resume.threads = 2;
+    resume.shards = 2;
+    resume.resume = true;
+    testing::internal::CaptureStderr();
+    auto result = pipeline::buildDatasetSharded(cells, path, resume);
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(result.reused, 0u);
+    EXPECT_NE(log.find("malformed line"), std::string::npos) << log;
+    EXPECT_EQ(readFile(path), readFile(ref_path));
+
+    // Bit-flipped partial shard: resume must re-simulate it.
+    std::remove(path.c_str());
+    pipeline::buildDatasetSharded(cells, path, interrupt);
+    std::string ppath = pipeline::partialPath(path);
+    std::string partial = readFile(ppath);
+    partial[partial.size() - 3] =
+        static_cast<char>(partial[partial.size() - 3] ^ 0x10);
+    {
+        std::ofstream out(ppath, std::ios::binary | std::ios::trunc);
+        out.write(partial.data(),
+                  static_cast<std::streamsize>(partial.size()));
+    }
+    testing::internal::CaptureStderr();
+    result = pipeline::buildDatasetSharded(cells, path, resume);
+    log = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(result.reused, 0u);
+    EXPECT_NE(log.find("CRC"), std::string::npos) << log;
+    EXPECT_EQ(readFile(path), readFile(ref_path));
+
+    cleanupBuild(ref_path);
+    cleanupBuild(path);
+}
+
+// sampleCells() and the shard partition interact: the sampled cell
+// list (sample + appended anchors, so rarely a round number) must
+// shard into the same records order as the in-memory build.
+TEST(Pipeline, SampledCellsShardConsistently)
+{
+    auto cells = manyCells(100);
+    pipeline::sampleCells(cells, 10);
+    // The anchors were appended, so the count straddles shard
+    // boundaries unevenly.
+    ASSERT_GT(cells.size(), 10u);
+
+    nas::Dataset ref = pipeline::buildDataset(cells, 2);
+    std::string ref_path = tmpPath("etpu_pipe_sample_ref.bin");
+    std::string path = tmpPath("etpu_pipe_sample.bin");
+    ref.save(ref_path, 3);
+
+    pipeline::ShardedBuildOptions opts;
+    opts.threads = 2;
+    opts.shards = 3;
+    auto result = pipeline::buildDatasetSharded(cells, path, opts);
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(readFile(path), readFile(ref_path));
+
+    nas::Dataset loaded;
+    ASSERT_TRUE(nas::Dataset::load(path, loaded));
+    ASSERT_EQ(loaded.size(), cells.size());
+    for (size_t i = 0; i < cells.size(); i++)
+        EXPECT_EQ(loaded.records[i].spec, cells[i]);
+
+    cleanupBuild(ref_path);
+    cleanupBuild(path);
+}
+
+TEST(Pipeline, ResolveShardCount)
+{
+    unsetenv("ETPU_SHARDS");
+    // Explicit counts clamp to [1, cells].
+    EXPECT_EQ(pipeline::resolveShardCount(4, 100), 4u);
+    EXPECT_EQ(pipeline::resolveShardCount(50, 10), 10u);
+    EXPECT_EQ(pipeline::resolveShardCount(3, 0), 1u);
+    // Automatic: one shard per cacheShardTargetRecords.
+    EXPECT_EQ(pipeline::resolveShardCount(0, 100), 1u);
+    EXPECT_EQ(pipeline::resolveShardCount(0, 423624), 7u);
+
+    setenv("ETPU_SHARDS", "5", 1);
+    EXPECT_EQ(pipeline::shardCountFromEnv(), 5u);
+    EXPECT_EQ(pipeline::resolveShardCount(0, 100), 5u);
+    // An explicit count still wins over the environment.
+    EXPECT_EQ(pipeline::resolveShardCount(2, 100), 2u);
+
+    setenv("ETPU_SHARDS", "5x", 1);
+    testing::internal::CaptureStderr();
+    EXPECT_EQ(pipeline::shardCountFromEnv(), 0u);
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_NE(log.find("warn"), std::string::npos) << log;
+    unsetenv("ETPU_SHARDS");
+}
+
 TEST(Pipeline, AnchorLatenciesMatchPaperOrdering)
 {
     // Figure 7b: for the best-accuracy model V2 yields the lowest
@@ -106,6 +383,18 @@ TEST(Pipeline, CachePathHonorsEnvironment)
     EXPECT_EQ(pipeline::datasetCachePath(), "/tmp/etpu_custom.bin");
     unsetenv("ETPU_DATASET_PATH");
     EXPECT_EQ(pipeline::datasetCachePath(), "etpu_dataset.bin");
+}
+
+TEST(Pipeline, ResolvedCachePathAppliesSampleSuffix)
+{
+    setenv("ETPU_DATASET_PATH", "/tmp/etpu_resolved.bin", 1);
+    unsetenv("ETPU_SAMPLE");
+    EXPECT_EQ(pipeline::resolvedCachePath(), "/tmp/etpu_resolved.bin");
+    setenv("ETPU_SAMPLE", "64", 1);
+    EXPECT_EQ(pipeline::resolvedCachePath(),
+              "/tmp/etpu_resolved.bin.64.sample");
+    unsetenv("ETPU_SAMPLE");
+    unsetenv("ETPU_DATASET_PATH");
 }
 
 } // namespace

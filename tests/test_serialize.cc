@@ -4,19 +4,18 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
 
 #include "common/serialize.hh"
+#include "test_io_util.hh"
 
 namespace
 {
 
 using namespace etpu;
-
-std::string
-tmpPath(const std::string &name)
-{
-    return (std::filesystem::temp_directory_path() / name).string();
-}
+using namespace etpu::test;
 
 TEST(Serialize, PodRoundTrip)
 {
@@ -69,10 +68,33 @@ TEST(Serialize, StringRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(Serialize, MemoryStreamRoundTrip)
+{
+    std::ostringstream sink;
+    {
+        BinaryWriter w(sink);
+        ASSERT_TRUE(w.ok());
+        w.write<uint32_t>(0xCAFE1234u);
+        w.writeString("in memory");
+        w.writeBytes("raw", 3);
+    }
+    std::istringstream source(sink.str());
+    BinaryReader r(source);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.read<uint32_t>(), 0xCAFE1234u);
+    EXPECT_EQ(r.readString(), "in memory");
+    std::string raw;
+    EXPECT_TRUE(r.tryReadBytes(raw, 3));
+    EXPECT_EQ(raw, "raw");
+    EXPECT_TRUE(r.exhausted());
+}
+
 TEST(Serialize, MissingFileNotOk)
 {
     BinaryReader r("/nonexistent/definitely/missing.bin");
     EXPECT_FALSE(r.ok());
+    uint32_t v = 0;
+    EXPECT_FALSE(r.tryRead(v));
 }
 
 TEST(Serialize, ReadPastEndIsFatal)
@@ -87,6 +109,121 @@ TEST(Serialize, ReadPastEndIsFatal)
     EXPECT_EXIT({ r.read<uint64_t>(); }, ::testing::ExitedWithCode(1),
                 "past end");
     std::remove(path.c_str());
+}
+
+TEST(Serialize, TryReadReportsTruncationWithoutDying)
+{
+    std::string path = tmpPath("etpu_ser_tryread.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint32_t>(5);
+    }
+    BinaryReader r(path);
+    uint64_t v = 0;
+    EXPECT_FALSE(r.tryRead(v)); // only 4 of 8 bytes exist
+    std::remove(path.c_str());
+}
+
+// Truncate a stream of mixed-width fields at every byte and confirm
+// the reader reports exactly the fields before the cut as readable —
+// truncation at every field boundary (and inside every field) is an
+// error the caller sees, never a crash or a garbage value.
+TEST(Serialize, TruncationAtEveryFieldBoundary)
+{
+    std::string path = tmpPath("etpu_ser_every_boundary.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint8_t>(0xAB);
+        w.write<uint32_t>(0x11223344u);
+        w.write<uint64_t>(0x5566778899AABBCCull);
+        w.write<float>(2.5f);
+        w.write<double>(-7.75);
+    }
+    const std::string whole = readFile(path);
+    const size_t boundaries[] = {0, 1, 5, 13, 17, 25};
+    ASSERT_EQ(whole.size(), 25u);
+
+    for (size_t cut = 0; cut <= whole.size(); cut++) {
+        std::string trunc_path =
+            tmpPath("etpu_ser_every_boundary_cut.bin");
+        writeFile(trunc_path, whole.substr(0, cut));
+        BinaryReader r(trunc_path);
+        ASSERT_TRUE(r.ok());
+
+        size_t readable = 0; // fields fully before the cut
+        while (readable + 1 < std::size(boundaries) &&
+               boundaries[readable + 1] <= cut) {
+            readable++;
+        }
+
+        uint8_t u8 = 0;
+        uint32_t u32 = 0;
+        uint64_t u64 = 0;
+        float f = 0;
+        double d = 0;
+        EXPECT_EQ(r.tryRead(u8), readable >= 1) << "cut " << cut;
+        EXPECT_EQ(r.tryRead(u32), readable >= 2) << "cut " << cut;
+        EXPECT_EQ(r.tryRead(u64), readable >= 3) << "cut " << cut;
+        EXPECT_EQ(r.tryRead(f), readable >= 4) << "cut " << cut;
+        EXPECT_EQ(r.tryRead(d), readable >= 5) << "cut " << cut;
+        // offset() stops at the last complete field boundary.
+        EXPECT_EQ(r.offset(), boundaries[readable]) << "cut " << cut;
+        std::remove(trunc_path.c_str());
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, FailedTryReadDoesNotAdvanceOffset)
+{
+    std::string path = tmpPath("etpu_ser_offset.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint32_t>(9);
+        w.write<uint8_t>(1); // one stray byte, not enough for a u32
+    }
+    BinaryReader r(path);
+    uint32_t v = 0;
+    EXPECT_TRUE(r.tryRead(v));
+    EXPECT_EQ(r.offset(), 4u);
+    EXPECT_FALSE(r.tryRead(v)); // 1 of 4 bytes
+    EXPECT_EQ(r.offset(), 4u);  // unchanged by the failure
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, ExhaustedSeesTrailingBytes)
+{
+    std::string path = tmpPath("etpu_ser_exhausted.bin");
+    {
+        BinaryWriter w(path);
+        w.write<uint16_t>(7);
+        w.write<uint16_t>(8);
+    }
+    BinaryReader r(path);
+    EXPECT_EQ(r.read<uint16_t>(), 7);
+    EXPECT_FALSE(r.exhausted());
+    EXPECT_EQ(r.read<uint16_t>(), 8);
+    EXPECT_TRUE(r.exhausted());
+    std::remove(path.c_str());
+}
+
+TEST(Serialize, TryReadBytesStringFailureClearsDestination)
+{
+    std::istringstream source(std::string("abc"));
+    BinaryReader r(source);
+    std::string dst;
+    EXPECT_FALSE(r.tryReadBytes(dst, 10));
+    EXPECT_TRUE(dst.empty());
+}
+
+TEST(Serialize, TryReadBytesAbsurdLengthFailsWithoutAllocatingIt)
+{
+    // A corrupt length field may claim terabytes; the read must fail
+    // against the actual stream contents, not throw from resize().
+    std::istringstream source(std::string("only a few bytes"));
+    BinaryReader r(source);
+    std::string dst;
+    EXPECT_FALSE(r.tryReadBytes(dst, 1ull << 40));
+    EXPECT_TRUE(dst.empty());
 }
 
 } // namespace
