@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Campaign-throughput benchmark for the characterization hot path: how
+ * many cells/second the pipeline sustains end-to-end (enumerate once,
+ * then build -> lower -> annotate -> simulate on every accelerator
+ * configuration), plus a per-stage breakdown measured through one
+ * sim::EvalContext. The result is written as JSON so the repo can
+ * track a perf trajectory across PRs: the committed BENCH_campaign.json
+ * at the repo root holds the reference numbers, and future hot-path
+ * changes are expected to re-run this bench and compare.
+ *
+ * Usage: bench_campaign_throughput [--cells N] [--threads N]
+ *                                  [--repeats N] [--out PATH]
+ *
+ * Defaults honor $ETPU_SAMPLE (cell count) and $ETPU_THREADS. The
+ * end-to-end measurement is the best of --repeats runs (default 3) to
+ * shave scheduler noise; per-stage numbers come from a single
+ * single-threaded pass so they sum to roughly the per-cell cost.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "common/table.hh"
+#include "nasbench/enumerator.hh"
+#include "pipeline/builder.hh"
+#include "tpusim/eval_context.hh"
+
+namespace
+{
+
+using namespace etpu;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** One stage's accumulated wall time over the measured pass. */
+struct StageTiming
+{
+    const char *name;
+    double seconds = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    size_t cells_wanted = pipeline::sampleSizeFromEnv();
+    unsigned threads = 0;
+    int repeats = 3;
+    std::string out_path = "BENCH_campaign.json";
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<uint64_t>(*n);
+        };
+        if (arg == "--cells") {
+            cells_wanted = static_cast<size_t>(next_count());
+        } else if (arg == "--threads") {
+            constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+            threads =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--repeats") {
+            repeats = static_cast<int>(
+                std::max<uint64_t>(1, next_count()));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout << "usage: bench_campaign_throughput [--cells N] "
+                         "[--threads N] [--repeats N] [--out PATH]\n"
+                         "--cells 0 (default) runs the full cell space; "
+                         "defaults honor $ETPU_SAMPLE and\n"
+                         "$ETPU_THREADS. Writes the measured result as "
+                         "JSON to --out (default\n"
+                         "BENCH_campaign.json in the working "
+                         "directory).\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+
+    std::cout << "\n=== campaign throughput ===\n"
+              << "the characterization hot path: buildNetworkInto -> "
+                 "Compiler::lower -> per-config\n"
+              << "Compiler::annotate + Simulator::run, via per-worker "
+                 "sim::EvalContext\n\n";
+
+    auto cells = nas::enumerateCells({}, nullptr, threads);
+    size_t enumerated = cells.size();
+    pipeline::sampleCells(cells, cells_wanted);
+    std::cout << "cells: " << fmtCount(cells.size()) << " (of "
+              << fmtCount(enumerated) << " enumerated)\n";
+
+    // Per-stage breakdown: one single-threaded EvalContext-equivalent
+    // pass with a timer around each stage. The clock reads add a few
+    // ns per cell against stage costs in the tens of us.
+    StageTiming stage_build{"build_network"};
+    StageTiming stage_lower{"lower"};
+    StageTiming stage_sim{"annotate_simulate"};
+    {
+        sim::EvalContext warmup; // touch the context path once
+        warmup.evaluate(cells.front());
+
+        std::vector<sim::Compiler> compilers;
+        std::vector<sim::Simulator> simulators;
+        for (const auto &cfg : arch::allConfigs()) {
+            compilers.emplace_back(cfg);
+            simulators.emplace_back(cfg);
+        }
+        nas::Network net;
+        sim::Program prog;
+        sim::SimScratch scratch;
+        sim::PerfResult sink;
+        for (const auto &cell : cells) {
+            auto t0 = Clock::now();
+            nas::buildNetworkInto(cell, net);
+            auto t1 = Clock::now();
+            sim::Compiler::lower(net, &cell, prog);
+            auto t2 = Clock::now();
+            for (size_t c = 0; c < simulators.size(); c++) {
+                compilers[c].annotate(net, prog);
+                sink = simulators[c].run(prog, scratch);
+            }
+            auto t3 = Clock::now();
+            stage_build.seconds +=
+                std::chrono::duration<double>(t1 - t0).count();
+            stage_lower.seconds +=
+                std::chrono::duration<double>(t2 - t1).count();
+            stage_sim.seconds +=
+                std::chrono::duration<double>(t3 - t2).count();
+        }
+        static_cast<void>(sink);
+    }
+
+    // End-to-end: the real pipeline entry point the sharded campaign
+    // builder drives, records and accuracy surrogate included.
+    double best_e2e = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < repeats; r++) {
+        auto t0 = Clock::now();
+        nas::Dataset ds = pipeline::buildDataset(cells, threads);
+        best_e2e = std::min(best_e2e, secondsSince(t0));
+        if (ds.size() != cells.size())
+            etpu_fatal("campaign produced ", ds.size(), " records for ",
+                       cells.size(), " cells");
+    }
+    double cells_per_sec = static_cast<double>(cells.size()) / best_e2e;
+
+    double n = static_cast<double>(cells.size());
+    std::cout << "\nper-stage (single-threaded, us/cell over "
+              << fmtCount(cells.size()) << " cells):\n";
+    for (const StageTiming &s :
+         {stage_build, stage_lower, stage_sim}) {
+        std::cout << "  " << s.name << ": "
+                  << fmtDouble(s.seconds / n * 1e6, 2) << " us/cell ("
+                  << fmtDouble(s.seconds, 3) << " s total)\n";
+    }
+    std::cout << "\nend-to-end (threads="
+              << resolveWorkerCount(threads) << ", best of " << repeats
+              << "): " << fmtDouble(best_e2e, 3) << " s = "
+              << fmtDouble(cells_per_sec, 1) << " cells/sec\n";
+
+    std::ofstream json(out_path, std::ios::trunc);
+    if (!json) {
+        etpu_fatal("cannot write bench result to ", out_path);
+    }
+    json << "{\n"
+         << "  \"bench\": \"campaign_throughput\",\n"
+         << "  \"cells\": " << cells.size() << ",\n"
+         << "  \"configs\": " << arch::allConfigs().size() << ",\n"
+         << "  \"threads\": " << resolveWorkerCount(threads) << ",\n"
+         << "  \"repeats\": " << repeats << ",\n"
+         << "  \"end_to_end\": {\n"
+         << "    \"seconds\": " << fmtDouble(best_e2e, 6) << ",\n"
+         << "    \"cells_per_sec\": " << fmtDouble(cells_per_sec, 1)
+         << "\n  },\n"
+         << "  \"stages_us_per_cell\": {\n"
+         << "    \"build_network\": "
+         << fmtDouble(stage_build.seconds / n * 1e6, 3) << ",\n"
+         << "    \"lower\": "
+         << fmtDouble(stage_lower.seconds / n * 1e6, 3) << ",\n"
+         << "    \"annotate_simulate\": "
+         << fmtDouble(stage_sim.seconds / n * 1e6, 3) << "\n  }\n"
+         << "}\n";
+    json.flush();
+    if (!json)
+        etpu_fatal("failed writing bench result to ", out_path);
+    std::cout << "result written to " << out_path << "\n";
+    return 0;
+}

@@ -1,16 +1,20 @@
 #include "matrix.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace etpu::gnn
 {
 
-Matrix::Matrix(int rows, int cols)
-    : rows_(rows), cols_(cols),
-      data_(static_cast<size_t>(rows) * cols, 0.0f)
+Matrix::Matrix(int rows, int cols) : rows_(rows), cols_(cols)
 {
+    // Validate before sizing the storage: a negative row count cast to
+    // size_t wraps to a huge allocation and dies in bad_alloc instead
+    // of the intended diagnostic.
     if (rows < 0 || cols < 0)
         etpu_panic("negative matrix shape ", rows, "x", cols);
+    data_.assign(static_cast<size_t>(rows) * cols, 0.0f);
 }
 
 void
@@ -41,15 +45,16 @@ matmul(const Matrix &a, const Matrix &b)
 {
     if (a.cols() != b.rows())
         etpu_panic("matmul shape mismatch");
-    Matrix c(a.rows(), b.cols());
-    for (int i = 0; i < a.rows(); i++) {
-        for (int k = 0; k < a.cols(); k++) {
+    const int rows = a.rows(), inner = a.cols(), cols = b.cols();
+    Matrix c(rows, cols);
+    for (int i = 0; i < rows; i++) {
+        for (int k = 0; k < inner; k++) {
             float av = a.at(i, k);
             if (av == 0.0f)
                 continue;
             const float *brow = b.row(k);
             float *crow = c.row(i);
-            for (int j = 0; j < b.cols(); j++)
+            for (int j = 0; j < cols; j++)
                 crow[j] += av * brow[j];
         }
     }
@@ -61,16 +66,17 @@ matmulTN(const Matrix &a, const Matrix &b)
 {
     if (a.rows() != b.rows())
         etpu_panic("matmulTN shape mismatch");
-    Matrix c(a.cols(), b.cols());
-    for (int k = 0; k < a.rows(); k++) {
+    const int inner = a.rows(), rows = a.cols(), cols = b.cols();
+    Matrix c(rows, cols);
+    for (int k = 0; k < inner; k++) {
         const float *arow = a.row(k);
         const float *brow = b.row(k);
-        for (int i = 0; i < a.cols(); i++) {
+        for (int i = 0; i < rows; i++) {
             float av = arow[i];
             if (av == 0.0f)
                 continue;
             float *crow = c.row(i);
-            for (int j = 0; j < b.cols(); j++)
+            for (int j = 0; j < cols; j++)
                 crow[j] += av * brow[j];
         }
     }
@@ -82,14 +88,15 @@ matmulNT(const Matrix &a, const Matrix &b)
 {
     if (a.cols() != b.cols())
         etpu_panic("matmulNT shape mismatch");
-    Matrix c(a.rows(), b.rows());
-    for (int i = 0; i < a.rows(); i++) {
+    const int rows = a.rows(), cols = b.rows(), inner = a.cols();
+    Matrix c(rows, cols);
+    for (int i = 0; i < rows; i++) {
         const float *arow = a.row(i);
         float *crow = c.row(i);
-        for (int j = 0; j < b.rows(); j++) {
+        for (int j = 0; j < cols; j++) {
             const float *brow = b.row(j);
             float dot = 0.0f;
-            for (int k = 0; k < a.cols(); k++)
+            for (int k = 0; k < inner; k++)
                 dot += arow[k] * brow[k];
             crow[j] += dot;
         }
@@ -112,12 +119,9 @@ hcat(const std::vector<const Matrix *> &parts)
     Matrix out(rows, cols);
     for (int r = 0; r < rows; r++) {
         float *orow = out.row(r);
-        int offset = 0;
         for (const Matrix *p : parts) {
             const float *prow = p->row(r);
-            for (int c = 0; c < p->cols(); c++)
-                orow[offset + c] = prow[c];
-            offset += p->cols();
+            orow = std::copy(prow, prow + p->cols(), orow);
         }
     }
     return out;
@@ -137,10 +141,8 @@ hsplit(const Matrix &m, const std::vector<int> &widths)
     for (int w : widths) {
         Matrix part(m.rows(), w);
         for (int r = 0; r < m.rows(); r++) {
-            const float *mrow = m.row(r);
-            float *prow = part.row(r);
-            for (int c = 0; c < w; c++)
-                prow[c] = mrow[offset + c];
+            const float *mrow = m.row(r) + offset;
+            std::copy(mrow, mrow + w, part.row(r));
         }
         out.push_back(std::move(part));
         offset += w;
@@ -151,11 +153,12 @@ hsplit(const Matrix &m, const std::vector<int> &widths)
 Matrix
 colSum(const Matrix &m)
 {
-    Matrix out(1, m.cols());
+    const int cols = m.cols();
+    Matrix out(1, cols);
+    float *orow = out.row(0);
     for (int r = 0; r < m.rows(); r++) {
         const float *mrow = m.row(r);
-        float *orow = out.row(0);
-        for (int c = 0; c < m.cols(); c++)
+        for (int c = 0; c < cols; c++)
             orow[c] += mrow[c];
     }
     return out;

@@ -177,15 +177,24 @@ Network::outputLayer() const
     return static_cast<int>(layers.size()) - 1;
 }
 
-std::vector<int>
-computeVertexChannels(int in_ch, int out_ch, const graph::Dag &dag)
+namespace
+{
+
+/**
+ * computeVertexChannels into caller-owned storage of at least
+ * dag.numVertices() entries — the allocation-free core the in-place
+ * network builder uses (cells have at most 7 vertices).
+ */
+void
+computeVertexChannelsInto(int in_ch, int out_ch, const graph::Dag &dag,
+                          int *ch)
 {
     int n = dag.numVertices();
-    std::vector<int> ch(n, 0);
+    std::fill(ch, ch + n, 0);
     ch[0] = in_ch;
     ch[n - 1] = out_ch;
     if (n == 2)
-        return ch;
+        return;
 
     // In-degree of the output counting interior vertices only.
     int out_fanin = 0;
@@ -220,30 +229,98 @@ computeVertexChannels(int in_ch, int out_ch, const graph::Dag &dag)
         if (ch[v] <= 0)
             etpu_panic("vertex ", v, " got zero channels: ", dag.str());
     }
+}
+
+} // namespace
+
+std::vector<int>
+computeVertexChannels(int in_ch, int out_ch, const graph::Dag &dag)
+{
+    std::vector<int> ch(static_cast<size_t>(dag.numVertices()), 0);
+    computeVertexChannelsInto(in_ch, out_ch, dag, ch.data());
     return ch;
 }
 
 namespace
 {
 
+/** Per-cell stack bound; CellSpec::valid() enforces the space limit. */
+constexpr int maxCellVertices = 7;
+static_assert(SpaceLimits{}.maxVertices <= maxCellVertices);
+
+/**
+ * The in-place network emitter: hands out layer slots (reusing the
+ * Network's existing storage below the cursor) and appends producer
+ * slices to the flat deps arena. All growth stops once the Network has
+ * seen the largest cell shape, which is what keeps the campaign hot
+ * path allocation-free.
+ */
+class LayerEmitter
+{
+  public:
+    explicit LayerEmitter(Network &net) : net_(net)
+    {
+        net_.deps.clear();
+    }
+
+    /** Claim the next layer slot, reset to defaults (deps empty). */
+    Layer &
+    next()
+    {
+        if (used_ == net_.layers.size())
+            net_.layers.emplace_back();
+        Layer &l = net_.layers[used_++];
+        l = Layer{};
+        return l;
+    }
+
+    /** Index of the most recently emitted layer. */
+    int last() const { return static_cast<int>(used_) - 1; }
+
+    /** Set @p l's producers to the @p count indices at @p producers. */
+    void
+    setDeps(Layer &l, const int32_t *producers, int count)
+    {
+        l.depsBegin = static_cast<uint32_t>(net_.deps.size());
+        l.depsCount = static_cast<uint32_t>(count);
+        net_.deps.insert(net_.deps.end(), producers, producers + count);
+    }
+
+    /** Set @p l's single producer. */
+    void
+    setDep(Layer &l, int producer)
+    {
+        int32_t dep = producer;
+        setDeps(l, &dep, 1);
+    }
+
+    /** Trim layer slots left over from a previous, larger build. */
+    void
+    finish()
+    {
+        net_.layers.resize(used_);
+    }
+
+  private:
+    Network &net_;
+    size_t used_ = 0;
+};
+
 /**
  * Lower one cell. Returns the index of the layer producing the cell
  * output.
  */
 int
-buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
+buildCell(const CellSpec &cell, LayerEmitter &emit, int input_layer,
           int h, int w, int cin, int cout, int cell_index)
 {
     const graph::Dag &dag = cell.dag;
     int n = dag.numVertices();
-    auto ch = computeVertexChannels(cin, cout, dag);
+    int ch[maxCellVertices];
+    computeVertexChannelsInto(cin, cout, dag, ch);
 
-    auto push = [&](Layer l) {
-        layers.push_back(std::move(l));
-        return static_cast<int>(layers.size()) - 1;
-    };
     auto projection = [&](int to_ch, int vertex) {
-        Layer l;
+        Layer &l = emit.next();
         l.kind = LayerKind::Projection;
         l.kernel = 1;
         l.h = h;
@@ -254,33 +331,34 @@ buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
         l.cout = to_ch;
         l.cellIndex = cell_index;
         l.vertex = vertex;
-        l.deps = {input_layer};
-        return push(std::move(l));
+        emit.setDep(l, input_layer);
+        return emit.last();
     };
 
     // V == 2: input connected directly to output; a lone projection.
     if (n == 2)
         return projection(cout, n - 1);
 
-    std::vector<int> producer(n, -1);
+    int producer[maxCellVertices];
     producer[0] = input_layer;
 
     for (int t = 1; t < n - 1; t++) {
-        std::vector<int32_t> fan_in;
+        int32_t fan_in[maxCellVertices];
+        int n_fan_in = 0;
         for (int src = 1; src < t; src++) {
             if (dag.hasEdge(src, t))
-                fan_in.push_back(producer[src]); // truncation is free
+                fan_in[n_fan_in++] = producer[src]; // truncation is free
         }
         if (dag.hasEdge(0, t))
-            fan_in.push_back(projection(ch[t], t));
-        if (fan_in.empty())
+            fan_in[n_fan_in++] = projection(ch[t], t);
+        if (n_fan_in == 0)
             etpu_panic("interior vertex with no fan-in");
 
         int vertex_input;
-        if (fan_in.size() == 1) {
+        if (n_fan_in == 1) {
             vertex_input = fan_in[0];
         } else {
-            Layer add;
+            Layer &add = emit.next();
             add.kind = LayerKind::Add;
             add.h = h;
             add.w = w;
@@ -288,14 +366,14 @@ buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
             add.outW = w;
             add.cin = ch[t];
             add.cout = ch[t];
-            add.fanIn = static_cast<int>(fan_in.size());
+            add.fanIn = n_fan_in;
             add.cellIndex = cell_index;
             add.vertex = t;
-            add.deps = fan_in;
-            vertex_input = push(std::move(add));
+            emit.setDeps(add, fan_in, n_fan_in);
+            vertex_input = emit.last();
         }
 
-        Layer op;
+        Layer &op = emit.next();
         op.h = h;
         op.w = w;
         op.outH = h;
@@ -304,7 +382,7 @@ buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
         op.cout = ch[t];
         op.cellIndex = cell_index;
         op.vertex = t;
-        op.deps = {vertex_input};
+        emit.setDep(op, vertex_input);
         switch (cell.ops[t]) {
           case Op::Conv3x3:
             op.kind = LayerKind::Conv;
@@ -321,36 +399,39 @@ buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
           default:
             etpu_panic("bad interior op");
         }
-        producer[t] = push(std::move(op));
+        producer[t] = emit.last();
     }
 
     // Output vertex: concatenate interior fan-in, then add the projected
     // input if the input connects directly to the output.
-    std::vector<int32_t> concat_in;
+    int32_t concat_in[maxCellVertices];
+    int n_concat = 0;
     for (int src = 1; src < n - 1; src++) {
         if (dag.hasEdge(src, n - 1))
-            concat_in.push_back(producer[src]);
+            concat_in[n_concat++] = producer[src];
     }
-    if (concat_in.empty())
+    if (n_concat == 0)
         etpu_panic("full DAG without interior->output edge");
 
-    Layer concat;
-    concat.kind = LayerKind::Concat;
-    concat.h = h;
-    concat.w = w;
-    concat.outH = h;
-    concat.outW = w;
-    concat.cin = cout;
-    concat.cout = cout;
-    concat.fanIn = static_cast<int>(concat_in.size());
-    concat.cellIndex = cell_index;
-    concat.vertex = n - 1;
-    concat.deps = concat_in;
-    int out_layer = push(std::move(concat));
+    {
+        Layer &concat = emit.next();
+        concat.kind = LayerKind::Concat;
+        concat.h = h;
+        concat.w = w;
+        concat.outH = h;
+        concat.outW = w;
+        concat.cin = cout;
+        concat.cout = cout;
+        concat.fanIn = n_concat;
+        concat.cellIndex = cell_index;
+        concat.vertex = n - 1;
+        emit.setDeps(concat, concat_in, n_concat);
+    }
+    int out_layer = emit.last();
 
     if (dag.hasEdge(0, n - 1)) {
         int proj = projection(cout, n - 1);
-        Layer add;
+        Layer &add = emit.next();
         add.kind = LayerKind::Add;
         add.h = h;
         add.w = w;
@@ -361,42 +442,44 @@ buildCell(const CellSpec &cell, std::vector<Layer> &layers, int input_layer,
         add.fanIn = 2;
         add.cellIndex = cell_index;
         add.vertex = n - 1;
-        add.deps = {out_layer, proj};
-        out_layer = push(std::move(add));
+        int32_t pair[2] = {out_layer, proj};
+        emit.setDeps(add, pair, 2);
+        out_layer = emit.last();
     }
     return out_layer;
 }
 
 } // namespace
 
-Network
-buildNetwork(const CellSpec &cell, const NetworkConfig &cfg)
+void
+buildNetworkInto(const CellSpec &cell, Network &net,
+                 const NetworkConfig &cfg)
 {
     if (!cell.valid())
         etpu_panic("buildNetwork on invalid cell: ", cell.str());
 
-    Network net;
-    auto &layers = net.layers;
+    LayerEmitter emit(net);
 
     int h = cfg.imageSize;
     int w = cfg.imageSize;
 
-    Layer stem;
-    stem.kind = LayerKind::Stem;
-    stem.kernel = 3;
-    stem.h = h;
-    stem.w = w;
-    stem.outH = h;
-    stem.outW = w;
-    stem.cin = cfg.imageChannels;
-    stem.cout = cfg.stemChannels;
-    layers.push_back(stem);
+    {
+        Layer &stem = emit.next();
+        stem.kind = LayerKind::Stem;
+        stem.kernel = 3;
+        stem.h = h;
+        stem.w = w;
+        stem.outH = h;
+        stem.outW = w;
+        stem.cin = cfg.imageChannels;
+        stem.cout = cfg.stemChannels;
+    }
     int prev = 0;
     int channels = cfg.stemChannels;
 
     for (int s = 0; s < cfg.numStacks; s++) {
         if (s > 0) {
-            Layer down;
+            Layer &down = emit.next();
             down.kind = LayerKind::Downsample;
             down.kernel = 2;
             down.stride = 2;
@@ -406,43 +489,52 @@ buildNetwork(const CellSpec &cell, const NetworkConfig &cfg)
             down.outW = w / 2;
             down.cin = channels;
             down.cout = channels;
-            down.deps = {prev};
-            layers.push_back(down);
-            prev = static_cast<int>(layers.size()) - 1;
+            emit.setDep(down, prev);
+            prev = emit.last();
             h /= 2;
             w /= 2;
         }
         int stack_channels = cfg.stemChannels << s;
         for (int c = 0; c < cfg.cellsPerStack; c++) {
-            prev = buildCell(cell, layers, prev, h, w, channels,
+            prev = buildCell(cell, emit, prev, h, w, channels,
                              stack_channels, s * cfg.cellsPerStack + c);
             channels = stack_channels;
         }
     }
 
-    Layer gap;
-    gap.kind = LayerKind::GlobalPool;
-    gap.h = h;
-    gap.w = w;
-    gap.outH = 1;
-    gap.outW = 1;
-    gap.cin = channels;
-    gap.cout = channels;
-    gap.deps = {prev};
-    layers.push_back(gap);
-    prev = static_cast<int>(layers.size()) - 1;
+    {
+        Layer &gap = emit.next();
+        gap.kind = LayerKind::GlobalPool;
+        gap.h = h;
+        gap.w = w;
+        gap.outH = 1;
+        gap.outW = 1;
+        gap.cin = channels;
+        gap.cout = channels;
+        emit.setDep(gap, prev);
+        prev = emit.last();
+    }
 
-    Layer dense;
-    dense.kind = LayerKind::Dense;
-    dense.h = 1;
-    dense.w = 1;
-    dense.outH = 1;
-    dense.outW = 1;
-    dense.cin = channels;
-    dense.cout = cfg.numClasses;
-    dense.deps = {prev};
-    layers.push_back(dense);
+    {
+        Layer &dense = emit.next();
+        dense.kind = LayerKind::Dense;
+        dense.h = 1;
+        dense.w = 1;
+        dense.outH = 1;
+        dense.outW = 1;
+        dense.cin = channels;
+        dense.cout = cfg.numClasses;
+        emit.setDep(dense, prev);
+    }
 
+    emit.finish();
+}
+
+Network
+buildNetwork(const CellSpec &cell, const NetworkConfig &cfg)
+{
+    Network net;
+    buildNetworkInto(cell, net, cfg);
     return net;
 }
 

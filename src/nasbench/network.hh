@@ -13,6 +13,7 @@
 #define ETPU_NASBENCH_NETWORK_HH
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -38,7 +39,14 @@ enum class LayerKind : uint8_t
 /** Name of a layer kind. */
 std::string_view layerKindName(LayerKind kind);
 
-/** One concrete layer with shapes and dependency edges. */
+/**
+ * One concrete layer with shapes and dependency edges.
+ *
+ * Trivially copyable: producer indices live in the owning Network's
+ * flat deps arena (sliced by depsBegin/depsCount, read via
+ * Network::layerDeps), so rebuilding a Network in place never churns
+ * per-layer heap buffers.
+ */
 struct Layer
 {
     LayerKind kind = LayerKind::Conv;
@@ -53,7 +61,8 @@ struct Layer
     int fanIn = 1;        //!< number of summed inputs (Add)
     int cellIndex = -1;   //!< 0..8 for cell layers, -1 otherwise
     int vertex = -1;      //!< cell vertex id for vertex-op layers
-    std::vector<int32_t> deps; //!< producer layer indices
+    uint32_t depsBegin = 0; //!< offset of this layer's producer slice
+    uint32_t depsCount = 0; //!< producer count (see Network::layerDeps)
 
     /** @return true if the layer carries trainable weights. */
     bool hasParams() const;
@@ -95,6 +104,27 @@ struct NetworkConfig
 struct Network
 {
     std::vector<Layer> layers;
+    /**
+     * Producer layer indices for every layer, flattened; layer i's
+     * producers are the slice [depsBegin, depsBegin + depsCount). One
+     * arena instead of a vector per layer keeps repeated in-place
+     * rebuilds (buildNetworkInto) free of per-layer allocations.
+     */
+    std::vector<int32_t> deps;
+
+    /** Producer layer indices of @p layer. */
+    std::span<const int32_t>
+    layerDeps(const Layer &layer) const
+    {
+        return {deps.data() + layer.depsBegin, layer.depsCount};
+    }
+
+    /** Producer layer indices of layer @p i. */
+    std::span<const int32_t>
+    layerDeps(size_t i) const
+    {
+        return layerDeps(layers[i]);
+    }
 
     uint64_t trainableParams() const;
     uint64_t totalMacs() const;
@@ -120,6 +150,16 @@ std::vector<int> computeVertexChannels(int in_ch, int out_ch,
 
 /** Lower a cell into the full CIFAR-10 network. */
 Network buildNetwork(const CellSpec &cell, const NetworkConfig &cfg = {});
+
+/**
+ * Lower a cell into @p net, reusing its storage: the layers vector and
+ * each layer's deps vector keep their capacity across calls, so a
+ * caller characterizing many cells (sim::EvalContext) performs no heap
+ * allocation once its network has seen the largest cell shape. The
+ * resulting network is identical to buildNetwork(cell, cfg).
+ */
+void buildNetworkInto(const CellSpec &cell, Network &net,
+                      const NetworkConfig &cfg = {});
 
 /** Convenience: trainable parameters of the cell's full network. */
 uint64_t countTrainableParams(const CellSpec &cell,

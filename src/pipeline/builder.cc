@@ -16,7 +16,7 @@
 #include "common/serialize.hh"
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
-#include "tpusim/simulator.hh"
+#include "tpusim/eval_context.hh"
 
 namespace etpu::pipeline
 {
@@ -24,27 +24,34 @@ namespace etpu::pipeline
 namespace
 {
 
-std::vector<sim::Simulator>
-makeSimulators()
+/**
+ * One reusable EvalContext per parallelFor worker, so the whole
+ * campaign shares the per-worker scratch: accelerator validation and
+ * Compiler/Simulator construction happen here, once, and the per-cell
+ * loop below is allocation-free in steady state.
+ */
+std::vector<sim::EvalContext>
+makeEvalContexts(unsigned threads)
 {
-    std::vector<sim::Simulator> sims;
-    for (const auto &cfg : arch::allConfigs())
-        sims.emplace_back(cfg);
-    return sims;
+    std::vector<sim::EvalContext> contexts;
+    contexts.resize(resolveWorkerCount(threads));
+    return contexts;
 }
 
 /** Characterize cells[begin..end) into out[0..end-begin). */
 void
 simulateRange(const std::vector<nas::CellSpec> &cells, size_t begin,
-              size_t end, std::vector<sim::Simulator> &sims,
+              size_t end, std::vector<sim::EvalContext> &contexts,
               nas::ModelRecord *out, unsigned threads)
 {
-    parallelFor(0, end - begin, [&](size_t i, unsigned) {
+    parallelFor(0, end - begin, [&](size_t i, unsigned worker) {
         const nas::CellSpec &cell = cells[begin + i];
         nas::ModelRecord &rec = out[i];
         rec.spec = cell;
 
-        nas::Network net = nas::buildNetwork(cell);
+        sim::EvalContext &ctx = contexts[worker];
+        auto results = ctx.evaluate(cell);
+        const nas::Network &net = ctx.network();
         rec.params = net.trainableParams();
         rec.macs = net.totalMacs();
         rec.weightBytes = net.totalWeightBytes();
@@ -59,10 +66,9 @@ simulateRange(const std::vector<nas::CellSpec> &cells, size_t begin,
         rec.numMaxPool =
             static_cast<uint8_t>(cell.opCount(nas::Op::MaxPool3x3));
 
-        for (size_t c = 0; c < sims.size(); c++) {
-            sim::PerfResult r = sims[c].run(net, &cell);
-            rec.latencyMs[c] = static_cast<float>(r.latencyMs);
-            rec.energyMj[c] = static_cast<float>(r.energyMj);
+        for (size_t c = 0; c < results.size(); c++) {
+            rec.latencyMs[c] = static_cast<float>(results[c].latencyMs);
+            rec.energyMj[c] = static_cast<float>(results[c].energyMj);
         }
     }, threads);
 }
@@ -74,8 +80,8 @@ buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
 {
     nas::Dataset ds;
     ds.records.resize(cells.size());
-    auto sims = makeSimulators();
-    simulateRange(cells, 0, cells.size(), sims, ds.records.data(),
+    auto contexts = makeEvalContexts(threads);
+    simulateRange(cells, 0, cells.size(), contexts, ds.records.data(),
                   threads);
     return ds;
 }
@@ -405,7 +411,7 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
     if (!partial || !manifest)
         etpu_fatal("cannot open build state for ", out_path);
 
-    auto sims = makeSimulators();
+    auto contexts = makeEvalContexts(opts.threads);
     std::vector<nas::ModelRecord> shard_records;
     std::future<bool> writer;
     bool stopped = false;
@@ -417,7 +423,7 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
         }
         auto [begin, end] = nas::shardRange(cells.size(), n_shards, s);
         shard_records.resize(end - begin);
-        simulateRange(cells, begin, end, sims, shard_records.data(),
+        simulateRange(cells, begin, end, contexts, shard_records.data(),
                       opts.threads);
         nas::ShardSegment seg = nas::encodeShardSegment(
             shard_records.data(), shard_records.size());

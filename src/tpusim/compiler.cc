@@ -22,16 +22,21 @@ Compiler::Compiler(const arch::AcceleratorConfig &config,
 }
 
 bool
-Compiler::cellTriggersFallback(const nas::CellSpec &cell) const
+Compiler::cellIsPoolDominated(const nas::CellSpec &cell)
 {
-    if (!config_.compiler.fallbackOnPoolDominatedCells)
-        return false;
     // No 3x3 convolution to anchor operator fusion, and the cell body is
     // dominated by pooling: the older toolchain partitions the cell off
     // the accelerator (paper section 3).
     return cell.opCount(nas::Op::Conv3x3) == 0 &&
            cell.opCount(nas::Op::MaxPool3x3) >
                cell.opCount(nas::Op::Conv1x1) + 1;
+}
+
+bool
+Compiler::cellTriggersFallback(const nas::CellSpec &cell) const
+{
+    return config_.compiler.fallbackOnPoolDominatedCells &&
+           cellIsPoolDominated(cell);
 }
 
 uint64_t
@@ -96,19 +101,21 @@ Compiler::spatialUtilization(const nas::Layer &layer) const
     return pixels / (tiles * pes);
 }
 
-Program
-Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
+void
+Compiler::lower(const nas::Network &net, const nas::CellSpec *cell,
+                Program &prog)
 {
-    Program prog;
-    prog.parameterCaching = config_.compiler.parameterCaching;
-    prog.weightCacheBudget = weightCacheBudget();
+    prog.ops.resize(net.layers.size());
+    prog.deps.assign(net.deps.begin(), net.deps.end());
+    prog.totalWeightBytes = 0;
+    prog.peakActivationBytes = 0;
+    prog.poolDominated = cell && cellIsPoolDominated(*cell);
 
-    bool fallback = cell && cellTriggersFallback(*cell);
-
-    prog.ops.reserve(net.layers.size());
+    int max_cell = -1;
     for (size_t i = 0; i < net.layers.size(); i++) {
         const nas::Layer &layer = net.layers[i];
-        CompiledOp op;
+        CompiledOp &op = prog.ops[i];
+        op = CompiledOp{};
         op.layer = static_cast<int>(i);
         op.kind = layer.kind;
         op.macs = layer.macs();
@@ -116,10 +123,40 @@ Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
         op.weightBytes = layer.weightBytes();
         op.inputBytes = layer.inputBytes();
         op.outputBytes = layer.outputBytes();
+        op.depsBegin = layer.depsBegin;
+        op.depsCount = layer.depsCount;
+        max_cell = std::max(max_cell, layer.cellIndex);
+
+        prog.totalWeightBytes += layer.weightBytes();
+        uint64_t footprint = layer.inputBytes() + layer.outputBytes();
+        prog.peakActivationBytes =
+            std::max(prog.peakActivationBytes, footprint);
+    }
+    prog.cellInstances = max_cell + 1;
+}
+
+void
+Compiler::annotate(const nas::Network &net, Program &prog) const
+{
+    prog.parameterCaching = config_.compiler.parameterCaching;
+    prog.weightCacheBudget = weightCacheBudget();
+    prog.cachedWeightBytes = 0;
+
+    bool fallback = prog.poolDominated &&
+                    config_.compiler.fallbackOnPoolDominatedCells;
+    // Count partitioned cell instances (for the host-switch cost).
+    prog.fallbackCellInstances = fallback ? prog.cellInstances : 0;
+
+    for (auto &op : prog.ops) {
+        const nas::Layer &layer =
+            net.layers[static_cast<size_t>(op.layer)];
         op.laneUtil = laneUtilization(layer);
         op.coreUtil = coreUtilization(layer);
         op.spatialUtil = spatialUtilization(layer);
-        op.deps.assign(layer.deps.begin(), layer.deps.end());
+        op.cpuFallback = false;
+        op.dramActBytes = 0;
+        op.weightStreamBytes = 0;
+        op.weightCoreResidentBytes = 0;
         // The vertex operations of a fallback cell run on the host CPU
         // with DRAM round trips at the partition boundary; projections
         // and concat/add glue stay on the accelerator.
@@ -129,20 +166,6 @@ Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
             op.cpuFallback = true;
             op.dramActBytes = op.inputBytes + op.outputBytes;
         }
-        prog.ops.push_back(std::move(op));
-
-        prog.totalWeightBytes += layer.weightBytes();
-        uint64_t footprint = layer.inputBytes() + layer.outputBytes();
-        prog.peakActivationBytes =
-            std::max(prog.peakActivationBytes, footprint);
-    }
-
-    if (fallback) {
-        // Count partitioned cell instances (for the host-switch cost).
-        int max_cell = -1;
-        for (const auto &l : net.layers)
-            max_cell = std::max(max_cell, l.cellIndex);
-        prog.fallbackCellInstances = max_cell + 1;
     }
 
     // Activation spill: double-buffered working set beyond the PE
@@ -187,6 +210,14 @@ Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
         prog.cachedWeightBytes += core_cached + pe_cached;
         op.weightStreamBytes = op.weightBytes - core_cached - pe_cached;
     }
+}
+
+Program
+Compiler::compile(const nas::Network &net, const nas::CellSpec *cell) const
+{
+    Program prog;
+    lower(net, cell, prog);
+    annotate(net, prog);
     return prog;
 }
 

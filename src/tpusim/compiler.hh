@@ -34,6 +34,11 @@ class Compiler
     /**
      * Compile a lowered network.
      *
+     * Equivalent to lower() followed by annotate() on a fresh Program;
+     * the hot path (sim::EvalContext) calls the passes separately so
+     * the config-independent lowering runs once per cell while each
+     * accelerator configuration only pays for its annotation.
+     *
      * @param net The network (from nas::buildNetwork).
      * @param cell The originating cell (drives fallback decisions);
      *        pass nullptr for hand-built networks.
@@ -41,6 +46,35 @@ class Compiler
      */
     Program compile(const nas::Network &net,
                     const nas::CellSpec *cell = nullptr) const;
+
+    /**
+     * Config-independent compilation pass: rebuild @p prog's ops from
+     * @p net — per-op MAC/vector-op/byte counts, dependency slices,
+     * structural totals and the pool-dominance fallback predicate —
+     * reusing the Program's storage (no allocation once capacities
+     * have peaked). The result must be annotate()d before simulation.
+     */
+    static void lower(const nas::Network &net, const nas::CellSpec *cell,
+                      Program &prog);
+
+    /**
+     * Per-configuration annotation pass: overwrite the config-dependent
+     * fields of a lowered @p prog — tiling utilizations, CPU-fallback
+     * marking, activation spill and the parameter-caching allocation —
+     * for this compiler's target. Idempotent; a single lowered Program
+     * can be re-annotated for each configuration in turn.
+     *
+     * @param net The network @p prog was lowered from.
+     * @param prog The lowered program (from lower()).
+     */
+    void annotate(const nas::Network &net, Program &prog) const;
+
+    /**
+     * @return true if the cell body is max-pool dominated with no 3x3
+     * convolution anchor (the structural half of the fallback
+     * predicate, independent of the configured target).
+     */
+    static bool cellIsPoolDominated(const nas::CellSpec &cell);
 
     /**
      * @return true if the older-toolchain CPU fallback triggers for

@@ -1,0 +1,36 @@
+#include "eval_context.hh"
+
+namespace etpu::sim
+{
+
+EvalContext::EvalContext()
+    : EvalContext(std::span<const arch::AcceleratorConfig>(
+          arch::allConfigs()))
+{
+}
+
+EvalContext::EvalContext(std::span<const arch::AcceleratorConfig> configs,
+                         const Calibration &cal)
+{
+    compilers_.reserve(configs.size());
+    simulators_.reserve(configs.size());
+    for (const auto &cfg : configs) {
+        compilers_.emplace_back(cfg, cal);
+        simulators_.emplace_back(cfg, cal);
+    }
+    results_.resize(configs.size());
+}
+
+std::span<const PerfResult>
+EvalContext::evaluate(const nas::CellSpec &cell)
+{
+    nas::buildNetworkInto(cell, net_);
+    Compiler::lower(net_, &cell, prog_);
+    for (size_t c = 0; c < simulators_.size(); c++) {
+        compilers_[c].annotate(net_, prog_);
+        results_[c] = simulators_[c].run(prog_, scratch_);
+    }
+    return results_;
+}
+
+} // namespace etpu::sim

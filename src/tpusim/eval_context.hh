@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Per-worker reusable state for the characterization hot path. The
+ * campaign (pipeline::simulateRange) evaluates every cell on every
+ * accelerator configuration; constructing a Network, a Program and
+ * simulator timeline scratch per cell — and a validated Compiler and
+ * Simulator per cell *per config* — dominated the inner loop. An
+ * EvalContext owns all of that once: networks rebuild in place
+ * (nas::buildNetworkInto), the config-independent compile pass
+ * (Compiler::lower) runs once per cell into a reused Program, each
+ * configuration re-annotates it (Compiler::annotate), and the
+ * simulator runs against persistent scratch. After warm-up, evaluating
+ * a cell performs zero heap allocations.
+ */
+
+#ifndef ETPU_TPUSIM_EVAL_CONTEXT_HH
+#define ETPU_TPUSIM_EVAL_CONTEXT_HH
+
+#include <span>
+#include <vector>
+
+#include "arch/config.hh"
+#include "nasbench/cell_spec.hh"
+#include "nasbench/network.hh"
+#include "tpusim/compiler.hh"
+#include "tpusim/simulator.hh"
+
+namespace etpu::sim
+{
+
+/** Reusable build -> compile -> simulate pipeline for one worker. */
+class EvalContext
+{
+  public:
+    /** Evaluate on the three studied configurations (paper order). */
+    EvalContext();
+
+    /**
+     * Evaluate on the given configurations, in order.
+     *
+     * @param configs Target accelerators (validated here, once).
+     * @param cal Calibration constants (default: tuned values).
+     */
+    explicit EvalContext(std::span<const arch::AcceleratorConfig> configs,
+                         const Calibration &cal = defaultCalibration());
+
+    /** Number of configured accelerators. */
+    size_t numConfigs() const { return simulators_.size(); }
+
+    /**
+     * Characterize @p cell on every configured accelerator.
+     *
+     * @return One PerfResult per configuration, in construction order.
+     *         The span — and network() — stay valid until the next
+     *         evaluate() call on this context.
+     */
+    std::span<const PerfResult> evaluate(const nas::CellSpec &cell);
+
+    /** The lowered network of the last evaluate()d cell. */
+    const nas::Network &network() const { return net_; }
+
+  private:
+    std::vector<Compiler> compilers_;
+    std::vector<Simulator> simulators_;
+    nas::Network net_;
+    Program prog_;
+    SimScratch scratch_;
+    std::vector<PerfResult> results_;
+};
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_EVAL_CONTEXT_HH

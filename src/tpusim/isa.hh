@@ -11,6 +11,7 @@
 #define ETPU_TPUSIM_ISA_HH
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "nasbench/network.hh"
@@ -18,7 +19,13 @@
 namespace etpu::sim
 {
 
-/** One scheduled instruction (a lowered layer). */
+/**
+ * One scheduled instruction (a lowered layer).
+ *
+ * Trivially copyable: producer indices live in the owning Program's
+ * flat deps arena (read via Program::opDeps), so re-lowering into a
+ * reused Program never churns per-op heap buffers.
+ */
 struct CompiledOp
 {
     int layer = -1;                 //!< index into Network::layers
@@ -36,22 +43,48 @@ struct CompiledOp
     double coreUtil = 1.0;
     double spatialUtil = 1.0;
     bool cpuFallback = false;       //!< runs on the host CPU
-    std::vector<int32_t> deps;      //!< producer op indices
+    uint32_t depsBegin = 0;         //!< offset of the producer slice
+    uint32_t depsCount = 0;         //!< producer count (Program::opDeps)
 
     /** Combined compute efficiency from the tiling quantization. */
     double efficiency(double floor) const;
 };
 
-/** A compiled network ready for simulation. */
+/**
+ * A compiled network ready for simulation.
+ *
+ * The fields below the arena split into two groups, mirroring the two
+ * compiler passes (Compiler::lower / Compiler::annotate): structural
+ * fields depend only on the network/cell and survive re-annotation for
+ * another accelerator configuration; annotated fields are rewritten by
+ * every annotate() call.
+ */
 struct Program
 {
     std::vector<CompiledOp> ops;
+    /** Flat producer-index arena; op i's slice is via opDeps(). */
+    std::vector<int32_t> deps;
+
+    // Structural (set by Compiler::lower, config-independent).
     uint64_t totalWeightBytes = 0;
+    uint64_t peakActivationBytes = 0;
+    /** Cell instances in the network (numStacks * cellsPerStack). */
+    int cellInstances = 0;
+    /** Cell body is pool-dominated with no 3x3 conv anchor. */
+    bool poolDominated = false;
+
+    // Annotated (set by Compiler::annotate, per configuration).
     uint64_t cachedWeightBytes = 0;
     uint64_t weightCacheBudget = 0;
-    uint64_t peakActivationBytes = 0;
     int fallbackCellInstances = 0; //!< cell instances partitioned to CPU
     bool parameterCaching = true;
+
+    /** Producer op indices of @p op. */
+    std::span<const int32_t>
+    opDeps(const CompiledOp &op) const
+    {
+        return {deps.data() + op.depsBegin, op.depsCount};
+    }
 };
 
 } // namespace etpu::sim

@@ -28,6 +28,13 @@ Simulator::Simulator(const arch::AcceleratorConfig &config,
 PerfResult
 Simulator::run(const Program &prog) const
 {
+    SimScratch scratch;
+    return run(prog, scratch);
+}
+
+PerfResult
+Simulator::run(const Program &prog, SimScratch &scratch) const
+{
     PerfResult res;
     res.numOps = static_cast<int>(prog.ops.size());
     res.fallbackCellInstances = prog.fallbackCellInstances;
@@ -44,8 +51,12 @@ Simulator::run(const Program &prog) const
         config_.opOverheadPerPeCycles * config_.numPes() +
         config_.opOverheadPerCoreCycles * config_.coresPerPe;
 
-    // Timeline state, in seconds.
-    std::vector<double> finish(prog.ops.size(), 0.0);
+    const arch::EnergyModel &em = config_.energy;
+
+    // Timeline state, in seconds (assign/clear reuse the scratch
+    // capacity across runs).
+    std::vector<double> &finish = scratch.finish;
+    finish.assign(prog.ops.size(), 0.0);
     double compute_free = 0.0; //!< when the PE array frees
     double dma_free = 0.0;     //!< when the DMA engine frees
     double cpu_free = 0.0;     //!< when the host CPU frees
@@ -53,13 +64,20 @@ Simulator::run(const Program &prog) const
     // Streamed weights reuse a small set of staging buffers, so the
     // DMA may run only `prefetchDepth` streamed instructions ahead of
     // the compute consuming them.
-    std::vector<double> streamed_starts;
+    std::vector<double> &streamed_starts = scratch.streamedStarts;
+    streamed_starts.clear();
+
+    // Per-op vector-op energy, folded into this loop; summed (in op
+    // order, preserving the historical rounding) by the energy model
+    // below. Fallback ops burn no accelerator vector energy.
+    std::vector<double> &vec_pj = scratch.vecPj;
+    vec_pj.assign(prog.ops.size(), 0.0);
 
     for (size_t i = 0; i < prog.ops.size(); i++) {
         const CompiledOp &op = prog.ops[i];
 
         double deps_ready = 0.0;
-        for (int32_t d : op.deps)
+        for (int32_t d : prog.opDeps(op))
             deps_ready = std::max(deps_ready, finish[d]);
 
         // Spill / fallback round-trip traffic is serialized with the
@@ -124,6 +142,7 @@ Simulator::run(const Program &prog) const
         double cycles = op_overhead_cycles +
                         std::max(mac_cycles + vec_cycles, dist_cycles) +
                         noc_cycles;
+        vec_pj[i] = static_cast<double>(op.vectorOps) * em.pjPerVectorOp;
         start = std::max({deps_ready, compute_free, weight_ready});
         duration = cycles / clock_hz + act_dram_time;
         compute_free = start + duration;
@@ -158,15 +177,12 @@ Simulator::run(const Program &prog) const
     // over the accelerator's *active* time and idle power while parked
     // (so host-partitioned models burn little accelerator energy, as in
     // the paper's Table 5).
-    const arch::EnergyModel &em = config_.energy;
     res.energyAvailable = em.available;
     double pj = static_cast<double>(res.macs) * em.pjPerMac +
                 static_cast<double>(res.sramBytes) * em.pjPerSramByte +
                 static_cast<double>(res.dramBytes) * em.pjPerDramByte;
-    for (const auto &op : prog.ops) {
-        if (!op.cpuFallback)
-            pj += static_cast<double>(op.vectorOps) * em.pjPerVectorOp;
-    }
+    for (size_t i = 0; i < prog.ops.size(); i++)
+        pj += vec_pj[i];
     double active_ms =
         std::min(res.latencyMs, std::max(res.computeBusyMs,
                                          res.dmaBusyMs));

@@ -13,6 +13,7 @@
 #define ETPU_TPUSIM_SIMULATOR_HH
 
 #include <array>
+#include <vector>
 
 #include "arch/config.hh"
 #include "tpusim/compiler.hh"
@@ -20,6 +21,19 @@
 
 namespace etpu::sim
 {
+
+/**
+ * Reusable timeline scratch for Simulator::run. A caller simulating
+ * many programs (sim::EvalContext) keeps one instance so the per-run
+ * working vectors stop being per-call heap allocations; the vectors
+ * grow to the largest program seen, then stay put.
+ */
+struct SimScratch
+{
+    std::vector<double> finish;         //!< per-op finish time, seconds
+    std::vector<double> streamedStarts; //!< starts of streamed ops
+    std::vector<double> vecPj;          //!< per-op vector-op energy, pJ
+};
 
 /** Simulation outcome with accounting breakdowns. */
 struct PerfResult
@@ -53,6 +67,12 @@ class Simulator
 
     /** Simulate a compiled program. */
     PerfResult run(const Program &prog) const;
+
+    /**
+     * Simulate a compiled program using caller-owned scratch — the
+     * allocation-free hot path. Identical results to run(prog).
+     */
+    PerfResult run(const Program &prog, SimScratch &scratch) const;
 
     /** Compile and simulate a network in one step. */
     PerfResult run(const nas::Network &net,

@@ -222,7 +222,7 @@ TEST(CompilerProgram, OneOpPerLayerWithSameDeps)
     for (size_t i = 0; i < p.ops.size(); i++) {
         EXPECT_EQ(p.ops[i].layer, static_cast<int>(i));
         EXPECT_EQ(p.ops[i].kind, net.layers[i].kind);
-        ASSERT_EQ(p.ops[i].deps.size(), net.layers[i].deps.size());
+        ASSERT_EQ(p.opDeps(p.ops[i]).size(), net.layerDeps(i).size());
     }
 }
 

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Tests for the reusable characterization hot path: EvalContext and the
+ * split compile passes must match the one-shot APIs exactly, in-place
+ * network rebuilds must equal fresh builds, and — the point of the
+ * whole refactor — a warmed context must evaluate cells without heap
+ * allocation. The allocation counter below replaces the global
+ * operators for this binary, so these tests live in their own suite.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "nasbench/accuracy.hh"
+#include "nasbench/network.hh"
+#include "tpusim/eval_context.hh"
+
+namespace
+{
+
+std::atomic<size_t> allocationCount{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace
+{
+
+using namespace etpu;
+using nas::Op;
+
+/** A shape-diverse working set: branching, chains, fallback, spill. */
+std::vector<nas::CellSpec>
+workingSet()
+{
+    std::vector<nas::CellSpec> cells;
+    cells.push_back(nas::anchorCells()[0].cell); // 7-vertex branching
+    cells.push_back(nas::makeChainCell({Op::Conv3x3}));
+    cells.push_back(nas::makeChainCell(
+        {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3})); // fallback
+    cells.push_back(nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+         Op::Conv3x3})); // weight spill
+    cells.push_back(nas::makeChainCell({Op::Conv1x1, Op::MaxPool3x3}));
+    return cells;
+}
+
+void
+expectSameLayers(const nas::Network &a, const nas::Network &b)
+{
+    ASSERT_EQ(a.layers.size(), b.layers.size());
+    for (size_t i = 0; i < a.layers.size(); i++) {
+        const nas::Layer &la = a.layers[i];
+        const nas::Layer &lb = b.layers[i];
+        EXPECT_EQ(la.kind, lb.kind) << "layer " << i;
+        EXPECT_EQ(la.kernel, lb.kernel) << "layer " << i;
+        EXPECT_EQ(la.stride, lb.stride) << "layer " << i;
+        EXPECT_EQ(la.h, lb.h) << "layer " << i;
+        EXPECT_EQ(la.w, lb.w) << "layer " << i;
+        EXPECT_EQ(la.cin, lb.cin) << "layer " << i;
+        EXPECT_EQ(la.cout, lb.cout) << "layer " << i;
+        EXPECT_EQ(la.outH, lb.outH) << "layer " << i;
+        EXPECT_EQ(la.outW, lb.outW) << "layer " << i;
+        EXPECT_EQ(la.fanIn, lb.fanIn) << "layer " << i;
+        EXPECT_EQ(la.cellIndex, lb.cellIndex) << "layer " << i;
+        EXPECT_EQ(la.vertex, lb.vertex) << "layer " << i;
+        ASSERT_EQ(la.depsCount, lb.depsCount) << "layer " << i;
+        auto da = a.layerDeps(i);
+        auto db = b.layerDeps(i);
+        for (size_t d = 0; d < da.size(); d++)
+            EXPECT_EQ(da[d], db[d]) << "layer " << i << " dep " << d;
+    }
+}
+
+TEST(BuildNetworkInto, MatchesFreshBuildAfterReuse)
+{
+    // Rebuild through shrinking and growing shapes; every rebuild must
+    // equal a fresh buildNetwork of the same cell.
+    nas::Network reused;
+    auto cells = workingSet();
+    // Two passes so every transition (big->small, small->big) occurs.
+    for (int pass = 0; pass < 2; pass++) {
+        for (const auto &cell : cells) {
+            nas::buildNetworkInto(cell, reused);
+            nas::Network fresh = nas::buildNetwork(cell);
+            expectSameLayers(fresh, reused);
+            EXPECT_EQ(fresh.trainableParams(), reused.trainableParams());
+            EXPECT_EQ(fresh.totalMacs(), reused.totalMacs());
+        }
+    }
+}
+
+TEST(CompilerSplit, LowerPlusAnnotateMatchesCompile)
+{
+    for (const auto &cell : workingSet()) {
+        nas::Network net = nas::buildNetwork(cell);
+        // One reused program, annotated for each config in turn, must
+        // match the one-shot compile for that config.
+        sim::Program reused;
+        sim::Compiler::lower(net, &cell, reused);
+        for (const auto &cfg : arch::allConfigs()) {
+            sim::Compiler compiler(cfg);
+            compiler.annotate(net, reused);
+            sim::Program fresh = compiler.compile(net, &cell);
+            ASSERT_EQ(fresh.ops.size(), reused.ops.size());
+            EXPECT_EQ(fresh.totalWeightBytes, reused.totalWeightBytes);
+            EXPECT_EQ(fresh.cachedWeightBytes, reused.cachedWeightBytes);
+            EXPECT_EQ(fresh.weightCacheBudget, reused.weightCacheBudget);
+            EXPECT_EQ(fresh.peakActivationBytes,
+                      reused.peakActivationBytes);
+            EXPECT_EQ(fresh.fallbackCellInstances,
+                      reused.fallbackCellInstances);
+            EXPECT_EQ(fresh.parameterCaching, reused.parameterCaching);
+            for (size_t i = 0; i < fresh.ops.size(); i++) {
+                const sim::CompiledOp &fo = fresh.ops[i];
+                const sim::CompiledOp &ro = reused.ops[i];
+                EXPECT_EQ(fo.macs, ro.macs);
+                EXPECT_EQ(fo.vectorOps, ro.vectorOps);
+                EXPECT_EQ(fo.weightBytes, ro.weightBytes);
+                EXPECT_EQ(fo.weightStreamBytes, ro.weightStreamBytes);
+                EXPECT_EQ(fo.weightCoreResidentBytes,
+                          ro.weightCoreResidentBytes);
+                EXPECT_EQ(fo.dramActBytes, ro.dramActBytes);
+                EXPECT_EQ(fo.cpuFallback, ro.cpuFallback);
+                EXPECT_EQ(fo.laneUtil, ro.laneUtil);
+                EXPECT_EQ(fo.coreUtil, ro.coreUtil);
+                EXPECT_EQ(fo.spatialUtil, ro.spatialUtil);
+                ASSERT_EQ(fresh.opDeps(fo).size(),
+                          reused.opDeps(ro).size());
+            }
+        }
+    }
+}
+
+TEST(SimScratch, ScratchRunMatchesPlainRun)
+{
+    sim::SimScratch scratch;
+    for (const auto &cell : workingSet()) {
+        nas::Network net = nas::buildNetwork(cell);
+        for (const auto &cfg : arch::allConfigs()) {
+            sim::Simulator simulator(cfg);
+            sim::Program prog =
+                sim::Compiler(cfg).compile(net, &cell);
+            sim::PerfResult plain = simulator.run(prog);
+            sim::PerfResult reused = simulator.run(prog, scratch);
+            EXPECT_EQ(plain.latencyMs, reused.latencyMs);
+            EXPECT_EQ(plain.energyMj, reused.energyMj);
+            EXPECT_EQ(plain.cycles, reused.cycles);
+            EXPECT_EQ(plain.macs, reused.macs);
+            EXPECT_EQ(plain.dramBytes, reused.dramBytes);
+            EXPECT_EQ(plain.sramBytes, reused.sramBytes);
+            EXPECT_EQ(plain.computeBusyMs, reused.computeBusyMs);
+            EXPECT_EQ(plain.dmaBusyMs, reused.dmaBusyMs);
+            EXPECT_EQ(plain.cpuBusyMs, reused.cpuBusyMs);
+        }
+    }
+}
+
+TEST(EvalContext, MatchesDirectSimulation)
+{
+    sim::EvalContext ctx;
+    ASSERT_EQ(ctx.numConfigs(), arch::allConfigs().size());
+    // Interleave shapes so results can't come from stale state.
+    for (int pass = 0; pass < 2; pass++) {
+        for (const auto &cell : workingSet()) {
+            auto results = ctx.evaluate(cell);
+            for (size_t c = 0; c < results.size(); c++) {
+                sim::Simulator direct(arch::allConfigs()[c]);
+                sim::PerfResult want = direct.runCell(cell);
+                EXPECT_EQ(results[c].latencyMs, want.latencyMs);
+                EXPECT_EQ(results[c].energyMj, want.energyMj);
+                EXPECT_EQ(results[c].macs, want.macs);
+                EXPECT_EQ(results[c].cpuMacs, want.cpuMacs);
+                EXPECT_EQ(results[c].dramBytes, want.dramBytes);
+                EXPECT_EQ(results[c].fallbackCellInstances,
+                          want.fallbackCellInstances);
+            }
+        }
+    }
+}
+
+TEST(EvalContext, NetworkAccessorTracksLastCell)
+{
+    sim::EvalContext ctx;
+    for (const auto &cell : workingSet()) {
+        ctx.evaluate(cell);
+        EXPECT_EQ(ctx.network().trainableParams(),
+                  nas::countTrainableParams(cell));
+    }
+}
+
+// The acceptance criterion of the hot-path refactor: once a context
+// has seen its working set (including every big-to-small-to-big shape
+// transition), characterizing a cell performs ZERO heap allocations —
+// network build, config-independent lowering, per-config annotation
+// and all three simulations included.
+TEST(EvalContext, SteadyStateEvaluationIsAllocationFree)
+{
+    sim::EvalContext ctx;
+    auto cells = workingSet();
+    for (int warm = 0; warm < 2; warm++) {
+        for (const auto &cell : cells)
+            ctx.evaluate(cell);
+    }
+
+    size_t before = allocationCount.load(std::memory_order_relaxed);
+    for (const auto &cell : cells)
+        ctx.evaluate(cell);
+    size_t after = allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " heap allocations in steady state";
+}
+
+} // namespace

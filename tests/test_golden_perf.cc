@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Golden-value regression tests for the characterization numerics.
+ *
+ * The dataset cache contract is that rebuilding the campaign — on any
+ * thread count, through any sharding, before or after a hot-path
+ * refactor — reproduces the same bytes. These tests pin the exact
+ * float bit patterns of latencyMs/energyMj for a hand-picked set of
+ * cells (covering the CPU-fallback and weight-spilling compiler paths)
+ * on every accelerator configuration, so a refactor that silently
+ * drifts the numerics fails here with a named cell and config instead
+ * of a mysterious cache CRC mismatch.
+ *
+ * The values were captured from the implementation as of PR 3 (the
+ * EvalContext refactor, verified byte-identical to the pre-refactor
+ * hot path). If a future change *intentionally* alters the model,
+ * regenerate them (print the bit patterns with std::bit_cast) and bump
+ * the dataset cache goldens in test_pipeline.cc in the same commit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+
+#include "nasbench/accuracy.hh"
+#include "nasbench/dataset.hh"
+#include "nasbench/network.hh"
+#include "tpusim/eval_context.hh"
+
+namespace
+{
+
+using namespace etpu;
+using nas::Op;
+
+/** Pinned per-config result bits: {latencyMs, energyMj} as float bits. */
+struct GoldenCell
+{
+    const char *name;
+    nas::CellSpec cell;
+    uint32_t latency[nas::numAccelerators];
+    uint32_t energy[nas::numAccelerators];
+};
+
+std::vector<GoldenCell>
+goldenCells()
+{
+    const auto &anchors = nas::anchorCells();
+    return {
+        {"chain-conv3x3", nas::makeChainCell({Op::Conv3x3}),
+         {0x3ee21772, 0x3f7aa440, 0x3f86b13d},
+         {0x3ffaab0e, 0x404540da, 0x4046dd11}},
+        {"chain-conv1x1", nas::makeChainCell({Op::Conv1x1}),
+         {0x3dfba0b7, 0x3e3de639, 0x3e44d952},
+         {0x3ec2892d, 0x3edff6c0, 0x3efa91aa}},
+        {"chain-maxpool", nas::makeChainCell({Op::MaxPool3x3}),
+         {0x3de7e7d2, 0x3df78efb, 0x3e02ba96},
+         {0x3e92ba21, 0x3e8584d3, 0x3e998311}},
+        // Pool-dominated, no conv3x3 anchor: the V1 toolchain partitions
+        // the cell body onto the host CPU.
+        {"pool-dominated",
+         nas::makeChainCell(
+             {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3}),
+         {0x3fcbf320, 0x3e2d4107, 0x3e334226},
+         {0x403ec6f8, 0x3eb50171, 0x3ecd0042}},
+        // Five stacked 3x3 convolutions: weights exceed every config's
+        // cache budget, exercising the streaming/spill path.
+        {"conv3x3-deep",
+         nas::makeChainCell({Op::Conv3x3, Op::Conv3x3, Op::Conv3x3,
+                             Op::Conv3x3, Op::Conv3x3}),
+         {0x40bc1ca8, 0x40a48d4f, 0x40b8687e},
+         {0x41dd849c, 0x4194a963, 0x41a49ed7}},
+        {"mixed-ops",
+         nas::makeChainCell({Op::Conv3x3, Op::MaxPool3x3, Op::Conv1x1}),
+         {0x3f0c6750, 0x3f983275, 0x3f9b4f07},
+         {0x401a8b45, 0x40634bfb, 0x4065c1ff}},
+        {"conv1x1-maxpool",
+         nas::makeChainCell({Op::Conv1x1, Op::MaxPool3x3}),
+         {0x3e0e9258, 0x3e56a2fe, 0x3e5d1d19},
+         {0x3ee0a50c, 0x3ef7b50f, 0x3f0a2821}},
+        // Paper-showcased branching cells (7 vertices).
+        {"fig7a-best", anchors[0].cell,
+         {0x40a0e028, 0x40940c88, 0x40a3f51c},
+         {0x41bc1d9f, 0x4181bcbc, 0x418f39a4}},
+        {"fig8a-second", anchors[1].cell,
+         {0x402b32b6, 0x403df9a6, 0x4049fb0b},
+         {0x41378a88, 0x411560e3, 0x412245b3}},
+        {"rank3", anchors[2].cell,
+         {0x4001c61b, 0x4014a364, 0x401f8992},
+         {0x410b85d4, 0x40f74822, 0x41057c67}},
+    };
+}
+
+TEST(GoldenPerf, PinnedLatencyAndEnergyBitsPerConfig)
+{
+    for (const auto &g : goldenCells()) {
+        for (size_t c = 0; c < arch::allConfigs().size(); c++) {
+            sim::Simulator simulator(arch::allConfigs()[c]);
+            sim::PerfResult r = simulator.runCell(g.cell);
+            float lat = static_cast<float>(r.latencyMs);
+            float en = static_cast<float>(r.energyMj);
+            EXPECT_EQ(std::bit_cast<uint32_t>(lat), g.latency[c])
+                << g.name << " latency drifted on "
+                << arch::allConfigs()[c].name << ": got " << lat;
+            EXPECT_EQ(std::bit_cast<uint32_t>(en), g.energy[c])
+                << g.name << " energy drifted on "
+                << arch::allConfigs()[c].name << ": got " << en;
+        }
+    }
+}
+
+TEST(GoldenPerf, EvalContextReproducesPinnedBits)
+{
+    // The same goldens through the reusable hot path, in one context,
+    // so scratch reuse across cells cannot leak state into results.
+    sim::EvalContext ctx;
+    for (const auto &g : goldenCells()) {
+        auto results = ctx.evaluate(g.cell);
+        for (size_t c = 0; c < results.size(); c++) {
+            float lat = static_cast<float>(results[c].latencyMs);
+            float en = static_cast<float>(results[c].energyMj);
+            EXPECT_EQ(std::bit_cast<uint32_t>(lat), g.latency[c])
+                << g.name << " latency drifted on config " << c;
+            EXPECT_EQ(std::bit_cast<uint32_t>(en), g.energy[c])
+                << g.name << " energy drifted on config " << c;
+        }
+    }
+}
+
+// The golden picks must keep exercising the compiler paths they were
+// chosen for; if the fallback/spill behavior moves, the pinned bits
+// above stop covering those paths and need re-picking.
+TEST(GoldenPerf, PicksCoverFallbackAndSpillPaths)
+{
+    auto pool = nas::makeChainCell(
+        {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3});
+    auto deep = nas::makeChainCell({Op::Conv3x3, Op::Conv3x3,
+                                    Op::Conv3x3, Op::Conv3x3,
+                                    Op::Conv3x3});
+
+    EXPECT_TRUE(sim::Compiler::cellIsPoolDominated(pool));
+    EXPECT_TRUE(
+        sim::Compiler(arch::configV1()).cellTriggersFallback(pool));
+    EXPECT_FALSE(
+        sim::Compiler(arch::configV2()).cellTriggersFallback(pool));
+
+    nas::Network pool_net = nas::buildNetwork(pool);
+    sim::Program pool_prog =
+        sim::Compiler(arch::configV1()).compile(pool_net, &pool);
+    bool any_fallback = false;
+    for (const auto &op : pool_prog.ops)
+        any_fallback = any_fallback || op.cpuFallback;
+    EXPECT_TRUE(any_fallback);
+    EXPECT_GT(pool_prog.fallbackCellInstances, 0);
+
+    nas::Network deep_net = nas::buildNetwork(deep);
+    for (const auto &cfg : arch::allConfigs()) {
+        sim::Program prog = sim::Compiler(cfg).compile(deep_net, &deep);
+        uint64_t streamed = 0;
+        for (const auto &op : prog.ops)
+            streamed += op.weightStreamBytes;
+        EXPECT_GT(streamed, 0u)
+            << "conv3x3-deep no longer spills weights on " << cfg.name;
+    }
+}
+
+} // namespace

@@ -30,6 +30,15 @@ TEST(Matrix, ZeroInitialized)
     }
 }
 
+// Regression: a negative shape must hit the shape panic, not wrap to a
+// huge size_t and die in bad_alloc inside the storage allocation.
+TEST(Matrix, NegativeShapePanics)
+{
+    EXPECT_DEATH(Matrix(-1, 4), "negative matrix shape -1x4");
+    EXPECT_DEATH(Matrix(4, -1), "negative matrix shape 4x-1");
+    EXPECT_DEATH(Matrix(-3, -7), "negative matrix shape");
+}
+
 TEST(Matrix, Matmul2x2)
 {
     Matrix a = fill(2, 2, 1); // [1 2; 3 4]

@@ -121,7 +121,7 @@ TEST(Network, DepsAreTopological)
     auto cell = makeChainCell({Op::Conv3x3, Op::Conv1x1});
     Network net = buildNetwork(cell);
     for (size_t i = 0; i < net.layers.size(); i++) {
-        for (int32_t dep : net.layers[i].deps) {
+        for (int32_t dep : net.layerDeps(i)) {
             EXPECT_GE(dep, 0);
             EXPECT_LT(dep, static_cast<int32_t>(i));
         }
