@@ -22,6 +22,35 @@ dataset()
     return pipeline::sharedDataset();
 }
 
+const query::DatasetIndex &
+index()
+{
+    static const query::DatasetIndex idx =
+        query::DatasetIndex::build(dataset());
+    return idx;
+}
+
+const query::Filter &
+accuracyFilterQuery()
+{
+    static const query::Filter f =
+        query::Filter().where({query::MetricKind::Accuracy, 0},
+                              query::CompareOp::Ge,
+                              static_cast<float>(accuracyFilter));
+    return f;
+}
+
+const std::vector<uint32_t> &
+filteredRows()
+{
+    static const std::vector<uint32_t> rows = [] {
+        std::vector<uint32_t> r;
+        index().filterRows(accuracyFilterQuery(), r);
+        return r;
+    }();
+    return rows;
+}
+
 void
 forEachRecord(const std::function<void(const nas::ModelRecord &)> &fn)
 {

@@ -23,6 +23,7 @@
 #include "nasbench/accuracy.hh"
 #include "nasbench/dataset.hh"
 #include "pipeline/builder.hh"
+#include "query/dataset_index.hh"
 
 namespace etpu::bench
 {
@@ -32,6 +33,23 @@ inline constexpr double accuracyFilter = 0.70;
 
 /** The shared dataset (built and cached on first use). */
 const nas::Dataset &dataset();
+
+/**
+ * Columnar index over dataset(), built on first use and shared by the
+ * figure/table benches: filtering, top-k, Pareto fronts and group-by
+ * aggregations all run against this instead of re-scanning records.
+ */
+const query::DatasetIndex &index();
+
+/**
+ * The >=70% accuracy filter as an index Filter. The threshold is
+ * cast through float so boundary records match filteredRecords()
+ * (record accuracy is stored as float).
+ */
+const query::Filter &accuracyFilterQuery();
+
+/** Rows of index() passing the accuracy filter, in dataset order. */
+const std::vector<uint32_t> &filteredRows();
 
 /**
  * Visit every record once, in dataset order, without requiring the

@@ -7,7 +7,6 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
-#include <map>
 
 #include "bench_common.hh"
 #include "stats/summary.hh"
@@ -18,20 +17,26 @@ namespace
 using namespace etpu;
 
 void
-printAxis(const char *name, const std::map<int, std::vector<double>> &by)
+printAxis(const char *name, query::Metric key)
 {
+    const auto &idx = bench::index();
+    std::vector<std::pair<double, std::vector<uint32_t>>> groups;
+    idx.groupRows(key, groups, &bench::accuracyFilterQuery());
+
     AsciiTable t(std::string("Figure 10 — accuracy vs ") + name);
     t.header({name, "# models", "mean acc", "p25", "p75"});
     int best = -1;
     double best_mean = -1;
-    for (const auto &[key, accs] : by) {
+    std::vector<double> accs;
+    for (const auto &[k, rows] : groups) {
+        idx.gather({query::MetricKind::Accuracy, 0}, rows, accs);
         auto s = stats::summarize(accs);
         if (s.mean > best_mean) {
             best_mean = s.mean;
-            best = key;
+            best = static_cast<int>(k);
         }
-        t.row({std::to_string(key), fmtCount(accs.size()),
-               fmtDouble(s.mean, 4),
+        t.row({std::to_string(static_cast<int>(k)),
+               fmtCount(accs.size()), fmtDouble(s.mean, 4),
                fmtDouble(stats::quantile(accs, 0.25), 4),
                fmtDouble(stats::quantile(accs, 0.75), 4)});
     }
@@ -43,26 +48,21 @@ printAxis(const char *name, const std::map<int, std::vector<double>> &by)
 void
 report()
 {
-    const auto &recs = bench::filteredRecords();
-    std::map<int, std::vector<double>> by_depth, by_width;
-    for (const auto *r : recs) {
-        by_depth[r->depth].push_back(r->accuracy);
-        by_width[r->width].push_back(r->accuracy);
-    }
-    printAxis("depth", by_depth);
-    printAxis("width", by_width);
+    printAxis("depth", {query::MetricKind::Depth, 0});
+    printAxis("width", {query::MetricKind::Width, 0});
     std::cout << "paper optima: depth 3, width 5\n";
 }
 
 void
 BM_StructureAggregation(benchmark::State &state)
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
     for (auto _ : state) {
-        double sums[16] = {};
-        for (const auto *r : recs)
-            sums[std::min<int>(r->depth, 15)] += r->accuracy;
-        benchmark::DoNotOptimize(sums[3]);
+        query::GroupAggregate by_depth =
+            idx.groupBy({query::MetricKind::Depth, 0},
+                        {{query::MetricKind::Accuracy, 0}},
+                        &bench::accuracyFilterQuery());
+        benchmark::DoNotOptimize(by_depth.counts.data());
     }
 }
 BENCHMARK(BM_StructureAggregation)->Unit(benchmark::kMillisecond);

@@ -10,10 +10,8 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
-#include <map>
 
 #include "bench_common.hh"
-#include "stats/summary.hh"
 
 namespace
 {
@@ -21,25 +19,24 @@ namespace
 using namespace etpu;
 
 void
-printAxis(const char *name, bool by_width)
+printAxis(const char *name, query::Metric key)
 {
-    const auto &recs = bench::filteredRecords();
-    std::map<int, std::array<std::vector<double>, 3>> groups;
-    for (const auto *r : recs) {
-        int key = by_width ? r->width : r->depth;
-        for (int c = 0; c < 3; c++) {
-            groups[key][static_cast<size_t>(c)].push_back(
-                r->latencyMs[static_cast<size_t>(c)]);
-        }
-    }
+    const auto &idx = bench::index();
+    query::GroupAggregate groups =
+        idx.groupBy(key,
+                    {query::latency(0), query::latency(1),
+                     query::latency(2)},
+                    &bench::accuracyFilterQuery());
+
     AsciiTable t(std::string("Figure 11 — latency vs ") + name);
     t.header({name, "# models", "V1 mean ms", "V2 mean ms",
               "V3 mean ms"});
-    for (const auto &[key, lat] : groups) {
-        t.row({std::to_string(key), fmtCount(lat[0].size()),
-               fmtDouble(stats::summarize(lat[0]).mean, 3),
-               fmtDouble(stats::summarize(lat[1]).mean, 3),
-               fmtDouble(stats::summarize(lat[2]).mean, 3)});
+    for (size_t g = 0; g < groups.groups(); g++) {
+        t.row({std::to_string(static_cast<int>(groups.keys[g])),
+               fmtCount(groups.counts[g]),
+               fmtDouble(groups.mean(0, g), 3),
+               fmtDouble(groups.mean(1, g), 3),
+               fmtDouble(groups.mean(2, g), 3)});
     }
     t.print(std::cout);
 }
@@ -47,10 +44,10 @@ printAxis(const char *name, bool by_width)
 void
 report()
 {
-    printAxis("depth", false);
+    printAxis("depth", {query::MetricKind::Depth, 0});
     std::cout << "paper: latency rises with depth, dipping at 4-5 "
                  "(fewer parameters, Table 7)\n\n";
-    printAxis("width", true);
+    printAxis("width", {query::MetricKind::Width, 0});
     std::cout << "paper: wider graphs run faster (more parallelism, "
                  "split channels)\n";
 }
@@ -58,12 +55,13 @@ report()
 void
 BM_GroupByStructure(benchmark::State &state)
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
     for (auto _ : state) {
-        double sums[16] = {};
-        for (const auto *r : recs)
-            sums[std::min<int>(r->width, 15)] += r->latencyMs[1];
-        benchmark::DoNotOptimize(sums[5]);
+        query::GroupAggregate groups =
+            idx.groupBy({query::MetricKind::Width, 0},
+                        {query::latency(1)},
+                        &bench::accuracyFilterQuery());
+        benchmark::DoNotOptimize(groups.counts.data());
     }
 }
 BENCHMARK(BM_GroupByStructure)->Unit(benchmark::kMillisecond);

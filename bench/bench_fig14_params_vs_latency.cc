@@ -13,7 +13,6 @@
 
 #include "bench_common.hh"
 #include "common/csv.hh"
-#include "stats/summary.hh"
 
 namespace
 {
@@ -23,28 +22,25 @@ using namespace etpu;
 void
 report()
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
     const double edges_m[8] = {0, 2, 5, 10, 20, 30, 40, 51};
+    std::vector<double> edges;
+    for (double e : edges_m)
+        edges.push_back(e * 1e6);
+    query::GroupAggregate bands =
+        idx.bucketBy({query::MetricKind::Params, 0}, edges,
+                     {query::latency(0), query::latency(1),
+                      query::latency(2)});
 
     AsciiTable t("Figure 14 — latency by parameter-size band");
     t.header({"Params (millions)", "# models", "V1 mean ms",
               "V2 mean ms", "V3 mean ms", "winner"});
-    for (int b = 0; b + 1 < 8; b++) {
-        std::array<std::vector<double>, 3> lat;
-        for (const auto &r : ds.records) {
-            double m = static_cast<double>(r.params) / 1e6;
-            if (m < edges_m[b] || m >= edges_m[b + 1])
-                continue;
-            for (int c = 0; c < 3; c++) {
-                lat[static_cast<size_t>(c)].push_back(
-                    r.latencyMs[static_cast<size_t>(c)]);
-            }
-        }
-        if (lat[0].empty())
+    for (size_t b = 0; b < bands.groups(); b++) {
+        if (!bands.counts[b])
             continue;
         double means[3];
-        for (int c = 0; c < 3; c++)
-            means[c] = stats::summarize(lat[static_cast<size_t>(c)]).mean;
+        for (size_t c = 0; c < 3; c++)
+            means[c] = bands.mean(c, b);
         int w = 0;
         for (int c = 1; c < 3; c++) {
             if (means[c] < means[w])
@@ -52,7 +48,7 @@ report()
         }
         t.row({fmtDouble(edges_m[b], 0) + "-" +
                    fmtDouble(edges_m[b + 1], 0),
-               fmtCount(lat[0].size()), fmtDouble(means[0], 3),
+               fmtCount(bands.counts[b]), fmtDouble(means[0], 3),
                fmtDouble(means[1], 3), fmtDouble(means[2], 3),
                bench::configName(w)});
     }
@@ -60,13 +56,16 @@ report()
     std::cout << "paper: V1 best for ~5-30M; V2/V3 best beyond the "
                  "caching crossover; V2 ahead of V3\n";
 
+    const auto &params = idx.column({query::MetricKind::Params, 0});
     CsvWriter csv(bench::csvDir() + "/fig14_params_latency.csv");
     csv.row({"params", "v1_ms", "v2_ms", "v3_ms"});
-    size_t stride = std::max<size_t>(1, ds.size() / 20000);
-    for (size_t i = 0; i < ds.size(); i += stride) {
-        const auto &r = ds.records[i];
-        csv.rowDoubles({static_cast<double>(r.params), r.latencyMs[0],
-                        r.latencyMs[1], r.latencyMs[2]});
+    size_t stride = std::max<size_t>(1, idx.size() / 20000);
+    for (size_t i = 0; i < idx.size(); i += stride) {
+        auto row = static_cast<uint32_t>(i);
+        csv.rowDoubles({params[row],
+                        idx.value(query::latency(0), row),
+                        idx.value(query::latency(1), row),
+                        idx.value(query::latency(2), row)});
     }
     std::cout << "scatter series written to " << bench::csvDir()
               << "/fig14_params_latency.csv\n";
@@ -75,14 +74,14 @@ report()
 void
 BM_ParamBandAggregation(benchmark::State &state)
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
+    const std::vector<double> edges = {0,    1e7,  2e7,  3e7,
+                                       4e7,  5e7,  6e7,  7e7, 8e7};
     for (auto _ : state) {
-        double sums[8] = {};
-        for (const auto &r : ds.records) {
-            sums[std::min<uint64_t>(r.params / 10000000, 7)] +=
-                r.latencyMs[2];
-        }
-        benchmark::DoNotOptimize(sums[1]);
+        query::GroupAggregate bands =
+            idx.bucketBy({query::MetricKind::Params, 0}, edges,
+                         {query::latency(2)});
+        benchmark::DoNotOptimize(bands.sums[0].data());
     }
 }
 BENCHMARK(BM_ParamBandAggregation)->Unit(benchmark::kMillisecond);

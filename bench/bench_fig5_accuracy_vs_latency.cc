@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <limits>
 
 #include "bench_common.hh"
 #include "common/csv.hh"
@@ -24,17 +25,16 @@ const double paperConv3x3PerBucket[3] = {1.48, 2.0, 3.0};
 void
 report()
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
+    const auto &rows = bench::filteredRows();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    // Latency buckets: <2, 2-3, 3-4, >=4 ms.
+    const std::vector<double> edges = {-inf, 2.0, 3.0, 4.0, inf};
     for (int c = 0; c < 3; c++) {
-        // Latency buckets: <2, 2-3, 3-4, >=4 ms.
-        double conv3_sum[4] = {};
-        uint64_t count[4] = {};
-        for (const auto *r : recs) {
-            double lat = r->latencyMs[static_cast<size_t>(c)];
-            int b = lat < 2.0 ? 0 : lat < 3.0 ? 1 : lat < 4.0 ? 2 : 3;
-            conv3_sum[b] += r->numConv3x3;
-            count[b]++;
-        }
+        query::GroupAggregate buckets =
+            idx.bucketBy(query::latency(c), edges,
+                         {{query::MetricKind::Conv3x3, 0}},
+                         &bench::accuracyFilterQuery());
         AsciiTable t("Figure 5" + std::string(1, 'a' + c) + " — " +
                      bench::configName(c) +
                      " latency buckets vs #conv3x3");
@@ -42,11 +42,9 @@ report()
                   "Avg #conv3x3 (paper)"});
         const char *names[4] = {"< 2.0 ms", "2.0 - 3.0 ms",
                                 "3.0 - 4.0 ms", ">= 4.0 ms"};
-        for (int b = 0; b < 4; b++) {
-            double avg =
-                count[b] ? conv3_sum[b] / static_cast<double>(count[b])
-                         : 0.0;
-            t.row({names[b], fmtCount(count[b]), fmtDouble(avg, 2),
+        for (size_t b = 0; b < buckets.groups(); b++) {
+            t.row({names[b], fmtCount(buckets.counts[b]),
+                   fmtDouble(buckets.mean(0, b), 2),
                    b < 3 ? fmtDouble(paperConv3x3PerBucket[b], 2)
                          : "n/a"});
         }
@@ -54,15 +52,15 @@ report()
     }
 
     // Scatter sample for external plotting.
+    const auto &acc = idx.column({query::MetricKind::Accuracy, 0});
     for (int c = 0; c < 3; c++) {
+        const auto &lat = idx.column(query::latency(c));
         CsvWriter csv(bench::csvDir() + "/fig5_" +
                       bench::configName(c) + ".csv");
         csv.row({"latency_ms", "mean_validation_accuracy"});
-        size_t stride = std::max<size_t>(1, recs.size() / 20000);
-        for (size_t i = 0; i < recs.size(); i += stride) {
-            csv.rowDoubles({recs[i]->latencyMs[static_cast<size_t>(c)],
-                            recs[i]->accuracy});
-        }
+        size_t stride = std::max<size_t>(1, rows.size() / 20000);
+        for (size_t i = 0; i < rows.size(); i += stride)
+            csv.rowDoubles({lat[rows[i]], acc[rows[i]]});
     }
     std::cout << "scatter series written to " << bench::csvDir()
               << "/fig5_V*.csv\n";
@@ -71,14 +69,14 @@ report()
 void
 BM_LatencyBucketing(benchmark::State &state)
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> edges = {-inf, 2.0, 3.0, 4.0, inf};
     for (auto _ : state) {
-        uint64_t counts[4] = {};
-        for (const auto *r : recs) {
-            double lat = r->latencyMs[0];
-            counts[lat < 2 ? 0 : lat < 3 ? 1 : lat < 4 ? 2 : 3]++;
-        }
-        benchmark::DoNotOptimize(counts[0]);
+        query::GroupAggregate buckets =
+            idx.bucketBy(query::latency(0), edges, {},
+                         &bench::accuracyFilterQuery());
+        benchmark::DoNotOptimize(buckets.counts[0]);
     }
 }
 BENCHMARK(BM_LatencyBucketing)->Unit(benchmark::kMillisecond);

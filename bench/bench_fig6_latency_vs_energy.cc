@@ -22,16 +22,15 @@ using namespace etpu;
 void
 report()
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
+    const auto &rows = bench::filteredRows();
 
     AsciiTable t("Figure 6 — energy vs latency (V1, V2)");
     t.header({"Config", "slope (mJ/ms)", "intercept (mJ)", "R^2"});
+    std::vector<double> lat, en;
     for (int c = 0; c < 2; c++) {
-        std::vector<double> lat, en;
-        for (const auto *r : recs) {
-            lat.push_back(r->latencyMs[static_cast<size_t>(c)]);
-            en.push_back(r->energyMj[static_cast<size_t>(c)]);
-        }
+        idx.gather(query::latency(c), rows, lat);
+        idx.gather(query::energy(c), rows, en);
         auto fit = stats::fitLinear(lat, en);
         t.row({bench::configName(c), fmtDouble(fit.slope, 3),
                fmtDouble(fit.intercept, 3), fmtDouble(fit.r2, 4)});
@@ -39,26 +38,21 @@ report()
     t.print(std::cout);
 
     // Binned means: who has lower energy at the same latency?
+    const std::vector<double> edges = {0, 1, 2, 3, 4, 5, 10};
+    query::GroupAggregate binned[2];
+    for (int c = 0; c < 2; c++) {
+        binned[c] = idx.bucketBy(query::latency(c), edges,
+                                 {query::energy(c)},
+                                 &bench::accuracyFilterQuery());
+    }
     AsciiTable cross("Energy at equal latency (binned means)");
     cross.header({"Latency bin", "V1 mean mJ", "V2 mean mJ",
                   "lower-energy config"});
-    const double edges[7] = {0, 1, 2, 3, 4, 5, 10};
-    for (int b = 0; b < 6; b++) {
-        double sum[2] = {};
-        uint64_t n[2] = {};
-        for (const auto *r : recs) {
-            for (int c = 0; c < 2; c++) {
-                double lat = r->latencyMs[static_cast<size_t>(c)];
-                if (lat >= edges[b] && lat < edges[b + 1]) {
-                    sum[c] += r->energyMj[static_cast<size_t>(c)];
-                    n[c]++;
-                }
-            }
-        }
-        if (!n[0] || !n[1])
+    for (size_t b = 0; b + 1 < edges.size(); b++) {
+        if (!binned[0].counts[b] || !binned[1].counts[b])
             continue;
-        double v1 = sum[0] / static_cast<double>(n[0]);
-        double v2 = sum[1] / static_cast<double>(n[1]);
+        double v1 = binned[0].mean(0, b);
+        double v2 = binned[1].mean(0, b);
         cross.row({fmtDouble(edges[b], 0) + "-" +
                        fmtDouble(edges[b + 1], 0) + " ms",
                    fmtDouble(v1, 2), fmtDouble(v2, 2),
@@ -69,12 +63,12 @@ report()
 
     CsvWriter csv(bench::csvDir() + "/fig6_latency_energy.csv");
     csv.row({"config", "latency_ms", "energy_mj"});
-    size_t stride = std::max<size_t>(1, recs.size() / 20000);
-    for (size_t i = 0; i < recs.size(); i += stride) {
+    size_t stride = std::max<size_t>(1, rows.size() / 20000);
+    for (size_t i = 0; i < rows.size(); i += stride) {
         for (int c = 0; c < 2; c++) {
             csv.row({bench::configName(c),
-                     fmtDouble(recs[i]->latencyMs[static_cast<size_t>(c)], 5),
-                     fmtDouble(recs[i]->energyMj[static_cast<size_t>(c)], 5)});
+                     fmtDouble(idx.value(query::latency(c), rows[i]), 5),
+                     fmtDouble(idx.value(query::energy(c), rows[i]), 5)});
         }
     }
     std::cout << "scatter series written to " << bench::csvDir()
@@ -84,12 +78,10 @@ report()
 void
 BM_LinearFit(benchmark::State &state)
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
     std::vector<double> lat, en;
-    for (const auto *r : recs) {
-        lat.push_back(r->latencyMs[0]);
-        en.push_back(r->energyMj[0]);
-    }
+    idx.gather(query::latency(0), bench::filteredRows(), lat);
+    idx.gather(query::energy(0), bench::filteredRows(), en);
     for (auto _ : state) {
         auto fit = stats::fitLinear(lat, en);
         benchmark::DoNotOptimize(fit.slope);

@@ -7,7 +7,6 @@
 
 #include <benchmark/benchmark.h>
 
-#include <algorithm>
 #include <iostream>
 
 #include "bench_common.hh"
@@ -20,27 +19,23 @@ using namespace etpu;
 void
 report()
 {
-    const auto &ds = bench::dataset();
-    std::vector<const nas::ModelRecord *> sorted;
-    sorted.reserve(ds.size());
-    for (const auto &r : ds.records)
-        sorted.push_back(&r);
-    std::partial_sort(sorted.begin(), sorted.begin() + 5, sorted.end(),
-                      [](const auto *a, const auto *b) {
-                          return a->accuracy > b->accuracy;
-                      });
+    const auto &idx = bench::index();
+    std::vector<uint32_t> top;
+    idx.topK({query::MetricKind::Accuracy, 0}, 5,
+             query::SortOrder::Descending, top);
 
     AsciiTable t("Figure 9 — top-5 accuracy models");
     t.header({"Rank", "Accuracy %", "V1 ms", "V2 ms", "V3 ms",
               "Winner"});
-    for (int i = 0; i < 5; i++) {
-        const auto *r = sorted[static_cast<size_t>(i)];
+    for (size_t i = 0; i < top.size(); i++) {
+        uint32_t row = top[i];
         t.row({std::to_string(i + 1),
-               fmtDouble(r->accuracy * 100, 3),
-               fmtDouble(r->latencyMs[0], 4),
-               fmtDouble(r->latencyMs[1], 4),
-               fmtDouble(r->latencyMs[2], 4),
-               bench::configName(bench::winnerIndex(*r))});
+               fmtDouble(idx.value({query::MetricKind::Accuracy, 0},
+                                   row) * 100, 3),
+               fmtDouble(idx.value(query::latency(0), row), 4),
+               fmtDouble(idx.value(query::latency(1), row), 4),
+               fmtDouble(idx.value(query::latency(2), row), 4),
+               bench::configName(idx.winner(row))});
     }
     t.print(std::cout);
     std::cout << "paper's winner sequence along the accuracy "
@@ -50,18 +45,13 @@ report()
 void
 BM_TopKSelection(benchmark::State &state)
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
+    std::vector<uint32_t> top;
     for (auto _ : state) {
-        std::vector<const nas::ModelRecord *> sorted;
-        sorted.reserve(ds.size());
-        for (const auto &r : ds.records)
-            sorted.push_back(&r);
-        std::partial_sort(sorted.begin(), sorted.begin() + 5,
-                          sorted.end(),
-                          [](const auto *a, const auto *b) {
-                              return a->accuracy > b->accuracy;
-                          });
-        benchmark::DoNotOptimize(sorted[0]);
+        idx.topK({query::MetricKind::Accuracy, 0}, 5,
+                 query::SortOrder::Descending, top,
+                 &bench::accuracyFilterQuery());
+        benchmark::DoNotOptimize(top.data());
     }
 }
 BENCHMARK(BM_TopKSelection)->Unit(benchmark::kMillisecond);

@@ -32,23 +32,22 @@ const PaperRow paperRows[3] = {
 void
 report()
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
+    const auto &filtered = bench::filteredRows();
     AsciiTable t("Table 3 — latency/energy summary (accuracy >= 70%)");
     t.header({"Metric", "V1", "V2", "V3"});
 
     std::vector<std::string> rows[6];
+    std::vector<double> lat, en;
     for (int c = 0; c < 3; c++) {
-        std::vector<double> lat, en;
-        lat.reserve(recs.size());
-        en.reserve(recs.size());
-        for (const auto *r : recs) {
-            lat.push_back(r->latencyMs[static_cast<size_t>(c)]);
-            en.push_back(r->energyMj[static_cast<size_t>(c)]);
-        }
+        idx.gather(query::latency(c), filtered, lat);
+        idx.gather(query::energy(c), filtered, en);
         auto ls = stats::summarize(lat);
         auto es = stats::summarize(en);
         auto acc_at = [&](size_t i) {
-            return " (" + fmtDouble(recs[i]->accuracy * 100, 2) + "%)";
+            double acc = idx.value({query::MetricKind::Accuracy, 0},
+                                   filtered[i]);
+            return " (" + fmtDouble(acc * 100, 2) + "%)";
         };
         const PaperRow &p = paperRows[c];
         rows[0].push_back(bench::vsPaper(ls.min, p.minLat, 6) +
@@ -80,14 +79,16 @@ report()
 void
 BM_SummarizeFilteredRecords(benchmark::State &state)
 {
-    const auto &recs = bench::filteredRecords();
+    const auto &idx = bench::index();
+    const auto &rows = bench::filteredRows();
+    const auto &lat = idx.column(query::latency(0));
     for (auto _ : state) {
         double sum = 0;
-        for (const auto *r : recs)
-            sum += r->latencyMs[0];
+        for (uint32_t row : rows)
+            sum += lat[row];
         benchmark::DoNotOptimize(sum);
     }
-    state.counters["records"] = static_cast<double>(recs.size());
+    state.counters["records"] = static_cast<double>(rows.size());
 }
 BENCHMARK(BM_SummarizeFilteredRecords)->Unit(benchmark::kMillisecond);
 

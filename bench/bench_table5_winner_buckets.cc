@@ -33,45 +33,42 @@ const PaperBucket paperBuckets[3] = {
 void
 report()
 {
-    const auto &ds = bench::dataset();
-    std::array<uint64_t, 3> count = {};
-    std::array<std::array<double, 3>, 3> lat = {};
-    std::array<std::array<double, 3>, 3> en = {};
-    for (const auto &r : ds.records) {
-        auto w = static_cast<size_t>(bench::winnerIndex(r));
-        count[w]++;
-        for (size_t c = 0; c < 3; c++) {
-            lat[w][c] += r.latencyMs[c];
-            en[w][c] += r.energyMj[c];
-        }
-    }
+    const auto &idx = bench::index();
+    query::GroupAggregate buckets = idx.groupBy(
+        {query::MetricKind::Winner, 0},
+        {query::latency(0), query::latency(1), query::latency(2),
+         query::energy(0), query::energy(1), query::energy(2)});
 
     AsciiTable t("Table 5 — per-configuration winner buckets");
     t.header({"Bucket", "# of Models", "V1 lat/en", "V2 lat/en",
               "V3 lat (en N/A in paper)"});
     for (size_t w = 0; w < 3; w++) {
-        uint64_t n = std::max<uint64_t>(count[w], 1);
+        auto g = buckets.groupOf(static_cast<double>(w));
+        uint64_t count = g ? buckets.counts[*g] : 0;
+        auto mean = [&](size_t agg) {
+            return g ? buckets.mean(agg, *g) : 0.0;
+        };
         const PaperBucket &p = paperBuckets[w];
         std::vector<std::string> cells;
         cells.push_back("Latency(" + bench::configName(static_cast<int>(w)) +
                         ") <=");
-        cells.push_back(fmtCount(count[w]) + " (paper " +
+        cells.push_back(fmtCount(count) + " (paper " +
                         fmtCount(p.count) + ")");
         for (size_t c = 0; c < 3; c++) {
-            std::string cell =
-                bench::vsPaper(lat[w][c] / n, p.lat[c], 2);
+            std::string cell = bench::vsPaper(mean(c), p.lat[c], 2);
             if (c == 0)
-                cell += ", " + bench::vsPaper(en[w][c] / n, p.enV1, 2);
+                cell += ", " + bench::vsPaper(mean(3), p.enV1, 2);
             if (c == 1)
-                cell += ", " + bench::vsPaper(en[w][c] / n, p.enV2, 2);
+                cell += ", " + bench::vsPaper(mean(4), p.enV2, 2);
             cells.push_back(cell);
         }
         t.row(cells);
     }
     t.print(std::cout);
 
-    double v1_share =
-        100.0 * count[0] / static_cast<double>(ds.size());
+    auto v1 = buckets.groupOf(0.0);
+    double v1_share = 100.0 * (v1 ? buckets.counts[*v1] : 0) /
+                      static_cast<double>(idx.size());
     std::cout << "V1 wins " << fmtDouble(v1_share, 1)
               << "% of all models (paper 92.7%)\n";
 }
@@ -79,14 +76,13 @@ report()
 void
 BM_WinnerBucketing(benchmark::State &state)
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
     for (auto _ : state) {
-        uint64_t acc = 0;
-        for (const auto &r : ds.records)
-            acc += static_cast<uint64_t>(bench::winnerIndex(r));
-        benchmark::DoNotOptimize(acc);
+        query::GroupAggregate buckets =
+            idx.groupBy({query::MetricKind::Winner, 0}, {});
+        benchmark::DoNotOptimize(buckets.counts.data());
     }
-    state.counters["models"] = static_cast<double>(ds.size());
+    state.counters["models"] = static_cast<double>(idx.size());
 }
 BENCHMARK(BM_WinnerBucketing)->Unit(benchmark::kMillisecond);
 

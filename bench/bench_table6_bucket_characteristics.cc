@@ -16,73 +16,53 @@ namespace
 
 using namespace etpu;
 
-struct Acc
-{
-    double c3 = 0, c1 = 0, mp = 0, depth = 0, params = 0;
-    uint64_t n = 0;
-
-    void
-    add(const nas::ModelRecord &r)
-    {
-        c3 += r.numConv3x3;
-        c1 += r.numConv1x1;
-        mp += r.numMaxPool;
-        depth += r.depth;
-        params += static_cast<double>(r.params);
-        n++;
-    }
-};
-
 void
 report()
 {
-    const auto &ds = bench::dataset();
-    Acc v1_bucket, v3_bucket;
-    for (const auto &r : ds.records) {
-        int w = bench::winnerIndex(r);
-        if (w == 0)
-            v1_bucket.add(r);
-        else if (w == 2)
-            v3_bucket.add(r);
-    }
-    auto avg = [](double sum, uint64_t n) {
-        return n ? sum / static_cast<double>(n) : 0.0;
+    const auto &idx = bench::index();
+    query::GroupAggregate buckets = idx.groupBy(
+        {query::MetricKind::Winner, 0},
+        {{query::MetricKind::Conv3x3, 0},
+         {query::MetricKind::Conv1x1, 0},
+         {query::MetricKind::MaxPool, 0},
+         {query::MetricKind::Depth, 0},
+         {query::MetricKind::Params, 0}});
+    auto v1 = buckets.groupOf(0.0);
+    auto v3 = buckets.groupOf(2.0);
+    auto avg = [&](const std::optional<size_t> &g, size_t agg) {
+        return g ? buckets.mean(agg, *g) : 0.0;
     };
 
     AsciiTable t("Table 6 — first vs last bucket characteristics");
     t.header({"Characteristic", "Latency(V1)<= (ours/paper)",
               "Latency(V3)<= (ours/paper)"});
-    t.row({"Avg. # of Conv 3x3",
-           bench::vsPaper(avg(v1_bucket.c3, v1_bucket.n), 1.53, 2),
-           bench::vsPaper(avg(v3_bucket.c3, v3_bucket.n), 0.78, 2)});
-    t.row({"Avg. # of Conv 1x1",
-           bench::vsPaper(avg(v1_bucket.c1, v1_bucket.n), 1.65, 2),
-           bench::vsPaper(avg(v3_bucket.c1, v3_bucket.n), 2.17, 2)});
+    t.row({"Avg. # of Conv 3x3", bench::vsPaper(avg(v1, 0), 1.53, 2),
+           bench::vsPaper(avg(v3, 0), 0.78, 2)});
+    t.row({"Avg. # of Conv 1x1", bench::vsPaper(avg(v1, 1), 1.65, 2),
+           bench::vsPaper(avg(v3, 1), 2.17, 2)});
     t.row({"Avg. # of MaxPool 3x3",
-           bench::vsPaper(avg(v1_bucket.mp, v1_bucket.n), 1.66, 2),
-           bench::vsPaper(avg(v3_bucket.mp, v3_bucket.n), 1.77, 2)});
-    t.row({"Avg. Graph Depth",
-           bench::vsPaper(avg(v1_bucket.depth, v1_bucket.n), 4.96, 2),
-           bench::vsPaper(avg(v3_bucket.depth, v3_bucket.n), 4.64, 2)});
+           bench::vsPaper(avg(v1, 2), 1.66, 2),
+           bench::vsPaper(avg(v3, 2), 1.77, 2)});
+    t.row({"Avg. Graph Depth", bench::vsPaper(avg(v1, 3), 4.96, 2),
+           bench::vsPaper(avg(v3, 3), 4.64, 2)});
     t.row({"Avg. # of Trainable Parameters",
-           bench::vsPaper(avg(v1_bucket.params, v1_bucket.n),
-                          7054471.34, 0),
-           bench::vsPaper(avg(v3_bucket.params, v3_bucket.n),
-                          1417485.36, 0)});
+           bench::vsPaper(avg(v1, 4), 7054471.34, 0),
+           bench::vsPaper(avg(v3, 4), 1417485.36, 0)});
     t.print(std::cout);
 }
 
 void
 BM_BucketCharacterization(benchmark::State &state)
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
+    query::Filter v3_only;
+    v3_only.where({query::MetricKind::Winner, 0}, query::CompareOp::Eq,
+                  2.0);
     for (auto _ : state) {
-        Acc a;
-        for (const auto &r : ds.records) {
-            if (bench::winnerIndex(r) == 2)
-                a.add(r);
-        }
-        benchmark::DoNotOptimize(a.params);
+        query::GroupAggregate a =
+            idx.groupBy({query::MetricKind::Winner, 0},
+                        {{query::MetricKind::Params, 0}}, &v3_only);
+        benchmark::DoNotOptimize(a.sums[0].data());
     }
 }
 BENCHMARK(BM_BucketCharacterization)->Unit(benchmark::kMillisecond);

@@ -22,24 +22,22 @@ const std::map<int, double> paperValues = {
 void
 report()
 {
-    const auto &ds = bench::dataset();
-    std::map<int, std::pair<double, uint64_t>> by_depth;
-    for (const auto &r : ds.records) {
-        auto &[sum, n] = by_depth[r.depth];
-        sum += static_cast<double>(r.params);
-        n++;
-    }
+    const auto &idx = bench::index();
+    query::GroupAggregate by_depth =
+        idx.groupBy({query::MetricKind::Depth, 0},
+                    {{query::MetricKind::Params, 0}});
 
     AsciiTable t("Table 7 — average parameters vs graph depth");
     t.header({"Graph Depth", "Avg. # of Parameters (ours)",
               "Avg. # of Parameters (paper)", "# of Models"});
-    for (const auto &[depth, agg] : by_depth) {
+    for (size_t g = 0; g < by_depth.groups(); g++) {
+        int depth = static_cast<int>(by_depth.keys[g]);
         auto it = paperValues.find(depth);
         t.row({std::to_string(depth),
-               fmtDouble(agg.first / static_cast<double>(agg.second), 2),
+               fmtDouble(by_depth.mean(0, g), 2),
                it == paperValues.end() ? "n/a"
                                        : fmtDouble(it->second, 2),
-               fmtCount(agg.second)});
+               fmtCount(by_depth.counts[g])});
     }
     t.print(std::cout);
     std::cout << "(the paper lists depths 3-6; the dip at depths 4-5 "
@@ -49,13 +47,12 @@ report()
 void
 BM_DepthAggregation(benchmark::State &state)
 {
-    const auto &ds = bench::dataset();
+    const auto &idx = bench::index();
     for (auto _ : state) {
-        double sums[8] = {};
-        for (const auto &r : ds.records)
-            sums[std::min<int>(r.depth, 7)] +=
-                static_cast<double>(r.params);
-        benchmark::DoNotOptimize(sums[3]);
+        query::GroupAggregate by_depth =
+            idx.groupBy({query::MetricKind::Depth, 0},
+                        {{query::MetricKind::Params, 0}});
+        benchmark::DoNotOptimize(by_depth.sums[0].data());
     }
 }
 BENCHMARK(BM_DepthAggregation)->Unit(benchmark::kMillisecond);

@@ -1,14 +1,15 @@
 /**
  * @file
  * Accuracy-vs-latency Pareto analysis (the paper's Figures 5 and 9):
- * enumerate a slice of the space, simulate it, and report the models
- * on the accuracy/latency Pareto frontier per configuration —
- * quantifying how much latency a small accuracy sacrifice buys.
+ * enumerate a slice of the space, simulate it, index it, and report
+ * the models on the accuracy/latency Pareto frontier per configuration
+ * — quantifying how much latency a small accuracy sacrifice buys.
+ * The frontier itself comes from query::DatasetIndex::paretoFront,
+ * the same engine behind the bench binaries and the etpu_query CLI.
  *
  *   $ ./accuracy_latency_pareto
  */
 
-#include <algorithm>
 #include <iostream>
 
 #include "arch/config.hh"
@@ -16,6 +17,7 @@
 #include "common/table.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
+#include "query/dataset_index.hh"
 
 int
 main()
@@ -26,34 +28,29 @@ main()
     auto cells = nas::enumerateCells({6, 9});
     std::cout << cells.size() << " cells; simulating...\n";
     nas::Dataset ds = pipeline::buildDataset(cells);
+    query::DatasetIndex idx = query::DatasetIndex::build(ds);
 
+    std::vector<uint32_t> front;
     for (int c = 0; c < nas::numAccelerators; c++) {
-        // Sort by latency; walk up keeping accuracy records.
-        std::vector<const nas::ModelRecord *> order;
-        for (const auto &r : ds.records)
-            order.push_back(&r);
-        std::sort(order.begin(), order.end(),
-                  [&](const auto *a, const auto *b) {
-                      return a->latencyMs[static_cast<size_t>(c)] <
-                             b->latencyMs[static_cast<size_t>(c)];
-                  });
+        // Walk up the latency axis keeping accuracy records.
+        idx.paretoFront({{query::latency(c), /*maximize=*/false},
+                         {{query::MetricKind::Accuracy, 0},
+                          /*maximize=*/true}},
+                        front);
         AsciiTable t("accuracy/latency Pareto frontier on " +
                      arch::allConfigs()[static_cast<size_t>(c)].name);
         t.header({"latency ms", "accuracy %", "params", "cell ops"});
-        double best_acc = -1.0;
         int rows = 0;
-        for (const auto *r : order) {
-            if (r->accuracy <= best_acc)
-                continue;
-            best_acc = r->accuracy;
+        for (uint32_t row : front) {
             if (rows < 12) {
+                const nas::ModelRecord *r = idx.record(row);
                 std::string ops =
                     strfmt(static_cast<int>(r->numConv3x3), "xC3 ",
                            static_cast<int>(r->numConv1x1), "xC1 ",
                            static_cast<int>(r->numMaxPool), "xMP");
-                t.row({fmtDouble(r->latencyMs[static_cast<size_t>(c)],
-                                 4),
-                       fmtDouble(r->accuracy * 100, 2),
+                t.row({fmtDouble(idx.value(query::latency(c), row), 4),
+                       fmtDouble(idx.value({query::MetricKind::Accuracy,
+                                            0}, row) * 100, 2),
                        fmtCount(r->params), ops});
             }
             rows++;

@@ -4,12 +4,12 @@
  * template: sweep PE grid, core memory and I/O bandwidth around the V2
  * design point for a mid-size workload and print the latency/energy
  * Pareto frontier — the co-design loop the paper's learned model is
- * meant to accelerate.
+ * meant to accelerate. The frontier scan is query::paretoFront2D, the
+ * same kernel DatasetIndex uses over the characterization dataset.
  *
  *   $ ./design_space_exploration
  */
 
-#include <algorithm>
 #include <iostream>
 #include <vector>
 
@@ -18,6 +18,7 @@
 #include "common/table.hh"
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
+#include "query/pareto.hh"
 #include "tpusim/simulator.hh"
 
 int
@@ -34,11 +35,10 @@ main()
     struct Point
     {
         std::string label;
-        double latencyMs;
-        double energyMj;
         double peakTops;
     };
     std::vector<Point> points;
+    std::vector<double> latency, energy;
 
     for (auto [x, y] : {std::pair{2, 2}, {4, 2}, {4, 4}, {8, 4}}) {
         for (uint64_t core_kb : {16, 32, 64}) {
@@ -53,30 +53,25 @@ main()
                 points.push_back(
                     {strfmt("(", x, ",", y, ") PEs, ", core_kb,
                             "KB core, ", bw, "GB/s"),
-                     r.latencyMs, r.energyMj, cfg.peakTops()});
+                     cfg.peakTops()});
+                latency.push_back(r.latencyMs);
+                energy.push_back(r.energyMj);
             }
         }
     }
 
-    // Pareto frontier on (latency, energy).
-    std::sort(points.begin(), points.end(),
-              [](const Point &a, const Point &b) {
-                  return a.latencyMs < b.latencyMs;
-              });
+    // Pareto frontier on (latency, energy), both minimized.
+    std::vector<uint32_t> front;
+    query::paretoFront2D(latency, energy, /*maximize_x=*/false,
+                         /*maximize_y=*/false, front);
     AsciiTable t("latency/energy Pareto frontier");
     t.header({"design point", "peak TOPS", "latency ms", "energy mJ"});
-    double best_energy = 1e30;
-    int kept = 0;
-    for (const auto &p : points) {
-        if (p.energyMj < best_energy) {
-            best_energy = p.energyMj;
-            t.row({p.label, fmtDouble(p.peakTops, 2),
-                   fmtDouble(p.latencyMs, 4), fmtDouble(p.energyMj, 3)});
-            kept++;
-        }
+    for (uint32_t i : front) {
+        t.row({points[i].label, fmtDouble(points[i].peakTops, 2),
+               fmtDouble(latency[i], 4), fmtDouble(energy[i], 3)});
     }
     t.print(std::cout);
-    std::cout << kept << " Pareto-optimal of " << points.size()
+    std::cout << front.size() << " Pareto-optimal of " << points.size()
               << " design points\n";
     return 0;
 }

@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Markdown link check over the repo's documentation: every relative
+# link target in README.md, docs/ and the per-module READMEs must
+# exist on disk (anchors are stripped; external http(s)/mailto links
+# are skipped — CI must not depend on the network). Run from anywhere;
+# paths resolve against the repo root. Exits non-zero listing every
+# broken link.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+files=(README.md ROADMAP.md CHANGES.md)
+while IFS= read -r f; do
+    files+=("$f")
+done < <(find docs src bench examples tests -name '*.md' 2>/dev/null | sort)
+
+fail=0
+checked=0
+for f in "${files[@]}"; do
+    [ -f "$f" ] || continue
+    dir="$(dirname "$f")"
+    # Extract (target) of every [text](target), one per line; tolerate
+    # several links per line.
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|"#"*|"") continue ;;
+        esac
+        # Strip a trailing #anchor.
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        checked=$((checked + 1))
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            echo "BROKEN: $f -> $target"
+            fail=1
+        fi
+    done < <(grep -o '\[[^][]*\]([^()]*)' "$f" 2>/dev/null \
+             | sed 's/^\[[^][]*\](//; s/)$//')
+done
+
+echo "checked $checked relative links in ${#files[@]} markdown files"
+exit $fail

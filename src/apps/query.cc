@@ -1,0 +1,512 @@
+/**
+ * @file
+ * Interactive query CLI over the characterization dataset cache: the
+ * same filter / top-k / Pareto / bucket primitives the bench binaries
+ * use, without recompiling anything. Reads the cache written by
+ * etpu_build_dataset (it never triggers a campaign itself), streams it
+ * into a columnar DatasetIndex and runs exactly one query.
+ *
+ * Usage examples (see --help and docs/PAPER_MAP.md):
+ *
+ *   etpu_query --filter "accuracy>=0.7" --count
+ *   etpu_query --top 5 --by accuracy
+ *   etpu_query --pareto "latency@V2:min,accuracy:max" --format csv
+ *   etpu_query --bucket winner --agg "latency@V1,energy@V1"
+ *   etpu_query --bucket latency@V1 --edges "0,2,3,4,10" --agg conv3x3
+ */
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "pipeline/builder.hh"
+#include "query/dataset_index.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+enum class Format
+{
+    Table,
+    Csv,
+    Json,
+};
+
+/** The fixed column set of row-shaped output. */
+const std::vector<query::Metric> &
+rowMetrics()
+{
+    static const std::vector<query::Metric> metrics = [] {
+        std::vector<query::Metric> m = {
+            {query::MetricKind::Accuracy, 0},
+            {query::MetricKind::Params, 0},
+            {query::MetricKind::Depth, 0},
+            {query::MetricKind::Width, 0},
+            {query::MetricKind::Conv3x3, 0},
+            {query::MetricKind::Conv1x1, 0},
+            {query::MetricKind::MaxPool, 0},
+        };
+        for (int c = 0; c < nas::numAccelerators; c++)
+            m.push_back(query::latency(c));
+        for (int c = 0; c < nas::numAccelerators; c++)
+            m.push_back(query::energy(c));
+        m.push_back({query::MetricKind::Winner, 0});
+        return m;
+    }();
+    return metrics;
+}
+
+/**
+ * Render a column value: integral values as integers, everything else
+ * with enough digits to round-trip a double.
+ */
+std::string
+fmtValue(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) < 9.0e15) {
+        return strfmt(static_cast<long long>(v));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+/** Join cells as one RFC-4180-ish CSV line (cells here are plain). */
+std::string
+csvLine(const std::vector<std::string> &cells)
+{
+    std::string line;
+    for (size_t i = 0; i < cells.size(); i++) {
+        if (i)
+            line += ',';
+        line += cells[i];
+    }
+    return line;
+}
+
+std::string
+jsonEscapeKey(const std::string &key)
+{
+    // Column names only contain [a-z0-9_@] — safe to embed verbatim.
+    return "\"" + key + "\"";
+}
+
+/** Emit header + rows in the chosen format. */
+void
+emitTable(const std::string &title,
+          const std::vector<std::string> &header,
+          const std::vector<std::vector<std::string>> &rows,
+          Format format, std::ostream &os)
+{
+    switch (format) {
+      case Format::Table: {
+          AsciiTable t(title);
+          t.header(header);
+          for (const auto &r : rows)
+              t.row(r);
+          t.print(os);
+          break;
+      }
+      case Format::Csv: {
+          os << csvLine(header) << "\n";
+          for (const auto &r : rows)
+              os << csvLine(r) << "\n";
+          break;
+      }
+      case Format::Json: {
+          os << "[";
+          for (size_t i = 0; i < rows.size(); i++) {
+              os << (i ? ",\n " : "\n ") << "{";
+              for (size_t c = 0; c < header.size(); c++) {
+                  const std::string &v = rows[i][c];
+                  bool numeric = !v.empty() &&
+                                 v.find_first_not_of(
+                                     "0123456789+-.eE") ==
+                                     std::string::npos;
+                  os << (c ? "," : "") << jsonEscapeKey(header[c])
+                     << ":" << (numeric ? v : "\"" + v + "\"");
+              }
+              os << "}";
+          }
+          os << (rows.empty() ? "]" : "\n]") << "\n";
+          break;
+      }
+    }
+}
+
+std::vector<std::string>
+rowCells(const query::DatasetIndex &idx, uint32_t row)
+{
+    std::vector<std::string> cells;
+    cells.reserve(rowMetrics().size() + 1);
+    cells.push_back(strfmt(row));
+    for (query::Metric m : rowMetrics())
+        cells.push_back(fmtValue(idx.value(m, row)));
+    return cells;
+}
+
+std::vector<std::string>
+rowHeader()
+{
+    std::vector<std::string> header = {"row"};
+    for (query::Metric m : rowMetrics())
+        header.push_back(query::metricName(m));
+    return header;
+}
+
+/** Split @p list on commas (keeping empty parts, so errors surface). */
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        parts.push_back(list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos));
+        pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    }
+    return parts;
+}
+
+/** Parse "metric:min|max[,...]" into Pareto objectives. */
+std::vector<query::Objective>
+parseObjectives(const std::string &spec)
+{
+    std::vector<query::Objective> objs;
+    for (const std::string &part : splitList(spec)) {
+        size_t colon = part.rfind(':');
+        if (colon == std::string::npos)
+            etpu_fatal("--pareto objective \"", part,
+                       "\" wants METRIC:min or METRIC:max");
+        std::string sense = part.substr(colon + 1);
+        if (sense != "min" && sense != "max")
+            etpu_fatal("--pareto sense \"", sense,
+                       "\" must be min or max");
+        auto metric = query::parseMetric(part.substr(0, colon));
+        if (!metric)
+            etpu_fatal("--pareto: unknown metric \"",
+                       part.substr(0, colon), "\"");
+        objs.push_back({*metric, sense == "max"});
+    }
+    if (objs.size() != 2 && objs.size() != 3)
+        etpu_fatal("--pareto wants 2 or 3 objectives, got ",
+                   objs.size());
+    return objs;
+}
+
+/** Parse a comma-separated metric list. */
+std::vector<query::Metric>
+parseMetricList(const std::string &list, const char *flag)
+{
+    std::vector<query::Metric> metrics;
+    for (const std::string &part : splitList(list)) {
+        auto metric = query::parseMetric(part);
+        if (!metric)
+            etpu_fatal(flag, ": unknown metric \"", part, "\"");
+        metrics.push_back(*metric);
+    }
+    return metrics;
+}
+
+std::vector<double>
+parseEdges(const std::string &list)
+{
+    std::vector<double> edges;
+    for (const std::string &part : splitList(list)) {
+        char *end = nullptr;
+        double v = std::strtod(part.c_str(), &end);
+        if (part.empty() || end != part.c_str() + part.size())
+            etpu_fatal("--edges: bad number \"", part, "\"");
+        edges.push_back(v);
+    }
+    if (edges.size() < 2)
+        etpu_fatal("--edges wants at least two edges");
+    for (size_t i = 0; i + 1 < edges.size(); i++) {
+        if (!(edges[i] < edges[i + 1])) {
+            etpu_fatal("--edges must be strictly increasing (",
+                       fmtValue(edges[i]), " before ",
+                       fmtValue(edges[i + 1]), ")");
+        }
+    }
+    return edges;
+}
+
+void
+printHelp()
+{
+    std::cout <<
+        "usage: etpu_query [--dataset PATH] [--filter EXPR] [ACTION]\n"
+        "                  [--limit N] [--format table|csv|json] "
+        "[--out PATH]\n"
+        "\n"
+        "Query the characterization dataset cache written by "
+        "etpu_build_dataset\n"
+        "(default cache: $ETPU_DATASET_PATH, honoring $ETPU_SAMPLE "
+        "naming).\n"
+        "\n"
+        "Actions (pick at most one; default lists matching rows):\n"
+        "  --count               print the number of matching rows\n"
+        "  --top K [--by METRIC] [--asc|--desc]\n"
+        "                        K best rows (default: by accuracy,\n"
+        "                        descending = best first)\n"
+        "  --pareto SPEC         Pareto frontier; SPEC is 2-3 comma-\n"
+        "                        separated METRIC:min|max objectives,\n"
+        "                        e.g. latency@V2:min,accuracy:max\n"
+        "  --bucket METRIC [--edges E1,E2,...] [--agg METRIC,...]\n"
+        "                        group rows by METRIC (discrete values,"
+        "\n"
+        "                        or [Ei,Ei+1) buckets with --edges) and"
+        "\n"
+        "                        print count plus the mean of each "
+        "--agg\n"
+        "                        metric per group\n"
+        "\n"
+        "--filter EXPR is a comma-separated conjunction of clauses\n"
+        "  METRIC OP VALUE, with OP one of < <= > >= == != and METRIC "
+        "one of\n"
+        "  accuracy params macs weight_bytes depth width conv3x3 "
+        "conv1x1\n"
+        "  maxpool winner latency@V1..V3 energy@V1..V3; VALUE is a "
+        "number\n"
+        "  or V1/V2/V3 (= 0/1/2, natural against winner).\n"
+        "  Example: --filter \"accuracy>=0.7,latency@V2<3,winner==V2\""
+        "\n"
+        "\n"
+        "--limit N caps printed rows (default 20 for the row listing, "
+        "0 = all).\n"
+        "--out PATH writes the result to a file instead of stdout.\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dataset_path;
+    std::string filter_expr;
+    std::string out_path;
+    std::string by_metric = "accuracy";
+    std::string pareto_spec;
+    std::string bucket_metric;
+    std::string edges_list;
+    std::string agg_list;
+    Format format = Format::Table;
+    bool count_only = false;
+    bool ascending = false;
+    bool by_seen = false;
+    bool order_seen = false;
+    size_t top_k = 0;
+    std::optional<size_t> limit;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<size_t>(*n);
+        };
+        if (arg == "--dataset") {
+            dataset_path = next();
+        } else if (arg == "--filter") {
+            filter_expr = next();
+        } else if (arg == "--count") {
+            count_only = true;
+        } else if (arg == "--top") {
+            top_k = next_count();
+            if (!top_k)
+                etpu_fatal("--top expects a count >= 1");
+        } else if (arg == "--by") {
+            by_metric = next();
+            by_seen = true;
+        } else if (arg == "--asc") {
+            ascending = true;
+            order_seen = true;
+        } else if (arg == "--desc") {
+            ascending = false;
+            order_seen = true;
+        } else if (arg == "--pareto") {
+            pareto_spec = next();
+        } else if (arg == "--bucket") {
+            bucket_metric = next();
+        } else if (arg == "--edges") {
+            edges_list = next();
+        } else if (arg == "--agg") {
+            agg_list = next();
+        } else if (arg == "--limit") {
+            limit = next_count();
+        } else if (arg == "--format") {
+            std::string f = next();
+            if (f == "table")
+                format = Format::Table;
+            else if (f == "csv")
+                format = Format::Csv;
+            else if (f == "json")
+                format = Format::Json;
+            else
+                etpu_fatal("--format wants table, csv or json, got ",
+                           f);
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg, " (see --help)");
+        }
+    }
+
+    int actions = (count_only ? 1 : 0) + (top_k ? 1 : 0) +
+                  (pareto_spec.empty() ? 0 : 1) +
+                  (bucket_metric.empty() ? 0 : 1);
+    if (actions > 1)
+        etpu_fatal("pick at most one of --count, --top, --pareto, "
+                   "--bucket");
+    // A modifier without its governing action would be silently
+    // dropped (and its value never validated) — reject it instead.
+    if ((by_seen || order_seen) && !top_k)
+        etpu_fatal(by_seen ? "--by" : "--asc/--desc",
+                   " only applies with --top");
+    if ((!agg_list.empty() || !edges_list.empty()) &&
+        bucket_metric.empty()) {
+        etpu_fatal(agg_list.empty() ? "--edges" : "--agg",
+                   " only applies with --bucket");
+    }
+
+    query::Filter filter;
+    if (!filter_expr.empty()) {
+        std::string error;
+        auto parsed = query::Filter::parse(filter_expr, &error);
+        if (!parsed)
+            etpu_fatal("--filter: ", error);
+        filter = *parsed;
+    }
+
+    // Validate every action argument before the (potentially large)
+    // cache is streamed, so a typo fails in milliseconds.
+    std::optional<query::Metric> top_by;
+    if (top_k) {
+        top_by = query::parseMetric(by_metric);
+        if (!top_by)
+            etpu_fatal("--by: unknown metric \"", by_metric, "\"");
+    }
+    std::vector<query::Objective> objectives;
+    if (!pareto_spec.empty())
+        objectives = parseObjectives(pareto_spec);
+    std::optional<query::Metric> bucket_key;
+    std::vector<query::Metric> aggs;
+    std::vector<double> edges;
+    if (!bucket_metric.empty()) {
+        bucket_key = query::parseMetric(bucket_metric);
+        if (!bucket_key)
+            etpu_fatal("--bucket: unknown metric \"", bucket_metric,
+                       "\"");
+        if (!agg_list.empty())
+            aggs = parseMetricList(agg_list, "--agg");
+        if (!edges_list.empty())
+            edges = parseEdges(edges_list);
+    }
+
+    if (dataset_path.empty())
+        dataset_path = pipeline::resolvedCachePath();
+    query::DatasetIndex idx;
+    if (!query::DatasetIndex::buildFromCache(dataset_path, idx)) {
+        etpu_fatal("could not cleanly read dataset cache ",
+                   dataset_path,
+                   "; build it with etpu_build_dataset (--resume "
+                   "finishes an interrupted campaign)");
+    }
+    etpu_inform("indexed ", idx.size(), " records from ", dataset_path);
+
+    std::ofstream out_file;
+    if (!out_path.empty()) {
+        out_file.open(out_path);
+        if (!out_file)
+            etpu_fatal("cannot write --out ", out_path);
+    }
+    std::ostream &os = out_path.empty() ? std::cout : out_file;
+
+    if (count_only) {
+        std::vector<uint32_t> rows;
+        idx.filterRows(filter, rows);
+        os << rows.size() << "\n";
+        return 0;
+    }
+
+    if (bucket_key) {
+        query::GroupAggregate ga =
+            edges.empty() ? idx.groupBy(*bucket_key, aggs, &filter)
+                          : idx.bucketBy(*bucket_key, edges, aggs,
+                                         &filter);
+        std::vector<std::string> header = {
+            query::metricName(*bucket_key), "count"};
+        for (query::Metric m : aggs)
+            header.push_back("mean:" + query::metricName(m));
+        std::vector<std::vector<std::string>> rows;
+        for (size_t g = 0; g < ga.groups(); g++) {
+            std::vector<std::string> cells = {fmtValue(ga.keys[g]),
+                                              strfmt(ga.counts[g])};
+            for (size_t a = 0; a < aggs.size(); a++)
+                cells.push_back(fmtValue(ga.mean(a, g)));
+            rows.push_back(std::move(cells));
+        }
+        std::string kind = edges.empty() ? "group by " : "bucket by ";
+        emitTable(kind + query::metricName(*bucket_key), header, rows,
+                  format, os);
+        return 0;
+    }
+
+    // The remaining actions all print row-shaped output.
+    std::vector<uint32_t> rows;
+    std::string title;
+    size_t default_limit = 0;
+    if (top_k) {
+        idx.topK(*top_by, top_k,
+                 ascending ? query::SortOrder::Ascending
+                           : query::SortOrder::Descending,
+                 rows, &filter);
+        title = strfmt("top ", top_k, " by ", query::metricName(*top_by),
+                       ascending ? " (ascending)" : " (descending)");
+    } else if (!objectives.empty()) {
+        idx.paretoFront(objectives, rows, &filter);
+        title = "pareto " + pareto_spec;
+    } else {
+        idx.filterRows(filter, rows);
+        title = filter.empty() ? "all rows" : "filter " + filter.str();
+        default_limit = 20;
+    }
+
+    size_t cap = limit.value_or(default_limit);
+    size_t shown = cap && cap < rows.size() ? cap : rows.size();
+    std::vector<std::vector<std::string>> cells;
+    cells.reserve(shown);
+    for (size_t i = 0; i < shown; i++)
+        cells.push_back(rowCells(idx, rows[i]));
+    emitTable(title, rowHeader(), cells, format, os);
+    if (shown < rows.size()) {
+        std::cerr << "(" << shown << " of " << rows.size()
+                  << " rows shown; raise --limit or use --count)\n";
+    }
+    return 0;
+}

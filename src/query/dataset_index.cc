@@ -1,0 +1,635 @@
+#include "query/dataset_index.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <utility>
+
+#include "common/logging.hh"
+#include "query/pareto.hh"
+
+namespace etpu::query
+{
+
+namespace
+{
+
+/** Scalar metric kinds in column order (ids 0..8). */
+constexpr MetricKind scalarKinds[] = {
+    MetricKind::Accuracy, MetricKind::Params,  MetricKind::Macs,
+    MetricKind::WeightBytes, MetricKind::Depth, MetricKind::Width,
+    MetricKind::Conv3x3, MetricKind::Conv1x1, MetricKind::MaxPool,
+};
+
+constexpr auto numConfigs = static_cast<size_t>(nas::numAccelerators);
+constexpr size_t numScalarColumns = std::size(scalarKinds);
+constexpr size_t latencyColumnBase = numScalarColumns;
+constexpr size_t energyColumnBase = latencyColumnBase + numConfigs;
+constexpr size_t winnerColumn = energyColumnBase + numConfigs;
+
+const char *
+scalarName(MetricKind kind)
+{
+    switch (kind) {
+      case MetricKind::Accuracy: return "accuracy";
+      case MetricKind::Params: return "params";
+      case MetricKind::Macs: return "macs";
+      case MetricKind::WeightBytes: return "weight_bytes";
+      case MetricKind::Depth: return "depth";
+      case MetricKind::Width: return "width";
+      case MetricKind::Conv3x3: return "conv3x3";
+      case MetricKind::Conv1x1: return "conv1x1";
+      case MetricKind::MaxPool: return "maxpool";
+      case MetricKind::Winner: return "winner";
+      default: return nullptr;
+    }
+}
+
+void
+checkConfig(Metric m)
+{
+    if (m.config < 0 || m.config >= nas::numAccelerators) {
+        etpu_panic("metric config out of range: ", m.config,
+                   " (have ", nas::numAccelerators, " accelerators)");
+    }
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+        s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+        s.remove_suffix(1);
+    return s;
+}
+
+} // namespace
+
+std::string
+metricName(Metric m)
+{
+    if (m.kind == MetricKind::LatencyMs || m.kind == MetricKind::EnergyMj) {
+        checkConfig(m);
+        const char *base =
+            m.kind == MetricKind::LatencyMs ? "latency@V" : "energy@V";
+        return strfmt(base, m.config + 1);
+    }
+    const char *name = scalarName(m.kind);
+    if (!name)
+        etpu_panic("unknown metric kind ", static_cast<int>(m.kind));
+    return name;
+}
+
+std::optional<Metric>
+parseMetric(std::string_view text)
+{
+    text = trim(text);
+    for (MetricKind kind : scalarKinds) {
+        if (text == scalarName(kind))
+            return Metric{kind, 0};
+    }
+    if (text == scalarName(MetricKind::Winner))
+        return Metric{MetricKind::Winner, 0};
+    for (auto [prefix, kind] :
+         {std::pair{std::string_view("latency@"), MetricKind::LatencyMs},
+          std::pair{std::string_view("energy@"), MetricKind::EnergyMj}}) {
+        if (!text.starts_with(prefix))
+            continue;
+        std::string_view cfg = text.substr(prefix.size());
+        if (cfg.size() == 2 && (cfg[0] == 'V' || cfg[0] == 'v') &&
+            cfg[1] >= '1' && cfg[1] < '1' + nas::numAccelerators) {
+            return Metric{kind, cfg[1] - '1'};
+        }
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+Filter &
+Filter::where(Metric m, CompareOp op, double value)
+{
+    clauses_.push_back({m, op, value});
+    return *this;
+}
+
+bool
+Filter::matches(const FilterClause &clause, double value)
+{
+    switch (clause.op) {
+      case CompareOp::Lt: return value < clause.value;
+      case CompareOp::Le: return value <= clause.value;
+      case CompareOp::Gt: return value > clause.value;
+      case CompareOp::Ge: return value >= clause.value;
+      case CompareOp::Eq: return value == clause.value;
+      case CompareOp::Ne: return value != clause.value;
+    }
+    etpu_panic("unknown compare op ", static_cast<int>(clause.op));
+}
+
+namespace
+{
+
+const char *
+opName(CompareOp op)
+{
+    switch (op) {
+      case CompareOp::Lt: return "<";
+      case CompareOp::Le: return "<=";
+      case CompareOp::Gt: return ">";
+      case CompareOp::Ge: return ">=";
+      case CompareOp::Eq: return "==";
+      case CompareOp::Ne: return "!=";
+    }
+    return "?";
+}
+
+/** Parse a clause value: a strict double, or V1/V2/V3 as 0/1/2. */
+std::optional<double>
+parseValue(std::string_view text)
+{
+    text = trim(text);
+    if (text.size() == 2 && (text[0] == 'V' || text[0] == 'v') &&
+        text[1] >= '1' && text[1] < '1' + nas::numAccelerators) {
+        return text[1] - '1';
+    }
+    if (text.empty())
+        return std::nullopt;
+    std::string buf(text);
+    char *end = nullptr;
+    double v = std::strtod(buf.c_str(), &end);
+    if (end != buf.c_str() + buf.size())
+        return std::nullopt;
+    return v;
+}
+
+} // namespace
+
+std::optional<Filter>
+Filter::parse(std::string_view expr, std::string *error)
+{
+    auto fail = [&](const std::string &why) -> std::optional<Filter> {
+        if (error)
+            *error = why;
+        return std::nullopt;
+    };
+
+    Filter f;
+    size_t pos = 0;
+    while (pos <= expr.size()) {
+        size_t comma = expr.find(',', pos);
+        std::string_view clause = expr.substr(
+            pos, comma == std::string_view::npos ? std::string_view::npos
+                                                 : comma - pos);
+        pos = comma == std::string_view::npos ? expr.size() + 1
+                                              : comma + 1;
+        clause = trim(clause);
+        if (clause.empty()) {
+            if (expr.find_first_not_of(" \t") == std::string_view::npos &&
+                f.clauses_.empty() && pos > expr.size()) {
+                break; // an all-blank expression is the empty filter
+            }
+            return fail("empty clause in filter expression");
+        }
+
+        // Two-char ops first so "<=" is not read as "<" + "=...".
+        static constexpr std::pair<std::string_view, CompareOp> ops[] = {
+            {"<=", CompareOp::Le}, {">=", CompareOp::Ge},
+            {"==", CompareOp::Eq}, {"!=", CompareOp::Ne},
+            {"<", CompareOp::Lt},  {">", CompareOp::Gt},
+        };
+        size_t op_pos = std::string_view::npos;
+        CompareOp op = CompareOp::Ge;
+        size_t op_len = 0;
+        for (auto [text, candidate] : ops) {
+            size_t at = clause.find(text);
+            if (at != std::string_view::npos &&
+                (op_pos == std::string_view::npos || at < op_pos ||
+                 (at == op_pos && text.size() > op_len))) {
+                op_pos = at;
+                op = candidate;
+                op_len = text.size();
+            }
+        }
+        if (op_pos == std::string_view::npos) {
+            return fail(strfmt("no comparison operator in clause \"",
+                               std::string(clause), "\""));
+        }
+
+        auto metric = parseMetric(clause.substr(0, op_pos));
+        if (!metric) {
+            return fail(strfmt(
+                "unknown metric \"",
+                std::string(trim(clause.substr(0, op_pos))), "\""));
+        }
+        auto value = parseValue(clause.substr(op_pos + op_len));
+        if (!value) {
+            return fail(strfmt(
+                "bad value \"",
+                std::string(trim(clause.substr(op_pos + op_len))),
+                "\" (want a number or V1..V", nas::numAccelerators,
+                ")"));
+        }
+        f.where(*metric, op, *value);
+    }
+    return f;
+}
+
+std::string
+Filter::str() const
+{
+    std::string out;
+    for (const FilterClause &c : clauses_) {
+        if (!out.empty())
+            out += ',';
+        out += metricName(c.metric);
+        out += opName(c.op);
+        out += strfmt(c.value);
+    }
+    return out;
+}
+
+double
+GroupAggregate::mean(size_t agg, size_t g) const
+{
+    if (agg >= sums.size() || g >= counts.size())
+        etpu_panic("GroupAggregate::mean out of range (agg ", agg,
+                   ", group ", g, ")");
+    return counts[g] ? sums[agg][g] / static_cast<double>(counts[g])
+                     : 0.0;
+}
+
+std::optional<size_t>
+GroupAggregate::groupOf(double key) const
+{
+    for (size_t g = 0; g < keys.size(); g++) {
+        if (keys[g] == key)
+            return g;
+    }
+    return std::nullopt;
+}
+
+size_t
+DatasetIndex::columnId(Metric m)
+{
+    // Keep the flat layout in lockstep with the accelerator count: a
+    // change to nas::numAccelerators must not silently alias columns.
+    static_assert(winnerColumn + 1 == numColumns);
+    switch (m.kind) {
+      case MetricKind::LatencyMs:
+        checkConfig(m);
+        return latencyColumnBase + static_cast<size_t>(m.config);
+      case MetricKind::EnergyMj:
+        checkConfig(m);
+        return energyColumnBase + static_cast<size_t>(m.config);
+      case MetricKind::Winner:
+        return winnerColumn;
+      default:
+        for (size_t i = 0; i < numScalarColumns; i++) {
+            if (scalarKinds[i] == m.kind)
+                return i;
+        }
+        etpu_panic("unknown metric kind ", static_cast<int>(m.kind));
+    }
+}
+
+void
+DatasetIndex::appendRow(const nas::ModelRecord &r)
+{
+    const double scalars[numScalarColumns] = {
+        static_cast<double>(r.accuracy),
+        static_cast<double>(r.params),
+        static_cast<double>(r.macs),
+        static_cast<double>(r.weightBytes),
+        static_cast<double>(r.depth),
+        static_cast<double>(r.width),
+        static_cast<double>(r.numConv3x3),
+        static_cast<double>(r.numConv1x1),
+        static_cast<double>(r.numMaxPool),
+    };
+    for (size_t i = 0; i < numScalarColumns; i++)
+        cols_[i].push_back(scalars[i]);
+    size_t best = 0;
+    for (size_t c = 0; c < static_cast<size_t>(nas::numAccelerators);
+         c++) {
+        cols_[latencyColumnBase + c].push_back(
+            static_cast<double>(r.latencyMs[c]));
+        cols_[energyColumnBase + c].push_back(
+            static_cast<double>(r.energyMj[c]));
+        if (r.latencyMs[c] < r.latencyMs[best])
+            best = c;
+    }
+    cols_[winnerColumn].push_back(static_cast<double>(best));
+    rows_++;
+}
+
+DatasetIndex
+DatasetIndex::build(const nas::Dataset &ds)
+{
+    DatasetIndex idx;
+    for (auto &col : idx.cols_)
+        col.reserve(ds.size());
+    idx.records_.reserve(ds.size());
+    for (const auto &r : ds.records) {
+        idx.appendRow(r);
+        idx.records_.push_back(&r);
+    }
+    return idx;
+}
+
+bool
+DatasetIndex::buildFromCache(const std::string &path, DatasetIndex &out)
+{
+    out = DatasetIndex();
+    return nas::Dataset::loadStreaming(
+        path, [&out](const nas::ModelRecord &r) { out.appendRow(r); });
+}
+
+const nas::ModelRecord *
+DatasetIndex::record(uint32_t row) const
+{
+    if (row >= rows_)
+        etpu_panic("record row ", row, " out of range (", rows_, ")");
+    return records_.empty() ? nullptr : records_[row];
+}
+
+double
+DatasetIndex::value(Metric m, uint32_t row) const
+{
+    if (row >= rows_)
+        etpu_panic("value row ", row, " out of range (", rows_, ")");
+    return cols_[columnId(m)][row];
+}
+
+const std::vector<double> &
+DatasetIndex::column(Metric m) const
+{
+    return cols_[columnId(m)];
+}
+
+int
+DatasetIndex::winner(uint32_t row) const
+{
+    return static_cast<int>(value({MetricKind::Winner, 0}, row));
+}
+
+void
+DatasetIndex::filterRows(const Filter &f,
+                         std::vector<uint32_t> &out) const
+{
+    out.clear();
+    forEachCandidate(&f, [&out](uint32_t row) { out.push_back(row); });
+}
+
+void
+DatasetIndex::gather(Metric m, const std::vector<uint32_t> &rows,
+                     std::vector<double> &out) const
+{
+    const std::vector<double> &col = column(m);
+    out.clear();
+    out.reserve(rows.size());
+    for (uint32_t row : rows) {
+        if (row >= rows_)
+            etpu_panic("gather row ", row, " out of range (", rows_, ")");
+        out.push_back(col[row]);
+    }
+}
+
+const std::vector<uint32_t> &
+DatasetIndex::sortedBy(Metric m) const
+{
+    size_t col_id = columnId(m);
+    auto it = sorted_.find(col_id);
+    if (it != sorted_.end())
+        return it->second;
+    const std::vector<double> &col = cols_[col_id];
+    std::vector<uint32_t> perm;
+    perm.reserve(rows_);
+    for (uint32_t row = 0; row < rows_; row++) {
+        if (!std::isnan(col[row]))
+            perm.push_back(row);
+    }
+    std::sort(perm.begin(), perm.end(), [&col](uint32_t a, uint32_t b) {
+        if (col[a] != col[b])
+            return col[a] < col[b];
+        return a < b;
+    });
+    return sorted_.emplace(col_id, std::move(perm)).first->second;
+}
+
+std::vector<uint32_t>
+DatasetIndex::candidateRows(const Filter *f) const
+{
+    std::vector<uint32_t> rows;
+    rows.reserve(rows_);
+    forEachCandidate(f, [&rows](uint32_t row) { rows.push_back(row); });
+    return rows;
+}
+
+template <typename Fn>
+void
+DatasetIndex::forEachCandidate(const Filter *f, Fn &&fn) const
+{
+    if (!f || f->empty()) {
+        // No filter: iterate directly instead of materializing an
+        // identity row vector.
+        for (uint32_t row = 0; row < rows_; row++)
+            fn(row);
+        return;
+    }
+    std::vector<const std::vector<double> *> cols;
+    cols.reserve(f->clauses().size());
+    for (const FilterClause &c : f->clauses())
+        cols.push_back(&cols_[columnId(c.metric)]);
+    for (uint32_t row = 0; row < rows_; row++) {
+        bool ok = true;
+        for (size_t i = 0; ok && i < cols.size(); i++)
+            ok = Filter::matches(f->clauses()[i], (*cols[i])[row]);
+        if (ok)
+            fn(row);
+    }
+}
+
+void
+DatasetIndex::topK(Metric m, size_t k, SortOrder order,
+                   std::vector<uint32_t> &out, const Filter *f) const
+{
+    out.clear();
+    if (k == 0)
+        return;
+    if (!f || f->empty()) {
+        // Reuse the cached permutation; Descending is its reverse.
+        const std::vector<uint32_t> &perm = sortedBy(m);
+        size_t n = std::min(k, perm.size());
+        if (order == SortOrder::Ascending) {
+            out.assign(perm.begin(),
+                       perm.begin() + static_cast<ptrdiff_t>(n));
+        } else {
+            out.assign(perm.rbegin(),
+                       perm.rbegin() + static_cast<ptrdiff_t>(n));
+        }
+        return;
+    }
+    const std::vector<double> &col = column(m);
+    std::vector<uint32_t> rows = candidateRows(f);
+    std::erase_if(rows,
+                  [&col](uint32_t row) { return std::isnan(col[row]); });
+    size_t n = std::min(k, rows.size());
+    // Same total order as the unfiltered path: value then row id
+    // ascending, exactly reversed for Descending.
+    auto cmp = [&col, order](uint32_t a, uint32_t b) {
+        if (col[a] != col[b]) {
+            return order == SortOrder::Ascending ? col[a] < col[b]
+                                                 : col[a] > col[b];
+        }
+        return order == SortOrder::Ascending ? a < b : a > b;
+    };
+    std::partial_sort(rows.begin(),
+                      rows.begin() + static_cast<ptrdiff_t>(n),
+                      rows.end(), cmp);
+    out.assign(rows.begin(), rows.begin() + static_cast<ptrdiff_t>(n));
+}
+
+void
+DatasetIndex::paretoFront(const std::vector<Objective> &objectives,
+                          std::vector<uint32_t> &out,
+                          const Filter *f) const
+{
+    out.clear();
+    if (objectives.size() != 2 && objectives.size() != 3) {
+        etpu_panic("paretoFront wants 2 or 3 objectives, got ",
+                   objectives.size());
+    }
+    auto run = [&](std::span<const double> a, std::span<const double> b,
+                   std::span<const double> c,
+                   std::vector<uint32_t> &front) {
+        if (objectives.size() == 2) {
+            paretoFront2D(a, b, objectives[0].maximize,
+                          objectives[1].maximize, front);
+        } else {
+            paretoFront3D(a, b, c, objectives[0].maximize,
+                          objectives[1].maximize, objectives[2].maximize,
+                          front);
+        }
+    };
+    if (!f || f->empty()) {
+        // Kernel indices are row ids already; no gather needed.
+        const std::vector<double> &z =
+            column(objectives[objectives.size() == 3 ? 2 : 0].metric);
+        run(column(objectives[0].metric), column(objectives[1].metric),
+            z, out);
+        return;
+    }
+    std::vector<uint32_t> rows = candidateRows(f);
+    std::array<std::vector<double>, 3> vals;
+    for (size_t i = 0; i < objectives.size(); i++)
+        gather(objectives[i].metric, rows, vals[i]);
+    std::vector<uint32_t> front;
+    run(vals[0], vals[1], vals[2], front);
+    out.reserve(front.size());
+    for (uint32_t i : front)
+        out.push_back(rows[i]);
+}
+
+GroupAggregate
+DatasetIndex::bucketBy(Metric key, const std::vector<double> &edges,
+                       const std::vector<Metric> &aggs,
+                       const Filter *f) const
+{
+    if (edges.size() < 2)
+        etpu_panic("bucketBy wants >= 2 edges, got ", edges.size());
+    for (size_t i = 0; i + 1 < edges.size(); i++) {
+        if (!(edges[i] < edges[i + 1]))
+            etpu_panic("bucketBy edges must be strictly increasing");
+    }
+
+    GroupAggregate ga;
+    size_t buckets = edges.size() - 1;
+    ga.keys.assign(edges.begin(), edges.end() - 1);
+    ga.counts.assign(buckets, 0);
+    ga.sums.assign(aggs.size(), std::vector<double>(buckets, 0.0));
+
+    const std::vector<double> &key_col = column(key);
+    std::vector<const std::vector<double> *> agg_cols;
+    agg_cols.reserve(aggs.size());
+    for (Metric m : aggs)
+        agg_cols.push_back(&column(m));
+
+    forEachCandidate(f, [&](uint32_t row) {
+        double v = key_col[row];
+        if (std::isnan(v))
+            return;
+        auto it = std::upper_bound(edges.begin(), edges.end(), v);
+        if (it == edges.begin() || it == edges.end())
+            return; // below the first or at/above the last edge
+        size_t b = static_cast<size_t>(it - edges.begin()) - 1;
+        ga.counts[b]++;
+        for (size_t a = 0; a < agg_cols.size(); a++)
+            ga.sums[a][b] += (*agg_cols[a])[row];
+    });
+    return ga;
+}
+
+GroupAggregate
+DatasetIndex::groupBy(Metric key, const std::vector<Metric> &aggs,
+                      const Filter *f) const
+{
+    const std::vector<double> &key_col = column(key);
+    std::vector<const std::vector<double> *> agg_cols;
+    agg_cols.reserve(aggs.size());
+    for (Metric m : aggs)
+        agg_cols.push_back(&column(m));
+
+    struct Group
+    {
+        uint64_t count = 0;
+        std::vector<double> sums;
+    };
+    // std::map keeps keys sorted; per-group sums still accumulate in
+    // dataset row order, which preserves float summation order.
+    std::map<double, Group> groups;
+    forEachCandidate(f, [&](uint32_t row) {
+        double k = key_col[row];
+        if (std::isnan(k))
+            return;
+        Group &g = groups[k];
+        if (g.sums.empty())
+            g.sums.assign(aggs.size(), 0.0);
+        g.count++;
+        for (size_t a = 0; a < agg_cols.size(); a++)
+            g.sums[a] += (*agg_cols[a])[row];
+    });
+
+    GroupAggregate ga;
+    ga.sums.assign(aggs.size(), {});
+    for (auto &[k, g] : groups) {
+        ga.keys.push_back(k);
+        ga.counts.push_back(g.count);
+        for (size_t a = 0; a < aggs.size(); a++)
+            ga.sums[a].push_back(g.sums[a]);
+    }
+    return ga;
+}
+
+void
+DatasetIndex::groupRows(
+    Metric key,
+    std::vector<std::pair<double, std::vector<uint32_t>>> &out,
+    const Filter *f) const
+{
+    out.clear();
+    const std::vector<double> &key_col = column(key);
+    std::map<double, std::vector<uint32_t>> groups;
+    forEachCandidate(f, [&](uint32_t row) {
+        double k = key_col[row];
+        if (std::isnan(k))
+            return;
+        groups[k].push_back(row);
+    });
+    out.reserve(groups.size());
+    for (auto &[k, rows] : groups)
+        out.emplace_back(k, std::move(rows));
+}
+
+} // namespace etpu::query

@@ -1,0 +1,341 @@
+/**
+ * @file
+ * In-memory columnar query engine over the characterization dataset.
+ *
+ * Every analysis in the paper (Figs. 5-15, Tables 1-8) is a query over
+ * the same ~423K-record campaign: filter by accuracy, rank by a metric,
+ * walk a Pareto frontier, or bucket rows and average a column. Instead
+ * of each bench re-streaming the raw records and re-implementing those
+ * scans, DatasetIndex transposes the dataset once into struct-of-arrays
+ * double columns (one per metric, plus a derived winner column) and
+ * exposes the four composable primitives on top:
+ *
+ *  - Filter      conjunction of metric/op/value clauses, parseable
+ *                from the CLI grammar ("accuracy>=0.7,latency@V2<3")
+ *  - topK        deterministic k-best rows by any metric
+ *  - paretoFront strict staircase frontier on 2 or 3 objectives
+ *  - bucketBy /  edge-bucketed or discrete group-by with per-group
+ *    groupBy     count and row-order sums (means derive from them)
+ *
+ * Invariants the ported benches rely on:
+ *  - Columns hold double(stored value); float-typed record fields
+ *    (accuracy, latency, energy) widen exactly, so comparisons and
+ *    formatted output match pre-index code bit for bit.
+ *  - Scans visit rows in dataset order, so floating-point accumulation
+ *    order — and thus every printed mean — is identical to the ad-hoc
+ *    loops this module replaced.
+ *  - All orderings are total: ties break on row id, never on pointer
+ *    or partial-sort luck.
+ *  - Query methods fill caller-owned out-vectors (clear + append), in
+ *    the EvalContext spirit: repeated queries reuse the caller's
+ *    buffers instead of returning fresh containers.
+ *
+ * Lazily-built sorted permutations (sortedBy) are cached per metric;
+ * the cache is not synchronized — build/query from one thread, or
+ * pre-warm the permutations before sharing the index read-only.
+ */
+
+#ifndef ETPU_QUERY_DATASET_INDEX_HH
+#define ETPU_QUERY_DATASET_INDEX_HH
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nasbench/dataset.hh"
+
+namespace etpu::query
+{
+
+/** The queryable per-record metrics. */
+enum class MetricKind : uint8_t
+{
+    Accuracy,    //!< surrogate mean validation accuracy, [0, 1]
+    Params,      //!< trainable parameters
+    Macs,        //!< MACs per inference
+    WeightBytes, //!< deployed int8 weight footprint
+    Depth,       //!< cell graph depth
+    Width,       //!< cell graph width
+    Conv3x3,     //!< conv3x3 ops per cell
+    Conv1x1,     //!< conv1x1 ops per cell
+    MaxPool,     //!< maxpool3x3 ops per cell
+    LatencyMs,   //!< per-config simulated latency (needs config)
+    EnergyMj,    //!< per-config simulated energy (needs config)
+    Winner,      //!< config index with the lowest latency (0/1/2)
+};
+
+/** A metric reference: kind plus accelerator config where relevant. */
+struct Metric
+{
+    MetricKind kind = MetricKind::Accuracy;
+    /** Accelerator index for LatencyMs/EnergyMj; ignored otherwise. */
+    int config = 0;
+
+    bool operator==(const Metric &) const = default;
+};
+
+/** Shorthand constructors for the per-config metrics. */
+inline Metric
+latency(int config)
+{
+    return {MetricKind::LatencyMs, config};
+}
+
+inline Metric
+energy(int config)
+{
+    return {MetricKind::EnergyMj, config};
+}
+
+/** Canonical metric spelling, e.g. "accuracy" or "latency@V2". */
+std::string metricName(Metric m);
+
+/**
+ * Parse a metric name in the CLI grammar: accuracy, params, macs,
+ * weight_bytes, depth, width, conv3x3, conv1x1, maxpool, winner, or
+ * latency@V1..V3 / energy@V1..V3.
+ *
+ * @return nullopt on an unknown name or config.
+ */
+std::optional<Metric> parseMetric(std::string_view text);
+
+/** Comparison operator of a filter clause. */
+enum class CompareOp : uint8_t
+{
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,
+    Ne,
+};
+
+/** One conjunct of a filter: metric OP value. */
+struct FilterClause
+{
+    Metric metric;
+    CompareOp op = CompareOp::Ge;
+    double value = 0.0;
+};
+
+/**
+ * A conjunction of clauses over the metric columns.
+ *
+ * Comparisons follow IEEE semantics in double: a NaN column value
+ * fails every clause except Ne. Callers mirroring a float-stored
+ * threshold (e.g. the 0.70 accuracy filter) should cast it through
+ * float first so boundary records keep their pre-index fate.
+ */
+class Filter
+{
+  public:
+    Filter() = default;
+
+    /** Append a clause; returns *this for chaining. */
+    Filter &where(Metric m, CompareOp op, double value);
+
+    const std::vector<FilterClause> &clauses() const { return clauses_; }
+
+    bool empty() const { return clauses_.empty(); }
+
+    /** Whether @p value satisfies @p clause's op/value. */
+    static bool matches(const FilterClause &clause, double value);
+
+    /**
+     * Parse the CLI filter grammar:
+     *
+     *   expr   := clause (',' clause)*          all clauses must hold
+     *   clause := metric op number
+     *   op     := '<' | '<=' | '>' | '>=' | '==' | '!='
+     *
+     * Spaces around tokens are ignored. The value may also be V1, V2
+     * or V3 (meaning 0, 1, 2), which reads naturally against winner.
+     *
+     * @param error When non-null, receives a diagnostic on failure.
+     * @return The filter, or nullopt on a malformed expression.
+     */
+    static std::optional<Filter> parse(std::string_view expr,
+                                       std::string *error = nullptr);
+
+    /** Canonical textual form, e.g. "accuracy>=0.7,winner==2". */
+    std::string str() const;
+
+  private:
+    std::vector<FilterClause> clauses_;
+};
+
+/** Sort direction for topK. */
+enum class SortOrder : uint8_t
+{
+    Ascending,
+    Descending,
+};
+
+/** One Pareto objective: a metric and its sense. */
+struct Objective
+{
+    Metric metric;
+    bool maximize = false;
+};
+
+/** Result of a bucketBy/groupBy aggregation. */
+struct GroupAggregate
+{
+    /** Bucket lower edges (bucketBy) or distinct keys (groupBy). */
+    std::vector<double> keys;
+    /** Rows per group. */
+    std::vector<uint64_t> counts;
+    /** Row-order sum per aggregated metric per group: sums[agg][g]. */
+    std::vector<std::vector<double>> sums;
+
+    size_t groups() const { return keys.size(); }
+
+    /** sums[agg][g] / counts[g]; 0 when the group is empty. */
+    double mean(size_t agg, size_t g) const;
+
+    /** Group index whose key equals @p key exactly, if any. */
+    std::optional<size_t> groupOf(double key) const;
+};
+
+/**
+ * The columnar index. Build once (from an in-memory Dataset, or
+ * streamed from a cache file without materializing the records), then
+ * query freely.
+ */
+class DatasetIndex
+{
+  public:
+    DatasetIndex() = default;
+
+    /**
+     * Transpose @p ds into columns. The index keeps pointers into
+     * @p ds.records (for record()), so the dataset must outlive it.
+     */
+    static DatasetIndex build(const nas::Dataset &ds);
+
+    /**
+     * Build by streaming a cache file shard by shard
+     * (Dataset::loadStreaming), holding only the columns in memory.
+     * record() returns null for a streamed index.
+     *
+     * @param path Cache path (v2 or legacy v1).
+     * @param out Receives the index; rows from damaged shards are
+     *        absent.
+     * @return true iff every shard streamed cleanly (the contract a
+     *         consumer needs before publishing numbers).
+     */
+    static bool buildFromCache(const std::string &path,
+                               DatasetIndex &out);
+
+    size_t size() const { return rows_; }
+    bool empty() const { return rows_ == 0; }
+
+    /** Source record of @p row; null when built from a cache stream. */
+    const nas::ModelRecord *record(uint32_t row) const;
+
+    /** Column value of @p m at @p row. */
+    double value(Metric m, uint32_t row) const;
+
+    /** The whole column of @p m (size() entries, dataset order). */
+    const std::vector<double> &column(Metric m) const;
+
+    /** Config with the lowest latency for @p row (ties: lowest id). */
+    int winner(uint32_t row) const;
+
+    /** Rows satisfying @p f, in dataset order. */
+    void filterRows(const Filter &f, std::vector<uint32_t> &out) const;
+
+    /** Copy column @p m at @p rows into @p out (aligned with rows). */
+    void gather(Metric m, const std::vector<uint32_t> &rows,
+                std::vector<double> &out) const;
+
+    /**
+     * Cached ascending permutation of the rows by @p m: NaN rows are
+     * excluded, ties break on lower row id. Built lazily per metric
+     * (not thread-safe; see file comment).
+     */
+    const std::vector<uint32_t> &sortedBy(Metric m) const;
+
+    /**
+     * The k best rows by @p m. Ascending order ties break on lower
+     * row id; Descending is the exact reverse of the ascending
+     * permutation (so descending ties yield the higher row id first).
+     * NaN rows never rank. @p k larger than the candidate count
+     * returns them all.
+     */
+    void topK(Metric m, size_t k, SortOrder order,
+              std::vector<uint32_t> &out,
+              const Filter *f = nullptr) const;
+
+    /**
+     * Pareto frontier over 2 or 3 objectives (see pareto.hh for the
+     * exact staircase semantics). @p out is in primary-objective
+     * order.
+     */
+    void paretoFront(const std::vector<Objective> &objectives,
+                     std::vector<uint32_t> &out,
+                     const Filter *f = nullptr) const;
+
+    /**
+     * Bucket rows by @p key into the half-open intervals
+     * [edges[i], edges[i+1]) and accumulate count plus the row-order
+     * sum of every metric in @p aggs per bucket. Rows outside the
+     * edges (and NaN keys) are dropped. Edges must be strictly
+     * increasing; +-infinity edges give open-ended buckets.
+     */
+    GroupAggregate bucketBy(Metric key, const std::vector<double> &edges,
+                            const std::vector<Metric> &aggs,
+                            const Filter *f = nullptr) const;
+
+    /**
+     * Group rows by the distinct values of @p key (ascending), with
+     * the same count/sum payload as bucketBy. NaN keys are dropped.
+     */
+    GroupAggregate groupBy(Metric key, const std::vector<Metric> &aggs,
+                           const Filter *f = nullptr) const;
+
+    /**
+     * Distinct values of @p key (ascending) with their member rows in
+     * dataset order — for consumers that need full per-group samples
+     * (quantiles, whisker plots) rather than sums.
+     */
+    void groupRows(Metric key,
+                   std::vector<std::pair<double, std::vector<uint32_t>>>
+                       &out,
+                   const Filter *f = nullptr) const;
+
+  private:
+    /** Flat column count: 9 scalar + winner + 2 per-config metrics. */
+    static constexpr size_t numColumns =
+        10 + 2 * static_cast<size_t>(nas::numAccelerators);
+
+    static size_t columnId(Metric m);
+
+    void appendRow(const nas::ModelRecord &r);
+
+    /** Rows passing @p f (all rows when null), in dataset order. */
+    std::vector<uint32_t> candidateRows(const Filter *f) const;
+
+    /**
+     * Invoke @p fn on every row passing @p f (all rows when null), in
+     * dataset order, without materializing a row vector. Columns of
+     * the filter clauses are resolved once up front.
+     */
+    template <typename Fn>
+    void forEachCandidate(const Filter *f, Fn &&fn) const;
+
+    size_t rows_ = 0;
+    std::array<std::vector<double>, numColumns> cols_;
+    /** Per-row source records; empty when built from a stream. */
+    std::vector<const nas::ModelRecord *> records_;
+    /** Lazy sortedBy cache, keyed by column id. */
+    mutable std::map<size_t, std::vector<uint32_t>> sorted_;
+};
+
+} // namespace etpu::query
+
+#endif // ETPU_QUERY_DATASET_INDEX_HH

@@ -1,0 +1,110 @@
+#include "query/pareto.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace etpu::query
+{
+
+namespace
+{
+
+/** Whether @p a is strictly better than @p b under the sense. */
+bool
+better(double a, double b, bool maximize)
+{
+    return maximize ? a > b : a < b;
+}
+
+/**
+ * Candidate indices with finite objectives, best primary objective
+ * first. Primary ties are visited best-remaining-objective first
+ * (then lowest index), so a tie group's dominated members meet their
+ * dominator before the strict-improvement / domination check — the
+ * front never admits a point another point beats at equal x.
+ */
+std::vector<uint32_t>
+scanOrder(std::span<const double> x, bool maximize_x,
+          std::span<const double *const> rest,
+          std::span<const bool> maximize_rest)
+{
+    std::vector<uint32_t> order;
+    order.reserve(x.size());
+    for (uint32_t i = 0; i < x.size(); i++) {
+        bool nan = std::isnan(x[i]);
+        for (const double *col : rest)
+            nan = nan || std::isnan(col[i]);
+        if (!nan)
+            order.push_back(i);
+    }
+    std::sort(order.begin(), order.end(),
+              [&](uint32_t a, uint32_t b) {
+                  if (x[a] != x[b])
+                      return maximize_x ? x[a] > x[b] : x[a] < x[b];
+                  for (size_t r = 0; r < rest.size(); r++) {
+                      if (rest[r][a] != rest[r][b]) {
+                          return better(rest[r][a], rest[r][b],
+                                        maximize_rest[r]);
+                      }
+                  }
+                  return a < b;
+              });
+    return order;
+}
+
+} // namespace
+
+void
+paretoFront2D(std::span<const double> x, std::span<const double> y,
+              bool maximize_x, bool maximize_y,
+              std::vector<uint32_t> &out)
+{
+    if (x.size() != y.size())
+        etpu_panic("paretoFront2D: mismatched columns (", x.size(),
+                   " vs ", y.size(), ")");
+    out.clear();
+    const double *rest[] = {y.data()};
+    const bool maximize_rest[] = {maximize_y};
+    bool have_best = false;
+    double best_y = 0.0;
+    for (uint32_t i : scanOrder(x, maximize_x, rest, maximize_rest)) {
+        if (have_best && !better(y[i], best_y, maximize_y))
+            continue;
+        best_y = y[i];
+        have_best = true;
+        out.push_back(i);
+    }
+}
+
+void
+paretoFront3D(std::span<const double> x, std::span<const double> y,
+              std::span<const double> z, bool maximize_x,
+              bool maximize_y, bool maximize_z,
+              std::vector<uint32_t> &out)
+{
+    if (x.size() != y.size() || x.size() != z.size())
+        etpu_panic("paretoFront3D: mismatched columns (", x.size(), ", ",
+                   y.size(), ", ", z.size(), ")");
+    out.clear();
+    const double *rest[] = {y.data(), z.data()};
+    const bool maximize_rest[] = {maximize_y, maximize_z};
+    for (uint32_t i : scanOrder(x, maximize_x, rest, maximize_rest)) {
+        bool dominated = false;
+        for (uint32_t k : out) {
+            // Kept points are no worse in x by construction; i is
+            // dominated if k is also at least as good in y and z.
+            bool y_ok = !better(y[i], y[k], maximize_y);
+            bool z_ok = !better(z[i], z[k], maximize_z);
+            if (y_ok && z_ok) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            out.push_back(i);
+    }
+}
+
+} // namespace etpu::query

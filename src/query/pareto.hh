@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Standalone Pareto-front kernels over parallel value arrays. These are
+ * the scan primitives behind DatasetIndex::paretoFront, exposed
+ * separately so callers with ad-hoc point sets (e.g. the design-space
+ * exploration example, which sweeps accelerator templates rather than
+ * dataset rows) can share the exact same frontier semantics.
+ *
+ * Semantics ("strict staircase" front, matching the paper's figures):
+ * points are visited from best to worst primary objective — primary
+ * ties best-remaining-objective first, then lowest index — and a point
+ * joins the front iff it strictly improves on every kept point in the
+ * remaining objective(s). A group of primary-objective ties therefore
+ * contributes at most its best member, and exact duplicates keep only
+ * the lowest index: the front never contains a point that another
+ * point beats at equal x. (The ad-hoc sort-then-scan loops these
+ * kernels replaced left that tie case to std::sort's unspecified
+ * order.) Points with a NaN in any objective are skipped. The returned
+ * indices are in primary-objective order, which is also the natural
+ * plotting order.
+ */
+
+#ifndef ETPU_QUERY_PARETO_HH
+#define ETPU_QUERY_PARETO_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace etpu::query
+{
+
+/**
+ * Two-objective Pareto front over parallel arrays @p x and @p y.
+ *
+ * @param x Primary objective (determines scan order).
+ * @param y Secondary objective.
+ * @param maximize_x false = smaller x is better.
+ * @param maximize_y false = smaller y is better.
+ * @param out Indices of frontier points, in scan (x) order.
+ */
+void paretoFront2D(std::span<const double> x, std::span<const double> y,
+                   bool maximize_x, bool maximize_y,
+                   std::vector<uint32_t> &out);
+
+/**
+ * Three-objective Pareto front: a point is kept iff no already-kept
+ * point is at least as good in both remaining objectives.
+ */
+void paretoFront3D(std::span<const double> x, std::span<const double> y,
+                   std::span<const double> z, bool maximize_x,
+                   bool maximize_y, bool maximize_z,
+                   std::vector<uint32_t> &out);
+
+} // namespace etpu::query
+
+#endif // ETPU_QUERY_PARETO_HH
