@@ -11,19 +11,27 @@
  *
  * Usage: bench_campaign_throughput [--cells N] [--threads N]
  *                                  [--repeats N] [--out PATH]
+ *                                  [--model CKPT]
  *
  * Defaults honor $ETPU_SAMPLE (cell count) and $ETPU_THREADS. The
  * end-to-end measurement is the best of --repeats runs (default 3) to
  * shave scheduler noise; per-stage numbers come from a single
  * single-threaded pass so they sum to roughly the per-cell cost.
+ *
+ * With --model, the learned characterization backend (an etpu_train
+ * checkpoint driven through per-worker PredictContexts) is measured
+ * over the same cells and reported next to the simulator — the
+ * per-cell cost comparison behind "sweep via learned proxy".
  */
 
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <iomanip>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -31,6 +39,7 @@
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/table.hh"
+#include "gnn/predict_context.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
 #include "tpusim/eval_context.hh"
@@ -54,6 +63,25 @@ struct StageTiming
     double seconds = 0.0;
 };
 
+/** Escape a user-controlled string for embedding in a JSON literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::ostringstream out;
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out << '\\' << c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            out << "\\u00" << std::hex << std::setw(2)
+                << std::setfill('0') << static_cast<int>(c)
+                << std::dec;
+        } else {
+            out << c;
+        }
+    }
+    return out.str();
+}
+
 } // namespace
 
 int
@@ -63,6 +91,7 @@ main(int argc, char **argv)
     unsigned threads = 0;
     int repeats = 3;
     std::string out_path = "BENCH_campaign.json";
+    std::string model_path;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
         auto next = [&]() -> const char * {
@@ -88,15 +117,21 @@ main(int argc, char **argv)
                 std::max<uint64_t>(1, next_count()));
         } else if (arg == "--out") {
             out_path = next();
+        } else if (arg == "--model") {
+            model_path = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: bench_campaign_throughput [--cells N] "
                          "[--threads N] [--repeats N] [--out PATH]\n"
+                         "                                 "
+                         "[--model CKPT]\n"
                          "--cells 0 (default) runs the full cell space; "
                          "defaults honor $ETPU_SAMPLE and\n"
                          "$ETPU_THREADS. Writes the measured result as "
                          "JSON to --out (default\n"
                          "BENCH_campaign.json in the working "
-                         "directory).\n";
+                         "directory). With --model, the learned\n"
+                         "backend (etpu_train checkpoint) is measured "
+                         "over the same cells.\n";
             return 0;
         } else {
             etpu_fatal("unknown argument ", arg);
@@ -183,6 +218,68 @@ main(int argc, char **argv)
               << "): " << fmtDouble(best_e2e, 3) << " s = "
               << fmtDouble(cells_per_sec, 1) << " cells/sec\n";
 
+    // Learned-backend comparison over the same cells: the metric
+    // stage (featurize + per-config GNN prediction through one warmed
+    // PredictContext, single-threaded) and the full learned
+    // characterization pipeline.
+    double learned_e2e = 0.0, learned_predict = 0.0;
+    if (!model_path.empty()) {
+        gnn::CheckpointBundle bundle;
+        if (!gnn::loadCheckpoint(model_path, bundle))
+            etpu_fatal("cannot load checkpoint ", model_path);
+        std::vector<const gnn::Predictor *> models;
+        for (const gnn::Predictor &p : bundle.models)
+            models.push_back(&p);
+        if (models.empty())
+            etpu_fatal("checkpoint ", model_path, " holds no models");
+
+        std::vector<gnn::PredictContext> contexts(1);
+        std::vector<double> preds(
+            std::min(cells.size(), gnn::predictBatchBlock));
+        auto predict_pass = [&]() {
+            gnn::forEachFeaturizedBlock(
+                cells.data(), cells.size(), contexts, 1,
+                [&](gnn::PredictContext &ctx, size_t, size_t,
+                    unsigned) {
+                for (const gnn::Predictor *p : models)
+                    ctx.predictBatched(*p, preds.data());
+            });
+        };
+        predict_pass(); // warm the context
+        auto t0 = Clock::now();
+        predict_pass();
+        learned_predict = secondsSince(t0);
+
+        pipeline::BackendSpec learned;
+        learned.kind = pipeline::Backend::Learned;
+        learned.modelPath = model_path;
+        learned_e2e = std::numeric_limits<double>::infinity();
+        for (int r = 0; r < repeats; r++) {
+            auto t1 = Clock::now();
+            nas::Dataset ds =
+                pipeline::buildDataset(cells, threads, learned);
+            learned_e2e = std::min(learned_e2e, secondsSince(t1));
+            if (ds.size() != cells.size())
+                etpu_fatal("learned campaign produced ", ds.size(),
+                           " records for ", cells.size(), " cells");
+        }
+        std::cout << "\nlearned backend (" << models.size()
+                  << " models from " << model_path << "):\n"
+                  << "  featurize_predict: "
+                  << fmtDouble(learned_predict / n * 1e6, 2)
+                  << " us/cell (vs "
+                  << fmtDouble(
+                         (stage_lower.seconds + stage_sim.seconds) / n *
+                             1e6,
+                         2)
+                  << " us/cell simulator metric stage)\n"
+                  << "  end-to-end: " << fmtDouble(learned_e2e, 3)
+                  << " s = " << fmtDouble(n / learned_e2e, 1)
+                  << " cells/sec ("
+                  << fmtDouble(best_e2e / learned_e2e, 2)
+                  << "x the simulator backend)\n";
+    }
+
     std::ofstream json(out_path, std::ios::trunc);
     if (!json) {
         etpu_fatal("cannot write bench result to ", out_path);
@@ -203,8 +300,22 @@ main(int argc, char **argv)
          << "    \"lower\": "
          << fmtDouble(stage_lower.seconds / n * 1e6, 3) << ",\n"
          << "    \"annotate_simulate\": "
-         << fmtDouble(stage_sim.seconds / n * 1e6, 3) << "\n  }\n"
-         << "}\n";
+         << fmtDouble(stage_sim.seconds / n * 1e6, 3) << "\n  }";
+    if (!model_path.empty()) {
+        json << ",\n  \"learned_backend\": {\n"
+             << "    \"model\": \"" << jsonEscape(model_path)
+             << "\",\n"
+             << "    \"featurize_predict_us_per_cell\": "
+             << fmtDouble(learned_predict / n * 1e6, 3) << ",\n"
+             << "    \"end_to_end\": {\n"
+             << "      \"seconds\": " << fmtDouble(learned_e2e, 6)
+             << ",\n"
+             << "      \"cells_per_sec\": "
+             << fmtDouble(n / learned_e2e, 1) << "\n    },\n"
+             << "    \"speedup_vs_simulator\": "
+             << fmtDouble(best_e2e / learned_e2e, 3) << "\n  }";
+    }
+    json << "\n}\n";
     json.flush();
     if (!json)
         etpu_fatal("failed writing bench result to ", out_path);

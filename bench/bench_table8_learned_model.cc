@@ -3,19 +3,23 @@
  * Table 8: train one graph-network performance model per Edge TPU
  * configuration on the simulated latencies (60/20/20 split, Adam
  * lr 1e-3, batch 16) and report average accuracy, Spearman and Pearson
- * correlation on the held-out test set.
+ * correlation on the held-out test set. Runs through the same
+ * gnn::runExperiment harness as the etpu_train CLI, so these numbers
+ * come from exactly the code that writes deployable checkpoints.
  *
- * Environment knobs: ETPU_GNN_EPOCHS (default 3), ETPU_GNN_TRAIN
- * (cap on training samples, default 120000; 0 = full 60% split).
+ * Environment knobs (strictly parsed; junk warns and falls back):
+ * ETPU_GNN_EPOCHS (default 3), ETPU_GNN_TRAIN (cap on training
+ * samples, default 120000; 0 = full 60% split), ETPU_GNN_TEST (cap on
+ * test samples, default 40000).
  */
 
 #include <benchmark/benchmark.h>
 
-#include <cstdlib>
 #include <iostream>
 
 #include "bench_common.hh"
-#include "gnn/trainer.hh"
+#include "gnn/experiment.hh"
+#include "gnn/predict_context.hh"
 
 namespace
 {
@@ -30,65 +34,30 @@ const PaperRow paperRows[3] = {{0.968, 0.99977, 0.99959},
                                {0.979, 0.99981, 0.99974},
                                {0.964, 0.99925, 0.99975}};
 
-size_t
-envSize(const char *name, size_t fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        long v = std::atol(env);
-        if (v >= 0)
-            return static_cast<size_t>(v);
-    }
-    return fallback;
-}
-
 void
 report()
 {
     const auto &ds = bench::dataset();
-    auto split = gnn::splitDataset(ds.size(), 0x5eed);
-    size_t train_cap = envSize("ETPU_GNN_TRAIN", 120000);
-    if (train_cap && split.train.size() > train_cap)
-        split.train.resize(train_cap);
-    size_t test_cap = envSize("ETPU_GNN_TEST", 40000);
-    if (test_cap && split.test.size() > test_cap)
-        split.test.resize(test_cap);
-    int epochs =
-        static_cast<int>(envSize("ETPU_GNN_EPOCHS", 3));
+    gnn::ExperimentOptions opts;
+    gnn::applyEnvOverrides(opts);
 
     AsciiTable t("Table 8 — learned performance model per config");
     t.header({"Metric", "V1", "V2", "V3"});
     std::vector<std::string> rows[7];
     for (int c = 0; c < 3; c++) {
-        auto to_sample = [&](size_t idx) {
-            gnn::Sample s;
-            s.graph = gnn::featurize(ds.records[idx].spec);
-            s.target = ds.records[idx].latencyMs[static_cast<size_t>(c)];
-            return s;
-        };
-        std::vector<gnn::Sample> train, test;
-        train.reserve(split.train.size());
-        for (size_t i : split.train)
-            train.push_back(to_sample(i));
-        for (size_t i : split.test)
-            test.push_back(to_sample(i));
-
-        gnn::TrainConfig cfg;
-        cfg.epochs = epochs;
-        cfg.learningRate = 1e-3;
-        cfg.batchSize = 16;
-        cfg.seed = 0x5eed + static_cast<uint64_t>(c);
-        gnn::Trainer trainer(cfg);
-        trainer.train(train);
-        gnn::EvalMetrics m = trainer.evaluate(test);
-
+        auto r = gnn::runExperiment(ds, gnn::TargetMetric::Latency, c,
+                                    opts);
         const PaperRow &p = paperRows[c];
-        rows[0].push_back(fmtDouble(cfg.learningRate, 3));
-        rows[1].push_back(std::to_string(cfg.batchSize));
-        rows[2].push_back(fmtCount(train.size()) + " (paper 254,160)");
-        rows[3].push_back(fmtCount(test.size()) + " (paper 84,680)");
-        rows[4].push_back(bench::vsPaper(m.avgAccuracy, p.accuracy, 3));
-        rows[5].push_back(bench::vsPaper(m.spearman, p.spearman, 5));
-        rows[6].push_back(bench::vsPaper(m.pearson, p.pearson, 5));
+        rows[0].push_back(fmtDouble(opts.train.learningRate, 3));
+        rows[1].push_back(std::to_string(opts.train.batchSize));
+        rows[2].push_back(fmtCount(r.trainSize) + " (paper 254,160)");
+        rows[3].push_back(fmtCount(r.testSize) + " (paper 84,680)");
+        rows[4].push_back(
+            bench::vsPaper(r.metrics.avgAccuracy, p.accuracy, 3));
+        rows[5].push_back(
+            bench::vsPaper(r.metrics.spearman, p.spearman, 5));
+        rows[6].push_back(
+            bench::vsPaper(r.metrics.pearson, p.pearson, 5));
     }
     const char *names[7] = {"Learning Rate",        "Batch Size",
                             "Training Set Size",    "Test Set Size",
@@ -118,6 +87,31 @@ BM_GnnPrediction(benchmark::State &state)
     }
 }
 BENCHMARK(BM_GnnPrediction)->Unit(benchmark::kMicrosecond);
+
+void
+BM_GnnPredictionBatched(benchmark::State &state)
+{
+    // The inference hot path the learned characterization backend
+    // runs: packed-batch prediction through a warmed PredictContext.
+    const auto &ds = bench::dataset();
+    size_t count = std::min<size_t>(gnn::predictBatchBlock, ds.size());
+    std::vector<nas::CellSpec> cells;
+    for (size_t i = 0; i < count; i++)
+        cells.push_back(ds.records[i].spec);
+    etpu::Rng rng(1);
+    gnn::Predictor p;
+    p.model.init({}, rng);
+    gnn::PredictContext ctx;
+    std::vector<double> preds(cells.size());
+    ctx.predictRange(p, cells.data(), cells.size(), preds.data());
+    for (auto _ : state) {
+        ctx.predictRange(p, cells.data(), cells.size(), preds.data());
+        benchmark::DoNotOptimize(preds[0]);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations() * cells.size()));
+}
+BENCHMARK(BM_GnnPredictionBatched)->Unit(benchmark::kMicrosecond);
 
 } // namespace
 

@@ -2,15 +2,19 @@
  * @file
  * Train the graph-network performance model on simulated V1 latencies
  * of a small slice of the NASBench space (all cells with <= 5
- * vertices) and compare predictions against the simulator on held-out
- * cells — a miniature of the paper's Table 8 experiment.
+ * vertices), compare predictions against the simulator on held-out
+ * cells — a miniature of the paper's Table 8 experiment — and then
+ * round-trip the trained model through an ETPUGNN1 checkpoint, the
+ * artifact `etpu_build_dataset --backend learned` consumes.
  *
  *   $ ./learned_latency_model
  */
 
+#include <cstdio>
 #include <iostream>
 
 #include "common/table.hh"
+#include "gnn/predict_context.hh"
 #include "gnn/trainer.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
@@ -64,5 +68,32 @@ main()
                 fmtDouble(trainer.predict(test[k].graph), 4)});
     }
     ex.print(std::cout);
-    return 0;
+
+    // Round-trip through a checkpoint: the loaded predictor (driven
+    // through the batched inference context, like the learned
+    // characterization backend) must reproduce the trainer's
+    // predictions bit for bit.
+    const char *ckpt = "learned_latency_model.ckpt";
+    gnn::CheckpointBundle bundle;
+    bundle.models.push_back(trainer.makePredictor(
+        gnn::modelName(gnn::TargetMetric::Latency, 0)));
+    if (!gnn::saveCheckpoint(ckpt, bundle))
+        return 1;
+    gnn::CheckpointBundle loaded;
+    if (!gnn::loadCheckpoint(ckpt, loaded))
+        return 1;
+    gnn::PredictContext ctx;
+    bool exact = true;
+    for (size_t k = 0; k < test.size(); k++) {
+        exact = exact &&
+                ctx.predict(loaded.models[0],
+                            ds.records[split.test[k]].spec) ==
+                    trainer.predict(test[k].graph);
+    }
+    std::cout << "\ncheckpoint round-trip (" << ckpt << "): "
+              << (exact ? "bit-exact on every held-out cell"
+                        : "MISMATCH")
+              << "\n";
+    std::remove(ckpt);
+    return exact ? 0 : 1;
 }

@@ -8,9 +8,17 @@
  * up from the last finished shard with --resume instead of restarting
  * the campaign.
  *
+ * The metric engine is selectable: the default simulator backend, or
+ * --backend learned with a checkpoint bundle trained by etpu_train,
+ * which predicts each cell's metrics through the GNN performance
+ * model instead of simulating it (the paper's "learned cost model
+ * stands in for the simulator" scenario).
+ *
  * Usage: etpu_build_dataset [--sample N] [--out PATH] [--threads N]
  *                           [--shards N] [--resume]
  *                           [--stop-after-shards N]
+ *                           [--backend simulator|learned]
+ *                           [--model CKPT]
  */
 
 #include <algorithm>
@@ -62,24 +70,50 @@ main(int argc, char **argv)
             opts.resume = true;
         } else if (arg == "--stop-after-shards") {
             opts.stopAfterShards = static_cast<size_t>(next_count());
+        } else if (arg == "--backend") {
+            std::string backend = next();
+            if (backend == "simulator") {
+                opts.backend.kind = pipeline::Backend::Simulator;
+            } else if (backend == "learned") {
+                opts.backend.kind = pipeline::Backend::Learned;
+            } else {
+                etpu_fatal("--backend expects simulator|learned, "
+                           "got \"", backend, "\"");
+            }
+        } else if (arg == "--model") {
+            opts.backend.modelPath = next();
         } else if (arg == "--help" || arg == "-h") {
             std::cout
                 << "usage: etpu_build_dataset [--sample N] [--out PATH] "
                    "[--threads N]\n"
                    "                          [--shards N] [--resume] "
                    "[--stop-after-shards N]\n"
+                   "                          [--backend "
+                   "simulator|learned] [--model CKPT]\n"
                    "--shards 0 picks the shard count automatically; "
                    "--resume adopts the\n"
                    "verified shards an interrupted build left in "
                    "<out>.partial/<out>.manifest;\n"
                    "--stop-after-shards induces such an interruption "
                    "(testing hook).\n"
+                   "--backend learned characterizes cells through an "
+                   "etpu_train checkpoint\n"
+                   "(--model, default etpu_gnn.ckpt) instead of the "
+                   "simulator.\n"
                    "defaults honor $ETPU_SAMPLE, $ETPU_DATASET_PATH, "
                    "$ETPU_THREADS and $ETPU_SHARDS\n";
             return 0;
         } else {
             etpu_fatal("unknown argument ", arg);
         }
+    }
+    if (opts.backend.kind == pipeline::Backend::Learned &&
+        opts.backend.modelPath.empty()) {
+        opts.backend.modelPath = "etpu_gnn.ckpt";
+    }
+    if (opts.backend.kind == pipeline::Backend::Simulator &&
+        !opts.backend.modelPath.empty()) {
+        etpu_fatal("--model requires --backend learned");
     }
 
     // Match sharedDataset()'s cache naming: sampled datasets must not
@@ -100,6 +134,10 @@ main(int argc, char **argv)
     pipeline::sampleCells(cells, sample);
     if (sample && sample < enumerated)
         std::cout << "sampled down to " << cells.size() << " cells\n";
+    if (opts.backend.kind == pipeline::Backend::Learned) {
+        std::cout << "characterizing via learned backend ("
+                  << opts.backend.modelPath << ")\n";
+    }
 
     auto result = pipeline::buildDatasetSharded(cells, out_path, opts);
     if (result.reused) {

@@ -1,0 +1,335 @@
+/**
+ * @file
+ * CLI that trains the learned performance model (paper Table 8) from a
+ * characterization dataset cache and writes an ETPUGNN1 checkpoint
+ * bundle that etpu_build_dataset --backend learned can load. One model
+ * is trained per (metric, accelerator config) pair on the dataset's
+ * deterministic 60/20/20 split, and the paper's evaluation metrics
+ * (average accuracy, Spearman, Pearson) are reported on the held-out
+ * test split. --eval re-scores an existing checkpoint against the
+ * cache instead of training.
+ *
+ * Usage: etpu_train [--cache PATH] [--out CKPT] [--eval CKPT]
+ *                   [--metrics latency|energy|latency,energy]
+ *                   [--profile paper|fast] [--epochs N] [--latent N]
+ *                   [--mps N] [--batch N] [--lr X] [--seed N]
+ *                   [--train-cap N] [--test-cap N] [--threads N]
+ *                   [--json PATH]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "gnn/experiment.hh"
+#include "pipeline/builder.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+/** One scored model, for the report table and the JSON artifact. */
+struct ScoredModel
+{
+    std::string name;
+    gnn::EvalMetrics metrics;
+    size_t trainSize = 0;
+    size_t testSize = 0;
+    double seconds = 0.0;
+};
+
+void
+printReport(const std::vector<ScoredModel> &scored)
+{
+    AsciiTable t("learned performance model — held-out test metrics");
+    t.header({"Model", "Avg. Accuracy", "Spearman", "Pearson", "Test",
+              "Train", "Seconds"});
+    for (const ScoredModel &s : scored) {
+        t.row({s.name, fmtDouble(s.metrics.avgAccuracy, 4),
+               fmtDouble(s.metrics.spearman, 5),
+               fmtDouble(s.metrics.pearson, 5),
+               fmtCount(s.testSize), fmtCount(s.trainSize),
+               fmtDouble(s.seconds, 1)});
+    }
+    t.print(std::cout);
+}
+
+bool
+writeMetricsJson(const std::string &path,
+                 const std::vector<ScoredModel> &scored)
+{
+    std::ofstream json(path, std::ios::trunc);
+    if (!json)
+        return false;
+    json << "{\n  \"bench\": \"table8_learned_model\",\n  \"models\": [";
+    for (size_t i = 0; i < scored.size(); i++) {
+        const ScoredModel &s = scored[i];
+        json << (i ? "," : "") << "\n    {\n"
+             << "      \"name\": \"" << s.name << "\",\n"
+             << "      \"avg_accuracy\": "
+             << fmtDouble(s.metrics.avgAccuracy, 6) << ",\n"
+             << "      \"spearman\": "
+             << fmtDouble(s.metrics.spearman, 6) << ",\n"
+             << "      \"pearson\": "
+             << fmtDouble(s.metrics.pearson, 6) << ",\n"
+             << "      \"train_size\": " << s.trainSize << ",\n"
+             << "      \"test_size\": " << s.testSize << ",\n"
+             << "      \"train_seconds\": " << fmtDouble(s.seconds, 3)
+             << "\n    }";
+    }
+    json << "\n  ]\n}\n";
+    json.flush();
+    return static_cast<bool>(json);
+}
+
+std::vector<gnn::TargetMetric>
+parseMetrics(const std::string &text)
+{
+    std::vector<gnn::TargetMetric> metrics;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        std::string token = text.substr(
+            start, comma == std::string::npos ? std::string::npos
+                                              : comma - start);
+        gnn::TargetMetric metric{};
+        if (token == "latency") {
+            metric = gnn::TargetMetric::Latency;
+        } else if (token == "energy") {
+            metric = gnn::TargetMetric::Energy;
+        } else {
+            etpu_fatal("--metrics expects latency|energy|latency,"
+                       "energy, got \"", token, "\"");
+        }
+        if (std::find(metrics.begin(), metrics.end(), metric) !=
+            metrics.end()) {
+            etpu_fatal("--metrics lists \"", token, "\" twice");
+        }
+        metrics.push_back(metric);
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return metrics;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string cache_path = pipeline::resolvedCachePath();
+    std::string out_path = "etpu_gnn.ckpt";
+    std::string eval_path;
+    std::string json_path;
+    std::string metrics_arg = "latency";
+
+    gnn::ExperimentOptions opts;
+    gnn::applyEnvOverrides(opts);
+
+    // Flags that only affect training; combining them with --eval
+    // would silently do nothing, so it is an error instead.
+    std::string training_flag;
+
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<uint64_t>(*n);
+        };
+        auto next_positive = [&]() {
+            auto n = next_count();
+            if (!n)
+                etpu_fatal(arg, " expects a count >= 1");
+            return n;
+        };
+        auto training_only = [&]() {
+            if (training_flag.empty())
+                training_flag = arg;
+        };
+        if (arg == "--cache") {
+            cache_path = next();
+        } else if (arg == "--out") {
+            training_only();
+            out_path = next();
+        } else if (arg == "--eval") {
+            eval_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--metrics") {
+            training_only();
+            metrics_arg = next();
+        } else if (arg == "--profile") {
+            training_only();
+            std::string profile = next();
+            if (profile == "paper") {
+                opts.train.model = {};
+            } else if (profile == "fast") {
+                // Measurably cheaper inference than the simulator at a
+                // few points of accuracy (see docs/ARCHITECTURE.md).
+                opts.train.model.latent = 8;
+                opts.train.model.messagePassingSteps = 1;
+            } else {
+                etpu_fatal("--profile expects paper|fast, got \"",
+                           profile, "\"");
+            }
+        } else if (arg == "--epochs") {
+            training_only();
+            opts.train.epochs = static_cast<int>(next_positive());
+        } else if (arg == "--latent") {
+            training_only();
+            opts.train.model.latent = static_cast<int>(next_positive());
+        } else if (arg == "--mps") {
+            training_only();
+            opts.train.model.messagePassingSteps =
+                static_cast<int>(next_positive());
+        } else if (arg == "--batch") {
+            training_only();
+            opts.train.batchSize = static_cast<int>(next_positive());
+        } else if (arg == "--lr") {
+            training_only();
+            const char *text = next();
+            char *end = nullptr;
+            double lr = std::strtod(text, &end);
+            if (end == text || *end != '\0' || !(lr > 0.0))
+                etpu_fatal("--lr expects a positive number, got ", text);
+            opts.train.learningRate = lr;
+        } else if (arg == "--seed") {
+            training_only();
+            opts.train.seed = next_count();
+        } else if (arg == "--train-cap") {
+            training_only();
+            opts.trainCap = static_cast<size_t>(next_count());
+        } else if (arg == "--test-cap") {
+            opts.testCap = static_cast<size_t>(next_count());
+        } else if (arg == "--threads") {
+            constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+            opts.train.threads =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: etpu_train [--cache PATH] [--out CKPT] "
+                   "[--eval CKPT]\n"
+                   "                  [--metrics latency|energy|"
+                   "latency,energy]\n"
+                   "                  [--profile paper|fast] "
+                   "[--epochs N] [--latent N] [--mps N]\n"
+                   "                  [--batch N] [--lr X] [--seed N] "
+                   "[--train-cap N]\n"
+                   "                  [--test-cap N] [--threads N] "
+                   "[--json PATH]\n"
+                   "trains one GNN performance model per (metric, "
+                   "config) pair on the dataset\n"
+                   "cache's 60/20/20 split and writes an ETPUGNN1 "
+                   "checkpoint bundle; --eval\n"
+                   "re-scores an existing checkpoint instead. "
+                   "--profile fast = --latent 8 --mps 1.\n"
+                   "defaults honor $ETPU_SAMPLE, $ETPU_DATASET_PATH, "
+                   "$ETPU_THREADS and the\n"
+                   "$ETPU_GNN_EPOCHS / $ETPU_GNN_TRAIN / $ETPU_GNN_TEST "
+                   "knobs.\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+
+    if (!eval_path.empty() && !training_flag.empty()) {
+        etpu_fatal(training_flag, " only affects training and is "
+                   "ignored by --eval; drop one of them");
+    }
+
+    nas::Dataset ds;
+    if (!nas::Dataset::load(cache_path, ds)) {
+        etpu_fatal("cannot load dataset cache ", cache_path,
+                   " (build it first: etpu_build_dataset",
+                   ")");
+    }
+    std::cout << "loaded " << fmtCount(ds.size()) << " records from "
+              << cache_path << "\n";
+
+    std::vector<ScoredModel> scored;
+
+    if (!eval_path.empty()) {
+        // Evaluation-only mode: score an existing checkpoint on this
+        // cache's held-out test split.
+        gnn::CheckpointBundle bundle;
+        if (!gnn::loadCheckpoint(eval_path, bundle))
+            etpu_fatal("cannot load checkpoint ", eval_path);
+        auto split = gnn::splitDataset(ds.size(), opts.splitSeed);
+        if (opts.testCap && split.test.size() > opts.testCap)
+            split.test.resize(opts.testCap);
+        for (const gnn::Predictor &p : bundle.models) {
+            gnn::TargetMetric metric{};
+            int config = 0;
+            if (!gnn::parseModelName(p.name, metric, config) ||
+                config >= nas::numAccelerators) {
+                etpu_warn("skipping unrecognized model \"", p.name,
+                          "\" in ", eval_path);
+                continue;
+            }
+            auto test =
+                gnn::assembleSamples(ds, split.test, metric, config);
+            ScoredModel s;
+            s.name = p.name;
+            s.metrics =
+                gnn::evaluatePredictor(p, test, opts.train.threads);
+            s.testSize = test.size();
+            scored.push_back(std::move(s));
+        }
+        if (scored.empty())
+            etpu_fatal("checkpoint ", eval_path,
+                       " contains no recognizable models");
+        printReport(scored);
+        std::cout << "evaluated " << scored.size() << " models from "
+                  << eval_path << "\n";
+    } else {
+        auto metrics = parseMetrics(metrics_arg);
+        gnn::CheckpointBundle bundle;
+        for (gnn::TargetMetric metric : metrics) {
+            for (int c = 0; c < nas::numAccelerators; c++) {
+                auto result = gnn::runExperiment(ds, metric, c, opts);
+                ScoredModel s;
+                s.name = result.predictor.name;
+                s.metrics = result.metrics;
+                s.trainSize = result.trainSize;
+                s.testSize = result.testSize;
+                s.seconds = result.trainSeconds;
+                std::cout << "trained " << s.name << " ("
+                          << fmtCount(result.trainSize)
+                          << " samples, " << fmtDouble(s.seconds, 1)
+                          << " s)\n";
+                scored.push_back(std::move(s));
+                bundle.models.push_back(std::move(result.predictor));
+            }
+        }
+        printReport(scored);
+        if (!gnn::saveCheckpoint(out_path, bundle))
+            etpu_fatal("cannot write checkpoint to ", out_path);
+        std::cout << "wrote " << bundle.models.size() << " models to "
+                  << out_path << "\n";
+    }
+
+    if (!json_path.empty()) {
+        if (!writeMetricsJson(json_path, scored))
+            etpu_fatal("cannot write metrics JSON to ", json_path);
+        std::cout << "metrics written to " << json_path << "\n";
+    }
+    return 0;
+}

@@ -1,0 +1,77 @@
+#include "experiment.hh"
+
+#include <chrono>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace etpu::gnn
+{
+
+void
+applyEnvOverrides(ExperimentOptions &opts)
+{
+    if (auto n = envCount("ETPU_GNN_EPOCHS"))
+        opts.train.epochs = static_cast<int>(*n);
+    if (auto n = envCount("ETPU_GNN_TRAIN"))
+        opts.trainCap = static_cast<size_t>(*n);
+    if (auto n = envCount("ETPU_GNN_TEST"))
+        opts.testCap = static_cast<size_t>(*n);
+}
+
+std::vector<Sample>
+assembleSamples(const nas::Dataset &ds, const std::vector<size_t> &idx,
+                TargetMetric metric, int config)
+{
+    if (config < 0 || config >= nas::numAccelerators)
+        etpu_fatal("assembleSamples: config ", config, " out of range");
+    std::vector<Sample> samples;
+    samples.reserve(idx.size());
+    auto c = static_cast<size_t>(config);
+    for (size_t i : idx) {
+        const nas::ModelRecord &rec = ds.records[i];
+        Sample s;
+        s.graph = featurize(rec.spec);
+        s.target = metric == TargetMetric::Latency
+                       ? rec.latencyMs[c]
+                       : rec.energyMj[c];
+        samples.push_back(std::move(s));
+    }
+    return samples;
+}
+
+ExperimentResult
+runExperiment(const nas::Dataset &ds, TargetMetric metric, int config,
+              const ExperimentOptions &opts)
+{
+    auto split = splitDataset(ds.size(), opts.splitSeed);
+    if (opts.trainCap && split.train.size() > opts.trainCap)
+        split.train.resize(opts.trainCap);
+    if (opts.testCap && split.test.size() > opts.testCap)
+        split.test.resize(opts.testCap);
+
+    auto train = assembleSamples(ds, split.train, metric, config);
+    auto test = assembleSamples(ds, split.test, metric, config);
+
+    TrainConfig cfg = opts.train;
+    cfg.seed = opts.train.seed + static_cast<uint64_t>(config);
+    Trainer trainer(cfg);
+    auto t0 = std::chrono::steady_clock::now();
+    double loss = trainer.train(train);
+    double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+
+    ExperimentResult result;
+    result.predictor = trainer.makePredictor(modelName(metric, config));
+    result.metrics = evaluatePredictor(result.predictor, test,
+                                       cfg.threads);
+    result.trainSize = train.size();
+    result.testSize = test.size();
+    result.finalLoss = loss;
+    result.trainSeconds = seconds;
+    return result;
+}
+
+} // namespace etpu::gnn

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * The paper's Table 8 experiment as a reusable harness: deterministic
+ * 60/20/20 split of a characterization dataset, per-(metric, config)
+ * sample assembly, training and held-out evaluation. Shared by the
+ * etpu_train CLI and bench_table8_learned_model so the bench's numbers
+ * come from exactly the code that writes deployable checkpoints.
+ *
+ * Environment knobs (strictly parsed via common/env; junk warns and
+ * falls back): ETPU_GNN_EPOCHS, ETPU_GNN_TRAIN (training-sample cap,
+ * 0 = the full 60% split), ETPU_GNN_TEST (test-sample cap).
+ */
+
+#ifndef ETPU_GNN_EXPERIMENT_HH
+#define ETPU_GNN_EXPERIMENT_HH
+
+#include "gnn/predictor.hh"
+#include "gnn/trainer.hh"
+#include "nasbench/dataset.hh"
+
+namespace etpu::gnn
+{
+
+/** Options for one Table 8 style run (defaults follow the paper). */
+struct ExperimentOptions
+{
+    TrainConfig train;        //!< epochs / lr / batch / model shape
+    size_t trainCap = 120000; //!< cap on training samples (0 = full)
+    size_t testCap = 40000;   //!< cap on test samples (0 = full)
+    uint64_t splitSeed = 0x5eed;
+};
+
+/**
+ * Apply the ETPU_GNN_* environment overrides to @p opts.
+ * Unset variables leave the corresponding field untouched.
+ */
+void applyEnvOverrides(ExperimentOptions &opts);
+
+/**
+ * Assemble (featurized graph, metric value) samples for the dataset
+ * rows in @p idx, reading latencyMs/energyMj of @p config.
+ */
+std::vector<Sample> assembleSamples(const nas::Dataset &ds,
+                                    const std::vector<size_t> &idx,
+                                    TargetMetric metric, int config);
+
+/** Outcome of one per-(metric, config) experiment. */
+struct ExperimentResult
+{
+    Predictor predictor;  //!< trained model, named modelName(...)
+    EvalMetrics metrics;  //!< on the held-out test split
+    size_t trainSize = 0;
+    size_t testSize = 0;
+    double finalLoss = 0.0;
+    double trainSeconds = 0.0;
+};
+
+/**
+ * Run the Table 8 experiment for one (metric, config) pair: split,
+ * cap, train, evaluate. The trainer's seed is opts.train.seed + config
+ * so per-config models differ, as in the paper's per-config training.
+ */
+ExperimentResult runExperiment(const nas::Dataset &ds,
+                               TargetMetric metric, int config,
+                               const ExperimentOptions &opts);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_EXPERIMENT_HH

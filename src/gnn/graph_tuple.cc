@@ -7,24 +7,31 @@ GraphsTuple
 featurize(const nas::CellSpec &cell)
 {
     GraphsTuple g;
+    featurizeInto(cell, g);
+    return g;
+}
+
+void
+featurizeInto(const nas::CellSpec &cell, GraphsTuple &g)
+{
     int n = cell.numVertices();
-    g.nodes = Matrix(n, 1);
+    g.nodes.resize(n, 1);
     for (int v = 0; v < n; v++)
         g.nodes.at(v, 0) = opFloatCode(cell.ops[v]);
 
-    auto edges = cell.dag.edges();
-    g.edges = Matrix(static_cast<int>(edges.size()), 1);
-    g.senders.reserve(edges.size());
-    g.receivers.reserve(edges.size());
-    for (size_t i = 0; i < edges.size(); i++) {
-        g.edges.at(static_cast<int>(i), 0) = 1.0f;
-        g.senders.push_back(edges[i].first);
-        g.receivers.push_back(edges[i].second);
-    }
+    g.senders.clear();
+    g.receivers.clear();
+    int n_edges = cell.dag.numEdges();
+    g.edges.resize(n_edges, 1);
+    cell.dag.forEachEdge([&](int u, int v) {
+        g.senders.push_back(u);
+        g.receivers.push_back(v);
+    });
+    for (int e = 0; e < n_edges; e++)
+        g.edges.at(e, 0) = 1.0f;
 
-    g.global = Matrix(1, 1);
+    g.global.resize(1, 1);
     g.global.at(0, 0) = 1.0f;
-    return g;
 }
 
 } // namespace etpu::gnn

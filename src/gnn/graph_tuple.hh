@@ -36,6 +36,13 @@ struct GraphsTuple
  */
 GraphsTuple featurize(const nas::CellSpec &cell);
 
+/**
+ * featurize() into a caller-owned tuple, reusing its buffers: after the
+ * tuple has seen a graph at least as large, re-featurizing performs no
+ * heap allocation (the batched-prediction hot path).
+ */
+void featurizeInto(const nas::CellSpec &cell, GraphsTuple &out);
+
 } // namespace etpu::gnn
 
 #endif // ETPU_GNN_GRAPH_TUPLE_HH

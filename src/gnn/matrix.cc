@@ -24,6 +24,16 @@ Matrix::zero()
 }
 
 void
+Matrix::resize(int rows, int cols)
+{
+    if (rows < 0 || cols < 0)
+        etpu_panic("negative matrix shape ", rows, "x", cols);
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(static_cast<size_t>(rows) * cols);
+}
+
+void
 Matrix::addInPlace(const Matrix &other)
 {
     if (rows_ != other.rows_ || cols_ != other.cols_)

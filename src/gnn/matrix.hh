@@ -40,6 +40,15 @@ class Matrix
     /** Reset all entries to zero, keeping the shape. */
     void zero();
 
+    /**
+     * Reshape to rows x cols, reusing the existing storage. Entry
+     * values are unspecified afterwards (callers overwrite). Never
+     * shrinks capacity, so repeatedly resizing within a high-water
+     * mark performs no heap allocation — the property the inference
+     * hot path (PredictContext) is built on.
+     */
+    void resize(int rows, int cols);
+
     /** Elementwise in-place addition. @pre same shape. */
     void addInPlace(const Matrix &other);
 

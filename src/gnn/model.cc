@@ -151,20 +151,26 @@ GraphNetModel::init(const ModelConfig &config, Rng &rng)
     output.init(latent, 1, rng);
 }
 
+void
+GraphNetModel::initZero(const ModelConfig &config)
+{
+    cfg = config;
+    int latent = cfg.latent;
+    encEdge.initZero(cfg.edgeFeatures, latent);
+    encNode.initZero(cfg.nodeFeatures, latent);
+    encGlobal.initZero(cfg.globalFeatures, latent);
+    coreEdge.initZero(2 * latent * 4, latent);
+    coreNode.initZero(2 * latent + latent + 2 * latent, latent);
+    coreGlobal.initZero(2 * latent + latent + latent, latent);
+    decGlobal.initZero(latent, latent);
+    output.initZero(latent, 1);
+}
+
 GraphNetModel
 GraphNetModel::zeroClone() const
 {
     GraphNetModel z;
-    z.cfg = cfg;
-    int latent = cfg.latent;
-    z.encEdge.initZero(cfg.edgeFeatures, latent);
-    z.encNode.initZero(cfg.nodeFeatures, latent);
-    z.encGlobal.initZero(cfg.globalFeatures, latent);
-    z.coreEdge.initZero(2 * latent * 4, latent);
-    z.coreNode.initZero(2 * latent + latent + 2 * latent, latent);
-    z.coreGlobal.initZero(2 * latent + latent + latent, latent);
-    z.decGlobal.initZero(latent, latent);
-    z.output.initZero(latent, 1);
+    z.initZero(cfg);
     return z;
 }
 
@@ -181,12 +187,18 @@ GraphNetModel::forEach(const std::function<void(Matrix &)> &fn)
     forEachMatrix(output, fn);
 }
 
+void
+GraphNetModel::forEach(const std::function<void(const Matrix &)> &fn) const
+{
+    const_cast<GraphNetModel *>(this)->forEach(
+        [&](Matrix &m) { fn(m); });
+}
+
 size_t
 GraphNetModel::parameterCount() const
 {
     size_t count = 0;
-    const_cast<GraphNetModel *>(this)->forEach(
-        [&](Matrix &m) { count += m.data().size(); });
+    forEach([&](const Matrix &m) { count += m.data().size(); });
     return count;
 }
 

@@ -41,11 +41,17 @@ struct GraphNetModel
     /** Random initialization per the paper's training setup. */
     void init(const ModelConfig &config, Rng &rng);
 
+    /** Zero-initialized parameters with the shapes @p config implies. */
+    void initZero(const ModelConfig &config);
+
     /** Same-shape zero-initialized clone, used as a gradient buffer. */
     GraphNetModel zeroClone() const;
 
     /** Visit all parameter matrices (encoder, core, decoder, output). */
     void forEach(const std::function<void(Matrix &)> &fn);
+
+    /** Const visitation, in the same order (serialization, totals). */
+    void forEach(const std::function<void(const Matrix &)> &fn) const;
 
     /** Number of scalar parameters. */
     size_t parameterCount() const;

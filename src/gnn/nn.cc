@@ -64,11 +64,6 @@ LayerNorm::initZero(int features)
     beta = Matrix(1, features);
 }
 
-namespace
-{
-constexpr float lnEpsilon = 1e-5f;
-} // namespace
-
 Matrix
 layerNormForward(const LayerNorm &p, const Matrix &x,
                  LayerNormCache &cache)

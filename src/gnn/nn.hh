@@ -19,6 +19,13 @@
 namespace etpu::gnn
 {
 
+/**
+ * Layer-norm variance epsilon. Shared by the training forward pass
+ * (nn.cc) and the inference kernels (predict_context.cc), whose
+ * bit-exactness contract requires the exact same constant.
+ */
+inline constexpr float lnEpsilon = 1e-5f;
+
 /** Fully-connected layer y = x W + b. */
 struct DenseLayer
 {

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Per-worker reusable state for batched learned-model inference — the
+ * gnn mirror of sim::EvalContext. The tape-based gnn::forward() used by
+ * training allocates ~30 matrices per graph and runs every matmul over
+ * at most 9 rows, so inference cost is dominated by allocation and
+ * short-loop overhead rather than arithmetic. A PredictContext fixes
+ * both at once: it owns every intermediate buffer (Matrix::resize()
+ * reuses their storage, so steady-state prediction performs zero heap
+ * allocations), and it packs a whole range of cells into one stacked
+ * batch — node/edge/global rows of all graphs concatenated, with
+ * per-graph offsets — so the message-passing matmuls run over hundreds
+ * of rows instead of nine.
+ *
+ * Rows of different graphs never interact (edges index their own
+ * graph's nodes, reductions stay within one graph's row range), and
+ * each row's floating-point operations replicate the training path in
+ * the same order, so batched predictions are bit-exact with
+ * gnn::forward() on every graph (pinned in
+ * tests/test_predict_context.cc).
+ */
+
+#ifndef ETPU_GNN_PREDICT_CONTEXT_HH
+#define ETPU_GNN_PREDICT_CONTEXT_HH
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "gnn/predictor.hh"
+
+namespace etpu::gnn
+{
+
+/** Reusable featurize -> encode -> message-pass pipeline, one worker. */
+class PredictContext
+{
+  public:
+    /**
+     * Featurize a range of cells into the context's packed batch
+     * buffers. The batch stays loaded until the next featurize call,
+     * so several predictors can score the same cells (the learned
+     * characterization backend featurizes each block once, then
+     * predicts every configuration's metric over it).
+     */
+    void featurizeBatch(const nas::CellSpec *cells, size_t count);
+
+    /** Number of graphs currently featurized. */
+    size_t batchSize() const { return nodeOffset_.empty() ? 0 : nodeOffset_.size() - 1; }
+
+    /**
+     * Predict the raw (denormalized) metric of every featurized graph
+     * into @p out[0..batchSize()). Allocation-free in steady state.
+     */
+    void predictBatched(const Predictor &p, double *out);
+
+    /** featurizeBatch + predictBatched in one call. */
+    void predictRange(const Predictor &p, const nas::CellSpec *cells,
+                      size_t count, double *out);
+
+    /** Single-cell convenience (a one-graph batch). */
+    double predict(const Predictor &p, const nas::CellSpec &cell);
+
+    /**
+     * Normalized-space forward pass of one graph (a one-graph batch);
+     * bit-exact with gnn::forward(model, g).prediction.
+     */
+    double forwardNormalized(const GraphNetModel &model,
+                             const GraphsTuple &g);
+
+  private:
+    void forwardBatch(const GraphNetModel &model);
+
+    /** Width-specialized forward body (L = latent, 0 = dynamic). */
+    template <int L>
+    void forwardBatchImpl(const GraphNetModel &model);
+
+    // --- Packed batch (featurizeBatch) --------------------------------
+    Matrix nodes_, edges_, global_;  //!< stacked per-entity features
+    std::vector<int> senders_;       //!< global node index per edge
+    std::vector<int> receivers_;
+    std::vector<int> nodeGraph_;     //!< owning graph per node row
+    std::vector<int> edgeGraph_;     //!< owning graph per edge row
+    std::vector<int> nodeOffset_;    //!< per-graph node row ranges
+    std::vector<int> edgeOffset_;    //!< per-graph edge row ranges
+
+    // --- Forward-pass buffers -----------------------------------------
+    // Encoder outputs and the previous step's entity latents.
+    Matrix encE_, encN_, encG_;
+    Matrix prevE_, prevN_, prevG_;
+    // Per-step inputs (concat(encoded, previous)) and block outputs;
+    // the core updates' gather/concat inputs are never materialized
+    // (the fused kernels read the segment rows directly).
+    Matrix inE_, inN_, inG_;
+    Matrix eOut_, agg_, nOut_;
+    Matrix sumN_, sumE_, gOut_;
+    Matrix dec_, pred_;
+    Matrix h1_; //!< shared MLP hidden-layer scratch
+};
+
+/** One PredictContext per parallelFor worker for @p threads. */
+std::vector<PredictContext> makePredictContexts(unsigned threads = 0);
+
+/**
+ * Cells per packed batch used by predictBatch(): large enough that
+ * per-row arithmetic dominates, small enough to stay cache-resident.
+ */
+inline constexpr size_t predictBatchBlock = 256;
+
+/**
+ * The one chunking driver every batched consumer shares: split
+ * @p cells into predictBatchBlock-sized blocks, featurize each block
+ * once into a per-worker context (parallel_for-driven), and hand it
+ * to @p visit to consume — predict with one or several models, fill
+ * records, time a pass. @p visit receives the featurized context, the
+ * block's offset/length within @p cells, and the worker index.
+ *
+ * @param contexts Per-worker contexts (makePredictContexts(threads)).
+ */
+void forEachFeaturizedBlock(
+    const nas::CellSpec *cells, size_t count,
+    std::vector<PredictContext> &contexts, unsigned threads,
+    const std::function<void(PredictContext &ctx, size_t begin,
+                             size_t len, unsigned worker)> &visit);
+
+/**
+ * Predict @p count cells into @p out[0..count) via
+ * forEachFeaturizedBlock. Allocation-free in steady state when run
+ * single-threaded on warmed contexts (multi-threaded runs allocate
+ * only the worker threads).
+ */
+void predictBatch(const Predictor &p, const nas::CellSpec *cells,
+                  size_t count, double *out,
+                  std::vector<PredictContext> &contexts,
+                  unsigned threads = 0);
+
+/** Allocating convenience overload. */
+std::vector<double> predictBatch(const Predictor &p,
+                                 std::span<const nas::CellSpec> cells,
+                                 unsigned threads = 0);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_PREDICT_CONTEXT_HH

@@ -1,0 +1,300 @@
+#include "predictor.hh"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <utility>
+
+#include "common/checksum.hh"
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace etpu::gnn
+{
+
+namespace
+{
+
+constexpr std::string_view checkpointMagic = "ETPUGNN1";
+constexpr uint32_t checkpointVersion = 1;
+
+/** Plausibility cap on every dimension read from a checkpoint. */
+constexpr int maxDimension = 65536;
+constexpr uint32_t maxModels = 1024;
+constexpr uint64_t maxNameLength = 4096;
+
+} // namespace
+
+std::string_view
+metricName(TargetMetric metric)
+{
+    return metric == TargetMetric::Latency ? "latency" : "energy";
+}
+
+std::string
+modelName(TargetMetric metric, int config)
+{
+    return std::string(metricName(metric)) + "@V" +
+           std::to_string(config + 1);
+}
+
+bool
+parseModelName(std::string_view name, TargetMetric &metric, int &config)
+{
+    size_t at = name.find("@V");
+    if (at == std::string_view::npos)
+        return false;
+    std::string_view metric_part = name.substr(0, at);
+    if (metric_part == "latency")
+        metric = TargetMetric::Latency;
+    else if (metric_part == "energy")
+        metric = TargetMetric::Energy;
+    else
+        return false;
+    std::string_view num = name.substr(at + 2);
+    int v = 0;
+    auto [ptr, ec] =
+        std::from_chars(num.data(), num.data() + num.size(), v);
+    if (ec != std::errc() || ptr != num.data() + num.size() || v < 1)
+        return false;
+    config = v - 1;
+    return true;
+}
+
+double
+Predictor::predict(const GraphsTuple &g) const
+{
+    ForwardResult r = forward(model, g);
+    return r.prediction * targetStd + targetMean;
+}
+
+const Predictor *
+CheckpointBundle::find(std::string_view name) const
+{
+    for (const Predictor &p : models) {
+        if (p.name == name)
+            return &p;
+    }
+    return nullptr;
+}
+
+bool
+saveCheckpoint(const std::string &path, const CheckpointBundle &bundle)
+{
+    std::ostringstream payload_stream(std::ios::binary);
+    {
+        BinaryWriter w(payload_stream);
+        w.write<uint32_t>(static_cast<uint32_t>(bundle.models.size()));
+        for (const Predictor &p : bundle.models) {
+            w.writeString(p.name);
+            w.write<double>(p.targetMean);
+            w.write<double>(p.targetStd);
+            const ModelConfig &cfg = p.model.cfg;
+            w.write<int32_t>(cfg.latent);
+            w.write<int32_t>(cfg.messagePassingSteps);
+            w.write<int32_t>(cfg.nodeFeatures);
+            w.write<int32_t>(cfg.edgeFeatures);
+            w.write<int32_t>(cfg.globalFeatures);
+            uint32_t matrices = 0;
+            p.model.forEach([&](const Matrix &) { matrices++; });
+            w.write<uint32_t>(matrices);
+            p.model.forEach([&](const Matrix &m) {
+                w.write<int32_t>(m.rows());
+                w.write<int32_t>(m.cols());
+                w.writeBytes(m.data().data(),
+                             m.data().size() * sizeof(float));
+            });
+        }
+    }
+    std::string payload = std::move(payload_stream).str();
+
+    BinaryWriter out(path);
+    if (!out.ok()) {
+        etpu_warn("cannot open checkpoint for writing: ", path);
+        return false;
+    }
+    out.writeBytes(checkpointMagic.data(), checkpointMagic.size());
+    out.write<uint32_t>(checkpointVersion);
+    out.write<uint64_t>(payload.size());
+    out.write<uint32_t>(crc32(payload.data(), payload.size()));
+    out.writeBytes(payload.data(), payload.size());
+    if (!out.ok()) {
+        etpu_warn("failed writing checkpoint to ", path);
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/**
+ * Scalar parameter count a config implies, mirroring the shapes
+ * GraphNetModel::initZero materializes (load-time shape checks keep
+ * the two from drifting apart silently).
+ */
+uint64_t
+impliedParameters(const ModelConfig &cfg)
+{
+    auto L = static_cast<uint64_t>(cfg.latent);
+    auto mlp = [L](uint64_t in) {
+        // l1 (w + b) + l2 (w + b) + layer norm (gamma + beta).
+        return in * L + L + L * L + L + 2 * L;
+    };
+    return mlp(static_cast<uint64_t>(cfg.edgeFeatures)) +
+           mlp(static_cast<uint64_t>(cfg.nodeFeatures)) +
+           mlp(static_cast<uint64_t>(cfg.globalFeatures)) +
+           mlp(8 * L) + mlp(5 * L) + mlp(4 * L) + mlp(L) + (L + 1);
+}
+
+/**
+ * Parse the verified payload. @return false (caller warns with the
+ * payload offset) on any truncation or implausible field.
+ */
+bool
+parsePayload(BinaryReader &r, CheckpointBundle &out,
+             size_t payload_bytes)
+{
+    uint32_t count = 0;
+    if (!r.tryRead(count) || count > maxModels)
+        return false;
+    out.models.resize(count);
+    for (Predictor &p : out.models) {
+        uint64_t name_len = 0;
+        if (!r.tryRead(name_len) || name_len > maxNameLength ||
+            !r.tryReadBytes(p.name, name_len)) {
+            return false;
+        }
+        if (!r.tryRead(p.targetMean) || !r.tryRead(p.targetStd))
+            return false;
+        // Reject normalization state that would poison every
+        // prediction (the trainer refuses to produce it).
+        if (!std::isfinite(p.targetMean) ||
+            !std::isfinite(p.targetStd) || !(p.targetStd > 0.0)) {
+            return false;
+        }
+        ModelConfig cfg;
+        int32_t fields[5] = {};
+        for (int32_t &f : fields) {
+            if (!r.tryRead(f) || f < 1 || f > maxDimension)
+                return false;
+        }
+        cfg.latent = fields[0];
+        cfg.messagePassingSteps = fields[1];
+        cfg.nodeFeatures = fields[2];
+        cfg.edgeFeatures = fields[3];
+        cfg.globalFeatures = fields[4];
+        // The featurizer (the only input producer for checkpointed
+        // models) emits exactly one feature per node/edge/global, so
+        // a config demanding wider inputs could never be satisfied —
+        // reject it here instead of shape-panicking mid-prediction.
+        if (cfg.nodeFeatures != 1 || cfg.edgeFeatures != 1 ||
+            cfg.globalFeatures != 1) {
+            return false;
+        }
+
+        // A genuine checkpoint's payload holds every parameter's
+        // bytes, so the config cannot imply more floats than the
+        // (CRC-verified) payload physically contains. Checking before
+        // materializing keeps a crafted config from triggering a
+        // multi-gigabyte allocation — and a bad_alloc crash — instead
+        // of a clean load failure.
+        if (impliedParameters(cfg) * sizeof(float) > payload_bytes)
+            return false;
+
+        // Materialize the expected shapes from the config, then insist
+        // the stored matrices match them exactly: a checkpoint whose
+        // geometry disagrees with its own config is corrupt.
+        p.model.initZero(cfg);
+        uint32_t stored = 0;
+        if (!r.tryRead(stored))
+            return false;
+        uint32_t expected = 0;
+        std::as_const(p.model).forEach(
+            [&](const Matrix &) { expected++; });
+        if (stored != expected)
+            return false;
+        bool ok = true;
+        p.model.forEach([&](Matrix &m) {
+            if (!ok)
+                return;
+            int32_t rows = 0, cols = 0;
+            if (!r.tryRead(rows) || !r.tryRead(cols) ||
+                rows != m.rows() || cols != m.cols() ||
+                !r.tryReadBytes(m.data().data(),
+                                m.data().size() * sizeof(float))) {
+                ok = false;
+            }
+        });
+        if (!ok)
+            return false;
+    }
+    return r.exhausted();
+}
+
+} // namespace
+
+bool
+loadCheckpoint(const std::string &path, CheckpointBundle &out,
+               uint32_t *payload_crc)
+{
+    out.models.clear();
+    BinaryReader r(path);
+    if (!r.ok()) {
+        etpu_warn("cannot open checkpoint ", path);
+        return false;
+    }
+    std::string magic;
+    if (!r.tryReadBytes(magic, checkpointMagic.size()) ||
+        magic != checkpointMagic) {
+        etpu_warn("checkpoint ", path, " is not an ETPUGNN1 file");
+        return false;
+    }
+    uint32_t version = 0;
+    if (!r.tryRead(version)) {
+        etpu_warn("checkpoint ", path, " is truncated at byte ",
+                  r.offset());
+        return false;
+    }
+    if (version != checkpointVersion) {
+        etpu_warn("checkpoint ", path, " has unsupported version ",
+                  version, " (expected ", checkpointVersion, ")");
+        return false;
+    }
+    uint64_t payload_bytes = 0;
+    uint32_t crc = 0;
+    std::string payload;
+    if (!r.tryRead(payload_bytes) || !r.tryRead(crc) ||
+        !r.tryReadBytes(payload, payload_bytes)) {
+        etpu_warn("checkpoint ", path, " is truncated at byte ",
+                  r.offset());
+        return false;
+    }
+    if (!r.exhausted()) {
+        etpu_warn("checkpoint ", path, " has trailing garbage after byte ",
+                  r.offset());
+        return false;
+    }
+    uint32_t computed = crc32(payload.data(), payload.size());
+    if (computed != crc) {
+        etpu_warn("checkpoint ", path, " failed its CRC check (stored 0x",
+                  std::hex, crc, ", computed 0x", computed, std::dec,
+                  ")");
+        return false;
+    }
+
+    std::istringstream payload_stream(payload, std::ios::binary);
+    BinaryReader pr(payload_stream);
+    if (!parsePayload(pr, out, payload.size())) {
+        etpu_warn("checkpoint ", path,
+                  " is corrupt at payload byte ", pr.offset(),
+                  " despite a matching CRC");
+        out.models.clear();
+        return false;
+    }
+    if (payload_crc)
+        *payload_crc = crc;
+    return true;
+}
+
+} // namespace etpu::gnn

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Inference-side packaging of the learned performance model: a
+ * Predictor is a trained GraphNetModel plus the target-normalization
+ * state it was fitted with, named after the metric it predicts
+ * ("latency@V1", "energy@V3", ...). A CheckpointBundle is a set of
+ * predictors serialized to disk in the versioned ETPUGNN1 format:
+ *
+ *   header:  8-byte magic "ETPUGNN1" | u32 version
+ *            | u64 payload bytes | u32 crc32(payload)
+ *   payload: u32 model count, then per model:
+ *            name (u64 length + bytes) | f64 mean | f64 std
+ *            | i32 latent, messagePassingSteps, nodeFeatures,
+ *              edgeFeatures, globalFeatures
+ *            | u32 matrix count, then per matrix (forEach order):
+ *              i32 rows | i32 cols | rows*cols f32
+ *
+ * The whole payload is length- and CRC-guarded like the dataset
+ * cache's shard segments, so truncation, bit flips and trailing
+ * garbage are rejected instead of producing a silently wrong model;
+ * parameters round-trip bit-exactly (raw IEEE bytes, no text).
+ */
+
+#ifndef ETPU_GNN_PREDICTOR_HH
+#define ETPU_GNN_PREDICTOR_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "gnn/graph_tuple.hh"
+#include "gnn/model.hh"
+
+namespace etpu::gnn
+{
+
+/** Metric a learned model predicts. */
+enum class TargetMetric { Latency, Energy };
+
+/** "latency" / "energy". */
+std::string_view metricName(TargetMetric metric);
+
+/** Bundle-entry name for a (metric, config) pair: "latency@V1". */
+std::string modelName(TargetMetric metric, int config);
+
+/**
+ * Parse a bundle-entry name produced by modelName().
+ *
+ * @return true and fill @p metric / @p config (0-based) on success.
+ */
+bool parseModelName(std::string_view name, TargetMetric &metric,
+                    int &config);
+
+/** A trained model ready for inference on one metric. */
+struct Predictor
+{
+    std::string name;        //!< e.g. "latency@V1" (modelName())
+    GraphNetModel model;
+    double targetMean = 0.0; //!< z-score normalization the trainer fit
+    double targetStd = 1.0;
+
+    /**
+     * Predict the raw (denormalized) metric for one graph.
+     *
+     * Allocating convenience; batched callers use PredictContext.
+     */
+    double predict(const GraphsTuple &g) const;
+};
+
+/** A named set of predictors (typically one per accelerator config). */
+struct CheckpointBundle
+{
+    std::vector<Predictor> models;
+
+    /** Look up a predictor by name; null when absent. */
+    const Predictor *find(std::string_view name) const;
+};
+
+/**
+ * Serialize @p bundle to @p path in the ETPUGNN1 format.
+ *
+ * @return false (with a warning) when the file cannot be written.
+ */
+bool saveCheckpoint(const std::string &path,
+                    const CheckpointBundle &bundle);
+
+/**
+ * Load an ETPUGNN1 checkpoint.
+ *
+ * Strict: a missing file, wrong magic, unsupported version, truncation
+ * at any field, CRC mismatch or trailing garbage all warn (with byte
+ * offsets where meaningful) and fail the load, leaving @p out empty.
+ *
+ * @param payload_crc When non-null, receives the verified payload
+ *        CRC32 on success — a content identity of the loaded models
+ *        (the build manifest records it so --resume can refuse shards
+ *        predicted by a different checkpoint).
+ * @return true iff the whole bundle parsed and verified.
+ */
+bool loadCheckpoint(const std::string &path, CheckpointBundle &out,
+                    uint32_t *payload_crc = nullptr);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_PREDICTOR_HH

@@ -23,6 +23,12 @@ Trainer::train(const std::vector<Sample> &train)
 {
     if (train.empty())
         etpu_fatal("Trainer::train on empty sample set");
+    for (size_t i = 0; i < train.size(); i++) {
+        if (!std::isfinite(train[i].target)) {
+            etpu_fatal("Trainer::train sample ", i,
+                       " has a non-finite target ", train[i].target);
+        }
+    }
 
     // Z-score normalization of the raw targets.
     double sum = 0.0;
@@ -128,20 +134,38 @@ Trainer::predict(const GraphsTuple &g) const
 EvalMetrics
 Trainer::evaluate(const std::vector<Sample> &test) const
 {
+    return evaluatePredictor(makePredictor("eval"), test, cfg_.threads);
+}
+
+Predictor
+Trainer::makePredictor(std::string name) const
+{
+    Predictor p;
+    p.name = std::move(name);
+    p.model = model_;
+    p.targetMean = targetMean_;
+    p.targetStd = targetStd_;
+    return p;
+}
+
+EvalMetrics
+evaluatePredictor(const Predictor &p, const std::vector<Sample> &test,
+                  unsigned threads)
+{
     EvalMetrics m;
     if (test.empty())
         return m;
     std::vector<double> preds(test.size()), truth(test.size());
     parallelFor(0, test.size(), [&](size_t i, unsigned) {
-        preds[i] = predict(test[i].graph);
+        preds[i] = p.predict(test[i].graph);
         truth[i] = test[i].target;
-    }, cfg_.threads);
+    }, threads);
 
     double rel_err = 0.0, mse = 0.0;
     for (size_t i = 0; i < test.size(); i++) {
         double t = truth[i];
         rel_err += std::abs(preds[i] - t) / std::max(1e-9, std::abs(t));
-        double zn = (preds[i] - t) / targetStd_;
+        double zn = (preds[i] - t) / p.targetStd;
         mse += zn * zn;
     }
     m.count = test.size();

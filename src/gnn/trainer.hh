@@ -16,6 +16,7 @@
 #include "gnn/adam.hh"
 #include "gnn/graph_tuple.hh"
 #include "gnn/model.hh"
+#include "gnn/predictor.hh"
 
 namespace etpu::gnn
 {
@@ -60,6 +61,10 @@ class Trainer
     /**
      * Fit target normalization and train for cfg.epochs.
      *
+     * Fatal on an empty sample set and on any non-finite target: a
+     * NaN/inf would silently poison the normalization statistics and
+     * every parameter within one optimizer step.
+     *
      * @param train Training samples (raw metric targets).
      * @return final epoch's mean training loss (normalized space).
      */
@@ -71,6 +76,17 @@ class Trainer
     /** Evaluate on held-out samples. */
     EvalMetrics evaluate(const std::vector<Sample> &test) const;
 
+    /**
+     * Package the trained model for inference / checkpointing: a copy
+     * of the parameters plus the fitted target normalization, under
+     * the given bundle-entry name (e.g. modelName(metric, config)).
+     */
+    Predictor makePredictor(std::string name) const;
+
+    /** Target normalization fitted by train(). */
+    double targetMean() const { return targetMean_; }
+    double targetStd() const { return targetStd_; }
+
     const GraphNetModel &model() const { return model_; }
     GraphNetModel &model() { return model_; }
 
@@ -81,6 +97,16 @@ class Trainer
     double targetMean_ = 0.0;
     double targetStd_ = 1.0;
 };
+
+/**
+ * Evaluate a predictor on held-out samples (the paper's Table 8
+ * metrics). Trainer::evaluate and the etpu_train --eval mode share
+ * this, so a loaded checkpoint is scored by exactly the code that
+ * scored the in-memory model.
+ */
+EvalMetrics evaluatePredictor(const Predictor &p,
+                              const std::vector<Sample> &test,
+                              unsigned threads = 0);
 
 /**
  * Deterministic 60/20/20 train/validation/test split (the paper's

@@ -169,14 +169,7 @@ std::vector<std::pair<int, int>>
 Dag::edges() const
 {
     std::vector<std::pair<int, int>> result;
-    for (int u = 0; u < n_; u++) {
-        uint32_t succs = out_[u];
-        while (succs) {
-            int v = std::countr_zero(succs);
-            succs &= succs - 1;
-            result.emplace_back(u, v);
-        }
-    }
+    forEachEdge([&](int u, int v) { result.emplace_back(u, v); });
     return result;
 }
 

@@ -9,6 +9,7 @@
 #ifndef ETPU_GRAPH_DAG_HH
 #define ETPU_GRAPH_DAG_HH
 
+#include <bit>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -91,6 +92,27 @@ class Dag
 
     /** All edges as (src, dst) pairs in deterministic order. */
     std::vector<std::pair<int, int>> edges() const;
+
+    /**
+     * Visit every edge as fn(src, dst) in the same deterministic
+     * order as edges() — ascending source, then target — without
+     * materializing the pair vector. The GNN featurizers and edges()
+     * itself all walk edges through this, so the ordering invariant
+     * their bit-exactness proofs rely on lives in one place.
+     */
+    template <typename Fn>
+    void
+    forEachEdge(Fn &&fn) const
+    {
+        for (int u = 0; u < n_; u++) {
+            uint32_t succs = out_[u];
+            while (succs) {
+                int v = std::countr_zero(succs);
+                succs &= succs - 1;
+                fn(u, v);
+            }
+        }
+    }
 
     /** Packed upper-triangular bitmask (inverse of fromUpperBits). */
     uint64_t upperBits() const;

@@ -14,6 +14,7 @@
 #include "common/parallel_for.hh"
 #include "common/rng.hh"
 #include "common/serialize.hh"
+#include "gnn/predict_context.hh"
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
 #include "tpusim/eval_context.hh"
@@ -24,65 +25,208 @@ namespace etpu::pipeline
 namespace
 {
 
-/**
- * One reusable EvalContext per parallelFor worker, so the whole
- * campaign shares the per-worker scratch: accelerator validation and
- * Compiler/Simulator construction happen here, once, and the per-cell
- * loop below is allocation-free in steady state.
- */
-std::vector<sim::EvalContext>
-makeEvalContexts(unsigned threads)
-{
-    std::vector<sim::EvalContext> contexts;
-    contexts.resize(resolveWorkerCount(threads));
-    return contexts;
-}
-
-/** Characterize cells[begin..end) into out[0..end-begin). */
+/** Structural + surrogate fields shared by every backend. */
 void
-simulateRange(const std::vector<nas::CellSpec> &cells, size_t begin,
-              size_t end, std::vector<sim::EvalContext> &contexts,
-              nas::ModelRecord *out, unsigned threads)
+fillStructural(nas::ModelRecord &rec, const nas::CellSpec &cell,
+               const nas::Network &net)
 {
-    parallelFor(0, end - begin, [&](size_t i, unsigned worker) {
-        const nas::CellSpec &cell = cells[begin + i];
-        nas::ModelRecord &rec = out[i];
-        rec.spec = cell;
-
-        sim::EvalContext &ctx = contexts[worker];
-        auto results = ctx.evaluate(cell);
-        const nas::Network &net = ctx.network();
-        rec.params = net.trainableParams();
-        rec.macs = net.totalMacs();
-        rec.weightBytes = net.totalWeightBytes();
-        rec.accuracy =
-            static_cast<float>(nas::surrogateAccuracy(cell, rec.params));
-        rec.depth = static_cast<uint8_t>(cell.depth());
-        rec.width = static_cast<uint8_t>(cell.width());
-        rec.numConv3x3 =
-            static_cast<uint8_t>(cell.opCount(nas::Op::Conv3x3));
-        rec.numConv1x1 =
-            static_cast<uint8_t>(cell.opCount(nas::Op::Conv1x1));
-        rec.numMaxPool =
-            static_cast<uint8_t>(cell.opCount(nas::Op::MaxPool3x3));
-
-        for (size_t c = 0; c < results.size(); c++) {
-            rec.latencyMs[c] = static_cast<float>(results[c].latencyMs);
-            rec.energyMj[c] = static_cast<float>(results[c].energyMj);
-        }
-    }, threads);
+    rec.params = net.trainableParams();
+    rec.macs = net.totalMacs();
+    rec.weightBytes = net.totalWeightBytes();
+    rec.accuracy =
+        static_cast<float>(nas::surrogateAccuracy(cell, rec.params));
+    rec.depth = static_cast<uint8_t>(cell.depth());
+    rec.width = static_cast<uint8_t>(cell.width());
+    rec.numConv3x3 =
+        static_cast<uint8_t>(cell.opCount(nas::Op::Conv3x3));
+    rec.numConv1x1 =
+        static_cast<uint8_t>(cell.opCount(nas::Op::Conv1x1));
+    rec.numMaxPool =
+        static_cast<uint8_t>(cell.opCount(nas::Op::MaxPool3x3));
 }
+
+/** Per-worker learned-backend state next to its PredictContext. */
+struct LearnedAux
+{
+    nas::Network net; //!< rebuilt in place for the structural fields
+    /** Per-config prediction buffers for the current cell block. */
+    std::array<std::vector<double>, nas::numAccelerators> latency;
+    std::array<std::vector<double>, nas::numAccelerators> energy;
+};
+
+/**
+ * The backend seam of the characterization pipeline: one engine holds
+ * the per-worker reusable state for whichever metric engine a build
+ * uses — validated Compiler/Simulator pairs (simulator) or a loaded
+ * checkpoint bundle plus per-worker PredictContexts (learned) — and
+ * characterizes cell ranges into records. Constructed once per build,
+ * so checkpoint loading and accelerator validation never repeat per
+ * shard, and the per-cell loops stay allocation-free in steady state.
+ */
+class CharacterizeEngine
+{
+  public:
+    CharacterizeEngine(const BackendSpec &spec, unsigned threads)
+        : spec_(spec)
+    {
+        unsigned workers = resolveWorkerCount(threads);
+        if (spec_.kind == Backend::Simulator) {
+            simContexts_.resize(workers);
+            return;
+        }
+        // The descriptor is derived from the verified payload of the
+        // very bytes loaded here (not from a second read of the file,
+        // which could race with a concurrent retrain), so the
+        // manifest identity always matches the models in use.
+        uint32_t payload_crc = 0;
+        if (!gnn::loadCheckpoint(spec_.modelPath, bundle_,
+                                 &payload_crc)) {
+            etpu_fatal("learned backend: cannot load checkpoint ",
+                       spec_.modelPath);
+        }
+        std::ostringstream descr;
+        descr << "learned " << std::hex << payload_crc;
+        descriptor_ = descr.str();
+        for (int c = 0; c < nas::numAccelerators; c++) {
+            auto idx = static_cast<size_t>(c);
+            std::string latency_name =
+                gnn::modelName(gnn::TargetMetric::Latency, c);
+            latencyModels_[idx] = bundle_.find(latency_name);
+            if (!latencyModels_[idx]) {
+                etpu_fatal("learned backend: checkpoint ",
+                           spec_.modelPath, " has no \"", latency_name,
+                           "\" model (train one with etpu_train)");
+            }
+            energyModels_[idx] = bundle_.find(
+                gnn::modelName(gnn::TargetMetric::Energy, c));
+            if (!energyModels_[idx])
+                missingEnergy_ = true;
+        }
+        if (missingEnergy_) {
+            etpu_warn("learned backend: checkpoint ", spec_.modelPath,
+                      " has no energy models; energyMj columns will "
+                      "be zero (train with etpu_train --metrics "
+                      "latency,energy)");
+        }
+        predictContexts_.resize(workers);
+        learnedAux_.resize(workers);
+    }
+
+    // The per-config model pointers reference bundle_.models; a copy
+    // or move would leave them dangling in the source or destination.
+    CharacterizeEngine(const CharacterizeEngine &) = delete;
+    CharacterizeEngine &operator=(const CharacterizeEngine &) = delete;
+
+    /**
+     * Metric-engine identity for the build manifest: "simulator", or
+     * "learned <payload crc32>" of the loaded checkpoint.
+     */
+    const std::string &descriptor() const { return descriptor_; }
+
+    /** Characterize cells[begin..end) into out[0..end-begin). */
+    void
+    run(const std::vector<nas::CellSpec> &cells, size_t begin,
+        size_t end, nas::ModelRecord *out, unsigned threads)
+    {
+        if (spec_.kind == Backend::Simulator)
+            simulateRange(cells, begin, end, out, threads);
+        else
+            predictRange(cells, begin, end, out, threads);
+    }
+
+  private:
+    void
+    simulateRange(const std::vector<nas::CellSpec> &cells, size_t begin,
+                  size_t end, nas::ModelRecord *out, unsigned threads)
+    {
+        parallelFor(0, end - begin, [&](size_t i, unsigned worker) {
+            const nas::CellSpec &cell = cells[begin + i];
+            nas::ModelRecord &rec = out[i];
+            rec.spec = cell;
+
+            sim::EvalContext &ctx = simContexts_[worker];
+            auto results = ctx.evaluate(cell);
+            fillStructural(rec, cell, ctx.network());
+            for (size_t c = 0; c < results.size(); c++) {
+                rec.latencyMs[c] =
+                    static_cast<float>(results[c].latencyMs);
+                rec.energyMj[c] =
+                    static_cast<float>(results[c].energyMj);
+            }
+        }, threads);
+    }
+
+    /**
+     * The learned metric path: the shared block driver featurizes
+     * each block of cells once into a per-worker context, every
+     * per-config model predicts over it, and the records are filled.
+     * Per-graph results are bit-exact regardless of block boundaries,
+     * so the cache bytes do not depend on the thread count or block
+     * size.
+     */
+    void
+    predictRange(const std::vector<nas::CellSpec> &cells, size_t begin,
+                 size_t end, nas::ModelRecord *out, unsigned threads)
+    {
+        gnn::forEachFeaturizedBlock(
+            cells.data() + begin, end - begin, predictContexts_,
+            threads,
+            [&](gnn::PredictContext &ctx, size_t bstart, size_t len,
+                unsigned worker) {
+            LearnedAux &aux = learnedAux_[worker];
+            for (int c = 0; c < nas::numAccelerators; c++) {
+                auto idx = static_cast<size_t>(c);
+                aux.latency[idx].resize(len);
+                ctx.predictBatched(*latencyModels_[idx],
+                                   aux.latency[idx].data());
+                if (energyModels_[idx]) {
+                    aux.energy[idx].resize(len);
+                    ctx.predictBatched(*energyModels_[idx],
+                                       aux.energy[idx].data());
+                }
+            }
+            for (size_t i = 0; i < len; i++) {
+                const nas::CellSpec &cell = cells[begin + bstart + i];
+                nas::ModelRecord &rec = out[bstart + i];
+                rec.spec = cell;
+                nas::buildNetworkInto(cell, aux.net);
+                fillStructural(rec, cell, aux.net);
+                for (int c = 0; c < nas::numAccelerators; c++) {
+                    auto idx = static_cast<size_t>(c);
+                    rec.latencyMs[idx] =
+                        static_cast<float>(aux.latency[idx][i]);
+                    rec.energyMj[idx] =
+                        energyModels_[idx]
+                            ? static_cast<float>(aux.energy[idx][i])
+                            : 0.0f;
+                }
+            }
+        });
+    }
+
+    BackendSpec spec_;
+    std::vector<sim::EvalContext> simContexts_;
+    gnn::CheckpointBundle bundle_;
+    std::array<const gnn::Predictor *, nas::numAccelerators>
+        latencyModels_{};
+    std::array<const gnn::Predictor *, nas::numAccelerators>
+        energyModels_{};
+    bool missingEnergy_ = false;
+    std::string descriptor_ = "simulator";
+    std::vector<gnn::PredictContext> predictContexts_;
+    std::vector<LearnedAux> learnedAux_;
+};
 
 } // namespace
 
 nas::Dataset
-buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads)
+buildDataset(const std::vector<nas::CellSpec> &cells, unsigned threads,
+             const BackendSpec &backend)
 {
     nas::Dataset ds;
     ds.records.resize(cells.size());
-    auto contexts = makeEvalContexts(threads);
-    simulateRange(cells, 0, cells.size(), contexts, ds.records.data(),
-                  threads);
+    CharacterizeEngine engine(backend, threads);
+    engine.run(cells, 0, cells.size(), ds.records.data(), threads);
     return ds;
 }
 
@@ -117,8 +261,16 @@ struct Manifest
 {
     uint64_t cells = 0;
     uint64_t shards = 0;
+    /**
+     * Metric-engine identity the shards were built with ("simulator",
+     * or "learned <crc32 of the checkpoint bytes>"). Manifests
+     * written before the backend seam carry no backend line and parse
+     * as "simulator" — which is what they were.
+     */
+    std::string backend = "simulator";
     std::vector<ManifestShard> done;
 };
+
 
 template <typename T>
 bool
@@ -182,9 +334,20 @@ readManifest(const std::string &mpath)
             return corrupt(line);
         }
     }
+    bool first_body_line = true;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
+        // Optional backend-identity line (absent in manifests written
+        // before the backend seam existed = simulator).
+        if (first_body_line && line.rfind("backend ", 0) == 0) {
+            first_body_line = false;
+            m.backend = line.substr(8);
+            if (m.backend.empty())
+                return corrupt(line);
+            continue;
+        }
+        first_body_line = false;
         std::istringstream fields(line);
         std::string index_s, records_s, bytes_s, crc_s, end_s;
         uint64_t index = 0;
@@ -274,13 +437,14 @@ verifyPartialPrefix(const std::string &ppath, const Manifest &m,
 /** Write a fresh manifest holding the first @p upto entries of @p m. */
 bool
 writeManifestPrefix(const std::string &mpath, uint64_t cells,
-                    uint64_t shards, const std::vector<ManifestShard> &done,
-                    size_t upto)
+                    uint64_t shards, const std::string &backend,
+                    const std::vector<ManifestShard> &done, size_t upto)
 {
     std::ofstream out(mpath, std::ios::trunc);
     out << manifestHeader << "\n"
         << "cells " << cells << "\n"
-        << "shards " << shards << "\n";
+        << "shards " << shards << "\n"
+        << "backend " << backend << "\n";
     for (size_t i = 0; i < upto; i++)
         out << manifestShardLine(i, done[i]) << "\n";
     out.flush();
@@ -299,6 +463,7 @@ writeManifestPrefix(const std::string &mpath, uint64_t cells,
 size_t
 adoptPreviousBuild(const std::string &ppath, const std::string &mpath,
                    uint64_t n_cells, size_t n_shards,
+                   const std::string &backend,
                    const std::string &header, uint64_t &resume_offset)
 {
     auto m = readManifest(mpath);
@@ -311,11 +476,22 @@ adoptPreviousBuild(const std::string &ppath, const std::string &mpath,
                   "); rebuilding");
         return 0;
     }
+    if (m->backend != backend) {
+        // Adopting shards from another metric engine (or another
+        // checkpoint) would silently mix two models' numbers in one
+        // cache.
+        etpu_warn("resume: partial build in ", mpath,
+                  " was characterized with backend \"", m->backend,
+                  "\" but this build uses \"", backend,
+                  "\"; rebuilding");
+        return 0;
+    }
     size_t good = verifyPartialPrefix(ppath, *m, header);
     if (!good)
         return 0;
     if (good < m->done.size() &&
-        !writeManifestPrefix(mpath, n_cells, n_shards, m->done, good)) {
+        !writeManifestPrefix(mpath, n_cells, n_shards, backend,
+                             m->done, good)) {
         etpu_warn("resume: cannot rewrite manifest ", mpath,
                   "; rebuilding");
         return 0;
@@ -379,11 +555,17 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
     const std::string ppath = partialPath(out_path);
     const std::string mpath = manifestPath(out_path);
 
+    // Construct the engine first: a learned build with a missing or
+    // corrupt checkpoint must die here, before any resume state is
+    // touched.
+    CharacterizeEngine engine(opts.backend, opts.threads);
+    const std::string &backend = engine.descriptor();
+
     size_t done = 0;
     uint64_t offset = header.size();
     if (opts.resume) {
         done = adoptPreviousBuild(ppath, mpath, cells.size(), n_shards,
-                                  header, offset);
+                                  backend, header, offset);
         if (done) {
             etpu_inform("resume: reusing ", done, " of ", n_shards,
                         " shards from ", ppath);
@@ -401,8 +583,10 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
         partial.write(header.data(),
                       static_cast<std::streamsize>(header.size()));
         partial.flush();
-        if (!writeManifestPrefix(mpath, cells.size(), n_shards, {}, 0))
+        if (!writeManifestPrefix(mpath, cells.size(), n_shards,
+                                 backend, {}, 0)) {
             etpu_fatal("cannot write build manifest: ", mpath);
+        }
         manifest.open(mpath, std::ios::app);
     } else {
         partial.open(ppath, std::ios::binary | std::ios::app);
@@ -411,7 +595,6 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
     if (!partial || !manifest)
         etpu_fatal("cannot open build state for ", out_path);
 
-    auto contexts = makeEvalContexts(opts.threads);
     std::vector<nas::ModelRecord> shard_records;
     std::future<bool> writer;
     bool stopped = false;
@@ -423,8 +606,8 @@ buildDatasetSharded(const std::vector<nas::CellSpec> &cells,
         }
         auto [begin, end] = nas::shardRange(cells.size(), n_shards, s);
         shard_records.resize(end - begin);
-        simulateRange(cells, begin, end, contexts, shard_records.data(),
-                      opts.threads);
+        engine.run(cells, begin, end, shard_records.data(),
+                   opts.threads);
         nas::ShardSegment seg = nas::encodeShardSegment(
             shard_records.data(), shard_records.size());
 

@@ -27,15 +27,40 @@
 namespace etpu::pipeline
 {
 
+/** Engine that produces each cell's latency/energy metrics. */
+enum class Backend
+{
+    Simulator, //!< the cycle-estimating tpusim pipeline (default)
+    Learned,   //!< a trained GNN checkpoint (etpu_train output)
+};
+
+/**
+ * Backend selection for dataset builds. The learned backend loads an
+ * ETPUGNN1 checkpoint bundle and requires one latency model per
+ * accelerator configuration ("latency@V1".."latency@V3"); energy
+ * models are used when present, otherwise the energy columns are
+ * zero. Structural fields and the accuracy surrogate are computed the
+ * same way on both backends, so a learned cache differs from a
+ * simulated one only in the metric columns.
+ */
+struct BackendSpec
+{
+    Backend kind = Backend::Simulator;
+    /** Checkpoint bundle path (Backend::Learned only). */
+    std::string modelPath;
+};
+
 /**
  * Build records for the given cells (parallel, in memory).
  *
  * @param cells Cells to characterize.
  * @param threads Worker threads (0 = auto).
- * @return Dataset with structural, accuracy and simulation metrics.
+ * @param backend Metric engine (default: the simulator).
+ * @return Dataset with structural, accuracy and metric columns.
  */
 nas::Dataset buildDataset(const std::vector<nas::CellSpec> &cells,
-                          unsigned threads = 0);
+                          unsigned threads = 0,
+                          const BackendSpec &backend = {});
 
 /** Enumerate the full space and build its dataset. */
 nas::Dataset buildFullDataset(unsigned threads = 0);
@@ -55,6 +80,8 @@ struct ShardedBuildOptions
      * an induced interruption. 0 = run to completion.
      */
     size_t stopAfterShards = 0;
+    /** Metric engine (default: the simulator). */
+    BackendSpec backend;
 };
 
 /** Outcome of a sharded build. */

@@ -1,0 +1,325 @@
+/**
+ * @file
+ * Tests for the ETPUGNN1 checkpoint format: bit-exact round trips
+ * (parameters, normalization and every prediction), strict rejection
+ * of truncation at every byte, bit flips anywhere in the file, version
+ * mismatches and trailing garbage — the same corruption-rejection bar
+ * the dataset cache v2 format is held to.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/checksum.hh"
+#include "common/serialize.hh"
+#include "gnn/experiment.hh"
+#include "gnn/predictor.hh"
+#include "gnn/trainer.hh"
+#include "nasbench/enumerator.hh"
+#include "test_io_util.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+using nas::Op;
+
+/** A small trained bundle with real normalization state. */
+CheckpointBundle
+trainedBundle()
+{
+    auto cells = nas::enumerateCells({5, 9});
+    std::vector<Sample> samples;
+    Rng rng(7);
+    for (int i = 0; i < 32; i++) {
+        const auto &c = cells[rng.uniformInt(cells.size())];
+        Sample s;
+        s.graph = featurize(c);
+        s.target = 1.0 + 0.4 * c.opCount(Op::Conv3x3) +
+                   0.1 * c.depth();
+        samples.push_back(std::move(s));
+    }
+    TrainConfig cfg;
+    cfg.model.latent = 4;
+    cfg.model.messagePassingSteps = 2;
+    cfg.epochs = 2;
+    cfg.threads = 1;
+    CheckpointBundle bundle;
+    for (int c = 0; c < 2; c++) {
+        cfg.seed = 0x5eed + static_cast<uint64_t>(c);
+        Trainer t(cfg);
+        t.train(samples);
+        bundle.models.push_back(
+            t.makePredictor(modelName(TargetMetric::Latency, c)));
+    }
+    return bundle;
+}
+
+std::vector<const Matrix *>
+matricesOf(const GraphNetModel &m)
+{
+    std::vector<const Matrix *> out;
+    m.forEach([&](const Matrix &mat) { out.push_back(&mat); });
+    return out;
+}
+
+TEST(Checkpoint, RoundTripIsBitExact)
+{
+    std::string path = test::tmpPath("etpu_ckpt_roundtrip.bin");
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+
+    CheckpointBundle loaded;
+    ASSERT_TRUE(loadCheckpoint(path, loaded));
+    ASSERT_EQ(loaded.models.size(), bundle.models.size());
+    for (size_t m = 0; m < bundle.models.size(); m++) {
+        const Predictor &want = bundle.models[m];
+        const Predictor &got = loaded.models[m];
+        EXPECT_EQ(got.name, want.name);
+        // Normalization state and every parameter must round-trip to
+        // the exact bit pattern (raw IEEE bytes, no text formatting).
+        EXPECT_EQ(got.targetMean, want.targetMean);
+        EXPECT_EQ(got.targetStd, want.targetStd);
+        EXPECT_EQ(got.model.cfg.latent, want.model.cfg.latent);
+        EXPECT_EQ(got.model.cfg.messagePassingSteps,
+                  want.model.cfg.messagePassingSteps);
+        auto want_mats = matricesOf(want.model);
+        auto got_mats = matricesOf(got.model);
+        ASSERT_EQ(want_mats.size(), got_mats.size());
+        for (size_t i = 0; i < want_mats.size(); i++) {
+            ASSERT_EQ(want_mats[i]->rows(), got_mats[i]->rows());
+            ASSERT_EQ(want_mats[i]->cols(), got_mats[i]->cols());
+            EXPECT_EQ(0, std::memcmp(
+                             want_mats[i]->data().data(),
+                             got_mats[i]->data().data(),
+                             want_mats[i]->data().size() *
+                                 sizeof(float)))
+                << "model " << m << " matrix " << i;
+        }
+    }
+}
+
+TEST(Checkpoint, LoadedPredictionsMatchTrainerExactly)
+{
+    std::string path = test::tmpPath("etpu_ckpt_predict.bin");
+    auto cells = nas::enumerateCells({5, 9});
+    std::vector<Sample> samples;
+    Rng rng(11);
+    for (int i = 0; i < 24; i++) {
+        Sample s;
+        s.graph = featurize(cells[rng.uniformInt(cells.size())]);
+        s.target = 0.5 + 0.1 * i;
+        samples.push_back(std::move(s));
+    }
+    TrainConfig cfg;
+    cfg.epochs = 2;
+    cfg.threads = 1;
+    Trainer trainer(cfg);
+    trainer.train(samples);
+
+    CheckpointBundle bundle;
+    bundle.models.push_back(trainer.makePredictor("latency@V1"));
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    CheckpointBundle loaded;
+    ASSERT_TRUE(loadCheckpoint(path, loaded));
+    ASSERT_EQ(loaded.models.size(), 1u);
+
+    // The acceptance bar of the checkpoint feature: a saved-then-
+    // loaded model predicts the exact double the in-memory trainer
+    // does, on every sample.
+    for (const Sample &s : samples) {
+        EXPECT_EQ(loaded.models[0].predict(s.graph),
+                  trainer.predict(s.graph));
+    }
+}
+
+TEST(Checkpoint, RejectsTruncationAtEveryByte)
+{
+    std::string path = test::tmpPath("etpu_ckpt_trunc.bin");
+    std::string cut_path = test::tmpPath("etpu_ckpt_trunc_cut.bin");
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    std::string bytes = test::readFile(path);
+    ASSERT_GT(bytes.size(), 100u);
+
+    for (size_t cut = 0; cut < bytes.size(); cut++) {
+        test::writeFile(cut_path, bytes.substr(0, cut));
+        CheckpointBundle out;
+        ASSERT_FALSE(loadCheckpoint(cut_path, out))
+            << "accepted a checkpoint truncated to " << cut << " of "
+            << bytes.size() << " bytes";
+        EXPECT_TRUE(out.models.empty());
+    }
+}
+
+TEST(Checkpoint, RejectsBitFlipsAnywhere)
+{
+    std::string path = test::tmpPath("etpu_ckpt_flip.bin");
+    std::string flip_path = test::tmpPath("etpu_ckpt_flip_mut.bin");
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    std::string bytes = test::readFile(path);
+
+    // Flip one bit in every byte of the header and a stride of
+    // payload bytes (every byte would be slow; the CRC covers the
+    // payload uniformly).
+    size_t header = 8 + 4 + 8 + 4;
+    for (size_t pos = 0; pos < bytes.size();
+         pos += (pos < header ? 1 : 97)) {
+        std::string mutated = bytes;
+        mutated[pos] = static_cast<char>(mutated[pos] ^ 0x20);
+        test::writeFile(flip_path, mutated);
+        CheckpointBundle out;
+        EXPECT_FALSE(loadCheckpoint(flip_path, out))
+            << "accepted a checkpoint with byte " << pos << " flipped";
+    }
+}
+
+TEST(Checkpoint, RejectsVersionMismatch)
+{
+    std::string path = test::tmpPath("etpu_ckpt_version.bin");
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    std::string bytes = test::readFile(path);
+    // The u32 version sits right after the 8-byte magic.
+    bytes[8] = 2;
+    test::writeFile(path, bytes);
+    CheckpointBundle out;
+    EXPECT_FALSE(loadCheckpoint(path, out));
+}
+
+TEST(Checkpoint, RejectsTrailingGarbage)
+{
+    std::string path = test::tmpPath("etpu_ckpt_trailing.bin");
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    std::string bytes = test::readFile(path);
+    bytes.push_back('\0');
+    test::writeFile(path, bytes);
+    CheckpointBundle out;
+    EXPECT_FALSE(loadCheckpoint(path, out));
+}
+
+TEST(Checkpoint, RejectsForeignAndMissingFiles)
+{
+    std::string path = test::tmpPath("etpu_ckpt_foreign.bin");
+    test::writeFile(path, "this is not a checkpoint at all........");
+    CheckpointBundle out;
+    EXPECT_FALSE(loadCheckpoint(path, out));
+    EXPECT_FALSE(loadCheckpoint(
+        test::tmpPath("etpu_ckpt_does_not_exist.bin"), out));
+}
+
+TEST(Checkpoint, RejectsPoisonedNormalization)
+{
+    std::string path = test::tmpPath("etpu_ckpt_norm.bin");
+    CheckpointBundle bundle = trainedBundle();
+    CheckpointBundle out;
+
+    bundle.models[0].targetStd = 0.0;
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    EXPECT_FALSE(loadCheckpoint(path, out));
+
+    bundle.models[0].targetStd = std::nan("");
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    EXPECT_FALSE(loadCheckpoint(path, out));
+
+    bundle.models[0].targetStd = 1.0;
+    bundle.models[0].targetMean =
+        std::numeric_limits<double>::infinity();
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    EXPECT_FALSE(loadCheckpoint(path, out));
+}
+
+TEST(Checkpoint, RejectsConfigImplyingMoreParametersThanPayload)
+{
+    // A CRC-valid file whose config claims maximal dimensions must be
+    // rejected by arithmetic, before the loader materializes a
+    // ~100 GB model and dies in bad_alloc.
+    std::string path = test::tmpPath("etpu_ckpt_huge.bin");
+    std::ostringstream payload_stream(std::ios::binary);
+    {
+        BinaryWriter w(payload_stream);
+        w.write<uint32_t>(1);
+        w.writeString("latency@V1");
+        w.write<double>(0.0); // mean
+        w.write<double>(1.0); // std
+        w.write<int32_t>(65536); // latent
+        w.write<int32_t>(1);     // message-passing steps
+        w.write<int32_t>(1);     // node features
+        w.write<int32_t>(1);     // edge features
+        w.write<int32_t>(1);     // global features
+        w.write<uint32_t>(50);   // matrix count (never reached)
+    }
+    std::string payload = std::move(payload_stream).str();
+    {
+        BinaryWriter w(path);
+        w.writeBytes("ETPUGNN1", 8);
+        w.write<uint32_t>(1);
+        w.write<uint64_t>(payload.size());
+        w.write<uint32_t>(crc32(payload.data(), payload.size()));
+        w.writeBytes(payload.data(), payload.size());
+    }
+    CheckpointBundle out;
+    EXPECT_FALSE(loadCheckpoint(path, out));
+    EXPECT_TRUE(out.models.empty());
+}
+
+TEST(Checkpoint, RejectsFeatureCountsTheFeaturizerCannotProduce)
+{
+    // featurize() always emits 1-feature nodes/edges/globals; a model
+    // demanding wider inputs could never be driven, so it must fail
+    // at load, not shape-panic mid-prediction.
+    std::string path = test::tmpPath("etpu_ckpt_features.bin");
+    Rng rng(3);
+    ModelConfig cfg;
+    cfg.latent = 4;
+    cfg.nodeFeatures = 2;
+    Predictor p;
+    p.name = "latency@V1";
+    p.model.init(cfg, rng);
+    CheckpointBundle bundle;
+    bundle.models.push_back(std::move(p));
+    ASSERT_TRUE(saveCheckpoint(path, bundle));
+    CheckpointBundle out;
+    EXPECT_FALSE(loadCheckpoint(path, out));
+}
+
+TEST(Checkpoint, FindLooksUpByName)
+{
+    CheckpointBundle bundle = trainedBundle();
+    ASSERT_NE(bundle.find("latency@V1"), nullptr);
+    ASSERT_NE(bundle.find("latency@V2"), nullptr);
+    EXPECT_EQ(bundle.find("latency@V3"), nullptr);
+    EXPECT_EQ(bundle.find("energy@V1"), nullptr);
+    EXPECT_EQ(bundle.find("latency@V1")->name, "latency@V1");
+}
+
+TEST(ModelName, RoundTripsAndRejectsJunk)
+{
+    for (auto metric : {TargetMetric::Latency, TargetMetric::Energy}) {
+        for (int c = 0; c < 3; c++) {
+            TargetMetric parsed_metric{};
+            int parsed_config = -1;
+            ASSERT_TRUE(parseModelName(modelName(metric, c),
+                                       parsed_metric, parsed_config));
+            EXPECT_EQ(parsed_metric, metric);
+            EXPECT_EQ(parsed_config, c);
+        }
+    }
+    TargetMetric m{};
+    int c = 0;
+    EXPECT_FALSE(parseModelName("latency", m, c));
+    EXPECT_FALSE(parseModelName("latency@V0", m, c));
+    EXPECT_FALSE(parseModelName("latency@Vx", m, c));
+    EXPECT_FALSE(parseModelName("latency@V1x", m, c));
+    EXPECT_FALSE(parseModelName("power@V1", m, c));
+    EXPECT_FALSE(parseModelName("", m, c));
+}
+
+} // namespace

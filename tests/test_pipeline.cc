@@ -8,6 +8,8 @@
 #include <sstream>
 
 #include "common/checksum.hh"
+#include "gnn/experiment.hh"
+#include "gnn/predict_context.hh"
 #include "nasbench/accuracy.hh"
 #include "nasbench/network.hh"
 #include "pipeline/builder.hh"
@@ -421,6 +423,215 @@ TEST(Pipeline, ResolvedCachePathAppliesSampleSuffix)
               "/tmp/etpu_resolved.bin.64.sample");
     unsetenv("ETPU_SAMPLE");
     unsetenv("ETPU_DATASET_PATH");
+}
+
+// --- Learned characterization backend ---------------------------------
+
+/**
+ * Train a small latency bundle (one model per config) on a simulated
+ * dataset of chain cells and save it to @p path.
+ */
+gnn::CheckpointBundle
+trainSmallBundle(const nas::Dataset &ds, const std::string &path,
+                 bool with_energy)
+{
+    gnn::ExperimentOptions opts;
+    opts.train.model.latent = 4;
+    opts.train.model.messagePassingSteps = 1;
+    opts.train.epochs = 2;
+    opts.train.threads = 1;
+    gnn::CheckpointBundle bundle;
+    for (int c = 0; c < nas::numAccelerators; c++) {
+        auto r = gnn::runExperiment(ds, gnn::TargetMetric::Latency, c,
+                                    opts);
+        bundle.models.push_back(std::move(r.predictor));
+        if (with_energy) {
+            auto e = gnn::runExperiment(ds, gnn::TargetMetric::Energy,
+                                        c, opts);
+            bundle.models.push_back(std::move(e.predictor));
+        }
+    }
+    EXPECT_TRUE(gnn::saveCheckpoint(path, bundle));
+    return bundle;
+}
+
+TEST(Pipeline, LearnedBackendPredictsThroughTheCheckpoint)
+{
+    std::string ckpt = tmpPath("etpu_pipeline_learned.ckpt");
+    auto cells = manyCells(40);
+    nas::Dataset simulated = pipeline::buildDataset(cells, 1);
+    auto bundle = trainSmallBundle(simulated, ckpt, true);
+
+    pipeline::BackendSpec learned;
+    learned.kind = pipeline::Backend::Learned;
+    learned.modelPath = ckpt;
+    nas::Dataset predicted = pipeline::buildDataset(cells, 2, learned);
+    ASSERT_EQ(predicted.size(), cells.size());
+
+    gnn::PredictContext ctx;
+    for (size_t i = 0; i < cells.size(); i++) {
+        const auto &sim_rec = simulated.records[i];
+        const auto &rec = predicted.records[i];
+        // Structural fields and the surrogate must match the
+        // simulator backend exactly — only the metric columns differ.
+        EXPECT_EQ(rec.spec, sim_rec.spec);
+        EXPECT_EQ(rec.params, sim_rec.params);
+        EXPECT_EQ(rec.macs, sim_rec.macs);
+        EXPECT_EQ(rec.weightBytes, sim_rec.weightBytes);
+        EXPECT_EQ(rec.accuracy, sim_rec.accuracy);
+        EXPECT_EQ(rec.depth, sim_rec.depth);
+        EXPECT_EQ(rec.width, sim_rec.width);
+        // Metric columns are exactly the checkpoint's predictions.
+        for (int c = 0; c < nas::numAccelerators; c++) {
+            auto idx = static_cast<size_t>(c);
+            const gnn::Predictor *lat = bundle.find(
+                gnn::modelName(gnn::TargetMetric::Latency, c));
+            const gnn::Predictor *en = bundle.find(
+                gnn::modelName(gnn::TargetMetric::Energy, c));
+            ASSERT_NE(lat, nullptr);
+            ASSERT_NE(en, nullptr);
+            EXPECT_EQ(rec.latencyMs[idx],
+                      static_cast<float>(ctx.predict(*lat, cells[i])));
+            EXPECT_EQ(rec.energyMj[idx],
+                      static_cast<float>(ctx.predict(*en, cells[i])));
+        }
+    }
+    std::remove(ckpt.c_str());
+}
+
+TEST(Pipeline, LearnedBackendWithoutEnergyModelsZeroesEnergy)
+{
+    std::string ckpt = tmpPath("etpu_pipeline_learned_lat.ckpt");
+    auto cells = someCells();
+    nas::Dataset simulated = pipeline::buildDataset(cells, 1);
+    trainSmallBundle(simulated, ckpt, false);
+
+    pipeline::BackendSpec learned;
+    learned.kind = pipeline::Backend::Learned;
+    learned.modelPath = ckpt;
+    nas::Dataset predicted = pipeline::buildDataset(cells, 1, learned);
+    for (const auto &rec : predicted.records) {
+        for (float e : rec.energyMj)
+            EXPECT_EQ(e, 0.0f);
+    }
+    std::remove(ckpt.c_str());
+}
+
+TEST(Pipeline, LearnedShardedBuildMatchesInMemoryAcrossThreads)
+{
+    std::string ckpt = tmpPath("etpu_pipeline_learned_shard.ckpt");
+    std::string out = tmpPath("etpu_pipeline_learned_shard.bin");
+    cleanupBuild(out);
+    auto cells = manyCells(50);
+    nas::Dataset simulated = pipeline::buildDataset(cells, 1);
+    trainSmallBundle(simulated, ckpt, false);
+
+    pipeline::BackendSpec learned;
+    learned.kind = pipeline::Backend::Learned;
+    learned.modelPath = ckpt;
+    nas::Dataset in_memory = pipeline::buildDataset(cells, 1, learned);
+
+    pipeline::ShardedBuildOptions opts;
+    opts.threads = 4;
+    opts.shards = 3;
+    opts.backend = learned;
+    auto result = pipeline::buildDatasetSharded(cells, out, opts);
+    EXPECT_TRUE(result.finished);
+    nas::Dataset loaded;
+    ASSERT_TRUE(nas::Dataset::load(out, loaded));
+    ASSERT_EQ(loaded.size(), in_memory.size());
+    // Batched per-graph predictions are bit-exact regardless of block
+    // or shard boundaries and thread count, so the cache holds the
+    // exact same floats the in-memory single-threaded build produced.
+    for (size_t i = 0; i < loaded.size(); i++) {
+        EXPECT_EQ(loaded.records[i].latencyMs,
+                  in_memory.records[i].latencyMs);
+        EXPECT_EQ(loaded.records[i].energyMj,
+                  in_memory.records[i].energyMj);
+        EXPECT_EQ(loaded.records[i].params, in_memory.records[i].params);
+    }
+    cleanupBuild(out);
+    std::remove(ckpt.c_str());
+}
+
+// Resuming a partial build with a different metric engine (or a
+// different checkpoint) must rebuild from scratch: adopting the old
+// shards would silently mix two models' numbers in one cache.
+TEST(Pipeline, ResumeRejectsBackendMismatch)
+{
+    std::string ckpt = tmpPath("etpu_pipeline_resume_mix.ckpt");
+    std::string out = tmpPath("etpu_pipeline_resume_mix.bin");
+    cleanupBuild(out);
+    auto cells = manyCells(40);
+    nas::Dataset simulated = pipeline::buildDataset(cells, 1);
+    trainSmallBundle(simulated, ckpt, false);
+    pipeline::BackendSpec learned;
+    learned.kind = pipeline::Backend::Learned;
+    learned.modelPath = ckpt;
+
+    // Interrupt a simulator build after 2 of 4 shards...
+    pipeline::ShardedBuildOptions interrupt;
+    interrupt.threads = 1;
+    interrupt.shards = 4;
+    interrupt.stopAfterShards = 2;
+    pipeline::buildDatasetSharded(cells, out, interrupt);
+
+    // ...then resume with the learned backend: nothing is adopted and
+    // every record in the finished cache is a model prediction.
+    pipeline::ShardedBuildOptions resume;
+    resume.threads = 1;
+    resume.shards = 4;
+    resume.resume = true;
+    resume.backend = learned;
+    testing::internal::CaptureStderr();
+    auto result = pipeline::buildDatasetSharded(cells, out, resume);
+    std::string log = testing::internal::GetCapturedStderr();
+    EXPECT_TRUE(result.finished);
+    EXPECT_EQ(result.reused, 0u);
+    EXPECT_NE(log.find("backend"), std::string::npos) << log;
+
+    nas::Dataset loaded;
+    ASSERT_TRUE(nas::Dataset::load(out, loaded));
+    nas::Dataset want = pipeline::buildDataset(cells, 1, learned);
+    ASSERT_EQ(loaded.size(), want.size());
+    for (size_t i = 0; i < loaded.size(); i++) {
+        EXPECT_EQ(loaded.records[i].latencyMs,
+                  want.records[i].latencyMs);
+    }
+
+    // Same-backend, same-checkpoint resume still adopts shards.
+    cleanupBuild(out);
+    interrupt.backend = learned;
+    pipeline::buildDatasetSharded(cells, out, interrupt);
+    auto resumed = pipeline::buildDatasetSharded(cells, out, resume);
+    EXPECT_TRUE(resumed.finished);
+    EXPECT_EQ(resumed.reused, 2u);
+
+    cleanupBuild(out);
+    std::remove(ckpt.c_str());
+}
+
+TEST(Pipeline, LearnedBackendFatalsOnMissingOrIncompleteCheckpoint)
+{
+    auto cells = someCells();
+    pipeline::BackendSpec missing;
+    missing.kind = pipeline::Backend::Learned;
+    missing.modelPath = tmpPath("etpu_no_such_checkpoint.bin");
+    EXPECT_EXIT(pipeline::buildDataset(cells, 1, missing),
+                ::testing::ExitedWithCode(1), "cannot load checkpoint");
+
+    // A bundle lacking one latency model must be rejected up front.
+    std::string ckpt = tmpPath("etpu_pipeline_learned_partial.ckpt");
+    nas::Dataset simulated = pipeline::buildDataset(cells, 1);
+    auto bundle = trainSmallBundle(simulated, ckpt, false);
+    bundle.models.pop_back(); // drop latency@V3
+    ASSERT_TRUE(gnn::saveCheckpoint(ckpt, bundle));
+    pipeline::BackendSpec partial;
+    partial.kind = pipeline::Backend::Learned;
+    partial.modelPath = ckpt;
+    EXPECT_EXIT(pipeline::buildDataset(cells, 1, partial),
+                ::testing::ExitedWithCode(1), "latency@V3");
+    std::remove(ckpt.c_str());
 }
 
 } // namespace

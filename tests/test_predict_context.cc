@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Tests for the batched inference hot path: PredictContext predictions
+ * must be bit-exact with the training-path gnn::forward() for every
+ * model shape (specialized and dynamic kernel widths), independent of
+ * batch composition, and — the point of the design — allocation-free
+ * in steady state. The allocation counter below replaces the global
+ * operators for this binary, so these tests live in their own suite
+ * (the same pattern as test_eval_context.cc).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "gnn/predict_context.hh"
+#include "gnn/trainer.hh"
+#include "nasbench/accuracy.hh"
+#include "nasbench/enumerator.hh"
+
+namespace
+{
+
+std::atomic<size_t> allocationCount{0};
+
+} // namespace
+
+void *
+operator new(std::size_t size)
+{
+    allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    allocationCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(size))
+        return p;
+    throw std::bad_alloc();
+}
+
+void operator delete(void *p) noexcept { std::free(p); }
+void operator delete[](void *p) noexcept { std::free(p); }
+void operator delete(void *p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void *p, std::size_t) noexcept { std::free(p); }
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::gnn;
+using nas::Op;
+
+/** A shape-diverse working set: 2..7 vertices, chains and branches. */
+std::vector<nas::CellSpec>
+workingSet()
+{
+    std::vector<nas::CellSpec> cells;
+    cells.push_back(nas::anchorCells()[0].cell); // 7-vertex branching
+    cells.push_back(nas::makeChainCell({}));     // input->output only
+    cells.push_back(nas::makeChainCell({Op::Conv3x3}));
+    cells.push_back(nas::makeChainCell(
+        {Op::MaxPool3x3, Op::MaxPool3x3, Op::MaxPool3x3}));
+    cells.push_back(nas::makeChainCell(
+        {Op::Conv3x3, Op::Conv1x1, Op::Conv3x3, Op::MaxPool3x3,
+         Op::Conv3x3}));
+    cells.push_back(nas::makeChainCell({Op::Conv1x1, Op::MaxPool3x3}));
+    return cells;
+}
+
+Predictor
+randomPredictor(int latent, int mps, uint64_t seed)
+{
+    Rng rng(seed);
+    ModelConfig cfg;
+    cfg.latent = latent;
+    cfg.messagePassingSteps = mps;
+    Predictor p;
+    p.name = "latency@V1";
+    p.model.init(cfg, rng);
+    p.targetMean = 3.25;
+    p.targetStd = 1.75;
+    return p;
+}
+
+TEST(PredictContext, FeaturizeIntoMatchesFeaturize)
+{
+    GraphsTuple reused;
+    for (const auto &cell : workingSet()) {
+        featurizeInto(cell, reused);
+        GraphsTuple fresh = featurize(cell);
+        ASSERT_EQ(reused.numNodes(), fresh.numNodes());
+        ASSERT_EQ(reused.numEdges(), fresh.numEdges());
+        EXPECT_EQ(reused.nodes.data(), fresh.nodes.data());
+        EXPECT_EQ(reused.edges.data(), fresh.edges.data());
+        EXPECT_EQ(reused.global.data(), fresh.global.data());
+        EXPECT_EQ(reused.senders, fresh.senders);
+        EXPECT_EQ(reused.receivers, fresh.receivers);
+    }
+}
+
+// Latents 8 and 16 exercise the register-accumulator kernels; 12 the
+// dynamic fallback. Every prediction must equal the training-path
+// forward() to the last bit.
+TEST(PredictContext, PredictionsAreBitExactWithForward)
+{
+    auto cells = workingSet();
+    for (auto [latent, mps] : {std::pair{8, 1}, {16, 3}, {12, 2}}) {
+        Predictor p = randomPredictor(latent, mps,
+                                      0xabc + static_cast<uint64_t>(latent));
+        PredictContext ctx;
+        for (const auto &cell : cells) {
+            GraphsTuple g = featurize(cell);
+            double want =
+                forward(p.model, g).prediction * p.targetStd +
+                p.targetMean;
+            EXPECT_EQ(ctx.predict(p, cell), want)
+                << "latent " << latent << " mps " << mps;
+            EXPECT_EQ(ctx.forwardNormalized(p.model, g),
+                      forward(p.model, g).prediction);
+        }
+    }
+}
+
+TEST(PredictContext, BatchCompositionDoesNotChangeResults)
+{
+    auto cells = workingSet();
+    Predictor p = randomPredictor(8, 2, 99);
+    PredictContext ctx;
+    // Per-cell predictions...
+    std::vector<double> alone(cells.size());
+    for (size_t i = 0; i < cells.size(); i++)
+        alone[i] = ctx.predict(p, cells[i]);
+    // ...must equal the same cells packed into one batch...
+    std::vector<double> packed(cells.size());
+    ctx.predictRange(p, cells.data(), cells.size(), packed.data());
+    EXPECT_EQ(alone, packed);
+    // ...and any split of the range.
+    std::vector<double> split_preds(cells.size());
+    ctx.predictRange(p, cells.data(), 2, split_preds.data());
+    ctx.predictRange(p, cells.data() + 2, cells.size() - 2,
+                     split_preds.data() + 2);
+    EXPECT_EQ(alone, split_preds);
+}
+
+TEST(PredictContext, PredictBatchMatchesSingleCellPredictions)
+{
+    // More cells than one predictBatchBlock, so the chunked driver
+    // exercises block boundaries.
+    auto space = nas::enumerateCells({7, 9});
+    std::vector<nas::CellSpec> cells(
+        space.begin(),
+        space.begin() + std::min<size_t>(space.size(),
+                                         predictBatchBlock + 37));
+    Predictor p = randomPredictor(8, 1, 5);
+    auto batched = predictBatch(p, cells, 1);
+    ASSERT_EQ(batched.size(), cells.size());
+    PredictContext ctx;
+    for (size_t i = 0; i < cells.size(); i++)
+        ASSERT_EQ(batched[i], ctx.predict(p, cells[i])) << "cell " << i;
+}
+
+TEST(PredictContext, EmptyRangeIsANoOp)
+{
+    Predictor p = randomPredictor(8, 1, 3);
+    PredictContext ctx;
+    ctx.predictRange(p, nullptr, 0, nullptr);
+    EXPECT_EQ(ctx.batchSize(), 0u);
+    std::vector<PredictContext> contexts(1);
+    predictBatch(p, nullptr, 0, nullptr, contexts, 1);
+}
+
+TEST(PredictContext, PredictBatchPanicsOnTooFewContexts)
+{
+    auto cells = workingSet();
+    Predictor p = randomPredictor(8, 1, 3);
+    std::vector<PredictContext> none;
+    std::vector<double> out(cells.size());
+    EXPECT_DEATH(predictBatch(p, cells.data(), cells.size(),
+                              out.data(), none, 1),
+                 "contexts");
+}
+
+// The acceptance criterion of the inference hot path: once a context
+// has seen its working set, batched prediction performs ZERO heap
+// allocations — featurization, encoders, message passing and the
+// denormalized output included.
+TEST(PredictContext, SteadyStateBatchedPredictionIsAllocationFree)
+{
+    auto cells = workingSet();
+    Predictor p8 = randomPredictor(8, 1, 21);
+    Predictor p16 = randomPredictor(16, 3, 22);
+    std::vector<PredictContext> contexts(1);
+    std::vector<double> out(cells.size());
+    for (int warm = 0; warm < 2; warm++) {
+        predictBatch(p8, cells.data(), cells.size(), out.data(),
+                     contexts, 1);
+        predictBatch(p16, cells.data(), cells.size(), out.data(),
+                     contexts, 1);
+    }
+
+    size_t before = allocationCount.load(std::memory_order_relaxed);
+    predictBatch(p8, cells.data(), cells.size(), out.data(), contexts,
+                 1);
+    predictBatch(p16, cells.data(), cells.size(), out.data(), contexts,
+                 1);
+    size_t after = allocationCount.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u)
+        << (after - before) << " heap allocations in steady state";
+}
+
+} // namespace

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "gnn/trainer.hh"
 #include "nasbench/enumerator.hh"
 
@@ -138,6 +141,64 @@ TEST(Trainer, TrainOnEmptyIsFatal)
 {
     Trainer t;
     EXPECT_EXIT(t.train({}), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Trainer, SingleSampleTrainsWithDegenerateNormalization)
+{
+    // One sample has zero target variance; the std guard must keep
+    // the normalization finite and training stable.
+    auto samples = syntheticSamples(1, 9);
+    TrainConfig cfg;
+    cfg.epochs = 5;
+    cfg.threads = 1;
+    Trainer t(cfg);
+    double loss = t.train(samples);
+    EXPECT_TRUE(std::isfinite(loss));
+    EXPECT_DOUBLE_EQ(t.targetStd(), 1.0);
+    EXPECT_DOUBLE_EQ(t.targetMean(), samples[0].target);
+    EXPECT_TRUE(std::isfinite(t.predict(samples[0].graph)));
+}
+
+TEST(Trainer, NonFiniteTargetsAreFatal)
+{
+    auto nan_samples = syntheticSamples(4, 10);
+    nan_samples[2].target = std::nan("");
+    TrainConfig cfg;
+    cfg.threads = 1;
+    Trainer t(cfg);
+    EXPECT_EXIT(t.train(nan_samples), ::testing::ExitedWithCode(1),
+                "non-finite target");
+
+    auto inf_samples = syntheticSamples(4, 11);
+    inf_samples[0].target = std::numeric_limits<double>::infinity();
+    Trainer t2(cfg);
+    EXPECT_EXIT(t2.train(inf_samples), ::testing::ExitedWithCode(1),
+                "non-finite target");
+}
+
+TEST(Trainer, MakePredictorCarriesModelAndNormalization)
+{
+    auto samples = syntheticSamples(24, 12);
+    TrainConfig cfg;
+    cfg.epochs = 3;
+    cfg.threads = 1;
+    Trainer t(cfg);
+    t.train(samples);
+    Predictor p = t.makePredictor("latency@V2");
+    EXPECT_EQ(p.name, "latency@V2");
+    EXPECT_DOUBLE_EQ(p.targetMean, t.targetMean());
+    EXPECT_DOUBLE_EQ(p.targetStd, t.targetStd());
+    for (const auto &s : samples)
+        EXPECT_EQ(p.predict(s.graph), t.predict(s.graph));
+
+    // evaluatePredictor must agree with Trainer::evaluate.
+    EvalMetrics via_trainer = t.evaluate(samples);
+    EvalMetrics via_predictor = evaluatePredictor(p, samples, 1);
+    EXPECT_DOUBLE_EQ(via_predictor.avgAccuracy,
+                     via_trainer.avgAccuracy);
+    EXPECT_DOUBLE_EQ(via_predictor.spearman, via_trainer.spearman);
+    EXPECT_DOUBLE_EQ(via_predictor.pearson, via_trainer.pearson);
+    EXPECT_EQ(via_predictor.count, via_trainer.count);
 }
 
 } // namespace
