@@ -1,0 +1,119 @@
+#include "corpus_util.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <unistd.h>
+
+#include "common/checksum.hh"
+#include "common/logging.hh"
+
+namespace etpu::fuzz
+{
+
+namespace
+{
+
+// Mirrors the (file-local) constants in src/nasbench/dataset.cc; the
+// CRCs recomputed here must match Dataset::save's framing bit for bit
+// or reframed mutants would still die at the checksum wall.
+constexpr uint64_t cacheMagicV2 = 0x45545055445332ull; // "ETPUDS2"
+constexpr uint32_t cacheVersionV2 = 4;
+constexpr char checkpointMagic[8] = {'E', 'T', 'P', 'U',
+                                     'G', 'N', 'N', '1'};
+
+template <typename T>
+bool
+loadAt(const std::vector<uint8_t> &bytes, size_t off, T &out)
+{
+    if (off + sizeof(T) > bytes.size())
+        return false;
+    std::memcpy(&out, bytes.data() + off, sizeof(T));
+    return true;
+}
+
+template <typename T>
+void
+storeAt(std::vector<uint8_t> &bytes, size_t off, T v)
+{
+    std::memcpy(bytes.data() + off, &v, sizeof(T));
+}
+
+} // namespace
+
+bool
+reframeDatasetCache(std::vector<uint8_t> &bytes)
+{
+    uint64_t magic = 0;
+    uint32_t version = 0;
+    uint32_t shards = 0;
+    if (!loadAt(bytes, 0, magic) || !loadAt(bytes, 8, version) ||
+        !loadAt(bytes, 12, shards)) {
+        return false;
+    }
+    if (magic != cacheMagicV2 || version != cacheVersionV2)
+        return false;
+    // Header: magic u64 | version u32 | shards u32 | total u64.
+    size_t off = 24;
+    for (uint32_t s = 0; s < shards; s++) {
+        uint64_t payload_bytes = 0;
+        if (!loadAt(bytes, off, payload_bytes))
+            break;
+        size_t header_end = off + 20; // u64 len | u32 crc | u64 count
+        if (header_end > bytes.size())
+            break;
+        uint64_t avail = bytes.size() - header_end;
+        if (payload_bytes > avail) {
+            payload_bytes = avail;
+            storeAt(bytes, off, payload_bytes);
+        }
+        Crc32 crc;
+        crc.update(bytes.data() + off + 12, 8); // the count field
+        crc.update(bytes.data() + header_end,
+                   static_cast<size_t>(payload_bytes));
+        storeAt(bytes, off + 8, crc.value());
+        off = header_end + static_cast<size_t>(payload_bytes);
+    }
+    return true;
+}
+
+bool
+reframeCheckpoint(std::vector<uint8_t> &bytes)
+{
+    // Header: 8-byte magic | u32 version | u64 payload len | u32 crc.
+    constexpr size_t header_bytes = 24;
+    if (bytes.size() < header_bytes)
+        return false;
+    if (std::memcmp(bytes.data(), checkpointMagic,
+                    sizeof(checkpointMagic)) != 0) {
+        return false;
+    }
+    uint64_t payload_bytes = bytes.size() - header_bytes;
+    storeAt(bytes, 12, payload_bytes);
+    storeAt(bytes, 20,
+            crc32(bytes.data() + header_bytes,
+                  static_cast<size_t>(payload_bytes)));
+    return true;
+}
+
+const std::string &
+scratchFile(const uint8_t *data, size_t size, const char *tag)
+{
+    static std::string path;
+    if (path.empty()) {
+        const char *dir = ::access("/dev/shm", W_OK) == 0 ? "/dev/shm"
+                                                          : "/tmp";
+        path = strfmt(dir, "/etpu_fuzz_", tag, "_", ::getpid(),
+                      ".bin");
+    }
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        etpu_fatal("fuzz scratch file unwritable: ", path);
+    if (size && std::fwrite(data, 1, size, f) != size) {
+        std::fclose(f);
+        etpu_fatal("fuzz scratch file short write: ", path);
+    }
+    std::fclose(f);
+    return path;
+}
+
+} // namespace etpu::fuzz

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Shared helpers for the fuzz harnesses: reading corpus inputs,
+ * writing an input to a scratch file for path-based loaders, and the
+ * structure-aware "reframe" mutation step that recomputes the
+ * length/CRC framing of the two checksummed binary formats. Without
+ * reframing, virtually every generic mutation dies at the CRC wall
+ * and the record/model parsers behind it never see a byte of fuzz.
+ */
+
+#ifndef ETPU_FUZZ_CORPUS_UTIL_HH
+#define ETPU_FUZZ_CORPUS_UTIL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace etpu::fuzz
+{
+
+/**
+ * Recompute the shard length/CRC framing of a mutated v2 dataset
+ * cache in place: shard payload lengths are clamped to the bytes
+ * actually present and every shard CRC is recomputed over its
+ * (count, payload) exactly the way Dataset::save does. Inputs whose
+ * magic/version no longer spell a v2 cache are left untouched, so
+ * mutants still explore the legacy-v1 and bad-magic paths.
+ *
+ * @return true when the buffer was recognized and reframed.
+ */
+bool reframeDatasetCache(std::vector<uint8_t> &bytes);
+
+/**
+ * Recompute the payload length + CRC32 header fields of a mutated
+ * ETPUGNN1 checkpoint in place (non-checkpoint magic: untouched).
+ *
+ * @return true when the buffer was recognized and reframed.
+ */
+bool reframeCheckpoint(std::vector<uint8_t> &bytes);
+
+/**
+ * Write @p data to a per-process scratch file and return its path
+ * (stable across calls, truncated each time) — for fuzzing loaders
+ * whose only entry point takes a filename.
+ */
+const std::string &scratchFile(const uint8_t *data, size_t size,
+                               const char *tag);
+
+} // namespace etpu::fuzz
+
+#endif // ETPU_FUZZ_CORPUS_UTIL_HH

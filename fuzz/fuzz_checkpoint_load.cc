@@ -1,0 +1,67 @@
+/**
+ * @file
+ * libFuzzer harness for gnn::loadCheckpoint — ETPUGNN1 checkpoint
+ * bytes are untrusted (checkpoints are copied between machines and
+ * fed to etpu_build_dataset --backend learned). A malformed file must
+ * warn and fail the load; any panic, abort, sanitizer finding or
+ * runaway allocation is a bug. On a successful load the models must
+ * be usable: finite normalization and plausible shapes are asserted
+ * by predicting through each one would be too slow here, so we assert
+ * the loader's own contract instead (non-empty name, positive std).
+ *
+ * The custom mutator recomputes the payload length/CRC framing so
+ * fuzzed payload bytes reach the model parser behind the checksum.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "corpus_util.hh"
+#include "gnn/predictor.hh"
+
+using namespace etpu;
+
+extern "C" size_t LLVMFuzzerMutate(uint8_t *data, size_t size,
+                                   size_t max_size);
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    static const bool quiet = setQuietLogging(true);
+    (void)quiet;
+
+    const std::string &path =
+        fuzz::scratchFile(data, size, "checkpoint");
+
+    gnn::CheckpointBundle bundle;
+    uint32_t payload_crc = 0;
+    if (!gnn::loadCheckpoint(path, bundle, &payload_crc)) {
+        // A failed load must leave no partial state behind.
+        if (!bundle.models.empty())
+            etpu_panic("failed checkpoint load left models behind");
+        return 0;
+    }
+    for (const gnn::Predictor &p : bundle.models) {
+        if (!std::isfinite(p.targetMean) || !(p.targetStd > 0.0))
+            etpu_panic("loaded checkpoint with bad normalization");
+        if (p.model.parameterCount() == 0)
+            etpu_panic("loaded checkpoint with an empty model");
+    }
+    return 0;
+}
+
+extern "C" size_t
+LLVMFuzzerCustomMutator(uint8_t *data, size_t size, size_t max_size,
+                        unsigned int seed)
+{
+    size = LLVMFuzzerMutate(data, size, max_size);
+    std::vector<uint8_t> buf(data, data + size);
+    if (seed % 2 == 0)
+        etpu::fuzz::reframeCheckpoint(buf);
+    std::copy(buf.begin(), buf.end(), data);
+    return buf.size();
+}

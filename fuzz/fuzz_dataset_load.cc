@@ -1,0 +1,65 @@
+/**
+ * @file
+ * libFuzzer harness for the v2/v1 dataset-cache loaders — the largest
+ * untrusted-input surface (a campaign cache is shared between
+ * machines and re-read on every CLI start). Each input is written to
+ * a scratch file and fed through both the strict loader
+ * (Dataset::load) and the shard-skipping streamer
+ * (Dataset::loadStreaming); any panic, sanitizer finding, hang or
+ * crash is a bug — malformed caches must fail loads cleanly.
+ *
+ * The custom mutator re-frames mutated bytes with valid shard
+ * length/CRC framing so the record parser behind the checksum wall
+ * sees fuzzed payloads too, not just the CRC-mismatch path.
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "corpus_util.hh"
+#include "nasbench/dataset.hh"
+
+using namespace etpu;
+
+extern "C" size_t LLVMFuzzerMutate(uint8_t *data, size_t size,
+                                   size_t max_size);
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    static const bool quiet = setQuietLogging(true);
+    (void)quiet;
+
+    const std::string &path = fuzz::scratchFile(data, size, "dataset");
+
+    nas::Dataset ds;
+    bool strict_ok = nas::Dataset::load(path, ds);
+
+    size_t streamed = 0;
+    nas::Dataset::loadStreaming(
+        path, [&streamed](const nas::ModelRecord &) { streamed++; });
+
+    // The strict loader accepts a strict subset of what the streamer
+    // yields records for: if every shard verified, streaming the same
+    // file must deliver at least the strict loader's records.
+    if (strict_ok && streamed < ds.records.size())
+        etpu_panic("strict load saw more records than streaming");
+    return 0;
+}
+
+extern "C" size_t
+LLVMFuzzerCustomMutator(uint8_t *data, size_t size, size_t max_size,
+                        unsigned int seed)
+{
+    size = LLVMFuzzerMutate(data, size, max_size);
+    std::vector<uint8_t> buf(data, data + size);
+    // Every other mutant keeps its (likely broken) framing so the
+    // CRC-mismatch and truncated-header paths stay exercised.
+    if (seed % 2 == 0)
+        etpu::fuzz::reframeDatasetCache(buf);
+    std::copy(buf.begin(), buf.end(), data);
+    return buf.size();
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * libFuzzer harness for the strict integer parsing that backs every
+ * environment knob and CLI flag (parseInt is the single funnel:
+ * ETPU_THREADS, ETPU_SAMPLE, ETPU_GNN_*, --sample, --shards, ...).
+ * Asserts the parser's contract on arbitrary bytes: a value is
+ * returned iff the input is a complete base-10 integer, and the
+ * env-variable wrappers agree with the direct parse.
+ */
+
+#include <cctype>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+using namespace etpu;
+
+namespace
+{
+
+/** Reference recognizer: '-'? digit+ with no other bytes. */
+bool
+looksLikeInt(std::string_view text)
+{
+    if (!text.empty() && text.front() == '-')
+        text.remove_prefix(1);
+    if (text.empty())
+        return false;
+    for (unsigned char c : text) {
+        if (!std::isdigit(c))
+            return false;
+    }
+    return true;
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    static const bool quiet = setQuietLogging(true);
+    (void)quiet;
+
+    std::string_view text(reinterpret_cast<const char *>(data), size);
+    auto parsed = parseInt(text);
+
+    // Shape contract: anything that is not a pure base-10 integer
+    // must be rejected; well-formed text may still overflow long long.
+    if (parsed && !looksLikeInt(text))
+        etpu_panic("parseInt accepted non-integer input");
+    if (!parsed && looksLikeInt(text) && text.size() < 18) {
+        // < 18 digits always fits in a long long.
+        etpu_panic("parseInt rejected a fitting integer");
+    }
+
+    // The env wrappers must agree with the direct parse (setenv needs
+    // a NUL-free C string; embedded NULs change the parsed text, so
+    // only NUL-free inputs can be compared).
+    std::string env_text(text);
+    if (env_text.find('\0') == std::string::npos) {
+        ::setenv("ETPU_FUZZ_PROBE", env_text.c_str(), 1);
+        auto via_env = envInt("ETPU_FUZZ_PROBE");
+        if (via_env != parsed)
+            etpu_panic("envInt disagrees with parseInt");
+        auto count = envCount("ETPU_FUZZ_PROBE");
+        if (parsed && *parsed >= 0 &&
+            (!count ||
+             *count != static_cast<uint64_t>(*parsed))) {
+            etpu_panic("envCount dropped a non-negative value");
+        }
+        if (count && (!parsed || *parsed < 0))
+            etpu_panic("envCount accepted what envInt rejected");
+        ::unsetenv("ETPU_FUZZ_PROBE");
+    }
+    return 0;
+}

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * libFuzzer harness for the query filter grammar — the string surface
+ * the etpu_query CLI (and the future etpu_serve daemon) hands to
+ * untrusted clients. Beyond not crashing, parsing enforces the
+ * round-trip invariant: a successfully parsed expression's canonical
+ * form must itself parse, to the same canonical form. parseMetric is
+ * exercised on the raw input too.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "query/dataset_index.hh"
+
+using namespace etpu;
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    static const bool quiet = setQuietLogging(true);
+    (void)quiet;
+
+    std::string_view text(reinterpret_cast<const char *>(data), size);
+
+    query::parseMetric(text);
+
+    std::string error;
+    auto filter = query::Filter::parse(text, &error);
+    if (!filter)
+        return 0;
+
+    std::string canonical = filter->str();
+    auto reparsed = query::Filter::parse(canonical, &error);
+    if (!reparsed) {
+        etpu_panic("canonical filter \"", canonical,
+                   "\" failed to re-parse: ", error);
+    }
+    if (reparsed->str() != canonical) {
+        etpu_panic("filter canonical form is unstable: \"", canonical,
+                   "\" vs \"", reparsed->str(), "\"");
+    }
+    if (reparsed->clauses().size() != filter->clauses().size())
+        etpu_panic("filter round-trip changed the clause count");
+    return 0;
+}

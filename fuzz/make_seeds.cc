@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Regenerates the checked-in seed corpora under fuzz/corpus/ using
+ * the production writers, so every seed is a genuine well-formed
+ * input (the fuzzers' job is to break them, not to guess the magic):
+ *
+ *   dataset_load/     tiny v2 caches (1 and 2 shards), a hand-rolled
+ *                     legacy v1 blob, an empty file
+ *   checkpoint_load/  a minimal ETPUGNN1 bundle (2 tiny models), an
+ *                     empty-bundle checkpoint, an empty file
+ *   filter_parse/     grammar strings covering every op and metric
+ *   env_parse/        integer knob strings incl. edge values
+ *
+ * Usage: make_seeds <corpus-root>   (defaults to ./corpus)
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+#include "gnn/predictor.hh"
+#include "nasbench/cell_spec.hh"
+#include "nasbench/dataset.hh"
+
+using namespace etpu;
+
+namespace
+{
+
+void
+writeText(const std::filesystem::path &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary);
+    out << text;
+    if (!out)
+        etpu_fatal("cannot write seed ", path.string());
+}
+
+nas::ModelRecord
+makeRecord(unsigned i)
+{
+    nas::ModelRecord r;
+    r.spec = nas::makeChainCell(
+        {i % 2 ? nas::Op::Conv1x1 : nas::Op::Conv3x3,
+         nas::Op::MaxPool3x3});
+    r.accuracy = 0.6f + 0.01f * static_cast<float>(i % 30);
+    r.params = 1000 + 137 * i;
+    r.macs = 50000 + 977 * i;
+    r.weightBytes = 2000 + 11 * i;
+    r.depth = static_cast<uint8_t>(2 + i % 4);
+    r.width = static_cast<uint8_t>(1 + i % 2);
+    r.numConv3x3 = static_cast<uint8_t>(i % 3);
+    r.numConv1x1 = static_cast<uint8_t>((i + 1) % 3);
+    r.numMaxPool = 1;
+    for (size_t c = 0; c < r.latencyMs.size(); c++) {
+        r.latencyMs[c] = 1.5f + 0.25f * static_cast<float>(i + c);
+        r.energyMj[c] = 0.5f + 0.125f * static_cast<float>(i + c);
+    }
+    return r;
+}
+
+void
+makeDatasetSeeds(const std::filesystem::path &dir)
+{
+    nas::Dataset ds;
+    for (unsigned i = 0; i < 3; i++)
+        ds.records.push_back(makeRecord(i));
+    ds.save((dir / "v2_single_shard.bin").string(), 1);
+    ds.save((dir / "v2_two_shards.bin").string(), 2);
+
+    // The v1 writer is gone (v2 has been the write format since the
+    // cache was sharded), but the legacy reader is still live code;
+    // spell its layout out by hand: magic | version | count | records.
+    {
+        BinaryWriter w((dir / "v1_legacy.bin").string());
+        w.write<uint64_t>(0x45545055445330ull); // "ETPUDS0"
+        w.write<uint32_t>(3);
+        w.write<uint64_t>(2);
+        nas::appendRecord(w, makeRecord(0));
+        nas::appendRecord(w, makeRecord(1));
+    }
+
+    writeText(dir / "empty.bin", "");
+}
+
+void
+makeCheckpointSeeds(const std::filesystem::path &dir)
+{
+    gnn::CheckpointBundle bundle;
+    gnn::ModelConfig cfg;
+    cfg.latent = 4;
+    cfg.messagePassingSteps = 1;
+    for (int c = 0; c < 2; c++) {
+        gnn::Predictor p;
+        p.name = gnn::modelName(gnn::TargetMetric::Latency, c);
+        p.model.initZero(cfg);
+        p.targetMean = 2.0 + c;
+        p.targetStd = 1.5;
+        bundle.models.push_back(std::move(p));
+    }
+    if (!gnn::saveCheckpoint((dir / "two_models.ckpt").string(),
+                             bundle)) {
+        etpu_fatal("seed checkpoint write failed");
+    }
+
+    gnn::CheckpointBundle empty;
+    if (!gnn::saveCheckpoint((dir / "empty_bundle.ckpt").string(),
+                             empty)) {
+        etpu_fatal("seed checkpoint write failed");
+    }
+
+    writeText(dir / "empty.bin", "");
+}
+
+void
+makeFilterSeeds(const std::filesystem::path &dir)
+{
+    const std::pair<const char *, const char *> seeds[] = {
+        {"accuracy_latency", "accuracy>=0.7,latency@V2<3"},
+        {"winner", "winner==V2"},
+        {"energy_ne", "energy@V3!=0.5"},
+        {"spaces", " depth <= 4 , width > 1 "},
+        {"all_ops", "macs<1e6,params>100,conv3x3==2,maxpool!=0"},
+        {"empty", ""},
+        {"weight", "weight_bytes>=2048,conv1x1<3"},
+    };
+    for (auto [name, text] : seeds)
+        writeText(dir / name, text);
+}
+
+void
+makeEnvSeeds(const std::filesystem::path &dir)
+{
+    const std::pair<const char *, const char *> seeds[] = {
+        {"small", "123"},
+        {"negative", "-7"},
+        {"zero", "0"},
+        {"llong_max", "9223372036854775807"},
+        {"llong_min", "-9223372036854775808"},
+        {"overflow", "99999999999999999999"},
+        {"junk_suffix", "100x"},
+        {"spaces", " 42"},
+        {"empty", ""},
+    };
+    for (auto [name, text] : seeds)
+        writeText(dir / name, text);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::filesystem::path root = argc > 1 ? argv[1] : "corpus";
+    const struct
+    {
+        const char *dir;
+        void (*make)(const std::filesystem::path &);
+    } targets[] = {
+        {"dataset_load", makeDatasetSeeds},
+        {"checkpoint_load", makeCheckpointSeeds},
+        {"filter_parse", makeFilterSeeds},
+        {"env_parse", makeEnvSeeds},
+    };
+    for (const auto &t : targets) {
+        std::filesystem::path dir = root / t.dir;
+        std::filesystem::create_directories(dir);
+        t.make(dir);
+        etpu_inform("seeds written to ", dir.string());
+    }
+    return 0;
+}

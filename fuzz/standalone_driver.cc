@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Fallback fuzz driver for toolchains without libFuzzer (gcc builds):
+ * replays every corpus input through LLVMFuzzerTestOneInput and,
+ * with --mutate N, additionally runs N deterministic mutants per seed
+ * (byte flips, truncations, extensions, splices) so the harness still
+ * exercises malformed inputs in CI. It honors the harness's optional
+ * LLVMFuzzerCustomMutator (the structure-aware reframers) and supplies
+ * the LLVMFuzzerMutate primitive those mutators call.
+ *
+ * This driver is NOT a coverage-guided fuzzer — long campaigns should
+ * use a clang -fsanitize=fuzzer build (see fuzz/README.md). Its job is
+ * determinism: the same corpus and --mutate count always replay the
+ * same inputs, which is what a gating CI smoke needs.
+ */
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t *data, size_t size);
+extern "C" size_t LLVMFuzzerCustomMutator(uint8_t *data, size_t size,
+                                          size_t max_size,
+                                          unsigned int seed)
+    __attribute__((weak));
+
+namespace
+{
+
+constexpr size_t maxInputBytes = 1 << 20;
+
+/** xorshift32; deterministic across platforms and runs. */
+uint32_t
+nextRand(uint32_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}
+
+uint32_t mutate_state = 1;
+
+/** Generic byte-level mutation, shared with LLVMFuzzerMutate. */
+size_t
+mutateBytes(uint8_t *data, size_t size, size_t max_size,
+            uint32_t &state)
+{
+    switch (nextRand(state) % 5) {
+      case 0: { // flip a single bit
+        if (!size)
+            break;
+        size_t at = nextRand(state) % size;
+        data[at] ^= static_cast<uint8_t>(1u << (nextRand(state) % 8));
+        break;
+      }
+      case 1: { // overwrite a byte
+        if (!size)
+            break;
+        data[nextRand(state) % size] =
+            static_cast<uint8_t>(nextRand(state));
+        break;
+      }
+      case 2: { // truncate
+        if (!size)
+            break;
+        size = nextRand(state) % size;
+        break;
+      }
+      case 3: { // extend with random bytes
+        size_t extra = 1 + nextRand(state) % 16;
+        while (extra-- && size < max_size)
+            data[size++] = static_cast<uint8_t>(nextRand(state));
+        break;
+      }
+      case 4: { // clobber a 4-byte window (lengths, counts, CRCs)
+        if (size < 4)
+            break;
+        size_t at = nextRand(state) % (size - 3);
+        uint32_t v = nextRand(state);
+        std::memcpy(data + at, &v, 4);
+        break;
+      }
+    }
+    return size;
+}
+
+bool
+readFile(const std::filesystem::path &path, std::vector<uint8_t> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    out.assign(std::istreambuf_iterator<char>(in),
+               std::istreambuf_iterator<char>());
+    if (out.size() > maxInputBytes)
+        out.resize(maxInputBytes);
+    return true;
+}
+
+void
+collectInputs(const char *arg, std::vector<std::filesystem::path> &out)
+{
+    std::error_code ec;
+    if (std::filesystem::is_directory(arg, ec)) {
+        for (const auto &entry :
+             std::filesystem::directory_iterator(arg, ec)) {
+            if (entry.is_regular_file())
+                out.push_back(entry.path());
+        }
+        return;
+    }
+    out.emplace_back(arg);
+}
+
+} // namespace
+
+/**
+ * libFuzzer's mutation primitive, for custom mutators running under
+ * this driver. The real definition lives in libFuzzer's runtime; this
+ * one exists only in standalone builds where that runtime is absent.
+ */
+extern "C" size_t
+LLVMFuzzerMutate(uint8_t *data, size_t size, size_t max_size)
+{
+    return mutateBytes(data, size, max_size, mutate_state);
+}
+
+int
+main(int argc, char **argv)
+{
+    size_t mutations = 0;
+    std::vector<std::filesystem::path> inputs;
+    for (int i = 1; i < argc; i++) {
+        if (std::strcmp(argv[i], "--mutate") == 0 && i + 1 < argc) {
+            mutations = std::strtoull(argv[++i], nullptr, 10);
+        } else if (std::strcmp(argv[i], "--help") == 0) {
+            std::fprintf(stderr,
+                         "usage: %s [--mutate N] corpus-file-or-dir...\n",
+                         argv[0]);
+            return 0;
+        } else {
+            collectInputs(argv[i], inputs);
+        }
+    }
+    std::sort(inputs.begin(), inputs.end());
+
+    size_t runs = 0;
+    std::vector<uint8_t> buf;
+    for (size_t s = 0; s < inputs.size(); s++) {
+        std::vector<uint8_t> seed;
+        if (!readFile(inputs[s], seed)) {
+            std::fprintf(stderr, "fuzz: cannot read %s\n",
+                         inputs[s].c_str());
+            return 2;
+        }
+        LLVMFuzzerTestOneInput(seed.data(), seed.size());
+        runs++;
+        for (size_t m = 0; m < mutations; m++) {
+            buf = seed;
+            buf.resize(std::max<size_t>(buf.size() + 64, 256));
+            size_t size = seed.size();
+            uint32_t state = static_cast<uint32_t>(
+                0x9e3779b9u ^ (s * 2654435761u) ^ (m * 40503u));
+            if (state == 0)
+                state = 1;
+            size_t steps = 1 + nextRand(state) % 4;
+            for (size_t k = 0; k < steps; k++)
+                size = mutateBytes(buf.data(), size, buf.size(), state);
+            if (LLVMFuzzerCustomMutator) {
+                mutate_state = state;
+                size = LLVMFuzzerCustomMutator(buf.data(), size,
+                                               buf.size(), state);
+            }
+            LLVMFuzzerTestOneInput(buf.data(), size);
+            runs++;
+        }
+    }
+    std::fprintf(stderr,
+                 "fuzz: executed %zu inputs (%zu seeds x %zu mutants) "
+                 "without a crash\n",
+                 runs, inputs.size(), mutations + 1);
+    return inputs.empty() ? 2 : 0;
+}

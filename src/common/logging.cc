@@ -1,7 +1,21 @@
 #include "logging.hh"
 
+#include <atomic>
+
 namespace etpu
 {
+
+namespace
+{
+std::atomic<bool> quiet_logging{false};
+} // namespace
+
+bool
+setQuietLogging(bool quiet)
+{
+    return quiet_logging.exchange(quiet);
+}
+
 namespace detail
 {
 
@@ -24,12 +38,16 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg)
 {
+    if (quiet_logging.load(std::memory_order_relaxed))
+        return;
     std::cerr << "warn: " << msg << std::endl;
 }
 
 void
 informImpl(const std::string &msg)
 {
+    if (quiet_logging.load(std::memory_order_relaxed))
+        return;
     std::cerr << "info: " << msg << std::endl;
 }
 

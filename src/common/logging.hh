@@ -33,6 +33,14 @@ strfmt(Args &&...args)
     return oss.str();
 }
 
+/**
+ * Process-wide switch silencing warn/inform output (panic/fatal always
+ * print). The fuzz harnesses flip it on: every malformed input warns
+ * by design, and millions of stderr lines per campaign would dominate
+ * the run time. Thread-safe; returns the previous setting.
+ */
+bool setQuietLogging(bool quiet);
+
 namespace detail
 {
 [[noreturn]] void panicImpl(const char *file, int line,

@@ -52,20 +52,26 @@ parallelFor(size_t begin, size_t end, Fn &&fn, unsigned threads = 0)
     }
 
     // Dynamic chunking: workers grab fixed-size chunks from a shared
-    // cursor so skewed per-index costs still balance.
+    // cursor so skewed per-index costs still balance. The claim is a
+    // CAS clamped to end rather than a blind fetch_add: with end near
+    // SIZE_MAX an overshooting add would wrap the cursor back below
+    // end and hand out already-claimed indices a second time.
     size_t chunk = std::max<size_t>(1, total / (n_workers * 16));
     std::atomic<size_t> cursor{begin};
     std::vector<std::thread> pool;
     pool.reserve(n_workers);
     for (unsigned w = 0; w < n_workers; w++) {
         pool.emplace_back([&, w]() {
+            size_t start = cursor.load(std::memory_order_relaxed);
             for (;;) {
-                size_t start = cursor.fetch_add(chunk);
                 if (start >= end)
                     return;
-                size_t stop = std::min(end, start + chunk);
+                size_t stop = start + std::min(chunk, end - start);
+                if (!cursor.compare_exchange_weak(start, stop))
+                    continue; // start reloaded by the failed CAS
                 for (size_t i = start; i < stop; i++)
                     fn(i, w);
+                start = stop;
             }
         });
     }

@@ -190,8 +190,14 @@ GraphNetModel::forEach(const std::function<void(Matrix &)> &fn)
 void
 GraphNetModel::forEach(const std::function<void(const Matrix &)> &fn) const
 {
-    const_cast<GraphNetModel *>(this)->forEach(
-        [&](Matrix &m) { fn(m); });
+    forEachMatrix(encEdge, fn);
+    forEachMatrix(encNode, fn);
+    forEachMatrix(encGlobal, fn);
+    forEachMatrix(coreEdge, fn);
+    forEachMatrix(coreNode, fn);
+    forEachMatrix(coreGlobal, fn);
+    forEachMatrix(decGlobal, fn);
+    forEachMatrix(output, fn);
 }
 
 size_t

@@ -192,4 +192,22 @@ forEachMatrix(Mlp &m, const std::function<void(Matrix &)> &fn)
     fn(m.ln.beta);
 }
 
+void
+forEachMatrix(const DenseLayer &d,
+              const std::function<void(const Matrix &)> &fn)
+{
+    fn(d.w);
+    fn(d.b);
+}
+
+void
+forEachMatrix(const Mlp &m,
+              const std::function<void(const Matrix &)> &fn)
+{
+    forEachMatrix(m.l1, fn);
+    forEachMatrix(m.l2, fn);
+    fn(m.ln.gamma);
+    fn(m.ln.beta);
+}
+
 } // namespace etpu::gnn

@@ -113,6 +113,14 @@ void forEachMatrix(Mlp &m, const std::function<void(Matrix &)> &fn);
 /** Visit every parameter matrix of a DenseLayer. */
 void forEachMatrix(DenseLayer &d, const std::function<void(Matrix &)> &fn);
 
+/** Const visitation of an Mlp's matrices, in the same order. */
+void forEachMatrix(const Mlp &m,
+                   const std::function<void(const Matrix &)> &fn);
+
+/** Const visitation of a DenseLayer's matrices, in the same order. */
+void forEachMatrix(const DenseLayer &d,
+                   const std::function<void(const Matrix &)> &fn);
+
 } // namespace etpu::gnn
 
 #endif // ETPU_GNN_NN_HH

@@ -1,6 +1,7 @@
 #include "dataset.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <filesystem>
 #include <limits>
 #include <sstream>
@@ -46,16 +47,54 @@ hintTotal(const TotalFn &total_hint, uint64_t total, uint64_t file_size)
 /**
  * Non-owning read-only streambuf over an already-verified payload
  * buffer, so re-parsing a shard does not copy its megabytes a second
- * time the way istringstream would.
+ * time the way istringstream would. The get area stays empty and the
+ * virtual reads below serve straight from the const buffer — setg()
+ * wants mutable pointers, and const_casting the payload away would
+ * hide a real write-through bug from the type system.
  */
 class MemoryBuf : public std::streambuf
 {
   public:
     MemoryBuf(const char *data, size_t len)
+        : cur_(data), end_(data + len)
     {
-        char *p = const_cast<char *>(data);
-        setg(p, p, p + len);
     }
+
+  protected:
+    int_type
+    underflow() override
+    {
+        return cur_ == end_ ? traits_type::eof()
+                            : traits_type::to_int_type(*cur_);
+    }
+
+    int_type
+    uflow() override
+    {
+        return cur_ == end_ ? traits_type::eof()
+                            : traits_type::to_int_type(*cur_++);
+    }
+
+    std::streamsize
+    xsgetn(char *dst, std::streamsize n) override
+    {
+        std::streamsize take = std::min(n, end_ - cur_);
+        if (take > 0) {
+            std::memcpy(dst, cur_, static_cast<size_t>(take));
+            cur_ += take;
+        }
+        return take;
+    }
+
+    std::streamsize
+    showmanyc() override
+    {
+        return end_ - cur_;
+    }
+
+  private:
+    const char *cur_;
+    const char *end_;
 };
 
 /**

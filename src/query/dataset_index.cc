@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cmath>
 #include <cstdlib>
+#include <mutex>
+#include <shared_mutex>
 #include <utility>
 
 #include "common/logging.hh"
@@ -270,6 +272,50 @@ GroupAggregate::groupOf(double key) const
     return std::nullopt;
 }
 
+DatasetIndex::DatasetIndex(const DatasetIndex &other)
+{
+    std::shared_lock lock(other.sortedMutex_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    records_ = other.records_;
+    sorted_ = other.sorted_;
+}
+
+DatasetIndex &
+DatasetIndex::operator=(const DatasetIndex &other)
+{
+    if (this == &other)
+        return *this;
+    std::shared_lock lock(other.sortedMutex_);
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    records_ = other.records_;
+    sorted_ = other.sorted_;
+    return *this;
+}
+
+DatasetIndex::DatasetIndex(DatasetIndex &&other) noexcept
+{
+    std::unique_lock lock(other.sortedMutex_);
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::move(other.cols_);
+    records_ = std::move(other.records_);
+    sorted_ = std::move(other.sorted_);
+}
+
+DatasetIndex &
+DatasetIndex::operator=(DatasetIndex &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    std::unique_lock lock(other.sortedMutex_);
+    rows_ = std::exchange(other.rows_, 0);
+    cols_ = std::move(other.cols_);
+    records_ = std::move(other.records_);
+    sorted_ = std::move(other.sorted_);
+    return *this;
+}
+
 size_t
 DatasetIndex::columnId(Metric m)
 {
@@ -396,13 +442,9 @@ DatasetIndex::gather(Metric m, const std::vector<uint32_t> &rows,
     }
 }
 
-const std::vector<uint32_t> &
-DatasetIndex::sortedBy(Metric m) const
+std::vector<uint32_t>
+DatasetIndex::buildSortedPermutation(size_t col_id) const
 {
-    size_t col_id = columnId(m);
-    auto it = sorted_.find(col_id);
-    if (it != sorted_.end())
-        return it->second;
     const std::vector<double> &col = cols_[col_id];
     std::vector<uint32_t> perm;
     perm.reserve(rows_);
@@ -415,7 +457,34 @@ DatasetIndex::sortedBy(Metric m) const
             return col[a] < col[b];
         return a < b;
     });
-    return sorted_.emplace(col_id, std::move(perm)).first->second;
+    return perm;
+}
+
+const std::vector<uint32_t> &
+DatasetIndex::sortedBy(Metric m) const
+{
+    size_t col_id = columnId(m);
+    {
+        std::shared_lock lock(sortedMutex_);
+        auto it = sorted_.find(col_id);
+        if (it != sorted_.end())
+            return it->second;
+    }
+    // Build outside the lock: first readers of the same metric may
+    // duplicate the sort, but no reader ever blocks behind one, and
+    // try_emplace publishes exactly one winner. The columns it reads
+    // are immutable after build, and map nodes are stable, so the
+    // reference stays valid after the lock is released.
+    std::vector<uint32_t> perm = buildSortedPermutation(col_id);
+    std::unique_lock lock(sortedMutex_);
+    return sorted_.try_emplace(col_id, std::move(perm)).first->second;
+}
+
+void
+DatasetIndex::warm(const std::vector<Metric> &metrics) const
+{
+    for (Metric m : metrics)
+        sortedBy(m);
 }
 
 std::vector<uint32_t>

@@ -30,9 +30,15 @@
  *    the EvalContext spirit: repeated queries reuse the caller's
  *    buffers instead of returning fresh containers.
  *
- * Lazily-built sorted permutations (sortedBy) are cached per metric;
- * the cache is not synchronized — build/query from one thread, or
- * pre-warm the permutations before sharing the index read-only.
+ * Thread safety: a fully built index is safe to query from any number
+ * of concurrent threads. The lazily-built sorted permutations
+ * (sortedBy) are the only mutable state behind const queries; their
+ * cache is guarded by a shared mutex (concurrent first readers may
+ * race to build the same permutation, but exactly one result is
+ * published and references stay stable forever after). Latency-
+ * sensitive callers can pre-build them with warm() so no query ever
+ * pays the sort. Building/mutating the index itself (build,
+ * buildFromCache, assignment) is not concurrent with queries.
  */
 
 #ifndef ETPU_QUERY_DATASET_INDEX_HH
@@ -42,6 +48,7 @@
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -211,6 +218,18 @@ class DatasetIndex
   public:
     DatasetIndex() = default;
 
+    // The sorted-permutation cache mutex is neither copyable nor
+    // movable, so transfers are spelled out: they carry the columns
+    // and any already-built permutations, and the destination gets its
+    // own fresh mutex. Copy/move locks @p other, but as with any
+    // container, destroying or assigning an index that another thread
+    // is still querying remains a caller bug.
+    DatasetIndex(const DatasetIndex &other);
+    DatasetIndex &operator=(const DatasetIndex &other);
+    DatasetIndex(DatasetIndex &&other) noexcept;
+    DatasetIndex &operator=(DatasetIndex &&other) noexcept;
+    ~DatasetIndex() = default;
+
     /**
      * Transpose @p ds into columns. The index keeps pointers into
      * @p ds.records (for record()), so the dataset must outlive it.
@@ -255,10 +274,18 @@ class DatasetIndex
 
     /**
      * Cached ascending permutation of the rows by @p m: NaN rows are
-     * excluded, ties break on lower row id. Built lazily per metric
-     * (not thread-safe; see file comment).
+     * excluded, ties break on lower row id. Built lazily per metric;
+     * safe to call from concurrent threads (see file comment), and
+     * the returned reference stays valid for the index's lifetime.
      */
     const std::vector<uint32_t> &sortedBy(Metric m) const;
+
+    /**
+     * Pre-build the sorted-permutation caches for @p metrics, so a
+     * server can pay every sort once at startup instead of on the
+     * first concurrent query that needs it.
+     */
+    void warm(const std::vector<Metric> &metrics) const;
 
     /**
      * The k best rows by @p m. Ascending order ties break on lower
@@ -328,12 +355,21 @@ class DatasetIndex
     template <typename Fn>
     void forEachCandidate(const Filter *f, Fn &&fn) const;
 
+    /** Ascending NaN-free permutation of column @p col_id's rows. */
+    std::vector<uint32_t> buildSortedPermutation(size_t col_id) const;
+
     size_t rows_ = 0;
     std::array<std::vector<double>, numColumns> cols_;
     /** Per-row source records; empty when built from a stream. */
     std::vector<const nas::ModelRecord *> records_;
-    /** Lazy sortedBy cache, keyed by column id. */
+    /**
+     * Lazy sortedBy cache, keyed by column id and guarded by
+     * sortedMutex_. std::map keeps node references stable, so an
+     * entry published once can be handed out by reference without
+     * holding the lock; entries are never erased or overwritten.
+     */
     mutable std::map<size_t, std::vector<uint32_t>> sorted_;
+    mutable std::shared_mutex sortedMutex_;
 };
 
 } // namespace etpu::query

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Compile-time sanitizer budgeting for training-heavy tests.
+ *
+ * ThreadSanitizer costs ~10-20x on the GNN training loops, which
+ * pushes the multi-minute convergence tests past any reasonable ctest
+ * timeout. The TSan leg exists to find data races, and a training
+ * loop races (or doesn't) identically at 6 epochs and at 60 — so
+ * under TSan the heavy tests divide their epoch counts by
+ * trainingEpochDivisor and skip the convergence-quality assertions
+ * (checkConvergence), which the uninstrumented and ASan legs keep
+ * enforcing at full strength.
+ */
+
+#ifndef ETPU_TESTS_SANITIZER_BUDGET_HH
+#define ETPU_TESTS_SANITIZER_BUDGET_HH
+
+#if defined(__SANITIZE_THREAD__)
+#define ETPU_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define ETPU_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef ETPU_TSAN_ACTIVE
+#define ETPU_TSAN_ACTIVE 0
+#endif
+
+namespace etpu::testutil
+{
+
+inline constexpr int trainingEpochDivisor = ETPU_TSAN_ACTIVE ? 10 : 1;
+inline constexpr bool checkConvergence = trainingEpochDivisor == 1;
+
+/** @p epochs scaled to the sanitizer budget, never below 1. */
+constexpr int
+scaledEpochs(int epochs)
+{
+    int scaled = epochs / trainingEpochDivisor;
+    return scaled > 0 ? scaled : 1;
+}
+
+} // namespace etpu::testutil
+
+#endif // ETPU_TESTS_SANITIZER_BUDGET_HH

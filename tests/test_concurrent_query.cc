@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Concurrency tests for the shared read-only DatasetIndex: many
+ * threads hammer topK (whose lazy sorted-permutation cache is the one
+ * piece of mutable state behind const queries), paretoFront, filters
+ * and aggregations on one index, and every thread's results must be
+ * identical to a single-threaded reference. Run under
+ * ETPU_SANITIZE=thread this suite is the regression test for the
+ * sortedBy cache data race: before the shared-mutex fill the TSan leg
+ * reported concurrent map writes here.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "nasbench/cell_spec.hh"
+#include "nasbench/dataset.hh"
+#include "query/dataset_index.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::query;
+
+constexpr double nan_v = std::numeric_limits<double>::quiet_NaN();
+
+/** Deterministic synthetic campaign with ties, NaNs and spread. */
+nas::Dataset
+makeDataset(size_t rows)
+{
+    nas::Dataset ds;
+    ds.records.reserve(rows);
+    uint32_t state = 0x9e3779b9u;
+    auto next = [&state]() {
+        state ^= state << 13;
+        state ^= state >> 17;
+        state ^= state << 5;
+        return state;
+    };
+    for (size_t i = 0; i < rows; i++) {
+        nas::ModelRecord r;
+        r.spec = nas::makeChainCell({nas::Op::Conv3x3});
+        // Duplicate accuracy values every 8 rows exercise tie-breaks;
+        // a sprinkle of NaN latencies exercises the NaN-exclusion
+        // path of the sorted permutations.
+        r.accuracy = 0.5f + static_cast<float>(i % 8) * 0.05f;
+        for (size_t c = 0; c < r.latencyMs.size(); c++) {
+            r.latencyMs[c] = (next() % 64 == 0)
+                ? std::numeric_limits<float>::quiet_NaN()
+                : 1.0f + static_cast<float>(next() % 1000) * 0.01f;
+            r.energyMj[c] = 0.5f + static_cast<float>(next() % 500) * 0.01f;
+        }
+        r.params = 1000 + next() % 9000;
+        r.depth = static_cast<uint8_t>(2 + i % 5);
+        r.width = static_cast<uint8_t>(1 + i % 3);
+        r.numConv3x3 = 1;
+        ds.records.push_back(r);
+    }
+    return ds;
+}
+
+/** The metric mix every worker cycles through. */
+std::vector<Metric>
+metricMix()
+{
+    return {
+        {MetricKind::Accuracy, 0}, {MetricKind::Params, 0},
+        {MetricKind::Depth, 0},    latency(0),
+        latency(1),                latency(2),
+        energy(0),                 energy(2),
+        {MetricKind::Winner, 0},
+    };
+}
+
+TEST(ConcurrentQuery, TopKMatchesSingleThreadedReference)
+{
+    nas::Dataset ds = makeDataset(4000);
+    DatasetIndex idx = DatasetIndex::build(ds);
+
+    // Reference answers from a second, never-shared index, so the
+    // shared one's caches are all filled under contention.
+    DatasetIndex ref_idx = DatasetIndex::build(ds);
+    std::vector<Metric> metrics = metricMix();
+    std::vector<std::vector<uint32_t>> ref_asc(metrics.size());
+    std::vector<std::vector<uint32_t>> ref_desc(metrics.size());
+    for (size_t m = 0; m < metrics.size(); m++) {
+        ref_idx.topK(metrics[m], 100, SortOrder::Ascending, ref_asc[m]);
+        ref_idx.topK(metrics[m], 100, SortOrder::Descending,
+                     ref_desc[m]);
+    }
+
+    constexpr unsigned n_threads = 8;
+    constexpr int rounds = 40;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; t++) {
+        pool.emplace_back([&, t]() {
+            std::vector<uint32_t> out;
+            for (int round = 0; round < rounds; round++) {
+                // Stagger the metric order per thread so first-build
+                // races hit different cache entries concurrently.
+                size_t m = (t + static_cast<size_t>(round)) %
+                           metrics.size();
+                SortOrder order = (t + round) % 2 == 0
+                    ? SortOrder::Ascending
+                    : SortOrder::Descending;
+                idx.topK(metrics[m], 100, order, out);
+                const auto &want = (order == SortOrder::Ascending
+                                        ? ref_asc
+                                        : ref_desc)[m];
+                if (out != want)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentQuery, MixedQueriesAreRaceFreeAndDeterministic)
+{
+    nas::Dataset ds = makeDataset(2000);
+    DatasetIndex idx = DatasetIndex::build(ds);
+
+    DatasetIndex ref_idx = DatasetIndex::build(ds);
+    Filter f;
+    f.where({MetricKind::Accuracy, 0}, CompareOp::Ge, 0.6)
+        .where(latency(1), CompareOp::Lt, 9.0);
+    std::vector<Objective> objectives = {
+        {{MetricKind::Accuracy, 0}, /*maximize=*/true},
+        {latency(1), /*maximize=*/false},
+    };
+    std::vector<uint32_t> ref_rows, ref_front, ref_top;
+    ref_idx.filterRows(f, ref_rows);
+    ref_idx.paretoFront(objectives, ref_front);
+    ref_idx.topK(energy(1), 50, SortOrder::Ascending, ref_top, &f);
+    // Aggregate NaN-free columns (energy/params) so the exact
+    // double-compare below stays meaningful; the latency columns'
+    // injected NaNs would make every sum NaN != NaN.
+    GroupAggregate ref_groups = ref_idx.groupBy(
+        {MetricKind::Depth, 0}, {energy(0), {MetricKind::Params, 0}});
+
+    constexpr unsigned n_threads = 8;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> pool;
+    pool.reserve(n_threads);
+    for (unsigned t = 0; t < n_threads; t++) {
+        pool.emplace_back([&, t]() {
+            std::vector<uint32_t> rows, front, top;
+            for (int round = 0; round < 20; round++) {
+                switch ((t + round) % 4) {
+                  case 0:
+                    idx.filterRows(f, rows);
+                    if (rows != ref_rows)
+                        mismatches.fetch_add(1);
+                    break;
+                  case 1:
+                    idx.paretoFront(objectives, front);
+                    if (front != ref_front)
+                        mismatches.fetch_add(1);
+                    break;
+                  case 2:
+                    idx.topK(energy(1), 50, SortOrder::Ascending, top,
+                             &f);
+                    if (top != ref_top)
+                        mismatches.fetch_add(1);
+                    break;
+                  case 3: {
+                    GroupAggregate ga = idx.groupBy(
+                        {MetricKind::Depth, 0},
+                        {energy(0), {MetricKind::Params, 0}});
+                    if (ga.keys != ref_groups.keys ||
+                        ga.counts != ref_groups.counts ||
+                        ga.sums != ref_groups.sums) {
+                        mismatches.fetch_add(1);
+                    }
+                    break;
+                  }
+                }
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(ConcurrentQuery, WarmPrebuildsThePermutations)
+{
+    nas::Dataset ds = makeDataset(500);
+    DatasetIndex idx = DatasetIndex::build(ds);
+    std::vector<Metric> metrics = metricMix();
+    idx.warm(metrics);
+
+    // Warmed references must be the very objects later queries reuse
+    // (no rebuild, no invalidation).
+    std::vector<const std::vector<uint32_t> *> warmed;
+    warmed.reserve(metrics.size());
+    for (Metric m : metrics)
+        warmed.push_back(&idx.sortedBy(m));
+    for (size_t m = 0; m < metrics.size(); m++)
+        EXPECT_EQ(&idx.sortedBy(metrics[m]), warmed[m]);
+}
+
+TEST(ConcurrentQuery, SortedByReferencesStayValidAcrossFills)
+{
+    nas::Dataset ds = makeDataset(300);
+    DatasetIndex idx = DatasetIndex::build(ds);
+    const std::vector<uint32_t> &first = idx.sortedBy(latency(0));
+    std::vector<uint32_t> snapshot = first;
+    // Filling other cache entries must not move the first one.
+    for (Metric m : metricMix())
+        idx.sortedBy(m);
+    EXPECT_EQ(&idx.sortedBy(latency(0)), &first);
+    EXPECT_EQ(first, snapshot);
+}
+
+TEST(ConcurrentQuery, CopyAndMoveCarryTheCaches)
+{
+    nas::Dataset ds = makeDataset(200);
+    DatasetIndex idx = DatasetIndex::build(ds);
+    std::vector<uint32_t> want;
+    idx.topK({MetricKind::Accuracy, 0}, 25, SortOrder::Ascending, want);
+
+    DatasetIndex copy(idx);
+    std::vector<uint32_t> got;
+    copy.topK({MetricKind::Accuracy, 0}, 25, SortOrder::Ascending, got);
+    EXPECT_EQ(got, want);
+    EXPECT_EQ(copy.size(), idx.size());
+
+    DatasetIndex moved(std::move(copy));
+    moved.topK({MetricKind::Accuracy, 0}, 25, SortOrder::Ascending, got);
+    EXPECT_EQ(got, want);
+
+    DatasetIndex assigned;
+    assigned = idx;
+    assigned.topK({MetricKind::Accuracy, 0}, 25, SortOrder::Ascending,
+                  got);
+    EXPECT_EQ(got, want);
+}
+
+TEST(ConcurrentQuery, NanRowsNeverRankUnderContention)
+{
+    nas::Dataset ds = makeDataset(1000);
+    DatasetIndex idx = DatasetIndex::build(ds);
+    const std::vector<double> &col = idx.column(latency(2));
+
+    constexpr unsigned n_threads = 6;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> pool;
+    for (unsigned t = 0; t < n_threads; t++) {
+        pool.emplace_back([&]() {
+            std::vector<uint32_t> out;
+            idx.topK(latency(2), idx.size(), SortOrder::Ascending, out);
+            for (uint32_t row : out) {
+                if (std::isnan(col[row]))
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : pool)
+        th.join();
+    EXPECT_EQ(bad.load(), 0);
+}
+
+} // namespace

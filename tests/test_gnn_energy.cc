@@ -11,6 +11,7 @@
 #include "gnn/trainer.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
+#include "sanitizer_budget.hh"
 
 namespace
 {
@@ -51,15 +52,17 @@ TEST(GnnEnergy, LearnsV2EnergyRanking)
     auto test = energySamples(split.test, 1);
 
     gnn::TrainConfig cfg;
-    cfg.epochs = 60;
+    cfg.epochs = testutil::scaledEpochs(60);
     cfg.seed = 0xe4e;
     gnn::Trainer trainer(cfg);
     trainer.train(train);
     gnn::EvalMetrics m = trainer.evaluate(test);
     // Energy is nearly linear in latency (Figure 6), so the learned
     // model should rank it about as well.
-    EXPECT_GT(m.spearman, 0.85);
-    EXPECT_GT(m.pearson, 0.9);
+    if (testutil::checkConvergence) {
+        EXPECT_GT(m.spearman, 0.85);
+        EXPECT_GT(m.pearson, 0.9);
+    }
 }
 
 TEST(GnnEnergy, PredictionsArePositiveForTypicalCells)
@@ -68,7 +71,7 @@ TEST(GnnEnergy, PredictionsArePositiveForTypicalCells)
     auto split = gnn::splitDataset(ds.size(), 0xe4e);
     auto train = energySamples(split.train, 0);
     gnn::TrainConfig cfg;
-    cfg.epochs = 25;
+    cfg.epochs = testutil::scaledEpochs(25);
     gnn::Trainer trainer(cfg);
     trainer.train(train);
     int positive = 0, total = 0;
@@ -80,7 +83,13 @@ TEST(GnnEnergy, PredictionsArePositiveForTypicalCells)
             positive++;
         }
     }
-    EXPECT_GT(positive, 190);
+    if (testutil::checkConvergence) {
+        EXPECT_GT(positive, 190);
+    } else {
+        // Under-trained sanitizer-budget model: predictions hover
+        // near the (positive) target mean, but don't pin the margin.
+        EXPECT_GT(positive, 0);
+    }
 }
 
 } // namespace

@@ -8,6 +8,7 @@
 #include "nasbench/accuracy.hh"
 #include "nasbench/enumerator.hh"
 #include "pipeline/builder.hh"
+#include "sanitizer_budget.hh"
 #include "tpusim/simulator.hh"
 #include "stats/correlation.hh"
 #include "stats/summary.hh"
@@ -105,13 +106,15 @@ TEST(Integration, LearnedModelRanksLatencyWell)
         test.push_back(to_sample(i));
 
     gnn::TrainConfig cfg;
-    cfg.epochs = 80;
+    cfg.epochs = testutil::scaledEpochs(80);
     gnn::Trainer trainer(cfg);
     trainer.train(train);
     gnn::EvalMetrics m = trainer.evaluate(test);
-    EXPECT_GT(m.spearman, 0.90);
-    EXPECT_GT(m.pearson, 0.95);
-    EXPECT_GT(m.avgAccuracy, 0.85);
+    if (testutil::checkConvergence) {
+        EXPECT_GT(m.spearman, 0.90);
+        EXPECT_GT(m.pearson, 0.95);
+        EXPECT_GT(m.avgAccuracy, 0.85);
+    }
 }
 
 TEST(Integration, CachingAblationSlowsLargeAnchors)

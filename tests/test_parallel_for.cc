@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <limits>
 #include <numeric>
 #include <vector>
 
@@ -68,6 +69,33 @@ TEST(ParallelFor, MoreThreadsThanWork)
     std::atomic<int> count{0};
     parallelFor(0, 3, [&](size_t, unsigned) { count++; }, 16);
     EXPECT_EQ(count.load(), 3);
+}
+
+TEST(ParallelFor, RangeEndingAtSizeMaxDoesNotWrap)
+{
+    // The shared claim cursor must be clamped to end: a blind
+    // cursor += chunk with end == SIZE_MAX wraps to a small value,
+    // reopening the range so indices run a second time (and the
+    // workers never terminate in the worst case).
+    constexpr size_t n = 4096;
+    constexpr size_t end = std::numeric_limits<size_t>::max();
+    constexpr size_t begin = end - n;
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(begin, end, [&](size_t i, unsigned) {
+        ASSERT_GE(i, begin);
+        ASSERT_LT(i, end);
+        hits[i - begin].fetch_add(1);
+    }, 8);
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, RangeEndingAtSizeMaxSingleWorker)
+{
+    constexpr size_t end = std::numeric_limits<size_t>::max();
+    std::atomic<int> count{0};
+    parallelFor(end - 17, end, [&](size_t, unsigned) { count++; }, 1);
+    EXPECT_EQ(count.load(), 17);
 }
 
 TEST(DefaultThreadCount, Positive)

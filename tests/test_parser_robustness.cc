@@ -1,0 +1,382 @@
+/**
+ * @file
+ * Deterministic robustness sweeps over every parser that consumes
+ * untrusted input — the ctest-resident sibling of the fuzz/ harnesses.
+ * For each well-formed input this suite feeds the parser every prefix
+ * truncation and a seeded set of single-byte corruptions, asserting
+ * the shared contract: parse cleanly or reject cleanly, never crash,
+ * and never accept an input that violates the format's own
+ * invariants. Runs in milliseconds, so it gates every ctest
+ * invocation — including the ASan/UBSan and TSan CI legs — without a
+ * fuzzing toolchain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "gnn/predictor.hh"
+#include "nasbench/cell_spec.hh"
+#include "nasbench/dataset.hh"
+#include "query/dataset_index.hh"
+
+namespace etpu
+{
+namespace
+{
+
+/** Deterministic PRNG so failures reproduce byte for byte. */
+uint32_t
+xorshift32(uint32_t &state)
+{
+    state ^= state << 13;
+    state ^= state >> 17;
+    state ^= state << 5;
+    return state;
+}
+
+/** Reference recognizer for parseInt's grammar: '-'? digit+. */
+bool
+looksLikeInt(std::string_view text)
+{
+    if (!text.empty() && text.front() == '-')
+        text.remove_prefix(1);
+    if (text.empty())
+        return false;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+    }
+    return true;
+}
+
+class ParserRobustness : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        // The corrupted inputs are *supposed* to draw warnings;
+        // thousands of them would drown real test output.
+        was_quiet_ = setQuietLogging(true);
+    }
+
+    void
+    TearDown() override
+    {
+        setQuietLogging(was_quiet_);
+        for (const std::string &path : scratch_)
+            std::remove(path.c_str());
+    }
+
+    /** Write bytes to a scratch file that TearDown removes. */
+    const std::string &
+    scratchFile(const std::string &bytes)
+    {
+        std::string path =
+            (std::filesystem::temp_directory_path() /
+             ("etpu_robust_" + std::to_string(::getpid()) + "_" +
+              std::to_string(scratch_.size()) + ".bin"))
+                .string();
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        out.close();
+        scratch_.push_back(path);
+        return scratch_.back();
+    }
+
+    /** Read a file produced by one of the production writers. */
+    static std::string
+    slurp(const std::string &path)
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+        EXPECT_FALSE(bytes.empty()) << path;
+        return bytes;
+    }
+
+    bool was_quiet_ = false;
+    std::vector<std::string> scratch_;
+};
+
+nas::Dataset
+tinyDataset()
+{
+    nas::Dataset ds;
+    for (unsigned i = 0; i < 5; i++) {
+        nas::ModelRecord r;
+        r.spec = nas::makeChainCell(
+            {i % 2 ? nas::Op::Conv1x1 : nas::Op::Conv3x3});
+        r.accuracy = 0.7f + 0.01f * static_cast<float>(i);
+        r.params = 1000 + i;
+        for (int c = 0; c < nas::numAccelerators; c++) {
+            r.latencyMs[static_cast<size_t>(c)] = 1.0f + static_cast<float>(i + c);
+            r.energyMj[static_cast<size_t>(c)] = 0.5f + static_cast<float>(i + c);
+        }
+        ds.records.push_back(r);
+    }
+    return ds;
+}
+
+gnn::CheckpointBundle
+tinyBundle()
+{
+    gnn::CheckpointBundle bundle;
+    gnn::ModelConfig cfg;
+    cfg.latent = 4;
+    cfg.messagePassingSteps = 1;
+    gnn::Predictor p;
+    p.name = gnn::modelName(gnn::TargetMetric::Latency, 0);
+    p.model.initZero(cfg);
+    p.targetMean = 2.0;
+    p.targetStd = 1.5;
+    bundle.models.push_back(std::move(p));
+    return bundle;
+}
+
+// --- filter grammar ---------------------------------------------------
+
+const char *const kFilterExprs[] = {
+    "accuracy>=0.7,latency@V2<3",
+    "winner==V2",
+    " depth <= 4 , width > 1 ",
+    "macs<1e6,params>100,conv3x3==2,maxpool!=0",
+    "weight_bytes>=2048,conv1x1<3",
+    "energy@V3!=0.5",
+};
+
+TEST_F(ParserRobustness, FilterSurvivesEveryTruncation)
+{
+    for (std::string_view expr : kFilterExprs) {
+        for (size_t len = 0; len <= expr.size(); len++) {
+            std::string_view prefix = expr.substr(0, len);
+            std::string error;
+            auto filter = query::Filter::parse(prefix, &error);
+            if (!filter) {
+                EXPECT_FALSE(error.empty())
+                    << "rejection without a diagnostic: \"" << prefix
+                    << "\"";
+                continue;
+            }
+            // Anything accepted must round-trip through its own
+            // canonical form.
+            std::string canonical = filter->str();
+            auto reparsed = query::Filter::parse(canonical, &error);
+            ASSERT_TRUE(reparsed.has_value())
+                << "canonical \"" << canonical << "\" from \""
+                << prefix << "\": " << error;
+            EXPECT_EQ(reparsed->str(), canonical);
+            EXPECT_EQ(reparsed->clauses().size(),
+                      filter->clauses().size());
+        }
+    }
+}
+
+TEST_F(ParserRobustness, FilterSurvivesSeededByteCorruption)
+{
+    uint32_t rng = 0x243f6a88u;
+    for (std::string_view expr : kFilterExprs) {
+        for (int round = 0; round < 200; round++) {
+            std::string mutated(expr);
+            size_t pos = xorshift32(rng) % mutated.size();
+            mutated[pos] = static_cast<char>(xorshift32(rng) & 0xff);
+            std::string error;
+            auto filter = query::Filter::parse(mutated, &error);
+            if (!filter)
+                continue;
+            std::string canonical = filter->str();
+            auto reparsed = query::Filter::parse(canonical, &error);
+            ASSERT_TRUE(reparsed.has_value())
+                << "canonical \"" << canonical << "\" from mutated \""
+                << mutated << "\": " << error;
+            EXPECT_EQ(reparsed->str(), canonical);
+        }
+    }
+}
+
+TEST_F(ParserRobustness, ParseMetricSurvivesTruncationAndCorruption)
+{
+    const char *const names[] = {"accuracy", "latency@V1", "energy@V3",
+                                 "params",   "weight_bytes"};
+    uint32_t rng = 0x85a308d3u;
+    for (std::string_view name : names) {
+        for (size_t len = 0; len <= name.size(); len++)
+            query::parseMetric(name.substr(0, len));
+        for (int round = 0; round < 100; round++) {
+            std::string mutated(name);
+            size_t pos = xorshift32(rng) % mutated.size();
+            mutated[pos] = static_cast<char>(xorshift32(rng) & 0xff);
+            query::parseMetric(mutated);
+        }
+    }
+}
+
+// --- env / CLI integers -----------------------------------------------
+
+TEST_F(ParserRobustness, ParseIntMatchesItsGrammarOnTruncations)
+{
+    const char *const ints[] = {"123456789",
+                                "-987654321",
+                                "0",
+                                "9223372036854775807",
+                                "-9223372036854775808",
+                                "99999999999999999999"};
+    for (std::string_view text : ints) {
+        for (size_t len = 0; len <= text.size(); len++) {
+            std::string_view prefix = text.substr(0, len);
+            auto parsed = parseInt(prefix);
+            if (parsed) {
+                EXPECT_TRUE(looksLikeInt(prefix)) << prefix;
+            }
+            // Up to 18 digits always fits in a long long; only
+            // overflow may reject a grammatically valid prefix.
+            if (looksLikeInt(prefix) && prefix.size() < 18) {
+                EXPECT_TRUE(parsed.has_value()) << prefix;
+            }
+        }
+    }
+}
+
+TEST_F(ParserRobustness, ParseIntSurvivesSeededByteCorruption)
+{
+    uint32_t rng = 0x13198a2eu;
+    for (int round = 0; round < 2000; round++) {
+        std::string text = "1844674407370955161";
+        size_t pos = xorshift32(rng) % text.size();
+        text[pos] = static_cast<char>(xorshift32(rng) & 0xff);
+        auto parsed = parseInt(text);
+        if (parsed) {
+            EXPECT_TRUE(looksLikeInt(text)) << text;
+        }
+    }
+}
+
+TEST_F(ParserRobustness, EnvWrappersAgreeWithParseIntOnCorruptions)
+{
+    const char *const name = "ETPU_ROBUSTNESS_PROBE";
+    uint32_t rng = 0x03707344u;
+    for (int round = 0; round < 500; round++) {
+        std::string text = "-4096";
+        size_t pos = xorshift32(rng) % text.size();
+        // setenv needs a NUL-free C string; byte 1..255 keeps the
+        // corrupted text representable as an environment value.
+        text[pos] = static_cast<char>(1 + xorshift32(rng) % 255);
+        ASSERT_EQ(::setenv(name, text.c_str(), 1), 0);
+        EXPECT_EQ(envInt(name), parseInt(text)) << text;
+        auto count = envCount(name);
+        auto direct = parseInt(text);
+        if (direct && *direct >= 0) {
+            ASSERT_TRUE(count.has_value()) << text;
+            EXPECT_EQ(*count, static_cast<uint64_t>(*direct));
+        } else {
+            EXPECT_FALSE(count.has_value()) << text;
+        }
+    }
+    ::unsetenv(name);
+}
+
+// --- dataset cache bytes ----------------------------------------------
+
+TEST_F(ParserRobustness, DatasetCacheSurvivesEveryTruncation)
+{
+    nas::Dataset ds = tinyDataset();
+    const std::string &full_path = scratchFile("");
+    ds.save(full_path, 2);
+    std::string bytes = slurp(full_path);
+
+    for (size_t len = 0; len < bytes.size(); len++) {
+        const std::string &path =
+            scratchFile(bytes.substr(0, len));
+        nas::Dataset out;
+        // A strict load of a truncated cache must fail; the streamer
+        // may salvage leading shards but must never fabricate records.
+        EXPECT_FALSE(nas::Dataset::load(path, out)) << "len=" << len;
+        size_t streamed = 0;
+        nas::Dataset::loadStreaming(
+            path, [&streamed](const nas::ModelRecord &) { streamed++; });
+        EXPECT_LE(streamed, ds.records.size()) << "len=" << len;
+    }
+}
+
+TEST_F(ParserRobustness, DatasetCacheRejectsSeededByteFlips)
+{
+    nas::Dataset ds = tinyDataset();
+    const std::string &full_path = scratchFile("");
+    ds.save(full_path, 1);
+    std::string bytes = slurp(full_path);
+
+    uint32_t rng = 0xa4093822u;
+    for (int round = 0; round < 300; round++) {
+        std::string mutated = bytes;
+        size_t pos = xorshift32(rng) % mutated.size();
+        uint8_t bit = 1u << (xorshift32(rng) % 8);
+        mutated[pos] = static_cast<char>(
+            static_cast<uint8_t>(mutated[pos]) ^ bit);
+        const std::string &path = scratchFile(mutated);
+        nas::Dataset out;
+        if (nas::Dataset::load(path, out)) {
+            // Flips in the CRC-covered region must be caught, so an
+            // accepted mutant can only differ in the unprotected
+            // header — never in the records themselves.
+            EXPECT_EQ(out.records.size(), ds.records.size());
+        }
+    }
+}
+
+// --- checkpoint bytes -------------------------------------------------
+
+TEST_F(ParserRobustness, CheckpointSurvivesEveryTruncation)
+{
+    const std::string &full_path = scratchFile("");
+    ASSERT_TRUE(gnn::saveCheckpoint(full_path, tinyBundle()));
+    std::string bytes = slurp(full_path);
+
+    for (size_t len = 0; len < bytes.size(); len++) {
+        const std::string &path = scratchFile(bytes.substr(0, len));
+        gnn::CheckpointBundle out;
+        EXPECT_FALSE(gnn::loadCheckpoint(path, out)) << "len=" << len;
+        EXPECT_TRUE(out.models.empty()) << "len=" << len;
+    }
+}
+
+TEST_F(ParserRobustness, CheckpointRejectsSeededByteFlips)
+{
+    const std::string &full_path = scratchFile("");
+    ASSERT_TRUE(gnn::saveCheckpoint(full_path, tinyBundle()));
+    std::string bytes = slurp(full_path);
+
+    uint32_t rng = 0x299f31d0u;
+    size_t accepted = 0;
+    for (int round = 0; round < 300; round++) {
+        std::string mutated = bytes;
+        size_t pos = xorshift32(rng) % mutated.size();
+        uint8_t bit = 1u << (xorshift32(rng) % 8);
+        mutated[pos] = static_cast<char>(
+            static_cast<uint8_t>(mutated[pos]) ^ bit);
+        const std::string &path = scratchFile(mutated);
+        gnn::CheckpointBundle out;
+        if (gnn::loadCheckpoint(path, out)) {
+            accepted++;
+        } else {
+            EXPECT_TRUE(out.models.empty());
+        }
+    }
+    // The ETPUGNN1 payload is fully CRC-covered, so nearly every flip
+    // must be rejected (only flips inside the 24-byte header that
+    // happen to keep it self-consistent could slip through — and the
+    // CRC field itself cannot).
+    EXPECT_LT(accepted, 5u);
+}
+
+} // namespace
+} // namespace etpu

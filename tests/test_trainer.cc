@@ -7,6 +7,7 @@
 
 #include "gnn/trainer.hh"
 #include "nasbench/enumerator.hh"
+#include "sanitizer_budget.hh"
 
 namespace
 {
@@ -74,7 +75,7 @@ TEST(Trainer, LossDecreasesDuringTraining)
     Trainer t(cfg);
     double first = t.train(samples);
     TrainConfig cfg2;
-    cfg2.epochs = 40;
+    cfg2.epochs = testutil::scaledEpochs(40);
     cfg2.threads = 4;
     Trainer t2(cfg2);
     double later = t2.train(samples);
@@ -85,22 +86,25 @@ TEST(Trainer, OverfitsSmallSet)
 {
     auto samples = syntheticSamples(48, 4);
     TrainConfig cfg;
-    cfg.epochs = 600; // 48 samples / batch 16 -> 3 steps per epoch
+    // 48 samples / batch 16 -> 3 steps per epoch
+    cfg.epochs = testutil::scaledEpochs(600);
     cfg.batchSize = 16;
     cfg.threads = 8;
     Trainer t(cfg);
     t.train(samples);
     EvalMetrics m = t.evaluate(samples);
-    EXPECT_GT(m.avgAccuracy, 0.88);
-    EXPECT_GT(m.spearman, 0.9);
-    EXPECT_GT(m.pearson, 0.9);
+    if (testutil::checkConvergence) {
+        EXPECT_GT(m.avgAccuracy, 0.88);
+        EXPECT_GT(m.spearman, 0.9);
+        EXPECT_GT(m.pearson, 0.9);
+    }
 }
 
 TEST(Trainer, PredictionDenormalizesToTargetScale)
 {
     auto samples = syntheticSamples(48, 5);
     TrainConfig cfg;
-    cfg.epochs = 60;
+    cfg.epochs = testutil::scaledEpochs(60);
     cfg.threads = 8;
     Trainer t(cfg);
     t.train(samples);
