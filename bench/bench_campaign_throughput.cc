@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "common/json_out.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/table.hh"
@@ -62,25 +63,6 @@ struct StageTiming
     const char *name;
     double seconds = 0.0;
 };
-
-/** Escape a user-controlled string for embedding in a JSON literal. */
-std::string
-jsonEscape(const std::string &s)
-{
-    std::ostringstream out;
-    for (char c : s) {
-        if (c == '"' || c == '\\') {
-            out << '\\' << c;
-        } else if (static_cast<unsigned char>(c) < 0x20) {
-            out << "\\u00" << std::hex << std::setw(2)
-                << std::setfill('0') << static_cast<int>(c)
-                << std::dec;
-        } else {
-            out << c;
-        }
-    }
-    return out.str();
-}
 
 } // namespace
 
@@ -303,8 +285,7 @@ main(int argc, char **argv)
          << fmtDouble(stage_sim.seconds / n * 1e6, 3) << "\n  }";
     if (!model_path.empty()) {
         json << ",\n  \"learned_backend\": {\n"
-             << "    \"model\": \"" << jsonEscape(model_path)
-             << "\",\n"
+             << "    \"model\": " << jsonQuote(model_path) << ",\n"
              << "    \"featurize_predict_us_per_cell\": "
              << fmtDouble(learned_predict / n * 1e6, 3) << ",\n"
              << "    \"end_to_end\": {\n"

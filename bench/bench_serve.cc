@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Throughput/latency benchmark for the etpu_serve daemon: an
+ * in-process Server over a warmed DatasetIndex, driven by concurrent
+ * TCP clients issuing the mixed request stream a dashboard would
+ * (count / rows / top-k / pareto / bucket / characterize). Reports
+ * sustained QPS plus client-observed p50/p99 per-request latency, and
+ * writes the result as JSON so the repo can track a serve-path perf
+ * trajectory across PRs: BENCH_serve.json at the repo root holds the
+ * reference numbers.
+ *
+ * Usage: bench_serve [--dataset PATH] [--clients N] [--seconds S]
+ *                    [--workers N] [--out PATH]
+ *
+ * Clients run request/response lockstep (one in flight per
+ * connection), so QPS measures the daemon's service rate under
+ * --clients-way concurrency, not pipelining depth; the admission
+ * queue never fills and every response is an "ok" (verified).
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/json_out.hh"
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "common/signal.hh"
+#include "common/socket.hh"
+#include "common/table.hh"
+#include "pipeline/builder.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace etpu;
+using Clock = std::chrono::steady_clock;
+
+/** The mixed request stream, weighted toward the cheap query ops. */
+const char *const kRequests[] = {
+    R"({"op":"count","filter":"accuracy>=0.7"})",
+    R"({"op":"rows","limit":8,"filter":"depth<=6"})",
+    R"({"op":"topk","k":5,"by":"latency@V2","order":"asc"})",
+    R"({"op":"count"})",
+    R"({"op":"pareto","objectives":"accuracy:max,latency@V1:min"})",
+    R"({"op":"topk","k":3,"by":"accuracy"})",
+    R"({"op":"bucket","key":"depth","agg":"accuracy,latency@V1"})",
+    R"({"op":"characterize","cells":["[input,conv3x3,output] 0->1 1->2","[input,conv1x1,maxpool3x3,output] 0->1 1->2 2->3"]})",
+};
+constexpr size_t kNumRequests =
+    sizeof(kRequests) / sizeof(kRequests[0]);
+
+struct ClientResult
+{
+    std::vector<double> latenciesUs;
+    uint64_t errors = 0;
+};
+
+void
+clientLoop(uint16_t port, unsigned id, Clock::time_point deadline,
+           ClientResult &result)
+{
+    SocketFd fd = connectTcp(port);
+    if (!fd.valid()) {
+        result.errors++;
+        return;
+    }
+    std::string carry;
+    std::string line;
+    size_t next = id; // desynchronize the streams across clients
+    while (Clock::now() < deadline) {
+        std::string req = kRequests[next++ % kNumRequests];
+        req += "\n";
+        auto t0 = Clock::now();
+        if (!writeAll(fd.get(), req) ||
+            readLine(fd.get(), carry, line, 1 << 20) != LineRead::Ok) {
+            result.errors++;
+            return;
+        }
+        auto t1 = Clock::now();
+        if (line.find("\"status\":\"ok\"") == std::string::npos) {
+            result.errors++;
+            continue;
+        }
+        result.latenciesUs.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0)
+                .count());
+    }
+}
+
+double
+percentile(std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dataset_path;
+    std::string out_path = "BENCH_serve.json";
+    unsigned clients = 8;
+    unsigned workers = 0;
+    double seconds = 5.0;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        if (arg == "--dataset") {
+            dataset_path = next();
+        } else if (arg == "--clients") {
+            auto n = parseInt(next());
+            if (!n || *n < 1 || *n > 256)
+                etpu_fatal("--clients expects an integer in [1, 256]");
+            clients = static_cast<unsigned>(*n);
+        } else if (arg == "--workers") {
+            auto n = parseInt(next());
+            if (!n || *n < 0)
+                etpu_fatal("--workers expects a count >= 0");
+            workers = static_cast<unsigned>(*n);
+        } else if (arg == "--seconds") {
+            auto n = parseInt(next());
+            if (!n || *n < 1 || *n > 600)
+                etpu_fatal("--seconds expects an integer in [1, 600]");
+            seconds = static_cast<double>(*n);
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: bench_serve [--dataset PATH] [--clients N]\n"
+                   "                   [--seconds S] [--workers N] "
+                   "[--out PATH]\n"
+                   "Measures etpu_serve QPS and p50/p99 latency under "
+                   "N concurrent clients\n"
+                   "issuing a mixed query/characterize stream, and "
+                   "writes the JSON result\n"
+                   "to --out (default BENCH_serve.json).\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+    if (dataset_path.empty())
+        dataset_path = pipeline::resolvedCachePath();
+
+    serve::ServerOptions opts;
+    opts.workers = workers;
+    opts.queueCapacity = 1024; // lockstep clients cannot fill this
+    opts.engine.datasetPath = dataset_path;
+    serve::Server server(std::move(opts));
+    resetShutdownSignals();
+    if (!server.start())
+        etpu_fatal("cannot bind the bench listen socket");
+    std::thread run([&server] { server.run(); });
+
+    std::cout << "\n=== serve throughput ===\n"
+              << "mixed count/rows/topk/pareto/bucket/characterize "
+                 "stream, " << clients << " lockstep clients, "
+              << seconds << " s\n\n";
+
+    std::vector<ClientResult> results(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    auto t0 = Clock::now();
+    auto deadline =
+        t0 + std::chrono::duration_cast<Clock::duration>(
+                 std::chrono::duration<double>(seconds));
+    for (unsigned c = 0; c < clients; c++) {
+        threads.emplace_back(clientLoop, server.port(), c, deadline,
+                             std::ref(results[c]));
+    }
+    for (std::thread &t : threads)
+        t.join();
+    double elapsed =
+        std::chrono::duration<double>(Clock::now() - t0).count();
+
+    server.requestStop();
+    run.join();
+
+    std::vector<double> latencies;
+    uint64_t errors = 0;
+    for (const ClientResult &r : results) {
+        latencies.insert(latencies.end(), r.latenciesUs.begin(),
+                         r.latenciesUs.end());
+        errors += r.errors;
+    }
+    if (latencies.empty())
+        etpu_fatal("no requests completed; is the dataset readable?");
+    if (errors)
+        etpu_fatal(errors, " requests failed; a perf number over a "
+                           "broken run is worthless");
+    std::sort(latencies.begin(), latencies.end());
+    double qps = static_cast<double>(latencies.size()) / elapsed;
+    double p50 = percentile(latencies, 50.0);
+    double p99 = percentile(latencies, 99.0);
+
+    std::cout << "requests: " << fmtCount(latencies.size()) << " in "
+              << fmtDouble(elapsed, 2) << " s = " << fmtDouble(qps, 1)
+              << " qps\nlatency: p50 " << fmtDouble(p50, 1)
+              << " us, p99 " << fmtDouble(p99, 1) << " us\n";
+
+    std::ofstream json(out_path, std::ios::trunc);
+    if (!json)
+        etpu_fatal("cannot write bench result to ", out_path);
+    json << "{\n"
+         << "  \"bench\": \"serve\",\n"
+         << "  \"dataset\": " << jsonQuote(dataset_path) << ",\n"
+         << "  \"clients\": " << clients << ",\n"
+         << "  \"workers\": " << resolveWorkerCount(workers) << ",\n"
+         << "  \"seconds\": " << fmtDouble(elapsed, 3) << ",\n"
+         << "  \"requests\": " << latencies.size() << ",\n"
+         << "  \"qps\": " << fmtDouble(qps, 1) << ",\n"
+         << "  \"latency_us\": {\n"
+         << "    \"p50\": " << fmtDouble(p50, 1) << ",\n"
+         << "    \"p99\": " << fmtDouble(p99, 1) << "\n"
+         << "  }\n}\n";
+    json.flush();
+    if (!json)
+        etpu_fatal("failed writing bench result to ", out_path);
+    std::cout << "result written to " << out_path << "\n";
+    return 0;
+}

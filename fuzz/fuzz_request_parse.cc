@@ -1,0 +1,96 @@
+/**
+ * @file
+ * libFuzzer harness for the etpu_serve request surface — the first
+ * parser in this repo that untrusted network bytes reach directly.
+ * Three layers are hammered on every input:
+ *
+ *   * serve::parseJson must never crash, and every accepted document
+ *     must survive the toJson round-trip: parse -> serialize ->
+ *     re-parse -> serialize must be a fixed point.
+ *   * serve::parseRequest (both with and without --allow-delay) must
+ *     either produce a fully validated request or an error with a
+ *     non-empty diagnostic and a parse/bad-request code — no partial
+ *     state, no silent acceptance.
+ *   * The response builders must emit exactly one line of valid JSON
+ *     for whatever parseRequest decided, so a hostile request can
+ *     never corrupt the ndJSON response framing.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/logging.hh"
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+
+using namespace etpu;
+using namespace etpu::serve;
+
+namespace
+{
+
+void
+checkResponseLine(const std::string &line)
+{
+    if (line.empty() || line.back() != '\n')
+        etpu_panic("response line lacks its newline terminator");
+    std::string_view body(line.data(), line.size() - 1);
+    if (body.find('\n') != std::string_view::npos)
+        etpu_panic("response body embeds a newline: ", body);
+    std::string error;
+    if (!parseJson(body, &error))
+        etpu_panic("response is not valid JSON: ", body, " (", error,
+                   ")");
+}
+
+void
+checkParse(std::string_view text, bool allow_delay)
+{
+    ParsedRequest parsed = parseRequest(text, allow_delay);
+    if (parsed.ok) {
+        checkResponseLine(okResponse(parsed.req.id, ""));
+        if (parsed.req.id != parsed.id)
+            etpu_panic("accepted request id diverges from echo id");
+    } else {
+        if (parsed.error.empty())
+            etpu_panic("rejected request carries no diagnostic");
+        if (parsed.code != ErrorCode::ParseError &&
+            parsed.code != ErrorCode::BadRequest) {
+            etpu_panic("parse failure mapped to a non-parse code");
+        }
+        checkResponseLine(
+            errorResponse(parsed.id, parsed.code, parsed.error));
+    }
+}
+
+} // namespace
+
+extern "C" int
+LLVMFuzzerTestOneInput(const uint8_t *data, size_t size)
+{
+    static const bool quiet = setQuietLogging(true);
+    (void)quiet;
+
+    std::string_view text(reinterpret_cast<const char *>(data), size);
+
+    std::string error;
+    auto doc = parseJson(text, &error);
+    if (doc) {
+        std::string once = toJson(*doc);
+        std::string reparse_error;
+        auto again = parseJson(once, &reparse_error);
+        if (!again) {
+            etpu_panic("toJson output failed to re-parse: ", once,
+                       " (", reparse_error, ")");
+        }
+        if (toJson(*again) != once)
+            etpu_panic("toJson is not a fixed point for: ", once);
+    } else if (error.empty()) {
+        etpu_panic("parseJson rejected input without a diagnostic");
+    }
+
+    checkParse(text, false);
+    checkParse(text, true);
+    return 0;
+}

@@ -10,6 +10,8 @@
  *                     empty-bundle checkpoint, an empty file
  *   filter_parse/     grammar strings covering every op and metric
  *   env_parse/        integer knob strings incl. edge values
+ *   request_parse/    etpu_serve ndJSON request lines, one per op,
+ *                     plus malformed/hostile shapes
  *
  * Usage: make_seeds <corpus-root>   (defaults to ./corpus)
  */
@@ -132,6 +134,33 @@ makeFilterSeeds(const std::filesystem::path &dir)
 }
 
 void
+makeRequestSeeds(const std::filesystem::path &dir)
+{
+    const std::pair<const char *, const char *> seeds[] = {
+        {"ping", R"({"op":"ping","id":1})"},
+        {"ping_delay", R"({"op":"ping","id":"p","delay_ms":5})"},
+        {"count", R"({"op":"count","filter":"accuracy>=0.7"})"},
+        {"rows", R"({"op":"rows","limit":10,"filter":"depth<=4"})"},
+        {"topk",
+         R"({"op":"topk","id":2,"k":5,"by":"latency@V2","order":"asc"})"},
+        {"pareto",
+         R"({"op":"pareto","objectives":"accuracy:max,latency@V1:min"})"},
+        {"bucket",
+         R"({"op":"bucket","key":"depth","edges":[0,4,8],"agg":"accuracy,latency@V1"})"},
+        {"characterize",
+         R"({"op":"characterize","id":3,"cells":["[input,conv3x3,output] 0->1 1->2"]})"},
+        {"unknown_op", R"({"op":"nope","id":4})"},
+        {"unknown_key", R"({"op":"count","limit":5})"},
+        {"bad_json", R"({"op":"count")"},
+        {"unicode", R"({"op":"ping","id":"😀 A"})"},
+        {"nested", R"({"op":"ping","id":1e3})"},
+        {"empty", ""},
+    };
+    for (auto [name, text] : seeds)
+        writeText(dir / name, text);
+}
+
+void
 makeEnvSeeds(const std::filesystem::path &dir)
 {
     const std::pair<const char *, const char *> seeds[] = {
@@ -164,6 +193,7 @@ main(int argc, char **argv)
         {"checkpoint_load", makeCheckpointSeeds},
         {"filter_parse", makeFilterSeeds},
         {"env_parse", makeEnvSeeds},
+        {"request_parse", makeRequestSeeds},
     };
     for (const auto &t : targets) {
         std::filesystem::path dir = root / t.dir;

@@ -1,0 +1,151 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the etpu_serve daemon, driven the way an
+# operator would drive it: start the binary, parse the announced
+# ephemeral port, run a scripted ndJSON session over /dev/tcp (valid
+# requests, a malformed request that must not kill the connection, a
+# concurrent pipelined burst), then SIGTERM and assert a clean drain.
+#
+# Usage: smoke_serve.sh <path-to-etpu_serve> [extra daemon args...]
+#
+# The dataset comes from the daemon's own resolution ($ETPU_DATASET_PATH
+# / $ETPU_SAMPLE), so the ctest registration reuses the smoke_dataset
+# fixture. Prints "smoke_serve: PASS" on success; any failure exits
+# non-zero with a diagnostic.
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <path-to-etpu_serve> [daemon args...]" >&2
+    exit 2
+fi
+serve_bin=$1
+shift
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke_serve: FAIL: $*" >&2
+    echo "--- daemon stdout ---" >&2
+    cat "$workdir/stdout.log" >&2 || true
+    echo "--- daemon stderr ---" >&2
+    cat "$workdir/stderr.log" >&2 || true
+    exit 1
+}
+
+# --- start the daemon and learn its port ------------------------------
+"$serve_bin" --port 0 "$@" \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^etpu_serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$workdir/stdout.log")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.2
+done
+[ -n "$port" ] || fail "no listening line after 20s"
+echo "daemon up on port $port (pid $server_pid)"
+
+# Send one request line on an open fd and read one response line.
+# Usage: roundtrip <fd> <request-json> -> echoes the response
+roundtrip() {
+    local fd=$1 req=$2 line
+    printf '%s\n' "$req" >&"$fd"
+    IFS= read -r -t 10 line <&"$fd" || fail "no response to: $req"
+    printf '%s\n' "$line"
+}
+
+expect_contains() {
+    local haystack=$1 needle=$2 what=$3
+    case $haystack in
+        *"$needle"*) ;;
+        *) fail "$what: expected '$needle' in: $haystack" ;;
+    esac
+}
+
+# --- scripted session: valid, malformed, valid again ------------------
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+
+resp=$(roundtrip 3 '{"op":"ping","id":1}')
+expect_contains "$resp" '"status":"ok"' "ping"
+expect_contains "$resp" '"id":1' "ping id echo"
+
+resp=$(roundtrip 3 '{"op":"count","filter":"accuracy>=0.1"}')
+expect_contains "$resp" '"status":"ok"' "count"
+expect_contains "$resp" '"count":' "count payload"
+
+resp=$(roundtrip 3 '{"op":"topk","k":3,"by":"latency@V2","order":"asc"}')
+expect_contains "$resp" '"status":"ok"' "topk"
+expect_contains "$resp" '"rows":[' "topk rows"
+
+# Malformed JSON must yield a parse_error, not a dropped connection.
+resp=$(roundtrip 3 '{"op":"count"')
+expect_contains "$resp" '"status":"error"' "malformed request"
+expect_contains "$resp" '"code":"parse_error"' "malformed request code"
+
+# A well-formed but invalid request gets bad_request.
+resp=$(roundtrip 3 '{"op":"warp_speed"}')
+expect_contains "$resp" '"code":"bad_request"' "unknown op"
+
+# The connection must still answer after both error paths.
+resp=$(roundtrip 3 '{"op":"ping","id":"after-errors"}')
+expect_contains "$resp" '"status":"ok"' "ping after errors"
+exec 3>&-
+echo "scripted session ok (valid + malformed + recovery)"
+
+# --- concurrent pipelined burst ---------------------------------------
+clients=8
+per_client=10
+burst_client() {
+    local id=$1 ok=0 i line
+    exec 4<>"/dev/tcp/127.0.0.1/$port"
+    for i in $(seq 1 "$per_client"); do
+        printf '{"op":"count","id":%d}\n' "$((id * 100 + i))" >&4
+    done
+    for i in $(seq 1 "$per_client"); do
+        IFS= read -r -t 15 line <&4 || break
+        case $line in
+            *'"status":"ok"'*) ok=$((ok + 1)) ;;
+        esac
+    done
+    exec 4>&-
+    echo "$ok" >"$workdir/burst_$id"
+}
+# wait on the burst pids explicitly — a bare `wait` would also wait
+# on the daemon job, which (correctly) never exits on its own.
+burst_pids=()
+for c in $(seq 1 "$clients"); do
+    burst_client "$c" &
+    burst_pids+=($!)
+done
+for pid in "${burst_pids[@]}"; do
+    wait "$pid" || fail "burst client (pid $pid) failed"
+done
+total=0
+for c in $(seq 1 "$clients"); do
+    [ -f "$workdir/burst_$c" ] || fail "burst client $c died"
+    total=$((total + $(cat "$workdir/burst_$c")))
+done
+[ "$total" -eq $((clients * per_client)) ] ||
+    fail "burst answered $total of $((clients * per_client))"
+echo "concurrent burst ok ($total/$total responses)"
+
+# --- graceful shutdown ------------------------------------------------
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited with status $rc after SIGTERM"
+grep -q "drained" "$workdir/stderr.log" ||
+    fail "no drain report in daemon stderr"
+echo "clean shutdown ok (drained, exit 0)"
+
+echo "smoke_serve: PASS"

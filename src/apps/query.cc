@@ -15,26 +15,28 @@
  *   etpu_query --bucket latency@V1 --edges "0,2,3,4,10" --agg conv3x3
  */
 
-#include <cinttypes>
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <iostream>
-#include <limits>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/env.hh"
+#include "common/json_out.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "pipeline/builder.hh"
 #include "query/dataset_index.hh"
+#include "query/row_format.hh"
+#include "query/spec.hh"
 
 namespace
 {
 
 using namespace etpu;
+using query::fmtValue;
+using query::rowCells;
+using query::rowHeader;
 
 enum class Format
 {
@@ -42,47 +44,6 @@ enum class Format
     Csv,
     Json,
 };
-
-/** The fixed column set of row-shaped output. */
-const std::vector<query::Metric> &
-rowMetrics()
-{
-    static const std::vector<query::Metric> metrics = [] {
-        std::vector<query::Metric> m = {
-            {query::MetricKind::Accuracy, 0},
-            {query::MetricKind::Params, 0},
-            {query::MetricKind::Depth, 0},
-            {query::MetricKind::Width, 0},
-            {query::MetricKind::Conv3x3, 0},
-            {query::MetricKind::Conv1x1, 0},
-            {query::MetricKind::MaxPool, 0},
-        };
-        for (int c = 0; c < nas::numAccelerators; c++)
-            m.push_back(query::latency(c));
-        for (int c = 0; c < nas::numAccelerators; c++)
-            m.push_back(query::energy(c));
-        m.push_back({query::MetricKind::Winner, 0});
-        return m;
-    }();
-    return metrics;
-}
-
-/**
- * Render a column value: integral values as integers, everything else
- * with enough digits to round-trip a double.
- */
-std::string
-fmtValue(double v)
-{
-    if (std::isfinite(v) && v == std::floor(v) &&
-        std::abs(v) < 9.0e15) {
-        return strfmt(static_cast<long long>(v));
-    }
-    char buf[40];
-    std::snprintf(buf, sizeof(buf), "%.*g",
-                  std::numeric_limits<double>::max_digits10, v);
-    return buf;
-}
 
 /** Join cells as one RFC-4180-ish CSV line (cells here are plain). */
 std::string
@@ -95,13 +56,6 @@ csvLine(const std::vector<std::string> &cells)
         line += cells[i];
     }
     return line;
-}
-
-std::string
-jsonEscapeKey(const std::string &key)
-{
-    // Column names only contain [a-z0-9_@] — safe to embed verbatim.
-    return "\"" + key + "\"";
 }
 
 /** Emit header + rows in the chosen format. */
@@ -126,124 +80,45 @@ emitTable(const std::string &title,
               os << csvLine(r) << "\n";
           break;
       }
-      case Format::Json: {
-          os << "[";
-          for (size_t i = 0; i < rows.size(); i++) {
-              os << (i ? ",\n " : "\n ") << "{";
-              for (size_t c = 0; c < header.size(); c++) {
-                  const std::string &v = rows[i][c];
-                  bool numeric = !v.empty() &&
-                                 v.find_first_not_of(
-                                     "0123456789+-.eE") ==
-                                     std::string::npos;
-                  os << (c ? "," : "") << jsonEscapeKey(header[c])
-                     << ":" << (numeric ? v : "\"" + v + "\"");
-              }
-              os << "}";
-          }
-          os << (rows.empty() ? "]" : "\n]") << "\n";
-          break;
-      }
+      case Format::Json:
+        // Shared emitter (common/json_out): keys escaped, cells typed
+        // by the strict number grammar, NaN/Inf as null.
+        writeJsonRows(os, header, rows, /*pretty=*/true);
+        os << "\n";
+        break;
     }
-}
-
-std::vector<std::string>
-rowCells(const query::DatasetIndex &idx, uint32_t row)
-{
-    std::vector<std::string> cells;
-    cells.reserve(rowMetrics().size() + 1);
-    cells.push_back(strfmt(row));
-    for (query::Metric m : rowMetrics())
-        cells.push_back(fmtValue(idx.value(m, row)));
-    return cells;
-}
-
-std::vector<std::string>
-rowHeader()
-{
-    std::vector<std::string> header = {"row"};
-    for (query::Metric m : rowMetrics())
-        header.push_back(query::metricName(m));
-    return header;
-}
-
-/** Split @p list on commas (keeping empty parts, so errors surface). */
-std::vector<std::string>
-splitList(const std::string &list)
-{
-    std::vector<std::string> parts;
-    size_t pos = 0;
-    while (pos <= list.size()) {
-        size_t comma = list.find(',', pos);
-        parts.push_back(list.substr(
-            pos, comma == std::string::npos ? std::string::npos
-                                            : comma - pos));
-        pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
-    }
-    return parts;
 }
 
 /** Parse "metric:min|max[,...]" into Pareto objectives. */
 std::vector<query::Objective>
-parseObjectives(const std::string &spec)
+parseObjectivesOrDie(const std::string &spec)
 {
-    std::vector<query::Objective> objs;
-    for (const std::string &part : splitList(spec)) {
-        size_t colon = part.rfind(':');
-        if (colon == std::string::npos)
-            etpu_fatal("--pareto objective \"", part,
-                       "\" wants METRIC:min or METRIC:max");
-        std::string sense = part.substr(colon + 1);
-        if (sense != "min" && sense != "max")
-            etpu_fatal("--pareto sense \"", sense,
-                       "\" must be min or max");
-        auto metric = query::parseMetric(part.substr(0, colon));
-        if (!metric)
-            etpu_fatal("--pareto: unknown metric \"",
-                       part.substr(0, colon), "\"");
-        objs.push_back({*metric, sense == "max"});
-    }
-    if (objs.size() != 2 && objs.size() != 3)
-        etpu_fatal("--pareto wants 2 or 3 objectives, got ",
-                   objs.size());
-    return objs;
+    std::string error;
+    auto objs = query::parseObjectives(spec, &error);
+    if (!objs)
+        etpu_fatal("--pareto: ", error);
+    return *objs;
 }
 
 /** Parse a comma-separated metric list. */
 std::vector<query::Metric>
-parseMetricList(const std::string &list, const char *flag)
+parseMetricListOrDie(const std::string &list, const char *flag)
 {
-    std::vector<query::Metric> metrics;
-    for (const std::string &part : splitList(list)) {
-        auto metric = query::parseMetric(part);
-        if (!metric)
-            etpu_fatal(flag, ": unknown metric \"", part, "\"");
-        metrics.push_back(*metric);
-    }
-    return metrics;
+    std::string error;
+    auto metrics = query::parseMetricList(list, &error);
+    if (!metrics)
+        etpu_fatal(flag, ": ", error);
+    return *metrics;
 }
 
 std::vector<double>
-parseEdges(const std::string &list)
+parseEdgesOrDie(const std::string &list)
 {
-    std::vector<double> edges;
-    for (const std::string &part : splitList(list)) {
-        char *end = nullptr;
-        double v = std::strtod(part.c_str(), &end);
-        if (part.empty() || end != part.c_str() + part.size())
-            etpu_fatal("--edges: bad number \"", part, "\"");
-        edges.push_back(v);
-    }
-    if (edges.size() < 2)
-        etpu_fatal("--edges wants at least two edges");
-    for (size_t i = 0; i + 1 < edges.size(); i++) {
-        if (!(edges[i] < edges[i + 1])) {
-            etpu_fatal("--edges must be strictly increasing (",
-                       fmtValue(edges[i]), " before ",
-                       fmtValue(edges[i + 1]), ")");
-        }
-    }
-    return edges;
+    std::string error;
+    auto edges = query::parseEdges(list, &error);
+    if (!edges)
+        etpu_fatal("--edges: ", error);
+    return *edges;
 }
 
 void
@@ -413,7 +288,7 @@ main(int argc, char **argv)
     }
     std::vector<query::Objective> objectives;
     if (!pareto_spec.empty())
-        objectives = parseObjectives(pareto_spec);
+        objectives = parseObjectivesOrDie(pareto_spec);
     std::optional<query::Metric> bucket_key;
     std::vector<query::Metric> aggs;
     std::vector<double> edges;
@@ -423,9 +298,9 @@ main(int argc, char **argv)
             etpu_fatal("--bucket: unknown metric \"", bucket_metric,
                        "\"");
         if (!agg_list.empty())
-            aggs = parseMetricList(agg_list, "--agg");
+            aggs = parseMetricListOrDie(agg_list, "--agg");
         if (!edges_list.empty())
-            edges = parseEdges(edges_list);
+            edges = parseEdgesOrDie(edges_list);
     }
 
     if (dataset_path.empty())

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The etpu_serve daemon CLI: a long-running TCP server answering
+ * etpu_query-style requests (filter / top-k / Pareto / bucket /
+ * count) over a warmed DatasetIndex, plus characterize-on-demand for
+ * cells outside the cache, through either metric backend. Protocol:
+ * newline-delimited JSON on 127.0.0.1 (see src/serve/protocol.hh and
+ * docs/ARCHITECTURE.md §7).
+ *
+ *   etpu_serve --port 7077
+ *   printf '{"op":"count","filter":"accuracy>=0.7"}\n' | nc 127.0.0.1 7077
+ *
+ * SIGINT/SIGTERM drain in-flight requests before exiting.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "pipeline/builder.hh"
+#include "serve/server.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+printHelp()
+{
+    std::cout <<
+        "usage: etpu_serve [--port N] [--dataset PATH] [--workers N]\n"
+        "                  [--queue N] [--backend sim|learned]\n"
+        "                  [--model PATH] [--allow-delay]\n"
+        "\n"
+        "Serve etpu_query-style requests over newline-delimited JSON "
+        "on\n"
+        "127.0.0.1. One JSON object per line in, one per line out; "
+        "see\n"
+        "README.md for the request grammar.\n"
+        "\n"
+        "  --port N        listen port (default 0 = ephemeral; the "
+        "bound\n"
+        "                  port is announced on stdout)\n"
+        "  --dataset PATH  dataset cache (default: $ETPU_DATASET_PATH,"
+        "\n"
+        "                  honoring $ETPU_SAMPLE naming)\n"
+        "  --workers N     worker threads (default: auto, honoring\n"
+        "                  $ETPU_THREADS)\n"
+        "  --queue N       admission-control queue bound (default 128);"
+        "\n"
+        "                  requests beyond it are rejected with an\n"
+        "                  \"overloaded\" error, never buffered\n"
+        "  --backend B     characterize metric engine: sim (default) "
+        "or\n"
+        "                  learned (requires --model)\n"
+        "  --model PATH    ETPUGNN1 checkpoint for --backend learned\n"
+        "  --allow-delay   honor ping \"delay_ms\" (load tests)\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&](long long max) {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0 || *n > max) {
+                etpu_fatal(arg, " expects an integer in [0, ", max,
+                           "], got ", text);
+            }
+            return *n;
+        };
+        if (arg == "--port") {
+            opts.port = static_cast<uint16_t>(next_count(65535));
+        } else if (arg == "--dataset") {
+            opts.engine.datasetPath = next();
+        } else if (arg == "--workers") {
+            opts.workers = static_cast<unsigned>(next_count(1 << 20));
+        } else if (arg == "--queue") {
+            long long n = next_count(1 << 20);
+            if (!n)
+                etpu_fatal("--queue expects a bound >= 1");
+            opts.queueCapacity = static_cast<size_t>(n);
+        } else if (arg == "--backend") {
+            std::string b = next();
+            if (b == "sim")
+                opts.engine.backend.kind = pipeline::Backend::Simulator;
+            else if (b == "learned")
+                opts.engine.backend.kind = pipeline::Backend::Learned;
+            else
+                etpu_fatal("--backend wants sim or learned, got ", b);
+        } else if (arg == "--model") {
+            opts.engine.backend.modelPath = next();
+        } else if (arg == "--allow-delay") {
+            opts.allowDelay = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg, " (see --help)");
+        }
+    }
+    if (opts.engine.backend.kind == pipeline::Backend::Learned &&
+        opts.engine.backend.modelPath.empty()) {
+        etpu_fatal("--backend learned requires --model PATH");
+    }
+    if (opts.engine.datasetPath.empty())
+        opts.engine.datasetPath = pipeline::resolvedCachePath();
+
+    serve::Server server(std::move(opts));
+    if (!server.start())
+        etpu_fatal("cannot bind the listen socket (port in use?)");
+    // Scripted clients parse this exact line for the ephemeral port.
+    std::cout << "etpu_serve listening on 127.0.0.1:" << server.port()
+              << std::endl;
+    server.run();
+    return 0;
+}

@@ -20,7 +20,11 @@ CsvWriter::CsvWriter(const std::string &path)
 std::string
 CsvWriter::escape(const std::string &cell)
 {
-    bool needs_quote = cell.find_first_of(",\"\n") != std::string::npos;
+    // \r must be quoted too: RFC 4180 only allows CR inside a quoted
+    // field (a bare CR in an unquoted cell is malformed and splits
+    // rows in readers that accept lone-CR line endings).
+    bool needs_quote =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
     if (!needs_quote)
         return cell;
     std::string out = "\"";

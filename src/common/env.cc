@@ -9,16 +9,26 @@ namespace etpu
 {
 
 std::optional<long long>
-parseInt(std::string_view text)
+parseInt(std::string_view text, bool *out_of_range)
 {
+    if (out_of_range)
+        *out_of_range = false;
     if (text.empty())
         return std::nullopt;
     long long value = 0;
     const char *first = text.data();
     const char *last = text.data() + text.size();
     auto [ptr, ec] = std::from_chars(first, last, value, 10);
-    if (ec != std::errc() || ptr != last)
+    if (ec != std::errc() || ptr != last) {
+        // from_chars distinguishes a well-formed-but-huge integer
+        // (result_out_of_range, with ptr past every digit) from junk;
+        // preserve that so diagnostics can too.
+        if (out_of_range && ec == std::errc::result_out_of_range &&
+            ptr == last) {
+            *out_of_range = true;
+        }
         return std::nullopt;
+    }
     return value;
 }
 
@@ -28,10 +38,17 @@ envInt(const char *name)
     const char *env = std::getenv(name);
     if (!env)
         return std::nullopt;
-    auto value = parseInt(env);
+    bool out_of_range = false;
+    auto value = parseInt(env, &out_of_range);
     if (!value) {
-        etpu_warn(name, "=\"", env,
-                  "\" is not a valid integer; ignoring it");
+        if (out_of_range) {
+            etpu_warn(name, "=\"", env,
+                      "\" is out of range for a 64-bit integer; "
+                      "ignoring it");
+        } else {
+            etpu_warn(name, "=\"", env,
+                      "\" is not a valid integer; ignoring it");
+        }
     }
     return value;
 }

@@ -25,10 +25,14 @@ namespace etpu
  * by digits, nothing else (no whitespace, no trailing junk, no '+').
  *
  * @param text Candidate integer text.
+ * @param out_of_range When non-null, set to true iff the text is a
+ *        well-formed integer that does not fit in a long long — so
+ *        callers can say "out of range" instead of "not an integer".
  * @return The value, or nullopt when text is empty, malformed or does
  *         not fit in a long long.
  */
-std::optional<long long> parseInt(std::string_view text);
+std::optional<long long> parseInt(std::string_view text,
+                                  bool *out_of_range = nullptr);
 
 /**
  * Read environment variable @p name as a strict integer.

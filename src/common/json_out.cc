@@ -1,0 +1,184 @@
+#include "json_out.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonQuote(std::string_view text)
+{
+    return "\"" + jsonEscape(text) + "\"";
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    // %g never emits a JSON-invalid token for a finite double, but the
+    // claim is cheap to keep honest in debug builds.
+    return buf;
+}
+
+namespace
+{
+
+/** RFC 8259 number grammar: '-'? ('0' | [1-9][0-9]*) frac? exp? */
+bool
+matchesJsonNumberGrammar(std::string_view t)
+{
+    size_t i = 0;
+    auto digits = [&]() {
+        size_t start = i;
+        while (i < t.size() &&
+               std::isdigit(static_cast<unsigned char>(t[i]))) {
+            i++;
+        }
+        return i > start;
+    };
+    if (i < t.size() && t[i] == '-')
+        i++;
+    if (i >= t.size())
+        return false;
+    if (t[i] == '0') {
+        i++;
+    } else if (std::isdigit(static_cast<unsigned char>(t[i]))) {
+        digits();
+    } else {
+        return false;
+    }
+    if (i < t.size() && t[i] == '.') {
+        i++;
+        if (!digits())
+            return false;
+    }
+    if (i < t.size() && (t[i] == 'e' || t[i] == 'E')) {
+        i++;
+        if (i < t.size() && (t[i] == '+' || t[i] == '-'))
+            i++;
+        if (!digits())
+            return false;
+    }
+    return i == t.size();
+}
+
+/**
+ * strtod over the whole of @p t. @return true iff every byte was
+ * consumed, with the value in @p out (possibly non-finite).
+ */
+bool
+strtodWhole(std::string_view t, double &out)
+{
+    if (t.empty())
+        return false;
+    std::string owned(t); // strtod needs a NUL terminator
+    char *end = nullptr;
+    out = std::strtod(owned.c_str(), &end);
+    return end == owned.c_str() + owned.size();
+}
+
+} // namespace
+
+bool
+isJsonNumberToken(std::string_view text)
+{
+    if (!matchesJsonNumberGrammar(text))
+        return false;
+    double v = 0.0;
+    // The grammar is a strict subset of strtod's, so the parse always
+    // consumes everything; the round-trip exists to catch overflow.
+    return strtodWhole(text, v) && std::isfinite(v);
+}
+
+std::string
+jsonCell(const std::string &cell)
+{
+    if (isJsonNumberToken(cell))
+        return cell;
+    // Non-finite spellings (what %g printed for a NaN/Inf column
+    // value, plus grammar-valid overflow like "1e999") become null
+    // rather than flipping to a quoted string per row.
+    double v = 0.0;
+    if (strtodWhole(cell, v) && !std::isfinite(v))
+        return "null";
+    return jsonQuote(cell);
+}
+
+void
+writeJsonRows(std::ostream &os,
+              const std::vector<std::string> &header,
+              const std::vector<std::vector<std::string>> &rows,
+              bool pretty)
+{
+    os << "[";
+    for (size_t i = 0; i < rows.size(); i++) {
+        if (rows[i].size() != header.size()) {
+            etpu_panic("writeJsonRows: row ", i, " has ",
+                       rows[i].size(), " cells but the header has ",
+                       header.size());
+        }
+        if (pretty)
+            os << (i ? ",\n " : "\n ");
+        else if (i)
+            os << ",";
+        os << "{";
+        for (size_t c = 0; c < header.size(); c++) {
+            os << (c ? "," : "") << jsonQuote(header[c]) << ":"
+               << jsonCell(rows[i][c]);
+        }
+        os << "}";
+    }
+    os << (pretty && !rows.empty() ? "\n]" : "]");
+}
+
+std::string
+jsonRows(const std::vector<std::string> &header,
+         const std::vector<std::vector<std::string>> &rows, bool pretty)
+{
+    std::ostringstream oss;
+    writeJsonRows(oss, header, rows, pretty);
+    return oss.str();
+}
+
+} // namespace etpu

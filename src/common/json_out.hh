@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared JSON emission helpers for every artifact this repo writes —
+ * the etpu_query --format json output, bench_campaign_throughput's
+ * BENCH_campaign.json, bench_serve's BENCH_serve.json and every
+ * etpu_serve response. Centralizing them fixes two classes of bug the
+ * ad-hoc emitters had:
+ *
+ *  - Numeric-vs-string typing by character-set sniffing ("+-." etc.)
+ *    let junk like "1e" or "--5" through unquoted and flipped the type
+ *    of NaN/Inf cells between CSV and JSON. jsonCell() instead
+ *    requires the strict JSON number grammar AND a finite strtod
+ *    round-trip before emitting a cell unquoted.
+ *  - Keys and string values embedded verbatim. jsonEscape() escapes
+ *    quotes, backslashes and control characters, always.
+ *
+ * NaN/Inf policy (pinned here, used everywhere): JSON has no NaN or
+ * Infinity tokens, so any value that is non-finite — a double, or a
+ * preformatted cell like "nan"/"-inf"/"1e999" — is emitted as null.
+ */
+
+#ifndef ETPU_COMMON_JSON_OUT_HH
+#define ETPU_COMMON_JSON_OUT_HH
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etpu
+{
+
+/**
+ * Escape the content of a JSON string literal (no surrounding
+ * quotes): '"' and '\\' get a backslash, control characters become
+ * \uXXXX (with the common \n, \t, \r, \b, \f short forms).
+ */
+std::string jsonEscape(std::string_view text);
+
+/** @p text as a complete JSON string literal: quotes + escaping. */
+std::string jsonQuote(std::string_view text);
+
+/**
+ * Format @p v as a JSON number token with enough digits to
+ * round-trip the double. Non-finite values emit "null" (see the
+ * NaN/Inf policy above).
+ */
+std::string jsonNumber(double v);
+
+/**
+ * Whether @p text is a valid JSON number token (RFC 8259 grammar:
+ * '-'? int frac? exp?) whose value is finite in double precision.
+ * The grammar check rejects what strtod would accept but JSON does
+ * not ("+5", ".5", "0x10", "inf", "nan"); the strtod round-trip
+ * rejects grammar-valid tokens that overflow to infinity ("1e999").
+ */
+bool isJsonNumberToken(std::string_view text);
+
+/**
+ * Emit a preformatted table cell as one JSON value: unquoted when
+ * isJsonNumberToken() holds, "null" for text spelling a non-finite
+ * value ("nan", "-nan", "inf", "-inf", and grammar-valid overflow),
+ * and a quoted escaped string otherwise. This is the single
+ * numeric-vs-string decision for every row-shaped JSON artifact.
+ */
+std::string jsonCell(const std::string &cell);
+
+/**
+ * Emit @p rows as a JSON array of objects keyed by @p header, each
+ * cell typed via jsonCell(). Every row must have header.size() cells.
+ *
+ * @param pretty One object per line with a two-space hang (the
+ *        etpu_query --format json layout) when true; a single line
+ *        (newline-delimited-JSON-safe, what etpu_serve responses
+ *        embed) when false. No trailing newline either way.
+ */
+void writeJsonRows(std::ostream &os,
+                   const std::vector<std::string> &header,
+                   const std::vector<std::vector<std::string>> &rows,
+                   bool pretty);
+
+/** writeJsonRows into a string. */
+std::string jsonRows(const std::vector<std::string> &header,
+                     const std::vector<std::vector<std::string>> &rows,
+                     bool pretty);
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_JSON_OUT_HH

@@ -1,0 +1,84 @@
+#include "signal.hh"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+namespace
+{
+
+std::atomic<bool> requested{false};
+int wakePipe[2] = {-1, -1};
+
+extern "C" void
+onShutdownSignal(int)
+{
+    // Async-signal-safe only: set the flag and poke the pipe.
+    requested.store(true, std::memory_order_relaxed);
+    unsigned char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+}
+
+} // namespace
+
+int
+installShutdownSignals()
+{
+    if (wakePipe[0] < 0) {
+        if (::pipe(wakePipe) != 0) {
+            etpu_fatal("cannot create the shutdown wake-up pipe: ",
+                       std::strerror(errno));
+        }
+        // Non-blocking write end: if the pipe is somehow full, the
+        // handler must not deadlock the process it is trying to stop.
+        int flags = ::fcntl(wakePipe[1], F_GETFL);
+        ::fcntl(wakePipe[1], F_SETFL, flags | O_NONBLOCK);
+    }
+    struct sigaction sa{};
+    sa.sa_handler = onShutdownSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::signal(SIGPIPE, SIG_IGN);
+    return wakePipe[0];
+}
+
+bool
+shutdownRequested()
+{
+    return requested.load(std::memory_order_relaxed);
+}
+
+void
+requestShutdown()
+{
+    requested.store(true, std::memory_order_relaxed);
+    if (wakePipe[1] >= 0) {
+        unsigned char byte = 1;
+        [[maybe_unused]] ssize_t n = ::write(wakePipe[1], &byte, 1);
+    }
+}
+
+void
+resetShutdownSignals()
+{
+    requested.store(false, std::memory_order_relaxed);
+    if (wakePipe[0] >= 0) {
+        unsigned char buf[64];
+        int flags = ::fcntl(wakePipe[0], F_GETFL);
+        ::fcntl(wakePipe[0], F_SETFL, flags | O_NONBLOCK);
+        while (::read(wakePipe[0], buf, sizeof(buf)) > 0) {
+        }
+        ::fcntl(wakePipe[0], F_SETFL, flags);
+    }
+}
+
+} // namespace etpu

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Graceful-shutdown signal plumbing for the etpu_serve daemon. A
+ * handler may only touch async-signal-safe state, so the classic
+ * self-pipe trick bridges SIGINT/SIGTERM into ordinary poll()-able
+ * file-descriptor readiness: the handler writes one byte to a pipe,
+ * and the server's accept loop wakes up and starts its drain.
+ */
+
+#ifndef ETPU_COMMON_SIGNAL_HH
+#define ETPU_COMMON_SIGNAL_HH
+
+namespace etpu
+{
+
+/**
+ * Install SIGINT/SIGTERM handlers that record the signal and write a
+ * wake-up byte to an internal pipe, and ignore SIGPIPE (a peer
+ * closing mid-response must surface as a write error, not kill the
+ * daemon). Idempotent; the pipe persists for the process lifetime.
+ *
+ * @return The pipe's read end, to include in a poll() set.
+ */
+int installShutdownSignals();
+
+/** Whether a shutdown signal has arrived since installation. */
+bool shutdownRequested();
+
+/**
+ * Testing/embedding hook: trigger the same path a real SIGINT would
+ * (flag + wake-up byte) without raising a signal.
+ */
+void requestShutdown();
+
+/** Testing hook: clear the flag and drain the pipe between runs. */
+void resetShutdownSignals();
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_SIGNAL_HH

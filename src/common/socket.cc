@@ -1,0 +1,176 @@
+#include "socket.hh"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+SocketFd &
+SocketFd::operator=(SocketFd &&o) noexcept
+{
+    if (this != &o) {
+        reset();
+        fd_ = o.fd_;
+        o.fd_ = -1;
+    }
+    return *this;
+}
+
+int
+SocketFd::release()
+{
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+}
+
+void
+SocketFd::reset()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+}
+
+void
+SocketFd::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+SocketFd::shutdownRead()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
+}
+
+SocketFd
+listenTcp(uint16_t port, uint16_t &bound_port)
+{
+    bound_port = 0;
+    SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid()) {
+        etpu_warn("socket() failed: ", std::strerror(errno));
+        return {};
+    }
+    int one = 1;
+    ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        etpu_warn("bind(127.0.0.1:", port,
+                  ") failed: ", std::strerror(errno));
+        return {};
+    }
+    if (::listen(fd.get(), SOMAXCONN) != 0) {
+        etpu_warn("listen() failed: ", std::strerror(errno));
+        return {};
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(fd.get(), reinterpret_cast<sockaddr *>(&bound),
+                      &len) != 0) {
+        etpu_warn("getsockname() failed: ", std::strerror(errno));
+        return {};
+    }
+    bound_port = ntohs(bound.sin_port);
+    return fd;
+}
+
+SocketFd
+connectTcp(uint16_t port)
+{
+    SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+    if (!fd.valid())
+        return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        return {};
+    }
+    return fd;
+}
+
+SocketFd
+acceptTcp(int listen_fd)
+{
+    for (;;) {
+        int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd >= 0)
+            return SocketFd(fd);
+        if (errno == EINTR)
+            continue;
+        return {};
+    }
+}
+
+LineRead
+readLine(int fd, std::string &carry, std::string &line,
+         size_t max_bytes)
+{
+    line.clear();
+    for (;;) {
+        size_t nl = carry.find('\n');
+        if (nl != std::string::npos) {
+            if (nl > max_bytes)
+                return LineRead::TooLong;
+            line.assign(carry, 0, nl);
+            carry.erase(0, nl + 1);
+            return LineRead::Ok;
+        }
+        if (carry.size() > max_bytes)
+            return LineRead::TooLong;
+
+        char buf[4096];
+        ssize_t n = ::read(fd, buf, sizeof(buf));
+        if (n > 0) {
+            carry.append(buf, static_cast<size_t>(n));
+            continue;
+        }
+        if (n == 0) {
+            if (carry.empty())
+                return LineRead::Eof;
+            // Unterminated trailing line: hand it over once.
+            line = std::move(carry);
+            carry.clear();
+            return LineRead::Ok;
+        }
+        if (errno == EINTR)
+            continue;
+        return LineRead::Error;
+    }
+}
+
+bool
+writeAll(int fd, std::string_view data)
+{
+    while (!data.empty()) {
+        ssize_t n = ::write(fd, data.data(), data.size());
+        if (n > 0) {
+            data.remove_prefix(static_cast<size_t>(n));
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return false;
+    }
+    return true;
+}
+
+} // namespace etpu

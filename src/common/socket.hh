@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Minimal TCP socket helpers for the etpu_serve daemon and its test
+ * clients: an owning fd wrapper, loopback listen/connect/accept, and
+ * bounded line-oriented I/O for the newline-delimited JSON protocol.
+ * Everything reports errors by return value — a network peer closing
+ * a socket is routine, never fatal.
+ */
+
+#ifndef ETPU_COMMON_SOCKET_HH
+#define ETPU_COMMON_SOCKET_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace etpu
+{
+
+/** Owning file-descriptor wrapper (close on destruction). */
+class SocketFd
+{
+  public:
+    SocketFd() = default;
+    explicit SocketFd(int fd) : fd_(fd) {}
+    ~SocketFd() { reset(); }
+
+    SocketFd(SocketFd &&o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+    SocketFd &operator=(SocketFd &&o) noexcept;
+    SocketFd(const SocketFd &) = delete;
+    SocketFd &operator=(const SocketFd &) = delete;
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+
+    /** Release ownership of the fd without closing it. */
+    int release();
+
+    /** Close now (idempotent). */
+    void reset();
+
+    /**
+     * shutdown(2) both directions, without closing the fd. Used to
+     * unblock a thread sitting in read() on this socket; the fd stays
+     * valid (and owned) so no other descriptor can be recycled into
+     * its number while that thread is still looking.
+     */
+    void shutdownBoth();
+
+    /**
+     * shutdown(2) the read direction only: the blocked reader sees
+     * EOF while responses already in flight still drain — the
+     * graceful-shutdown half-close.
+     */
+    void shutdownRead();
+
+  private:
+    int fd_ = -1;
+};
+
+/**
+ * Listen on 127.0.0.1:@p port (0 = ephemeral). SO_REUSEADDR is set so
+ * quick restarts don't trip over TIME_WAIT.
+ *
+ * @param bound_port Receives the actual port (useful with port 0).
+ * @return The listening socket, or an invalid SocketFd (with a
+ *         warning) on failure.
+ */
+SocketFd listenTcp(uint16_t port, uint16_t &bound_port);
+
+/** Connect to 127.0.0.1:@p port; invalid SocketFd on failure. */
+SocketFd connectTcp(uint16_t port);
+
+/**
+ * Accept one connection; blocks. @return invalid SocketFd when the
+ * listener was shut down or accept failed.
+ */
+SocketFd acceptTcp(int listen_fd);
+
+/**
+ * Read one '\n'-terminated line from @p fd into @p line (terminator
+ * stripped; a final unterminated line at EOF is returned as-is).
+ * @p carry buffers bytes read past the newline between calls — pass
+ * the same string for the lifetime of the connection.
+ */
+enum class LineRead : uint8_t
+{
+    Ok,       //!< line holds one complete request line
+    Eof,      //!< peer closed cleanly with no pending bytes
+    TooLong,  //!< line exceeded max_bytes (framing is now lost)
+    Error,    //!< read(2) failed (connection reset, shutdown, ...)
+};
+
+LineRead readLine(int fd, std::string &carry, std::string &line,
+                  size_t max_bytes);
+
+/** Write all of @p data; false on any error (EPIPE included). */
+bool writeAll(int fd, std::string_view data);
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_SOCKET_HH

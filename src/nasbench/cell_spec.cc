@@ -80,6 +80,132 @@ CellSpec::packedOps() const
     return out;
 }
 
+namespace
+{
+
+bool
+parseFail(std::string *error, std::string text)
+{
+    if (error)
+        *error = std::move(text);
+    return false;
+}
+
+/** Match an opName() spelling; Op::Input as a harmless default. */
+bool
+parseOpName(std::string_view name, Op &out)
+{
+    for (Op op : {Op::Input, Op::Conv3x3, Op::Conv1x1, Op::MaxPool3x3,
+                  Op::Output}) {
+        if (name == opName(op)) {
+            out = op;
+            return true;
+        }
+    }
+    return false;
+}
+
+/** Parse a canonical decimal vertex index (no leading zeros). */
+bool
+parseVertex(std::string_view text, size_t &pos, int limit, int &out)
+{
+    size_t start = pos;
+    while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9')
+        pos++;
+    std::string_view digits = text.substr(start, pos - start);
+    if (digits.empty() || (digits.size() > 1 && digits[0] == '0'))
+        return false;
+    if (digits.size() > 2) // limit is at most Dag::maxVertices = 32
+        return false;
+    int v = 0;
+    for (char c : digits)
+        v = v * 10 + (c - '0');
+    if (v >= limit)
+        return false;
+    out = v;
+    return true;
+}
+
+bool
+parseCellSpecInto(std::string_view text, CellSpec &out,
+                  std::string *error)
+{
+    size_t pos = 0;
+    if (pos >= text.size() || text[pos] != '[')
+        return parseFail(error, "expected '[' opening the op list");
+    pos++;
+    std::vector<Op> ops;
+    for (;;) {
+        size_t end = text.find_first_of(",]", pos);
+        if (end == std::string_view::npos)
+            return parseFail(error, "unterminated op list");
+        std::string_view name = text.substr(pos, end - pos);
+        Op op = Op::Input;
+        if (!parseOpName(name, op)) {
+            return parseFail(error, strfmt("unknown op \"", name,
+                                           "\" in the op list"));
+        }
+        ops.push_back(op);
+        pos = end + 1;
+        if (text[end] == ']')
+            break;
+    }
+    int n = static_cast<int>(ops.size());
+    if (n > graph::Dag::maxVertices) {
+        return parseFail(error, strfmt("op list has ", n,
+                                       " vertices; the limit is ",
+                                       graph::Dag::maxVertices));
+    }
+    graph::Dag dag(n);
+    // str() always emits one space after the op list, even when the
+    // edge list is empty.
+    if (pos < text.size()) {
+        if (text[pos] != ' ')
+            return parseFail(error, "expected ' ' after the op list");
+        pos++;
+    }
+    bool first = true;
+    while (pos < text.size()) {
+        if (!first) {
+            if (text[pos] != ' ')
+                return parseFail(error, "expected ' ' between edges");
+            pos++;
+        }
+        first = false;
+        int u = 0;
+        int v = 0;
+        if (!parseVertex(text, pos, n, u) ||
+            text.substr(pos, 2) != "->" ||
+            (pos += 2, !parseVertex(text, pos, n, v))) {
+            return parseFail(
+                error, strfmt("expected an edge \"U->V\" with vertices "
+                              "below ", n, " at byte ", pos));
+        }
+        if (u >= v) {
+            return parseFail(error,
+                             strfmt("edge ", u, "->", v,
+                                    " is not upper-triangular (U < V)"));
+        }
+        if (dag.hasEdge(u, v))
+            return parseFail(error,
+                             strfmt("duplicate edge ", u, "->", v));
+        dag.addEdge(u, v);
+    }
+    out = CellSpec(std::move(dag), std::move(ops));
+    return true;
+}
+
+} // namespace
+
+std::optional<CellSpec>
+parseCellSpec(std::string_view text, std::string *error)
+{
+    CellSpec cell;
+    if (!parseCellSpecInto(text, cell, error))
+        return std::nullopt;
+    return cell;
+}
+
 CellSpec
 makeChainCell(const std::vector<Op> &interior)
 {

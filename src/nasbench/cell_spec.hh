@@ -8,7 +8,9 @@
 #ifndef ETPU_NASBENCH_CELL_SPEC_HH
 #define ETPU_NASBENCH_CELL_SPEC_HH
 
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/hash.hh"
@@ -72,6 +74,25 @@ struct CellSpec
  * construction in tests and examples.
  */
 CellSpec makeChainCell(const std::vector<Op> &interior);
+
+/**
+ * Parse the CellSpec::str() grammar back into a cell:
+ *
+ *   "[input,conv3x3,output] 0->1 1->2"
+ *
+ * Strict: the bracketed op list uses exactly the opName() spellings,
+ * edges are "U->V" with U < V and both in vertex range, separated by
+ * single spaces, no duplicate edges, no trailing bytes. The result
+ * round-trips: parseCellSpec(c.str()) == c for every structurally
+ * well-formed cell. NASBench validity (roles, limits, connectivity)
+ * is NOT enforced here — callers that need it check valid(), so the
+ * parser can also reconstruct deliberately invalid cells in tests.
+ *
+ * @param error When non-null, receives a diagnostic on failure.
+ * @return The cell, or nullopt.
+ */
+std::optional<CellSpec> parseCellSpec(std::string_view text,
+                                      std::string *error = nullptr);
 
 } // namespace etpu::nas
 

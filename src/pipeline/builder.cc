@@ -22,13 +22,9 @@
 namespace etpu::pipeline
 {
 
-namespace
-{
-
-/** Structural + surrogate fields shared by every backend. */
 void
-fillStructural(nas::ModelRecord &rec, const nas::CellSpec &cell,
-               const nas::Network &net)
+fillStructuralFields(nas::ModelRecord &rec, const nas::CellSpec &cell,
+                     const nas::Network &net)
 {
     rec.params = net.trainableParams();
     rec.macs = net.totalMacs();
@@ -44,6 +40,9 @@ fillStructural(nas::ModelRecord &rec, const nas::CellSpec &cell,
     rec.numMaxPool =
         static_cast<uint8_t>(cell.opCount(nas::Op::MaxPool3x3));
 }
+
+namespace
+{
 
 /** Per-worker learned-backend state next to its PredictContext. */
 struct LearnedAux
@@ -146,7 +145,7 @@ class CharacterizeEngine
 
             sim::EvalContext &ctx = simContexts_[worker];
             auto results = ctx.evaluate(cell);
-            fillStructural(rec, cell, ctx.network());
+            fillStructuralFields(rec, cell, ctx.network());
             for (size_t c = 0; c < results.size(); c++) {
                 rec.latencyMs[c] =
                     static_cast<float>(results[c].latencyMs);
@@ -190,7 +189,7 @@ class CharacterizeEngine
                 nas::ModelRecord &rec = out[bstart + i];
                 rec.spec = cell;
                 nas::buildNetworkInto(cell, aux.net);
-                fillStructural(rec, cell, aux.net);
+                fillStructuralFields(rec, cell, aux.net);
                 for (int c = 0; c < nas::numAccelerators; c++) {
                     auto idx = static_cast<size_t>(c);
                     rec.latencyMs[idx] =

@@ -23,9 +23,21 @@
 
 #include "nasbench/dataset.hh"
 #include "nasbench/enumerator.hh"
+#include "nasbench/network.hh"
 
 namespace etpu::pipeline
 {
+
+/**
+ * Fill the backend-independent fields of @p rec from @p cell and its
+ * lowered network: structural counts, parameter/MAC/weight totals and
+ * the accuracy surrogate. Both campaign backends and the etpu_serve
+ * characterize path go through this, so an on-demand record matches
+ * the cached one field for field.
+ */
+void fillStructuralFields(nas::ModelRecord &rec,
+                          const nas::CellSpec &cell,
+                          const nas::Network &net);
 
 /** Engine that produces each cell's latency/energy metrics. */
 enum class Backend

@@ -1,0 +1,65 @@
+#include "row_format.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace etpu::query
+{
+
+const std::vector<Metric> &
+rowMetrics()
+{
+    static const std::vector<Metric> metrics = [] {
+        std::vector<Metric> m = {
+            {MetricKind::Accuracy, 0}, {MetricKind::Params, 0},
+            {MetricKind::Depth, 0},    {MetricKind::Width, 0},
+            {MetricKind::Conv3x3, 0},  {MetricKind::Conv1x1, 0},
+            {MetricKind::MaxPool, 0},
+        };
+        for (int c = 0; c < nas::numAccelerators; c++)
+            m.push_back(latency(c));
+        for (int c = 0; c < nas::numAccelerators; c++)
+            m.push_back(energy(c));
+        m.push_back({MetricKind::Winner, 0});
+        return m;
+    }();
+    return metrics;
+}
+
+std::string
+fmtValue(double v)
+{
+    if (std::isfinite(v) && v == std::floor(v) &&
+        std::abs(v) < 9.0e15) {
+        return strfmt(static_cast<long long>(v));
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.*g",
+                  std::numeric_limits<double>::max_digits10, v);
+    return buf;
+}
+
+std::vector<std::string>
+rowHeader()
+{
+    std::vector<std::string> header = {"row"};
+    for (Metric m : rowMetrics())
+        header.push_back(metricName(m));
+    return header;
+}
+
+std::vector<std::string>
+rowCells(const DatasetIndex &idx, uint32_t row)
+{
+    std::vector<std::string> cells;
+    cells.reserve(rowMetrics().size() + 1);
+    cells.push_back(strfmt(row));
+    for (Metric m : rowMetrics())
+        cells.push_back(fmtValue(idx.value(m, row)));
+    return cells;
+}
+
+} // namespace etpu::query

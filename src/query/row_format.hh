@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The canonical row-shaped rendering of DatasetIndex rows, shared by
+ * the etpu_query CLI and the etpu_serve daemon so the two surfaces
+ * cannot drift: the same fixed metric column set, the same header
+ * spellings, and the same value formatting (integral doubles as
+ * integers, everything else with round-trip precision).
+ */
+
+#ifndef ETPU_QUERY_ROW_FORMAT_HH
+#define ETPU_QUERY_ROW_FORMAT_HH
+
+#include <string>
+#include <vector>
+
+#include "query/dataset_index.hh"
+
+namespace etpu::query
+{
+
+/**
+ * The fixed column set of row-shaped output: accuracy, params, the
+ * structural counts, per-config latency/energy, winner.
+ */
+const std::vector<Metric> &rowMetrics();
+
+/**
+ * Render a column value: integral values as integers, everything
+ * else with enough digits to round-trip a double (NaN spells "nan";
+ * JSON emitters turn that into null via jsonCell()).
+ */
+std::string fmtValue(double v);
+
+/** Header of row-shaped output: "row" plus the rowMetrics() names. */
+std::vector<std::string> rowHeader();
+
+/** One row's cells: row id plus each rowMetrics() value. */
+std::vector<std::string> rowCells(const DatasetIndex &idx,
+                                  uint32_t row);
+
+} // namespace etpu::query
+
+#endif // ETPU_QUERY_ROW_FORMAT_HH

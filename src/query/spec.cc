@@ -1,0 +1,132 @@
+#include "spec.hh"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace etpu::query
+{
+
+namespace
+{
+
+void
+setError(std::string *error, std::string text)
+{
+    if (error)
+        *error = std::move(text);
+}
+
+/** Render an edge for a diagnostic without dragging in row_format. */
+std::string
+edgeText(double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%g", v);
+    return buf;
+}
+
+} // namespace
+
+std::vector<std::string>
+splitList(const std::string &list)
+{
+    std::vector<std::string> parts;
+    size_t pos = 0;
+    while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        parts.push_back(list.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos));
+        pos = comma == std::string::npos ? list.size() + 1 : comma + 1;
+    }
+    return parts;
+}
+
+std::optional<std::vector<Objective>>
+parseObjectives(const std::string &spec, std::string *error)
+{
+    std::vector<Objective> objs;
+    for (const std::string &part : splitList(spec)) {
+        size_t colon = part.rfind(':');
+        if (colon == std::string::npos) {
+            setError(error, strfmt("objective \"", part,
+                                   "\" wants METRIC:min or METRIC:max"));
+            return std::nullopt;
+        }
+        std::string sense = part.substr(colon + 1);
+        if (sense != "min" && sense != "max") {
+            setError(error, strfmt("objective sense \"", sense,
+                                   "\" must be min or max"));
+            return std::nullopt;
+        }
+        auto metric = parseMetric(part.substr(0, colon));
+        if (!metric) {
+            setError(error, strfmt("unknown metric \"",
+                                   part.substr(0, colon), "\""));
+            return std::nullopt;
+        }
+        objs.push_back({*metric, sense == "max"});
+    }
+    if (objs.size() != 2 && objs.size() != 3) {
+        setError(error, strfmt("wants 2 or 3 objectives, got ",
+                               objs.size()));
+        return std::nullopt;
+    }
+    return objs;
+}
+
+std::optional<std::vector<Metric>>
+parseMetricList(const std::string &list, std::string *error)
+{
+    std::vector<Metric> metrics;
+    for (const std::string &part : splitList(list)) {
+        auto metric = parseMetric(part);
+        if (!metric) {
+            setError(error,
+                     strfmt("unknown metric \"", part, "\""));
+            return std::nullopt;
+        }
+        metrics.push_back(*metric);
+    }
+    return metrics;
+}
+
+std::optional<std::vector<double>>
+parseEdges(const std::string &list, std::string *error)
+{
+    std::vector<double> edges;
+    for (const std::string &part : splitList(list)) {
+        char *end = nullptr;
+        double v = std::strtod(part.c_str(), &end);
+        if (part.empty() || end != part.c_str() + part.size()) {
+            setError(error, strfmt("bad number \"", part, "\""));
+            return std::nullopt;
+        }
+        edges.push_back(v);
+    }
+    if (!validEdges(edges, error))
+        return std::nullopt;
+    return edges;
+}
+
+bool
+validEdges(const std::vector<double> &edges, std::string *error)
+{
+    if (edges.size() < 2) {
+        setError(error, "wants at least two edges");
+        return false;
+    }
+    for (size_t i = 0; i + 1 < edges.size(); i++) {
+        if (!(edges[i] < edges[i + 1])) {
+            setError(error, strfmt("edges must be strictly increasing (",
+                                   edgeText(edges[i]), " before ",
+                                   edgeText(edges[i + 1]), ")"));
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace etpu::query

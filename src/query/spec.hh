@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Non-fatal parsers for the query spec grammars shared by the
+ * etpu_query CLI and the etpu_serve daemon: Pareto objective lists
+ * ("latency@V2:min,accuracy:max"), metric lists ("conv3x3,winner")
+ * and bucket edge lists ("0,2,3,4,10"). The CLI turns a parse
+ * failure into etpu_fatal; the server turns the same diagnostic into
+ * a bad_request response — so the grammar lives here once and the
+ * exit policy stays with the caller.
+ */
+
+#ifndef ETPU_QUERY_SPEC_HH
+#define ETPU_QUERY_SPEC_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "query/dataset_index.hh"
+
+namespace etpu::query
+{
+
+/**
+ * Split @p list on commas, keeping empty parts so "a,,b" surfaces as
+ * an error in the per-part parser instead of silently collapsing.
+ */
+std::vector<std::string> splitList(const std::string &list);
+
+/**
+ * Parse a Pareto objective spec: 2 or 3 comma-separated
+ * "METRIC:min|max" parts.
+ *
+ * @param error When non-null, receives a diagnostic on failure.
+ * @return The objectives, or nullopt.
+ */
+std::optional<std::vector<Objective>>
+parseObjectives(const std::string &spec, std::string *error = nullptr);
+
+/**
+ * Parse a comma-separated metric list (at least one metric).
+ *
+ * @param error When non-null, receives a diagnostic on failure.
+ * @return The metrics, or nullopt.
+ */
+std::optional<std::vector<Metric>>
+parseMetricList(const std::string &list, std::string *error = nullptr);
+
+/**
+ * Parse comma-separated bucket edges: at least two strictly
+ * increasing numbers ("inf"/"-inf" are accepted for the open-ended
+ * buckets bucketBy() supports; NaN never satisfies the ordering).
+ *
+ * @param error When non-null, receives a diagnostic on failure.
+ * @return The edges, or nullopt.
+ */
+std::optional<std::vector<double>>
+parseEdges(const std::string &list, std::string *error = nullptr);
+
+/**
+ * Validate an already-materialized edge vector the same way
+ * parseEdges() does (at least two, strictly increasing); the
+ * server's JSON requests carry edges as number arrays rather than
+ * text.
+ */
+bool validEdges(const std::vector<double> &edges,
+                std::string *error = nullptr);
+
+} // namespace etpu::query
+
+#endif // ETPU_QUERY_SPEC_HH

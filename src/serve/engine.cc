@@ -1,0 +1,246 @@
+#include "engine.hh"
+
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+#include "nasbench/network.hh"
+#include "query/row_format.hh"
+
+namespace etpu::serve
+{
+
+ServeEngine::ServeEngine(const EngineOptions &opts, unsigned workers)
+    : backend_(opts.backend)
+{
+    if (!query::DatasetIndex::buildFromCache(opts.datasetPath, idx_)) {
+        etpu_fatal("could not cleanly read dataset cache ",
+                   opts.datasetPath,
+                   "; build it with etpu_build_dataset");
+    }
+    // Every sorted permutation a topk can touch is built now, so no
+    // request ever pays a 423K-row sort (or contends on the cache
+    // mutex) mid-flight.
+    idx_.warm(query::rowMetrics());
+
+    scratch_.resize(workers);
+    if (backend_.kind == pipeline::Backend::Simulator) {
+        simContexts_.resize(workers);
+        return;
+    }
+    if (!gnn::loadCheckpoint(backend_.modelPath, bundle_)) {
+        etpu_fatal("learned backend: cannot load checkpoint ",
+                   backend_.modelPath);
+    }
+    for (int c = 0; c < nas::numAccelerators; c++) {
+        auto idx = static_cast<size_t>(c);
+        std::string latency_name =
+            gnn::modelName(gnn::TargetMetric::Latency, c);
+        latencyModels_[idx] = bundle_.find(latency_name);
+        if (!latencyModels_[idx]) {
+            etpu_fatal("learned backend: checkpoint ",
+                       backend_.modelPath, " has no \"", latency_name,
+                       "\" model (train one with etpu_train)");
+        }
+        energyModels_[idx] = bundle_.find(
+            gnn::modelName(gnn::TargetMetric::Energy, c));
+    }
+    if (!energyModels_[0]) {
+        etpu_warn("learned backend: checkpoint ", backend_.modelPath,
+                  " has no energy models; characterize responses will "
+                  "report zero energy");
+    }
+    predictContexts_.resize(workers);
+}
+
+std::string
+ServeEngine::execute(const Request &req) const
+{
+    switch (req.op) {
+      case RequestOp::Ping:
+        if (req.delayMs > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(req.delayMs));
+        }
+        return okResponse(req.id, "");
+      case RequestOp::Count: {
+          std::vector<uint32_t> rows;
+          idx_.filterRows(req.filter, rows);
+          return okResponse(req.id, strfmt(",\"count\":", rows.size()));
+      }
+      case RequestOp::Rows:
+      case RequestOp::TopK:
+      case RequestOp::Pareto: {
+          std::vector<uint32_t> rows;
+          if (req.op == RequestOp::TopK)
+              idx_.topK(req.by, req.k, req.order, rows, &req.filter);
+          else if (req.op == RequestOp::Pareto)
+              idx_.paretoFront(req.objectives, rows, &req.filter);
+          else
+              idx_.filterRows(req.filter, rows);
+          size_t total = rows.size();
+          size_t shown =
+              req.op == RequestOp::Rows && req.limit &&
+                      req.limit < total
+                  ? req.limit
+                  : total;
+          std::vector<std::vector<std::string>> cells;
+          cells.reserve(shown);
+          for (size_t i = 0; i < shown; i++)
+              cells.push_back(query::rowCells(idx_, rows[i]));
+          return okResponse(
+              req.id, rowsPayload(query::rowHeader(), cells, total));
+      }
+      case RequestOp::Bucket: {
+          query::GroupAggregate ga =
+              req.edges.empty()
+                  ? idx_.groupBy(req.bucketKey, req.aggs, &req.filter)
+                  : idx_.bucketBy(req.bucketKey, req.edges, req.aggs,
+                                  &req.filter);
+          std::vector<std::string> header = {
+              query::metricName(req.bucketKey), "count"};
+          for (query::Metric m : req.aggs)
+              header.push_back("mean:" + query::metricName(m));
+          std::vector<std::vector<std::string>> cells;
+          cells.reserve(ga.groups());
+          for (size_t g = 0; g < ga.groups(); g++) {
+              std::vector<std::string> row = {
+                  query::fmtValue(ga.keys[g]), strfmt(ga.counts[g])};
+              for (size_t a = 0; a < req.aggs.size(); a++)
+                  row.push_back(query::fmtValue(ga.mean(a, g)));
+              cells.push_back(std::move(row));
+          }
+          return okResponse(
+              req.id, rowsPayload(header, cells, cells.size()));
+      }
+      case RequestOp::Characterize:
+        // Batched separately (characterize()); reaching here is a
+        // server dispatch bug.
+        return errorResponse(req.id, ErrorCode::Internal,
+                             "characterize reached execute()");
+    }
+    return errorResponse(req.id, ErrorCode::Internal, "unhandled op");
+}
+
+std::vector<std::string>
+ServeEngine::characterizeHeader()
+{
+    std::vector<std::string> header = {"cell"};
+    for (query::Metric m : query::rowMetrics())
+        header.push_back(query::metricName(m));
+    return header;
+}
+
+namespace
+{
+
+/** Render one characterized record in characterizeHeader() order. */
+std::vector<std::string>
+recordRow(const nas::ModelRecord &rec)
+{
+    std::vector<std::string> row;
+    row.reserve(2 + query::rowMetrics().size());
+    row.push_back(rec.spec.str());
+    row.push_back(query::fmtValue(rec.accuracy));
+    row.push_back(query::fmtValue(static_cast<double>(rec.params)));
+    row.push_back(query::fmtValue(rec.depth));
+    row.push_back(query::fmtValue(rec.width));
+    row.push_back(query::fmtValue(rec.numConv3x3));
+    row.push_back(query::fmtValue(rec.numConv1x1));
+    row.push_back(query::fmtValue(rec.numMaxPool));
+    for (int c = 0; c < nas::numAccelerators; c++)
+        row.push_back(query::fmtValue(
+            rec.latencyMs[static_cast<size_t>(c)]));
+    for (int c = 0; c < nas::numAccelerators; c++)
+        row.push_back(query::fmtValue(
+            rec.energyMj[static_cast<size_t>(c)]));
+    int winner = 0;
+    for (int c = 1; c < nas::numAccelerators; c++) {
+        if (rec.latencyMs[static_cast<size_t>(c)] <
+            rec.latencyMs[static_cast<size_t>(winner)]) {
+            winner = c;
+        }
+    }
+    row.push_back(query::fmtValue(winner));
+    return row;
+}
+
+} // namespace
+
+void
+ServeEngine::characterize(std::span<const nas::CellSpec> cells,
+                          unsigned worker,
+                          std::vector<std::vector<std::string>> &rows)
+{
+    if (backend_.kind == pipeline::Backend::Simulator)
+        characterizeSim(cells, worker, rows);
+    else
+        characterizeLearned(cells, worker, rows);
+}
+
+void
+ServeEngine::characterizeSim(std::span<const nas::CellSpec> cells,
+                             unsigned worker,
+                             std::vector<std::vector<std::string>> &rows)
+{
+    sim::EvalContext &ctx = simContexts_[worker];
+    nas::ModelRecord rec;
+    for (const nas::CellSpec &cell : cells) {
+        rec.spec = cell;
+        auto results = ctx.evaluate(cell);
+        pipeline::fillStructuralFields(rec, cell, ctx.network());
+        for (size_t c = 0; c < results.size(); c++) {
+            rec.latencyMs[c] = static_cast<float>(results[c].latencyMs);
+            rec.energyMj[c] = static_cast<float>(results[c].energyMj);
+        }
+        rows.push_back(recordRow(rec));
+    }
+}
+
+void
+ServeEngine::characterizeLearned(
+    std::span<const nas::CellSpec> cells, unsigned worker,
+    std::vector<std::vector<std::string>> &rows)
+{
+    gnn::PredictContext &ctx = predictContexts_[worker];
+    WorkerScratch &aux = scratch_[worker];
+    nas::ModelRecord rec;
+    // One stacked batch per block: every cell of the (cross-request)
+    // span shares the same featurize pass, exactly like the campaign
+    // builder's learned path.
+    for (size_t start = 0; start < cells.size();
+         start += gnn::predictBatchBlock) {
+        size_t len = std::min(gnn::predictBatchBlock,
+                              cells.size() - start);
+        ctx.featurizeBatch(cells.data() + start, len);
+        for (int c = 0; c < nas::numAccelerators; c++) {
+            auto idx = static_cast<size_t>(c);
+            aux.latency[idx].resize(len);
+            ctx.predictBatched(*latencyModels_[idx],
+                               aux.latency[idx].data());
+            if (energyModels_[idx]) {
+                aux.energy[idx].resize(len);
+                ctx.predictBatched(*energyModels_[idx],
+                                   aux.energy[idx].data());
+            }
+        }
+        for (size_t i = 0; i < len; i++) {
+            const nas::CellSpec &cell = cells[start + i];
+            rec.spec = cell;
+            nas::buildNetworkInto(cell, aux.net);
+            pipeline::fillStructuralFields(rec, cell, aux.net);
+            for (int c = 0; c < nas::numAccelerators; c++) {
+                auto idx = static_cast<size_t>(c);
+                rec.latencyMs[idx] =
+                    static_cast<float>(aux.latency[idx][i]);
+                rec.energyMj[idx] =
+                    energyModels_[idx]
+                        ? static_cast<float>(aux.energy[idx][i])
+                        : 0.0f;
+            }
+            rows.push_back(recordRow(rec));
+        }
+    }
+}
+
+} // namespace etpu::serve

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Request execution for the etpu_serve daemon: a warmed DatasetIndex
+ * for the query ops plus per-worker characterization state for the
+ * on-demand ops, behind the same backend seam as the campaign builder
+ * (pipeline::BackendSpec). All startup cost — streaming the cache,
+ * pre-building every sorted permutation, loading the checkpoint,
+ * validating the accelerator configs — is paid in the constructor, so
+ * the per-request path touches only warmed state and is safe to call
+ * from every worker thread concurrently (worker w owns slot w of the
+ * per-worker context arrays).
+ */
+
+#ifndef ETPU_SERVE_ENGINE_HH
+#define ETPU_SERVE_ENGINE_HH
+
+#include <array>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "gnn/predict_context.hh"
+#include "nasbench/network.hh"
+#include "pipeline/builder.hh"
+#include "query/dataset_index.hh"
+#include "serve/protocol.hh"
+#include "tpusim/eval_context.hh"
+
+namespace etpu::serve
+{
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Dataset cache path (must stream cleanly; fatal otherwise). */
+    std::string datasetPath;
+    /** Metric engine for characterize requests. */
+    pipeline::BackendSpec backend;
+};
+
+/** Warmed, concurrency-ready request executor. */
+class ServeEngine
+{
+  public:
+    /**
+     * Load and warm everything. Fatal (like the CLIs) on a damaged
+     * cache or an unloadable checkpoint — a server that cannot answer
+     * must not start.
+     *
+     * @param workers Worker-slot count (resolveWorkerCount result).
+     */
+    ServeEngine(const EngineOptions &opts, unsigned workers);
+
+    // Per-worker contexts hold internal pointers; fix the engine in
+    // place.
+    ServeEngine(const ServeEngine &) = delete;
+    ServeEngine &operator=(const ServeEngine &) = delete;
+
+    /** Rows in the warmed index. */
+    size_t datasetRows() const { return idx_.size(); }
+
+    /**
+     * Execute one non-characterize request and build its complete
+     * response line. Thread-safe for concurrent callers.
+     */
+    std::string execute(const Request &req) const;
+
+    /**
+     * Characterize @p cells on worker slot @p worker, appending one
+     * row of cells (cell string + the rowMetrics() columns) per input
+     * cell to @p rows. With the learned backend every call featurizes
+     * its whole span as stacked predictBatchBlock batches, so callers
+     * batching cells across requests get one graph per drain.
+     */
+    void characterize(std::span<const nas::CellSpec> cells,
+                      unsigned worker,
+                      std::vector<std::vector<std::string>> &rows);
+
+    /** Header matching characterize() rows. */
+    static std::vector<std::string> characterizeHeader();
+
+  private:
+    query::DatasetIndex idx_;
+    pipeline::BackendSpec backend_;
+
+    /** Per-worker simulator pipelines (Simulator backend). */
+    std::vector<sim::EvalContext> simContexts_;
+
+    /** Learned-backend state (Learned backend). */
+    gnn::CheckpointBundle bundle_;
+    std::array<const gnn::Predictor *, nas::numAccelerators>
+        latencyModels_{};
+    std::array<const gnn::Predictor *, nas::numAccelerators>
+        energyModels_{};
+    std::vector<gnn::PredictContext> predictContexts_;
+
+    /** Per-worker scratch shared by both backends. */
+    struct WorkerScratch
+    {
+        nas::Network net;
+        std::array<std::vector<double>, nas::numAccelerators> latency;
+        std::array<std::vector<double>, nas::numAccelerators> energy;
+    };
+    std::vector<WorkerScratch> scratch_;
+
+    void characterizeSim(std::span<const nas::CellSpec> cells,
+                         unsigned worker,
+                         std::vector<std::vector<std::string>> &rows);
+    void characterizeLearned(std::span<const nas::CellSpec> cells,
+                             unsigned worker,
+                             std::vector<std::vector<std::string>> &rows);
+};
+
+} // namespace etpu::serve
+
+#endif // ETPU_SERVE_ENGINE_HH

@@ -1,0 +1,386 @@
+#include "json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+
+#include "common/json_out.hh"
+#include "common/logging.hh"
+
+namespace etpu::serve
+{
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    auto it = object.find(std::string(key));
+    return it == object.end() ? nullptr : &it->second;
+}
+
+namespace
+{
+
+/** Recursive-descent parser over a bounded, fully-buffered input. */
+class Parser
+{
+  public:
+    Parser(std::string_view text, const JsonLimits &limits)
+        : text_(text), limits_(limits)
+    {}
+
+    std::optional<JsonValue>
+    run(std::string *error)
+    {
+        JsonValue v;
+        // The root document sits at depth 1, so maxDepth bounds the
+        // number of nested containers, inclusive.
+        if (!parseValue(v, 1) || (skipWs(), pos_ != text_.size())) {
+            if (ok_) // trailing bytes after a complete document
+                fail("trailing content after the JSON document");
+            if (error)
+                *error = strfmt("byte ", pos_, ": ", message_);
+            return std::nullopt;
+        }
+        return v;
+    }
+
+  private:
+    bool
+    fail(std::string_view why)
+    {
+        if (ok_) { // keep the first (deepest) diagnostic
+            ok_ = false;
+            message_ = why;
+        }
+        return false;
+    }
+
+    bool atEnd() const { return pos_ >= text_.size(); }
+    char peek() const { return text_[pos_]; }
+
+    void
+    skipWs()
+    {
+        while (!atEnd() && (peek() == ' ' || peek() == '\t' ||
+                            peek() == '\n' || peek() == '\r')) {
+            pos_++;
+        }
+    }
+
+    bool
+    consume(char c)
+    {
+        if (atEnd() || peek() != c)
+            return false;
+        pos_++;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, size_t depth)
+    {
+        if (depth > limits_.maxDepth)
+            return fail("nesting exceeds the depth limit");
+        skipWs();
+        if (atEnd())
+            return fail("unexpected end of input");
+        switch (peek()) {
+          case '{': return parseObject(out, depth);
+          case '[': return parseArray(out, depth);
+          case '"':
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.string);
+          case 't': return parseLiteral("true", out, JsonValue::Kind::Bool, true);
+          case 'f': return parseLiteral("false", out, JsonValue::Kind::Bool, false);
+          case 'n': return parseLiteral("null", out, JsonValue::Kind::Null, false);
+          default: return parseNumber(out);
+        }
+    }
+
+    bool
+    parseLiteral(std::string_view word, JsonValue &out,
+                 JsonValue::Kind kind, bool value)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return fail("invalid token");
+        pos_ += word.size();
+        out.kind = kind;
+        out.boolean = value;
+        return true;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (consume('-')) {
+        }
+        if (atEnd() || !std::isdigit(static_cast<unsigned char>(peek())))
+            return fail("invalid number");
+        if (peek() == '0') {
+            pos_++;
+            if (!atEnd() &&
+                std::isdigit(static_cast<unsigned char>(peek()))) {
+                return fail("numbers may not have leading zeros");
+            }
+        } else {
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                pos_++;
+            }
+        }
+        if (consume('.')) {
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return fail("digit required after the decimal point");
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                pos_++;
+            }
+        }
+        if (!atEnd() && (peek() == 'e' || peek() == 'E')) {
+            pos_++;
+            if (!atEnd() && (peek() == '+' || peek() == '-'))
+                pos_++;
+            if (atEnd() ||
+                !std::isdigit(static_cast<unsigned char>(peek()))) {
+                return fail("digit required in the exponent");
+            }
+            while (!atEnd() &&
+                   std::isdigit(static_cast<unsigned char>(peek()))) {
+                pos_++;
+            }
+        }
+        std::string_view token = text_.substr(start, pos_ - start);
+        double v = 0.0;
+        auto [ptr, ec] =
+            std::from_chars(token.data(), token.data() + token.size(), v);
+        // Grammar-valid overflow ("1e999") is rejected via the error
+        // code (on result_out_of_range the value is unspecified): a
+        // request must not smuggle an infinity past the IEEE
+        // comparisons.
+        if (ec == std::errc::result_out_of_range)
+            return fail("number overflows double precision");
+        if (ptr != token.data() + token.size() || ec != std::errc() ||
+            !std::isfinite(v)) {
+            return fail("invalid number");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    appendUtf8(uint32_t cp, std::string &out)
+    {
+        if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+        return true;
+    }
+
+    bool
+    parseHex4(uint32_t &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        out = 0;
+        for (int i = 0; i < 4; i++) {
+            char c = text_[pos_++];
+            uint32_t digit = 0;
+            if (c >= '0' && c <= '9')
+                digit = static_cast<uint32_t>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                digit = static_cast<uint32_t>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                digit = static_cast<uint32_t>(c - 'A' + 10);
+            else
+                return fail("invalid \\u escape digit");
+            out = out << 4 | digit;
+        }
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        out.clear();
+        if (!consume('"'))
+            return fail("expected '\"'");
+        for (;;) {
+            if (atEnd())
+                return fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (static_cast<unsigned char>(c) < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                out.push_back(c);
+                continue;
+            }
+            if (atEnd())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out.push_back('"'); break;
+              case '\\': out.push_back('\\'); break;
+              case '/': out.push_back('/'); break;
+              case 'b': out.push_back('\b'); break;
+              case 'f': out.push_back('\f'); break;
+              case 'n': out.push_back('\n'); break;
+              case 'r': out.push_back('\r'); break;
+              case 't': out.push_back('\t'); break;
+              case 'u': {
+                  uint32_t cp = 0;
+                  if (!parseHex4(cp))
+                      return false;
+                  if (cp >= 0xD800 && cp <= 0xDBFF) {
+                      // High surrogate: the low half must follow.
+                      if (!consume('\\') || !consume('u'))
+                          return fail("unpaired high surrogate");
+                      uint32_t low = 0;
+                      if (!parseHex4(low))
+                          return false;
+                      if (low < 0xDC00 || low > 0xDFFF)
+                          return fail("invalid low surrogate");
+                      cp = 0x10000 + ((cp - 0xD800) << 10) +
+                           (low - 0xDC00);
+                  } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+                      return fail("unpaired low surrogate");
+                  }
+                  appendUtf8(cp, out);
+                  break;
+              }
+              default: return fail("invalid escape character");
+            }
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, size_t depth)
+    {
+        consume('[');
+        out.kind = JsonValue::Kind::Array;
+        skipWs();
+        if (consume(']'))
+            return true;
+        for (;;) {
+            JsonValue elem;
+            if (!parseValue(elem, depth + 1))
+                return false;
+            out.array.push_back(std::move(elem));
+            skipWs();
+            if (consume(']'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or ']' in array");
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, size_t depth)
+    {
+        consume('{');
+        out.kind = JsonValue::Kind::Object;
+        skipWs();
+        if (consume('}'))
+            return true;
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (atEnd() || peek() != '"')
+                return fail("expected a string object key");
+            if (!parseString(key))
+                return false;
+            // Duplicate keys are a classic smuggling vector (two
+            // parsers disagreeing on which wins); reject outright.
+            if (out.object.count(key))
+                return fail("duplicate object key");
+            skipWs();
+            if (!consume(':'))
+                return fail("expected ':' after object key");
+            JsonValue member;
+            if (!parseValue(member, depth + 1))
+                return false;
+            out.object.emplace(std::move(key), std::move(member));
+            skipWs();
+            if (consume('}'))
+                return true;
+            if (!consume(','))
+                return fail("expected ',' or '}' in object");
+        }
+    }
+
+    std::string_view text_;
+    JsonLimits limits_;
+    size_t pos_ = 0;
+    bool ok_ = true;
+    std::string message_;
+};
+
+} // namespace
+
+std::optional<JsonValue>
+parseJson(std::string_view text, std::string *error)
+{
+    JsonLimits limits;
+    if (text.size() > limits.maxBytes) {
+        if (error) {
+            *error = strfmt("document of ", text.size(),
+                            " bytes exceeds the ", limits.maxBytes,
+                            "-byte limit");
+        }
+        return std::nullopt;
+    }
+    return Parser(text, limits).run(error);
+}
+
+std::string
+toJson(const JsonValue &v)
+{
+    switch (v.kind) {
+      case JsonValue::Kind::Null: return "null";
+      case JsonValue::Kind::Bool: return v.boolean ? "true" : "false";
+      case JsonValue::Kind::Number: return jsonNumber(v.number);
+      case JsonValue::Kind::String: return jsonQuote(v.string);
+      case JsonValue::Kind::Array: {
+          std::string out = "[";
+          for (size_t i = 0; i < v.array.size(); i++) {
+              if (i)
+                  out += ",";
+              out += toJson(v.array[i]);
+          }
+          return out + "]";
+      }
+      case JsonValue::Kind::Object: {
+          std::string out = "{";
+          bool first = true;
+          for (const auto &[key, member] : v.object) {
+              if (!first)
+                  out += ",";
+              first = false;
+              out += jsonQuote(key) + ":" + toJson(member);
+          }
+          return out + "}";
+      }
+    }
+    return "null";
+}
+
+} // namespace etpu::serve

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Strict JSON parser for the etpu_serve request protocol — the first
+ * byte surface in this repo that untrusted network clients write to
+ * directly, so it is hardened the way common/env and the cache
+ * loaders are: the full RFC 8259 grammar and nothing else (no
+ * trailing commas, no comments, no bare tokens, no trailing bytes),
+ * bounded input size and nesting depth, and no partial state on
+ * error — parse() either returns a complete document or nullopt plus
+ * a diagnostic with a byte offset.
+ *
+ * The same parser doubles as the repo's JSON *checker*: tests parse
+ * every emitted artifact (etpu_query --format json, BENCH_*.json,
+ * serve responses) with it, so an emitter bug that produces invalid
+ * JSON fails a unit test rather than a downstream consumer.
+ */
+
+#ifndef ETPU_SERVE_JSON_HH
+#define ETPU_SERVE_JSON_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace etpu::serve
+{
+
+/** Parsed JSON document node. */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string string;
+    std::vector<JsonValue> array;
+    /** Key order is not semantic; a map keeps lookups simple. */
+    std::map<std::string, JsonValue> object;
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Object member by key; null when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+};
+
+/** Parser limits; the defaults fit the request protocol with slack. */
+struct JsonLimits
+{
+    /** Maximum input bytes (a request line is bounded upstream too). */
+    size_t maxBytes = 1 << 20;
+    /** Maximum array/object nesting depth. */
+    size_t maxDepth = 32;
+};
+
+/**
+ * Parse @p text as exactly one JSON document.
+ *
+ * Strict: input larger than limits.maxBytes, nesting beyond
+ * limits.maxDepth, duplicate object keys, unpaired surrogates,
+ * control characters inside strings, non-finite numbers (outside the
+ * grammar anyway) and any byte outside the document all fail the
+ * parse. Only space/tab/CR/LF count as whitespace.
+ *
+ * @param error When non-null, receives "byte N: reason" on failure.
+ * @return The document, or nullopt.
+ */
+std::optional<JsonValue> parseJson(std::string_view text,
+                                   std::string *error = nullptr);
+
+/**
+ * Serialize @p v back to compact JSON (sorted object keys, escaping
+ * via common/json_out). parseJson(toJson(v)) round-trips every
+ * parsed document — the invariant the request-parser fuzz harness
+ * hammers.
+ */
+std::string toJson(const JsonValue &v);
+
+} // namespace etpu::serve
+
+#endif // ETPU_SERVE_JSON_HH

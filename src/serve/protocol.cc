@@ -1,0 +1,324 @@
+#include "protocol.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json_out.hh"
+#include "common/logging.hh"
+#include "query/spec.hh"
+#include "serve/json.hh"
+
+namespace etpu::serve
+{
+
+std::string_view
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::ParseError: return "parse_error";
+      case ErrorCode::BadRequest: return "bad_request";
+      case ErrorCode::TooLarge: return "too_large";
+      case ErrorCode::Overloaded: return "overloaded";
+      case ErrorCode::ShuttingDown: return "shutting_down";
+      case ErrorCode::Internal: return "internal";
+    }
+    return "internal";
+}
+
+namespace
+{
+
+/** Builder state for one parseRequest call. */
+struct RequestParser
+{
+    ParsedRequest result;
+
+    bool
+    fail(ErrorCode code, std::string message)
+    {
+        result.ok = false;
+        result.code = code;
+        result.error = std::move(message);
+        return false;
+    }
+
+    bool
+    badRequest(std::string message)
+    {
+        return fail(ErrorCode::BadRequest, std::move(message));
+    }
+
+    /** Extract a non-negative integral count from a JSON number. */
+    bool
+    countField(const JsonValue &v, const char *key, size_t max,
+               size_t &out)
+    {
+        if (!v.isNumber() || v.number != std::floor(v.number) ||
+            v.number < 0 || v.number > static_cast<double>(max)) {
+            return badRequest(strfmt("\"", key,
+                                     "\" must be an integer in [0, ",
+                                     max, "]"));
+        }
+        out = static_cast<size_t>(v.number);
+        return true;
+    }
+
+    bool
+    run(std::string_view line, bool allow_delay)
+    {
+        std::string parse_error;
+        auto doc = parseJson(line, &parse_error);
+        if (!doc)
+            return fail(ErrorCode::ParseError, parse_error);
+        if (!doc->isObject())
+            return badRequest("request must be a JSON object");
+
+        // The id is pulled out first so every later failure can still
+        // be correlated by the client.
+        if (const JsonValue *id = doc->find("id")) {
+            if (id->isString())
+                result.id = jsonQuote(id->string);
+            else if (id->isNumber())
+                result.id = jsonNumber(id->number);
+            else
+                return badRequest("\"id\" must be a string or number");
+        }
+
+        const JsonValue *op = doc->find("op");
+        if (!op || !op->isString())
+            return badRequest("\"op\" is required and must be a string");
+        Request &req = result.req;
+        std::vector<std::string_view> allowed = {"op", "id"};
+        if (op->string == "ping") {
+            req.op = RequestOp::Ping;
+            if (allow_delay)
+                allowed.push_back("delay_ms");
+        } else if (op->string == "count") {
+            req.op = RequestOp::Count;
+            allowed.push_back("filter");
+        } else if (op->string == "rows") {
+            req.op = RequestOp::Rows;
+            allowed.insert(allowed.end(), {"filter", "limit"});
+        } else if (op->string == "topk") {
+            req.op = RequestOp::TopK;
+            allowed.insert(allowed.end(),
+                           {"filter", "k", "by", "order"});
+        } else if (op->string == "pareto") {
+            req.op = RequestOp::Pareto;
+            allowed.insert(allowed.end(), {"filter", "objectives"});
+        } else if (op->string == "bucket") {
+            req.op = RequestOp::Bucket;
+            allowed.insert(allowed.end(),
+                           {"filter", "key", "edges", "agg"});
+        } else if (op->string == "characterize") {
+            req.op = RequestOp::Characterize;
+            allowed.push_back("cells");
+        } else {
+            return badRequest(strfmt("unknown op \"", op->string,
+                                     "\""));
+        }
+        for (const auto &[key, value] : doc->object) {
+            if (std::find(allowed.begin(), allowed.end(), key) ==
+                allowed.end()) {
+                return badRequest(strfmt("unknown key \"", key,
+                                         "\" for op \"", op->string,
+                                         "\""));
+            }
+        }
+
+        if (const JsonValue *filter = doc->find("filter")) {
+            if (!filter->isString())
+                return badRequest("\"filter\" must be a string");
+            std::string err;
+            auto parsed = query::Filter::parse(filter->string, &err);
+            if (!parsed)
+                return badRequest("filter: " + err);
+            req.filter = *parsed;
+        }
+
+        switch (req.op) {
+          case RequestOp::Ping:
+            if (const JsonValue *delay = doc->find("delay_ms")) {
+                if (!delay->isNumber() || delay->number < 0 ||
+                    delay->number > 10000) {
+                    return badRequest("\"delay_ms\" must be a number "
+                                      "in [0, 10000]");
+                }
+                req.delayMs = delay->number;
+            }
+            break;
+          case RequestOp::Count:
+            break;
+          case RequestOp::Rows:
+            if (const JsonValue *limit = doc->find("limit")) {
+                if (!countField(*limit, "limit", size_t{1} << 53,
+                                req.limit)) {
+                    return false;
+                }
+            }
+            break;
+          case RequestOp::TopK: {
+              const JsonValue *k = doc->find("k");
+              if (!k)
+                  return badRequest("topk requires \"k\"");
+              if (!countField(*k, "k", size_t{1} << 53, req.k))
+                  return false;
+              if (req.k == 0)
+                  return badRequest("\"k\" must be at least 1");
+              if (const JsonValue *by = doc->find("by")) {
+                  if (!by->isString())
+                      return badRequest("\"by\" must be a string");
+                  auto metric = query::parseMetric(by->string);
+                  if (!metric) {
+                      return badRequest(strfmt("by: unknown metric \"",
+                                               by->string, "\""));
+                  }
+                  req.by = *metric;
+              }
+              if (const JsonValue *order = doc->find("order")) {
+                  if (order->isString() && order->string == "asc")
+                      req.order = query::SortOrder::Ascending;
+                  else if (order->isString() &&
+                           order->string == "desc")
+                      req.order = query::SortOrder::Descending;
+                  else
+                      return badRequest("\"order\" must be \"asc\" or "
+                                        "\"desc\"");
+              }
+              break;
+          }
+          case RequestOp::Pareto: {
+              const JsonValue *spec = doc->find("objectives");
+              if (!spec || !spec->isString())
+                  return badRequest("pareto requires a string "
+                                    "\"objectives\" spec");
+              std::string err;
+              auto objs = query::parseObjectives(spec->string, &err);
+              if (!objs)
+                  return badRequest("objectives: " + err);
+              req.objectives = std::move(*objs);
+              break;
+          }
+          case RequestOp::Bucket: {
+              const JsonValue *key = doc->find("key");
+              if (!key || !key->isString())
+                  return badRequest("bucket requires a string \"key\" "
+                                    "metric");
+              auto metric = query::parseMetric(key->string);
+              if (!metric) {
+                  return badRequest(strfmt("key: unknown metric \"",
+                                           key->string, "\""));
+              }
+              req.bucketKey = *metric;
+              if (const JsonValue *edges = doc->find("edges")) {
+                  if (!edges->isArray())
+                      return badRequest("\"edges\" must be an array "
+                                        "of numbers");
+                  for (const JsonValue &e : edges->array) {
+                      if (!e.isNumber())
+                          return badRequest("\"edges\" must be an "
+                                            "array of numbers");
+                      req.edges.push_back(e.number);
+                  }
+                  std::string err;
+                  if (!query::validEdges(req.edges, &err))
+                      return badRequest("edges: " + err);
+              }
+              if (const JsonValue *agg = doc->find("agg")) {
+                  if (!agg->isString())
+                      return badRequest("\"agg\" must be a string "
+                                        "metric list");
+                  std::string err;
+                  auto aggs =
+                      query::parseMetricList(agg->string, &err);
+                  if (!aggs)
+                      return badRequest("agg: " + err);
+                  req.aggs = std::move(*aggs);
+              }
+              break;
+          }
+          case RequestOp::Characterize: {
+              const JsonValue *cells = doc->find("cells");
+              if (!cells || !cells->isArray() || cells->array.empty())
+                  return badRequest("characterize requires a non-empty "
+                                    "\"cells\" array");
+              if (cells->array.size() > maxCharacterizeCells) {
+                  return badRequest(strfmt(
+                      "\"cells\" carries ", cells->array.size(),
+                      " cells; the per-request limit is ",
+                      maxCharacterizeCells));
+              }
+              for (size_t i = 0; i < cells->array.size(); i++) {
+                  const JsonValue &c = cells->array[i];
+                  if (!c.isString())
+                      return badRequest("\"cells\" must be an array "
+                                        "of cell strings");
+                  std::string err;
+                  auto cell = nas::parseCellSpec(c.string, &err);
+                  if (!cell) {
+                      return badRequest(strfmt("cells[", i, "]: ",
+                                               err));
+                  }
+                  if (!cell->valid()) {
+                      return badRequest(strfmt(
+                          "cells[", i,
+                          "] is not a valid NASBench-101 cell"));
+                  }
+                  req.cells.push_back(std::move(*cell));
+              }
+              break;
+          }
+        }
+        req.id = result.id;
+        result.ok = true;
+        return true;
+    }
+};
+
+} // namespace
+
+ParsedRequest
+parseRequest(std::string_view line, bool allow_delay)
+{
+    RequestParser parser;
+    parser.run(line, allow_delay);
+    if (!parser.result.ok)
+        parser.result.req = Request{};
+    return std::move(parser.result);
+}
+
+std::string
+errorResponse(const std::string &id, ErrorCode code,
+              std::string_view message)
+{
+    std::string out = "{";
+    if (!id.empty())
+        out += "\"id\":" + id + ",";
+    out += "\"status\":\"error\",\"code\":\"";
+    out += errorCodeName(code);
+    out += "\",\"error\":" + jsonQuote(message) + "}\n";
+    return out;
+}
+
+std::string
+okResponse(const std::string &id, std::string_view payload)
+{
+    std::string out = "{";
+    if (!id.empty())
+        out += "\"id\":" + id + ",";
+    out += "\"status\":\"ok\"";
+    out += payload;
+    out += "}\n";
+    return out;
+}
+
+std::string
+rowsPayload(const std::vector<std::string> &header,
+            const std::vector<std::vector<std::string>> &rows,
+            size_t total)
+{
+    return strfmt(",\"total\":", total,
+                  ",\"rows\":", jsonRows(header, rows, false));
+}
+
+} // namespace etpu::serve

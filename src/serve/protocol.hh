@@ -1,0 +1,172 @@
+/**
+ * @file
+ * The etpu_serve wire protocol: newline-delimited JSON, one request
+ * object per line, one response object per line.
+ *
+ * Request lifecycle (the connection state machine):
+ *
+ *   read line ── too long ──────────────▶ too_large error, close
+ *      │
+ *      ├─ malformed JSON / bad grammar ─▶ parse_error / bad_request
+ *      │                                  error response, keep reading
+ *      ├─ server draining ──────────────▶ shutting_down error
+ *      ├─ queue full ───────────────────▶ overloaded error (the
+ *      │                                  admission-control answer: the
+ *      │                                  client backs off, the server
+ *      │                                  never buffers unboundedly)
+ *      └─ admitted ─────────────────────▶ executed by a worker, ok or
+ *                                         internal error response
+ *
+ * Requests carry an optional "id" (string or number) echoed verbatim
+ * in the response. Responses to pipelined requests may arrive out of
+ * order (a rejected request is answered by the reader immediately
+ * while earlier admitted ones are still executing), so clients that
+ * pipeline must correlate by id.
+ *
+ * Request grammar (strict: unknown keys are rejected, like every
+ * other parser surface in this repo):
+ *
+ *   {"op":"ping"[,"delay_ms":N]}         liveness probe; delay_ms is
+ *                                        only honored when the server
+ *                                        was started with --allow-delay
+ *                                        (load tests)
+ *   {"op":"count","filter":EXPR}
+ *   {"op":"rows"[,"filter":EXPR][,"limit":N]}
+ *   {"op":"topk","k":N[,"by":METRIC][,"order":"asc"|"desc"]
+ *                [,"filter":EXPR]}
+ *   {"op":"pareto","objectives":SPEC[,"filter":EXPR]}
+ *   {"op":"bucket","key":METRIC[,"edges":[E1,E2,...]]
+ *                  [,"agg":METRIC,...][,"filter":EXPR]}
+ *   {"op":"characterize","cells":[CELL,...]}
+ *
+ * EXPR is the query::Filter grammar, SPEC the Pareto objective
+ * grammar, METRIC a query::parseMetric name and CELL the
+ * nas::CellSpec::str() grammar — all shared with etpu_query, so the
+ * two surfaces accept exactly the same strings.
+ */
+
+#ifndef ETPU_SERVE_PROTOCOL_HH
+#define ETPU_SERVE_PROTOCOL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nasbench/cell_spec.hh"
+#include "query/dataset_index.hh"
+
+namespace etpu::serve
+{
+
+/** Request operations. */
+enum class RequestOp : uint8_t
+{
+    Ping,
+    Count,
+    Rows,
+    TopK,
+    Pareto,
+    Bucket,
+    Characterize,
+};
+
+/** The error taxonomy; every error response carries one code. */
+enum class ErrorCode : uint8_t
+{
+    ParseError,   //!< the line is not a valid JSON document
+    BadRequest,   //!< valid JSON, invalid protocol semantics
+    TooLarge,     //!< the request line exceeds the size bound
+    Overloaded,   //!< admission control rejected (queue full)
+    ShuttingDown, //!< the server is draining
+    Internal,     //!< request execution failed server-side
+};
+
+/** Wire spelling of @p code ("parse_error", "overloaded", ...). */
+std::string_view errorCodeName(ErrorCode code);
+
+/** Cells accepted per characterize request (bounded work). */
+inline constexpr size_t maxCharacterizeCells = 1024;
+
+/** A fully validated request, ready for execution. */
+struct Request
+{
+    RequestOp op = RequestOp::Ping;
+    /** Serialized "id" value to echo, empty when absent. */
+    std::string id;
+    query::Filter filter;
+    /** ping: artificial service time (--allow-delay only). */
+    double delayMs = 0.0;
+    /** rows: response row cap (0 = all). */
+    size_t limit = 0;
+    /** topk */
+    query::Metric by{query::MetricKind::Accuracy, 0};
+    size_t k = 0;
+    query::SortOrder order = query::SortOrder::Descending;
+    /** pareto */
+    std::vector<query::Objective> objectives;
+    /** bucket */
+    query::Metric bucketKey{query::MetricKind::Accuracy, 0};
+    std::vector<double> edges;
+    std::vector<query::Metric> aggs;
+    /** characterize */
+    std::vector<nas::CellSpec> cells;
+};
+
+/** Outcome of parsing one request line. */
+struct ParsedRequest
+{
+    /** Whether @c req holds a fully validated request. */
+    bool ok = false;
+    /** Valid iff @c ok — no partial request state on error. */
+    Request req;
+    /** ParseError or BadRequest when !ok. */
+    ErrorCode code = ErrorCode::ParseError;
+    /** Human-readable diagnostic when !ok. */
+    std::string error;
+    /**
+     * Serialized "id" for echoing, populated best-effort even on
+     * failure (empty when absent or when the document never parsed).
+     */
+    std::string id;
+};
+
+/**
+ * Parse and validate one ndJSON request line (no trailing newline).
+ *
+ * @param allow_delay Whether "delay_ms" is accepted on ping.
+ */
+ParsedRequest parseRequest(std::string_view line,
+                           bool allow_delay = false);
+
+/**
+ * Build an error response line (with trailing '\n'):
+ * {"id":...,"status":"error","code":"...","error":"..."}.
+ *
+ * @param id Serialized id to echo (empty = omitted).
+ */
+std::string errorResponse(const std::string &id, ErrorCode code,
+                          std::string_view message);
+
+/**
+ * Build an ok response line (with trailing '\n'):
+ * {"id":...,"status":"ok",<payload>}. @p payload is a preformatted
+ * comma-led body fragment like ",\"count\":42" (empty for a bare ok).
+ */
+std::string okResponse(const std::string &id, std::string_view payload);
+
+/**
+ * Payload fragment carrying row-shaped results:
+ * ,"total":N,"rows":[{...},...]. @p rows holds only the rows to
+ * emit; @p total reports the full result size when a limit dropped
+ * some. Cells are typed via common/json_out's jsonCell, exactly like
+ * etpu_query --format json.
+ */
+std::string rowsPayload(const std::vector<std::string> &header,
+                        const std::vector<std::vector<std::string>> &rows,
+                        size_t total);
+
+} // namespace etpu::serve
+
+#endif // ETPU_SERVE_PROTOCOL_HH

@@ -1,0 +1,64 @@
+#include "queue.hh"
+
+namespace etpu::serve
+{
+
+bool
+BoundedQueue::tryPush(Job job)
+{
+    {
+        std::lock_guard lock(mutex_);
+        if (closed_ || jobs_.size() >= capacity_)
+            return false;
+        jobs_.push_back(std::move(job));
+    }
+    ready_.notify_one();
+    return true;
+}
+
+bool
+BoundedQueue::pop(Job &out)
+{
+    std::unique_lock lock(mutex_);
+    ready_.wait(lock, [&] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty())
+        return false;
+    out = std::move(jobs_.front());
+    jobs_.pop_front();
+    return true;
+}
+
+void
+BoundedQueue::drainMatching(RequestOp op, size_t max,
+                            std::vector<Job> &out)
+{
+    std::lock_guard lock(mutex_);
+    for (auto it = jobs_.begin(); it != jobs_.end() && max;) {
+        if (it->req.op == op) {
+            out.push_back(std::move(*it));
+            it = jobs_.erase(it);
+            max--;
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+BoundedQueue::close()
+{
+    {
+        std::lock_guard lock(mutex_);
+        closed_ = true;
+    }
+    ready_.notify_all();
+}
+
+size_t
+BoundedQueue::size() const
+{
+    std::lock_guard lock(mutex_);
+    return jobs_.size();
+}
+
+} // namespace etpu::serve

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The admission-controlled work queue between connection readers and
+ * the worker pool. Capacity is fixed at construction: tryPush() never
+ * blocks and never grows the queue — when it is full the reader
+ * answers the client with an "overloaded" error instead of buffering,
+ * so a flood of requests degrades into explicit backpressure rather
+ * than unbounded memory growth or head-of-line latency collapse.
+ *
+ * drainMatching() is the cross-request batching hook: a worker that
+ * popped a characterize job grabs every other characterize job
+ * currently queued in the same lock acquisition, so the learned
+ * backend can featurize all their cells into one stacked
+ * PredictContext batch.
+ */
+
+#ifndef ETPU_SERVE_QUEUE_HH
+#define ETPU_SERVE_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "serve/protocol.hh"
+
+namespace etpu::serve
+{
+
+class Connection;
+
+/** One admitted request bound to its originating connection. */
+struct Job
+{
+    Request req;
+    std::shared_ptr<Connection> conn;
+};
+
+/** Fixed-capacity MPMC queue with reject-on-full admission. */
+class BoundedQueue
+{
+  public:
+    explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+    /**
+     * Admit @p job unless the queue is full or closed.
+     *
+     * @return true iff the job was queued.
+     */
+    bool tryPush(Job job);
+
+    /**
+     * Block for the next job.
+     *
+     * @return false when the queue is closed and fully drained — the
+     *         worker-exit signal; queued jobs are always delivered
+     *         first (the graceful-drain contract).
+     */
+    bool pop(Job &out);
+
+    /**
+     * Dequeue every queued job with req.op == @p op (up to @p max),
+     * appending to @p out. Non-blocking; used by workers right after
+     * pop() to batch same-kind work.
+     */
+    void drainMatching(RequestOp op, size_t max, std::vector<Job> &out);
+
+    /** Stop admissions and wake blocked workers once drained. */
+    void close();
+
+    /** Queued (not yet popped) jobs — diagnostics only. */
+    size_t size() const;
+
+  private:
+    const size_t capacity_;
+    mutable std::mutex mutex_;
+    std::condition_variable ready_;
+    std::deque<Job> jobs_;
+    bool closed_ = false;
+};
+
+} // namespace etpu::serve
+
+#endif // ETPU_SERVE_QUEUE_HH

@@ -1,0 +1,275 @@
+#include "server.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "common/signal.hh"
+
+namespace etpu::serve
+{
+
+bool
+Connection::send(std::string_view line)
+{
+    if (dead_.load(std::memory_order_relaxed))
+        return false;
+    std::lock_guard lock(writeMutex_);
+    if (dead_.load(std::memory_order_relaxed))
+        return false;
+    if (!writeAll(fd_.get(), line)) {
+        // Sticky: once a write failed mid-line the stream framing is
+        // unknown, so no later response may be attempted.
+        dead_.store(true, std::memory_order_relaxed);
+        return false;
+    }
+    return true;
+}
+
+namespace
+{
+
+/** Characterize jobs batched per queue drain (bounded stacking). */
+constexpr size_t maxCharacterizeDrain = 16;
+
+} // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {}
+
+Server::~Server()
+{
+    if (queue_)
+        queue_->close();
+    for (std::thread &t : workerThreads_)
+        t.join();
+    workerThreads_.clear();
+    reapReaders(true);
+}
+
+bool
+Server::start()
+{
+    signalFd_ = installShutdownSignals();
+    workers_ = resolveWorkerCount(opts_.workers);
+    engine_ = std::make_unique<ServeEngine>(opts_.engine, workers_);
+    queue_ = std::make_unique<BoundedQueue>(opts_.queueCapacity);
+    listen_ = listenTcp(opts_.port, port_);
+    if (!listen_.valid())
+        return false;
+    workerThreads_.reserve(workers_);
+    for (unsigned w = 0; w < workers_; w++)
+        workerThreads_.emplace_back(&Server::workerLoop, this, w);
+    etpu_inform("etpu_serve: ", engine_->datasetRows(),
+                " indexed rows, ", workers_, " workers, queue bound ",
+                opts_.queueCapacity, ", listening on 127.0.0.1:",
+                port_);
+    return true;
+}
+
+void
+Server::requestStop()
+{
+    requestShutdown();
+}
+
+void
+Server::run()
+{
+    for (;;) {
+        pollfd fds[2] = {{listen_.get(), POLLIN, 0},
+                         {signalFd_, POLLIN, 0}};
+        int rc = ::poll(fds, 2, -1);
+        if (rc < 0) {
+            if (errno == EINTR) {
+                if (shutdownRequested())
+                    break;
+                continue;
+            }
+            etpu_warn("poll() failed: ", std::strerror(errno));
+            break;
+        }
+        if ((fds[1].revents & POLLIN) || shutdownRequested())
+            break;
+        if (fds[0].revents & POLLIN) {
+            SocketFd client = acceptTcp(listen_.get());
+            if (client.valid()) {
+                counters_.accepted.fetch_add(1,
+                                             std::memory_order_relaxed);
+                auto conn =
+                    std::make_shared<Connection>(std::move(client));
+                auto done = std::make_shared<std::atomic<bool>>(false);
+                {
+                    std::lock_guard lock(connectionsMutex_);
+                    connections_.push_back(conn);
+                }
+                std::lock_guard lock(readersMutex_);
+                readers_.push_back(
+                    {std::thread(&Server::readerLoop, this, conn,
+                                 done),
+                     done});
+            }
+            reapReaders(false);
+        }
+    }
+
+    // Graceful drain: stop accepting, half-close every connection so
+    // its reader unblocks and exits (buffered lines are answered with
+    // shutting_down), then let the workers finish every admitted job.
+    draining_.store(true, std::memory_order_relaxed);
+    listen_.reset();
+    {
+        std::lock_guard lock(connectionsMutex_);
+        for (const auto &weak : connections_) {
+            if (auto conn = weak.lock())
+                conn->shutdownRead();
+        }
+    }
+    reapReaders(true);
+    queue_->close();
+    for (std::thread &t : workerThreads_)
+        t.join();
+    workerThreads_.clear();
+    etpu_inform("etpu_serve: drained; ",
+                counters_.responses.load(), " responses, ",
+                counters_.errors.load(), " errors (",
+                counters_.overloaded.load(), " overload rejections)");
+}
+
+void
+Server::reapReaders(bool join_all)
+{
+    std::vector<Reader> finished;
+    {
+        std::lock_guard lock(readersMutex_);
+        if (join_all) {
+            finished = std::move(readers_);
+            readers_.clear();
+        } else {
+            for (size_t i = 0; i < readers_.size();) {
+                if (readers_[i].done->load(
+                        std::memory_order_acquire)) {
+                    finished.push_back(std::move(readers_[i]));
+                    readers_[i] = std::move(readers_.back());
+                    readers_.pop_back();
+                } else {
+                    i++;
+                }
+            }
+        }
+    }
+    for (Reader &r : finished)
+        r.thread.join();
+    if (join_all) {
+        std::lock_guard lock(connectionsMutex_);
+        connections_.clear();
+    }
+}
+
+void
+Server::readerLoop(std::shared_ptr<Connection> conn,
+                   std::shared_ptr<std::atomic<bool>> done)
+{
+    std::string carry;
+    std::string line;
+    for (;;) {
+        LineRead r = readLine(conn->fd(), carry, line,
+                              opts_.maxRequestBytes);
+        if (r == LineRead::Eof || r == LineRead::Error)
+            break;
+        if (r == LineRead::TooLong) {
+            // Framing is lost beyond the bound; answer and hang up.
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+            conn->send(errorResponse(
+                "", ErrorCode::TooLarge,
+                strfmt("request exceeds the ", opts_.maxRequestBytes,
+                       "-byte line limit; closing")));
+            break;
+        }
+        ParsedRequest parsed =
+            parseRequest(line, opts_.allowDelay);
+        if (!parsed.ok) {
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+            if (!conn->send(errorResponse(parsed.id, parsed.code,
+                                          parsed.error))) {
+                break;
+            }
+            continue;
+        }
+        if (draining_.load(std::memory_order_relaxed)) {
+            counters_.errors.fetch_add(1, std::memory_order_relaxed);
+            if (!conn->send(errorResponse(parsed.id,
+                                          ErrorCode::ShuttingDown,
+                                          "server is draining"))) {
+                break;
+            }
+            continue;
+        }
+        Job job{std::move(parsed.req), conn};
+        if (queue_->tryPush(std::move(job))) {
+            counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+            continue;
+        }
+        // Admission control: reject now, with a distinct code the
+        // client can back off on — never buffer beyond the bound.
+        counters_.overloaded.fetch_add(1, std::memory_order_relaxed);
+        counters_.errors.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->send(errorResponse(
+                parsed.id, ErrorCode::Overloaded,
+                "work queue is full; retry later"))) {
+            break;
+        }
+    }
+    done->store(true, std::memory_order_release);
+}
+
+void
+Server::workerLoop(unsigned worker)
+{
+    Job job;
+    std::vector<Job> batch;
+    std::vector<nas::CellSpec> cells;
+    std::vector<std::vector<std::string>> rows;
+    const std::vector<std::string> header =
+        ServeEngine::characterizeHeader();
+    while (queue_->pop(job)) {
+        if (job.req.op != RequestOp::Characterize) {
+            std::string response = engine_->execute(job.req);
+            counters_.responses.fetch_add(1,
+                                          std::memory_order_relaxed);
+            job.conn->send(response);
+            job.conn.reset();
+            continue;
+        }
+        // Cross-request batching: every characterize job queued right
+        // now shares one stacked prediction pass.
+        batch.clear();
+        batch.push_back(std::move(job));
+        queue_->drainMatching(RequestOp::Characterize,
+                              maxCharacterizeDrain - 1, batch);
+        cells.clear();
+        for (const Job &j : batch) {
+            cells.insert(cells.end(), j.req.cells.begin(),
+                         j.req.cells.end());
+        }
+        rows.clear();
+        engine_->characterize(cells, worker, rows);
+        size_t offset = 0;
+        for (Job &j : batch) {
+            size_t n = j.req.cells.size();
+            std::vector<std::vector<std::string>> slice(
+                rows.begin() + static_cast<ptrdiff_t>(offset),
+                rows.begin() + static_cast<ptrdiff_t>(offset + n));
+            offset += n;
+            counters_.responses.fetch_add(1,
+                                          std::memory_order_relaxed);
+            j.conn->send(
+                okResponse(j.req.id, rowsPayload(header, slice, n)));
+            j.conn.reset();
+        }
+        batch.clear();
+    }
+}
+
+} // namespace etpu::serve

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The etpu_serve TCP daemon. Thread model:
+ *
+ *   accept loop (run())     one thread, poll()s the listen socket and
+ *                           the shutdown signal pipe
+ *   connection readers      one per connection: read line, parse,
+ *                           admit to the queue (or answer an error
+ *                           immediately — see protocol.hh's state
+ *                           machine)
+ *   worker pool             resolveWorkerCount(opts.workers) threads:
+ *                           pop jobs, execute against the warmed
+ *                           ServeEngine, write the response under the
+ *                           connection's write lock
+ *
+ * Responses are written under a per-connection mutex, so concurrent
+ * workers and the reader never interleave bytes on one socket.
+ *
+ * Graceful shutdown (SIGINT/SIGTERM or Server::requestStop()): the
+ * accept loop stops listening, half-closes every connection for
+ * reading (readers finish their buffered lines, answering
+ * shutting_down for anything not yet admitted, then exit), the queue
+ * closes, and the workers drain every admitted job before run()
+ * returns — in-flight requests always get their response.
+ */
+
+#ifndef ETPU_SERVE_SERVER_HH
+#define ETPU_SERVE_SERVER_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/socket.hh"
+#include "serve/engine.hh"
+#include "serve/queue.hh"
+
+namespace etpu::serve
+{
+
+/** Server configuration. */
+struct ServerOptions
+{
+    /** Listen port (0 = ephemeral; see Server::port()). */
+    uint16_t port = 0;
+    /** Worker threads (0 = auto via resolveWorkerCount). */
+    unsigned workers = 0;
+    /** Admission-control bound: queued-but-unexecuted requests. */
+    size_t queueCapacity = 128;
+    /** Request line size bound (bytes, newline excluded). */
+    size_t maxRequestBytes = 1 << 20;
+    /** Honor ping "delay_ms" (load tests only). */
+    bool allowDelay = false;
+    /** Engine configuration. */
+    EngineOptions engine;
+};
+
+/** One accepted client connection: the fd plus its write lock. */
+class Connection
+{
+  public:
+    explicit Connection(SocketFd fd) : fd_(std::move(fd)) {}
+
+    int fd() const { return fd_.get(); }
+
+    /**
+     * Write one response line atomically with respect to other
+     * senders. @return false once the peer is gone (sticky).
+     */
+    bool send(std::string_view line);
+
+    /** Half-close for reading (graceful drain). */
+    void shutdownRead() { fd_.shutdownRead(); }
+
+  private:
+    SocketFd fd_;
+    std::mutex writeMutex_;
+    std::atomic<bool> dead_{false};
+};
+
+/** Aggregate request counters (read after run() returns). */
+struct ServerCounters
+{
+    std::atomic<uint64_t> accepted{0};   //!< connections accepted
+    std::atomic<uint64_t> admitted{0};   //!< requests queued
+    std::atomic<uint64_t> responses{0};  //!< ok responses written
+    std::atomic<uint64_t> errors{0};     //!< error responses written
+    std::atomic<uint64_t> overloaded{0}; //!< admission rejections
+};
+
+/** The daemon. Construct, start(), run(); run() returns after drain. */
+class Server
+{
+  public:
+    explicit Server(ServerOptions opts);
+    ~Server();
+
+    Server(const Server &) = delete;
+    Server &operator=(const Server &) = delete;
+
+    /**
+     * Bind the listen socket, build/warm the engine and start the
+     * worker pool. Fatal on engine errors (bad cache/checkpoint);
+     * false when the port cannot be bound.
+     */
+    bool start();
+
+    /** The bound port (valid after start()). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Accept and serve until a shutdown signal (or requestStop())
+     * arrives, then drain: every admitted request is answered before
+     * this returns.
+     */
+    void run();
+
+    /** Trigger the same drain a SIGTERM would (thread-safe). */
+    void requestStop();
+
+    const ServerCounters &counters() const { return counters_; }
+
+  private:
+    void readerLoop(std::shared_ptr<Connection> conn,
+                    std::shared_ptr<std::atomic<bool>> done);
+    void workerLoop(unsigned worker);
+    void reapReaders(bool join_all);
+
+    ServerOptions opts_;
+    unsigned workers_ = 0;
+    std::unique_ptr<ServeEngine> engine_;
+    std::unique_ptr<BoundedQueue> queue_;
+    SocketFd listen_;
+    uint16_t port_ = 0;
+    int signalFd_ = -1;
+    std::atomic<bool> draining_{false};
+
+    std::vector<std::thread> workerThreads_;
+
+    /** A reader thread plus its completion flag (for reaping). */
+    struct Reader
+    {
+        std::thread thread;
+        std::shared_ptr<std::atomic<bool>> done;
+    };
+    std::mutex readersMutex_;
+    std::vector<Reader> readers_;
+    std::mutex connectionsMutex_;
+    std::vector<std::weak_ptr<Connection>> connections_;
+
+    ServerCounters counters_;
+};
+
+} // namespace etpu::serve
+
+#endif // ETPU_SERVE_SERVER_HH

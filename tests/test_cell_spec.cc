@@ -157,4 +157,57 @@ TEST(CellSpec, StrMentionsOpsAndEdges)
     EXPECT_NE(s.find("0->1"), std::string::npos);
 }
 
+TEST(ParseCellSpec, RoundTripsStr)
+{
+    // str() -> parseCellSpec -> str() is the identity the serve
+    // characterize op relies on.
+    for (const CellSpec &cell :
+         {threeOpCell(), makeChainCell({Op::Conv3x3}),
+          makeChainCell({Op::Conv1x1, Op::MaxPool3x3, Op::Conv3x3})}) {
+        auto parsed = parseCellSpec(cell.str());
+        ASSERT_TRUE(parsed.has_value()) << cell.str();
+        EXPECT_EQ(parsed->str(), cell.str());
+        EXPECT_EQ(parsed->fingerprint(), cell.fingerprint());
+    }
+}
+
+TEST(ParseCellSpec, RoundTripsEdgelessForm)
+{
+    // A cell with no edges stringifies with a trailing space (the
+    // empty Dag::str()); the parser must take its own output back.
+    graph::Dag d(2);
+    CellSpec c(d, {Op::Input, Op::Output});
+    auto parsed = parseCellSpec(c.str());
+    ASSERT_TRUE(parsed.has_value()) << "'" << c.str() << "'";
+    EXPECT_EQ(parsed->str(), c.str());
+}
+
+TEST(ParseCellSpec, RejectsMalformed)
+{
+    std::string error;
+    for (const char *bad :
+         {"", "[", "[]", "[input,output", "input,output] 0->1",
+          "[input;output] ", "[input,conv5x5,output] 0->1 1->2",
+          "[Input,output] ", "[input,output] 1->0",
+          "[input,output] 0->2", "[input,output] 0->0",
+          "[input,conv3x3,output] 0->1  1->2",
+          "[input,conv3x3,output] 0->1 0->1",
+          "[input,conv3x3,output] 0->01", "[input,output] 0->1 ",
+          "[input,output] junk", "[input,output]  "}) {
+        error.clear();
+        EXPECT_FALSE(parseCellSpec(bad, &error).has_value()) << bad;
+        EXPECT_FALSE(error.empty()) << bad;
+    }
+}
+
+TEST(ParseCellSpec, RejectsTooManyVertices)
+{
+    // 33 ops exceeds graph::Dag::maxVertices.
+    std::string spec = "[input";
+    for (int i = 0; i < 31; i++)
+        spec += ",conv3x3";
+    spec += ",output] ";
+    EXPECT_FALSE(parseCellSpec(spec).has_value());
+}
+
 } // namespace

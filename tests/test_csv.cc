@@ -106,6 +106,75 @@ TEST(Csv, PrecisionStillCapsDigits)
     std::remove(path.c_str());
 }
 
+TEST(Csv, QuotesCarriageReturns)
+{
+    // RFC 4180: CR is only legal inside a quoted field. A bare CR in
+    // an unquoted cell splits rows in lone-CR-tolerant readers.
+    std::string path = tmpPath("etpu_csv7.csv");
+    {
+        CsvWriter w(path);
+        w.row({"a\rb", "c\r\nd", "plain"});
+    }
+    EXPECT_EQ(readAll(path), "\"a\rb\",\"c\r\nd\",plain\n");
+    std::remove(path.c_str());
+}
+
+/** Minimal RFC 4180 reader: one record, quoted fields may hold any
+ *  byte, "" unescapes to one quote. Returns the parsed cells. */
+std::vector<std::string>
+parseCsvRecord(const std::string &text)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    size_t i = 0;
+    while (i < text.size()) {
+        cell.clear();
+        if (text[i] == '"') {
+            i++;
+            for (;;) {
+                if (i >= text.size())
+                    return cells; // unterminated quote: malformed
+                if (text[i] == '"' && i + 1 < text.size() &&
+                    text[i + 1] == '"') {
+                    cell.push_back('"');
+                    i += 2;
+                } else if (text[i] == '"') {
+                    i++;
+                    break;
+                } else {
+                    cell.push_back(text[i++]);
+                }
+            }
+        } else {
+            while (i < text.size() && text[i] != ',' &&
+                   text[i] != '\n') {
+                cell.push_back(text[i++]);
+            }
+        }
+        cells.push_back(cell);
+        if (i < text.size() && text[i] == ',') {
+            i++;
+        } else {
+            break; // record terminator (or end of text)
+        }
+    }
+    return cells;
+}
+
+TEST(Csv, RoundTripsCellsWithCrAndCrLf)
+{
+    const std::vector<std::string> cells = {
+        "a\rb", "line1\r\nline2", "trailing\r", "\r", "q\"\r\"q",
+        "plain"};
+    std::string path = tmpPath("etpu_csv8.csv");
+    {
+        CsvWriter w(path);
+        w.row(cells);
+    }
+    EXPECT_EQ(parseCsvRecord(readAll(path)), cells);
+    std::remove(path.c_str());
+}
+
 TEST(Csv, WarnsButSurvivesUnwritablePath)
 {
     CsvWriter w("/nonexistent-etpu-dir/out.csv");

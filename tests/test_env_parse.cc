@@ -66,6 +66,40 @@ TEST(ParseInt, RejectsOverflow)
     EXPECT_FALSE(parseInt("99999999999999999999999999999999"));
 }
 
+TEST(ParseInt, DistinguishesOverflowFromJunk)
+{
+    // A well-formed integer that does not fit sets out_of_range, so
+    // envInt can warn "out of range" rather than "not an integer".
+    bool oor = true;
+    EXPECT_EQ(parseInt("42", &oor), 42);
+    EXPECT_FALSE(oor);
+
+    oor = false;
+    EXPECT_FALSE(parseInt("9223372036854775808", &oor));
+    EXPECT_TRUE(oor);
+
+    oor = false;
+    EXPECT_FALSE(parseInt("-9223372036854775809", &oor));
+    EXPECT_TRUE(oor);
+
+    oor = false;
+    EXPECT_FALSE(parseInt("99999999999999999999999999999999", &oor));
+    EXPECT_TRUE(oor);
+
+    // Junk is NOT out-of-range — even junk that starts numeric.
+    oor = true;
+    EXPECT_FALSE(parseInt("abc", &oor));
+    EXPECT_FALSE(oor);
+
+    oor = true;
+    EXPECT_FALSE(parseInt("9223372036854775808x", &oor));
+    EXPECT_FALSE(oor);
+
+    oor = true;
+    EXPECT_FALSE(parseInt("", &oor));
+    EXPECT_FALSE(oor);
+}
+
 TEST_F(EnvParse, IntUnsetIsNullopt)
 {
     unsetenv(kVar);

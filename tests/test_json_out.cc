@@ -1,0 +1,175 @@
+/** @file Unit tests for the shared JSON emission helpers. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/json_out.hh"
+
+namespace
+{
+
+using etpu::isJsonNumberToken;
+using etpu::jsonCell;
+using etpu::jsonEscape;
+using etpu::jsonNumber;
+using etpu::jsonQuote;
+using etpu::jsonRows;
+
+TEST(JsonEscape, PassesPlainTextThrough)
+{
+    EXPECT_EQ(jsonEscape("accuracy>=0.7"), "accuracy>=0.7");
+    EXPECT_EQ(jsonEscape(""), "");
+}
+
+TEST(JsonEscape, EscapesQuotesAndBackslashes)
+{
+    EXPECT_EQ(jsonEscape("say \"hi\""), "say \\\"hi\\\"");
+    EXPECT_EQ(jsonEscape("C:\\path"), "C:\\\\path");
+}
+
+TEST(JsonEscape, EscapesControlCharacters)
+{
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape("a\tb"), "a\\tb");
+    EXPECT_EQ(jsonEscape("a\rb"), "a\\rb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+    EXPECT_EQ(jsonEscape(std::string("a\x00z", 3)), "a\\u0000z");
+}
+
+TEST(JsonQuote, WrapsAndEscapes)
+{
+    EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
+    EXPECT_EQ(jsonQuote("a\"b"), "\"a\\\"b\"");
+}
+
+TEST(JsonNumber, RoundTripsDoubles)
+{
+    for (double v : {0.0, 1.5, -2.25, 0.1, 1.0 / 3.0, 1e300}) {
+        EXPECT_EQ(std::stod(jsonNumber(v)), v) << jsonNumber(v);
+    }
+}
+
+TEST(JsonNumber, NonFiniteIsNull)
+{
+    EXPECT_EQ(jsonNumber(std::nan("")), "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+    EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+TEST(JsonNumberToken, AcceptsStrictGrammar)
+{
+    EXPECT_TRUE(isJsonNumberToken("0"));
+    EXPECT_TRUE(isJsonNumberToken("-0"));
+    EXPECT_TRUE(isJsonNumberToken("42"));
+    EXPECT_TRUE(isJsonNumberToken("-7.5"));
+    EXPECT_TRUE(isJsonNumberToken("0.001"));
+    EXPECT_TRUE(isJsonNumberToken("1e10"));
+    EXPECT_TRUE(isJsonNumberToken("2.5E-3"));
+    EXPECT_TRUE(isJsonNumberToken("1e+2"));
+}
+
+TEST(JsonNumberToken, RejectsStrtodExtensions)
+{
+    // strtod accepts all of these; JSON does not.
+    EXPECT_FALSE(isJsonNumberToken("+5"));
+    EXPECT_FALSE(isJsonNumberToken(".5"));
+    EXPECT_FALSE(isJsonNumberToken("5."));
+    EXPECT_FALSE(isJsonNumberToken("0x10"));
+    EXPECT_FALSE(isJsonNumberToken("inf"));
+    EXPECT_FALSE(isJsonNumberToken("infinity"));
+    EXPECT_FALSE(isJsonNumberToken("nan"));
+    EXPECT_FALSE(isJsonNumberToken(" 1"));
+    EXPECT_FALSE(isJsonNumberToken("1 "));
+}
+
+TEST(JsonNumberToken, RejectsMalformedAndLeadingZeros)
+{
+    EXPECT_FALSE(isJsonNumberToken(""));
+    EXPECT_FALSE(isJsonNumberToken("-"));
+    EXPECT_FALSE(isJsonNumberToken("1e"));
+    EXPECT_FALSE(isJsonNumberToken("1e+"));
+    EXPECT_FALSE(isJsonNumberToken("--5"));
+    EXPECT_FALSE(isJsonNumberToken("1.2.3"));
+    EXPECT_FALSE(isJsonNumberToken("007"));
+    EXPECT_FALSE(isJsonNumberToken("01.5"));
+}
+
+TEST(JsonNumberToken, RejectsOverflowToInfinity)
+{
+    // Grammar-valid but not representable as a finite double.
+    EXPECT_FALSE(isJsonNumberToken("1e999"));
+    EXPECT_FALSE(isJsonNumberToken("-1e999"));
+}
+
+TEST(JsonCell, NumbersStayUnquoted)
+{
+    EXPECT_EQ(jsonCell("42"), "42");
+    EXPECT_EQ(jsonCell("-7.5"), "-7.5");
+    EXPECT_EQ(jsonCell("2.5e-3"), "2.5e-3");
+}
+
+TEST(JsonCell, NonFiniteSpellingsAreNull)
+{
+    // The pinned NaN/Inf policy: these render as JSON null, never as
+    // a bare token (invalid JSON) or a string (type flip vs CSV).
+    EXPECT_EQ(jsonCell("nan"), "null");
+    EXPECT_EQ(jsonCell("-nan"), "null");
+    EXPECT_EQ(jsonCell("inf"), "null");
+    EXPECT_EQ(jsonCell("-inf"), "null");
+    EXPECT_EQ(jsonCell("1e999"), "null");
+}
+
+TEST(JsonCell, EverythingElseIsQuoted)
+{
+    // The old char-set heuristic emitted several of these unquoted.
+    EXPECT_EQ(jsonCell("+5"), "\"+5\"");
+    EXPECT_EQ(jsonCell("1e"), "\"1e\"");
+    EXPECT_EQ(jsonCell("--5"), "\"--5\"");
+    EXPECT_EQ(jsonCell("0x10"), "\"0x10\"");
+    EXPECT_EQ(jsonCell("1.2.3"), "\"1.2.3\"");
+    EXPECT_EQ(jsonCell("[input,output] "), "\"[input,output] \"");
+    EXPECT_EQ(jsonCell("say \"hi\""), "\"say \\\"hi\\\"\"");
+}
+
+TEST(JsonRows, PrettyMatchesQueryLayout)
+{
+    // Byte-for-byte the etpu_query --format json layout (the caller
+    // appends the final newline).
+    std::string text = jsonRows({"row", "accuracy", "cell"},
+                                {{"3", "0.9", "[input,output] "},
+                                 {"4", "nan", "x\"y"}},
+                                /*pretty=*/true);
+    EXPECT_EQ(text,
+              "[\n"
+              " {\"row\":3,\"accuracy\":0.9,"
+              "\"cell\":\"[input,output] \"},\n"
+              " {\"row\":4,\"accuracy\":null,\"cell\":\"x\\\"y\"}\n"
+              "]");
+}
+
+TEST(JsonRows, EmptyResultIsEmptyArray)
+{
+    EXPECT_EQ(jsonRows({"row"}, {}, /*pretty=*/true), "[]");
+    EXPECT_EQ(jsonRows({"row"}, {}, /*pretty=*/false), "[]");
+}
+
+TEST(JsonRows, CompactIsSingleLine)
+{
+    std::string text =
+        jsonRows({"a", "b"}, {{"1", "2"}, {"3", "nan"}},
+                 /*pretty=*/false);
+    EXPECT_EQ(text, "[{\"a\":1,\"b\":2},{\"a\":3,\"b\":null}]");
+    EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+TEST(JsonRowsDeathTest, PanicsOnRaggedRows)
+{
+    EXPECT_DEATH(jsonRows({"a", "b"}, {{"1"}}, false), "cells");
+}
+
+} // namespace

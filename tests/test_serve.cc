@@ -1,0 +1,832 @@
+/**
+ * @file
+ * Tests for the etpu_serve daemon stack, bottom-up: the strict JSON
+ * request parser (also the repo's JSON artifact checker), the request
+ * protocol grammar, the admission-controlled work queue, and an
+ * in-process end-to-end server exercised by real TCP clients —
+ * including a >=8-thread concurrent burst and a deterministic
+ * overload-to-backpressure scenario.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json_out.hh"
+#include "common/logging.hh"
+#include "common/signal.hh"
+#include "common/socket.hh"
+#include "nasbench/cell_spec.hh"
+#include "nasbench/dataset.hh"
+#include "query/row_format.hh"
+#include "serve/json.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/server.hh"
+#include "test_io_util.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::serve;
+using etpu::test::tmpPath;
+
+// ---------------------------------------------------------------------
+// Strict JSON parser (serve/json)
+
+TEST(ServeJson, ParsesScalars)
+{
+    auto v = parseJson("null");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_TRUE(v->isNull());
+    v = parseJson("true");
+    ASSERT_TRUE(v && v->isBool() && v->boolean);
+    v = parseJson("false");
+    ASSERT_TRUE(v && v->isBool() && !v->boolean);
+    v = parseJson("-12.5e2");
+    ASSERT_TRUE(v && v->isNumber());
+    EXPECT_DOUBLE_EQ(v->number, -1250.0);
+    v = parseJson("\"hi\"");
+    ASSERT_TRUE(v && v->isString());
+    EXPECT_EQ(v->string, "hi");
+}
+
+TEST(ServeJson, ParsesContainersAndWhitespace)
+{
+    auto v = parseJson(" {\"a\": [1, 2, {\"b\": null}],\r\n\t\"c\": "
+                       "\"x\"} ");
+    ASSERT_TRUE(v.has_value());
+    ASSERT_TRUE(v->isObject());
+    const JsonValue *a = v->find("a");
+    ASSERT_TRUE(a && a->isArray());
+    ASSERT_EQ(a->array.size(), 3u);
+    EXPECT_DOUBLE_EQ(a->array[0].number, 1.0);
+    ASSERT_TRUE(a->array[2].isObject());
+    EXPECT_TRUE(a->array[2].find("b")->isNull());
+    EXPECT_EQ(v->find("c")->string, "x");
+    EXPECT_EQ(v->find("missing"), nullptr);
+}
+
+TEST(ServeJson, DecodesStringEscapes)
+{
+    auto v = parseJson(R"("a\"b\\c\/d\n\t\r\b\fA")");
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string, "a\"b\\c/d\n\t\r\b\fA");
+}
+
+TEST(ServeJson, DecodesSurrogatePairs)
+{
+    auto v = parseJson(R"("😀")"); // U+1F600, as UTF-8
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(v->string, "\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, RejectsLoneAndMispairedSurrogates)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson(R"("\ud800")", &error).has_value());
+    EXPECT_NE(error.find("byte"), std::string::npos);
+    EXPECT_FALSE(parseJson(R"("\ud800x")").has_value());
+    EXPECT_FALSE(parseJson(R"("\ud800A")").has_value());
+    EXPECT_FALSE(parseJson(R"("\ude00")").has_value());
+}
+
+TEST(ServeJson, RejectsRawControlCharacters)
+{
+    EXPECT_FALSE(parseJson("\"a\nb\"").has_value());
+    EXPECT_FALSE(parseJson(std::string("\"a\x01z\"")).has_value());
+}
+
+TEST(ServeJson, RejectsMalformedDocuments)
+{
+    for (const char *bad :
+         {"", "   ", "{", "}", "[1,]", "{\"a\":}", "{\"a\" 1}",
+          "{'a':1}", "[1 2]", "nul", "tru", "{} {}", "{}x", "1x",
+          "\"unterminated", "[1],", "{\"a\":1,}", "//c", "NaN",
+          "Infinity", "-", "+1", ".5", "5.", "01", "0x10", "1e",
+          "1e+"}) {
+        std::string error;
+        EXPECT_FALSE(parseJson(bad, &error).has_value()) << bad;
+        EXPECT_NE(error.find("byte"), std::string::npos) << bad;
+    }
+}
+
+TEST(ServeJson, RejectsDuplicateKeys)
+{
+    std::string error;
+    EXPECT_FALSE(parseJson(R"({"a":1,"a":2})", &error).has_value());
+    EXPECT_NE(error.find("duplicate"), std::string::npos);
+}
+
+TEST(ServeJson, RejectsNumbersOverflowingDouble)
+{
+    // Grammar-valid, but the parse must not silently deliver 0.0 or
+    // infinity for a value the protocol cannot represent.
+    EXPECT_FALSE(parseJson("1e999").has_value());
+    EXPECT_FALSE(parseJson("-1e999").has_value());
+    EXPECT_FALSE(parseJson("[1, 1e999]").has_value());
+}
+
+TEST(ServeJson, EnforcesDepthLimit)
+{
+    std::string at_limit(32, '[');
+    at_limit += std::string(32, ']');
+    EXPECT_TRUE(parseJson(at_limit).has_value());
+    std::string beyond = "[" + at_limit + "]";
+    std::string error;
+    EXPECT_FALSE(parseJson(beyond, &error).has_value());
+    EXPECT_NE(error.find("depth"), std::string::npos);
+}
+
+TEST(ServeJson, EnforcesSizeLimit)
+{
+    // Default maxBytes is 1 MiB; whitespace counts.
+    std::string big = "1" + std::string((1 << 20) + 1, ' ');
+    EXPECT_FALSE(parseJson(big).has_value());
+}
+
+TEST(ServeJson, ToJsonRoundTrips)
+{
+    for (const char *doc :
+         {"null", "true", "[1,2.5,-3]", "\"a\\\"b\"",
+          R"({"b":[{"x":null}],"a":"v"})",
+          R"({"op":"topk","k":3,"by":"latency@V2"})"}) {
+        auto v = parseJson(doc);
+        ASSERT_TRUE(v.has_value()) << doc;
+        std::string once = toJson(*v);
+        auto again = parseJson(once);
+        ASSERT_TRUE(again.has_value()) << once;
+        EXPECT_EQ(toJson(*again), once) << doc;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Request protocol
+
+TEST(ServeProtocol, ParsesEveryOp)
+{
+    EXPECT_TRUE(parseRequest(R"({"op":"ping"})").ok);
+    EXPECT_TRUE(parseRequest(R"({"op":"count"})").ok);
+    auto p =
+        parseRequest(R"({"op":"count","filter":"accuracy>=0.7"})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.op, RequestOp::Count);
+    EXPECT_FALSE(p.req.filter.empty());
+
+    p = parseRequest(R"({"op":"rows","limit":5})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.limit, 5u);
+
+    p = parseRequest(
+        R"({"op":"topk","k":3,"by":"latency@V2","order":"asc"})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.k, 3u);
+    EXPECT_EQ(p.req.order, query::SortOrder::Ascending);
+
+    p = parseRequest(
+        R"({"op":"pareto","objectives":"accuracy:max,latency@V1:min"})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.objectives.size(), 2u);
+
+    p = parseRequest(
+        R"({"op":"bucket","key":"depth","edges":[0,4,8],"agg":"accuracy"})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.edges.size(), 3u);
+    EXPECT_EQ(p.req.aggs.size(), 1u);
+
+    p = parseRequest(
+        R"({"op":"characterize","cells":["[input,conv3x3,output] 0->1 1->2"]})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.cells.size(), 1u);
+}
+
+TEST(ServeProtocol, EchoesStringAndNumberIds)
+{
+    auto p = parseRequest(R"({"op":"ping","id":"req-1"})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.id, "\"req-1\"");
+    p = parseRequest(R"({"op":"ping","id":42})");
+    ASSERT_TRUE(p.ok);
+    EXPECT_EQ(p.req.id, "42");
+    p = parseRequest(R"({"op":"ping","id":true})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.code, ErrorCode::BadRequest);
+}
+
+TEST(ServeProtocol, IdSurvivesLaterValidationFailure)
+{
+    // The id is extracted before op validation so the error response
+    // can still be correlated.
+    auto p = parseRequest(R"({"op":"nope","id":7})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.id, "7");
+    p = parseRequest(R"({"op":"topk","id":"x"})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.id, "\"x\"");
+    // ...but a document that never parsed has no id to echo.
+    p = parseRequest("not json");
+    EXPECT_FALSE(p.ok);
+    EXPECT_EQ(p.code, ErrorCode::ParseError);
+    EXPECT_TRUE(p.id.empty());
+}
+
+TEST(ServeProtocol, RejectsUnknownKeysPerOp)
+{
+    auto p = parseRequest(R"({"op":"ping","k":3})");
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("unknown key"), std::string::npos);
+    EXPECT_FALSE(parseRequest(R"({"op":"count","limit":5})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"rows","by":"accuracy"})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"characterize","filter":"depth>2"})").ok);
+}
+
+TEST(ServeProtocol, ValidatesRequestSemantics)
+{
+    EXPECT_FALSE(parseRequest("[1,2,3]").ok);
+    EXPECT_FALSE(parseRequest(R"({"id":1})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":3})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"topk"})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"topk","k":0})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"topk","k":1.5})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"topk","k":-1})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"topk","k":1,"order":"up"})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"topk","k":1,"by":"bogus"})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"count","filter":"bogus>=1"})").ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"pareto"})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"pareto","objectives":"accuracy:max"})")
+            .ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"bucket"})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"bucket","key":"depth","edges":[3]})")
+            .ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"bucket","key":"depth","edges":[4,2]})")
+            .ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"bucket","key":"depth","edges":["a","b"]})")
+            .ok);
+    EXPECT_FALSE(parseRequest(R"({"op":"characterize","cells":[]})").ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"characterize","cells":["junk"]})").ok);
+    // Parses but is not a valid NASBench cell (output unreachable).
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"characterize","cells":["[input,output] "]})")
+            .ok);
+}
+
+TEST(ServeProtocol, DelayRequiresOptIn)
+{
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"ping","delay_ms":5})", false).ok);
+    auto p = parseRequest(R"({"op":"ping","delay_ms":5})", true);
+    ASSERT_TRUE(p.ok);
+    EXPECT_DOUBLE_EQ(p.req.delayMs, 5.0);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"ping","delay_ms":-1})", true).ok);
+    EXPECT_FALSE(
+        parseRequest(R"({"op":"ping","delay_ms":10001})", true).ok);
+}
+
+TEST(ServeProtocol, BoundsCharacterizeCells)
+{
+    std::string req = R"({"op":"characterize","cells":[)";
+    for (size_t i = 0; i <= maxCharacterizeCells; i++) {
+        if (i)
+            req += ",";
+        req += "\"[input,conv3x3,output] 0->1 1->2\"";
+    }
+    req += "]}";
+    auto p = parseRequest(req);
+    EXPECT_FALSE(p.ok);
+    EXPECT_NE(p.error.find("limit"), std::string::npos);
+}
+
+TEST(ServeProtocol, ResponsesAreValidSingleLineJson)
+{
+    for (const std::string &line :
+         {okResponse("", ""), okResponse("7", ",\"count\":3"),
+          okResponse("\"a b\"", rowsPayload({"x", "y"},
+                                            {{"1", "nan"}}, 5)),
+          errorResponse("", ErrorCode::ParseError, "byte 0: bad"),
+          errorResponse("\"id\"", ErrorCode::Overloaded,
+                        "queue \"full\"")}) {
+        ASSERT_EQ(line.back(), '\n');
+        std::string body = line.substr(0, line.size() - 1);
+        EXPECT_EQ(body.find('\n'), std::string::npos);
+        auto doc = parseJson(body);
+        ASSERT_TRUE(doc.has_value()) << body;
+        ASSERT_TRUE(doc->find("status") != nullptr);
+    }
+}
+
+TEST(ServeProtocol, ResponseShapes)
+{
+    EXPECT_EQ(okResponse("", ""), "{\"status\":\"ok\"}\n");
+    EXPECT_EQ(okResponse("42", ",\"count\":1"),
+              "{\"id\":42,\"status\":\"ok\",\"count\":1}\n");
+    EXPECT_EQ(errorResponse("\"x\"", ErrorCode::ShuttingDown, "bye"),
+              "{\"id\":\"x\",\"status\":\"error\","
+              "\"code\":\"shutting_down\",\"error\":\"bye\"}\n");
+    EXPECT_EQ(rowsPayload({"a"}, {{"1"}, {"nan"}}, 7),
+              ",\"total\":7,\"rows\":[{\"a\":1},{\"a\":null}]");
+}
+
+// ---------------------------------------------------------------------
+// Admission-controlled queue
+
+Job
+makeJob(RequestOp op)
+{
+    Job j;
+    j.req.op = op;
+    return j;
+}
+
+TEST(ServeQueue, RejectsBeyondCapacityUntilPopped)
+{
+    BoundedQueue q(2);
+    EXPECT_TRUE(q.tryPush(makeJob(RequestOp::Ping)));
+    EXPECT_TRUE(q.tryPush(makeJob(RequestOp::Ping)));
+    EXPECT_FALSE(q.tryPush(makeJob(RequestOp::Ping)));
+    EXPECT_EQ(q.size(), 2u);
+    Job out;
+    EXPECT_TRUE(q.pop(out));
+    EXPECT_TRUE(q.tryPush(makeJob(RequestOp::Ping)));
+    EXPECT_FALSE(q.tryPush(makeJob(RequestOp::Ping)));
+}
+
+TEST(ServeQueue, CloseDrainsQueuedJobsFirst)
+{
+    BoundedQueue q(4);
+    EXPECT_TRUE(q.tryPush(makeJob(RequestOp::Count)));
+    EXPECT_TRUE(q.tryPush(makeJob(RequestOp::Rows)));
+    q.close();
+    EXPECT_FALSE(q.tryPush(makeJob(RequestOp::Ping)));
+    Job out;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.req.op, RequestOp::Count);
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.req.op, RequestOp::Rows);
+    EXPECT_FALSE(q.pop(out));
+}
+
+TEST(ServeQueue, CloseWakesBlockedWorker)
+{
+    BoundedQueue q(1);
+    std::atomic<bool> returned{false};
+    std::thread worker([&] {
+        Job out;
+        EXPECT_FALSE(q.pop(out));
+        returned.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(returned.load());
+    q.close();
+    worker.join();
+    EXPECT_TRUE(returned.load());
+}
+
+TEST(ServeQueue, DrainMatchingBatchesOnlyThatOp)
+{
+    BoundedQueue q(8);
+    ASSERT_TRUE(q.tryPush(makeJob(RequestOp::Characterize)));
+    ASSERT_TRUE(q.tryPush(makeJob(RequestOp::Count)));
+    ASSERT_TRUE(q.tryPush(makeJob(RequestOp::Characterize)));
+    ASSERT_TRUE(q.tryPush(makeJob(RequestOp::Characterize)));
+    Job first;
+    ASSERT_TRUE(q.pop(first));
+    EXPECT_EQ(first.req.op, RequestOp::Characterize);
+    std::vector<Job> batch;
+    q.drainMatching(RequestOp::Characterize, 1, batch);
+    ASSERT_EQ(batch.size(), 1u); // capped at max
+    q.drainMatching(RequestOp::Characterize, 8, batch);
+    ASSERT_EQ(batch.size(), 2u);
+    for (const Job &j : batch)
+        EXPECT_EQ(j.req.op, RequestOp::Characterize);
+    Job out;
+    ASSERT_TRUE(q.pop(out));
+    EXPECT_EQ(out.req.op, RequestOp::Count);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end over TCP
+
+/** One line-oriented protocol client. */
+struct Client
+{
+    SocketFd fd;
+    std::string carry;
+
+    explicit Client(uint16_t port) : fd(connectTcp(port)) {}
+
+    bool ok() const { return fd.valid(); }
+
+    bool send(std::string line)
+    {
+        line += "\n";
+        return writeAll(fd.get(), line);
+    }
+
+    std::optional<std::string> recv()
+    {
+        std::string line;
+        if (readLine(fd.get(), carry, line, 1 << 20) != LineRead::Ok)
+            return std::nullopt;
+        return line;
+    }
+
+    /** recv + strict-parse; fails the test on malformed JSON. */
+    std::optional<JsonValue> recvJson()
+    {
+        auto line = recv();
+        if (!line)
+            return std::nullopt;
+        std::string error;
+        auto doc = parseJson(*line, &error);
+        EXPECT_TRUE(doc.has_value()) << *line << ": " << error;
+        return doc;
+    }
+};
+
+/** An in-process daemon over the shared synthetic dataset. */
+class TestServer
+{
+  public:
+    explicit TestServer(ServerOptions opts) : server_(configure(opts))
+    {
+        // The shutdown flag is process-global; clear any previous
+        // test's stop before this run() starts.
+        resetShutdownSignals();
+        started_ = server_.start();
+        EXPECT_TRUE(started_);
+        if (started_)
+            runThread_ = std::thread([this] { server_.run(); });
+    }
+
+    ~TestServer() { stop(); }
+
+    void stop()
+    {
+        if (runThread_.joinable()) {
+            server_.requestStop();
+            runThread_.join();
+        }
+    }
+
+    uint16_t port() const { return server_.port(); }
+    const ServerCounters &counters() const { return server_.counters(); }
+
+    static std::string datasetPath()
+    {
+        static const std::string path = [] {
+            nas::Dataset ds;
+            for (int i = 0; i < 24; i++) {
+                nas::ModelRecord r;
+                r.spec = nas::makeChainCell({nas::Op::Conv3x3});
+                r.accuracy = 0.5f + 0.02f * static_cast<float>(i);
+                r.params = 1000u + 100u * static_cast<uint64_t>(i);
+                r.depth = static_cast<uint8_t>(2 + i % 5);
+                r.width = 1;
+                r.numConv3x3 = 1;
+                r.latencyMs = {1.0f + static_cast<float>(i),
+                               2.0f + static_cast<float>(i % 3),
+                               3.0f};
+                r.energyMj = {1.0f, 2.0f, 3.0f};
+                ds.records.push_back(r);
+            }
+            // One row with NaN accuracy: the JSON emitters must render
+            // it as null, and every query op must survive it.
+            ds.records[0].accuracy =
+                std::numeric_limits<float>::quiet_NaN();
+            std::string p = tmpPath("serve_e2e_dataset.bin");
+            ds.save(p);
+            return p;
+        }();
+        return path;
+    }
+
+  private:
+    static ServerOptions configure(ServerOptions opts)
+    {
+        if (opts.engine.datasetPath.empty())
+            opts.engine.datasetPath = datasetPath();
+        return opts;
+    }
+
+    Server server_;
+    bool started_ = false;
+    std::thread runThread_;
+};
+
+ServerOptions
+smallServerOptions()
+{
+    ServerOptions opts;
+    opts.workers = 2;
+    return opts;
+}
+
+TEST(ServeE2E, AnswersEveryOpWithStrictJson)
+{
+    TestServer server(smallServerOptions());
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    ASSERT_TRUE(c.send(R"({"op":"ping","id":"p"})"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    EXPECT_EQ(doc->find("id")->string, "p");
+
+    ASSERT_TRUE(c.send(R"({"op":"count","filter":"accuracy>=0.6"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    ASSERT_TRUE(doc->find("count")->isNumber());
+    EXPECT_GT(doc->find("count")->number, 0.0);
+
+    // rows with a limit: total reports the full match count.
+    ASSERT_TRUE(c.send(R"({"op":"rows","limit":3})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("total")->number, 24.0);
+    ASSERT_EQ(doc->find("rows")->array.size(), 3u);
+
+    ASSERT_TRUE(c.send(
+        R"({"op":"topk","k":2,"by":"latency@V1","order":"asc"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_EQ(doc->find("rows")->array.size(), 2u);
+    const JsonValue &best = doc->find("rows")->array[0];
+    EXPECT_DOUBLE_EQ(best.find("latency@V1")->number, 1.0);
+
+    ASSERT_TRUE(c.send(
+        R"({"op":"pareto","objectives":"accuracy:max,latency@V1:min"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_GT(doc->find("rows")->array.size(), 0u);
+
+    ASSERT_TRUE(c.send(
+        R"({"op":"bucket","key":"depth","agg":"accuracy,latency@V1"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    const JsonValue *rows = doc->find("rows");
+    ASSERT_TRUE(rows && rows->isArray() && !rows->array.empty());
+    // The --agg header shape: mean:<metric> keys on every group row.
+    for (const JsonValue &row : rows->array) {
+        EXPECT_TRUE(row.find("depth") != nullptr);
+        EXPECT_TRUE(row.find("count") != nullptr);
+        EXPECT_TRUE(row.find("mean:accuracy") != nullptr);
+        EXPECT_TRUE(row.find("mean:latency@V1") != nullptr);
+    }
+
+    ASSERT_TRUE(c.send(
+        R"({"op":"characterize","id":9,"cells":["[input,conv3x3,output] 0->1 1->2","[input,maxpool3x3,output] 0->1 1->2"]})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("id")->number, 9.0);
+    ASSERT_EQ(doc->find("rows")->array.size(), 2u);
+    const JsonValue &char0 = doc->find("rows")->array[0];
+    EXPECT_EQ(char0.find("cell")->string,
+              "[input,conv3x3,output] 0->1 1->2");
+    EXPECT_GT(char0.find("latency@V1")->number, 0.0);
+}
+
+TEST(ServeE2E, EmptyResultsAndNanRowsStayWellFormed)
+{
+    TestServer server(smallServerOptions());
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    // Empty result set: total 0, rows [].
+    ASSERT_TRUE(c.send(R"({"op":"rows","filter":"accuracy>=2"})"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("total")->number, 0.0);
+    ASSERT_TRUE(doc->find("rows")->isArray());
+    EXPECT_TRUE(doc->find("rows")->array.empty());
+
+    // The NaN-accuracy row comes back as null, not "nan" or a bare
+    // token that would break the strict parse above.
+    ASSERT_TRUE(c.send(R"({"op":"rows"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    size_t nulls = 0;
+    for (const JsonValue &row : doc->find("rows")->array)
+        nulls += row.find("accuracy")->isNull() ? 1u : 0u;
+    EXPECT_EQ(nulls, 1u);
+}
+
+TEST(ServeE2E, BadRequestsKeepTheConnectionUsable)
+{
+    TestServer server(smallServerOptions());
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    ASSERT_TRUE(c.send("not json at all"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "error");
+    EXPECT_EQ(doc->find("code")->string, "parse_error");
+
+    ASSERT_TRUE(c.send(R"({"op":"count","id":5,"bogus":1})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("code")->string, "bad_request");
+    EXPECT_DOUBLE_EQ(doc->find("id")->number, 5.0);
+
+    // The error taxonomy is per-request: the connection still serves.
+    ASSERT_TRUE(c.send(R"({"op":"ping"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+}
+
+TEST(ServeE2E, OversizedRequestGetsTooLargeAndCloses)
+{
+    ServerOptions opts = smallServerOptions();
+    opts.maxRequestBytes = 128;
+    TestServer server(opts);
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    std::string big = R"({"op":"ping","id":")";
+    big += std::string(512, 'x');
+    big += "\"}";
+    ASSERT_TRUE(c.send(big));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("code")->string, "too_large");
+    // Framing is lost beyond the bound, so the server hangs up.
+    EXPECT_FALSE(c.recv().has_value());
+}
+
+TEST(ServeE2E, ConcurrentBurstAnswersEveryRequest)
+{
+    ServerOptions opts;
+    opts.workers = 4;
+    opts.queueCapacity = 4096; // admission is tested separately
+    TestServer server(opts);
+
+    constexpr int kThreads = 8;
+    constexpr int kRequests = 20;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; t++) {
+        clients.emplace_back([&, t] {
+            Client c(server.port());
+            if (!c.ok()) {
+                failures.fetch_add(1);
+                return;
+            }
+            const char *ops[] = {
+                R"("op":"count","filter":"accuracy>=0.6")",
+                R"("op":"rows","limit":2)",
+                R"("op":"topk","k":1,"by":"accuracy")",
+                R"("op":"ping")",
+                R"("op":"characterize","cells":["[input,conv1x1,output] 0->1 1->2"])",
+            };
+            // Pipeline everything, then collect; responses may arrive
+            // out of order, so correlate by id.
+            std::set<double> pending;
+            for (int r = 0; r < kRequests; r++) {
+                double id = t * 1000 + r;
+                std::string req = strfmt("{\"id\":", t * 1000 + r, ",",
+                                         ops[r % 5], "}");
+                if (!c.send(req)) {
+                    failures.fetch_add(1);
+                    return;
+                }
+                pending.insert(id);
+            }
+            for (int r = 0; r < kRequests; r++) {
+                auto doc = c.recvJson();
+                if (!doc || doc->find("status")->string != "ok") {
+                    failures.fetch_add(1);
+                    return;
+                }
+                pending.erase(doc->find("id")->number);
+            }
+            if (!pending.empty())
+                failures.fetch_add(1);
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    server.stop();
+    EXPECT_EQ(server.counters().responses.load(),
+              uint64_t{kThreads} * kRequests);
+    EXPECT_EQ(server.counters().errors.load(), 0u);
+}
+
+TEST(ServeE2E, OverloadYieldsBackpressureNotBuffering)
+{
+    // One worker, a 2-deep queue and a long-running ping occupying the
+    // worker: pipelined requests beyond 1 (executing) + 2 (queued) must
+    // be rejected with "overloaded" — and every request still gets
+    // exactly one response.
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.queueCapacity = 2;
+    opts.allowDelay = true;
+    TestServer server(opts);
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    ASSERT_TRUE(c.send(R"({"op":"ping","id":0,"delay_ms":700})"));
+    // Give the worker time to pop the slow ping off the queue.
+    std::this_thread::sleep_for(std::chrono::milliseconds(150));
+    constexpr int kFollowUps = 8;
+    for (int i = 1; i <= kFollowUps; i++)
+        ASSERT_TRUE(c.send(strfmt("{\"op\":\"ping\",\"id\":", i, "}")));
+
+    int ok = 0, overloaded = 0;
+    std::set<double> answered;
+    for (int i = 0; i <= kFollowUps; i++) {
+        auto doc = c.recvJson();
+        ASSERT_TRUE(doc.has_value());
+        ASSERT_TRUE(answered.insert(doc->find("id")->number).second);
+        if (doc->find("status")->string == "ok") {
+            ok++;
+        } else {
+            EXPECT_EQ(doc->find("code")->string, "overloaded");
+            overloaded++;
+        }
+    }
+    // The slow ping + the two queued follow-ups always complete; at
+    // least kFollowUps - 2 rejections prove the queue never grew.
+    EXPECT_EQ(ok + overloaded, kFollowUps + 1);
+    EXPECT_GE(ok, 3);
+    EXPECT_GE(overloaded, kFollowUps - 2);
+    server.stop();
+    EXPECT_EQ(server.counters().overloaded.load(),
+              static_cast<uint64_t>(overloaded));
+}
+
+TEST(ServeE2E, ShutdownDrainsInFlightRequests)
+{
+    ServerOptions opts;
+    opts.workers = 1;
+    opts.allowDelay = true;
+    TestServer server(opts);
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    ASSERT_TRUE(c.send(R"({"op":"ping","id":"slow","delay_ms":400})"));
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    // Stop while the request is executing: the drain contract says it
+    // still gets its response before run() returns.
+    server.stop();
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    EXPECT_EQ(doc->find("id")->string, "slow");
+    EXPECT_FALSE(c.recv().has_value()); // then the connection closes
+}
+
+// ---------------------------------------------------------------------
+// Artifact checker: the etpu_query --format json layout
+
+TEST(ServeChecker, QueryJsonArtifactParses)
+{
+    // jsonRows(pretty) is byte-identical to what etpu_query emits;
+    // parsing it with the strict serve parser is the emitter's
+    // contract test, NaN rows and empty results included.
+    std::vector<std::string> header = query::rowHeader();
+    std::vector<std::vector<std::string>> rows;
+    rows.push_back(std::vector<std::string>(header.size(), "1.5"));
+    rows.push_back(std::vector<std::string>(header.size(), "nan"));
+    rows[0][0] = "0";
+    rows[1][0] = "1";
+    auto doc = parseJson(jsonRows(header, rows, /*pretty=*/true));
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_TRUE(doc->isArray());
+    ASSERT_EQ(doc->array.size(), 2u);
+    EXPECT_TRUE(doc->array[0].find("accuracy")->isNumber());
+    EXPECT_TRUE(doc->array[1].find("accuracy")->isNull());
+
+    auto empty = parseJson(jsonRows(header, {}, /*pretty=*/true));
+    ASSERT_TRUE(empty.has_value());
+    EXPECT_TRUE(empty->isArray());
+    EXPECT_TRUE(empty->array.empty());
+}
+
+} // namespace
