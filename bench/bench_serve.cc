@@ -14,8 +14,12 @@
  *
  * Clients run request/response lockstep (one in flight per
  * connection), so QPS measures the daemon's service rate under
- * --clients-way concurrency, not pipelining depth; the admission
- * queue never fills and every response is an "ok" (verified).
+ * --clients-way concurrency, not pipelining depth. Each client is a
+ * client::ServeClient, so an "overloaded" rejection becomes a
+ * backoff-and-retry instead of a failed run — the JSON result
+ * reports the retry/rejection counts alongside QPS, making overload
+ * visible rather than fatal. Only calls that exhaust every retry
+ * count as errors (and any error still fails the run).
  */
 
 #include <algorithm>
@@ -26,6 +30,7 @@
 #include <thread>
 #include <vector>
 
+#include "client/serve_client.hh"
 #include "common/env.hh"
 #include "common/json_out.hh"
 #include "common/logging.hh"
@@ -60,31 +65,26 @@ struct ClientResult
 {
     std::vector<double> latenciesUs;
     uint64_t errors = 0;
+    client::ClientCounters counters;
 };
 
 void
 clientLoop(uint16_t port, unsigned id, Clock::time_point deadline,
            ClientResult &result)
 {
-    SocketFd fd = connectTcp(port);
-    if (!fd.valid()) {
-        result.errors++;
-        return;
-    }
-    std::string carry;
-    std::string line;
+    client::ClientOptions copts;
+    copts.port = port;
+    copts.seed = 0x9e3779b97f4a7c15ull + id;
+    client::ServeClient cli(copts);
     size_t next = id; // desynchronize the streams across clients
     while (Clock::now() < deadline) {
-        std::string req = kRequests[next++ % kNumRequests];
-        req += "\n";
+        const char *req = kRequests[next++ % kNumRequests];
         auto t0 = Clock::now();
-        if (!writeAll(fd.get(), req) ||
-            readLine(fd.get(), carry, line, 1 << 20) != LineRead::Ok) {
-            result.errors++;
-            return;
-        }
+        client::CallResult r = cli.call(req);
         auto t1 = Clock::now();
-        if (line.find("\"status\":\"ok\"") == std::string::npos) {
+        // A retried call's latency includes its backoff: the client-
+        // observed truth under overload.
+        if (!r.answered || !r.ok) {
             result.errors++;
             continue;
         }
@@ -92,6 +92,7 @@ clientLoop(uint16_t port, unsigned id, Clock::time_point deadline,
             std::chrono::duration<double, std::micro>(t1 - t0)
                 .count());
     }
+    result.counters = cli.counters();
 }
 
 double
@@ -196,16 +197,25 @@ main(int argc, char **argv)
 
     std::vector<double> latencies;
     uint64_t errors = 0;
+    uint64_t retries = 0;
+    uint64_t rejections = 0;
+    uint64_t reconnects = 0;
     for (const ClientResult &r : results) {
         latencies.insert(latencies.end(), r.latenciesUs.begin(),
                          r.latenciesUs.end());
         errors += r.errors;
+        retries += r.counters.retries;
+        rejections += r.counters.overloaded;
+        reconnects += r.counters.reconnects;
     }
     if (latencies.empty())
         etpu_fatal("no requests completed; is the dataset readable?");
-    if (errors)
-        etpu_fatal(errors, " requests failed; a perf number over a "
-                           "broken run is worthless");
+    if (errors) {
+        // Retryable outcomes were already absorbed by the client, so
+        // anything left is a request that exhausted every attempt.
+        etpu_fatal(errors, " requests failed after retries; a perf "
+                           "number over a broken run is worthless");
+    }
     std::sort(latencies.begin(), latencies.end());
     double qps = static_cast<double>(latencies.size()) / elapsed;
     double p50 = percentile(latencies, 50.0);
@@ -214,7 +224,10 @@ main(int argc, char **argv)
     std::cout << "requests: " << fmtCount(latencies.size()) << " in "
               << fmtDouble(elapsed, 2) << " s = " << fmtDouble(qps, 1)
               << " qps\nlatency: p50 " << fmtDouble(p50, 1)
-              << " us, p99 " << fmtDouble(p99, 1) << " us\n";
+              << " us, p99 " << fmtDouble(p99, 1) << " us\n"
+              << "resilience: " << retries << " retries, "
+              << rejections << " overload rejections, " << reconnects
+              << " reconnects\n";
 
     std::ofstream json(out_path, std::ios::trunc);
     if (!json)
@@ -227,6 +240,9 @@ main(int argc, char **argv)
          << "  \"seconds\": " << fmtDouble(elapsed, 3) << ",\n"
          << "  \"requests\": " << latencies.size() << ",\n"
          << "  \"qps\": " << fmtDouble(qps, 1) << ",\n"
+         << "  \"retries\": " << retries << ",\n"
+         << "  \"overloaded\": " << rejections << ",\n"
+         << "  \"reconnects\": " << reconnects << ",\n"
          << "  \"latency_us\": {\n"
          << "    \"p50\": " << fmtDouble(p50, 1) << ",\n"
          << "    \"p99\": " << fmtDouble(p99, 1) << "\n"

@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Chaos smoke for the etpu_serve daemon: start it degraded (learned
+# backend with a model path that does not exist) under a scripted
+# ETPU_FAULT schedule that fails an accept with EMFILE and resets a
+# response write mid-stream, then drive it with the retrying
+# etpu_client. The daemon must stay up through every injected fault,
+# answer all requests (the client retries transport failures), report
+# degraded:true plus a nonzero faults_injected in its stats, and still
+# drain clean on SIGTERM.
+#
+# Usage: smoke_chaos.sh <path-to-etpu_serve> <path-to-etpu_client>
+#
+# The dataset comes from the daemon's own resolution ($ETPU_DATASET_PATH
+# / $ETPU_SAMPLE), so the ctest registration reuses the smoke_dataset
+# fixture. Prints "smoke_chaos: PASS" on success; any failure exits
+# non-zero with a diagnostic.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <path-to-etpu_serve> <path-to-etpu_client>" >&2
+    exit 2
+fi
+serve_bin=$1
+client_bin=$2
+
+workdir=$(mktemp -d)
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -KILL "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "smoke_chaos: FAIL: $*" >&2
+    echo "--- daemon stdout ---" >&2
+    cat "$workdir/stdout.log" >&2 || true
+    echo "--- daemon stderr ---" >&2
+    cat "$workdir/stderr.log" >&2 || true
+    exit 1
+}
+
+# --- start the daemon: degraded backend + fault schedule ---------------
+# socket.accept:emfile@2  — the second accept call fails once (the
+#   listener absorbs it and retries; the pending connection survives).
+# socket.write:econnreset@300 — the response write covering cumulative
+#   byte 300 fails once, killing that connection mid-stream; the
+#   client must reconnect and retry the request.
+ETPU_FAULT="socket.accept:emfile@2;socket.write:econnreset@300" \
+    "$serve_bin" --port 0 \
+    --backend learned --model "$workdir/absent.ckpt" \
+    --idle-timeout-ms 5000 --write-timeout-ms 2000 --max-connections 8 \
+    >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
+server_pid=$!
+
+port=""
+for _ in $(seq 1 100); do
+    port=$(sed -n 's/^etpu_serve listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+        "$workdir/stdout.log")
+    [ -n "$port" ] && break
+    kill -0 "$server_pid" 2>/dev/null || fail "daemon exited before listening"
+    sleep 0.2
+done
+[ -n "$port" ] || fail "no listening line after 20s"
+echo "daemon up on port $port (pid $server_pid)"
+
+# The bad model path must have been survived, not fatal'd: the daemon
+# warns and falls back to the simulator backend.
+grep -q "falling back to the simulator backend" "$workdir/stderr.log" ||
+    fail "no degraded-fallback warning in daemon stderr"
+echo "degraded startup ok (learned -> simulator fallback)"
+
+# --- drive the faults with the retrying client -------------------------
+# Enough pings that the cumulative response bytes cover the write
+# trigger at byte 300: the client must absorb one reset connection
+# (reconnect + retry) and the listener one EMFILE, and still answer
+# every request. etpu_client exits non-zero if any request fails.
+{
+    for i in $(seq 1 12); do
+        printf '{"op":"ping"}\n'
+    done
+    printf '{"op":"count","filter":"accuracy>=0.1"}\n'
+} >"$workdir/requests.ndjson"
+"$client_bin" --port "$port" --counters --backoff-ms 5 \
+    <"$workdir/requests.ndjson" \
+    >"$workdir/responses.ndjson" 2>"$workdir/client.log" ||
+    fail "etpu_client failed under the fault schedule"
+responses=$(wc -l <"$workdir/responses.ndjson")
+[ "$responses" -eq 13 ] ||
+    fail "expected 13 responses, got $responses"
+if grep -qv '"status":"ok"' "$workdir/responses.ndjson"; then
+    fail "non-ok response under faults: $(grep -v '"status":"ok"' \
+        "$workdir/responses.ndjson" | head -1)"
+fi
+cat "$workdir/client.log"
+echo "fault schedule survived ok (13/13 responses)"
+
+# --- stats must report the degradation and the injected faults ---------
+stats=$("$client_bin" --port "$port" --request '{"op":"stats"}') ||
+    fail "stats request failed"
+case $stats in
+    *'"degraded":true'*) ;;
+    *) fail "stats does not report degraded:true: $stats" ;;
+esac
+case $stats in
+    *'"backend":"simulator"'*) ;;
+    *) fail "stats does not report the fallback backend: $stats" ;;
+esac
+fired=$(printf '%s' "$stats" |
+    sed -n 's/.*"faults_injected":\([0-9]*\).*/\1/p')
+[ -n "$fired" ] || fail "stats has no faults_injected: $stats"
+[ "$fired" -ge 2 ] ||
+    fail "expected >=2 injected faults, stats says $fired"
+echo "stats ok (degraded:true, faults_injected:$fired)"
+
+# --- the daemon must still be healthy, then drain clean ----------------
+kill -0 "$server_pid" 2>/dev/null || fail "daemon died during the chaos run"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+[ "$rc" -eq 0 ] || fail "daemon exited with status $rc after SIGTERM"
+grep -q "drained" "$workdir/stderr.log" ||
+    fail "no drain report in daemon stderr"
+echo "clean shutdown ok (drained, exit 0)"
+
+echo "smoke_chaos: PASS"

@@ -40,7 +40,9 @@ fail() {
 }
 
 # --- start the daemon and learn its port ------------------------------
-"$serve_bin" --port 0 "$@" \
+# The short idle timeout feeds the slow-loris reap check below; real
+# deployments keep the 60s default.
+"$serve_bin" --port 0 --idle-timeout-ms 2000 "$@" \
     >"$workdir/stdout.log" 2>"$workdir/stderr.log" &
 server_pid=$!
 
@@ -99,8 +101,30 @@ expect_contains "$resp" '"code":"bad_request"' "unknown op"
 # The connection must still answer after both error paths.
 resp=$(roundtrip 3 '{"op":"ping","id":"after-errors"}')
 expect_contains "$resp" '"status":"ok"' "ping after errors"
+
+# The stats op answers from the reader thread with the live snapshot.
+resp=$(roundtrip 3 '{"op":"stats","id":"s"}')
+expect_contains "$resp" '"status":"ok"' "stats"
+expect_contains "$resp" '"degraded":false' "stats degraded flag"
+expect_contains "$resp" '"queue_depth":' "stats queue depth"
+expect_contains "$resp" '"idle_timeout_ms":2000' "stats timeout echo"
 exec 3>&-
-echo "scripted session ok (valid + malformed + recovery)"
+echo "scripted session ok (valid + malformed + recovery + stats)"
+
+# --- slow-loris reap --------------------------------------------------
+# A connection that starts a request and never finishes the line must
+# be closed by the idle deadline, not hold a reader thread forever.
+exec 5<>"/dev/tcp/127.0.0.1/$port"
+printf '{"op":' >&5
+loris_start=$(date +%s)
+loris_rc=0
+IFS= read -r -t 10 _ <&5 || loris_rc=$?
+loris_elapsed=$(( $(date +%s) - loris_start ))
+exec 5>&- || true
+[ "$loris_rc" -ne 0 ] || fail "slow-loris read returned a line"
+# read(1) reports timeout with rc > 128; EOF (the reap) with rc 1.
+[ "$loris_rc" -le 128 ] || fail "slow-loris not reaped within 10s"
+echo "slow-loris reaped ok (${loris_elapsed}s)"
 
 # --- concurrent pipelined burst ---------------------------------------
 clients=8

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * The etpu_client CLI: a retrying line client for etpu_serve. Reads
+ * JSON request lines (without "id" — the client injects its own for
+ * correlation) from stdin or --request, writes one response line per
+ * request to stdout, and retries transport failures and
+ * "overloaded"/"shutting_down" rejections with jittered exponential
+ * backoff. The exit status is 0 only when every request got a final
+ * response, so shell scripts (the chaos smoke) can assert end-to-end
+ * delivery through injected faults.
+ *
+ *   printf '{"op":"ping"}\n' | etpu_client --port 7077
+ *   etpu_client --port 7077 --request '{"op":"stats"}'
+ */
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "client/serve_client.hh"
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+void
+printHelp()
+{
+    std::cout <<
+        "usage: etpu_client --port N [--request JSON]... [--attempts N]"
+        "\n"
+        "                   [--timeout-ms N] [--connect-timeout-ms N]\n"
+        "                   [--backoff-ms N] [--seed N] [--counters]\n"
+        "\n"
+        "Send newline-delimited JSON requests to an etpu_serve daemon "
+        "on\n"
+        "127.0.0.1, retrying transport failures and overloaded/"
+        "shutting_down\n"
+        "rejections with jittered exponential backoff. Requests come "
+        "from\n"
+        "--request flags (in order) or, without any, stdin lines. Do "
+        "not\n"
+        "set \"id\": the client injects its own for correlation.\n"
+        "\n"
+        "  --port N         server port (required)\n"
+        "  --request JSON   one request line (repeatable)\n"
+        "  --attempts N     attempts per request (default 5)\n"
+        "  --timeout-ms N   per-attempt send/recv deadline (default "
+        "10000)\n"
+        "  --connect-timeout-ms N\n"
+        "                   connect deadline (default 2000)\n"
+        "  --backoff-ms N   first backoff step (default 10; doubles "
+        "up\n"
+        "                   to 1000)\n"
+        "  --seed N         backoff jitter seed (default 1)\n"
+        "  --counters       print the retry counters to stderr at "
+        "exit\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    client::ClientOptions opts;
+    std::vector<std::string> requests;
+    bool have_port = false;
+    bool show_counters = false;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&](long long max) {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0 || *n > max) {
+                etpu_fatal(arg, " expects an integer in [0, ", max,
+                           "], got ", text);
+            }
+            return *n;
+        };
+        if (arg == "--port") {
+            opts.port = static_cast<uint16_t>(next_count(65535));
+            have_port = true;
+        } else if (arg == "--request") {
+            requests.emplace_back(next());
+        } else if (arg == "--attempts") {
+            long long n = next_count(1 << 20);
+            if (!n)
+                etpu_fatal("--attempts expects at least 1");
+            opts.maxAttempts = static_cast<int>(n);
+        } else if (arg == "--timeout-ms") {
+            opts.callTimeoutMs = static_cast<int>(next_count(1 << 30));
+        } else if (arg == "--connect-timeout-ms") {
+            opts.connectTimeoutMs =
+                static_cast<int>(next_count(1 << 30));
+        } else if (arg == "--backoff-ms") {
+            opts.backoffBaseMs = static_cast<int>(next_count(1 << 20));
+        } else if (arg == "--seed") {
+            opts.seed = static_cast<uint64_t>(
+                next_count((1ll << 62)));
+        } else if (arg == "--counters") {
+            show_counters = true;
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg, " (see --help)");
+        }
+    }
+    if (!have_port)
+        etpu_fatal("--port is required (see --help)");
+
+    client::ServeClient cli(opts);
+    uint64_t failed = 0;
+    auto issue = [&](const std::string &request) {
+        client::CallResult r = cli.call(request);
+        if (r.answered) {
+            // The line already ends without '\n' (stripped by the
+            // reader); responses stay one per line.
+            std::cout << r.line << "\n";
+        } else {
+            failed++;
+            etpu_warn("request failed: ", r.failure);
+        }
+    };
+    if (!requests.empty()) {
+        for (const std::string &request : requests)
+            issue(request);
+    } else {
+        std::string line;
+        while (std::getline(std::cin, line)) {
+            if (line.empty())
+                continue;
+            issue(line);
+        }
+    }
+    std::cout.flush();
+    if (show_counters) {
+        const client::ClientCounters &c = cli.counters();
+        std::cerr << "etpu_client: " << c.requests << " requests, "
+                  << c.attempts << " attempts, " << c.retries
+                  << " retries, " << c.reconnects << " reconnects, "
+                  << c.overloaded << " overloaded, "
+                  << c.shuttingDown << " shutting_down, "
+                  << c.timeouts << " timeouts, " << c.failures
+                  << " failures\n";
+    }
+    return failed ? 1 : 0;
+}

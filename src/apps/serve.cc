@@ -17,6 +17,7 @@
 #include <string>
 
 #include "common/env.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "pipeline/builder.hh"
 #include "serve/server.hh"
@@ -33,6 +34,8 @@ printHelp()
         "usage: etpu_serve [--port N] [--dataset PATH] [--workers N]\n"
         "                  [--queue N] [--backend sim|learned]\n"
         "                  [--model PATH] [--allow-delay]\n"
+        "                  [--max-connections N] [--idle-timeout-ms N]\n"
+        "                  [--write-timeout-ms N]\n"
         "\n"
         "Serve etpu_query-style requests over newline-delimited JSON "
         "on\n"
@@ -56,7 +59,25 @@ printHelp()
         "or\n"
         "                  learned (requires --model)\n"
         "  --model PATH    ETPUGNN1 checkpoint for --backend learned\n"
-        "  --allow-delay   honor ping \"delay_ms\" (load tests)\n";
+        "  --allow-delay   honor ping \"delay_ms\" (load tests)\n"
+        "  --max-connections N\n"
+        "                  live-connection cap (default 256, 0 = "
+        "unlimited);\n"
+        "                  accepts beyond it are shed with an "
+        "\"overloaded\"\n"
+        "                  error line\n"
+        "  --idle-timeout-ms N\n"
+        "                  reap a connection whose next complete "
+        "request\n"
+        "                  line does not arrive within N ms (default\n"
+        "                  60000, 0 = never)\n"
+        "  --write-timeout-ms N\n"
+        "                  declare a peer dead when a response is not\n"
+        "                  accepted within N ms (default 10000, 0 = "
+        "never)\n"
+        "\n"
+        "Deterministic fault injection is armed from $ETPU_FAULT (see\n"
+        "src/common/fault.hh for the site:fault@n grammar).\n";
 }
 
 } // namespace
@@ -64,6 +85,9 @@ printHelp()
 int
 main(int argc, char **argv)
 {
+    // Chaos testing: $ETPU_FAULT arms deterministic fault injection
+    // before any socket or checkpoint I/O happens.
+    fault::initFromEnv();
     serve::ServerOptions opts;
     for (int i = 1; i < argc; i++) {
         std::string arg = argv[i];
@@ -102,6 +126,15 @@ main(int argc, char **argv)
                 etpu_fatal("--backend wants sim or learned, got ", b);
         } else if (arg == "--model") {
             opts.engine.backend.modelPath = next();
+        } else if (arg == "--max-connections") {
+            opts.maxConnections =
+                static_cast<size_t>(next_count(1 << 20));
+        } else if (arg == "--idle-timeout-ms") {
+            opts.idleTimeoutMs =
+                static_cast<int>(next_count(1 << 30));
+        } else if (arg == "--write-timeout-ms") {
+            opts.writeTimeoutMs =
+                static_cast<int>(next_count(1 << 30));
         } else if (arg == "--allow-delay") {
             opts.allowDelay = true;
         } else if (arg == "--help" || arg == "-h") {

@@ -1,0 +1,212 @@
+#include "serve_client.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/logging.hh"
+
+namespace etpu::client
+{
+
+namespace
+{
+
+/**
+ * Metadata scraped from a response line's fixed prefix. The server
+ * always emits {"id":...,"status":...[,"code":...]} in that order
+ * (protocol.cc's builders), so a prefix scan is enough — no need to
+ * parse a potentially huge row payload just to route the response.
+ */
+struct ResponseMeta
+{
+    bool valid = false;   //!< prefix matched the protocol shape
+    bool hasId = false;
+    uint64_t id = 0;
+    bool ok = false;      //!< "status":"ok"
+    std::string code;     //!< error code token when !ok
+};
+
+bool
+consume(std::string_view &rest, std::string_view token)
+{
+    if (rest.substr(0, token.size()) != token)
+        return false;
+    rest.remove_prefix(token.size());
+    return true;
+}
+
+ResponseMeta
+scrapeMeta(std::string_view line)
+{
+    ResponseMeta meta;
+    std::string_view rest = line;
+    if (!consume(rest, "{"))
+        return meta;
+    if (consume(rest, "\"id\":")) {
+        uint64_t id = 0;
+        size_t digits = 0;
+        while (digits < rest.size() && rest[digits] >= '0' &&
+               rest[digits] <= '9') {
+            id = id * 10 + static_cast<uint64_t>(rest[digits] - '0');
+            digits++;
+        }
+        // Ids this client injects are numeric; anything else means
+        // the line is not an answer to us.
+        if (!digits)
+            return meta;
+        meta.hasId = true;
+        meta.id = id;
+        rest.remove_prefix(digits);
+        if (!consume(rest, ","))
+            return meta;
+    }
+    if (!consume(rest, "\"status\":\""))
+        return meta;
+    if (consume(rest, "ok\"")) {
+        meta.ok = true;
+        meta.valid = true;
+        return meta;
+    }
+    if (!consume(rest, "error\",\"code\":\""))
+        return meta;
+    size_t end = rest.find('"');
+    if (end == std::string_view::npos)
+        return meta;
+    meta.code = std::string(rest.substr(0, end));
+    meta.valid = true;
+    return meta;
+}
+
+} // namespace
+
+void
+ServeClient::disconnect()
+{
+    fd_.reset();
+    carry_.clear();
+}
+
+bool
+ServeClient::ensureConnected()
+{
+    if (fd_.valid())
+        return true;
+    fd_ = connectTcp(opts_.port, opts_.connectTimeoutMs);
+    if (!fd_.valid())
+        return false;
+    carry_.clear();
+    counters_.reconnects++;
+    return true;
+}
+
+CallResult
+ServeClient::call(std::string_view request)
+{
+    counters_.requests++;
+    CallResult result;
+    std::string failure = "no attempts made";
+    for (int attempt = 0; attempt < std::max(1, opts_.maxAttempts);
+         attempt++) {
+        if (attempt > 0) {
+            counters_.retries++;
+            int ceiling = opts_.backoffBaseMs
+                          << std::min(attempt - 1, 20);
+            double jittered =
+                std::min(ceiling, opts_.backoffMaxMs) *
+                rng_.uniform(0.5, 1.5);
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(jittered));
+        }
+        counters_.attempts++;
+        if (!ensureConnected()) {
+            failure = strfmt("cannot connect to 127.0.0.1:",
+                             opts_.port);
+            continue;
+        }
+
+        // Inject "id":N right after the opening brace; lockstep
+        // correlation survives a stack of protocol errors because
+        // even error responses echo the id.
+        uint64_t id = nextId_++;
+        size_t brace = request.find('{');
+        if (brace == std::string_view::npos) {
+            result.failure = "request is not a JSON object line";
+            counters_.failures++;
+            return result;
+        }
+        size_t after = request.find_first_not_of(" \t",
+                                                 brace + 1);
+        bool empty_object =
+            after != std::string_view::npos && request[after] == '}';
+        std::string line = strfmt(
+            request.substr(0, brace + 1), "\"id\":", id,
+            empty_object ? "" : ",", request.substr(brace + 1), "\n");
+
+        IoStatus sent =
+            writeAllDeadline(fd_.get(), line, opts_.callTimeoutMs);
+        if (sent != IoStatus::Ok) {
+            if (sent == IoStatus::Timeout)
+                counters_.timeouts++;
+            failure = sent == IoStatus::Timeout
+                          ? "send timed out"
+                          : "send failed (connection lost)";
+            disconnect();
+            continue;
+        }
+
+        std::string response;
+        LineRead r = readLineDeadline(fd_.get(), carry_, response,
+                                      opts_.maxResponseBytes,
+                                      opts_.callTimeoutMs);
+        if (r != LineRead::Ok) {
+            if (r == LineRead::Timeout) {
+                counters_.timeouts++;
+                failure = "response timed out";
+            } else if (r == LineRead::Eof) {
+                failure = "server closed the connection";
+            } else if (r == LineRead::TooLong) {
+                failure = strfmt("response exceeds the ",
+                                 opts_.maxResponseBytes,
+                                 "-byte bound");
+            } else {
+                failure = "read failed (connection lost)";
+            }
+            disconnect();
+            continue;
+        }
+
+        ResponseMeta meta = scrapeMeta(response);
+        if (!meta.valid || !meta.hasId || meta.id != id) {
+            // The stream answered something else (or garbage): its
+            // framing state is unknown, so resynchronize by
+            // reconnecting.
+            failure = "response correlation failed";
+            disconnect();
+            continue;
+        }
+        if (!meta.ok && (meta.code == "overloaded" ||
+                         meta.code == "shutting_down")) {
+            // The server's explicit back-off signals; the connection
+            // itself is still good.
+            if (meta.code == "overloaded")
+                counters_.overloaded++;
+            else
+                counters_.shuttingDown++;
+            failure = strfmt("server answered \"", meta.code, "\"");
+            continue;
+        }
+        result.answered = true;
+        result.ok = meta.ok;
+        result.line = std::move(response);
+        result.code = std::move(meta.code);
+        return result;
+    }
+    counters_.failures++;
+    result.failure = strfmt(failure, " after ",
+                            std::max(1, opts_.maxAttempts),
+                            " attempts");
+    return result;
+}
+
+} // namespace etpu::client

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Retrying client for the etpu_serve protocol: connect/reconnect,
+ * per-attempt deadlines, request/response correlation by an injected
+ * numeric id, and jittered exponential backoff on the retryable
+ * outcomes (transport failures, "overloaded", "shutting_down"). The
+ * CLI (etpu_client), the serve benchmark and the chaos smoke all sit
+ * on this one implementation, so overload and fault-injection runs
+ * report the same retry taxonomy everywhere.
+ *
+ * Retry policy (per call):
+ *
+ *   retryable    connect failure, send failure/timeout, read
+ *                failure/EOF/timeout, id mismatch (stream state
+ *                unknown → reconnect), "overloaded" and
+ *                "shutting_down" error responses (the server's
+ *                explicit back-off signals)
+ *   final        any "ok" response, and the deterministic errors
+ *                (parse_error / bad_request / too_large / internal) —
+ *                retrying a malformed request cannot fix it, so the
+ *                response is returned to the caller as-is
+ *
+ * Backoff between attempts is min(backoffMaxMs, backoffBaseMs << k)
+ * scaled by a uniform [0.5, 1.5) jitter from a seeded etpu::Rng —
+ * deterministic in tests, desynchronized across real client fleets.
+ *
+ * Not thread-safe: one ServeClient per thread (it owns one socket and
+ * runs the protocol in lockstep — one request, then its response).
+ */
+
+#ifndef ETPU_CLIENT_SERVE_CLIENT_HH
+#define ETPU_CLIENT_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/rng.hh"
+#include "common/socket.hh"
+
+namespace etpu::client
+{
+
+/** Client configuration. */
+struct ClientOptions
+{
+    /** Server port on 127.0.0.1. */
+    uint16_t port = 0;
+    /** Deadline for establishing a connection (ms, <0 = kernel). */
+    int connectTimeoutMs = 2000;
+    /**
+     * Per-attempt I/O deadline (ms): the send must be accepted and
+     * the full response line must arrive each within this window.
+     * <= 0 disables (blocks forever — tests only).
+     */
+    int callTimeoutMs = 10'000;
+    /** Attempts per call() before giving up (>= 1). */
+    int maxAttempts = 5;
+    /** First backoff step (ms); doubles each retry. */
+    int backoffBaseMs = 10;
+    /** Backoff ceiling (ms). */
+    int backoffMaxMs = 1000;
+    /** Response line size bound (the server sends big row sets). */
+    size_t maxResponseBytes = size_t{64} << 20;
+    /** Jitter seed (deterministic backoff schedules in tests). */
+    uint64_t seed = 1;
+};
+
+/** Per-client outcome counters (cumulative across calls). */
+struct ClientCounters
+{
+    uint64_t requests = 0;     //!< call() invocations
+    uint64_t attempts = 0;     //!< wire attempts (>= requests)
+    uint64_t retries = 0;      //!< attempts after the first
+    uint64_t reconnects = 0;   //!< sockets (re)established
+    uint64_t overloaded = 0;   //!< "overloaded" responses seen
+    uint64_t shuttingDown = 0; //!< "shutting_down" responses seen
+    uint64_t timeouts = 0;     //!< send/recv deadline expiries
+    uint64_t failures = 0;     //!< calls that exhausted maxAttempts
+};
+
+/** Outcome of one call(). */
+struct CallResult
+{
+    /** A response line arrived (its status may still be an error). */
+    bool answered = false;
+    /** answered with {"status":"ok",...}. */
+    bool ok = false;
+    /** The response line, newline stripped (valid iff answered). */
+    std::string line;
+    /** The error code token when answered && !ok. */
+    std::string code;
+    /** Transport diagnostic when !answered (attempts exhausted). */
+    std::string failure;
+};
+
+/** One lockstep connection to an etpu_serve daemon, with retries. */
+class ServeClient
+{
+  public:
+    explicit ServeClient(ClientOptions opts)
+        : opts_(opts), rng_(opts.seed)
+    {
+    }
+
+    /**
+     * Issue @p request — a JSON object line *without* an "id" key
+     * (the client injects its own numeric id for correlation; a
+     * caller-supplied id would collide and is rejected by the
+     * server's duplicate-key check). Blocks through reconnects and
+     * backoff until a final response arrives or maxAttempts is
+     * exhausted.
+     */
+    CallResult call(std::string_view request);
+
+    /** Drop the connection (the next call reconnects). */
+    void disconnect();
+
+    /** Whether a socket is currently established. */
+    bool connected() const { return fd_.valid(); }
+
+    const ClientCounters &counters() const { return counters_; }
+
+  private:
+    bool ensureConnected();
+
+    ClientOptions opts_;
+    SocketFd fd_;
+    std::string carry_;
+    uint64_t nextId_ = 1;
+    Rng rng_;
+    ClientCounters counters_;
+};
+
+} // namespace etpu::client
+
+#endif // ETPU_CLIENT_SERVE_CLIENT_HH

@@ -1,0 +1,244 @@
+#include "fault.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <mutex>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace etpu::fault
+{
+
+namespace detail
+{
+
+std::atomic<uint32_t> armedMask{0};
+
+} // namespace detail
+
+namespace
+{
+
+/** One armed site's script plus its consumption state. */
+struct SiteState
+{
+    bool armed = false;
+    bool sticky = false;
+    uint64_t trigger = 0;  //!< 1-based unit the fault fires at
+    int err = 0;           //!< errno to inject (0 = synthetic failure)
+    uint64_t consumed = 0; //!< units consumed since arming
+    uint64_t fired = 0;
+};
+
+std::mutex stateMutex;
+SiteState states[numSites];
+
+void
+publishMask()
+{
+    uint32_t mask = 0;
+    for (size_t i = 0; i < numSites; i++) {
+        if (states[i].armed)
+            mask |= 1u << i;
+    }
+    detail::armedMask.store(mask, std::memory_order_relaxed);
+}
+
+constexpr struct
+{
+    std::string_view name;
+    Site site;
+} siteTable[] = {
+    {"socket.read", Site::SocketRead},
+    {"socket.write", Site::SocketWrite},
+    {"socket.accept", Site::SocketAccept},
+    {"socket.connect", Site::SocketConnect},
+    {"serialize.read", Site::SerializeRead},
+    {"checkpoint.load", Site::CheckpointLoad},
+};
+
+constexpr struct
+{
+    std::string_view name;
+    int err;
+} faultTable[] = {
+    {"epipe", EPIPE},
+    {"emfile", EMFILE},
+    {"enfile", ENFILE},
+    {"econnaborted", ECONNABORTED},
+    {"econnreset", ECONNRESET},
+    {"etimedout", ETIMEDOUT},
+    {"eio", EIO},
+    {"enomem", ENOMEM},
+    {"enospc", ENOSPC},
+    {"eagain", EAGAIN},
+    // Synthetic kinds: the site fails without a system error — a
+    // short read, a clean peer close, an unloadable file.
+    {"short", 0},
+    {"truncate", 0},
+    {"eof", 0},
+    {"fail", 0},
+};
+
+/** Parse one "site:fault@n[+]" clause; warn + false on junk. */
+bool
+armClause(std::string_view clause)
+{
+    size_t colon = clause.find(':');
+    size_t at = clause.rfind('@');
+    if (colon == std::string_view::npos ||
+        at == std::string_view::npos || at < colon) {
+        etpu_warn("ETPU_FAULT clause \"", clause,
+                  "\" is not site:fault@n[+]");
+        return false;
+    }
+    std::string_view site_name = clause.substr(0, colon);
+    std::string_view fault_name =
+        clause.substr(colon + 1, at - colon - 1);
+    std::string_view count = clause.substr(at + 1);
+
+    const Site *site = nullptr;
+    for (const auto &entry : siteTable) {
+        if (entry.name == site_name)
+            site = &entry.site;
+    }
+    if (!site) {
+        etpu_warn("ETPU_FAULT clause \"", clause,
+                  "\" names unknown site \"", site_name, "\"");
+        return false;
+    }
+    const int *err = nullptr;
+    for (const auto &entry : faultTable) {
+        if (entry.name == fault_name)
+            err = &entry.err;
+    }
+    if (!err) {
+        etpu_warn("ETPU_FAULT clause \"", clause,
+                  "\" names unknown fault \"", fault_name, "\"");
+        return false;
+    }
+    bool sticky = !count.empty() && count.back() == '+';
+    if (sticky)
+        count.remove_suffix(1);
+    auto n = parseInt(count);
+    if (!n || *n < 1) {
+        etpu_warn("ETPU_FAULT clause \"", clause,
+                  "\" wants a 1-based unit count, got \"", count,
+                  "\"");
+        return false;
+    }
+    SiteState &s = states[static_cast<size_t>(*site)];
+    s = SiteState{};
+    s.armed = true;
+    s.sticky = sticky;
+    s.trigger = static_cast<uint64_t>(*n);
+    s.err = *err;
+    return true;
+}
+
+} // namespace
+
+namespace detail
+{
+
+bool
+shouldFailSlow(Site site, uint64_t units, int &injected_errno)
+{
+    std::lock_guard lock(stateMutex);
+    SiteState &s = states[static_cast<size_t>(site)];
+    if (!s.armed)
+        return false;
+    uint64_t before = s.consumed;
+    s.consumed += units;
+    // Fire when the 1-based trigger unit falls inside (before,
+    // consumed]; a sticky script fires on that span and every later
+    // one.
+    bool fire = s.sticky
+                    ? s.consumed >= s.trigger
+                    : (s.trigger > before && s.trigger <= s.consumed);
+    if (!fire)
+        return false;
+    s.fired++;
+    injected_errno = s.err;
+    if (!s.sticky) {
+        s.armed = false;
+        publishMask();
+    }
+    return true;
+}
+
+} // namespace detail
+
+std::string_view
+siteName(Site site)
+{
+    for (const auto &entry : siteTable) {
+        if (entry.site == site)
+            return entry.name;
+    }
+    return "unknown";
+}
+
+bool
+configure(std::string_view schedule)
+{
+    if (schedule.empty()) {
+        etpu_warn("ETPU_FAULT schedule is empty");
+        return false;
+    }
+    bool all_ok = true;
+    std::lock_guard lock(stateMutex);
+    size_t pos = 0;
+    while (pos <= schedule.size()) {
+        size_t semi = schedule.find(';', pos);
+        if (semi == std::string_view::npos)
+            semi = schedule.size();
+        std::string_view clause = schedule.substr(pos, semi - pos);
+        if (!clause.empty())
+            all_ok = armClause(clause) && all_ok;
+        pos = semi + 1;
+    }
+    publishMask();
+    return all_ok;
+}
+
+void
+reset()
+{
+    std::lock_guard lock(stateMutex);
+    for (SiteState &s : states)
+        s = SiteState{};
+    publishMask();
+}
+
+bool
+initFromEnv()
+{
+    const char *schedule = std::getenv("ETPU_FAULT");
+    if (!schedule || !*schedule)
+        return false;
+    if (!configure(schedule))
+        return false;
+    etpu_inform("fault injection armed from ETPU_FAULT=", schedule);
+    return true;
+}
+
+uint64_t
+firedCount(Site site)
+{
+    std::lock_guard lock(stateMutex);
+    return states[static_cast<size_t>(site)].fired;
+}
+
+uint64_t
+firedTotal()
+{
+    std::lock_guard lock(stateMutex);
+    uint64_t total = 0;
+    for (const SiteState &s : states)
+        total += s.fired;
+    return total;
+}
+
+} // namespace etpu::fault

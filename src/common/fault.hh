@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deterministic fault injection for the I/O paths the serve daemon
+ * and the cache/checkpoint loaders depend on. Production code asks
+ * "should this site fail now?" at each injection point; tests and the
+ * chaos suite arm sites with an exact trigger so "the 3rd accept()
+ * returns EMFILE" or "the stream read covering byte 100 truncates"
+ * reproduce on demand instead of waiting for a hostile kernel.
+ *
+ * Sites are armed programmatically (configure()) or from the
+ * ETPU_FAULT environment variable (initFromEnv(), called by the serve
+ * daemon and etpu_client at startup):
+ *
+ *   ETPU_FAULT=<site>:<fault>@<n>[+][;<site>:<fault>@<n>[+]]...
+ *
+ *   socket.accept:emfile@2      the 2nd accept() fails once, EMFILE
+ *   socket.write:epipe@4096+    every write from byte 4096 on, EPIPE
+ *   serialize.read:short@100    the stream read covering byte 100
+ *                               reports truncation, once
+ *   checkpoint.load:fail@1      the 1st checkpoint load fails
+ *
+ * <n> is 1-based and counts the *units* a site consumes since it was
+ * armed — calls for socket.accept / socket.connect / checkpoint.load,
+ * bytes for socket.read / socket.write / serialize.read (a fault
+ * whose trigger falls anywhere inside one read/write span fails that
+ * whole call). A bare @n fires exactly once and disarms; @n+ is
+ * sticky and fires on every unit from n onward. <fault> is a
+ * lower-case errno name (epipe, emfile, enfile, econnaborted,
+ * econnreset, etimedout, eio, enomem, enospc, eagain) or one of the
+ * synthetic kinds short / truncate / eof / fail (errno 0: the site
+ * reports failure without a system error — a short read, a peer
+ * close, an unloadable file).
+ *
+ * Compiled in by default, zero-cost when disabled: the fast path is
+ * one relaxed atomic load of a site bitmask (see shouldFail()), so
+ * the cache loaders' per-field reads pay nothing in production.
+ * Arming/disarming is test-orchestration, not a hot path — the slow
+ * path serializes on a mutex so one-shot triggers fire exactly once
+ * even with concurrent readers/writers on the same site.
+ */
+
+#ifndef ETPU_COMMON_FAULT_HH
+#define ETPU_COMMON_FAULT_HH
+
+#include <atomic>
+#include <cstdint>
+#include <string_view>
+
+namespace etpu::fault
+{
+
+/** Injection points threaded through the production code. */
+enum class Site : uint8_t
+{
+    SocketRead,     //!< socket.read: readLine* byte stream
+    SocketWrite,    //!< socket.write: writeAll* byte stream
+    SocketAccept,   //!< socket.accept: accept(2) calls
+    SocketConnect,  //!< socket.connect: connect(2) calls
+    SerializeRead,  //!< serialize.read: BinaryReader byte stream
+    CheckpointLoad, //!< checkpoint.load: gnn::loadCheckpoint calls
+};
+
+inline constexpr size_t numSites = 6;
+
+/** Wire spelling of @p site ("socket.read", ...). */
+std::string_view siteName(Site site);
+
+namespace detail
+{
+
+/** Bit i set iff site i is armed; the only state the fast path sees. */
+extern std::atomic<uint32_t> armedMask;
+
+bool shouldFailSlow(Site site, uint64_t units, int &injected_errno);
+
+} // namespace detail
+
+/**
+ * Consume @p units units at @p site and report whether the armed
+ * trigger falls inside this span.
+ *
+ * @param units Calls (1) or bytes this operation covers.
+ * @param injected_errno When non-null and the fault fires, receives
+ *        the scripted errno (0 for the synthetic short/eof kinds).
+ * @return true iff the caller must fail this operation.
+ */
+inline bool
+shouldFail(Site site, uint64_t units = 1, int *injected_errno = nullptr)
+{
+    uint32_t mask = detail::armedMask.load(std::memory_order_relaxed);
+    if (!(mask & (1u << static_cast<unsigned>(site))))
+        return false;
+    int err = 0;
+    bool fire = detail::shouldFailSlow(site, units, err);
+    if (fire && injected_errno)
+        *injected_errno = err;
+    return fire;
+}
+
+/**
+ * Arm sites from a schedule string (the ETPU_FAULT grammar above).
+ * Previously armed sites named again are re-armed; others persist.
+ *
+ * @return false (with a warning naming the bad clause) when any
+ *         clause is malformed; well-formed clauses before it are
+ *         still armed.
+ */
+bool configure(std::string_view schedule);
+
+/** Disarm every site and zero all unit/fired counters. */
+void reset();
+
+/**
+ * Arm from $ETPU_FAULT if set (warning on a malformed schedule, like
+ * every other env knob). Idempotent per call; returns true when a
+ * schedule was armed.
+ */
+bool initFromEnv();
+
+/** Faults fired at @p site since the last reset()/configure(). */
+uint64_t firedCount(Site site);
+
+/** Faults fired across all sites since the last reset(). */
+uint64_t firedTotal();
+
+} // namespace etpu::fault
+
+#endif // ETPU_COMMON_FAULT_HH

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/fault.hh"
+
 namespace etpu
 {
 
@@ -50,6 +52,11 @@ bool
 BinaryReader::tryReadRaw(void *dst, size_t len)
 {
     if (!*in_)
+        return false;
+    // Scripted truncation: the read covering the armed byte reports a
+    // short stream exactly like a truncated file would, leaving
+    // offset() at the unreadable field.
+    if (fault::shouldFail(fault::Site::SerializeRead, len))
         return false;
     in_->read(static_cast<char *>(dst),
               static_cast<std::streamsize>(len));

@@ -2,15 +2,60 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 
 namespace etpu
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Milliseconds left until @p deadline (clamped at 0). */
+int
+remainingMs(Clock::time_point deadline)
+{
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    deadline - Clock::now())
+                    .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+/**
+ * Rate-limited accept-failure warning: resource exhaustion (EMFILE
+ * under a connection flood) fails every accept in a tight poll loop,
+ * and one warning per failure would melt stderr exactly when the
+ * operator needs it most.
+ */
+void
+warnAcceptRateLimited(int err)
+{
+    static std::atomic<int64_t> lastWarnMs{-10'000};
+    int64_t now_ms =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            Clock::now().time_since_epoch())
+            .count();
+    int64_t last = lastWarnMs.load(std::memory_order_relaxed);
+    if (now_ms - last < 1000 ||
+        !lastWarnMs.compare_exchange_strong(last, now_ms)) {
+        return;
+    }
+    etpu_warn("accept() failed: ", std::strerror(err),
+              "; backing off and continuing to serve");
+}
+
+} // namespace
 
 SocketFd &
 SocketFd::operator=(SocketFd &&o) noexcept
@@ -91,8 +136,13 @@ listenTcp(uint16_t port, uint16_t &bound_port)
 }
 
 SocketFd
-connectTcp(uint16_t port)
+connectTcp(uint16_t port, int timeout_ms)
 {
+    int injected = 0;
+    if (fault::shouldFail(fault::Site::SocketConnect, 1, &injected)) {
+        errno = injected ? injected : ECONNREFUSED;
+        return {};
+    }
     SocketFd fd(::socket(AF_INET, SOCK_STREAM, 0));
     if (!fd.valid())
         return {};
@@ -100,10 +150,40 @@ connectTcp(uint16_t port)
     addr.sin_family = AF_INET;
     addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     addr.sin_port = htons(port);
-    if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        return {};
+    if (timeout_ms < 0) {
+        if (::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            return {};
+        }
+        return fd;
     }
+
+    // Deadline connect: non-blocking connect, poll for writability,
+    // then read the final verdict from SO_ERROR and restore blocking
+    // mode for the line-oriented I/O above.
+    int flags = ::fcntl(fd.get(), F_GETFL);
+    ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd.get(), reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS)
+        return {};
+    if (rc != 0) {
+        pollfd pfd{fd.get(), POLLOUT, 0};
+        int ready = ::poll(&pfd, 1, timeout_ms);
+        if (ready <= 0) {
+            errno = ready == 0 ? ETIMEDOUT : errno;
+            return {};
+        }
+        int so_error = 0;
+        socklen_t len = sizeof(so_error);
+        if (::getsockopt(fd.get(), SOL_SOCKET, SO_ERROR, &so_error,
+                         &len) != 0 ||
+            so_error != 0) {
+            errno = so_error ? so_error : errno;
+            return {};
+        }
+    }
+    ::fcntl(fd.get(), F_SETFL, flags);
     return fd;
 }
 
@@ -111,12 +191,43 @@ SocketFd
 acceptTcp(int listen_fd)
 {
     for (;;) {
-        int fd = ::accept(listen_fd, nullptr, nullptr);
+        int fd = -1;
+        int injected = 0;
+        if (fault::shouldFail(fault::Site::SocketAccept, 1,
+                              &injected)) {
+            errno = injected ? injected : ECONNABORTED;
+        } else {
+            fd = ::accept(listen_fd, nullptr, nullptr);
+        }
         if (fd >= 0)
             return SocketFd(fd);
-        if (errno == EINTR)
+        switch (errno) {
+          case EINTR:
             continue;
-        return {};
+          case ECONNABORTED:
+            // The peer gave up while queued; nothing to serve, but
+            // the listener is fine. Report give-up to the caller's
+            // poll loop rather than blocking here for the next peer.
+            warnAcceptRateLimited(errno);
+            return {};
+          case EMFILE:
+          case ENFILE:
+          case ENOBUFS:
+          case ENOMEM:
+            // Descriptor/buffer exhaustion: warn (rate-limited), shed
+            // load for a beat so close()s can free descriptors, and
+            // let the caller's poll loop keep serving.
+            warnAcceptRateLimited(errno);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(10));
+            return {};
+          default:
+            // EBADF/EINVAL after shutdown are routine; anything else
+            // is worth one line.
+            if (errno != EBADF && errno != EINVAL)
+                warnAcceptRateLimited(errno);
+            return {};
+        }
     }
 }
 
@@ -124,7 +235,17 @@ LineRead
 readLine(int fd, std::string &carry, std::string &line,
          size_t max_bytes)
 {
+    return readLineDeadline(fd, carry, line, max_bytes, -1);
+}
+
+LineRead
+readLineDeadline(int fd, std::string &carry, std::string &line,
+                 size_t max_bytes, int timeout_ms)
+{
     line.clear();
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           timeout_ms < 0 ? 0 : timeout_ms);
     for (;;) {
         size_t nl = carry.find('\n');
         if (nl != std::string::npos) {
@@ -137,11 +258,39 @@ readLine(int fd, std::string &carry, std::string &line,
         if (carry.size() > max_bytes)
             return LineRead::TooLong;
 
+        if (timeout_ms >= 0) {
+            int left = remainingMs(deadline);
+            if (left == 0)
+                return LineRead::Timeout;
+            pollfd pfd{fd, POLLIN, 0};
+            int ready = ::poll(&pfd, 1, left);
+            if (ready == 0)
+                return LineRead::Timeout;
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return LineRead::Error;
+            }
+        }
+
         char buf[4096];
         ssize_t n = ::read(fd, buf, sizeof(buf));
         if (n > 0) {
-            carry.append(buf, static_cast<size_t>(n));
-            continue;
+            int injected = 0;
+            if (fault::shouldFail(fault::Site::SocketRead,
+                                  static_cast<uint64_t>(n),
+                                  &injected)) {
+                // errno faults surface as a failed read; the synthetic
+                // kinds (eof/short) as a peer close.
+                if (injected) {
+                    errno = injected;
+                    return LineRead::Error;
+                }
+                n = 0;
+            } else {
+                carry.append(buf, static_cast<size_t>(n));
+                continue;
+            }
         }
         if (n == 0) {
             if (carry.empty())
@@ -160,17 +309,53 @@ readLine(int fd, std::string &carry, std::string &line,
 bool
 writeAll(int fd, std::string_view data)
 {
+    return writeAllDeadline(fd, data, -1) == IoStatus::Ok;
+}
+
+IoStatus
+writeAllDeadline(int fd, std::string_view data, int timeout_ms)
+{
+    Clock::time_point deadline =
+        Clock::now() + std::chrono::milliseconds(
+                           timeout_ms < 0 ? 0 : timeout_ms);
     while (!data.empty()) {
-        ssize_t n = ::write(fd, data.data(), data.size());
+        int flags = MSG_NOSIGNAL;
+        if (timeout_ms >= 0) {
+            int left = remainingMs(deadline);
+            if (left == 0)
+                return IoStatus::Timeout;
+            pollfd pfd{fd, POLLOUT, 0};
+            int ready = ::poll(&pfd, 1, left);
+            if (ready == 0)
+                return IoStatus::Timeout;
+            if (ready < 0) {
+                if (errno == EINTR)
+                    continue;
+                return IoStatus::Error;
+            }
+            // POLLOUT means *some* room, not data.size() bytes of it;
+            // MSG_DONTWAIT keeps a large response from re-blocking
+            // behind a peer that stopped reading after the poll.
+            flags |= MSG_DONTWAIT;
+        }
+        int injected = 0;
+        if (fault::shouldFail(fault::Site::SocketWrite, data.size(),
+                              &injected)) {
+            errno = injected ? injected : EPIPE;
+            return IoStatus::Error;
+        }
+        ssize_t n = ::send(fd, data.data(), data.size(), flags);
         if (n > 0) {
             data.remove_prefix(static_cast<size_t>(n));
             continue;
         }
-        if (n < 0 && errno == EINTR)
+        if (n < 0 && (errno == EINTR || errno == EAGAIN ||
+                      errno == EWOULDBLOCK)) {
             continue;
-        return false;
+        }
+        return IoStatus::Error;
     }
-    return true;
+    return IoStatus::Ok;
 }
 
 } // namespace etpu

@@ -68,12 +68,23 @@ class SocketFd
  */
 SocketFd listenTcp(uint16_t port, uint16_t &bound_port);
 
-/** Connect to 127.0.0.1:@p port; invalid SocketFd on failure. */
-SocketFd connectTcp(uint16_t port);
+/**
+ * Connect to 127.0.0.1:@p port; invalid SocketFd on failure.
+ *
+ * @param timeout_ms Connect deadline in milliseconds; < 0 blocks
+ *        until the kernel gives up (the classic behavior).
+ */
+SocketFd connectTcp(uint16_t port, int timeout_ms = -1);
 
 /**
- * Accept one connection; blocks. @return invalid SocketFd when the
- * listener was shut down or accept failed.
+ * Accept one connection; blocks. Transient failures are absorbed:
+ * EINTR/ECONNABORTED retry immediately, and descriptor/buffer
+ * exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) warns (rate-limited),
+ * backs off briefly and returns invalid so the caller's poll loop
+ * keeps serving instead of spinning or silently dropping the event.
+ *
+ * @return invalid SocketFd when the listener was shut down or accept
+ *         failed after the handling above.
  */
 SocketFd acceptTcp(int listen_fd);
 
@@ -89,13 +100,47 @@ enum class LineRead : uint8_t
     Eof,      //!< peer closed cleanly with no pending bytes
     TooLong,  //!< line exceeded max_bytes (framing is now lost)
     Error,    //!< read(2) failed (connection reset, shutdown, ...)
+    Timeout,  //!< the deadline expired before a complete line arrived
 };
 
 LineRead readLine(int fd, std::string &carry, std::string &line,
                   size_t max_bytes);
 
-/** Write all of @p data; false on any error (EPIPE included). */
+/**
+ * readLine with a deadline: the *complete* line must arrive within
+ * @p timeout_ms of this call, however slowly the bytes trickle in —
+ * a slow-loris peer feeding one byte per poll interval and a half-open
+ * peer sending nothing both surface as LineRead::Timeout. Poll-based;
+ * the fd stays blocking. @p timeout_ms < 0 means no deadline
+ * (identical to readLine).
+ */
+LineRead readLineDeadline(int fd, std::string &carry, std::string &line,
+                          size_t max_bytes, int timeout_ms);
+
+/**
+ * Write all of @p data; false on any error (EPIPE included — writes
+ * use send(MSG_NOSIGNAL), so a peer vanishing mid-response is a
+ * return value, never a process-killing SIGPIPE).
+ */
 bool writeAll(int fd, std::string_view data);
+
+/** Outcome of a deadline-bounded write. */
+enum class IoStatus : uint8_t
+{
+    Ok,
+    Timeout, //!< the peer stopped reading and the deadline expired
+    Error,   //!< send failed (EPIPE, ECONNRESET, ...)
+};
+
+/**
+ * writeAll with a deadline: all of @p data must be accepted by the
+ * kernel within @p timeout_ms or the write reports Timeout — a worker
+ * never wedges behind a peer that stopped reading. Poll-based
+ * (POLLOUT + MSG_DONTWAIT); the fd stays blocking for readers.
+ * @p timeout_ms < 0 means no deadline.
+ */
+IoStatus writeAllDeadline(int fd, std::string_view data,
+                          int timeout_ms);
 
 } // namespace etpu
 

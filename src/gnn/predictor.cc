@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/checksum.hh"
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/serialize.hh"
 
@@ -239,6 +240,11 @@ loadCheckpoint(const std::string &path, CheckpointBundle &out,
                uint32_t *payload_crc)
 {
     out.models.clear();
+    if (fault::shouldFail(fault::Site::CheckpointLoad)) {
+        etpu_warn("checkpoint ", path,
+                  " load failed (injected fault)");
+        return false;
+    }
     BinaryReader r(path);
     if (!r.ok()) {
         etpu_warn("cannot open checkpoint ", path);

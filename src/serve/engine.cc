@@ -28,22 +28,40 @@ ServeEngine::ServeEngine(const EngineOptions &opts, unsigned workers)
         simContexts_.resize(workers);
         return;
     }
+
+    // Learned backend: any load failure degrades to the simulator
+    // instead of refusing to start — the daemon can still answer every
+    // op, just without the learned characterization speedup, and the
+    // stats op reports the sticky degraded flag so operators notice.
+    std::string failure;
     if (!gnn::loadCheckpoint(backend_.modelPath, bundle_)) {
-        etpu_fatal("learned backend: cannot load checkpoint ",
-                   backend_.modelPath);
+        failure = strfmt("cannot load checkpoint ",
+                         backend_.modelPath);
     }
-    for (int c = 0; c < nas::numAccelerators; c++) {
+    for (int c = 0; failure.empty() && c < nas::numAccelerators; c++) {
         auto idx = static_cast<size_t>(c);
         std::string latency_name =
             gnn::modelName(gnn::TargetMetric::Latency, c);
         latencyModels_[idx] = bundle_.find(latency_name);
         if (!latencyModels_[idx]) {
-            etpu_fatal("learned backend: checkpoint ",
-                       backend_.modelPath, " has no \"", latency_name,
-                       "\" model (train one with etpu_train)");
+            failure = strfmt("checkpoint ", backend_.modelPath,
+                             " has no \"", latency_name,
+                             "\" model (train one with etpu_train)");
         }
         energyModels_[idx] = bundle_.find(
             gnn::modelName(gnn::TargetMetric::Energy, c));
+    }
+    if (!failure.empty()) {
+        etpu_warn("learned backend: ", failure,
+                  "; falling back to the simulator backend "
+                  "(degraded)");
+        degraded_ = true;
+        backend_.kind = pipeline::Backend::Simulator;
+        bundle_.models.clear();
+        latencyModels_ = {};
+        energyModels_ = {};
+        simContexts_.resize(workers);
+        return;
     }
     if (!energyModels_[0]) {
         etpu_warn("learned backend: checkpoint ", backend_.modelPath,
@@ -118,6 +136,11 @@ ServeEngine::execute(const Request &req) const
         // server dispatch bug.
         return errorResponse(req.id, ErrorCode::Internal,
                              "characterize reached execute()");
+      case RequestOp::Stats:
+        // Answered by the reader thread from live server state; the
+        // engine has no uptime/queue visibility.
+        return errorResponse(req.id, ErrorCode::Internal,
+                             "stats reached execute()");
     }
     return errorResponse(req.id, ErrorCode::Internal, "unhandled op");
 }

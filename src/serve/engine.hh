@@ -45,8 +45,13 @@ class ServeEngine
   public:
     /**
      * Load and warm everything. Fatal (like the CLIs) on a damaged
-     * cache or an unloadable checkpoint — a server that cannot answer
-     * must not start.
+     * cache — a server with no data cannot answer anything. A learned
+     * backend whose checkpoint fails to load (missing file, CRC
+     * mismatch, fault-injected read, missing latency models) instead
+     * *degrades*: the engine warns, falls back to the simulator
+     * backend and raises the sticky degraded() flag that the stats op
+     * surfaces — the daemon keeps serving rather than refusing to
+     * start.
      *
      * @param workers Worker-slot count (resolveWorkerCount result).
      */
@@ -59,6 +64,20 @@ class ServeEngine
 
     /** Rows in the warmed index. */
     size_t datasetRows() const { return idx_.size(); }
+
+    /**
+     * Sticky: true when the configured learned backend could not be
+     * loaded and the engine fell back to the simulator.
+     */
+    bool degraded() const { return degraded_; }
+
+    /** Active characterize backend: "simulator" or "learned". */
+    std::string_view backendName() const
+    {
+        return backend_.kind == pipeline::Backend::Simulator
+                   ? "simulator"
+                   : "learned";
+    }
 
     /**
      * Execute one non-characterize request and build its complete
@@ -83,6 +102,7 @@ class ServeEngine
   private:
     query::DatasetIndex idx_;
     pipeline::BackendSpec backend_;
+    bool degraded_ = false;
 
     /** Per-worker simulator pipelines (Simulator backend). */
     std::vector<sim::EvalContext> simContexts_;

@@ -93,6 +93,8 @@ struct RequestParser
             req.op = RequestOp::Ping;
             if (allow_delay)
                 allowed.push_back("delay_ms");
+        } else if (op->string == "stats") {
+            req.op = RequestOp::Stats;
         } else if (op->string == "count") {
             req.op = RequestOp::Count;
             allowed.push_back("filter");
@@ -147,6 +149,7 @@ struct RequestParser
                 req.delayMs = delay->number;
             }
             break;
+          case RequestOp::Stats:
           case RequestOp::Count:
             break;
           case RequestOp::Rows:

@@ -30,6 +30,14 @@
  *                                        only honored when the server
  *                                        was started with --allow-delay
  *                                        (load tests)
+ *   {"op":"stats"}                       operational snapshot: uptime,
+ *                                        queue depth, live connections,
+ *                                        request counters, timeout
+ *                                        config and the degraded flag;
+ *                                        answered by the reader thread
+ *                                        directly (never queued), so it
+ *                                        works even when the work queue
+ *                                        is saturated
  *   {"op":"count","filter":EXPR}
  *   {"op":"rows"[,"filter":EXPR][,"limit":N]}
  *   {"op":"topk","k":N[,"by":METRIC][,"order":"asc"|"desc"]
@@ -64,6 +72,7 @@ namespace etpu::serve
 enum class RequestOp : uint8_t
 {
     Ping,
+    Stats,
     Count,
     Rows,
     TopK,

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <poll.h>
 
+#include "common/fault.hh"
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
 #include "common/signal.hh"
@@ -19,13 +20,21 @@ Connection::send(std::string_view line)
     std::lock_guard lock(writeMutex_);
     if (dead_.load(std::memory_order_relaxed))
         return false;
-    if (!writeAll(fd_.get(), line)) {
-        // Sticky: once a write failed mid-line the stream framing is
-        // unknown, so no later response may be attempted.
-        dead_.store(true, std::memory_order_relaxed);
-        return false;
+    IoStatus st = writeAllDeadline(fd_.get(), line, writeTimeoutMs_);
+    if (st == IoStatus::Ok)
+        return true;
+    // Sticky: once a write failed or stalled mid-line the stream
+    // framing is unknown, so no later response may be attempted.
+    dead_.store(true, std::memory_order_relaxed);
+    if (st == IoStatus::Timeout) {
+        timedOut_.store(true, std::memory_order_relaxed);
+        if (timeoutCounter_)
+            timeoutCounter_->fetch_add(1, std::memory_order_relaxed);
+        // The peer stopped reading; unblock our reader thread too so
+        // the whole connection is reaped, not just this response.
+        fd_.shutdownBoth();
     }
-    return true;
+    return false;
 }
 
 namespace
@@ -33,6 +42,9 @@ namespace
 
 /** Characterize jobs batched per queue drain (bounded stacking). */
 constexpr size_t maxCharacterizeDrain = 16;
+
+/** Accept-loop poll tick (ms): reap/prune cadence while idle. */
+constexpr int acceptTickMs = 500;
 
 } // namespace
 
@@ -46,6 +58,8 @@ Server::~Server()
         t.join();
     workerThreads_.clear();
     reapReaders(true);
+    if (started_)
+        reportStats();
 }
 
 bool
@@ -58,13 +72,17 @@ Server::start()
     listen_ = listenTcp(opts_.port, port_);
     if (!listen_.valid())
         return false;
+    startTime_ = std::chrono::steady_clock::now();
+    started_ = true;
     workerThreads_.reserve(workers_);
     for (unsigned w = 0; w < workers_; w++)
         workerThreads_.emplace_back(&Server::workerLoop, this, w);
     etpu_inform("etpu_serve: ", engine_->datasetRows(),
-                " indexed rows, ", workers_, " workers, queue bound ",
-                opts_.queueCapacity, ", listening on 127.0.0.1:",
-                port_);
+                " indexed rows, ", workers_, " workers (",
+                engine_->backendName(),
+                engine_->degraded() ? ", degraded" : "",
+                "), queue bound ", opts_.queueCapacity,
+                ", listening on 127.0.0.1:", port_);
     return true;
 }
 
@@ -80,7 +98,7 @@ Server::run()
     for (;;) {
         pollfd fds[2] = {{listen_.get(), POLLIN, 0},
                          {signalFd_, POLLIN, 0}};
-        int rc = ::poll(fds, 2, -1);
+        int rc = ::poll(fds, 2, acceptTickMs);
         if (rc < 0) {
             if (errno == EINTR) {
                 if (shutdownRequested())
@@ -92,13 +110,41 @@ Server::run()
         }
         if ((fds[1].revents & POLLIN) || shutdownRequested())
             break;
+        if (rc == 0) {
+            // Idle tick: join finished readers and drop dead
+            // connection slots so a quiet server does not accumulate
+            // state from reaped clients.
+            reapReaders(false);
+            pruneConnections();
+            continue;
+        }
         if (fds[0].revents & POLLIN) {
             SocketFd client = acceptTcp(listen_.get());
             if (client.valid()) {
+                if (opts_.maxConnections &&
+                    pruneConnections() >= opts_.maxConnections) {
+                    // Accept-shed: bounded reader threads. The error
+                    // line is best-effort (short deadline) — a client
+                    // racing us to close just sees the close.
+                    counters_.shed.fetch_add(
+                        1, std::memory_order_relaxed);
+                    counters_.errors.fetch_add(
+                        1, std::memory_order_relaxed);
+                    writeAllDeadline(
+                        client.get(),
+                        errorResponse(
+                            "", ErrorCode::Overloaded,
+                            strfmt("connection limit (",
+                                   opts_.maxConnections,
+                                   ") reached; retry later")),
+                        1000);
+                    continue;
+                }
                 counters_.accepted.fetch_add(1,
                                              std::memory_order_relaxed);
-                auto conn =
-                    std::make_shared<Connection>(std::move(client));
+                auto conn = std::make_shared<Connection>(
+                    std::move(client), opts_.writeTimeoutMs,
+                    &counters_.timeouts);
                 auto done = std::make_shared<std::atomic<bool>>(false);
                 {
                     std::lock_guard lock(connectionsMutex_);
@@ -131,10 +177,65 @@ Server::run()
     for (std::thread &t : workerThreads_)
         t.join();
     workerThreads_.clear();
+    reportStats();
+}
+
+void
+Server::reportStats()
+{
+    if (statsReported_.exchange(true, std::memory_order_relaxed))
+        return;
     etpu_inform("etpu_serve: drained; ",
                 counters_.responses.load(), " responses, ",
                 counters_.errors.load(), " errors (",
-                counters_.overloaded.load(), " overload rejections)");
+                counters_.overloaded.load(), " overload rejections, ",
+                counters_.shed.load(), " shed connections, ",
+                counters_.timeouts.load(), " timeouts)");
+}
+
+size_t
+Server::pruneConnections()
+{
+    std::lock_guard lock(connectionsMutex_);
+    size_t live = 0;
+    for (size_t i = 0; i < connections_.size();) {
+        if (connections_[i].expired()) {
+            connections_[i] = std::move(connections_.back());
+            connections_.pop_back();
+        } else {
+            live++;
+            i++;
+        }
+    }
+    return live;
+}
+
+std::string
+Server::statsPayload()
+{
+    auto uptime_s = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::seconds>(
+            std::chrono::steady_clock::now() - startTime_)
+            .count());
+    return strfmt(
+        ",\"uptime_s\":", uptime_s,
+        ",\"backend\":\"", engine_->backendName(), "\"",
+        ",\"degraded\":", engine_->degraded() ? "true" : "false",
+        ",\"workers\":", workers_,
+        ",\"queue_depth\":", queue_->size(),
+        ",\"queue_capacity\":", opts_.queueCapacity,
+        ",\"connections\":", pruneConnections(),
+        ",\"max_connections\":", opts_.maxConnections,
+        ",\"idle_timeout_ms\":", opts_.idleTimeoutMs,
+        ",\"write_timeout_ms\":", opts_.writeTimeoutMs,
+        ",\"accepted\":", counters_.accepted.load(),
+        ",\"admitted\":", counters_.admitted.load(),
+        ",\"responses\":", counters_.responses.load(),
+        ",\"errors\":", counters_.errors.load(),
+        ",\"overloaded\":", counters_.overloaded.load(),
+        ",\"shed\":", counters_.shed.load(),
+        ",\"timeouts\":", counters_.timeouts.load(),
+        ",\"faults_injected\":", fault::firedTotal());
 }
 
 void
@@ -174,10 +275,19 @@ Server::readerLoop(std::shared_ptr<Connection> conn,
     std::string carry;
     std::string line;
     for (;;) {
-        LineRead r = readLine(conn->fd(), carry, line,
-                              opts_.maxRequestBytes);
+        LineRead r = readLineDeadline(conn->fd(), carry, line,
+                                      opts_.maxRequestBytes,
+                                      opts_.idleTimeoutMs);
         if (r == LineRead::Eof || r == LineRead::Error)
             break;
+        if (r == LineRead::Timeout) {
+            // Idle reap: covers both the slow-loris peer trickling a
+            // request forever and the half-open peer sending nothing.
+            // No error line — the peer may never read it, and the
+            // framing of a partially received line is unknown anyway.
+            counters_.timeouts.fetch_add(1, std::memory_order_relaxed);
+            break;
+        }
         if (r == LineRead::TooLong) {
             // Framing is lost beyond the bound; answer and hang up.
             counters_.errors.fetch_add(1, std::memory_order_relaxed);
@@ -193,6 +303,18 @@ Server::readerLoop(std::shared_ptr<Connection> conn,
             counters_.errors.fetch_add(1, std::memory_order_relaxed);
             if (!conn->send(errorResponse(parsed.id, parsed.code,
                                           parsed.error))) {
+                break;
+            }
+            continue;
+        }
+        if (parsed.req.op == RequestOp::Stats) {
+            // Answered right here from live server state — never
+            // queued, so it works even when the work queue is
+            // saturated, and still answers during the drain.
+            counters_.responses.fetch_add(1,
+                                          std::memory_order_relaxed);
+            if (!conn->send(okResponse(parsed.req.id,
+                                       statsPayload()))) {
                 break;
             }
             continue;

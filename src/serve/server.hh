@@ -3,11 +3,14 @@
  * The etpu_serve TCP daemon. Thread model:
  *
  *   accept loop (run())     one thread, poll()s the listen socket and
- *                           the shutdown signal pipe
- *   connection readers      one per connection: read line, parse,
- *                           admit to the queue (or answer an error
- *                           immediately — see protocol.hh's state
- *                           machine)
+ *                           the shutdown signal pipe on a periodic
+ *                           tick; between accepts it reaps finished
+ *                           readers and prunes dead connections
+ *   connection readers      one per connection: read line (under the
+ *                           idle deadline), parse, admit to the queue
+ *                           (or answer an error immediately — see
+ *                           protocol.hh's state machine); "stats" is
+ *                           answered here directly, never queued
  *   worker pool             resolveWorkerCount(opts.workers) threads:
  *                           pop jobs, execute against the warmed
  *                           ServeEngine, write the response under the
@@ -16,18 +19,37 @@
  * Responses are written under a per-connection mutex, so concurrent
  * workers and the reader never interleave bytes on one socket.
  *
+ * Resilience posture (PR 8):
+ *
+ *   - Every read of a request line carries the idle deadline
+ *     (ServerOptions::idleTimeoutMs): a slow-loris peer trickling
+ *     bytes and a half-open peer sending nothing are both reaped when
+ *     the deadline expires, freeing their reader thread.
+ *   - Every response write carries the write deadline
+ *     (ServerOptions::writeTimeoutMs): a peer that stops reading
+ *     cannot wedge a worker; the connection is marked dead and both
+ *     directions are shut down so its reader unblocks too.
+ *   - Accepts beyond ServerOptions::maxConnections are shed with an
+ *     immediate "overloaded" error line and a close — bounded reader
+ *     threads, explicit backpressure.
+ *   - A learned engine that fails to load degrades to the simulator
+ *     (see ServeEngine); the "stats" op surfaces the sticky flag.
+ *
  * Graceful shutdown (SIGINT/SIGTERM or Server::requestStop()): the
  * accept loop stops listening, half-closes every connection for
  * reading (readers finish their buffered lines, answering
  * shutting_down for anything not yet admitted, then exit), the queue
  * closes, and the workers drain every admitted job before run()
- * returns — in-flight requests always get their response.
+ * returns — in-flight requests always get their response. The drain
+ * summary line is emitted exactly once, whether run() completes or the
+ * Server is destroyed without ever entering run().
  */
 
 #ifndef ETPU_SERVE_SERVER_HH
 #define ETPU_SERVE_SERVER_HH
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -53,6 +75,22 @@ struct ServerOptions
     size_t queueCapacity = 128;
     /** Request line size bound (bytes, newline excluded). */
     size_t maxRequestBytes = 1 << 20;
+    /**
+     * Idle/read deadline per request line (ms): a connection whose
+     * next complete line does not arrive within this window is closed
+     * and reaped. <= 0 disables the deadline.
+     */
+    int idleTimeoutMs = 60'000;
+    /**
+     * Write deadline per response (ms): a peer that stops reading is
+     * declared dead instead of wedging a worker. <= 0 disables.
+     */
+    int writeTimeoutMs = 10'000;
+    /**
+     * Live-connection cap; accepts beyond it are shed with an
+     * immediate "overloaded" error. 0 = unlimited.
+     */
+    size_t maxConnections = 256;
     /** Honor ping "delay_ms" (load tests only). */
     bool allowDelay = false;
     /** Engine configuration. */
@@ -63,23 +101,43 @@ struct ServerOptions
 class Connection
 {
   public:
-    explicit Connection(SocketFd fd) : fd_(std::move(fd)) {}
+    /**
+     * @param timeout_counter Incremented once if a write on this
+     *        connection ever times out (may be null).
+     */
+    Connection(SocketFd fd, int write_timeout_ms,
+               std::atomic<uint64_t> *timeout_counter = nullptr)
+        : fd_(std::move(fd)), writeTimeoutMs_(write_timeout_ms),
+          timeoutCounter_(timeout_counter)
+    {
+    }
 
     int fd() const { return fd_.get(); }
 
     /**
      * Write one response line atomically with respect to other
-     * senders. @return false once the peer is gone (sticky).
+     * senders, under the write deadline. @return false once the peer
+     * is gone or timed out (sticky). A timeout also shuts the socket
+     * down both ways so the connection's reader unblocks.
      */
     bool send(std::string_view line);
+
+    /** Whether a write timed out on this connection (diagnostics). */
+    bool timedOut() const
+    {
+        return timedOut_.load(std::memory_order_relaxed);
+    }
 
     /** Half-close for reading (graceful drain). */
     void shutdownRead() { fd_.shutdownRead(); }
 
   private:
     SocketFd fd_;
+    const int writeTimeoutMs_;
+    std::atomic<uint64_t> *timeoutCounter_ = nullptr;
     std::mutex writeMutex_;
     std::atomic<bool> dead_{false};
+    std::atomic<bool> timedOut_{false};
 };
 
 /** Aggregate request counters (read after run() returns). */
@@ -90,6 +148,8 @@ struct ServerCounters
     std::atomic<uint64_t> responses{0};  //!< ok responses written
     std::atomic<uint64_t> errors{0};     //!< error responses written
     std::atomic<uint64_t> overloaded{0}; //!< admission rejections
+    std::atomic<uint64_t> shed{0};       //!< connections shed at accept
+    std::atomic<uint64_t> timeouts{0};   //!< idle/write deadline trips
 };
 
 /** The daemon. Construct, start(), run(); run() returns after drain. */
@@ -104,8 +164,9 @@ class Server
 
     /**
      * Bind the listen socket, build/warm the engine and start the
-     * worker pool. Fatal on engine errors (bad cache/checkpoint);
-     * false when the port cannot be bound.
+     * worker pool. Fatal on engine errors (bad cache); a bad learned
+     * checkpoint degrades instead (ServeEngine); false when the port
+     * cannot be bound.
      */
     bool start();
 
@@ -129,6 +190,12 @@ class Server
                     std::shared_ptr<std::atomic<bool>> done);
     void workerLoop(unsigned worker);
     void reapReaders(bool join_all);
+    /** Drop expired connection slots; @return live connections. */
+    size_t pruneConnections();
+    /** The ",..."-payload fragment answering a stats request. */
+    std::string statsPayload();
+    /** Emit the drain summary line (exactly once per Server). */
+    void reportStats();
 
     ServerOptions opts_;
     unsigned workers_ = 0;
@@ -138,6 +205,9 @@ class Server
     uint16_t port_ = 0;
     int signalFd_ = -1;
     std::atomic<bool> draining_{false};
+    std::atomic<bool> statsReported_{false};
+    bool started_ = false;
+    std::chrono::steady_clock::time_point startTime_{};
 
     std::vector<std::thread> workerThreads_;
 

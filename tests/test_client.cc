@@ -1,0 +1,304 @@
+/**
+ * @file
+ * Tests for the retrying ServeClient: id injection and correlation,
+ * the retryable-vs-final outcome split, backoff-and-retry on
+ * "overloaded"/"shutting_down", reconnection after transport
+ * failures, and deadline-bounded calls — each driven either against
+ * the real in-process daemon (test_serve_util.hh) or a scripted
+ * one-socket server that misbehaves on demand.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <functional>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "client/serve_client.hh"
+#include "common/logging.hh"
+#include "common/socket.hh"
+#include "serve/json.hh"
+#include "test_serve_util.hh"
+
+namespace
+{
+
+using namespace etpu;
+using namespace etpu::client;
+using etpu::test::TestServer;
+using etpu::test::smallServerOptions;
+
+/** Fast-retry options against @p port (tests shouldn't sleep long). */
+ClientOptions
+fastOptions(uint16_t port)
+{
+    ClientOptions opts;
+    opts.port = port;
+    opts.backoffBaseMs = 1;
+    opts.backoffMaxMs = 5;
+    opts.callTimeoutMs = 5000;
+    return opts;
+}
+
+/**
+ * A scripted single-threaded server: accepts connections in sequence
+ * and answers each received line via the supplied script, which
+ * returns the raw bytes to send (empty = close the connection
+ * instead). One connection is served until it errors or the script
+ * closes it; then the next accept.
+ */
+class ScriptedServer
+{
+  public:
+    explicit ScriptedServer(
+        std::function<std::string(uint64_t turn, const std::string &)>
+            script)
+        : script_(std::move(script))
+    {
+        listen_ = listenTcp(0, port_);
+        EXPECT_TRUE(listen_.valid());
+        thread_ = std::thread([this] { loop(); });
+    }
+
+    ~ScriptedServer()
+    {
+        stopping_.store(true);
+        // Unblock a blocked accept by connecting once.
+        connectTcp(port_);
+        thread_.join();
+    }
+
+    uint16_t port() const { return port_; }
+
+  private:
+    void loop()
+    {
+        uint64_t turn = 0;
+        while (!stopping_.load()) {
+            SocketFd conn = acceptTcp(listen_.get());
+            if (stopping_.load() || !conn.valid())
+                continue;
+            std::string carry, line;
+            for (;;) {
+                if (readLineDeadline(conn.get(), carry, line, 1 << 20,
+                                     5000) != LineRead::Ok) {
+                    break;
+                }
+                std::string reply = script_(turn++, line);
+                if (reply.empty())
+                    break; // script says: hang up
+                if (!writeAll(conn.get(), reply))
+                    break;
+            }
+        }
+    }
+
+    std::function<std::string(uint64_t, const std::string &)> script_;
+    SocketFd listen_;
+    uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+};
+
+// ---------------------------------------------------------------------
+// Against the real daemon
+
+TEST(ServeClient, OkCallRoundTripsWithInjectedId)
+{
+    TestServer server(smallServerOptions());
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"ping"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    // The injected id is echoed (first call of this client: id 1).
+    auto doc = serve::parseJson(r.line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_DOUBLE_EQ(doc->find("id")->number, 1.0);
+    EXPECT_EQ(cli.counters().requests, 1u);
+    EXPECT_EQ(cli.counters().retries, 0u);
+    EXPECT_EQ(cli.counters().reconnects, 1u);
+
+    // Query ops flow through unchanged.
+    r = cli.call(R"({"op":"count","filter":"accuracy>=0.6"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    doc = serve::parseJson(r.line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_GT(doc->find("count")->number, 0.0);
+    EXPECT_DOUBLE_EQ(doc->find("id")->number, 2.0);
+}
+
+TEST(ServeClient, DeterministicErrorsAreFinalNotRetried)
+{
+    TestServer server(smallServerOptions());
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"levitate"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.code, "bad_request");
+    // One attempt: retrying a malformed request cannot fix it.
+    EXPECT_EQ(cli.counters().attempts, 1u);
+    EXPECT_EQ(cli.counters().retries, 0u);
+    EXPECT_EQ(cli.counters().failures, 0u);
+
+    // An empty object still gets a valid id injection (no dangling
+    // comma) — the server rejects it for the missing op, not for
+    // JSON syntax.
+    r = cli.call("{}");
+    ASSERT_TRUE(r.answered);
+    EXPECT_EQ(r.code, "bad_request");
+    auto doc = serve::parseJson(r.line);
+    ASSERT_TRUE(doc.has_value()) << r.line;
+}
+
+TEST(ServeClient, StatsOpThroughTheClient)
+{
+    TestServer server(smallServerOptions());
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"stats"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    auto doc = serve::parseJson(r.line);
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_FALSE(doc->find("degraded")->boolean);
+}
+
+// ---------------------------------------------------------------------
+// Against the scripted server (deterministic misbehavior)
+
+TEST(ServeClient, RetriesOverloadedUntilServed)
+{
+    // Turns 0 and 1 answer "overloaded"; turn 2 succeeds. The client
+    // injects sequential ids starting at 1, so the script can echo
+    // them back by turn number.
+    ScriptedServer server([](uint64_t turn, const std::string &) {
+        if (turn < 2) {
+            return strfmt("{\"id\":", turn + 1,
+                          ",\"status\":\"error\",\"code\":"
+                          "\"overloaded\",\"error\":\"full\"}\n");
+        }
+        return strfmt("{\"id\":", turn + 1, ",\"status\":\"ok\"}\n");
+    });
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"ping"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(cli.counters().attempts, 3u);
+    EXPECT_EQ(cli.counters().retries, 2u);
+    EXPECT_EQ(cli.counters().overloaded, 2u);
+    EXPECT_EQ(cli.counters().reconnects, 1u); // connection stayed good
+}
+
+TEST(ServeClient, GivesUpAfterMaxAttemptsOfOverload)
+{
+    ScriptedServer server([](uint64_t turn, const std::string &) {
+        return strfmt("{\"id\":", turn + 1,
+                      ",\"status\":\"error\",\"code\":"
+                      "\"shutting_down\",\"error\":\"bye\"}\n");
+    });
+    ClientOptions opts = fastOptions(server.port());
+    opts.maxAttempts = 3;
+    ServeClient cli(opts);
+    CallResult r = cli.call(R"({"op":"ping"})");
+    EXPECT_FALSE(r.answered);
+    EXPECT_NE(r.failure.find("shutting_down"), std::string::npos);
+    EXPECT_EQ(cli.counters().attempts, 3u);
+    EXPECT_EQ(cli.counters().shuttingDown, 3u);
+    EXPECT_EQ(cli.counters().failures, 1u);
+}
+
+TEST(ServeClient, ReconnectsWhenTheServerHangsUp)
+{
+    // Turn 0: hang up without answering. Turn 1 (new connection,
+    // id 2): answer ok.
+    ScriptedServer server([](uint64_t turn, const std::string &) {
+        if (turn == 0)
+            return std::string();
+        return strfmt("{\"id\":", turn + 1, ",\"status\":\"ok\"}\n");
+    });
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"ping"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(cli.counters().retries, 1u);
+    EXPECT_EQ(cli.counters().reconnects, 2u);
+}
+
+TEST(ServeClient, CorrelationMismatchResynchronizesByReconnect)
+{
+    // Turn 0 answers with a wrong id: the client cannot trust the
+    // stream anymore, reconnects, and the retry (id 2) is answered
+    // correctly.
+    ScriptedServer server([](uint64_t turn, const std::string &) {
+        if (turn == 0)
+            return std::string(
+                "{\"id\":999,\"status\":\"ok\"}\n");
+        return strfmt("{\"id\":", turn + 1, ",\"status\":\"ok\"}\n");
+    });
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call(R"({"op":"ping"})");
+    ASSERT_TRUE(r.answered);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(cli.counters().retries, 1u);
+    EXPECT_EQ(cli.counters().reconnects, 2u);
+}
+
+TEST(ServeClient, CallDeadlineBoundsASilentServer)
+{
+    // The server reads the request and never answers; each attempt
+    // times out instead of blocking forever.
+    ScriptedServer server([](uint64_t, const std::string &) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(400));
+        return std::string();
+    });
+    ClientOptions opts = fastOptions(server.port());
+    opts.callTimeoutMs = 100;
+    opts.maxAttempts = 2;
+    ServeClient cli(opts);
+    auto t0 = std::chrono::steady_clock::now();
+    CallResult r = cli.call(R"({"op":"ping"})");
+    auto elapsed = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - t0)
+                       .count();
+    EXPECT_FALSE(r.answered);
+    EXPECT_GE(cli.counters().timeouts, 1u);
+    EXPECT_EQ(cli.counters().failures, 1u);
+    // Two attempts of ~100ms plus backoff, not 2x400ms server sleeps.
+    EXPECT_LT(elapsed, 1500.0);
+}
+
+TEST(ServeClient, ConnectFailureExhaustsAttempts)
+{
+    // Bind-then-close yields a port that refuses connections.
+    uint16_t dead_port = 0;
+    {
+        SocketFd listener = listenTcp(0, dead_port);
+        ASSERT_TRUE(listener.valid());
+    }
+    ClientOptions opts = fastOptions(dead_port);
+    opts.maxAttempts = 2;
+    opts.connectTimeoutMs = 200;
+    ServeClient cli(opts);
+    CallResult r = cli.call(R"({"op":"ping"})");
+    EXPECT_FALSE(r.answered);
+    EXPECT_NE(r.failure.find("cannot connect"), std::string::npos);
+    EXPECT_EQ(cli.counters().attempts, 2u);
+    EXPECT_EQ(cli.counters().failures, 1u);
+    EXPECT_FALSE(cli.connected());
+}
+
+TEST(ServeClient, NonObjectRequestFailsFast)
+{
+    ScriptedServer server([](uint64_t, const std::string &) {
+        return std::string("{\"status\":\"ok\"}\n");
+    });
+    ServeClient cli(fastOptions(server.port()));
+    CallResult r = cli.call("not json");
+    EXPECT_FALSE(r.answered);
+    EXPECT_NE(r.failure.find("not a JSON object"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,242 @@
+/**
+ * @file
+ * Tests for the deterministic fault-injection framework: the
+ * ETPU_FAULT grammar, one-shot vs sticky triggers, call- and
+ * byte-counted sites, and the sites threaded through the socket and
+ * serialization layers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/fault.hh"
+#include "common/serialize.hh"
+#include "common/socket.hh"
+#include "test_io_util.hh"
+
+namespace
+{
+
+using namespace etpu;
+using etpu::test::tmpPath;
+
+/** Every test starts and ends disarmed. */
+class Fault : public ::testing::Test
+{
+  protected:
+    void SetUp() override { fault::reset(); }
+    void TearDown() override { fault::reset(); }
+};
+
+TEST_F(Fault, DisarmedNeverFires)
+{
+    for (int i = 0; i < 100; i++) {
+        EXPECT_FALSE(fault::shouldFail(fault::Site::SocketRead, 4096));
+        EXPECT_FALSE(fault::shouldFail(fault::Site::SocketAccept));
+    }
+    EXPECT_EQ(fault::firedTotal(), 0u);
+}
+
+TEST_F(Fault, OneShotCallTriggerFiresExactlyOnce)
+{
+    ASSERT_TRUE(fault::configure("socket.accept:emfile@2"));
+    int err = 0;
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SocketAccept, 1, &err));
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketAccept, 1, &err));
+    EXPECT_EQ(err, EMFILE);
+    // One-shot: disarmed after firing, forever false again.
+    for (int i = 0; i < 10; i++)
+        EXPECT_FALSE(fault::shouldFail(fault::Site::SocketAccept));
+    EXPECT_EQ(fault::firedCount(fault::Site::SocketAccept), 1u);
+    EXPECT_EQ(fault::firedTotal(), 1u);
+}
+
+TEST_F(Fault, StickyTriggerFiresFromNOnward)
+{
+    ASSERT_TRUE(fault::configure("socket.connect:econnreset@3+"));
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SocketConnect));
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SocketConnect));
+    for (int i = 0; i < 5; i++) {
+        int err = 0;
+        EXPECT_TRUE(
+            fault::shouldFail(fault::Site::SocketConnect, 1, &err));
+        EXPECT_EQ(err, ECONNRESET);
+    }
+    EXPECT_EQ(fault::firedCount(fault::Site::SocketConnect), 5u);
+}
+
+TEST_F(Fault, ByteSpanTriggerFiresOnTheCoveringCall)
+{
+    ASSERT_TRUE(fault::configure("serialize.read:short@100"));
+    // Bytes 1-64: the trigger at byte 100 is not covered yet.
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SerializeRead, 64));
+    // Bytes 65-128 cover byte 100: this whole read fails, errno 0
+    // (synthetic truncation, not a system error).
+    int err = -1;
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SerializeRead, 64, &err));
+    EXPECT_EQ(err, 0);
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SerializeRead, 1024));
+}
+
+TEST_F(Fault, ResetDisarms)
+{
+    ASSERT_TRUE(fault::configure("socket.read:eio@1+"));
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketRead, 1));
+    fault::reset();
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SocketRead, 1));
+    EXPECT_EQ(fault::firedTotal(), 0u);
+}
+
+TEST_F(Fault, MultiClauseScheduleArmsEverySite)
+{
+    ASSERT_TRUE(fault::configure(
+        "socket.accept:emfile@1;checkpoint.load:fail@1"));
+    int err = 0;
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketAccept, 1, &err));
+    EXPECT_EQ(err, EMFILE);
+    EXPECT_TRUE(fault::shouldFail(fault::Site::CheckpointLoad, 1, &err));
+    EXPECT_EQ(err, 0);
+    EXPECT_EQ(fault::firedTotal(), 2u);
+}
+
+TEST_F(Fault, MalformedSchedulesAreRejected)
+{
+    EXPECT_FALSE(fault::configure(""));
+    EXPECT_FALSE(fault::configure("socket.accept"));
+    EXPECT_FALSE(fault::configure("socket.accept:emfile"));
+    EXPECT_FALSE(fault::configure("socket.accept:emfile@0"));
+    EXPECT_FALSE(fault::configure("socket.accept:emfile@x"));
+    EXPECT_FALSE(fault::configure("nosuch.site:emfile@1"));
+    EXPECT_FALSE(fault::configure("socket.accept:nosuchfault@1"));
+    // Well-formed clauses before the bad one still arm.
+    EXPECT_FALSE(
+        fault::configure("socket.accept:emfile@1;bogus"));
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketAccept));
+}
+
+TEST_F(Fault, ReconfigureRearmsNamedSitesOnly)
+{
+    ASSERT_TRUE(fault::configure("socket.accept:emfile@5"));
+    ASSERT_TRUE(fault::configure("socket.connect:eio@1"));
+    // socket.accept keeps its @5 trigger and its unit count.
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketConnect));
+    for (int i = 0; i < 4; i++)
+        EXPECT_FALSE(fault::shouldFail(fault::Site::SocketAccept));
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketAccept));
+}
+
+TEST_F(Fault, InitFromEnvArmsTheSchedule)
+{
+    ASSERT_EQ(setenv("ETPU_FAULT", "socket.write:epipe@1", 1), 0);
+    EXPECT_TRUE(fault::initFromEnv());
+    int err = 0;
+    EXPECT_TRUE(fault::shouldFail(fault::Site::SocketWrite, 10, &err));
+    EXPECT_EQ(err, EPIPE);
+    ASSERT_EQ(unsetenv("ETPU_FAULT"), 0);
+    fault::reset();
+    EXPECT_FALSE(fault::initFromEnv());
+    EXPECT_FALSE(fault::shouldFail(fault::Site::SocketWrite, 10));
+}
+
+TEST_F(Fault, SiteNamesRoundTrip)
+{
+    EXPECT_EQ(fault::siteName(fault::Site::SocketRead), "socket.read");
+    EXPECT_EQ(fault::siteName(fault::Site::CheckpointLoad),
+              "checkpoint.load");
+}
+
+// ---------------------------------------------------------------------
+// Sites threaded through the production layers
+
+TEST_F(Fault, SocketWriteFaultSurfacesAsWriteFailure)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(fault::configure("socket.write:epipe@1"));
+    EXPECT_FALSE(writeAll(sv[0], "doomed\n"));
+    // One-shot: the stream works again afterwards.
+    EXPECT_TRUE(writeAll(sv[0], "ok\n"));
+    std::string carry, line;
+    EXPECT_EQ(readLine(sv[1], carry, line, 1 << 10), LineRead::Ok);
+    EXPECT_EQ(line, "ok");
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST_F(Fault, SocketReadFaultSurfacesAsReadError)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(writeAll(sv[0], "hello\n"));
+    ASSERT_TRUE(fault::configure("socket.read:econnreset@1"));
+    std::string carry, line;
+    EXPECT_EQ(readLine(sv[1], carry, line, 1 << 10), LineRead::Error);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST_F(Fault, SerializeReadFaultTruncatesTheStream)
+{
+    std::string path = tmpPath("etpu_fault_ser.bin");
+    {
+        BinaryWriter w(path);
+        ASSERT_TRUE(w.ok());
+        for (uint64_t i = 0; i < 64; i++)
+            w.write<uint64_t>(i);
+    }
+    // An unfaulted reader streams all 64 values.
+    {
+        BinaryReader r(path);
+        ASSERT_TRUE(r.ok());
+        for (uint64_t i = 0; i < 64; i++)
+            EXPECT_EQ(r.read<uint64_t>(), i);
+        EXPECT_TRUE(r.ok());
+    }
+    // A fault at byte 100 fails the tryRead covering it, exactly like
+    // a truncated file: bytes 96..104 span the trigger, so value 12
+    // is the first one that cannot be read.
+    ASSERT_TRUE(fault::configure("serialize.read:short@100"));
+    BinaryReader r(path);
+    ASSERT_TRUE(r.ok());
+    uint64_t v = 0;
+    uint64_t delivered = 0;
+    while (r.tryRead(v))
+        delivered++;
+    EXPECT_EQ(delivered, 12u);
+    EXPECT_EQ(fault::firedCount(fault::Site::SerializeRead), 1u);
+    std::remove(path.c_str());
+}
+
+TEST_F(Fault, ConnectFaultYieldsInvalidSocket)
+{
+    uint16_t port = 0;
+    SocketFd listener = listenTcp(0, port);
+    ASSERT_TRUE(listener.valid());
+    ASSERT_TRUE(fault::configure("socket.connect:etimedout@1"));
+    EXPECT_FALSE(connectTcp(port).valid());
+    // One-shot: the next connect succeeds.
+    EXPECT_TRUE(connectTcp(port).valid());
+}
+
+TEST_F(Fault, AcceptFaultIsAbsorbedByTheListener)
+{
+    uint16_t port = 0;
+    SocketFd listener = listenTcp(0, port);
+    ASSERT_TRUE(listener.valid());
+    SocketFd client = connectTcp(port);
+    ASSERT_TRUE(client.valid());
+    // EMFILE on the first accept: absorbed (warn + backoff), invalid
+    // return — the caller's loop keeps serving.
+    ASSERT_TRUE(fault::configure("socket.accept:emfile@1"));
+    EXPECT_FALSE(acceptTcp(listener.get()).valid());
+    // The connection is still pending; the retry picks it up.
+    EXPECT_TRUE(acceptTcp(listener.get()).valid());
+}
+
+} // namespace

@@ -13,12 +13,15 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <limits>
 #include <optional>
 #include <set>
 #include <string>
+#include <sys/socket.h>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "common/json_out.hh"
@@ -33,6 +36,7 @@
 #include "serve/queue.hh"
 #include "serve/server.hh"
 #include "test_io_util.hh"
+#include "test_serve_util.hh"
 
 namespace
 {
@@ -425,122 +429,12 @@ TEST(ServeQueue, DrainMatchingBatchesOnlyThatOp)
 }
 
 // ---------------------------------------------------------------------
-// End-to-end over TCP
+// End-to-end over TCP (scaffolding shared with test_client via
+// test_serve_util.hh)
 
-/** One line-oriented protocol client. */
-struct Client
-{
-    SocketFd fd;
-    std::string carry;
-
-    explicit Client(uint16_t port) : fd(connectTcp(port)) {}
-
-    bool ok() const { return fd.valid(); }
-
-    bool send(std::string line)
-    {
-        line += "\n";
-        return writeAll(fd.get(), line);
-    }
-
-    std::optional<std::string> recv()
-    {
-        std::string line;
-        if (readLine(fd.get(), carry, line, 1 << 20) != LineRead::Ok)
-            return std::nullopt;
-        return line;
-    }
-
-    /** recv + strict-parse; fails the test on malformed JSON. */
-    std::optional<JsonValue> recvJson()
-    {
-        auto line = recv();
-        if (!line)
-            return std::nullopt;
-        std::string error;
-        auto doc = parseJson(*line, &error);
-        EXPECT_TRUE(doc.has_value()) << *line << ": " << error;
-        return doc;
-    }
-};
-
-/** An in-process daemon over the shared synthetic dataset. */
-class TestServer
-{
-  public:
-    explicit TestServer(ServerOptions opts) : server_(configure(opts))
-    {
-        // The shutdown flag is process-global; clear any previous
-        // test's stop before this run() starts.
-        resetShutdownSignals();
-        started_ = server_.start();
-        EXPECT_TRUE(started_);
-        if (started_)
-            runThread_ = std::thread([this] { server_.run(); });
-    }
-
-    ~TestServer() { stop(); }
-
-    void stop()
-    {
-        if (runThread_.joinable()) {
-            server_.requestStop();
-            runThread_.join();
-        }
-    }
-
-    uint16_t port() const { return server_.port(); }
-    const ServerCounters &counters() const { return server_.counters(); }
-
-    static std::string datasetPath()
-    {
-        static const std::string path = [] {
-            nas::Dataset ds;
-            for (int i = 0; i < 24; i++) {
-                nas::ModelRecord r;
-                r.spec = nas::makeChainCell({nas::Op::Conv3x3});
-                r.accuracy = 0.5f + 0.02f * static_cast<float>(i);
-                r.params = 1000u + 100u * static_cast<uint64_t>(i);
-                r.depth = static_cast<uint8_t>(2 + i % 5);
-                r.width = 1;
-                r.numConv3x3 = 1;
-                r.latencyMs = {1.0f + static_cast<float>(i),
-                               2.0f + static_cast<float>(i % 3),
-                               3.0f};
-                r.energyMj = {1.0f, 2.0f, 3.0f};
-                ds.records.push_back(r);
-            }
-            // One row with NaN accuracy: the JSON emitters must render
-            // it as null, and every query op must survive it.
-            ds.records[0].accuracy =
-                std::numeric_limits<float>::quiet_NaN();
-            std::string p = tmpPath("serve_e2e_dataset.bin");
-            ds.save(p);
-            return p;
-        }();
-        return path;
-    }
-
-  private:
-    static ServerOptions configure(ServerOptions opts)
-    {
-        if (opts.engine.datasetPath.empty())
-            opts.engine.datasetPath = datasetPath();
-        return opts;
-    }
-
-    Server server_;
-    bool started_ = false;
-    std::thread runThread_;
-};
-
-ServerOptions
-smallServerOptions()
-{
-    ServerOptions opts;
-    opts.workers = 2;
-    return opts;
-}
+using Client = etpu::test::LineClient;
+using etpu::test::TestServer;
+using etpu::test::smallServerOptions;
 
 TEST(ServeE2E, AnswersEveryOpWithStrictJson)
 {
@@ -827,6 +721,287 @@ TEST(ServeChecker, QueryJsonArtifactParses)
     ASSERT_TRUE(empty.has_value());
     EXPECT_TRUE(empty->isArray());
     EXPECT_TRUE(empty->array.empty());
+}
+
+// ---------------------------------------------------------------------
+// Socket deadline primitives (PR 8 resilience layer)
+
+TEST(SocketDeadline, ReadLineDeadlineTimesOutOnSilence)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::string carry, line;
+    auto t0 = std::chrono::steady_clock::now();
+    EXPECT_EQ(readLineDeadline(sv[1], carry, line, 1 << 10, 150),
+              LineRead::Timeout);
+    auto waited = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    EXPECT_GE(waited, 100.0);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(SocketDeadline, ReadLineDeadlineDefeatsSlowLoris)
+{
+    // The deadline bounds the *complete line*, so a peer trickling a
+    // byte at a time — each arriving well inside any per-byte window —
+    // still times out.
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    std::atomic<bool> stop{false};
+    std::thread loris([&] {
+        while (!stop.load()) {
+            if (::send(sv[0], "x", 1, MSG_NOSIGNAL) < 0)
+                break;
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(30));
+        }
+    });
+    std::string carry, line;
+    EXPECT_EQ(readLineDeadline(sv[1], carry, line, 1 << 10, 250),
+              LineRead::Timeout);
+    stop.store(true);
+    ::close(sv[1]);
+    loris.join();
+    ::close(sv[0]);
+}
+
+TEST(SocketDeadline, ReadLineDeadlineStillReadsPromptLines)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(writeAll(sv[0], "hello\nworld\n"));
+    std::string carry, line;
+    EXPECT_EQ(readLineDeadline(sv[1], carry, line, 1 << 10, 1000),
+              LineRead::Ok);
+    EXPECT_EQ(line, "hello");
+    EXPECT_EQ(readLineDeadline(sv[1], carry, line, 1 << 10, 1000),
+              LineRead::Ok);
+    EXPECT_EQ(line, "world");
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(SocketDeadline, WriteAllDeadlineTimesOutWhenPeerStopsReading)
+{
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    // Shrink the pipe and saturate it: the peer never reads, so the
+    // deadline is the only way out.
+    int small = 4096;
+    ASSERT_EQ(::setsockopt(sv[0], SOL_SOCKET, SO_SNDBUF, &small,
+                           sizeof(small)),
+              0);
+    std::string chunk(1024, 'x');
+    while (::send(sv[0], chunk.data(), chunk.size(),
+                  MSG_NOSIGNAL | MSG_DONTWAIT) > 0) {
+    }
+    ASSERT_TRUE(errno == EAGAIN || errno == EWOULDBLOCK);
+    std::string payload(1 << 16, 'y');
+    EXPECT_EQ(writeAllDeadline(sv[0], payload, 200),
+              IoStatus::Timeout);
+    ::close(sv[0]);
+    ::close(sv[1]);
+}
+
+TEST(SocketDeadline, WriteAllSurvivesClosedPeerWithoutSigpipe)
+{
+    // With SIGPIPE at its default disposition, only MSG_NOSIGNAL
+    // stands between this write and process death.
+    std::signal(SIGPIPE, SIG_DFL);
+    int sv[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ::close(sv[1]);
+    EXPECT_FALSE(writeAll(sv[0], "into the void\n"));
+    ::close(sv[0]);
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+// ---------------------------------------------------------------------
+// Resilience end-to-end (PR 8)
+
+TEST(ServeResilience, StatsOpReportsLiveState)
+{
+    ServerOptions opts = smallServerOptions();
+    opts.idleTimeoutMs = 12345;
+    opts.writeTimeoutMs = 6789;
+    opts.maxConnections = 99;
+    TestServer server(opts);
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+
+    ASSERT_TRUE(c.send(R"({"op":"stats","id":1})"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    EXPECT_DOUBLE_EQ(doc->find("id")->number, 1.0);
+    ASSERT_TRUE(doc->find("degraded")->isBool());
+    EXPECT_FALSE(doc->find("degraded")->boolean);
+    EXPECT_EQ(doc->find("backend")->string, "simulator");
+    EXPECT_DOUBLE_EQ(doc->find("workers")->number, 2.0);
+    EXPECT_DOUBLE_EQ(doc->find("idle_timeout_ms")->number, 12345.0);
+    EXPECT_DOUBLE_EQ(doc->find("write_timeout_ms")->number, 6789.0);
+    EXPECT_DOUBLE_EQ(doc->find("max_connections")->number, 99.0);
+    EXPECT_GE(doc->find("connections")->number, 1.0);
+    ASSERT_TRUE(doc->find("queue_depth")->isNumber());
+    ASSERT_TRUE(doc->find("uptime_s")->isNumber());
+
+    // The second snapshot counts the first as a served response.
+    ASSERT_TRUE(c.send(R"({"op":"stats"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_GE(doc->find("responses")->number, 1.0);
+
+    // Stats carries no extra keys.
+    ASSERT_TRUE(c.send(R"({"op":"stats","filter":"depth<=3"})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("code")->string, "bad_request");
+}
+
+TEST(ServeResilience, ExcessConnectionsAreShed)
+{
+    ServerOptions opts = smallServerOptions();
+    opts.maxConnections = 2;
+    TestServer server(opts);
+    Client a(server.port());
+    Client b(server.port());
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    // A round-trip each guarantees both are registered server-side
+    // before the third connect races the accept loop.
+    ASSERT_TRUE(a.send(R"({"op":"ping"})"));
+    ASSERT_TRUE(a.recvJson().has_value());
+    ASSERT_TRUE(b.send(R"({"op":"ping"})"));
+    ASSERT_TRUE(b.recvJson().has_value());
+
+    Client c(server.port());
+    ASSERT_TRUE(c.ok()); // the kernel accepts; the daemon sheds
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("code")->string, "overloaded");
+    EXPECT_FALSE(c.recv().has_value()); // then the socket closes
+
+    // Established clients are untouched by the shed.
+    ASSERT_TRUE(a.send(R"({"op":"ping"})"));
+    ASSERT_TRUE(a.recvJson().has_value());
+    server.stop();
+    EXPECT_EQ(server.counters().shed.load(), 1u);
+}
+
+TEST(ServeResilience, BadCheckpointDegradesToSimulator)
+{
+    ServerOptions opts = smallServerOptions();
+    opts.engine.backend.kind = pipeline::Backend::Learned;
+    opts.engine.backend.modelPath =
+        tmpPath("serve_missing_ckpt.bin");
+    TestServer server(opts); // start() still succeeds, degraded
+
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.send(R"({"op":"stats"})"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_TRUE(doc->find("degraded")->boolean);
+    EXPECT_EQ(doc->find("backend")->string, "simulator");
+
+    // characterize still answers, through the simulator fallback.
+    ASSERT_TRUE(c.send(
+        R"({"op":"characterize","cells":["[input,conv3x3,output] 0->1 1->2"]})"));
+    doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    const JsonValue *rows = doc->find("rows");
+    ASSERT_TRUE(rows && rows->isArray() && rows->array.size() == 1u);
+    EXPECT_GT(rows->array[0].find("latency@V1")->number, 0.0);
+}
+
+TEST(ServeResilience, VanishingClientDoesNotRaiseSigpipe)
+{
+    ServerOptions opts = smallServerOptions();
+    opts.workers = 1;
+    opts.allowDelay = true;
+    TestServer server(opts);
+    // Belt off: with SIGPIPE at default disposition, a server write
+    // to the vanished client kills this whole process unless every
+    // send uses MSG_NOSIGNAL.
+    std::signal(SIGPIPE, SIG_DFL);
+    {
+        Client ghost(server.port());
+        ASSERT_TRUE(ghost.ok());
+        // RST on close, so the pending response write hits a dead
+        // socket rather than a lingering buffer.
+        struct linger lg = {1, 0};
+        ASSERT_EQ(::setsockopt(ghost.fd.get(), SOL_SOCKET, SO_LINGER,
+                               &lg, sizeof(lg)),
+                  0);
+        ASSERT_TRUE(ghost.send(R"({"op":"ping","delay_ms":200})"));
+    } // the client is gone before the worker writes the response
+    std::this_thread::sleep_for(std::chrono::milliseconds(450));
+    Client c(server.port());
+    ASSERT_TRUE(c.ok());
+    ASSERT_TRUE(c.send(R"({"op":"ping"})"));
+    auto doc = c.recvJson();
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_EQ(doc->find("status")->string, "ok");
+    std::signal(SIGPIPE, SIG_IGN);
+}
+
+TEST(ServeResilience, StuckClientsAreReapedWhileHealthyClientsServe)
+{
+    // The ISSUE acceptance scenario: a slow-loris client and a
+    // half-open client both recover (are reaped) within the configured
+    // timeout while 8 concurrent healthy clients complete error-free.
+    ServerOptions opts = smallServerOptions();
+    opts.idleTimeoutMs = 400;
+    TestServer server(opts);
+
+    Client loris(server.port());
+    ASSERT_TRUE(loris.ok());
+    ASSERT_TRUE(writeAll(loris.fd.get(), R"({"op":)")); // no newline
+
+    Client halfopen(server.port());
+    ASSERT_TRUE(halfopen.ok()); // never sends a byte
+
+    std::atomic<int> failures{0};
+    std::vector<std::thread> healthy;
+    healthy.reserve(8);
+    for (int t = 0; t < 8; t++) {
+        healthy.emplace_back([&] {
+            Client c(server.port());
+            if (!c.ok()) {
+                failures.fetch_add(1);
+                return;
+            }
+            for (int i = 0; i < 25; i++) {
+                if (!c.send(R"({"op":"ping"})")) {
+                    failures.fetch_add(1);
+                    return;
+                }
+                auto doc = c.recvJson();
+                if (!doc || doc->find("status")->string != "ok") {
+                    failures.fetch_add(1);
+                    return;
+                }
+            }
+        });
+    }
+    for (std::thread &t : healthy)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+
+    // Both stuck connections are closed by the idle deadline (slack
+    // for the accept-loop tick and scheduler noise).
+    std::string line;
+    EXPECT_EQ(readLineDeadline(loris.fd.get(), loris.carry, line,
+                               1 << 10, 3000),
+              LineRead::Eof);
+    EXPECT_EQ(readLineDeadline(halfopen.fd.get(), halfopen.carry,
+                               line, 1 << 10, 3000),
+              LineRead::Eof);
+    server.stop();
+    EXPECT_GE(server.counters().timeouts.load(), 2u);
 }
 
 } // namespace

@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Shared scaffolding for the serve-stack test suites (test_serve,
+ * test_client): a synthetic on-disk dataset, an in-process daemon
+ * wrapper and a bare line-oriented protocol client. Header-only so
+ * each suite binary stays self-contained.
+ */
+
+#ifndef ETPU_TESTS_TEST_SERVE_UTIL_HH
+#define ETPU_TESTS_TEST_SERVE_UTIL_HH
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "common/signal.hh"
+#include "common/socket.hh"
+#include "nasbench/dataset.hh"
+#include "serve/json.hh"
+#include "serve/server.hh"
+#include "test_io_util.hh"
+
+namespace etpu::test
+{
+
+/** One line-oriented protocol client. */
+struct LineClient
+{
+    SocketFd fd;
+    std::string carry;
+
+    explicit LineClient(uint16_t port) : fd(connectTcp(port)) {}
+
+    bool ok() const { return fd.valid(); }
+
+    bool send(std::string line)
+    {
+        line += "\n";
+        return writeAll(fd.get(), line);
+    }
+
+    std::optional<std::string> recv()
+    {
+        std::string line;
+        if (readLine(fd.get(), carry, line, 1 << 20) != LineRead::Ok)
+            return std::nullopt;
+        return line;
+    }
+
+    /** recv + strict-parse; fails the test on malformed JSON. */
+    std::optional<serve::JsonValue> recvJson()
+    {
+        auto line = recv();
+        if (!line)
+            return std::nullopt;
+        std::string error;
+        auto doc = serve::parseJson(*line, &error);
+        EXPECT_TRUE(doc.has_value()) << *line << ": " << error;
+        return doc;
+    }
+};
+
+/** An in-process daemon over the shared synthetic dataset. */
+class TestServer
+{
+  public:
+    explicit TestServer(serve::ServerOptions opts)
+        : server_(configure(std::move(opts)))
+    {
+        // The shutdown flag is process-global; clear any previous
+        // test's stop before this run() starts.
+        resetShutdownSignals();
+        started_ = server_.start();
+        EXPECT_TRUE(started_);
+        if (started_)
+            runThread_ = std::thread([this] { server_.run(); });
+    }
+
+    ~TestServer() { stop(); }
+
+    void stop()
+    {
+        if (runThread_.joinable()) {
+            server_.requestStop();
+            runThread_.join();
+        }
+    }
+
+    uint16_t port() const { return server_.port(); }
+    const serve::ServerCounters &counters() const
+    {
+        return server_.counters();
+    }
+
+    static std::string datasetPath()
+    {
+        static const std::string path = [] {
+            nas::Dataset ds;
+            for (int i = 0; i < 24; i++) {
+                nas::ModelRecord r;
+                r.spec = nas::makeChainCell({nas::Op::Conv3x3});
+                r.accuracy = 0.5f + 0.02f * static_cast<float>(i);
+                r.params = 1000u + 100u * static_cast<uint64_t>(i);
+                r.depth = static_cast<uint8_t>(2 + i % 5);
+                r.width = 1;
+                r.numConv3x3 = 1;
+                r.latencyMs = {1.0f + static_cast<float>(i),
+                               2.0f + static_cast<float>(i % 3),
+                               3.0f};
+                r.energyMj = {1.0f, 2.0f, 3.0f};
+                ds.records.push_back(r);
+            }
+            // One row with NaN accuracy: the JSON emitters must render
+            // it as null, and every query op must survive it.
+            ds.records[0].accuracy =
+                std::numeric_limits<float>::quiet_NaN();
+            std::string p = tmpPath("serve_e2e_dataset.bin");
+            ds.save(p);
+            return p;
+        }();
+        return path;
+    }
+
+  private:
+    static serve::ServerOptions configure(serve::ServerOptions opts)
+    {
+        if (opts.engine.datasetPath.empty())
+            opts.engine.datasetPath = datasetPath();
+        return opts;
+    }
+
+    serve::Server server_;
+    bool started_ = false;
+    std::thread runThread_;
+};
+
+/** Two workers, defaults otherwise. */
+inline serve::ServerOptions
+smallServerOptions()
+{
+    serve::ServerOptions opts;
+    opts.workers = 2;
+    return opts;
+}
+
+} // namespace etpu::test
+
+#endif // ETPU_TESTS_TEST_SERVE_UTIL_HH
