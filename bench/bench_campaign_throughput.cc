@@ -11,7 +11,11 @@
  *
  * Usage: bench_campaign_throughput [--cells N] [--threads N]
  *                                  [--repeats N] [--out PATH]
- *                                  [--model CKPT]
+ *                                  [--model CKPT] [--threads-sweep]
+ *
+ * --threads-sweep additionally measures the end-to-end campaign at 1,
+ * 2, 4 and 8 workers and emits the scaling curve into the JSON — the
+ * multi-thread trajectory of the work-stealing task runtime.
  *
  * Defaults honor $ETPU_SAMPLE (cell count) and $ETPU_THREADS. The
  * end-to-end measurement is the best of --repeats runs (default 3) to
@@ -72,6 +76,7 @@ main(int argc, char **argv)
     size_t cells_wanted = pipeline::sampleSizeFromEnv();
     unsigned threads = 0;
     int repeats = 3;
+    bool threads_sweep = false;
     std::string out_path = "BENCH_campaign.json";
     std::string model_path;
     for (int i = 1; i < argc; i++) {
@@ -101,11 +106,13 @@ main(int argc, char **argv)
             out_path = next();
         } else if (arg == "--model") {
             model_path = next();
+        } else if (arg == "--threads-sweep") {
+            threads_sweep = true;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: bench_campaign_throughput [--cells N] "
                          "[--threads N] [--repeats N] [--out PATH]\n"
                          "                                 "
-                         "[--model CKPT]\n"
+                         "[--model CKPT] [--threads-sweep]\n"
                          "--cells 0 (default) runs the full cell space; "
                          "defaults honor $ETPU_SAMPLE and\n"
                          "$ETPU_THREADS. Writes the measured result as "
@@ -113,7 +120,10 @@ main(int argc, char **argv)
                          "BENCH_campaign.json in the working "
                          "directory). With --model, the learned\n"
                          "backend (etpu_train checkpoint) is measured "
-                         "over the same cells.\n";
+                         "over the same cells.\n"
+                         "--threads-sweep also measures the campaign "
+                         "at 1/2/4/8 workers and records\n"
+                         "the scaling curve in the JSON.\n";
             return 0;
         } else {
             etpu_fatal("unknown argument ", arg);
@@ -200,6 +210,36 @@ main(int argc, char **argv)
               << "): " << fmtDouble(best_e2e, 3) << " s = "
               << fmtDouble(cells_per_sec, 1) << " cells/sec\n";
 
+    // Scaling curve: the same campaign pinned at 1/2/4/8 workers on
+    // the work-stealing runtime. Speedups are bounded by the machine's
+    // core count (a 1-core runner shows a flat curve by design).
+    struct SweepPoint
+    {
+        unsigned threads;
+        double seconds;
+    };
+    std::vector<SweepPoint> sweep;
+    if (threads_sweep) {
+        std::cout << "\nthreads sweep (best of " << repeats << "):\n";
+        for (unsigned tc : {1u, 2u, 4u, 8u}) {
+            double best = std::numeric_limits<double>::infinity();
+            for (int r = 0; r < repeats; r++) {
+                auto t0 = Clock::now();
+                nas::Dataset ds = pipeline::buildDataset(cells, tc);
+                best = std::min(best, secondsSince(t0));
+                if (ds.size() != cells.size())
+                    etpu_fatal("sweep campaign produced ", ds.size(),
+                               " records for ", cells.size(), " cells");
+            }
+            sweep.push_back({tc, best});
+            std::cout << "  " << tc << " worker" << (tc > 1 ? "s" : " ")
+                      << ": " << fmtDouble(best, 3) << " s = "
+                      << fmtDouble(n / best, 1) << " cells/sec ("
+                      << fmtDouble(sweep.front().seconds / best, 2)
+                      << "x vs 1 worker)\n";
+        }
+    }
+
     // Learned-backend comparison over the same cells: the metric
     // stage (featurize + per-config GNN prediction through one warmed
     // PredictContext, single-threaded) and the full learned
@@ -275,7 +315,22 @@ main(int argc, char **argv)
          << "  \"end_to_end\": {\n"
          << "    \"seconds\": " << fmtDouble(best_e2e, 6) << ",\n"
          << "    \"cells_per_sec\": " << fmtDouble(cells_per_sec, 1)
-         << "\n  },\n"
+         << "\n  },\n";
+    if (!sweep.empty()) {
+        json << "  \"threads_sweep\": [\n";
+        for (size_t s = 0; s < sweep.size(); s++) {
+            json << "    {\"threads\": " << sweep[s].threads
+                 << ", \"seconds\": " << fmtDouble(sweep[s].seconds, 6)
+                 << ", \"cells_per_sec\": "
+                 << fmtDouble(n / sweep[s].seconds, 1)
+                 << ", \"speedup_vs_1\": "
+                 << fmtDouble(sweep.front().seconds / sweep[s].seconds,
+                              3)
+                 << "}" << (s + 1 < sweep.size() ? "," : "") << "\n";
+        }
+        json << "  ],\n";
+    }
+    json
          << "  \"stages_us_per_cell\": {\n"
          << "    \"build_network\": "
          << fmtDouble(stage_build.seconds / n * 1e6, 3) << ",\n"

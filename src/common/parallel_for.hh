@@ -1,38 +1,38 @@
 /**
  * @file
- * Chunked parallel-for over an index range using std::thread. Used by the
- * enumerator and the dataset builder, where each index is independent.
+ * Chunked parallel-for over an index range, executed on the
+ * persistent work-stealing TaskRuntime pool (task_runtime.hh). Used
+ * by the enumerator, the dataset builder, the GNN trainer and the
+ * serve workers, where each index is independent.
+ *
+ * Scheduling: the range is split into per-worker shards of fixed-size
+ * chunks; workers drain their own shard first, then steal chunks from
+ * the other shards in a randomized order, so skewed per-index costs
+ * still balance without any worker idling while work remains. (This
+ * replaces both the PR-6 shared-cursor scheme and the original static
+ * partitioning; the fn(index, worker_id) contract is unchanged.)
  */
 
 #ifndef ETPU_COMMON_PARALLEL_FOR_HH
 #define ETPU_COMMON_PARALLEL_FOR_HH
 
 #include <algorithm>
-#include <atomic>
 #include <cstdint>
-#include <thread>
-#include <vector>
+#include <memory>
+#include <type_traits>
+
+#include "common/task_runtime.hh"
 
 namespace etpu
 {
 
-/** @return the worker count honoring the ETPU_THREADS env override. */
-unsigned defaultThreadCount();
-
 /**
- * Resolve a requested worker count: 0 means defaultThreadCount(), and
- * the result is capped at 8x hardware concurrency — the work is
- * CPU-bound, and an absurd ETPU_THREADS/--threads must not exhaust
- * memory spawning (or allocating state for) millions of workers.
- */
-unsigned resolveWorkerCount(unsigned threads);
-
-/**
- * Run fn(begin..end) partitioned dynamically across threads.
+ * Run fn over [begin, end) across the task-runtime workers.
  *
  * @param begin First index (inclusive).
- * @param end Last index (exclusive).
- * @param fn Callable taking (size_t index, unsigned worker_id).
+ * @param end Last index (exclusive); end == SIZE_MAX is valid.
+ * @param fn Callable taking (size_t index, unsigned worker_id); the
+ *        worker id is dense in [0, resolved worker count).
  * @param threads Worker count, resolved via resolveWorkerCount().
  */
 template <typename Fn>
@@ -46,37 +46,19 @@ parallelFor(size_t begin, size_t end, Fn &&fn, unsigned threads = 0)
     n_workers = static_cast<unsigned>(
         std::min<size_t>(n_workers, total));
     if (n_workers <= 1) {
+        // Sequential fast path: in index order, as worker 0.
         for (size_t i = begin; i < end; i++)
             fn(i, 0u);
         return;
     }
-
-    // Dynamic chunking: workers grab fixed-size chunks from a shared
-    // cursor so skewed per-index costs still balance. The claim is a
-    // CAS clamped to end rather than a blind fetch_add: with end near
-    // SIZE_MAX an overshooting add would wrap the cursor back below
-    // end and hand out already-claimed indices a second time.
-    size_t chunk = std::max<size_t>(1, total / (n_workers * 16));
-    std::atomic<size_t> cursor{begin};
-    std::vector<std::thread> pool;
-    pool.reserve(n_workers);
-    for (unsigned w = 0; w < n_workers; w++) {
-        pool.emplace_back([&, w]() {
-            size_t start = cursor.load(std::memory_order_relaxed);
-            for (;;) {
-                if (start >= end)
-                    return;
-                size_t stop = start + std::min(chunk, end - start);
-                if (!cursor.compare_exchange_weak(start, stop))
-                    continue; // start reloaded by the failed CAS
-                for (size_t i = start; i < stop; i++)
-                    fn(i, w);
-                start = stop;
-            }
+    using F = std::remove_reference_t<Fn>;
+    F &body = fn;
+    TaskRuntime::instance().run(
+        begin, end, n_workers,
+        static_cast<void *>(std::addressof(body)),
+        [](void *ctx, size_t i, unsigned w) {
+            (*static_cast<F *>(ctx))(i, w);
         });
-    }
-    for (auto &t : pool)
-        t.join();
 }
 
 } // namespace etpu

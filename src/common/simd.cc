@@ -1,0 +1,101 @@
+#include "simd.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+std::string_view
+simdTierName(SimdTier tier)
+{
+    switch (tier) {
+      case SimdTier::Scalar: return "scalar";
+      case SimdTier::Sse2: return "sse2";
+      case SimdTier::Avx2: return "avx2";
+      case SimdTier::Fma: return "fma";
+    }
+    return "scalar";
+}
+
+SimdTier
+maxHardwareTier()
+{
+#if defined(__x86_64__) || defined(__i386__)
+    // __builtin_cpu_supports folds in the OS XSAVE/YMM-state check.
+    if (__builtin_cpu_supports("avx2")) {
+        return __builtin_cpu_supports("fma") ? SimdTier::Fma
+                                             : SimdTier::Avx2;
+    }
+    return SimdTier::Sse2; // x86-64 baseline
+#else
+    return SimdTier::Scalar;
+#endif
+}
+
+SimdTier
+detectSimdTier()
+{
+    SimdTier hw = maxHardwareTier();
+    // Fma is opt-in only; the auto-selected tier stays exact.
+    return hw == SimdTier::Fma ? SimdTier::Avx2 : hw;
+}
+
+bool
+relaxedMathEnabled()
+{
+    const char *v = std::getenv("ETPU_RELAXED_MATH");
+    return v && std::string_view(v) == "1";
+}
+
+SimdTier
+simdTierFromSpec(std::string_view spec, SimdTier detected,
+                 bool relaxed_math)
+{
+    SimdTier wanted;
+    if (spec == "scalar") {
+        wanted = SimdTier::Scalar;
+    } else if (spec == "sse2") {
+        wanted = SimdTier::Sse2;
+    } else if (spec == "avx2") {
+        wanted = SimdTier::Avx2;
+    } else if (spec == "fma") {
+        if (!relaxed_math) {
+            etpu_panic(
+                "ETPU_SIMD=fma contracts multiply+add and is not "
+                "bit-exact with the scalar reference; set "
+                "ETPU_RELAXED_MATH=1 to opt in");
+        }
+        wanted = SimdTier::Fma;
+    } else {
+        etpu_warn("unknown ETPU_SIMD value \"", std::string(spec),
+                  "\" (expected scalar|sse2|avx2|fma); using ",
+                  simdTierName(detected));
+        return detected;
+    }
+    SimdTier hw = maxHardwareTier();
+    if (wanted > hw) {
+        etpu_warn("ETPU_SIMD=", simdTierName(wanted),
+                  " not supported by this CPU; clamping to ",
+                  simdTierName(hw));
+        return hw;
+    }
+    return wanted;
+}
+
+SimdTier
+simdTier()
+{
+    static const SimdTier tier = [] {
+        SimdTier detected = detectSimdTier();
+        const char *spec = std::getenv("ETPU_SIMD");
+        if (!spec)
+            return detected;
+        return simdTierFromSpec(spec, detected, relaxedMathEnabled());
+    }();
+    return tier;
+}
+
+} // namespace etpu

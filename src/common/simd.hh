@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Runtime SIMD dispatch tiers for the vectorized hot-loop kernels
+ * (gnn/predict_forward_*.cc and tpusim/annotate_kernels*.cc).
+ *
+ * Tiers Scalar/Sse2/Avx2 are *exact*: their kernels perform the same
+ * IEEE-754 operations in the same per-element order as the scalar
+ * reference (separate multiply + add, ordered reductions kept
+ * scalar), so every tier produces bit-identical results — pinned by
+ * tests/test_simd_kernels.cc and the golden campaign CRC. Tier Fma
+ * contracts multiply+add, which changes rounding; it is never
+ * auto-selected and refuses to arm without the ETPU_RELAXED_MATH=1
+ * opt-in.
+ *
+ * Selection: the highest exact tier the CPU supports, overridable
+ * with ETPU_SIMD=scalar|sse2|avx2|fma (clamped to what the CPU
+ * supports, with a warning).
+ */
+
+#ifndef ETPU_COMMON_SIMD_HH
+#define ETPU_COMMON_SIMD_HH
+
+#include <string_view>
+
+namespace etpu
+{
+
+/** Dispatch tier, ordered by capability. */
+enum class SimdTier
+{
+    Scalar = 0,
+    Sse2 = 1,
+    Avx2 = 2,
+    /** AVX2+FMA with fused multiply-add: ETPU_RELAXED_MATH only. */
+    Fma = 3,
+};
+
+/** Human-readable tier name ("scalar", "sse2", "avx2", "fma"). */
+std::string_view simdTierName(SimdTier tier);
+
+/** Highest *exact* tier this CPU supports (never Fma). */
+SimdTier detectSimdTier();
+
+/** @return true if the CPU can execute @p tier's kernels. */
+SimdTier maxHardwareTier();
+
+/** @return true if ETPU_RELAXED_MATH=1 opts into non-exact tiers. */
+bool relaxedMathEnabled();
+
+/**
+ * Resolve an ETPU_SIMD override spec against the hardware: unknown
+ * specs warn and fall back to @p detected; specs above the hardware
+ * capability warn and clamp; "fma" without @p relaxed_math panics —
+ * a relaxed-math tier must never arm silently.
+ */
+SimdTier simdTierFromSpec(std::string_view spec, SimdTier detected,
+                          bool relaxed_math);
+
+/**
+ * The process-wide dispatch tier (detection + ETPU_SIMD override,
+ * resolved once on first use).
+ */
+SimdTier simdTier();
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_SIMD_HH

@@ -1,0 +1,306 @@
+#include "task_runtime.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+
+namespace etpu
+{
+
+namespace
+{
+
+/** Set while the thread participates in a loop (nested-run guard). */
+thread_local bool tls_in_loop = false;
+
+/**
+ * One submitted index range. Chunks are pre-partitioned into one
+ * contiguous shard per worker slot (preserving the old scheduler's
+ * locality for balanced workloads); each shard is a single
+ * CAS-clamped claim cursor that both its owner and thieves advance
+ * with the identical protocol, so a chunk can never be executed
+ * twice and `end` near SIZE_MAX cannot wrap the cursor (a blind
+ * fetch_add could overshoot past SIZE_MAX and reopen the range).
+ */
+struct Loop
+{
+    struct alignas(64) Shard
+    {
+        std::atomic<size_t> next{0}; //!< first unclaimed index
+        size_t limit = 0;            //!< shard end (exclusive)
+    };
+
+    size_t chunk = 1;      //!< indices claimed per CAS
+    unsigned nWorkers = 1; //!< participant slots (== shard count)
+    void *ctx = nullptr;
+    TaskRuntime::RawFn fn = nullptr;
+    std::unique_ptr<Shard[]> shards;
+    /** Next participant slot; slot 0 is reserved for the caller. */
+    std::atomic<unsigned> nextSlot{1};
+    /** Indices not yet finished executing (not merely claimed). */
+    std::atomic<size_t> remaining{0};
+    std::mutex m;
+    std::condition_variable done;
+};
+
+/** Pool state: helper bookkeeping plus the active-loop registry. */
+struct Pool
+{
+    Pool()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        hwThreads = hw ? hw : 4;
+        cap = hwThreads * 8;
+    }
+
+    std::mutex m;
+    std::condition_variable work; //!< helpers park here between loops
+    std::vector<std::shared_ptr<Loop>> active;
+    unsigned spawned = 0; //!< detached helper threads created
+    unsigned hwThreads;   //!< hardware concurrency (once, fallback 4)
+    unsigned cap;         //!< 8x hardware concurrency (once)
+    std::atomic<bool> warnedCap{false};
+    std::atomic<uint32_t> seedMix{0x9e3779b9u};
+};
+
+Pool &
+pool()
+{
+    // Leaked on purpose: see the file comment in task_runtime.hh.
+    static Pool *p = new Pool;
+    return *p;
+}
+
+void
+runChunk(Loop &loop, size_t lo, size_t hi, unsigned slot)
+{
+    for (size_t i = lo; i < hi; i++)
+        loop.fn(loop.ctx, i, slot);
+}
+
+/**
+ * Claim and execute chunks from @p sh until it is empty, attributing
+ * the work to participant @p slot. @return indices executed.
+ */
+size_t
+drainShard(Loop &loop, Loop::Shard &sh, unsigned slot)
+{
+    size_t did = 0;
+    size_t cur = sh.next.load(std::memory_order_relaxed);
+    while (cur < sh.limit) {
+        size_t stop = cur + std::min(loop.chunk, sh.limit - cur);
+        if (!sh.next.compare_exchange_weak(cur, stop,
+                                           std::memory_order_acq_rel))
+            continue; // cur reloaded by the failed CAS
+        runChunk(loop, cur, stop, slot);
+        did += stop - cur;
+        cur = stop;
+    }
+    return did;
+}
+
+/**
+ * Work a loop as participant @p slot: drain the own shard, then steal
+ * from the other shards in a randomized victim order until no shard
+ * has unclaimed chunks left. The last participant to finish its
+ * claimed work wakes the submitting thread.
+ */
+void
+participate(Loop &loop, unsigned slot, std::mt19937 &rng)
+{
+    bool outer = tls_in_loop;
+    tls_in_loop = true;
+    size_t did = drainShard(loop, loop.shards[slot], slot);
+    if (loop.nWorkers > 1) {
+        std::vector<unsigned> victims;
+        victims.reserve(loop.nWorkers - 1);
+        for (unsigned v = 0; v < loop.nWorkers; v++)
+            if (v != slot)
+                victims.push_back(v);
+        std::shuffle(victims.begin(), victims.end(), rng);
+        // Cursors only advance, so one full pass with no claim means
+        // every shard was observed fully claimed and stays that way.
+        for (bool claimed = true; claimed;) {
+            claimed = false;
+            for (unsigned v : victims) {
+                size_t k = drainShard(loop, loop.shards[v], slot);
+                did += k;
+                claimed |= k != 0;
+            }
+        }
+    }
+    tls_in_loop = outer;
+    if (did == 0)
+        return;
+    size_t left =
+        loop.remaining.fetch_sub(did, std::memory_order_acq_rel) - did;
+    if (left == 0) {
+        // Pair with the submitter's predicate under the loop mutex so
+        // the wake cannot slip between its check and its wait.
+        std::lock_guard<std::mutex> lk(loop.m);
+        loop.done.notify_all();
+    }
+}
+
+/** Detached helper: park until a loop has free slots, then join it. */
+void
+workerMain(unsigned helper_index)
+{
+    Pool &p = pool();
+    std::mt19937 rng(0x2545f491u + helper_index * 0x9e3779b9u);
+    for (;;) {
+        std::shared_ptr<Loop> loop;
+        {
+            std::unique_lock<std::mutex> lk(p.m);
+            p.work.wait(lk, [&] {
+                for (const auto &l : p.active) {
+                    if (l->nextSlot.load(std::memory_order_relaxed) <
+                        l->nWorkers) {
+                        loop = l;
+                        return true;
+                    }
+                }
+                return false;
+            });
+        }
+        unsigned slot =
+            loop->nextSlot.fetch_add(1, std::memory_order_relaxed);
+        if (slot < loop->nWorkers)
+            participate(*loop, slot, rng);
+    }
+}
+
+/** Ensure at least @p wanted detached helpers exist (never shrinks). */
+void
+ensureHelpers(Pool &p, unsigned wanted)
+{
+    wanted = std::min(wanted, p.cap > 0 ? p.cap - 1 : 0u);
+    std::lock_guard<std::mutex> lk(p.m);
+    while (p.spawned < wanted) {
+        std::thread(workerMain, p.spawned).detach();
+        p.spawned++;
+    }
+}
+
+} // namespace
+
+unsigned
+defaultThreadCount()
+{
+    if (auto n = envCount("ETPU_THREADS"); n && *n > 0) {
+        constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+        return static_cast<unsigned>(std::min(*n, cap));
+    }
+    return pool().hwThreads;
+}
+
+unsigned
+resolveWorkerCount(unsigned threads)
+{
+    Pool &p = pool();
+    unsigned n = threads ? threads : defaultThreadCount();
+    if (n > p.cap) {
+        if (!p.warnedCap.exchange(true)) {
+            etpu_warn("capping worker count ", n, " at ", p.cap,
+                      " (8x hardware concurrency)");
+        }
+        n = p.cap;
+    }
+    return n;
+}
+
+TaskRuntime &
+TaskRuntime::instance()
+{
+    static TaskRuntime rt;
+    return rt;
+}
+
+unsigned
+TaskRuntime::workerCap() const
+{
+    return pool().cap;
+}
+
+bool
+TaskRuntime::inLoop()
+{
+    return tls_in_loop;
+}
+
+void
+TaskRuntime::run(size_t begin, size_t end, unsigned n_workers,
+                 void *ctx, RawFn fn)
+{
+    if (end <= begin)
+        return;
+    size_t total = end - begin;
+    n_workers = static_cast<unsigned>(
+        std::min<size_t>(n_workers ? n_workers : 1, total));
+    if (n_workers <= 1 || tls_in_loop) {
+        // Nested submits run inline: handing the range to the pool
+        // could execute it on threads that reuse the enclosing loop's
+        // worker ids (and their per-worker contexts) concurrently.
+        for (size_t i = begin; i < end; i++)
+            fn(ctx, i, 0);
+        return;
+    }
+
+    auto loop = std::make_shared<Loop>();
+    loop->chunk = std::max<size_t>(1, total / (n_workers * 32));
+    loop->nWorkers = n_workers;
+    loop->ctx = ctx;
+    loop->fn = fn;
+    loop->remaining.store(total, std::memory_order_relaxed);
+    loop->shards =
+        std::make_unique<Loop::Shard[]>(n_workers);
+    size_t base = total / n_workers, extra = total % n_workers;
+    size_t offset = begin;
+    for (unsigned s = 0; s < n_workers; s++) {
+        size_t count = base + (s < extra ? 1 : 0);
+        loop->shards[s].next.store(offset, std::memory_order_relaxed);
+        loop->shards[s].limit = offset + count;
+        offset += count;
+    }
+
+    Pool &p = pool();
+    ensureHelpers(p, n_workers - 1);
+    {
+        std::lock_guard<std::mutex> lk(p.m);
+        p.active.push_back(loop);
+    }
+    p.work.notify_all();
+
+    std::mt19937 rng(
+        p.seedMix.fetch_add(0x9e3779b9u, std::memory_order_relaxed));
+    participate(*loop, 0, rng);
+
+    {
+        // The caller only returns from participate() once every chunk
+        // is claimed, so no new participant is needed; unregister
+        // before waiting out stragglers still executing their claims.
+        std::lock_guard<std::mutex> lk(p.m);
+        auto it = std::find(p.active.begin(), p.active.end(), loop);
+        if (it != p.active.end())
+            p.active.erase(it);
+    }
+    if (loop->remaining.load(std::memory_order_acquire) != 0) {
+        std::unique_lock<std::mutex> lk(loop->m);
+        loop->done.wait(lk, [&] {
+            return loop->remaining.load(std::memory_order_acquire) ==
+                   0;
+        });
+    }
+}
+
+} // namespace etpu

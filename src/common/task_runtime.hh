@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Persistent work-stealing task runtime behind parallelFor().
+ *
+ * A lazily-started singleton thread pool executes chunked index
+ * ranges: the submitting thread participates as worker 0, pool
+ * helpers park on a condition variable between loops and join any
+ * loop that still has worker slots, and every participant first
+ * drains its own contiguous shard of chunks, then steals chunks from
+ * the other shards in a randomized victim order. Compared to the old
+ * spawn-threads-per-call parallelFor this removes the per-call thread
+ * creation cost and keeps skewed shards (pool-dominated / spilling
+ * cells) from idling finished workers.
+ *
+ * Scheduling invariants (relied on by every caller):
+ *  - fn(ctx, index, worker) runs exactly once per index in
+ *    [begin, end), including when end == SIZE_MAX.
+ *  - worker ids are dense in [0, n_workers): callers size per-worker
+ *    context arrays with resolveWorkerCount() and index them directly.
+ *  - a nested run() from inside a loop executes inline (sequentially,
+ *    as worker 0): the nested call must not recycle the enclosing
+ *    loop's worker ids on foreign threads.
+ *  - the submitting thread always participates and claims every chunk
+ *    it can reach, so a loop completes even if no helper ever wakes
+ *    (e.g. in a forked gtest death-test child that inherited no pool
+ *    threads).
+ *
+ * The singleton is intentionally leaked (helpers are detached and die
+ * with the process): joining parked helpers from a static destructor
+ * would deadlock forked children and ASan's leak checker ignores
+ * memory still reachable from the pool pointer.
+ */
+
+#ifndef ETPU_COMMON_TASK_RUNTIME_HH
+#define ETPU_COMMON_TASK_RUNTIME_HH
+
+#include <cstddef>
+
+namespace etpu
+{
+
+/** @return the worker count honoring the ETPU_THREADS env override. */
+unsigned defaultThreadCount();
+
+/**
+ * Resolve a requested worker count: 0 means defaultThreadCount(), and
+ * the result is capped at 8x hardware concurrency — the work is
+ * CPU-bound, and an absurd ETPU_THREADS/--threads must not exhaust
+ * memory spawning (or allocating state for) millions of workers. The
+ * cap is computed once at pool init and the clamp warns once per
+ * process, not per call.
+ */
+unsigned resolveWorkerCount(unsigned threads);
+
+/** The persistent work-stealing pool. Use via parallelFor(). */
+class TaskRuntime
+{
+  public:
+    /** Type-erased loop body: fn(ctx, index, worker). */
+    using RawFn = void (*)(void *ctx, size_t index, unsigned worker);
+
+    /** The process-wide pool (lazily constructed, never destroyed). */
+    static TaskRuntime &instance();
+
+    /**
+     * Execute fn(ctx, i, worker) for every i in [begin, end) across
+     * @p n_workers participants (the calling thread plus pool
+     * helpers). @p n_workers must already be resolved and clamped to
+     * the range length by the caller (parallelFor does both); values
+     * <= 1 — and any call nested inside a running loop — execute
+     * inline in index order as worker 0. Returns when every index has
+     * finished executing.
+     */
+    void run(size_t begin, size_t end, unsigned n_workers, void *ctx,
+             RawFn fn);
+
+    /** Worker-count cap (8x hardware concurrency, computed once). */
+    unsigned workerCap() const;
+
+    /** @return true if the calling thread is inside a run() loop. */
+    static bool inLoop();
+
+  private:
+    TaskRuntime() = default;
+};
+
+} // namespace etpu
+
+#endif // ETPU_COMMON_TASK_RUNTIME_HH

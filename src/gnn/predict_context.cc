@@ -5,238 +5,23 @@
 
 #include "common/logging.hh"
 #include "common/parallel_for.hh"
+#include "common/simd.hh"
+#include "gnn/predict_forward.hh"
 
 namespace etpu::gnn
 {
 
-namespace
-{
-
 /*
- * Every kernel below is the into-a-reused-buffer form of the matching
- * allocating op in matrix.cc / nn.cc, with the floating-point work
- * kept in the exact same order (including matmul's zero-operand skip)
- * so inference is bit-exact with the training-path forward(). Rows of
- * the stacked batch belong to distinct graphs, but row computations
- * are independent and reductions stay within one graph's row range,
- * so batching preserves that equivalence per graph.
- *
- * The kernels take the model's latent width C as a template parameter
- * (0 = read it at runtime): every inner loop in the forward pass is C
- * elements wide, and a compile-time trip count lets the compiler
- * unroll and vectorize them.
+ * The forward-pass kernels live in predict_kernels.hh and are
+ * instantiated once per SIMD tier in predict_forward_{scalar,sse2,
+ * avx2,fma}.cc (each TU compiled with that tier's instruction set);
+ * forwardBatch() below dispatches on the process-wide simdTier().
+ * Every exact tier performs the identical floating-point operations
+ * in the identical per-element order, so inference stays bit-exact
+ * with the training-path forward() regardless of the tier selected
+ * (pinned in tests/test_predict_context.cc and
+ * tests/test_simd_kernels.cc).
  */
-
-template <int C>
-constexpr int
-staticCols(int dynamic)
-{
-    return C ? C : dynamic;
-}
-
-/** c = a * b into a reused buffer (matmul()); C = b.cols(). */
-template <int C>
-void
-matmulInto(const Matrix &a, const Matrix &b, Matrix &c)
-{
-    if (a.cols() != b.rows())
-        etpu_panic("matmulInto shape mismatch");
-    const int rows = a.rows(), inner = a.cols();
-    const int cols = staticCols<C>(b.cols());
-    c.resize(rows, cols);
-    if constexpr (C > 0) {
-        // Accumulate each output row in registers: the additions per
-        // element happen in the same k order as the memory-resident
-        // variant, so the result is bit-identical, but the row is
-        // stored once instead of being read-modify-written every k.
-        for (int i = 0; i < rows; i++) {
-            float acc[C] = {};
-            const float *arow = a.row(i);
-            for (int k = 0; k < inner; k++) {
-                float av = arow[k];
-                if (av == 0.0f)
-                    continue;
-                const float *brow = b.row(k);
-                for (int j = 0; j < C; j++)
-                    acc[j] += av * brow[j];
-            }
-            float *crow = c.row(i);
-            for (int j = 0; j < C; j++)
-                crow[j] = acc[j];
-        }
-        return;
-    }
-    std::fill(c.data().begin(), c.data().end(), 0.0f);
-    for (int i = 0; i < rows; i++) {
-        for (int k = 0; k < inner; k++) {
-            float av = a.at(i, k);
-            if (av == 0.0f)
-                continue;
-            const float *brow = b.row(k);
-            float *crow = c.row(i);
-            for (int j = 0; j < cols; j++)
-                crow[j] += av * brow[j];
-        }
-    }
-}
-
-/** y = x W + b into a reused buffer (denseForward()); C = out width. */
-template <int C>
-void
-denseInto(const DenseLayer &p, const Matrix &x, Matrix &y)
-{
-    matmulInto<C>(x, p.w, y);
-    const int cols = staticCols<C>(y.cols());
-    for (int r = 0; r < y.rows(); r++) {
-        float *yrow = y.row(r);
-        const float *brow = p.b.row(0);
-        for (int c = 0; c < cols; c++)
-            yrow[c] += brow[c];
-    }
-}
-
-/** In-place inference layer norm (layerNormForward(), no cache). */
-template <int C>
-void
-layerNormInplace(const LayerNorm &p, Matrix &x)
-{
-    const int f = staticCols<C>(x.cols());
-    const float *g = p.gamma.row(0);
-    const float *bt = p.beta.row(0);
-    for (int r = 0; r < x.rows(); r++) {
-        float *xr = x.row(r);
-        float mean = 0.0f;
-        for (int c = 0; c < f; c++)
-            mean += xr[c];
-        mean /= static_cast<float>(f);
-        float var = 0.0f;
-        for (int c = 0; c < f; c++)
-            var += (xr[c] - mean) * (xr[c] - mean);
-        var /= static_cast<float>(f);
-        float inv_std = 1.0f / std::sqrt(var + lnEpsilon);
-        for (int c = 0; c < f; c++) {
-            float xhat = (xr[c] - mean) * inv_std;
-            xr[c] = xhat * g[c] + bt[c];
-        }
-    }
-}
-
-/** out = Mlp(x) with a shared hidden scratch (mlpForward()). */
-template <int C>
-void
-mlpInto(const Mlp &p, const Matrix &x, Matrix &h1, Matrix &out)
-{
-    denseInto<C>(p.l1, x, h1);
-    for (auto &v : h1.data())
-        v = v > 0.0f ? v : 0.0f;
-    denseInto<C>(p.l2, h1, out);
-    layerNormInplace<C>(p.ln, out);
-}
-
-/** out = [a | b] row-wise (hcat()). */
-void
-hcat2Into(const Matrix &a, const Matrix &b, Matrix &out)
-{
-    out.resize(a.rows(), a.cols() + b.cols());
-    for (int r = 0; r < a.rows(); r++) {
-        float *orow = out.row(r);
-        const float *arow = a.row(r);
-        orow = std::copy(arow, arow + a.cols(), orow);
-        const float *brow = b.row(r);
-        std::copy(brow, brow + b.cols(), orow);
-    }
-}
-
-/** One slice of a virtual concatenated input row. */
-struct Segment
-{
-    const float *row;
-    int width;
-};
-
-/**
- * Accumulate one output row of x W where x's row is the concatenation
- * of @p segments — the fused form of hcat/gatherRows/broadcastRows
- * followed by matmul, skipping the materialized concat buffer. The
- * weight rows are consumed in ascending k order across the segments,
- * exactly as the matmul over the concatenated row would, so the
- * result is bit-identical.
- */
-template <int C>
-void
-accumulateConcatRow(const Segment *segments, int n_segments,
-                    const Matrix &w, float *yrow)
-{
-    if constexpr (C > 0) {
-        // Register-resident accumulator (see matmulInto).
-        float acc[C] = {};
-        int k = 0;
-        for (int s = 0; s < n_segments; s++) {
-            const float *xrow = segments[s].row;
-            for (int i = 0; i < segments[s].width; i++, k++) {
-                float v = xrow[i];
-                if (v == 0.0f)
-                    continue;
-                const float *wrow = w.row(k);
-                for (int j = 0; j < C; j++)
-                    acc[j] += v * wrow[j];
-            }
-        }
-        for (int j = 0; j < C; j++)
-            yrow[j] = acc[j];
-        return;
-    }
-    const int cols = staticCols<C>(w.cols());
-    int k = 0;
-    for (int s = 0; s < n_segments; s++) {
-        const float *xrow = segments[s].row;
-        for (int i = 0; i < segments[s].width; i++, k++) {
-            float v = xrow[i];
-            if (v == 0.0f)
-                continue;
-            const float *wrow = w.row(k);
-            for (int j = 0; j < cols; j++)
-                yrow[j] += v * wrow[j];
-        }
-    }
-}
-
-/**
- * out = Mlp([segments(r) for r]) where each output row's input is a
- * per-row concatenation of segments — the fused equivalent of
- * mlpForward(hcat(...)). @p segments_of(r, segs) fills the segment
- * list for row r and returns the count.
- */
-template <int C, typename SegmentsOf>
-void
-mlpConcatInto(const Mlp &p, int rows, SegmentsOf &&segments_of,
-              Matrix &h1, Matrix &out)
-{
-    const int hidden = staticCols<C>(p.l1.w.cols());
-    h1.resize(rows, hidden);
-    if constexpr (C == 0) {
-        // The dynamic kernel accumulates in place; the specialized one
-        // overwrites from its register accumulator.
-        std::fill(h1.data().begin(), h1.data().end(), 0.0f);
-    }
-    Segment segs[4];
-    for (int r = 0; r < rows; r++) {
-        int n = segments_of(r, segs);
-        accumulateConcatRow<C>(segs, n, p.l1.w, h1.row(r));
-    }
-    const float *brow = p.l1.b.row(0);
-    for (int r = 0; r < rows; r++) {
-        float *hrow = h1.row(r);
-        for (int c = 0; c < hidden; c++)
-            hrow[c] += brow[c];
-    }
-    for (auto &v : h1.data())
-        v = v > 0.0f ? v : 0.0f;
-    denseInto<C>(p.l2, h1, out);
-    layerNormInplace<C>(p.ln, out);
-}
-
-} // namespace
 
 void
 PredictContext::featurizeBatch(const nas::CellSpec *cells, size_t count)
@@ -284,127 +69,26 @@ PredictContext::featurizeBatch(const nas::CellSpec *cells, size_t count)
         edges_.at(e, 0) = 1.0f;
 }
 
-template <int L>
-void
-PredictContext::forwardBatchImpl(const GraphNetModel &model)
+const TierKernels &
+tierKernels(SimdTier tier)
 {
-    const int n_steps = model.cfg.messagePassingSteps;
-    const int latent = staticCols<L>(model.cfg.latent);
-    const int n_graphs = static_cast<int>(batchSize());
-    const int n_nodes = nodes_.rows();
-    const int n_edges = edges_.rows();
-
-    mlpInto<L>(model.encEdge, edges_, h1_, encE_);
-    mlpInto<L>(model.encNode, nodes_, h1_, encN_);
-    mlpInto<L>(model.encGlobal, global_, h1_, encG_);
-
-    // The step-0 "previous" latents are the encoder outputs.
-    auto copy_into = [](const Matrix &src, Matrix &dst) {
-        dst.resize(src.rows(), src.cols());
-        std::copy(src.data().begin(), src.data().end(),
-                  dst.data().begin());
-    };
-    copy_into(encE_, prevE_);
-    copy_into(encN_, prevN_);
-    copy_into(encG_, prevG_);
-
-    for (int t = 0; t < n_steps; t++) {
-        hcat2Into(encE_, prevE_, inE_);
-        hcat2Into(encN_, prevN_, inN_);
-        hcat2Into(encG_, prevG_, inG_);
-        const int in_width = 2 * latent;
-
-        // Edge update: [inE | inN[sender] | inN[receiver] | inG].
-        mlpConcatInto<L>(
-            model.coreEdge, n_edges,
-            [&](int e, Segment *segs) {
-                auto idx = static_cast<size_t>(e);
-                segs[0] = {inE_.row(e), in_width};
-                segs[1] = {inN_.row(senders_[idx]), in_width};
-                segs[2] = {inN_.row(receivers_[idx]), in_width};
-                segs[3] = {inG_.row(edgeGraph_[idx]), in_width};
-                return 4;
-            },
-            h1_, eOut_);
-
-        // Node update: [inN | sum of incoming edge latents | inG].
-        agg_.resize(n_nodes, latent);
-        std::fill(agg_.data().begin(), agg_.data().end(), 0.0f);
-        for (size_t e = 0; e < receivers_.size(); e++) {
-            float *drow = agg_.row(receivers_[e]);
-            const float *erow = eOut_.row(static_cast<int>(e));
-            for (int c = 0; c < latent; c++)
-                drow[c] += erow[c];
-        }
-        mlpConcatInto<L>(
-            model.coreNode, n_nodes,
-            [&](int v, Segment *segs) {
-                auto idx = static_cast<size_t>(v);
-                segs[0] = {inN_.row(v), in_width};
-                segs[1] = {agg_.row(v), latent};
-                segs[2] = {inG_.row(nodeGraph_[idx]), in_width};
-                return 3;
-            },
-            h1_, nOut_);
-
-        // Global update: [inG | per-graph column sums of nodes and
-        // edges]. The sums accumulate rows in ascending order within
-        // each graph's range, exactly like the unbatched colSum.
-        sumN_.resize(n_graphs, latent);
-        sumE_.resize(n_graphs, latent);
-        std::fill(sumN_.data().begin(), sumN_.data().end(), 0.0f);
-        std::fill(sumE_.data().begin(), sumE_.data().end(), 0.0f);
-        for (int gr = 0; gr < n_graphs; gr++) {
-            float *nsum = sumN_.row(gr);
-            for (int r = nodeOffset_[static_cast<size_t>(gr)];
-                 r < nodeOffset_[static_cast<size_t>(gr) + 1]; r++) {
-                const float *nrow = nOut_.row(r);
-                for (int c = 0; c < latent; c++)
-                    nsum[c] += nrow[c];
-            }
-            float *esum = sumE_.row(gr);
-            for (int r = edgeOffset_[static_cast<size_t>(gr)];
-                 r < edgeOffset_[static_cast<size_t>(gr) + 1]; r++) {
-                const float *erow = eOut_.row(r);
-                for (int c = 0; c < latent; c++)
-                    esum[c] += erow[c];
-            }
-        }
-        mlpConcatInto<L>(
-            model.coreGlobal, n_graphs,
-            [&](int gr, Segment *segs) {
-                segs[0] = {inG_.row(gr), in_width};
-                segs[1] = {sumN_.row(gr), latent};
-                segs[2] = {sumE_.row(gr), latent};
-                return 3;
-            },
-            h1_, gOut_);
-
-        std::swap(prevE_, eOut_);
-        std::swap(prevN_, nOut_);
-        std::swap(prevG_, gOut_);
+    switch (tier) {
+      case SimdTier::Scalar: return scalarTierKernels();
+      case SimdTier::Sse2: return sse2TierKernels();
+      case SimdTier::Avx2: return avx2TierKernels();
+      case SimdTier::Fma: return fmaTierKernels();
     }
-
-    // Decode the final global attribute into the predicted metric.
-    // Training decodes every step (the loss sums per-step errors),
-    // but inference only reads the last step's prediction, so the
-    // intermediate decodes would be dead work; prevG_ holds the final
-    // global update, and decoding it is bit-identical to the
-    // training path's last-step decode.
-    mlpInto<L>(model.decGlobal, prevG_, h1_, dec_);
-    denseInto<1>(model.output, dec_, pred_);
+    return scalarTierKernels();
 }
 
 void
 PredictContext::forwardBatch(const GraphNetModel &model)
 {
-    // Compile-time latent widths for the model shapes that actually
-    // ship (the paper's 16 and the fast profile's 8); anything else
-    // takes the dynamic path.
-    switch (model.cfg.latent) {
-      case 8: forwardBatchImpl<8>(model); break;
-      case 16: forwardBatchImpl<16>(model); break;
-      default: forwardBatchImpl<0>(model); break;
+    switch (simdTier()) {
+      case SimdTier::Scalar: forwardBatchScalar(*this, model); break;
+      case SimdTier::Sse2: forwardBatchSse2(*this, model); break;
+      case SimdTier::Avx2: forwardBatchAvx2(*this, model); break;
+      case SimdTier::Fma: forwardBatchFma(*this, model); break;
     }
 }
 

@@ -32,6 +32,11 @@
 namespace etpu::gnn
 {
 
+namespace detail
+{
+template <class V> struct ForwardPass;
+}
+
 /** Reusable featurize -> encode -> message-pass pipeline, one worker. */
 class PredictContext
 {
@@ -69,11 +74,16 @@ class PredictContext
                              const GraphsTuple &g);
 
   private:
+    /**
+     * Forward the packed batch, dispatching to the SIMD tier's
+     * kernels (predict_forward.hh; selection in common/simd.hh). The
+     * scalar/sse2/avx2 tiers are bit-exact with each other, so the
+     * dispatch never changes results.
+     */
     void forwardBatch(const GraphNetModel &model);
 
-    /** Width-specialized forward body (L = latent, 0 = dynamic). */
-    template <int L>
-    void forwardBatchImpl(const GraphNetModel &model);
+    /** The per-tier forward pass reads the buffers directly. */
+    template <class V> friend struct detail::ForwardPass;
 
     // --- Packed batch (featurizeBatch) --------------------------------
     Matrix nodes_, edges_, global_;  //!< stacked per-entity features

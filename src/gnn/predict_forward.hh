@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Per-tier entry points of the vectorized PredictContext forward pass
+ * and the raw kernel tables behind them. One translation unit per
+ * SIMD tier (predict_forward_{scalar,sse2,avx2,fma}.cc) instantiates
+ * the shared kernel templates in predict_kernels.hh under that tier's
+ * instruction set; PredictContext::forwardBatch() dispatches on
+ * simdTier() at runtime.
+ *
+ * The scalar/sse2/avx2 tiers are bit-exact with each other (same
+ * IEEE-754 operations per element, in the same order — see
+ * common/simd.hh); tests/test_simd_kernels.cc sweeps the kernel
+ * tables below against the scalar tier on adversarial inputs to pin
+ * that. The fma tier fuses multiply+add and is only reachable through
+ * the ETPU_RELAXED_MATH opt-in.
+ */
+
+#ifndef ETPU_GNN_PREDICT_FORWARD_HH
+#define ETPU_GNN_PREDICT_FORWARD_HH
+
+#include <cstddef>
+
+#include "common/simd.hh"
+#include "gnn/nn.hh"
+
+namespace etpu::gnn
+{
+
+class PredictContext;
+struct GraphNetModel;
+
+/** Forward pass of the packed batch under one tier's kernels. */
+void forwardBatchScalar(PredictContext &ctx, const GraphNetModel &m);
+void forwardBatchSse2(PredictContext &ctx, const GraphNetModel &m);
+void forwardBatchAvx2(PredictContext &ctx, const GraphNetModel &m);
+void forwardBatchFma(PredictContext &ctx, const GraphNetModel &m);
+
+/**
+ * One tier's raw kernel entry points, exposed for the bit-exactness
+ * tests (production code goes through forwardBatch*). The matmul
+ * variants mirror the latent-width specializations the forward pass
+ * instantiates (8, 16, dynamic).
+ */
+struct TierKernels
+{
+    void (*matmul)(const Matrix &a, const Matrix &b, Matrix &c);
+    void (*matmul8)(const Matrix &a, const Matrix &b, Matrix &c);
+    void (*matmul16)(const Matrix &a, const Matrix &b, Matrix &c);
+    void (*dense)(const DenseLayer &p, const Matrix &x, Matrix &y);
+    void (*layerNorm)(const LayerNorm &p, Matrix &x);
+    void (*relu)(float *data, size_t n);
+    /** dst[c] += src[c] for c in [0, cols). */
+    void (*addRow)(const float *src, float *dst, int cols);
+};
+
+const TierKernels &scalarTierKernels();
+const TierKernels &sse2TierKernels();
+const TierKernels &avx2TierKernels();
+const TierKernels &fmaTierKernels();
+
+/** The kernel table of @p tier. */
+const TierKernels &tierKernels(SimdTier tier);
+
+} // namespace etpu::gnn
+
+#endif // ETPU_GNN_PREDICT_FORWARD_HH

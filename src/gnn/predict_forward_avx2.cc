@@ -1,0 +1,29 @@
+/**
+ * @file
+ * AVX2-tier instantiation of the PredictContext forward kernels
+ * (8-lane, separate multiply + add, bit-exact with the scalar tier).
+ * Compiled with -mavx2 -ffp-contract=off where the compiler supports
+ * it (simdTier() never selects this tier on CPUs that can't run it);
+ * otherwise kernels::Avx2V aliases the next tier down.
+ */
+
+#include "gnn/predict_kernels.hh"
+
+namespace etpu::gnn
+{
+
+void
+forwardBatchAvx2(PredictContext &ctx, const GraphNetModel &m)
+{
+    detail::ForwardPass<kernels::Avx2V>::run(ctx, m);
+}
+
+const TierKernels &
+avx2TierKernels()
+{
+    static const TierKernels k =
+        kernels::makeTierKernels<kernels::Avx2V>();
+    return k;
+}
+
+} // namespace etpu::gnn

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * AVX2+FMA instantiation of the PredictContext forward kernels. The
+ * fused multiply-add rounds once where the reference rounds twice,
+ * so this tier is NOT bit-exact with the others — simdTier() only
+ * selects it through ETPU_SIMD=fma plus the ETPU_RELAXED_MATH=1
+ * opt-in (refusing with a panic otherwise; see common/simd.cc).
+ * Compiled with -mavx2 -mfma where supported, else FmaV aliases the
+ * best exact tier available.
+ */
+
+#include "gnn/predict_kernels.hh"
+
+namespace etpu::gnn
+{
+
+void
+forwardBatchFma(PredictContext &ctx, const GraphNetModel &m)
+{
+    detail::ForwardPass<kernels::FmaV>::run(ctx, m);
+}
+
+const TierKernels &
+fmaTierKernels()
+{
+    static const TierKernels k =
+        kernels::makeTierKernels<kernels::FmaV>();
+    return k;
+}
+
+} // namespace etpu::gnn

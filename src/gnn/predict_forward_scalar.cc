@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Scalar-tier instantiation of the PredictContext forward kernels —
+ * the bit-exactness reference every other tier is pinned against.
+ * Compiled with -ffp-contract=off so ETPU_NATIVE cannot fuse the
+ * multiply+add accumulation.
+ */
+
+#include "gnn/predict_kernels.hh"
+
+namespace etpu::gnn
+{
+
+void
+forwardBatchScalar(PredictContext &ctx, const GraphNetModel &m)
+{
+    detail::ForwardPass<kernels::ScalarV>::run(ctx, m);
+}
+
+const TierKernels &
+scalarTierKernels()
+{
+    static const TierKernels k =
+        kernels::makeTierKernels<kernels::ScalarV>();
+    return k;
+}
+
+} // namespace etpu::gnn

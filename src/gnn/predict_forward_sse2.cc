@@ -1,0 +1,30 @@
+/**
+ * @file
+ * SSE2-tier instantiation of the PredictContext forward kernels
+ * (4-lane, bit-exact with the scalar tier). SSE2 is the x86-64
+ * baseline, so this TU needs no extra ISA flags — only
+ * -ffp-contract=off to keep the accumulation fuse-free. On non-x86
+ * targets kernels::Sse2V aliases ScalarV and this tier degrades to
+ * the scalar one.
+ */
+
+#include "gnn/predict_kernels.hh"
+
+namespace etpu::gnn
+{
+
+void
+forwardBatchSse2(PredictContext &ctx, const GraphNetModel &m)
+{
+    detail::ForwardPass<kernels::Sse2V>::run(ctx, m);
+}
+
+const TierKernels &
+sse2TierKernels()
+{
+    static const TierKernels k =
+        kernels::makeTierKernels<kernels::Sse2V>();
+    return k;
+}
+
+} // namespace etpu::gnn

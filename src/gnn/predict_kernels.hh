@@ -1,0 +1,570 @@
+/**
+ * @file
+ * SIMD-generic kernel templates behind the PredictContext forward
+ * pass, shared by the per-tier translation units
+ * (predict_forward_*.cc). Each kernel is the into-a-reused-buffer
+ * form of the matching allocating op in matrix.cc / nn.cc with the
+ * floating-point work kept in the exact same per-element order
+ * (including matmul's zero-operand skip), so inference stays
+ * bit-exact with the training-path forward() on every *exact* tier:
+ *
+ *  - Vector lanes are independent elementwise streams: a separate
+ *    vector multiply + vector add per lane performs the identical
+ *    IEEE-754 operations the scalar loop performs on that element,
+ *    so Sse2V/Avx2V results are bit-identical to ScalarV.
+ *  - Ordered reductions (layer-norm mean/variance) stay scalar.
+ *  - The per-tier TUs compile with -ffp-contract=off, so the
+ *    compiler can never fuse the multiply+add sequence (an FMA
+ *    rounds once instead of twice) even under ETPU_NATIVE.
+ *
+ * FmaV fuses the accumulation on purpose; it is only reachable via
+ * the ETPU_RELAXED_MATH opt-in (common/simd.hh).
+ *
+ * The kernels take the model's latent width C as a template
+ * parameter (0 = read it at runtime): every inner loop in the
+ * forward pass is C elements wide, and a compile-time trip count
+ * turns the per-row accumulators into registers.
+ */
+
+#ifndef ETPU_GNN_PREDICT_KERNELS_HH
+#define ETPU_GNN_PREDICT_KERNELS_HH
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "gnn/predict_context.hh"
+#include "gnn/predict_forward.hh"
+
+#if defined(__SSE2__) || defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace etpu::gnn::kernels
+{
+
+/** Scalar reference tier: one float per "vector". */
+struct ScalarV
+{
+    static constexpr int width = 1;
+    using reg = float;
+    static reg zero() { return 0.0f; }
+    static reg set1(float v) { return v; }
+    static reg load(const float *p) { return *p; }
+    static void store(float *p, reg v) { *p = v; }
+    static reg add(reg a, reg b) { return a + b; }
+    static reg sub(reg a, reg b) { return a - b; }
+    static reg mul(reg a, reg b) { return a * b; }
+    /** c + a*b with two roundings (kept fuse-free by the TU flags). */
+    static reg madd(reg a, reg b, reg c) { return c + a * b; }
+    static reg relu(reg v) { return v > 0.0f ? v : 0.0f; }
+};
+
+#if defined(__SSE2__)
+/** 4-lane SSE2 tier (the x86-64 baseline). */
+struct Sse2V
+{
+    static constexpr int width = 4;
+    using reg = __m128;
+    static reg zero() { return _mm_setzero_ps(); }
+    static reg set1(float v) { return _mm_set1_ps(v); }
+    static reg load(const float *p) { return _mm_loadu_ps(p); }
+    static void store(float *p, reg v) { _mm_storeu_ps(p, v); }
+    static reg add(reg a, reg b) { return _mm_add_ps(a, b); }
+    static reg sub(reg a, reg b) { return _mm_sub_ps(a, b); }
+    static reg mul(reg a, reg b) { return _mm_mul_ps(a, b); }
+    static reg madd(reg a, reg b, reg c)
+    {
+        return _mm_add_ps(c, _mm_mul_ps(a, b));
+    }
+    /** max(v, +0): picks +0 for negatives, zeros and NaNs, exactly
+     *  like the scalar `v > 0 ? v : 0`. */
+    static reg relu(reg v) { return _mm_max_ps(v, _mm_setzero_ps()); }
+};
+#else
+using Sse2V = ScalarV;
+#endif
+
+#if defined(__AVX2__)
+/** 8-lane AVX2 tier (separate multiply + add; still exact). */
+struct Avx2V
+{
+    static constexpr int width = 8;
+    using reg = __m256;
+    static reg zero() { return _mm256_setzero_ps(); }
+    static reg set1(float v) { return _mm256_set1_ps(v); }
+    static reg load(const float *p) { return _mm256_loadu_ps(p); }
+    static void store(float *p, reg v) { _mm256_storeu_ps(p, v); }
+    static reg add(reg a, reg b) { return _mm256_add_ps(a, b); }
+    static reg sub(reg a, reg b) { return _mm256_sub_ps(a, b); }
+    static reg mul(reg a, reg b) { return _mm256_mul_ps(a, b); }
+    static reg madd(reg a, reg b, reg c)
+    {
+        return _mm256_add_ps(c, _mm256_mul_ps(a, b));
+    }
+    static reg relu(reg v)
+    {
+        return _mm256_max_ps(v, _mm256_setzero_ps());
+    }
+};
+#if defined(__FMA__)
+/** AVX2+FMA tier: fused accumulation, ETPU_RELAXED_MATH only. */
+struct FmaV : Avx2V
+{
+    static reg madd(reg a, reg b, reg c)
+    {
+        return _mm256_fmadd_ps(a, b, c);
+    }
+};
+#else
+using FmaV = Avx2V;
+#endif
+#else
+using Avx2V = Sse2V;
+using FmaV = Sse2V;
+#endif
+
+template <int C>
+constexpr int
+staticCols(int dynamic)
+{
+    return C ? C : dynamic;
+}
+
+/** Register-resident C-wide row accumulator (vector blocks + tail). */
+template <int C, class V>
+struct RowAcc
+{
+    static constexpr int blocks = C / V::width;
+    static constexpr int tail = C % V::width;
+    typename V::reg acc[blocks > 0 ? blocks : 1];
+    float tacc[tail > 0 ? tail : 1];
+
+    void
+    clear()
+    {
+        for (int b = 0; b < blocks; b++)
+            acc[b] = V::zero();
+        for (int t = 0; t < tail; t++)
+            tacc[t] = 0.0f;
+    }
+
+    /** acc[j] += a * brow[j], the k-innermost matmul step. */
+    void
+    axpy(float a, const float *brow)
+    {
+        typename V::reg av = V::set1(a);
+        for (int b = 0; b < blocks; b++)
+            acc[b] = V::madd(av, V::load(brow + b * V::width), acc[b]);
+        for (int t = 0; t < tail; t++)
+            tacc[t] += a * brow[blocks * V::width + t];
+    }
+
+    void
+    store(float *out) const
+    {
+        for (int b = 0; b < blocks; b++)
+            V::store(out + b * V::width, acc[b]);
+        for (int t = 0; t < tail; t++)
+            out[blocks * V::width + t] = tacc[t];
+    }
+};
+
+/** dst[c] += src[c] (row add; per-lane independent, exact). */
+template <class V>
+void
+addRowInto(const float *src, float *dst, int cols)
+{
+    int b = 0;
+    for (; b + V::width <= cols; b += V::width)
+        V::store(dst + b, V::add(V::load(dst + b), V::load(src + b)));
+    for (; b < cols; b++)
+        dst[b] += src[b];
+}
+
+/** In-place ReLU over a flat buffer. */
+template <class V>
+void
+reluInPlace(float *data, size_t n)
+{
+    size_t b = 0;
+    for (; b + V::width <= n; b += V::width)
+        V::store(data + b, V::relu(V::load(data + b)));
+    for (; b < n; b++)
+        data[b] = data[b] > 0.0f ? data[b] : 0.0f;
+}
+
+/** c = a * b into a reused buffer (matmul()); C = b.cols(). */
+template <int C, class V>
+void
+matmulInto(const Matrix &a, const Matrix &b, Matrix &c)
+{
+    if (a.cols() != b.rows())
+        etpu_panic("matmulInto shape mismatch");
+    const int rows = a.rows(), inner = a.cols();
+    const int cols = staticCols<C>(b.cols());
+    c.resize(rows, cols);
+    if constexpr (C > 0) {
+        // Accumulate each output row in registers: the additions per
+        // element happen in the same k order as the memory-resident
+        // variant, so the result is bit-identical, but the row is
+        // stored once instead of being read-modify-written every k.
+        for (int i = 0; i < rows; i++) {
+            RowAcc<C, V> acc;
+            acc.clear();
+            const float *arow = a.row(i);
+            for (int k = 0; k < inner; k++) {
+                float av = arow[k];
+                if (av == 0.0f)
+                    continue;
+                acc.axpy(av, b.row(k));
+            }
+            acc.store(c.row(i));
+        }
+        return;
+    }
+    std::fill(c.data().begin(), c.data().end(), 0.0f);
+    const int full = cols - cols % V::width;
+    for (int i = 0; i < rows; i++) {
+        float *crow = c.row(i);
+        for (int k = 0; k < inner; k++) {
+            float av = a.at(i, k);
+            if (av == 0.0f)
+                continue;
+            const float *brow = b.row(k);
+            typename V::reg avv = V::set1(av);
+            for (int j = 0; j < full; j += V::width) {
+                V::store(crow + j, V::madd(avv, V::load(brow + j),
+                                           V::load(crow + j)));
+            }
+            for (int j = full; j < cols; j++)
+                crow[j] += av * brow[j];
+        }
+    }
+}
+
+/** y = x W + b into a reused buffer (denseForward()); C = out width. */
+template <int C, class V>
+void
+denseInto(const DenseLayer &p, const Matrix &x, Matrix &y)
+{
+    matmulInto<C, V>(x, p.w, y);
+    const int cols = staticCols<C>(y.cols());
+    for (int r = 0; r < y.rows(); r++)
+        addRowInto<V>(p.b.row(0), y.row(r), cols);
+}
+
+/** In-place inference layer norm (layerNormForward(), no cache). */
+template <int C, class V>
+void
+layerNormInplace(const LayerNorm &p, Matrix &x)
+{
+    const int f = staticCols<C>(x.cols());
+    const float *g = p.gamma.row(0);
+    const float *bt = p.beta.row(0);
+    const int full = f - f % V::width;
+    for (int r = 0; r < x.rows(); r++) {
+        float *xr = x.row(r);
+        // The mean/variance reductions are order-sensitive and stay
+        // scalar on every tier.
+        float mean = 0.0f;
+        for (int c = 0; c < f; c++)
+            mean += xr[c];
+        mean /= static_cast<float>(f);
+        float var = 0.0f;
+        for (int c = 0; c < f; c++)
+            var += (xr[c] - mean) * (xr[c] - mean);
+        var /= static_cast<float>(f);
+        float inv_std = 1.0f / std::sqrt(var + lnEpsilon);
+        typename V::reg vm = V::set1(mean), vs = V::set1(inv_std);
+        for (int c = 0; c < full; c += V::width) {
+            typename V::reg xhat =
+                V::mul(V::sub(V::load(xr + c), vm), vs);
+            V::store(xr + c, V::add(V::mul(xhat, V::load(g + c)),
+                                    V::load(bt + c)));
+        }
+        for (int c = full; c < f; c++) {
+            float xhat = (xr[c] - mean) * inv_std;
+            xr[c] = xhat * g[c] + bt[c];
+        }
+    }
+}
+
+/** out = Mlp(x) with a shared hidden scratch (mlpForward()). */
+template <int C, class V>
+void
+mlpInto(const Mlp &p, const Matrix &x, Matrix &h1, Matrix &out)
+{
+    denseInto<C, V>(p.l1, x, h1);
+    reluInPlace<V>(h1.data().data(), h1.data().size());
+    denseInto<C, V>(p.l2, h1, out);
+    layerNormInplace<C, V>(p.ln, out);
+}
+
+/** out = [a | b] row-wise (hcat()); pure copies, no arithmetic. */
+inline void
+hcat2Into(const Matrix &a, const Matrix &b, Matrix &out)
+{
+    out.resize(a.rows(), a.cols() + b.cols());
+    for (int r = 0; r < a.rows(); r++) {
+        float *orow = out.row(r);
+        const float *arow = a.row(r);
+        orow = std::copy(arow, arow + a.cols(), orow);
+        const float *brow = b.row(r);
+        std::copy(brow, brow + b.cols(), orow);
+    }
+}
+
+/** One slice of a virtual concatenated input row. */
+struct Segment
+{
+    const float *row;
+    int width;
+};
+
+/**
+ * Accumulate one output row of x W where x's row is the concatenation
+ * of @p segments — the fused form of hcat/gatherRows/broadcastRows
+ * followed by matmul, skipping the materialized concat buffer. The
+ * weight rows are consumed in ascending k order across the segments,
+ * exactly as the matmul over the concatenated row would, so the
+ * result is bit-identical.
+ */
+template <int C, class V>
+void
+accumulateConcatRow(const Segment *segments, int n_segments,
+                    const Matrix &w, float *yrow)
+{
+    if constexpr (C > 0) {
+        RowAcc<C, V> acc;
+        acc.clear();
+        int k = 0;
+        for (int s = 0; s < n_segments; s++) {
+            const float *xrow = segments[s].row;
+            for (int i = 0; i < segments[s].width; i++, k++) {
+                float v = xrow[i];
+                if (v == 0.0f)
+                    continue;
+                acc.axpy(v, w.row(k));
+            }
+        }
+        acc.store(yrow);
+        return;
+    }
+    const int cols = w.cols();
+    const int full = cols - cols % V::width;
+    int k = 0;
+    for (int s = 0; s < n_segments; s++) {
+        const float *xrow = segments[s].row;
+        for (int i = 0; i < segments[s].width; i++, k++) {
+            float v = xrow[i];
+            if (v == 0.0f)
+                continue;
+            const float *wrow = w.row(k);
+            typename V::reg vv = V::set1(v);
+            for (int j = 0; j < full; j += V::width) {
+                V::store(yrow + j, V::madd(vv, V::load(wrow + j),
+                                           V::load(yrow + j)));
+            }
+            for (int j = full; j < cols; j++)
+                yrow[j] += v * wrow[j];
+        }
+    }
+}
+
+/**
+ * out = Mlp([segments(r) for r]) where each output row's input is a
+ * per-row concatenation of segments — the fused equivalent of
+ * mlpForward(hcat(...)). @p segments_of(r, segs) fills the segment
+ * list for row r and returns the count.
+ */
+template <int C, class V, typename SegmentsOf>
+void
+mlpConcatInto(const Mlp &p, int rows, SegmentsOf &&segments_of,
+              Matrix &h1, Matrix &out)
+{
+    const int hidden = staticCols<C>(p.l1.w.cols());
+    h1.resize(rows, hidden);
+    if constexpr (C == 0) {
+        // The dynamic kernel accumulates in place; the specialized one
+        // overwrites from its register accumulator.
+        std::fill(h1.data().begin(), h1.data().end(), 0.0f);
+    }
+    Segment segs[4];
+    for (int r = 0; r < rows; r++) {
+        int n = segments_of(r, segs);
+        accumulateConcatRow<C, V>(segs, n, p.l1.w, h1.row(r));
+    }
+    for (int r = 0; r < rows; r++)
+        addRowInto<V>(p.l1.b.row(0), h1.row(r), hidden);
+    reluInPlace<V>(h1.data().data(), h1.data().size());
+    denseInto<C, V>(p.l2, h1, out);
+    layerNormInplace<C, V>(p.ln, out);
+}
+
+/** Build the test-facing kernel table of tier V. */
+template <class V>
+TierKernels
+makeTierKernels()
+{
+    TierKernels k;
+    k.matmul = &matmulInto<0, V>;
+    k.matmul8 = &matmulInto<8, V>;
+    k.matmul16 = &matmulInto<16, V>;
+    k.dense = &denseInto<0, V>;
+    k.layerNorm = &layerNormInplace<0, V>;
+    k.relu = &reluInPlace<V>;
+    k.addRow = &addRowInto<V>;
+    return k;
+}
+
+} // namespace etpu::gnn::kernels
+
+namespace etpu::gnn::detail
+{
+
+/**
+ * The batched forward pass under tier V's kernels. A friend of
+ * PredictContext; instantiated once per tier TU.
+ */
+template <class V>
+struct ForwardPass
+{
+    /** Width-specialized body (L = latent, 0 = dynamic). */
+    template <int L>
+    static void
+    runImpl(PredictContext &ctx, const GraphNetModel &model)
+    {
+        using namespace kernels;
+        const int n_steps = model.cfg.messagePassingSteps;
+        const int latent = staticCols<L>(model.cfg.latent);
+        const int n_graphs = static_cast<int>(ctx.batchSize());
+        const int n_nodes = ctx.nodes_.rows();
+        const int n_edges = ctx.edges_.rows();
+
+        mlpInto<L, V>(model.encEdge, ctx.edges_, ctx.h1_, ctx.encE_);
+        mlpInto<L, V>(model.encNode, ctx.nodes_, ctx.h1_, ctx.encN_);
+        mlpInto<L, V>(model.encGlobal, ctx.global_, ctx.h1_,
+                      ctx.encG_);
+
+        // The step-0 "previous" latents are the encoder outputs.
+        auto copy_into = [](const Matrix &src, Matrix &dst) {
+            dst.resize(src.rows(), src.cols());
+            std::copy(src.data().begin(), src.data().end(),
+                      dst.data().begin());
+        };
+        copy_into(ctx.encE_, ctx.prevE_);
+        copy_into(ctx.encN_, ctx.prevN_);
+        copy_into(ctx.encG_, ctx.prevG_);
+
+        for (int t = 0; t < n_steps; t++) {
+            hcat2Into(ctx.encE_, ctx.prevE_, ctx.inE_);
+            hcat2Into(ctx.encN_, ctx.prevN_, ctx.inN_);
+            hcat2Into(ctx.encG_, ctx.prevG_, ctx.inG_);
+            const int in_width = 2 * latent;
+
+            // Edge update: [inE | inN[sender] | inN[receiver] | inG].
+            mlpConcatInto<L, V>(
+                model.coreEdge, n_edges,
+                [&](int e, Segment *segs) {
+                    auto idx = static_cast<size_t>(e);
+                    segs[0] = {ctx.inE_.row(e), in_width};
+                    segs[1] = {ctx.inN_.row(ctx.senders_[idx]),
+                               in_width};
+                    segs[2] = {ctx.inN_.row(ctx.receivers_[idx]),
+                               in_width};
+                    segs[3] = {ctx.inG_.row(ctx.edgeGraph_[idx]),
+                               in_width};
+                    return 4;
+                },
+                ctx.h1_, ctx.eOut_);
+
+            // Node update: [inN | sum of incoming edge latents | inG].
+            // The scatter-add runs in ascending edge order per
+            // destination row; lanes are independent columns, so the
+            // vector row-add preserves the scalar accumulation order.
+            ctx.agg_.resize(n_nodes, latent);
+            std::fill(ctx.agg_.data().begin(), ctx.agg_.data().end(),
+                      0.0f);
+            for (size_t e = 0; e < ctx.receivers_.size(); e++) {
+                addRowInto<V>(ctx.eOut_.row(static_cast<int>(e)),
+                              ctx.agg_.row(ctx.receivers_[e]), latent);
+            }
+            mlpConcatInto<L, V>(
+                model.coreNode, n_nodes,
+                [&](int v, Segment *segs) {
+                    auto idx = static_cast<size_t>(v);
+                    segs[0] = {ctx.inN_.row(v), in_width};
+                    segs[1] = {ctx.agg_.row(v), latent};
+                    segs[2] = {ctx.inG_.row(ctx.nodeGraph_[idx]),
+                               in_width};
+                    return 3;
+                },
+                ctx.h1_, ctx.nOut_);
+
+            // Global update: [inG | per-graph column sums of nodes
+            // and edges]. The sums accumulate rows in ascending order
+            // within each graph's range, exactly like the unbatched
+            // colSum.
+            ctx.sumN_.resize(n_graphs, latent);
+            ctx.sumE_.resize(n_graphs, latent);
+            std::fill(ctx.sumN_.data().begin(),
+                      ctx.sumN_.data().end(), 0.0f);
+            std::fill(ctx.sumE_.data().begin(),
+                      ctx.sumE_.data().end(), 0.0f);
+            for (int gr = 0; gr < n_graphs; gr++) {
+                float *nsum = ctx.sumN_.row(gr);
+                for (int r =
+                         ctx.nodeOffset_[static_cast<size_t>(gr)];
+                     r < ctx.nodeOffset_[static_cast<size_t>(gr) + 1];
+                     r++)
+                    addRowInto<V>(ctx.nOut_.row(r), nsum, latent);
+                float *esum = ctx.sumE_.row(gr);
+                for (int r =
+                         ctx.edgeOffset_[static_cast<size_t>(gr)];
+                     r < ctx.edgeOffset_[static_cast<size_t>(gr) + 1];
+                     r++)
+                    addRowInto<V>(ctx.eOut_.row(r), esum, latent);
+            }
+            mlpConcatInto<L, V>(
+                model.coreGlobal, n_graphs,
+                [&](int gr, Segment *segs) {
+                    segs[0] = {ctx.inG_.row(gr), in_width};
+                    segs[1] = {ctx.sumN_.row(gr), latent};
+                    segs[2] = {ctx.sumE_.row(gr), latent};
+                    return 3;
+                },
+                ctx.h1_, ctx.gOut_);
+
+            std::swap(ctx.prevE_, ctx.eOut_);
+            std::swap(ctx.prevN_, ctx.nOut_);
+            std::swap(ctx.prevG_, ctx.gOut_);
+        }
+
+        // Decode the final global attribute into the predicted
+        // metric. Training decodes every step (the loss sums per-step
+        // errors), but inference only reads the last step's
+        // prediction, so the intermediate decodes would be dead work;
+        // prevG_ holds the final global update, and decoding it is
+        // bit-identical to the training path's last-step decode.
+        mlpInto<L, V>(model.decGlobal, ctx.prevG_, ctx.h1_, ctx.dec_);
+        denseInto<1, V>(model.output, ctx.dec_, ctx.pred_);
+    }
+
+    static void
+    run(PredictContext &ctx, const GraphNetModel &model)
+    {
+        // Compile-time latent widths for the model shapes that
+        // actually ship (the paper's 16 and the fast profile's 8);
+        // anything else takes the dynamic path.
+        switch (model.cfg.latent) {
+          case 8: runImpl<8>(ctx, model); break;
+          case 16: runImpl<16>(ctx, model); break;
+          default: runImpl<0>(ctx, model); break;
+        }
+    }
+};
+
+} // namespace etpu::gnn::detail
+
+#endif // ETPU_GNN_PREDICT_KERNELS_HH

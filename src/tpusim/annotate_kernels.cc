@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Scalar + SSE2 annotate/energy kernels and the simdTier() dispatch
+ * (the AVX2 instantiation lives in annotate_kernels_avx2.cc, compiled
+ * with -mavx2). SSE2 is the x86-64 baseline so this TU needs no extra
+ * flags; on other architectures the Sse2 entry aliases the scalar one.
+ */
+
+#include "annotate_kernels.hh"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace etpu::sim
+{
+
+void
+annotateUtilScalar(Program &prog, const UtilParams &p)
+{
+    const size_t n = prog.opRed.size();
+    prog.opLaneUtil.resize(n);
+    prog.opCoreUtil.resize(n);
+    prog.opSpatialUtil.resize(n);
+    for (size_t i = 0; i < n; i++) {
+        const uint8_t f = prog.opFlags[i];
+        prog.opLaneUtil[i] = detail::laneUtilOne(f, prog.opRed[i], p);
+        prog.opCoreUtil[i] = detail::coreUtilOne(f, prog.opCout[i], p);
+        prog.opSpatialUtil[i] =
+            detail::spatialUtilOne(f, prog.opPixels[i], p);
+    }
+}
+
+void
+scaleIntoScalar(const double *src, double *dst, size_t n, double factor)
+{
+    for (size_t i = 0; i < n; i++)
+        dst[i] = src[i] * factor;
+}
+
+#if defined(__SSE2__)
+
+namespace
+{
+
+/** All-ones lanes where the flag bits intersect @p bits. */
+inline __m128d
+maskFromFlags(uint8_t f0, uint8_t f1, uint8_t bits)
+{
+    return _mm_castsi128_pd(
+        _mm_set_epi64x((f1 & bits) ? -1 : 0, (f0 & bits) ? -1 : 0));
+}
+
+/** m ? a : b, bitwise (m lanes are all-ones or all-zero). */
+inline __m128d
+select(__m128d m, __m128d a, __m128d b)
+{
+    return _mm_or_pd(_mm_and_pd(m, a), _mm_andnot_pd(m, b));
+}
+
+/**
+ * floor(x) via truncation — exact for 0 <= x < 2^31, which covers
+ * every lowered tiling ratio (see the header contract). Lanes outside
+ * that range are only ever produced under a flag mask that discards
+ * them before the store.
+ */
+inline __m128d
+floorPos(__m128d x)
+{
+    return _mm_cvtepi32_pd(_mm_cvttpd_epi32(x));
+}
+
+/** ceil(x) for the same non-negative range as floorPos. */
+inline __m128d
+ceilPos(__m128d x)
+{
+    __m128d t = floorPos(x);
+    __m128d needs = _mm_cmplt_pd(t, x);
+    return _mm_add_pd(t, _mm_and_pd(needs, _mm_set1_pd(1.0)));
+}
+
+} // namespace
+
+void
+annotateUtilSse2(Program &prog, const UtilParams &p)
+{
+    const size_t n = prog.opRed.size();
+    prog.opLaneUtil.resize(n);
+    prog.opCoreUtil.resize(n);
+    prog.opSpatialUtil.resize(n);
+
+    const __m128d width = _mm_set1_pd(p.laneWidth);
+    const __m128d cores = _mm_set1_pd(p.cores);
+    const __m128d pes = _mm_set1_pd(p.pes);
+    const __m128d penalty = _mm_set1_pd(p.packPenalty);
+    const __m128d one = _mm_set1_pd(1.0);
+
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2) {
+        const uint8_t f0 = prog.opFlags[i];
+        const uint8_t f1 = prog.opFlags[i + 1];
+
+        // Lane utilization: both branches of the reference compute in
+        // every lane; compare masks pick the branch the scalar code
+        // would have taken (NaN/garbage lanes of the untaken branch
+        // are discarded bitwise, never blended arithmetically).
+        __m128d red = _mm_loadu_pd(&prog.opRed[i]);
+        __m128d wide_tiles = ceilPos(_mm_div_pd(red, width));
+        __m128d wide =
+            _mm_div_pd(red, _mm_mul_pd(wide_tiles, width));
+        __m128d pack = floorPos(_mm_div_pd(width, red));
+        __m128d red_pack = _mm_mul_pd(red, pack);
+        __m128d util = _mm_min_pd(_mm_div_pd(red_pack, width), one);
+        __m128d packed = select(_mm_cmpeq_pd(red_pack, width), util,
+                                _mm_mul_pd(util, penalty));
+        __m128d narrow = select(_mm_cmple_pd(pack, one),
+                                _mm_div_pd(red, width), packed);
+        __m128d lane =
+            select(_mm_cmpge_pd(red, width), wide, narrow);
+        lane = select(maskFromFlags(f0, f1, kOpFlagNoMacs), one, lane);
+        _mm_storeu_pd(&prog.opLaneUtil[i], lane);
+
+        // Core utilization.
+        __m128d cout = _mm_loadu_pd(&prog.opCout[i]);
+        __m128d ctiles = ceilPos(_mm_div_pd(cout, cores));
+        __m128d core =
+            _mm_div_pd(cout, _mm_mul_pd(ctiles, cores));
+        core = select(maskFromFlags(f0, f1, kOpFlagNoMacs), one, core);
+        _mm_storeu_pd(&prog.opCoreUtil[i], core);
+
+        // Spatial utilization.
+        __m128d pix = _mm_loadu_pd(&prog.opPixels[i]);
+        __m128d ptiles = ceilPos(_mm_div_pd(pix, pes));
+        __m128d spat = _mm_div_pd(pix, _mm_mul_pd(ptiles, pes));
+        spat = select(
+            maskFromFlags(f0, f1, kOpFlagNoWork | kOpFlagDense), one,
+            spat);
+        _mm_storeu_pd(&prog.opSpatialUtil[i], spat);
+    }
+    for (; i < n; i++) {
+        const uint8_t f = prog.opFlags[i];
+        prog.opLaneUtil[i] = detail::laneUtilOne(f, prog.opRed[i], p);
+        prog.opCoreUtil[i] = detail::coreUtilOne(f, prog.opCout[i], p);
+        prog.opSpatialUtil[i] =
+            detail::spatialUtilOne(f, prog.opPixels[i], p);
+    }
+}
+
+void
+scaleIntoSse2(const double *src, double *dst, size_t n, double factor)
+{
+    const __m128d f = _mm_set1_pd(factor);
+    size_t i = 0;
+    for (; i + 2 <= n; i += 2)
+        _mm_storeu_pd(dst + i,
+                      _mm_mul_pd(_mm_loadu_pd(src + i), f));
+    for (; i < n; i++)
+        dst[i] = src[i] * factor;
+}
+
+#else // !__SSE2__
+
+void
+annotateUtilSse2(Program &prog, const UtilParams &p)
+{
+    annotateUtilScalar(prog, p);
+}
+
+void
+scaleIntoSse2(const double *src, double *dst, size_t n, double factor)
+{
+    scaleIntoScalar(src, dst, n, factor);
+}
+
+#endif // __SSE2__
+
+void
+annotateUtil(Program &prog, const UtilParams &p)
+{
+    switch (simdTier()) {
+      case SimdTier::Scalar: annotateUtilScalar(prog, p); break;
+      case SimdTier::Sse2: annotateUtilSse2(prog, p); break;
+      case SimdTier::Avx2:
+      case SimdTier::Fma: annotateUtilAvx2(prog, p); break;
+    }
+}
+
+void
+scaleInto(const double *src, double *dst, size_t n, double factor)
+{
+    switch (simdTier()) {
+      case SimdTier::Scalar: scaleIntoScalar(src, dst, n, factor); break;
+      case SimdTier::Sse2: scaleIntoSse2(src, dst, n, factor); break;
+      case SimdTier::Avx2:
+      case SimdTier::Fma: scaleIntoAvx2(src, dst, n, factor); break;
+    }
+}
+
+} // namespace etpu::sim

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * SIMD kernels for the compiler's per-op utilization annotation and
+ * the simulator's per-op vector-energy fill. Compiler::lower() mirrors
+ * the tiling inputs of every op into the Program's structural SoA
+ * arrays (opRed/opCout/opPixels/opFlags); annotateUtil() sweeps them
+ * with 2-wide (SSE2) or 4-wide (AVX2) double lanes into the annotated
+ * SoA scratch, which Compiler::annotate() writes back into the ops.
+ *
+ * Bit-exactness contract: every tier performs the identical IEEE-754
+ * operations per element (divide, multiply, ceil/floor, min, compare
+ * — all correctly rounded or exact), so the tiers produce identical
+ * bits and the dispatch never changes simulation results (pinned in
+ * tests/test_simd_kernels.cc and the golden tests). Two deliberate,
+ * proven-equivalent rewrites of Compiler::laneUtilization():
+ *
+ *  - The exact-fit predicate is `red * pack == width` instead of
+ *    `fmod(width, red) == 0`: with pack = floor(width/red) and both
+ *    operands integer-valued (they are tiling dimensions), the product
+ *    is exact below 2^53, so the predicates agree.
+ *  - The SSE2 tier floors/ceils via cvttpd truncation, exact for
+ *    non-negative values below 2^31 — every lowered tiling dimension
+ *    (reduce dim, channels, output pixels) is far below that.
+ *
+ * The dispatched entry points follow common/simd.hh's simdTier(); the
+ * relaxed Fma tier aliases Avx2 here because this arithmetic has no
+ * multiply+add chain to contract (it is exact on every tier).
+ */
+
+#ifndef ETPU_TPUSIM_ANNOTATE_KERNELS_HH
+#define ETPU_TPUSIM_ANNOTATE_KERNELS_HH
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+#include "common/simd.hh"
+#include "tpusim/isa.hh"
+
+namespace etpu::sim
+{
+
+// Program::opFlags bits (set by Compiler::lower).
+inline constexpr uint8_t kOpFlagNoMacs = 1u << 0; //!< layer.macs() == 0
+inline constexpr uint8_t kOpFlagDense = 1u << 1;  //!< fully-connected
+/** layer.macs() == 0 && layer.vectorOps() == 0 (pure data movement). */
+inline constexpr uint8_t kOpFlagNoWork = 1u << 2;
+
+/** Configuration-derived constants of one annotate() sweep. */
+struct UtilParams
+{
+    double laneWidth;   //!< computeLanes * macsPerLane
+    double cores;       //!< coresPerPe
+    double pes;         //!< numPes()
+    double packPenalty; //!< Calibration::packPenalty
+};
+
+namespace detail
+{
+
+/** Per-element reference math (Compiler::laneUtilization, SoA form). */
+inline double
+laneUtilOne(uint8_t flags, double red, const UtilParams &p)
+{
+    if (flags & kOpFlagNoMacs)
+        return 1.0;
+    if (red >= p.laneWidth) {
+        double tiles = std::ceil(red / p.laneWidth);
+        return red / (tiles * p.laneWidth);
+    }
+    double pack = std::floor(p.laneWidth / red);
+    if (pack <= 1.0)
+        return red / p.laneWidth;
+    double util = std::min(red * pack / p.laneWidth, 1.0);
+    bool exact = red * pack == p.laneWidth;
+    return exact ? util : util * p.packPenalty;
+}
+
+/** Per-element reference math (Compiler::coreUtilization, SoA form). */
+inline double
+coreUtilOne(uint8_t flags, double cout, const UtilParams &p)
+{
+    if (flags & kOpFlagNoMacs)
+        return 1.0;
+    double tiles = std::ceil(cout / p.cores);
+    return cout / (tiles * p.cores);
+}
+
+/** Per-element reference math (Compiler::spatialUtilization, SoA). */
+inline double
+spatialUtilOne(uint8_t flags, double pixels, const UtilParams &p)
+{
+    if (flags & (kOpFlagNoWork | kOpFlagDense))
+        return 1.0;
+    double tiles = std::ceil(pixels / p.pes);
+    return pixels / (tiles * p.pes);
+}
+
+} // namespace detail
+
+/*
+ * Per-tier entry points (exported for the bit-exactness tests in
+ * tests/test_simd_kernels.cc). Each fills prog.opLaneUtil /
+ * opCoreUtil / opSpatialUtil from the structural SoA arrays; sizes
+ * follow prog.opRed.size(). Where the TU's instruction set is
+ * unavailable at build time a tier aliases the next one down.
+ */
+void annotateUtilScalar(Program &prog, const UtilParams &p);
+void annotateUtilSse2(Program &prog, const UtilParams &p);
+void annotateUtilAvx2(Program &prog, const UtilParams &p);
+
+/** dst[i] = src[i] * factor for i in [0, n) — per-tier variants. */
+void scaleIntoScalar(const double *src, double *dst, size_t n,
+                     double factor);
+void scaleIntoSse2(const double *src, double *dst, size_t n,
+                   double factor);
+void scaleIntoAvx2(const double *src, double *dst, size_t n,
+                   double factor);
+
+/** Dispatch on the process-wide simdTier() (Fma aliases Avx2). */
+void annotateUtil(Program &prog, const UtilParams &p);
+void scaleInto(const double *src, double *dst, size_t n, double factor);
+
+} // namespace etpu::sim
+
+#endif // ETPU_TPUSIM_ANNOTATE_KERNELS_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * AVX2 instantiation of the annotate/energy kernels (4-wide double
+ * lanes). Compiled with -mavx2 -ffp-contract=off where supported —
+ * the arithmetic has no multiply+add chain, but contract-off keeps
+ * the exactness argument local to the code rather than resting on
+ * what the optimizer happens to emit. Uses the native VROUNDPD
+ * floor/ceil, exact for every double (no 2^31 precondition). Falls
+ * back to the SSE2 tier when the build lacks AVX2 support; runtime
+ * dispatch (common/simd.hh) never selects it on CPUs without it.
+ */
+
+#include "annotate_kernels.hh"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+
+namespace etpu::sim
+{
+
+namespace
+{
+
+/** All-ones lanes where the flag bits intersect @p bits. */
+inline __m256d
+maskFromFlags(const uint8_t *f, uint8_t bits)
+{
+    return _mm256_castsi256_pd(
+        _mm256_set_epi64x((f[3] & bits) ? -1 : 0,
+                          (f[2] & bits) ? -1 : 0,
+                          (f[1] & bits) ? -1 : 0,
+                          (f[0] & bits) ? -1 : 0));
+}
+
+/** m ? a : b (m lanes are all-ones or all-zero, blend is bitwise). */
+inline __m256d
+select(__m256d m, __m256d a, __m256d b)
+{
+    return _mm256_blendv_pd(b, a, m);
+}
+
+} // namespace
+
+void
+annotateUtilAvx2(Program &prog, const UtilParams &p)
+{
+    const size_t n = prog.opRed.size();
+    prog.opLaneUtil.resize(n);
+    prog.opCoreUtil.resize(n);
+    prog.opSpatialUtil.resize(n);
+
+    const __m256d width = _mm256_set1_pd(p.laneWidth);
+    const __m256d cores = _mm256_set1_pd(p.cores);
+    const __m256d pes = _mm256_set1_pd(p.pes);
+    const __m256d penalty = _mm256_set1_pd(p.packPenalty);
+    const __m256d one = _mm256_set1_pd(1.0);
+
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+        const uint8_t *f = &prog.opFlags[i];
+
+        __m256d red = _mm256_loadu_pd(&prog.opRed[i]);
+        __m256d wide_tiles =
+            _mm256_ceil_pd(_mm256_div_pd(red, width));
+        __m256d wide =
+            _mm256_div_pd(red, _mm256_mul_pd(wide_tiles, width));
+        __m256d pack =
+            _mm256_floor_pd(_mm256_div_pd(width, red));
+        __m256d red_pack = _mm256_mul_pd(red, pack);
+        __m256d util =
+            _mm256_min_pd(_mm256_div_pd(red_pack, width), one);
+        __m256d packed =
+            select(_mm256_cmp_pd(red_pack, width, _CMP_EQ_OQ), util,
+                   _mm256_mul_pd(util, penalty));
+        __m256d narrow =
+            select(_mm256_cmp_pd(pack, one, _CMP_LE_OQ),
+                   _mm256_div_pd(red, width), packed);
+        __m256d lane =
+            select(_mm256_cmp_pd(red, width, _CMP_GE_OQ), wide,
+                   narrow);
+        lane = select(maskFromFlags(f, kOpFlagNoMacs), one, lane);
+        _mm256_storeu_pd(&prog.opLaneUtil[i], lane);
+
+        __m256d cout = _mm256_loadu_pd(&prog.opCout[i]);
+        __m256d ctiles =
+            _mm256_ceil_pd(_mm256_div_pd(cout, cores));
+        __m256d core =
+            _mm256_div_pd(cout, _mm256_mul_pd(ctiles, cores));
+        core = select(maskFromFlags(f, kOpFlagNoMacs), one, core);
+        _mm256_storeu_pd(&prog.opCoreUtil[i], core);
+
+        __m256d pix = _mm256_loadu_pd(&prog.opPixels[i]);
+        __m256d ptiles = _mm256_ceil_pd(_mm256_div_pd(pix, pes));
+        __m256d spat =
+            _mm256_div_pd(pix, _mm256_mul_pd(ptiles, pes));
+        spat = select(maskFromFlags(f, kOpFlagNoWork | kOpFlagDense),
+                      one, spat);
+        _mm256_storeu_pd(&prog.opSpatialUtil[i], spat);
+    }
+    for (; i < n; i++) {
+        const uint8_t flag = prog.opFlags[i];
+        prog.opLaneUtil[i] =
+            detail::laneUtilOne(flag, prog.opRed[i], p);
+        prog.opCoreUtil[i] =
+            detail::coreUtilOne(flag, prog.opCout[i], p);
+        prog.opSpatialUtil[i] =
+            detail::spatialUtilOne(flag, prog.opPixels[i], p);
+    }
+}
+
+void
+scaleIntoAvx2(const double *src, double *dst, size_t n, double factor)
+{
+    const __m256d f = _mm256_set1_pd(factor);
+    size_t i = 0;
+    for (; i + 4 <= n; i += 4)
+        _mm256_storeu_pd(dst + i,
+                         _mm256_mul_pd(_mm256_loadu_pd(src + i), f));
+    for (; i < n; i++)
+        dst[i] = src[i] * factor;
+}
+
+} // namespace etpu::sim
+
+#else // !__AVX2__
+
+namespace etpu::sim
+{
+
+void
+annotateUtilAvx2(Program &prog, const UtilParams &p)
+{
+    annotateUtilSse2(prog, p);
+}
+
+void
+scaleIntoAvx2(const double *src, double *dst, size_t n, double factor)
+{
+    scaleIntoSse2(src, dst, n, factor);
+}
+
+} // namespace etpu::sim
+
+#endif // __AVX2__

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "annotate_kernels.hh"
 #include "common/logging.hh"
 
 namespace etpu::sim
@@ -110,6 +111,11 @@ Compiler::lower(const nas::Network &net, const nas::CellSpec *cell,
     prog.totalWeightBytes = 0;
     prog.peakActivationBytes = 0;
     prog.poolDominated = cell && cellIsPoolDominated(*cell);
+    prog.opRed.resize(net.layers.size());
+    prog.opCout.resize(net.layers.size());
+    prog.opPixels.resize(net.layers.size());
+    prog.opVecOps.resize(net.layers.size());
+    prog.opFlags.resize(net.layers.size());
 
     int max_cell = -1;
     for (size_t i = 0; i < net.layers.size(); i++) {
@@ -126,6 +132,26 @@ Compiler::lower(const nas::Network &net, const nas::CellSpec *cell,
         op.depsBegin = layer.depsBegin;
         op.depsCount = layer.depsCount;
         max_cell = std::max(max_cell, layer.cellIndex);
+
+        // SoA mirrors of the tiling inputs the annotate kernels sweep
+        // (same expressions as the scalar *Utilization reference).
+        double red = static_cast<double>(layer.kernel) * layer.kernel *
+                     layer.cin;
+        if (layer.kind == nas::LayerKind::Dense)
+            red = layer.cin;
+        prog.opRed[i] = red;
+        prog.opCout[i] = layer.cout;
+        prog.opPixels[i] =
+            static_cast<double>(layer.outH) * layer.outW;
+        prog.opVecOps[i] = static_cast<double>(op.vectorOps);
+        uint8_t flags = 0;
+        if (op.macs == 0)
+            flags |= kOpFlagNoMacs;
+        if (layer.kind == nas::LayerKind::Dense)
+            flags |= kOpFlagDense;
+        if (op.macs == 0 && op.vectorOps == 0)
+            flags |= kOpFlagNoWork;
+        prog.opFlags[i] = flags;
 
         prog.totalWeightBytes += layer.weightBytes();
         uint64_t footprint = layer.inputBytes() + layer.outputBytes();
@@ -147,12 +173,35 @@ Compiler::annotate(const nas::Network &net, Program &prog) const
     // Count partitioned cell instances (for the host-switch cost).
     prog.fallbackCellInstances = fallback ? prog.cellInstances : 0;
 
-    for (auto &op : prog.ops) {
+    // Per-op utilizations: the dispatched SIMD kernel sweeps the
+    // structural SoA mirrors (bit-exact with the scalar *Utilization
+    // reference on every tier). Hand-built Programs without the SoA
+    // arrays take the reference path directly.
+    const size_t n = prog.ops.size();
+    const bool soa = prog.opRed.size() == n && prog.opFlags.size() == n;
+    if (soa) {
+        annotateUtil(prog,
+                     {static_cast<double>(config_.computeLanes) *
+                          config_.macsPerLane,
+                      static_cast<double>(config_.coresPerPe),
+                      static_cast<double>(config_.numPes()),
+                      cal_.packPenalty});
+    }
+    prog.opVecOpsActive.resize(n);
+
+    for (size_t i = 0; i < n; i++) {
+        CompiledOp &op = prog.ops[i];
         const nas::Layer &layer =
             net.layers[static_cast<size_t>(op.layer)];
-        op.laneUtil = laneUtilization(layer);
-        op.coreUtil = coreUtilization(layer);
-        op.spatialUtil = spatialUtilization(layer);
+        if (soa) {
+            op.laneUtil = prog.opLaneUtil[i];
+            op.coreUtil = prog.opCoreUtil[i];
+            op.spatialUtil = prog.opSpatialUtil[i];
+        } else {
+            op.laneUtil = laneUtilization(layer);
+            op.coreUtil = coreUtilization(layer);
+            op.spatialUtil = spatialUtilization(layer);
+        }
         op.cpuFallback = false;
         op.dramActBytes = 0;
         op.weightStreamBytes = 0;
@@ -166,6 +215,11 @@ Compiler::annotate(const nas::Network &net, Program &prog) const
             op.cpuFallback = true;
             op.dramActBytes = op.inputBytes + op.outputBytes;
         }
+        // Vector-op counts with fallback ops zeroed, for the
+        // simulator's vectorized per-op energy fill.
+        prog.opVecOpsActive[i] =
+            op.cpuFallback ? 0.0
+                           : static_cast<double>(op.vectorOps);
     }
 
     // Activation spill: double-buffered working set beyond the PE

@@ -72,12 +72,29 @@ struct Program
     int cellInstances = 0;
     /** Cell body is pool-dominated with no 3x3 conv anchor. */
     bool poolDominated = false;
+    /**
+     * Structural SoA mirrors of the per-op tiling inputs, feeding the
+     * vectorized annotate/energy kernels (annotate_kernels.hh): the
+     * im2col reduce dimension, output channels, output pixels, the
+     * vector-op count as a double, and layer-kind flags
+     * (kOpFlagNoMacs/kOpFlagDense/kOpFlagNoWork).
+     */
+    std::vector<double> opRed, opCout, opPixels, opVecOps;
+    std::vector<uint8_t> opFlags;
 
     // Annotated (set by Compiler::annotate, per configuration).
     uint64_t cachedWeightBytes = 0;
     uint64_t weightCacheBudget = 0;
     int fallbackCellInstances = 0; //!< cell instances partitioned to CPU
     bool parameterCaching = true;
+    /**
+     * Annotated SoA scratch: per-op utilizations computed by the
+     * dispatched kernel before the AoS writeback, and vector-op
+     * counts with CPU-fallback ops zeroed (consumed by the
+     * simulator's vectorized per-op energy fill).
+     */
+    std::vector<double> opLaneUtil, opCoreUtil, opSpatialUtil;
+    std::vector<double> opVecOpsActive;
 
     /** Producer op indices of @p op. */
     std::span<const int32_t>

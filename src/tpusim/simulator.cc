@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "annotate_kernels.hh"
 #include "common/logging.hh"
 
 namespace etpu::sim
@@ -67,11 +68,23 @@ Simulator::run(const Program &prog, SimScratch &scratch) const
     std::vector<double> &streamed_starts = scratch.streamedStarts;
     streamed_starts.clear();
 
-    // Per-op vector-op energy, folded into this loop; summed (in op
-    // order, preserving the historical rounding) by the energy model
-    // below. Fallback ops burn no accelerator vector energy.
+    // Per-op vector-op energy; summed (in op order, preserving the
+    // historical rounding) by the energy model below. Fallback ops
+    // burn no accelerator vector energy. Annotated programs carry the
+    // fallback-zeroed counts in SoA form, so the fill is one
+    // dispatched vector multiply (bit-exact with the per-op scalar
+    // multiply it replaces); hand-built programs keep the in-loop
+    // scalar assignment.
     std::vector<double> &vec_pj = scratch.vecPj;
-    vec_pj.assign(prog.ops.size(), 0.0);
+    const bool vec_precomputed =
+        prog.opVecOpsActive.size() == prog.ops.size();
+    if (vec_precomputed) {
+        vec_pj.resize(prog.ops.size());
+        scaleInto(prog.opVecOpsActive.data(), vec_pj.data(),
+                  prog.ops.size(), em.pjPerVectorOp);
+    } else {
+        vec_pj.assign(prog.ops.size(), 0.0);
+    }
 
     for (size_t i = 0; i < prog.ops.size(); i++) {
         const CompiledOp &op = prog.ops[i];
@@ -142,7 +155,9 @@ Simulator::run(const Program &prog, SimScratch &scratch) const
         double cycles = op_overhead_cycles +
                         std::max(mac_cycles + vec_cycles, dist_cycles) +
                         noc_cycles;
-        vec_pj[i] = static_cast<double>(op.vectorOps) * em.pjPerVectorOp;
+        if (!vec_precomputed)
+            vec_pj[i] =
+                static_cast<double>(op.vectorOps) * em.pjPerVectorOp;
         start = std::max({deps_ready, compute_free, weight_ready});
         duration = cycles / clock_hz + act_dram_time;
         compute_free = start + duration;

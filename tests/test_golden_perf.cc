@@ -26,6 +26,7 @@
 #include "nasbench/accuracy.hh"
 #include "nasbench/dataset.hh"
 #include "nasbench/network.hh"
+#include "pipeline/builder.hh"
 #include "tpusim/eval_context.hh"
 
 namespace
@@ -124,6 +125,37 @@ TEST(GoldenPerf, EvalContextReproducesPinnedBits)
                 << g.name << " latency drifted on config " << c;
             EXPECT_EQ(std::bit_cast<uint32_t>(en), g.energy[c])
                 << g.name << " energy drifted on config " << c;
+        }
+    }
+}
+
+// The pinned bits through the parallel characterization pipeline at
+// 1, 3 and 8 workers: the work-stealing runtime and the SIMD dispatch
+// tier must not perturb a single bit regardless of how the cells are
+// scheduled across workers.
+TEST(GoldenPerf, PinnedBitsStableAcrossWorkerCounts)
+{
+    auto goldens = goldenCells();
+    std::vector<nas::CellSpec> cells;
+    cells.reserve(goldens.size());
+    for (const auto &g : goldens)
+        cells.push_back(g.cell);
+    for (unsigned threads : {1u, 3u, 8u}) {
+        nas::Dataset ds = pipeline::buildDataset(cells, threads);
+        ASSERT_EQ(ds.size(), goldens.size());
+        for (size_t i = 0; i < goldens.size(); i++) {
+            for (size_t c = 0; c < nas::numAccelerators; c++) {
+                EXPECT_EQ(std::bit_cast<uint32_t>(
+                              ds.records[i].latencyMs[c]),
+                          goldens[i].latency[c])
+                    << goldens[i].name << " latency drifted at "
+                    << threads << " workers on config " << c;
+                EXPECT_EQ(std::bit_cast<uint32_t>(
+                              ds.records[i].energyMj[c]),
+                          goldens[i].energy[c])
+                    << goldens[i].name << " energy drifted at "
+                    << threads << " workers on config " << c;
+            }
         }
     }
 }

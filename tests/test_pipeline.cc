@@ -126,13 +126,20 @@ TEST(Pipeline, MatchesStandaloneMetrics)
 
 TEST(Pipeline, DeterministicAcrossThreadCounts)
 {
+    // 1 = sequential path, 3 = uneven shards on the work-stealing
+    // runtime, 4/8 = more workers than a CI core has (stealing and
+    // oversubscription must not reorder or perturb records).
     auto cells = someCells();
     nas::Dataset a = pipeline::buildDataset(cells, 1);
-    nas::Dataset b = pipeline::buildDataset(cells, 4);
-    ASSERT_EQ(a.size(), b.size());
-    for (size_t i = 0; i < a.size(); i++) {
-        EXPECT_EQ(a.records[i].latencyMs, b.records[i].latencyMs);
-        EXPECT_EQ(a.records[i].energyMj, b.records[i].energyMj);
+    for (unsigned threads : {3u, 4u, 8u}) {
+        nas::Dataset b = pipeline::buildDataset(cells, threads);
+        ASSERT_EQ(a.size(), b.size());
+        for (size_t i = 0; i < a.size(); i++) {
+            EXPECT_EQ(a.records[i].latencyMs, b.records[i].latencyMs)
+                << "cell " << i << " at " << threads << " threads";
+            EXPECT_EQ(a.records[i].energyMj, b.records[i].energyMj)
+                << "cell " << i << " at " << threads << " threads";
+        }
     }
 }
 
@@ -195,6 +202,20 @@ TEST(Pipeline, ShardedBuildMatchesInMemoryBuildByteForByte)
         pipeline::partialPath(sharded_path)));
     EXPECT_FALSE(std::filesystem::exists(
         pipeline::manifestPath(sharded_path)));
+
+    // The same sharded build at 1, 3 and 8 workers: the pinned CRC
+    // must hold at every worker count of the work-stealing runtime
+    // (sequential path, uneven shards, oversubscribed workers).
+    for (unsigned threads : {1u, 3u, 8u}) {
+        cleanupBuild(sharded_path);
+        pipeline::ShardedBuildOptions o;
+        o.threads = threads;
+        o.shards = 4;
+        auto r = pipeline::buildDatasetSharded(cells, sharded_path, o);
+        EXPECT_TRUE(r.finished);
+        EXPECT_EQ(fileCrc(sharded_path), goldenCache30Crc)
+            << "cache bytes drifted at " << threads << " workers";
+    }
 
     cleanupBuild(ref_path);
     cleanupBuild(ref8_path);

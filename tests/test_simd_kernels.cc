@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Bit-exactness pins for the SIMD dispatch tiers.
+ *
+ * Every exact tier (scalar/sse2/avx2) of the gnn forward kernels and
+ * the tpusim annotate/energy kernels must produce results that are
+ * IEEE-754 bit-identical to the scalar tier — that is the contract
+ * that lets simdTier() dispatch freely without perturbing the golden
+ * campaign CRC or the pinned perf bits. The sweeps below hammer each
+ * kernel table on adversarial inputs: denormals, NaN columns,
+ * negative zeros, unaligned tails (odd widths that leave vector
+ * remainders), zero-length rows and empty matrices. Comparison is
+ * memcmp over the raw storage, so a flush-to-zero, a reassociated
+ * sum, or a fused multiply-add fails loudly.
+ *
+ * The relaxed Fma tier is excluded from the exactness sweep by
+ * design; the death test pins that it cannot arm without the
+ * ETPU_RELAXED_MATH=1 opt-in.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "common/simd.hh"
+#include "gnn/predict_forward.hh"
+#include "tpusim/annotate_kernels.hh"
+
+namespace
+{
+
+using namespace etpu;
+using gnn::Matrix;
+
+/** The exact tiers this CPU can execute (scalar always; never fma). */
+std::vector<SimdTier>
+executableExactTiers()
+{
+    std::vector<SimdTier> tiers = {SimdTier::Scalar};
+    if (maxHardwareTier() >= SimdTier::Sse2)
+        tiers.push_back(SimdTier::Sse2);
+    if (maxHardwareTier() >= SimdTier::Avx2)
+        tiers.push_back(SimdTier::Avx2);
+    return tiers;
+}
+
+/**
+ * Adversarial float soup: ordinary values mixed with denormals,
+ * negative zeros, huge/tiny exponents — everything that trips
+ * flush-to-zero or double-rounding shortcuts.
+ */
+float
+adversarialFloat(std::mt19937 &rng)
+{
+    switch (rng() % 8) {
+      case 0: return 0.0f;
+      case 1: return -0.0f;
+      case 2:
+        return std::numeric_limits<float>::denorm_min() *
+               static_cast<float>(1 + rng() % 100);
+      case 3:
+        return -std::numeric_limits<float>::denorm_min() *
+               static_cast<float>(1 + rng() % 100);
+      case 4: return std::ldexp(1.0f + 1e-7f, 100);
+      case 5: return -std::ldexp(1.0f + 1e-7f, -100);
+      default: {
+        std::uniform_real_distribution<float> d(-3.0f, 3.0f);
+        return d(rng);
+      }
+    }
+}
+
+void
+fillAdversarial(Matrix &m, std::mt19937 &rng, int nan_col = -1)
+{
+    for (int r = 0; r < m.rows(); r++) {
+        for (int c = 0; c < m.cols(); c++) {
+            m.at(r, c) = c == nan_col
+                             ? std::numeric_limits<float>::quiet_NaN()
+                             : adversarialFloat(rng);
+        }
+    }
+}
+
+void
+expectBitsEqual(const Matrix &ref, const Matrix &got, const char *what,
+                SimdTier tier)
+{
+    ASSERT_EQ(ref.rows(), got.rows()) << what;
+    ASSERT_EQ(ref.cols(), got.cols()) << what;
+    EXPECT_EQ(0, std::memcmp(ref.data().data(), got.data().data(),
+                             ref.data().size() * sizeof(float)))
+        << what << " not bit-exact on tier " << simdTierName(tier);
+}
+
+TEST(SimdKernels, MatmulVariantsBitExactAcrossTiers)
+{
+    std::mt19937 rng(7);
+    // {a_rows, inner, b_cols, nan col in b (-1: none)} — odd widths
+    // leave unaligned vector tails, 8/16 hit the static-width paths,
+    // zero rows exercise empty outputs.
+    struct Shape
+    {
+        int rows, inner, cols, nan_col;
+    };
+    const Shape shapes[] = {
+        {1, 1, 1, -1},  {3, 7, 5, 2},    {2, 9, 3, -1},
+        {5, 12, 8, 4},  {4, 9, 16, 11},  {7, 17, 17, 0},
+        {0, 4, 8, -1},  {6, 1, 9, -1},   {9, 16, 16, -1},
+        {8, 8, 8, 7},
+    };
+    for (const auto &s : shapes) {
+        Matrix a(s.rows, s.inner), b(s.inner, s.cols);
+        fillAdversarial(a, rng);
+        fillAdversarial(b, rng, s.nan_col);
+        // A zero row in a exercises the zero-operand skip identically
+        // on every tier (the skip keys on a's value, never b's).
+        if (a.rows() > 1)
+            for (int c = 0; c < a.cols(); c++)
+                a.at(1, c) = 0.0f;
+
+        Matrix ref;
+        gnn::scalarTierKernels().matmul(a, b, ref);
+        for (SimdTier tier : executableExactTiers()) {
+            const gnn::TierKernels &k = gnn::tierKernels(tier);
+            Matrix c;
+            k.matmul(a, b, c);
+            expectBitsEqual(ref, c, "matmul", tier);
+            if (s.cols == 8) {
+                Matrix c8;
+                k.matmul8(a, b, c8);
+                expectBitsEqual(ref, c8, "matmul8", tier);
+            }
+            if (s.cols == 16) {
+                Matrix c16;
+                k.matmul16(a, b, c16);
+                expectBitsEqual(ref, c16, "matmul16", tier);
+            }
+        }
+    }
+}
+
+TEST(SimdKernels, DenseAndLayerNormBitExactAcrossTiers)
+{
+    std::mt19937 rng(11);
+    for (int out : {1, 3, 8, 13, 16}) {
+        gnn::DenseLayer layer;
+        layer.initZero(9, out);
+        fillAdversarial(layer.w, rng);
+        fillAdversarial(layer.b, rng);
+        Matrix x(5, 9);
+        fillAdversarial(x, rng);
+
+        Matrix ref;
+        gnn::scalarTierKernels().dense(layer, x, ref);
+
+        gnn::LayerNorm ln;
+        ln.init(out);
+        fillAdversarial(ln.gamma, rng);
+        fillAdversarial(ln.beta, rng);
+        // Layer-norm input must be finite (the mean/variance reduction
+        // would spread a NaN over the whole row on every tier alike,
+        // hiding scale/offset differences).
+        Matrix ln_ref = ref;
+        for (float &v : ln_ref.data())
+            v = std::isfinite(v) ? v : 1.0f;
+        Matrix ln_expect = ln_ref;
+        gnn::scalarTierKernels().layerNorm(ln, ln_expect);
+
+        for (SimdTier tier : executableExactTiers()) {
+            const gnn::TierKernels &k = gnn::tierKernels(tier);
+            Matrix y;
+            k.dense(layer, x, y);
+            expectBitsEqual(ref, y, "dense", tier);
+            Matrix z = ln_ref;
+            k.layerNorm(ln, z);
+            expectBitsEqual(ln_expect, z, "layerNorm", tier);
+        }
+    }
+}
+
+TEST(SimdKernels, ReluAndAddRowBitExactAcrossTiers)
+{
+    std::mt19937 rng(13);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{19},
+                     size_t{64}}) {
+        std::vector<float> src(n), base(n);
+        for (size_t i = 0; i < n; i++) {
+            src[i] = adversarialFloat(rng);
+            base[i] = adversarialFloat(rng);
+        }
+        if (n > 2)
+            src[2] = std::numeric_limits<float>::quiet_NaN();
+
+        std::vector<float> relu_ref = src;
+        gnn::scalarTierKernels().relu(relu_ref.data(), n);
+        std::vector<float> add_ref = base;
+        gnn::scalarTierKernels().addRow(src.data(), add_ref.data(),
+                                        static_cast<int>(n));
+
+        for (SimdTier tier : executableExactTiers()) {
+            const gnn::TierKernels &k = gnn::tierKernels(tier);
+            std::vector<float> r = src;
+            k.relu(r.data(), n);
+            EXPECT_EQ(0, std::memcmp(relu_ref.data(), r.data(),
+                                     n * sizeof(float)))
+                << "relu not bit-exact on tier " << simdTierName(tier);
+            std::vector<float> a = base;
+            k.addRow(src.data(), a.data(), static_cast<int>(n));
+            EXPECT_EQ(0, std::memcmp(add_ref.data(), a.data(),
+                                     n * sizeof(float)))
+                << "addRow not bit-exact on tier "
+                << simdTierName(tier);
+        }
+    }
+}
+
+/** SoA program stub covering every flag combination and ragged tail. */
+sim::Program
+utilProgram(size_t n, std::mt19937 &rng)
+{
+    sim::Program prog;
+    prog.opRed.resize(n);
+    prog.opCout.resize(n);
+    prog.opPixels.resize(n);
+    prog.opFlags.resize(n);
+    const double reds[] = {1,  2,  3,   8,   9,    16,   27,
+                           64, 96, 576, 1152, 4608, 2304, 0};
+    const uint8_t flag_combos[] = {
+        0,
+        sim::kOpFlagDense,
+        sim::kOpFlagNoMacs,
+        sim::kOpFlagNoMacs | sim::kOpFlagNoWork,
+        sim::kOpFlagNoMacs | sim::kOpFlagDense | sim::kOpFlagNoWork,
+    };
+    for (size_t i = 0; i < n; i++) {
+        double red = reds[rng() % std::size(reds)];
+        uint8_t flags = flag_combos[i % std::size(flag_combos)];
+        // red == 0 only occurs on ops without MACs (glue layers); the
+        // kernels may compute garbage lanes there as long as the flag
+        // mask discards them.
+        if (red == 0.0)
+            flags |= sim::kOpFlagNoMacs | sim::kOpFlagNoWork;
+        prog.opRed[i] = red;
+        prog.opCout[i] = static_cast<double>(1 + rng() % 512);
+        prog.opPixels[i] = static_cast<double>(1 + rng() % 50176);
+        prog.opFlags[i] = flags;
+    }
+    return prog;
+}
+
+TEST(SimdKernels, AnnotateUtilTiersBitExact)
+{
+    std::mt19937 rng(17);
+    const sim::UtilParams params[] = {
+        {64.0, 4.0, 16.0, 0.737},
+        {256.0, 8.0, 64.0, 0.5},
+        {1024.0, 2.0, 4.0, 0.9},
+    };
+    // Sizes straddle the 2- and 4-wide vector widths so both the main
+    // loops and the scalar tails are exercised.
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                     size_t{5}, size_t{8}, size_t{33}, size_t{257}}) {
+        for (const sim::UtilParams &p : params) {
+            sim::Program ref_prog = utilProgram(n, rng);
+            sim::Program sse2_prog = ref_prog;
+            sim::Program avx2_prog = ref_prog;
+
+            sim::annotateUtilScalar(ref_prog, p);
+            sim::annotateUtilSse2(sse2_prog, p);
+            sim::annotateUtilAvx2(avx2_prog, p);
+
+            auto bits_equal = [n](const std::vector<double> &a,
+                                  const std::vector<double> &b) {
+                return a.size() == n && b.size() == n &&
+                       std::memcmp(a.data(), b.data(),
+                                   n * sizeof(double)) == 0;
+            };
+            EXPECT_TRUE(bits_equal(ref_prog.opLaneUtil,
+                                   sse2_prog.opLaneUtil));
+            EXPECT_TRUE(bits_equal(ref_prog.opCoreUtil,
+                                   sse2_prog.opCoreUtil));
+            EXPECT_TRUE(bits_equal(ref_prog.opSpatialUtil,
+                                   sse2_prog.opSpatialUtil));
+            EXPECT_TRUE(bits_equal(ref_prog.opLaneUtil,
+                                   avx2_prog.opLaneUtil));
+            EXPECT_TRUE(bits_equal(ref_prog.opCoreUtil,
+                                   avx2_prog.opCoreUtil));
+            EXPECT_TRUE(bits_equal(ref_prog.opSpatialUtil,
+                                   avx2_prog.opSpatialUtil));
+        }
+    }
+}
+
+TEST(SimdKernels, ScaleIntoTiersBitExact)
+{
+    std::mt19937 rng(19);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                     size_t{21}}) {
+        std::vector<double> src(n);
+        for (double &v : src) {
+            switch (rng() % 4) {
+              case 0:
+                v = std::numeric_limits<double>::denorm_min() *
+                    static_cast<double>(1 + rng() % 9);
+                break;
+              case 1: v = -0.0; break;
+              case 2: v = std::ldexp(1.0 + 1e-15, 900); break;
+              default: v = static_cast<double>(rng()) * 1e-3; break;
+            }
+        }
+        for (double factor : {0.25, 1.7e-3, -3.0}) {
+            std::vector<double> ref(n), got(n);
+            sim::scaleIntoScalar(src.data(), ref.data(), n, factor);
+            sim::scaleIntoSse2(src.data(), got.data(), n, factor);
+            EXPECT_EQ(0, std::memcmp(ref.data(), got.data(),
+                                     n * sizeof(double)));
+            sim::scaleIntoAvx2(src.data(), got.data(), n, factor);
+            EXPECT_EQ(0, std::memcmp(ref.data(), got.data(),
+                                     n * sizeof(double)));
+        }
+    }
+}
+
+TEST(SimdKernelsDeathTest, FmaRefusesWithoutRelaxedMathOptIn)
+{
+    // The relaxed tier must never arm silently: resolving the spec
+    // without the ETPU_RELAXED_MATH opt-in is a hard panic, on every
+    // CPU (the gate fires before any hardware clamping).
+    EXPECT_DEATH(simdTierFromSpec("fma", SimdTier::Avx2, false),
+                 "ETPU_RELAXED_MATH");
+    EXPECT_DEATH(simdTierFromSpec("fma", SimdTier::Scalar, false),
+                 "ETPU_RELAXED_MATH");
+}
+
+TEST(SimdKernels, SpecResolutionClampsAndFallsBack)
+{
+    // Unknown specs warn and keep the detected tier.
+    EXPECT_EQ(simdTierFromSpec("bogus", SimdTier::Sse2, false),
+              SimdTier::Sse2);
+    // Exact specs above the hardware clamp to the hardware.
+    SimdTier hw = maxHardwareTier();
+    SimdTier avx2 = simdTierFromSpec("avx2", SimdTier::Scalar, false);
+    EXPECT_EQ(avx2, hw >= SimdTier::Avx2 ? SimdTier::Avx2 : hw);
+    // With the opt-in, fma resolves (clamped to the hardware).
+    SimdTier fma = simdTierFromSpec("fma", SimdTier::Scalar, true);
+    EXPECT_EQ(fma, hw >= SimdTier::Fma ? SimdTier::Fma : hw);
+    // Auto-detection never selects the relaxed tier.
+    EXPECT_LT(detectSimdTier(), SimdTier::Fma);
+}
+
+} // namespace

@@ -1,0 +1,302 @@
+/**
+ * @file
+ * Stress suite for the persistent work-stealing task runtime
+ * (common/task_runtime.hh). test_parallel_for.cc pins the
+ * parallelFor() contract on friendly inputs; this file hammers the
+ * scheduler itself: exactly-once execution under thousands of
+ * randomized loops, SIZE_MAX-adjacent ranges, nested submission from
+ * inside a worker, oversubscription beyond the worker cap, skewed
+ * per-index costs that force stealing, and a multi-submitter storm
+ * that the sanitize matrix runs under TSan.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "common/parallel_for.hh"
+#include "common/task_runtime.hh"
+
+namespace
+{
+
+using namespace etpu;
+
+TEST(TaskRuntime, EveryIndexExactlyOnceUnderHammering)
+{
+    std::mt19937 rng(123);
+    constexpr size_t max_size = 97;
+    std::vector<std::atomic<uint32_t>> hits(max_size);
+    for (int iter = 0; iter < 10000; iter++) {
+        size_t size = rng() % (max_size + 1);
+        size_t begin = rng() % 1000;
+        unsigned threads = 1 + rng() % 8;
+        for (size_t i = 0; i < size; i++)
+            hits[i].store(0, std::memory_order_relaxed);
+        parallelFor(
+            begin, begin + size,
+            [&](size_t i, unsigned) {
+                hits[i - begin].fetch_add(1, std::memory_order_relaxed);
+            },
+            threads);
+        for (size_t i = 0; i < size; i++) {
+            ASSERT_EQ(1u, hits[i].load(std::memory_order_relaxed))
+                << "index " << i << " of " << size << " at iter "
+                << iter << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(TaskRuntime, EndNearSizeMaxDoesNotWrap)
+{
+    constexpr size_t count = 13;
+    constexpr size_t begin = SIZE_MAX - count;
+    std::vector<std::atomic<uint32_t>> hits(count);
+    for (auto &h : hits)
+        h.store(0, std::memory_order_relaxed);
+    parallelFor(
+        begin, SIZE_MAX,
+        [&](size_t i, unsigned) {
+            ASSERT_GE(i, begin);
+            hits[i - begin].fetch_add(1, std::memory_order_relaxed);
+        },
+        4);
+    for (size_t i = 0; i < count; i++)
+        EXPECT_EQ(1u, hits[i].load(std::memory_order_relaxed));
+}
+
+TEST(TaskRuntime, EmptyAndSingleIndexRanges)
+{
+    int calls = 0;
+    parallelFor(5, 5, [&](size_t, unsigned) { calls++; }, 8);
+    parallelFor(5, 4, [&](size_t, unsigned) { calls++; }, 8);
+    EXPECT_EQ(0, calls);
+
+    size_t seen_index = 0;
+    unsigned seen_worker = 99;
+    parallelFor(
+        41, 42,
+        [&](size_t i, unsigned w) {
+            calls++;
+            seen_index = i;
+            seen_worker = w;
+        },
+        8);
+    EXPECT_EQ(1, calls);
+    EXPECT_EQ(41u, seen_index);
+    // A 1-index range collapses to the sequential path: worker 0.
+    EXPECT_EQ(0u, seen_worker);
+}
+
+TEST(TaskRuntime, NestedSubmitFromWorkerRunsInline)
+{
+    constexpr size_t outer = 8, inner = 16;
+    std::vector<std::atomic<uint32_t>> inner_hits(outer * inner);
+    for (auto &h : inner_hits)
+        h.store(0, std::memory_order_relaxed);
+    std::atomic<bool> saw_nonzero_inner_worker{false};
+    std::atomic<bool> in_loop_wrong{false};
+
+    EXPECT_FALSE(TaskRuntime::inLoop());
+    parallelFor(
+        0, outer,
+        [&](size_t o, unsigned) {
+            if (!TaskRuntime::inLoop())
+                in_loop_wrong.store(true, std::memory_order_relaxed);
+            // The nested loop must run inline as worker 0 — it must
+            // not recycle the enclosing loop's worker ids on foreign
+            // threads (callers index per-worker state with the outer
+            // id).
+            parallelFor(
+                0, inner,
+                [&](size_t i, unsigned w) {
+                    if (w != 0)
+                        saw_nonzero_inner_worker.store(
+                            true, std::memory_order_relaxed);
+                    inner_hits[o * inner + i].fetch_add(
+                        1, std::memory_order_relaxed);
+                },
+                4);
+        },
+        4);
+    EXPECT_FALSE(TaskRuntime::inLoop());
+    EXPECT_FALSE(saw_nonzero_inner_worker.load());
+    EXPECT_FALSE(in_loop_wrong.load());
+    for (size_t i = 0; i < outer * inner; i++)
+        ASSERT_EQ(1u, inner_hits[i].load(std::memory_order_relaxed));
+}
+
+TEST(TaskRuntime, OversubscriptionIsClampedAndCompletes)
+{
+    unsigned cap = TaskRuntime::instance().workerCap();
+    EXPECT_GE(cap, 1u);
+    EXPECT_LE(resolveWorkerCount(1u << 20), cap);
+    EXPECT_GE(resolveWorkerCount(0), 1u);
+
+    // An absurd request must still execute every index exactly once
+    // (clamped to the cap, not to millions of workers).
+    constexpr size_t n = 1000;
+    std::vector<std::atomic<uint32_t>> hits(n);
+    for (auto &h : hits)
+        h.store(0, std::memory_order_relaxed);
+    std::atomic<unsigned> max_worker{0};
+    parallelFor(
+        0, n,
+        [&](size_t i, unsigned w) {
+            hits[i].fetch_add(1, std::memory_order_relaxed);
+            unsigned cur = max_worker.load(std::memory_order_relaxed);
+            while (w > cur &&
+                   !max_worker.compare_exchange_weak(
+                       cur, w, std::memory_order_relaxed)) {
+            }
+        },
+        100000);
+    for (size_t i = 0; i < n; i++)
+        ASSERT_EQ(1u, hits[i].load(std::memory_order_relaxed));
+    EXPECT_LT(max_worker.load(), cap);
+}
+
+TEST(TaskRuntime, SkewedCostsBalanceAcrossWorkers)
+{
+    // One index costs ~100ms, the rest ~5ms each. A static partition
+    // hands the slow index's shard-mates to the same worker
+    // (~100 + 35ms serial on its shard); stealing lets the other
+    // worker drain everything else while the slow index runs, so the
+    // loop finishes close to the slow index's own cost. Sleeps (not
+    // spins) keep the test meaningful on single-core CI runners.
+    //
+    // Under a sanitizer the wall bounds are widened: instrumented
+    // wakeups plus an oversubscribed ctest -j can delay any sleep by
+    // tens of ms, and here the scheduler's race-freedom — not its
+    // latency — is what the sanitizer leg is checking.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+    constexpr double time_scale = 4.0;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+    constexpr double time_scale = 4.0;
+#else
+    constexpr double time_scale = 1.0;
+#endif
+#else
+    constexpr double time_scale = 1.0;
+#endif
+    using clock = std::chrono::steady_clock;
+    constexpr size_t n = 16;
+    auto body = [&](size_t i, unsigned) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(i == 0 ? 100 : 5));
+    };
+    auto start = clock::now();
+    parallelFor(0, n, body, 2);
+    double wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count();
+    // Serial: 175ms. Static halves: worker 0 takes 100+7*5 = 135ms.
+    // Stealing: ~max(100, 5 + 15*5) = ~105ms. Assert the loop beat
+    // the static partition with margin for scheduler jitter.
+    EXPECT_LT(wall_ms, 160.0 * time_scale)
+        << "skewed shard did not balance (wall " << wall_ms << "ms)";
+
+    // Randomized skew at higher worker counts must also finish well
+    // under the serial sum.
+    std::mt19937 rng(99);
+    std::vector<int> cost_ms(n);
+    int serial = 0;
+    for (auto &c : cost_ms) {
+        c = 1 + static_cast<int>(rng() % 20);
+        serial += c;
+    }
+    start = clock::now();
+    parallelFor(
+        0, n,
+        [&](size_t i, unsigned) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(cost_ms[i]));
+        },
+        8);
+    wall_ms =
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count();
+    EXPECT_LT(wall_ms, 0.6 * serial * time_scale)
+        << "randomized skew did not overlap (wall " << wall_ms
+        << "ms of " << serial << "ms serial)";
+}
+
+TEST(TaskRuntime, WorkerIdsAreDenseAndUnshared)
+{
+    // Dense ids are what lets callers index per-worker context arrays
+    // directly. Per-worker slots padded to separate cache lines; any
+    // id collision between two live participants is a data race TSan
+    // flags (and the totals stop adding up).
+    constexpr unsigned workers = 8;
+    constexpr size_t n = 4096;
+    struct alignas(64) Slot
+    {
+        uint64_t count = 0;
+    };
+    std::vector<Slot> slots(workers);
+    std::atomic<bool> out_of_range{false};
+    parallelFor(
+        0, n,
+        [&](size_t, unsigned w) {
+            if (w >= workers)
+                out_of_range.store(true, std::memory_order_relaxed);
+            else
+                slots[w].count++;
+        },
+        workers);
+    EXPECT_FALSE(out_of_range.load());
+    uint64_t total = 0;
+    for (const Slot &s : slots)
+        total += s.count;
+    EXPECT_EQ(n, total);
+}
+
+TEST(TaskRuntime, ConcurrentSubmitterStealStorm)
+{
+    // Eight external threads each submit hundreds of small loops
+    // concurrently: loop registration, helper wakeup, and stealing
+    // all interleave. Run under TSan in the sanitize matrix, this is
+    // the steal-storm race detector; in plain builds it checks the
+    // per-loop exactly-once sums.
+    constexpr unsigned submitters = 8;
+    constexpr int loops_per_submitter = 200;
+    constexpr size_t loop_size = 64;
+    std::vector<std::thread> threads;
+    std::atomic<uint64_t> grand_total{0};
+    std::atomic<bool> bad_sum{false};
+    threads.reserve(submitters);
+    for (unsigned t = 0; t < submitters; t++) {
+        threads.emplace_back([&, t] {
+            for (int it = 0; it < loops_per_submitter; it++) {
+                std::atomic<uint64_t> sum{0};
+                parallelFor(
+                    0, loop_size,
+                    [&](size_t i, unsigned) {
+                        sum.fetch_add(i + 1,
+                                      std::memory_order_relaxed);
+                    },
+                    1 + (t + it) % 4);
+                if (sum.load() !=
+                    loop_size * (loop_size + 1) / 2)
+                    bad_sum.store(true, std::memory_order_relaxed);
+                grand_total.fetch_add(sum.load(),
+                                      std::memory_order_relaxed);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_FALSE(bad_sum.load());
+    EXPECT_EQ(static_cast<uint64_t>(submitters) *
+                  loops_per_submitter * (loop_size * (loop_size + 1) /
+                                         2),
+              grand_total.load());
+}
+
+} // namespace
