@@ -307,6 +307,7 @@ main(int argc, char **argv)
         etpu_fatal("cannot write bench result to ", out_path);
     }
     json << "{\n"
+         << "  \"bench_schema\": 1,\n"
          << "  \"bench\": \"campaign_throughput\",\n"
          << "  \"cells\": " << cells.size() << ",\n"
          << "  \"configs\": " << arch::allConfigs().size() << ",\n"

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * Search-quality benchmark: what fraction of the true Pareto front the
+ * design-space search recovers per simulation budget. The space is the
+ * full enumeration at a reduced vertex limit (move-closed, so local
+ * moves stay meaningful and the exhaustive front is affordable); the
+ * truth is exhaustiveFront() over that pool, and each measured point
+ * runs a fresh seeded search at a fraction of the exhaustive budget.
+ *
+ * Two objective pairs are tracked: latency/energy (the acceptance
+ * metric — on this simulator the two correlate strongly, so its front
+ * is tiny and recovery means locating the jointly optimal cells) and
+ * latency/accuracy (a genuine tradeoff with a ~30-point staircase, the
+ * coverage-style score). Both optimizers run at every budget.
+ *
+ * The result is written as JSON so the repo can track the trajectory
+ * across PRs: the committed BENCH_search.json at the repo root holds
+ * the reference numbers, and scripts/check_bench_regression.py diffs
+ * fresh CI runs against it (recovery_at_10pct is the headline metric).
+ *
+ * Usage: bench_search [--max-vertices N] [--seed N] [--threads N]
+ *                     [--config N] [--out PATH]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/json_out.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nasbench/enumerator.hh"
+#include "search/search.hh"
+
+namespace
+{
+
+using namespace etpu;
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr double budgetFractions[] = {0.02, 0.05, 0.10};
+
+struct BudgetPoint
+{
+    double fraction = 0.0;
+    uint64_t budget = 0;
+    search::Algo algo = search::Algo::Annealing;
+    uint64_t simEvals = 0;
+    size_t found = 0;
+    double recovery = 0.0;
+    double seconds = 0.0;
+};
+
+struct Scenario
+{
+    std::string objectives;
+    size_t trueFront = 0;
+    double truthSeconds = 0.0;
+    std::vector<BudgetPoint> points;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int max_vertices = 5;
+    int config = 0;
+    uint64_t seed = 1;
+    unsigned threads = 0;
+    std::string out_path = "BENCH_search.json";
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<uint64_t>(*n);
+        };
+        if (arg == "--max-vertices") {
+            max_vertices = static_cast<int>(next_count());
+        } else if (arg == "--seed") {
+            seed = next_count();
+        } else if (arg == "--config") {
+            config = static_cast<int>(next_count());
+        } else if (arg == "--threads") {
+            constexpr uint64_t cap = std::numeric_limits<unsigned>::max();
+            threads =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: bench_search [--max-vertices N] [--seed N] "
+                   "[--threads N]\n"
+                   "                    [--config N] [--out PATH]\n"
+                   "Measures fraction-of-true-Pareto-front recovered "
+                   "per simulation budget\n"
+                   "(2/5/10% of exhaustive) on the move-closed "
+                   "max-vertices sub-space, for\n"
+                   "latency/energy and latency/accuracy, with both "
+                   "optimizers.\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+
+    nas::SpaceLimits limits;
+    limits.maxVertices = max_vertices;
+    auto pool = nas::enumerateCells(limits, nullptr, threads);
+    std::cout << "=== search front recovery ===\n"
+              << "pool: " << fmtCount(pool.size())
+              << " cells (max-vertices " << max_vertices
+              << "), config V" << config + 1 << ", seed " << seed
+              << "\n";
+    search::SearchSpace space = search::makePoolSpace(pool, limits);
+
+    std::vector<std::vector<search::Objective>> objective_sets = {
+        {{search::Metric::Latency, false},
+         {search::Metric::Energy, false}},
+        {{search::Metric::Latency, false},
+         {search::Metric::Accuracy, true}},
+    };
+
+    double recovery_at_10pct = 0.0; // headline: latency/energy, sa
+    double total_search_seconds = 0.0;
+    uint64_t total_sim_evals = 0;
+    std::vector<Scenario> scenarios;
+    for (size_t s = 0; s < objective_sets.size(); s++) {
+        const auto &objectives = objective_sets[s];
+        Scenario sc;
+        sc.objectives =
+            std::string(metricName(objectives[0].metric)) + "," +
+            std::string(metricName(objectives[1].metric));
+        Clock::time_point t0 = Clock::now();
+        auto truth =
+            search::exhaustiveFront(pool, objectives, config, threads);
+        sc.truthSeconds = secondsSince(t0);
+        sc.trueFront = truth.size();
+        std::cout << "\n"
+                  << sc.objectives << ": true front " << truth.size()
+                  << " cells (" << fmtDouble(sc.truthSeconds, 2)
+                  << " s exhaustive, " << fmtCount(pool.size())
+                  << " sims)\n";
+        for (double fraction : budgetFractions) {
+            for (search::Algo algo : {search::Algo::Annealing,
+                                      search::Algo::Evolution}) {
+                BudgetPoint pt;
+                pt.fraction = fraction;
+                pt.algo = algo;
+                pt.budget = std::max<uint64_t>(
+                    1,
+                    static_cast<uint64_t>(
+                        fraction * static_cast<double>(pool.size())));
+                search::SearchOptions opts;
+                opts.seed = seed;
+                opts.budget = pt.budget;
+                opts.algo = algo;
+                opts.objectives = objectives;
+                opts.config = config;
+                opts.threads = threads;
+                t0 = Clock::now();
+                search::SearchResult res =
+                    search::runSearch(space, opts);
+                pt.seconds = secondsSince(t0);
+                pt.simEvals = res.stats.simEvals;
+                pt.found = res.front.size();
+                pt.recovery = search::frontRecovery(res.front, truth);
+                total_search_seconds += pt.seconds;
+                total_sim_evals += pt.simEvals;
+                std::cout << "  " << fmtDouble(fraction * 100, 0)
+                          << "% budget (" << pt.budget << " sims, "
+                          << search::algoName(algo) << "): recovery "
+                          << fmtDouble(pt.recovery, 3) << " ("
+                          << pt.found << " found), "
+                          << fmtDouble(pt.seconds, 3) << " s\n";
+                if (s == 0 && fraction == 0.10 &&
+                    algo == search::Algo::Annealing) {
+                    recovery_at_10pct = pt.recovery;
+                }
+                sc.points.push_back(pt);
+            }
+        }
+        scenarios.push_back(std::move(sc));
+    }
+
+    std::ofstream json(out_path, std::ios::trunc);
+    if (!json)
+        etpu_fatal("cannot write bench result to ", out_path);
+    json << "{\n"
+         << "  \"bench_schema\": 1,\n"
+         << "  \"bench\": \"search\",\n"
+         << "  \"pool_cells\": " << pool.size() << ",\n"
+         << "  \"max_vertices\": " << max_vertices << ",\n"
+         << "  \"config\": " << config << ",\n"
+         << "  \"seed\": " << seed << ",\n"
+         << "  \"recovery_at_10pct\": "
+         << fmtDouble(recovery_at_10pct, 4) << ",\n"
+         << "  \"search_evals_per_sec\": "
+         << fmtDouble(total_search_seconds > 0.0
+                          ? static_cast<double>(total_sim_evals) /
+                                total_search_seconds
+                          : 0.0,
+                      1)
+         << ",\n"
+         << "  \"scenarios\": [\n";
+    for (size_t s = 0; s < scenarios.size(); s++) {
+        const Scenario &sc = scenarios[s];
+        json << "    {\n"
+             << "      \"objectives\": " << jsonQuote(sc.objectives)
+             << ",\n"
+             << "      \"true_front\": " << sc.trueFront << ",\n"
+             << "      \"exhaustive_seconds\": "
+             << fmtDouble(sc.truthSeconds, 3) << ",\n"
+             << "      \"points\": [\n";
+        for (size_t p = 0; p < sc.points.size(); p++) {
+            const BudgetPoint &pt = sc.points[p];
+            json << "        {\"budget_fraction\": "
+                 << fmtDouble(pt.fraction, 2)
+                 << ", \"budget\": " << pt.budget << ", \"algo\": "
+                 << jsonQuote(search::algoName(pt.algo))
+                 << ", \"sim_evals\": " << pt.simEvals
+                 << ", \"found\": " << pt.found
+                 << ", \"recovery\": " << fmtDouble(pt.recovery, 4)
+                 << ", \"seconds\": " << fmtDouble(pt.seconds, 3)
+                 << "}" << (p + 1 < sc.points.size() ? "," : "")
+                 << "\n";
+        }
+        json << "      ]\n    }"
+             << (s + 1 < scenarios.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    json.flush();
+    if (!json)
+        etpu_fatal("failed writing bench result to ", out_path);
+    std::cout << "\nresult written to " << out_path << "\n";
+    return 0;
+}

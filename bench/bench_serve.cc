@@ -233,6 +233,7 @@ main(int argc, char **argv)
     if (!json)
         etpu_fatal("cannot write bench result to ", out_path);
     json << "{\n"
+         << "  \"bench_schema\": 1,\n"
          << "  \"bench\": \"serve\",\n"
          << "  \"dataset\": " << jsonQuote(dataset_path) << ",\n"
          << "  \"clients\": " << clients << ",\n"

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Diff fresh bench JSONs against the committed references.
+
+Usage: check_bench_regression.py REF:FRESH [REF:FRESH ...]
+
+Each argument pairs a committed reference (e.g. BENCH_serve.json) with
+a freshly produced run (e.g. build/BENCH_serve.ci.json). Both files
+must carry "bench_schema": 1 and agree on "bench"; the per-bench
+metric tables below define which values are tracked and which
+direction is better. Any metric that moved more than THRESHOLD in the
+worse direction emits a GitHub ::warning annotation.
+
+The exit code reflects usability, not perf: unreadable files, schema
+or bench-name mismatches exit 1 (the step is miswired), while perf
+regressions exit 0 — shared CI runners are too noisy to gate on, so
+the step's job is visibility, not enforcement.
+"""
+
+import json
+import sys
+
+THRESHOLD = 0.15
+
+# bench name -> [(dotted.path, higher_is_better)]
+METRICS = {
+    "campaign_throughput": [
+        ("end_to_end.cells_per_sec", True),
+        ("learned_backend.end_to_end.cells_per_sec", True),
+        ("learned_backend.speedup_vs_simulator", True),
+    ],
+    "serve": [
+        ("qps", True),
+        ("latency_us.p50", False),
+        ("latency_us.p99", False),
+    ],
+    "search": [
+        ("recovery_at_10pct", True),
+        ("search_evals_per_sec", True),
+    ],
+}
+
+
+def fail(msg):
+    print(f"::error::check_bench_regression: {msg}")
+    sys.exit(1)
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"cannot read {path}: {e}")
+    if doc.get("bench_schema") != 1:
+        fail(f"{path}: missing or unsupported bench_schema "
+             f"(want 1, got {doc.get('bench_schema')!r})")
+    if "bench" not in doc:
+        fail(f"{path}: missing bench name")
+    return doc
+
+
+def lookup(doc, dotted):
+    node = doc
+    for key in dotted.split("."):
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node if isinstance(node, (int, float)) else None
+
+
+def check_pair(ref_path, fresh_path):
+    ref = load(ref_path)
+    fresh = load(fresh_path)
+    if ref["bench"] != fresh["bench"]:
+        fail(f"bench mismatch: {ref_path} is {ref['bench']!r} but "
+             f"{fresh_path} is {fresh['bench']!r}")
+    bench = ref["bench"]
+    if bench not in METRICS:
+        fail(f"no metric table for bench {bench!r}; teach "
+             f"scripts/check_bench_regression.py about it")
+    regressions = 0
+    for dotted, higher_better in METRICS[bench]:
+        ref_v = lookup(ref, dotted)
+        fresh_v = lookup(fresh, dotted)
+        if ref_v is None or fresh_v is None:
+            where = ref_path if ref_v is None else fresh_path
+            print(f"[{bench}] {dotted}: absent in {where}, skipped")
+            continue
+        if ref_v == 0:
+            print(f"[{bench}] {dotted}: reference is 0, skipped")
+            continue
+        change = (fresh_v - ref_v) / abs(ref_v)
+        worse = -change if higher_better else change
+        arrow = "better" if worse <= 0 else "worse"
+        print(f"[{bench}] {dotted}: {ref_v:g} -> {fresh_v:g} "
+              f"({change:+.1%}, {arrow})")
+        if worse > THRESHOLD:
+            regressions += 1
+            direction = "drop" if higher_better else "rise"
+            print(f"::warning file={ref_path}::{bench} {dotted} "
+                  f"{direction} of {worse:.1%} vs committed reference "
+                  f"({ref_v:g} -> {fresh_v:g}, threshold "
+                  f"{THRESHOLD:.0%})")
+    return regressions
+
+
+def main(argv):
+    if not argv:
+        fail("usage: check_bench_regression.py REF:FRESH "
+             "[REF:FRESH ...]")
+    total = 0
+    for pair in argv:
+        ref_path, sep, fresh_path = pair.partition(":")
+        if not sep or not ref_path or not fresh_path:
+            fail(f"malformed pair {pair!r} (want REF:FRESH)")
+        total += check_pair(ref_path, fresh_path)
+    if total:
+        print(f"{total} metric(s) regressed past {THRESHOLD:.0%} "
+              "(warnings annotated; step stays green by design)")
+    else:
+        print("no regressions past threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

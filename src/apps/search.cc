@@ -1,0 +1,286 @@
+/**
+ * @file
+ * CLI for the design-space search (src/search/): walk the NASBench
+ * cell space with a seeded multi-objective optimizer and report the
+ * best verified front found within a bounded simulation budget —
+ * instead of characterizing every cell like etpu_build_dataset.
+ *
+ * By default the search runs in pool mode over the (optionally
+ * sampled) enumerated space, which is what the CI determinism gate and
+ * bench_search measure against. --open lifts the pool restriction and
+ * explores any valid cell for the given limits.
+ *
+ * The JSON artifact (--json) is a pure function of the seed and the
+ * search options; it deliberately excludes thread count and timing so
+ * runs at --threads 1 and --threads 8 produce byte-identical files
+ * (the CI gate cmp's them).
+ *
+ * Usage: etpu_search [--seed N] [--budget N] [--objectives A,B]
+ *                    [--backend sim|learned] [--model CKPT]
+ *                    [--config N] [--algo sa|evo] [--chains N]
+ *                    [--sample N] [--open] [--max-vertices N]
+ *                    [--max-edges N] [--restart-prob P]
+ *                    [--surrogate-margin P] [--threads N]
+ *                    [--json PATH]
+ */
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+
+#include "common/env.hh"
+#include "common/json_out.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "nasbench/enumerator.hh"
+#include "pipeline/builder.hh"
+#include "search/search.hh"
+
+namespace
+{
+
+/** Parse a probability-like flag value in [0, 1]. */
+double
+parseFraction(const char *arg, const char *text)
+{
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (!end || *end != '\0' || !(v >= 0.0) || !(v <= 1.0))
+        etpu_fatal(arg, " expects a fraction in [0, 1], got ", text);
+    return v;
+}
+
+std::string
+searchJson(const etpu::search::SearchResult &res,
+           const etpu::search::SearchOptions &opts, size_t pool_cells,
+           bool open_space)
+{
+    using namespace etpu;
+    std::string out;
+    out += "{\n";
+    out += "  \"bench_schema\": 1,\n";
+    out += "  \"tool\": \"etpu_search\",\n";
+    out += "  \"seed\": " + std::to_string(opts.seed) + ",\n";
+    out += "  \"budget\": " + std::to_string(opts.budget) + ",\n";
+    out += "  \"algo\": " + jsonQuote(search::algoName(opts.algo)) +
+           ",\n";
+    out += std::string("  \"backend\": ") +
+           (opts.backend == search::BackendKind::Sim
+                ? "\"sim\""
+                : "\"learned\"") +
+           ",\n";
+    out += "  \"config\": " + std::to_string(opts.config) + ",\n";
+    out += "  \"objectives\": [" +
+           jsonQuote(metricName(res.objectives[0].metric)) + ", " +
+           jsonQuote(metricName(res.objectives[1].metric)) + "],\n";
+    out += std::string("  \"space\": ") +
+           (open_space ? "\"open\"" : "\"pool\"") + ",\n";
+    out += "  \"pool_cells\": " + std::to_string(pool_cells) + ",\n";
+    const search::SearchStats &s = res.stats;
+    out += "  \"stats\": {";
+    out += "\"sim_evals\": " + std::to_string(s.simEvals);
+    out += ", \"surrogate_predictions\": " +
+           std::to_string(s.surrogatePredictions);
+    out += ", \"proposals\": " + std::to_string(s.proposals);
+    out += ", \"invalid_moves\": " + std::to_string(s.invalidMoves);
+    out += ", \"off_pool\": " + std::to_string(s.offPool);
+    out += ", \"restarts\": " + std::to_string(s.restarts);
+    out += ", \"memo_hits\": " + std::to_string(s.memoHits);
+    out += ", \"verified\": " + std::to_string(s.verified);
+    out += ", \"generations\": " + std::to_string(s.generations);
+    out += "},\n";
+    out += "  \"front\": [\n";
+    for (size_t i = 0; i < res.front.size(); i++) {
+        const search::FrontCell &f = res.front[i];
+        out += "    {\"fingerprint\": " +
+               jsonQuote(f.cell.fingerprint().str()) +
+               ", \"x\": " + jsonNumber(f.x) +
+               ", \"y\": " + jsonNumber(f.y) + "}";
+        out += i + 1 < res.front.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace etpu;
+
+    search::SearchOptions opts;
+    nas::SpaceLimits limits;
+    size_t sample = pipeline::sampleSizeFromEnv();
+    bool open_space = false;
+    std::string json_path;
+    for (int i = 1; i < argc; i++) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                etpu_fatal("missing value for ", arg);
+            return argv[++i];
+        };
+        auto next_count = [&]() {
+            const char *text = next();
+            auto n = parseInt(text);
+            if (!n || *n < 0)
+                etpu_fatal(arg, " expects a count >= 0, got ", text);
+            return static_cast<uint64_t>(*n);
+        };
+        if (arg == "--seed") {
+            opts.seed = next_count();
+        } else if (arg == "--budget") {
+            opts.budget = next_count();
+        } else if (arg == "--objectives") {
+            std::string error;
+            auto parsed = search::parseObjectives(next(), &error);
+            if (!parsed)
+                etpu_fatal("--objectives: ", error);
+            opts.objectives = *parsed;
+        } else if (arg == "--backend") {
+            std::string backend = next();
+            if (backend == "sim") {
+                opts.backend = search::BackendKind::Sim;
+            } else if (backend == "learned") {
+                opts.backend = search::BackendKind::Learned;
+            } else {
+                etpu_fatal("--backend expects sim|learned, got \"",
+                           backend, "\"");
+            }
+        } else if (arg == "--model") {
+            opts.modelPath = next();
+        } else if (arg == "--config") {
+            opts.config = static_cast<int>(next_count());
+        } else if (arg == "--algo") {
+            std::string algo = next();
+            if (algo == "sa") {
+                opts.algo = search::Algo::Annealing;
+            } else if (algo == "evo") {
+                opts.algo = search::Algo::Evolution;
+            } else {
+                etpu_fatal("--algo expects sa|evo, got \"", algo,
+                           "\"");
+            }
+        } else if (arg == "--chains") {
+            constexpr uint64_t cap =
+                std::numeric_limits<unsigned>::max();
+            opts.chains =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--threads") {
+            constexpr uint64_t cap =
+                std::numeric_limits<unsigned>::max();
+            opts.threads =
+                static_cast<unsigned>(std::min(next_count(), cap));
+        } else if (arg == "--sample") {
+            sample = static_cast<size_t>(next_count());
+        } else if (arg == "--open") {
+            open_space = true;
+        } else if (arg == "--max-vertices") {
+            limits.maxVertices = static_cast<int>(next_count());
+        } else if (arg == "--max-edges") {
+            limits.maxEdges = static_cast<int>(next_count());
+        } else if (arg == "--restart-prob") {
+            opts.restartProb = parseFraction("--restart-prob", next());
+        } else if (arg == "--surrogate-margin") {
+            opts.surrogateMargin =
+                parseFraction("--surrogate-margin", next());
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--help" || arg == "-h") {
+            std::cout
+                << "usage: etpu_search [--seed N] [--budget N] "
+                   "[--objectives A,B]\n"
+                   "                   [--backend sim|learned] "
+                   "[--model CKPT] [--config N]\n"
+                   "                   [--algo sa|evo] [--chains N] "
+                   "[--sample N] [--open]\n"
+                   "                   [--max-vertices N] "
+                   "[--max-edges N] [--restart-prob P]\n"
+                   "                   [--surrogate-margin P] "
+                   "[--threads N] [--json PATH]\n"
+                   "Seeded multi-objective search over the NASBench "
+                   "cell space within a\n"
+                   "bounded simulation budget. Objectives: two of "
+                   "latency, energy, accuracy\n"
+                   "(default latency,energy). --backend learned "
+                   "filters candidates through\n"
+                   "an etpu_train checkpoint (--model) and "
+                   "sim-verifies the winners.\n"
+                   "--sample searches a deterministic sub-space "
+                   "(honors $ETPU_SAMPLE);\n"
+                   "--open searches any valid cell instead of the "
+                   "enumerated pool.\n"
+                   "--json writes a deterministic artifact: same seed "
+                   "=> byte-identical\n"
+                   "bytes at any --threads value.\n";
+            return 0;
+        } else {
+            etpu_fatal("unknown argument ", arg);
+        }
+    }
+    if (opts.backend == search::BackendKind::Learned &&
+        opts.modelPath.empty()) {
+        opts.modelPath = "etpu_gnn.ckpt";
+    }
+    if (opts.backend == search::BackendKind::Sim &&
+        !opts.modelPath.empty()) {
+        etpu_fatal("--model requires --backend learned");
+    }
+
+    std::vector<nas::CellSpec> pool;
+    search::SearchSpace space;
+    if (open_space) {
+        space = search::makeOpenSpace(limits);
+    } else {
+        nas::EnumerationStats stats;
+        pool = nas::enumerateCells(limits, &stats, opts.threads);
+        size_t enumerated = pool.size();
+        pipeline::sampleCells(pool, sample);
+        std::cout << "pool: " << pool.size() << " of "
+                  << fmtCount(enumerated) << " enumerated cells\n";
+        space = search::makePoolSpace(pool, limits);
+    }
+
+    search::SearchResult res = search::runSearch(space, opts);
+
+    std::cout << "front: " << res.front.size() << " cells ("
+              << metricName(res.objectives[0].metric) << " x "
+              << metricName(res.objectives[1].metric) << ", config V"
+              << opts.config + 1 << ")\n";
+    for (const search::FrontCell &f : res.front) {
+        std::cout << "  " << f.cell.fingerprint().str() << "  x="
+                  << f.x << "  y=" << f.y << "\n";
+    }
+    const search::SearchStats &s = res.stats;
+    std::cout << "spent " << s.simEvals << "/" << opts.budget
+              << " sim evals over " << s.generations
+              << " generations (" << s.proposals << " proposals, "
+              << s.restarts << " restarts, " << s.memoHits
+              << " memo hits";
+    if (opts.backend == search::BackendKind::Learned) {
+        std::cout << ", " << s.surrogatePredictions
+                  << " surrogate predictions, " << s.verified
+                  << " verified";
+    }
+    std::cout << ")\n";
+
+    if (!json_path.empty()) {
+        std::string json =
+            searchJson(res, opts, pool.size(), open_space);
+        if (json_path == "-") {
+            std::cout << json;
+        } else {
+            std::ofstream os(json_path, std::ios::binary);
+            if (!os)
+                etpu_fatal("cannot write ", json_path);
+            os << json;
+            std::cout << "wrote " << json_path << "\n";
+        }
+    }
+    return 0;
+}

@@ -107,4 +107,80 @@ paretoFront3D(std::span<const double> x, std::span<const double> y,
     }
 }
 
+ParetoArchive2D::ParetoArchive2D(bool maximize_x, bool maximize_y)
+    : maximizeX_(maximize_x), maximizeY_(maximize_y)
+{
+}
+
+bool
+ParetoArchive2D::scanBefore(const Point &a, const Point &b) const
+{
+    if (a.x != b.x)
+        return better(a.x, b.x, maximizeX_);
+    if (a.y != b.y)
+        return better(a.y, b.y, maximizeY_);
+    return a.id < b.id;
+}
+
+bool
+ParetoArchive2D::wouldImprove(double x, double y) const
+{
+    if (std::isnan(x) || std::isnan(y))
+        return false;
+    // The hypothetical point would be scanned after every current
+    // member that precedes it; it joins iff it strictly improves on
+    // the last such member's y (the staircase invariant: y strictly
+    // improves along the front, so only the predecessor matters).
+    Point p{nextId_, x, y};
+    auto pos = std::lower_bound(
+        front_.begin(), front_.end(), p,
+        [&](const Point &a, const Point &b) { return scanBefore(a, b); });
+    if (pos == front_.begin())
+        return true;
+    return better(y, std::prev(pos)->y, maximizeY_);
+}
+
+bool
+ParetoArchive2D::insert(double x, double y)
+{
+    Point p{nextId_++, x, y};
+    Undo &u = undo_.emplace_back();
+    if (std::isnan(x) || std::isnan(y))
+        return false;
+    auto pos = std::lower_bound(
+        front_.begin(), front_.end(), p,
+        [&](const Point &a, const Point &b) { return scanBefore(a, b); });
+    if (pos != front_.begin() &&
+        !better(y, std::prev(pos)->y, maximizeY_)) {
+        return false; // dominated (or tied) by its scan predecessor
+    }
+    // Members from pos on are scanned after p and no better in x;
+    // those not strictly better in y are now dominated. y strictly
+    // improves along the front, so they form a contiguous run at pos.
+    auto last = pos;
+    while (last != front_.end() && !better(last->y, y, maximizeY_))
+        ++last;
+    u.admitted = true;
+    u.pos = static_cast<uint32_t>(pos - front_.begin());
+    u.erased.assign(pos, last);
+    pos = front_.erase(pos, last);
+    front_.insert(pos, p);
+    return true;
+}
+
+void
+ParetoArchive2D::rollback()
+{
+    if (undo_.empty())
+        etpu_panic("ParetoArchive2D::rollback: nothing to roll back");
+    Undo u = std::move(undo_.back());
+    undo_.pop_back();
+    nextId_--;
+    if (!u.admitted)
+        return;
+    auto pos = front_.begin() + u.pos;
+    pos = front_.erase(pos);
+    front_.insert(pos, u.erased.begin(), u.erased.end());
+}
+
 } // namespace etpu::query

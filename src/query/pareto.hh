@@ -31,6 +31,85 @@ namespace etpu::query
 {
 
 /**
+ * Incremental two-objective Pareto archive with rollback, for callers
+ * that discover points one at a time (the design-space search in
+ * src/search/ inserts every evaluated candidate and tentatively probes
+ * surrogate-predicted ones). The archive maintains exactly the front
+ * paretoFront2D would compute over the full insertion history: same
+ * strict-staircase semantics, same equal-primary tie handling (a tie
+ * group keeps only its best-remaining-objective member, exact
+ * duplicates keep the earliest insertion), same NaN skipping. That
+ * equivalence is the archive's contract, pinned against from-scratch
+ * rebuilds in tests/test_pareto_archive.cc.
+ *
+ * insert() is O(log f + erased) for a front of size f; rollback()
+ * undoes the most recent insert (LIFO, arbitrarily deep) by restoring
+ * the exact entries that insert erased.
+ */
+class ParetoArchive2D
+{
+  public:
+    /** A front member: insertion id plus its objective values. */
+    struct Point
+    {
+        uint32_t id = 0; //!< insertion index (0-based, NaNs included)
+        double x = 0.0;
+        double y = 0.0;
+
+        bool operator==(const Point &o) const = default;
+    };
+
+    ParetoArchive2D(bool maximize_x, bool maximize_y);
+
+    /**
+     * Add the next point of the history.
+     *
+     * @return true iff the point joined the front (it may have evicted
+     *         dominated members); false for dominated, duplicate and
+     *         NaN points, which still consume an insertion id.
+     */
+    bool insert(double x, double y);
+
+    /**
+     * Would insert(x, y) join the front? Pure (no id consumed): the
+     * surrogate filter asks this about predicted objective values
+     * before spending a verifying simulation.
+     */
+    bool wouldImprove(double x, double y) const;
+
+    /** Undo the most recent not-yet-rolled-back insert (LIFO). */
+    void rollback();
+
+    /** Points inserted and not rolled back (NaN/dominated included). */
+    size_t size() const { return nextId_; }
+
+    /**
+     * The current front in primary-objective scan order — ids and
+     * values byte-identical to paretoFront2D over the insertion
+     * history.
+     */
+    std::span<const Point> front() const { return front_; }
+
+  private:
+    /** Strict scan order: better x, then better y, then lower id. */
+    bool scanBefore(const Point &a, const Point &b) const;
+
+    bool maximizeX_;
+    bool maximizeY_;
+    uint32_t nextId_ = 0;
+    std::vector<Point> front_;
+
+    /** What one insert() did, so rollback() can undo it exactly. */
+    struct Undo
+    {
+        bool admitted = false;
+        uint32_t pos = 0;           //!< front_ slot the point took
+        std::vector<Point> erased;  //!< members evicted, in order
+    };
+    std::vector<Undo> undo_;
+};
+
+/**
  * Two-objective Pareto front over parallel arrays @p x and @p y.
  *
  * @param x Primary objective (determines scan order).

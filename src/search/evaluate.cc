@@ -1,0 +1,120 @@
+#include "search/evaluate.hh"
+
+#include "common/logging.hh"
+#include "common/parallel_for.hh"
+#include "nasbench/accuracy.hh"
+
+namespace etpu::search
+{
+
+SimEvaluator::SimEvaluator(unsigned threads)
+    : threads_(threads), contexts_(resolveWorkerCount(threads))
+{
+}
+
+void
+SimEvaluator::evaluateBatch(const nas::CellSpec *cells, size_t n,
+                            CellMetrics *out)
+{
+    parallelFor(
+        0, n,
+        [&](size_t i, unsigned worker) {
+            sim::EvalContext &ctx = contexts_[worker];
+            auto results = ctx.evaluate(cells[i]);
+            CellMetrics &m = out[i];
+            for (size_t c = 0; c < results.size(); c++) {
+                m.latencyMs[c] = results[c].latencyMs;
+                m.energyMj[c] = results[c].energyMj;
+            }
+            m.accuracy = nas::surrogateAccuracy(
+                cells[i], ctx.network().trainableParams());
+        },
+        threads_);
+    evals_ += n;
+}
+
+bool
+LearnedEvaluator::load(const std::string &checkpoint,
+                       const std::vector<Objective> &objectives,
+                       int config, unsigned threads)
+{
+    if (config < 0 || config >= nas::numAccelerators) {
+        etpu_warn("learned evaluator: config ", config,
+                  " out of range");
+        return false;
+    }
+    if (!gnn::loadCheckpoint(checkpoint, bundle_))
+        return false;
+    threads_ = threads;
+    config_ = config;
+    needAccuracy_ = false;
+    latency_ = nullptr;
+    energy_ = nullptr;
+    for (const Objective &obj : objectives) {
+        switch (obj.metric) {
+          case Metric::Latency:
+            latency_ = bundle_.find(
+                gnn::modelName(gnn::TargetMetric::Latency, config));
+            if (!latency_) {
+                etpu_warn("checkpoint ", checkpoint, " has no \"",
+                          gnn::modelName(gnn::TargetMetric::Latency,
+                                         config),
+                          "\" model");
+                return false;
+            }
+            break;
+          case Metric::Energy:
+            energy_ = bundle_.find(
+                gnn::modelName(gnn::TargetMetric::Energy, config));
+            if (!energy_) {
+                etpu_warn("checkpoint ", checkpoint, " has no \"",
+                          gnn::modelName(gnn::TargetMetric::Energy,
+                                         config),
+                          "\" model (train with --metrics "
+                          "latency,energy)");
+                return false;
+            }
+            break;
+          case Metric::Accuracy:
+            needAccuracy_ = true;
+            break;
+        }
+    }
+    contexts_ = gnn::makePredictContexts(threads);
+    nets_.resize(contexts_.size());
+    return true;
+}
+
+void
+LearnedEvaluator::evaluateBatch(const nas::CellSpec *cells, size_t n,
+                                CellMetrics *out)
+{
+    gnn::forEachFeaturizedBlock(
+        cells, n, contexts_, threads_,
+        [&](gnn::PredictContext &ctx, size_t begin, size_t len,
+            unsigned worker) {
+            double buf[gnn::predictBatchBlock];
+            auto cfg = static_cast<size_t>(config_);
+            if (latency_) {
+                ctx.predictBatched(*latency_, buf);
+                for (size_t i = 0; i < len; i++)
+                    out[begin + i].latencyMs[cfg] = buf[i];
+            }
+            if (energy_) {
+                ctx.predictBatched(*energy_, buf);
+                for (size_t i = 0; i < len; i++)
+                    out[begin + i].energyMj[cfg] = buf[i];
+            }
+            if (needAccuracy_) {
+                nas::Network &net = nets_[worker];
+                for (size_t i = 0; i < len; i++) {
+                    nas::buildNetworkInto(cells[begin + i], net);
+                    out[begin + i].accuracy = nas::surrogateAccuracy(
+                        cells[begin + i], net.trainableParams());
+                }
+            }
+        });
+    evals_ += n;
+}
+
+} // namespace etpu::search

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Candidate evaluation engines for the design-space search, mirroring
+ * the characterization pipeline's backend seam: the simulator engine
+ * drives per-worker sim::EvalContexts (the ground truth every accepted
+ * front point is verified on), and the learned engine scores cells
+ * through per-worker gnn::PredictContexts at ~6x less cost per cell —
+ * the surrogate filter that decides which candidates are worth a
+ * simulation.
+ *
+ * Both engines are pure per cell and bit-stable across worker counts
+ * (the PR 3/9 golden-bit pins for the simulator, the PR 5 batching
+ * proofs for the GNN), which is what lets a seeded search produce
+ * byte-identical fronts at any --threads value.
+ */
+
+#ifndef ETPU_SEARCH_EVALUATE_HH
+#define ETPU_SEARCH_EVALUATE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gnn/predict_context.hh"
+#include "gnn/predictor.hh"
+#include "nasbench/network.hh"
+#include "search/objective.hh"
+#include "tpusim/eval_context.hh"
+
+namespace etpu::search
+{
+
+/** Batch evaluation of candidate cells into CellMetrics. */
+class Evaluator
+{
+  public:
+    virtual ~Evaluator() = default;
+
+    /**
+     * Evaluate @p cells[0..n) into @p out[0..n), in parallel across
+     * the engine's workers. Each result is a pure function of its
+     * cell: independent of batch composition, order and threads.
+     */
+    virtual void evaluateBatch(const nas::CellSpec *cells, size_t n,
+                               CellMetrics *out) = 0;
+
+    /** Cells evaluated so far (the search's budget accounting). */
+    uint64_t evals() const { return evals_; }
+
+  protected:
+    uint64_t evals_ = 0;
+};
+
+/** Ground-truth engine: tpusim via per-worker EvalContexts. */
+class SimEvaluator : public Evaluator
+{
+  public:
+    explicit SimEvaluator(unsigned threads = 0);
+
+    void evaluateBatch(const nas::CellSpec *cells, size_t n,
+                       CellMetrics *out) override;
+
+  private:
+    unsigned threads_;
+    std::vector<sim::EvalContext> contexts_;
+};
+
+/** Surrogate engine: a trained ETPUGNN1 checkpoint bundle. */
+class LearnedEvaluator : public Evaluator
+{
+  public:
+    /**
+     * Load @p checkpoint and bind the models the objectives need for
+     * accelerator @p config. Fails (false, with a warning) when the
+     * bundle is unreadable or lacks a required model — e.g. an energy
+     * objective against a latency-only checkpoint.
+     */
+    bool load(const std::string &checkpoint,
+              const std::vector<Objective> &objectives, int config,
+              unsigned threads = 0);
+
+    void evaluateBatch(const nas::CellSpec *cells, size_t n,
+                       CellMetrics *out) override;
+
+  private:
+    unsigned threads_ = 0;
+    int config_ = 0;
+    bool needAccuracy_ = false;
+    gnn::CheckpointBundle bundle_;
+    /** Bound models for config_; null where the metric is unused. */
+    const gnn::Predictor *latency_ = nullptr;
+    const gnn::Predictor *energy_ = nullptr;
+    std::vector<gnn::PredictContext> contexts_;
+    std::vector<nas::Network> nets_; //!< per-worker accuracy scratch
+};
+
+} // namespace etpu::search
+
+#endif // ETPU_SEARCH_EVALUATE_HH

@@ -1,0 +1,225 @@
+#include "search/moves.hh"
+
+#include "common/logging.hh"
+
+namespace etpu::search
+{
+
+namespace
+{
+
+using nas::CellSpec;
+using nas::Op;
+
+/** Decode pair index k into (u, v), u < v, in fromUpperBits order. */
+void
+decodePair(uint64_t k, int &u, int &v)
+{
+    int t = 1;
+    while (k >= static_cast<uint64_t>(t)) {
+        k -= static_cast<uint64_t>(t);
+        t++;
+    }
+    u = static_cast<int>(k);
+    v = t;
+}
+
+bool
+proposeOpSwap(CellSpec &cell, Rng &rng, MoveUndo &undo)
+{
+    int interior = cell.numVertices() - 2;
+    if (interior <= 0)
+        return false;
+    int v = 1 + static_cast<int>(
+                    rng.uniformInt(static_cast<uint64_t>(interior)));
+    Op old = cell.ops[static_cast<size_t>(v)];
+    Op others[2];
+    int count = 0;
+    for (Op op : nas::interiorOps) {
+        if (op != old)
+            others[count++] = op;
+    }
+    if (count != 2)
+        return false; // not an interior-labeled vertex; malformed cell
+    undo.kind = MoveKind::OpSwap;
+    undo.a = v;
+    undo.prevOp = old;
+    cell.ops[static_cast<size_t>(v)] = others[rng.uniformInt(2)];
+    return true;
+}
+
+bool
+proposeEdgeToggle(CellSpec &cell, Rng &rng,
+                  const nas::SpaceLimits &limits, MoveUndo &undo)
+{
+    int n = cell.numVertices();
+    if (n < 2)
+        return false;
+    uint64_t pairs =
+        static_cast<uint64_t>(n) * static_cast<uint64_t>(n - 1) / 2;
+    int u = 0, v = 0;
+    decodePair(rng.uniformInt(pairs), u, v);
+    undo.kind = MoveKind::EdgeToggle;
+    undo.a = u;
+    undo.b = v;
+    if (cell.dag.hasEdge(u, v)) {
+        // Removal can orphan a vertex or cut the input->output path;
+        // validity decides, and a failed removal is rolled back here
+        // so the caller never sees the intermediate cell.
+        cell.dag.removeEdge(u, v);
+        undo.added = false;
+        if (!cell.valid(limits)) {
+            cell.dag.addEdge(u, v);
+            return false;
+        }
+        return true;
+    }
+    if (cell.numEdges() >= limits.maxEdges)
+        return false;
+    cell.dag.addEdge(u, v);
+    undo.added = true;
+    return true;
+}
+
+bool
+proposeVertexInsert(CellSpec &cell, Rng &rng,
+                    const nas::SpaceLimits &limits, MoveUndo &undo)
+{
+    int n = cell.numVertices();
+    // Splitting an edge replaces it with two: net +1 edge, +1 vertex.
+    if (n >= limits.maxVertices || n < 2 ||
+        cell.numEdges() + 1 > limits.maxEdges || cell.numEdges() == 0) {
+        return false;
+    }
+    uint64_t pick =
+        rng.uniformInt(static_cast<uint64_t>(cell.numEdges()));
+    int eu = -1, ew = -1;
+    uint64_t seen = 0;
+    cell.dag.forEachEdge([&](int a, int b) {
+        if (seen++ == pick) {
+            eu = a;
+            ew = b;
+        }
+    });
+    Op newOp = nas::interiorOps[rng.uniformInt(3)];
+    undo.kind = MoveKind::VertexInsert;
+    undo.snapshot = cell;
+    undo.haveSnapshot = true;
+    // The new vertex takes index ew; old vertices >= ew shift up one,
+    // keeping the DAG upper-triangular with the output last.
+    int pos = ew;
+    auto map = [pos](int i) { return i < pos ? i : i + 1; };
+    graph::Dag next(n + 1);
+    undo.snapshot.dag.forEachEdge([&](int a, int b) {
+        if (a == eu && b == ew) {
+            next.addEdge(eu, pos);
+            next.addEdge(pos, map(ew));
+        } else {
+            next.addEdge(map(a), map(b));
+        }
+    });
+    cell.dag = next;
+    cell.ops.insert(cell.ops.begin() + pos, newOp);
+    if (!cell.valid(limits)) {
+        cell = undo.snapshot;
+        return false;
+    }
+    return true;
+}
+
+bool
+proposeVertexRemove(CellSpec &cell, Rng &rng,
+                    const nas::SpaceLimits &limits, MoveUndo &undo)
+{
+    int n = cell.numVertices();
+    int interior = n - 2;
+    if (interior <= 0)
+        return false;
+    int v = 1 + static_cast<int>(
+                    rng.uniformInt(static_cast<uint64_t>(interior)));
+    undo.kind = MoveKind::VertexRemove;
+    undo.snapshot = cell;
+    undo.haveSnapshot = true;
+    auto map = [v](int i) { return i < v ? i : i - 1; };
+    graph::Dag next(n - 1);
+    undo.snapshot.dag.forEachEdge([&](int a, int b) {
+        if (a != v && b != v)
+            next.addEdge(map(a), map(b));
+    });
+    // Splice: every predecessor of v now feeds every successor, so no
+    // surviving vertex loses its path through the removed one.
+    uint32_t preds = cell.dag.inMask(v);
+    for (int p = 0; p < v; p++) {
+        if (!(preds & (1u << p)))
+            continue;
+        uint32_t succs = cell.dag.outMask(v);
+        for (int s = v + 1; s < n; s++) {
+            if (succs & (1u << s))
+                next.addEdge(map(p), map(s));
+        }
+    }
+    cell.dag = next;
+    cell.ops.erase(cell.ops.begin() + v);
+    if (cell.numEdges() > limits.maxEdges || !cell.valid(limits)) {
+        cell = undo.snapshot;
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+const char *
+moveName(MoveKind kind)
+{
+    switch (kind) {
+      case MoveKind::OpSwap: return "op_swap";
+      case MoveKind::EdgeToggle: return "edge_toggle";
+      case MoveKind::VertexInsert: return "vertex_insert";
+      case MoveKind::VertexRemove: return "vertex_remove";
+    }
+    return "unknown";
+}
+
+bool
+proposeMove(nas::CellSpec &cell, Rng &rng,
+            const nas::SpaceLimits &limits, MoveUndo &undo)
+{
+    undo.haveSnapshot = false;
+    // Weighted draw: op swaps are the cheap, usually-in-pool workhorse
+    // (the Figure 15 generalization); structural moves explore but
+    // leave a fingerprint-restricted pool more often.
+    double roll = rng.uniform();
+    if (roll < 0.45)
+        return proposeOpSwap(cell, rng, undo);
+    if (roll < 0.75)
+        return proposeEdgeToggle(cell, rng, limits, undo);
+    if (roll < 0.90)
+        return proposeVertexInsert(cell, rng, limits, undo);
+    return proposeVertexRemove(cell, rng, limits, undo);
+}
+
+void
+rollbackMove(nas::CellSpec &cell, const MoveUndo &undo)
+{
+    switch (undo.kind) {
+      case MoveKind::OpSwap:
+        cell.ops[static_cast<size_t>(undo.a)] = undo.prevOp;
+        return;
+      case MoveKind::EdgeToggle:
+        if (undo.added)
+            cell.dag.removeEdge(undo.a, undo.b);
+        else
+            cell.dag.addEdge(undo.a, undo.b);
+        return;
+      case MoveKind::VertexInsert:
+      case MoveKind::VertexRemove:
+        if (!undo.haveSnapshot)
+            etpu_panic("rollbackMove: vertex move without snapshot");
+        cell = undo.snapshot;
+        return;
+    }
+    etpu_panic("rollbackMove: unknown move kind");
+}
+
+} // namespace etpu::search

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Reversible local mutations over NASBench cells — the move set behind
+ * the design-space search. Each move mutates a CellSpec in place and
+ * records the minimal delta needed to undo it, in the style of
+ * sylvan's variable sifting: try a cheap local change, measure, and
+ * roll back when it does not pay off (here: when the mutated cell is
+ * invalid, falls outside the searched pool, or loses the acceptance
+ * test). Op swaps generalize the Figure 15 op-swap study to a search
+ * operator; edge toggles and vertex insert/remove explore structure.
+ *
+ * Op and edge moves undo by replaying the inverse delta; vertex moves
+ * reindex the DAG, so their undo is a snapshot of the original cell
+ * (a CellSpec is a few hundred bytes — the "cost bound" is simply
+ * that snapshots only happen for the rare structural moves).
+ */
+
+#ifndef ETPU_SEARCH_MOVES_HH
+#define ETPU_SEARCH_MOVES_HH
+
+#include "common/rng.hh"
+#include "nasbench/cell_spec.hh"
+
+namespace etpu::search
+{
+
+/** The mutation kinds proposeMove() draws from. */
+enum class MoveKind : uint8_t
+{
+    OpSwap,       //!< relabel one interior vertex with a different op
+    EdgeToggle,   //!< add or remove one edge
+    VertexInsert, //!< split an edge with a new interior vertex
+    VertexRemove, //!< splice one interior vertex out
+};
+
+/** Human-readable move name. */
+const char *moveName(MoveKind kind);
+
+/** Everything rollbackMove() needs to restore the pre-move cell. */
+struct MoveUndo
+{
+    MoveKind kind = MoveKind::OpSwap;
+    // OpSwap: vertex and previous op. EdgeToggle: endpoints and
+    // whether the move added (true) or removed (false) the edge.
+    int a = 0;
+    int b = 0;
+    nas::Op prevOp = nas::Op::Conv3x3;
+    bool added = false;
+    // Vertex moves reindex every mask, so they restore by snapshot.
+    nas::CellSpec snapshot;
+    bool haveSnapshot = false;
+};
+
+/**
+ * Apply one random move to @p cell, drawn from @p rng.
+ *
+ * On success the mutated cell is structurally valid for @p limits
+ * (CellSpec::valid()) and @p undo restores the original exactly. On
+ * failure (the drawn move is inapplicable or would leave the space —
+ * e.g. an edge removal that disconnects the DAG) the cell is left
+ * unchanged and false is returned; callers simply draw again.
+ *
+ * Determinism: the rng draws consumed depend only on the cell content
+ * and the rng state, never on addresses or iteration order of hashed
+ * containers, so a seeded search replays identically.
+ */
+bool proposeMove(nas::CellSpec &cell, Rng &rng,
+                 const nas::SpaceLimits &limits, MoveUndo &undo);
+
+/** Restore @p cell to its exact pre-proposeMove() state. */
+void rollbackMove(nas::CellSpec &cell, const MoveUndo &undo);
+
+} // namespace etpu::search
+
+#endif // ETPU_SEARCH_MOVES_HH

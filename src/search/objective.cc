@@ -1,0 +1,77 @@
+#include "search/objective.hh"
+
+#include "common/logging.hh"
+
+namespace etpu::search
+{
+
+std::string_view
+metricName(Metric metric)
+{
+    switch (metric) {
+      case Metric::Latency: return "latency";
+      case Metric::Energy: return "energy";
+      case Metric::Accuracy: return "accuracy";
+    }
+    return "unknown";
+}
+
+std::optional<std::vector<Objective>>
+parseObjectives(std::string_view text, std::string *error)
+{
+    std::vector<Objective> out;
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        std::string_view name =
+            text.substr(start, comma == std::string_view::npos
+                                   ? std::string_view::npos
+                                   : comma - start);
+        if (name == "latency") {
+            out.push_back({Metric::Latency, false});
+        } else if (name == "energy") {
+            out.push_back({Metric::Energy, false});
+        } else if (name == "accuracy") {
+            out.push_back({Metric::Accuracy, true});
+        } else {
+            if (error) {
+                *error = "unknown objective \"" + std::string(name) +
+                         "\" (expected latency, energy or accuracy)";
+            }
+            return std::nullopt;
+        }
+        if (comma == std::string_view::npos)
+            break;
+        start = comma + 1;
+    }
+    if (out.size() != 2) {
+        if (error) {
+            *error = "expected exactly two comma-separated objectives, "
+                     "got " +
+                     std::to_string(out.size());
+        }
+        return std::nullopt;
+    }
+    if (out[0].metric == out[1].metric) {
+        if (error)
+            *error = "objectives must differ";
+        return std::nullopt;
+    }
+    return out;
+}
+
+double
+objectiveValue(const CellMetrics &m, const Objective &obj, int config)
+{
+    switch (obj.metric) {
+      case Metric::Latency:
+        return m.latencyMs[config];
+      case Metric::Energy:
+        return m.energyMj[config];
+      case Metric::Accuracy:
+        return m.accuracy;
+    }
+    etpu_panic("objectiveValue: unknown metric");
+}
+
+} // namespace etpu::search

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Search objectives: which per-cell quantities the optimizer trades
+ * off, and how raw cell metrics map onto a 2D objective point. The
+ * searched metrics are the dataset's columns — per-config latency and
+ * energy (simulated or GNN-predicted) and the structural accuracy
+ * surrogate — so a search front is directly comparable to the fronts
+ * the query engine extracts from an exhaustive campaign.
+ */
+
+#ifndef ETPU_SEARCH_OBJECTIVE_HH
+#define ETPU_SEARCH_OBJECTIVE_HH
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "nasbench/dataset.hh"
+
+namespace etpu::search
+{
+
+/** Per-cell quantity a search objective ranks by. */
+enum class Metric : uint8_t
+{
+    Latency,  //!< simulated/predicted inference latency (minimize)
+    Energy,   //!< simulated/predicted inference energy (minimize)
+    Accuracy, //!< structural accuracy surrogate (maximize)
+};
+
+/** One objective: a metric plus its optimization sense. */
+struct Objective
+{
+    Metric metric = Metric::Latency;
+    bool maximize = false;
+
+    bool operator==(const Objective &o) const = default;
+};
+
+/** "latency" / "energy" / "accuracy". */
+std::string_view metricName(Metric metric);
+
+/**
+ * Parse a comma-separated objective list, e.g. "latency,energy".
+ * Exactly two objectives are supported (the 2D staircase front);
+ * latency/energy minimize, accuracy maximizes.
+ *
+ * @param error When non-null, receives a diagnostic on failure.
+ */
+std::optional<std::vector<Objective>>
+parseObjectives(std::string_view text, std::string *error = nullptr);
+
+/** Everything a cell evaluation produces, all configs at once. */
+struct CellMetrics
+{
+    double latencyMs[nas::numAccelerators] = {};
+    double energyMj[nas::numAccelerators] = {};
+    double accuracy = 0.0;
+};
+
+/** Extract one objective's value for accelerator config @p config. */
+double objectiveValue(const CellMetrics &m, const Objective &obj,
+                      int config);
+
+} // namespace etpu::search
+
+#endif // ETPU_SEARCH_OBJECTIVE_HH

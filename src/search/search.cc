@@ -1,0 +1,582 @@
+#include "search/search.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <unordered_set>
+
+#include "common/logging.hh"
+#include "query/pareto.hh"
+#include "search/evaluate.hh"
+#include "search/moves.hh"
+
+namespace etpu::search
+{
+
+namespace
+{
+
+/** Floor for log-scalarization (metrics are physical, > 0). */
+constexpr double kLogEps = 1e-12;
+
+/** Annealing temperature endpoints (log-cost units). */
+constexpr double kTempStart = 1.0;
+constexpr double kTempEnd = 0.01;
+
+/** Mutation attempts before a proposal falls back to a restart. */
+constexpr int kMoveTries = 12;
+
+/** Generations without a new simulation before giving up. */
+constexpr uint64_t kStallLimit = 512;
+
+/** A cell's two objective values (x = objectives[0]). */
+struct ObjPair
+{
+    double x = 0.0;
+    double y = 0.0;
+};
+
+/**
+ * The state both optimizers share: the seeded RNG (every draw happens
+ * on this thread, in proposal order), the simulator ground truth, the
+ * optional surrogate, the verified-metric memo and the front archive.
+ */
+class Driver
+{
+  public:
+    Driver(const SearchSpace &space, const SearchOptions &opts)
+        : space_(space), opts_(opts), rng_(opts.seed),
+          archive_(opts.objectives[0].maximize,
+                   opts.objectives[1].maximize),
+          sim_(opts.threads)
+    {
+        if (opts_.backend == BackendKind::Learned) {
+            surrogate_ = std::make_unique<LearnedEvaluator>();
+            if (!surrogate_->load(opts_.modelPath, opts_.objectives,
+                                  opts_.config, opts_.threads)) {
+                etpu_fatal("search: checkpoint ", opts_.modelPath,
+                           " is unusable as a surrogate for these "
+                           "objectives");
+            }
+        }
+    }
+
+    SearchResult
+    run()
+    {
+        if (opts_.algo == Algo::Annealing)
+            runAnnealing();
+        else
+            runEvolution();
+        SearchResult res;
+        res.objectives = opts_.objectives;
+        for (const auto &pt : archive_.front())
+            res.front.push_back({archiveCells_[pt.id], pt.x, pt.y});
+        stats_.simEvals = sim_.evals();
+        res.stats = stats_;
+        return res;
+    }
+
+  private:
+    // --- Objective plumbing -------------------------------------------
+
+    ObjPair
+    objectivesOf(const CellMetrics &m) const
+    {
+        return {objectiveValue(m, opts_.objectives[0], opts_.config),
+                objectiveValue(m, opts_.objectives[1], opts_.config)};
+    }
+
+    /** Scalarized cost: lambda * obj0 + (1-lambda) * obj1 in
+     *  orientation-corrected log space (scale-free, so latency in ms
+     *  and energy in mJ weigh comparably). */
+    double
+    cost(ObjPair p, double lambda) const
+    {
+        auto dir = [](double v, bool maximize) {
+            double l = std::log(std::max(v, kLogEps));
+            return maximize ? -l : l;
+        };
+        return lambda * dir(p.x, opts_.objectives[0].maximize) +
+               (1.0 - lambda) * dir(p.y, opts_.objectives[1].maximize);
+    }
+
+    /** Nudge a predicted point toward "better" by the filter margin,
+     *  so near-front predictions still earn a verification. */
+    ObjPair
+    relaxed(ObjPair p) const
+    {
+        auto adj = [&](double v, bool maximize) {
+            return maximize ? v * (1.0 + opts_.surrogateMargin)
+                            : v * (1.0 - opts_.surrogateMargin);
+        };
+        return {adj(p.x, opts_.objectives[0].maximize),
+                adj(p.y, opts_.objectives[1].maximize)};
+    }
+
+    // --- Evaluation ---------------------------------------------------
+
+    uint64_t
+    remainingBudget() const
+    {
+        uint64_t spent = sim_.evals();
+        return spent >= opts_.budget ? 0 : opts_.budget - spent;
+    }
+
+    uint64_t
+    surrogateCap() const
+    {
+        return opts_.surrogateCap ? opts_.surrogateCap
+                                  : 256 * opts_.budget;
+    }
+
+    /**
+     * Simulate the not-yet-verified cells of @p cells (first
+     * appearance wins, capped by the remaining budget, in order) and
+     * fold every result into the memo and the front archive. This is
+     * the only place the budget is spent and the only place the
+     * archive grows, both in deterministic proposal order.
+     */
+    void
+    verifySim(const std::vector<nas::CellSpec> &cells)
+    {
+        std::vector<nas::CellSpec> batch;
+        std::vector<Hash128> fps;
+        std::unordered_set<Hash128> inBatch;
+        uint64_t room = remainingBudget();
+        for (const nas::CellSpec &cell : cells) {
+            if (batch.size() >= room)
+                break;
+            Hash128 fp = cell.fingerprint();
+            if (memo_.contains(fp) || !inBatch.insert(fp).second)
+                continue;
+            batch.push_back(cell);
+            fps.push_back(fp);
+        }
+        if (batch.empty())
+            return;
+        std::vector<CellMetrics> metrics(batch.size());
+        sim_.evaluateBatch(batch.data(), batch.size(), metrics.data());
+        for (size_t i = 0; i < batch.size(); i++) {
+            memo_.emplace(fps[i], metrics[i]);
+            ObjPair p = objectivesOf(metrics[i]);
+            archive_.insert(p.x, p.y);
+            archiveCells_.push_back(batch[i]);
+        }
+    }
+
+    /** Surrogate-score @p cells into the prediction memo. */
+    void
+    scoreSurrogate(const std::vector<nas::CellSpec> &cells)
+    {
+        std::vector<nas::CellSpec> batch;
+        std::vector<Hash128> fps;
+        std::unordered_set<Hash128> inBatch;
+        for (const nas::CellSpec &cell : cells) {
+            Hash128 fp = cell.fingerprint();
+            if (surrMemo_.contains(fp) || !inBatch.insert(fp).second)
+                continue;
+            batch.push_back(cell);
+            fps.push_back(fp);
+        }
+        if (batch.empty())
+            return;
+        std::vector<CellMetrics> metrics(batch.size());
+        surrogate_->evaluateBatch(batch.data(), batch.size(),
+                                  metrics.data());
+        stats_.surrogatePredictions += batch.size();
+        for (size_t i = 0; i < batch.size(); i++)
+            surrMemo_.emplace(fps[i], objectivesOf(metrics[i]));
+    }
+
+    // --- Candidate generation -----------------------------------------
+
+    nas::CellSpec
+    restartDraw()
+    {
+        stats_.restarts++;
+        if (space_.pool) {
+            return (*space_.pool)[rng_.uniformInt(
+                space_.pool->size())];
+        }
+        int max_interior =
+            std::clamp(space_.limits.maxVertices - 2, 1, 5);
+        auto d = 1 + rng_.uniformInt(
+                         static_cast<uint64_t>(max_interior));
+        std::vector<nas::Op> ops;
+        for (uint64_t i = 0; i < d; i++)
+            ops.push_back(nas::interiorOps[rng_.uniformInt(3)]);
+        return nas::makeChainCell(ops);
+    }
+
+    /**
+     * Mutate @p base with @p stacked reversible moves; mutants that
+     * are invalid or (in pool mode) outside the pool roll back and
+     * retry, and a dry streak falls back to a restart jump.
+     */
+    nas::CellSpec
+    mutateFrom(const nas::CellSpec &base, int stacked)
+    {
+        nas::CellSpec cell = base;
+        Hash128 base_fp = base.fingerprint();
+        std::vector<MoveUndo> applied;
+        for (int attempt = 0; attempt < kMoveTries; attempt++) {
+            applied.clear();
+            bool ok = true;
+            for (int m = 0; m < stacked; m++) {
+                MoveUndo undo;
+                if (!proposeMove(cell, rng_, space_.limits, undo)) {
+                    stats_.invalidMoves++;
+                    ok = false;
+                    break;
+                }
+                applied.push_back(std::move(undo));
+            }
+            if (ok) {
+                Hash128 fp = cell.fingerprint();
+                bool in_space =
+                    !space_.pool || space_.poolIndex.contains(fp);
+                if (!in_space)
+                    stats_.offPool++;
+                if (in_space && fp != base_fp)
+                    return cell;
+            }
+            for (auto it = applied.rbegin(); it != applied.rend();
+                 ++it) {
+                rollbackMove(cell, *it);
+            }
+        }
+        return restartDraw();
+    }
+
+    nas::CellSpec
+    propose(const nas::CellSpec &base, int stacked)
+    {
+        stats_.proposals++;
+        if (rng_.uniform() < opts_.restartProb)
+            return restartDraw();
+        return mutateFrom(base, stacked);
+    }
+
+    std::vector<nas::CellSpec>
+    initialCells(size_t m)
+    {
+        std::vector<nas::CellSpec> out;
+        std::unordered_set<Hash128> seen;
+        for (size_t guard = 0; out.size() < m && guard < 20 * m;
+             guard++) {
+            nas::CellSpec c = restartDraw();
+            if (seen.insert(c.fingerprint()).second)
+                out.push_back(std::move(c));
+        }
+        for (size_t i = 0; out.size() < m; i++)
+            out.push_back(out[i % out.size()]);
+        return out;
+    }
+
+    // --- Optimizers ---------------------------------------------------
+
+    /** Shared loop guards; true while another generation may run. */
+    bool
+    keepGoing(uint64_t &stall, uint64_t evals_before) const
+    {
+        if (sim_.evals() == evals_before) {
+            if (++stall > kStallLimit)
+                return false;
+        } else {
+            stall = 0;
+        }
+        if (remainingBudget() == 0)
+            return false;
+        if (space_.pool && memo_.size() >= space_.pool->size())
+            return false;
+        if (surrogate_ &&
+            stats_.surrogatePredictions >= surrogateCap()) {
+            return false;
+        }
+        return true;
+    }
+
+    /** Look up the navigation-space objective point of a cell the
+     *  current mode has scored (memo in sim mode, surrogate memo in
+     *  learned mode); false when the budget truncated it away. */
+    bool
+    navPoint(const Hash128 &fp, ObjPair &out) const
+    {
+        if (surrogate_) {
+            auto it = surrMemo_.find(fp);
+            if (it == surrMemo_.end())
+                return false;
+            out = it->second;
+            return true;
+        }
+        auto it = memo_.find(fp);
+        if (it == memo_.end())
+            return false;
+        out = objectivesOf(it->second);
+        return true;
+    }
+
+    /** Score candidates in the active mode; in learned mode, also
+     *  sim-verify the ones whose relaxed prediction would enter the
+     *  front (the surrogate-filter step). */
+    void
+    scoreAndVerify(const std::vector<nas::CellSpec> &cand)
+    {
+        if (!surrogate_) {
+            verifySim(cand);
+            return;
+        }
+        scoreSurrogate(cand);
+        std::vector<nas::CellSpec> to_verify;
+        std::unordered_set<Hash128> queued;
+        for (const nas::CellSpec &c : cand) {
+            Hash128 fp = c.fingerprint();
+            if (memo_.contains(fp) || !queued.insert(fp).second)
+                continue;
+            auto it = surrMemo_.find(fp);
+            if (it == surrMemo_.end())
+                continue;
+            ObjPair p = relaxed(it->second);
+            if (archive_.wouldImprove(p.x, p.y))
+                to_verify.push_back(c);
+        }
+        uint64_t before = sim_.evals();
+        verifySim(to_verify);
+        stats_.verified += sim_.evals() - before;
+    }
+
+    void
+    runAnnealing()
+    {
+        size_t chains_n = opts_.chains ? opts_.chains : 8;
+        auto init = initialCells(chains_n);
+        if (surrogate_)
+            scoreSurrogate(init);
+        verifySim(init);
+
+        struct Chain
+        {
+            nas::CellSpec cell;
+            double cost = 0.0;
+            bool haveCost = false;
+            double lambda = 0.5;
+        };
+        std::vector<Chain> chains(chains_n);
+        for (size_t i = 0; i < chains_n; i++) {
+            Chain &ch = chains[i];
+            ch.cell = init[i];
+            ch.lambda = chains_n == 1
+                            ? 0.5
+                            : static_cast<double>(i) /
+                                  static_cast<double>(chains_n - 1);
+            ObjPair p;
+            if (navPoint(ch.cell.fingerprint(), p)) {
+                ch.cost = cost(p, ch.lambda);
+                ch.haveCost = true;
+            }
+        }
+
+        uint64_t stall = 0;
+        uint64_t evals_before = sim_.evals() + 1; // enter the loop
+        while (keepGoing(stall, evals_before)) {
+            evals_before = sim_.evals();
+            stats_.generations++;
+            double frac = static_cast<double>(sim_.evals()) /
+                          static_cast<double>(opts_.budget);
+            double temp =
+                kTempStart * std::pow(kTempEnd / kTempStart,
+                                      std::min(1.0, frac));
+            std::vector<nas::CellSpec> cand(chains_n);
+            for (size_t i = 0; i < chains_n; i++) {
+                cand[i] = propose(chains[i].cell, 1);
+                if (memo_.contains(cand[i].fingerprint()))
+                    stats_.memoHits++;
+            }
+            scoreAndVerify(cand);
+            for (size_t i = 0; i < chains_n; i++) {
+                Chain &ch = chains[i];
+                ObjPair p;
+                if (!navPoint(cand[i].fingerprint(), p))
+                    continue; // truncated by the budget cap
+                double cand_cost = cost(p, ch.lambda);
+                if (!ch.haveCost) {
+                    ch.cell = cand[i];
+                    ch.cost = cand_cost;
+                    ch.haveCost = true;
+                    continue;
+                }
+                double delta = cand_cost - ch.cost;
+                if (delta <= 0.0 ||
+                    rng_.uniform() <
+                        std::exp(-delta / std::max(temp, 1e-9))) {
+                    ch.cell = cand[i];
+                    ch.cost = cand_cost;
+                }
+            }
+        }
+    }
+
+    void
+    runEvolution()
+    {
+        size_t pop_n = opts_.chains ? opts_.chains : 24;
+        std::vector<nas::CellSpec> pop = initialCells(pop_n);
+        if (surrogate_)
+            scoreSurrogate(pop);
+        verifySim(pop);
+
+        uint64_t stall = 0;
+        uint64_t evals_before = sim_.evals() + 1;
+        while (keepGoing(stall, evals_before)) {
+            evals_before = sim_.evals();
+            stats_.generations++;
+            std::vector<nas::CellSpec> cand(pop_n);
+            for (size_t j = 0; j < pop_n; j++) {
+                auto front = archive_.front();
+                const nas::CellSpec *parent = nullptr;
+                // Elitist breeding: half the offspring descend from
+                // the current front, the rest from the drifting
+                // population.
+                if (!front.empty() && rng_.uniform() < 0.5) {
+                    parent = &archiveCells_
+                        [front[rng_.uniformInt(front.size())].id];
+                } else {
+                    parent = &pop[rng_.uniformInt(pop_n)];
+                }
+                auto stacked =
+                    1 + static_cast<int>(rng_.uniformInt(2));
+                cand[j] = propose(*parent, stacked);
+            }
+            scoreAndVerify(cand);
+            for (size_t j = 0; j < pop_n; j++) {
+                ObjPair p;
+                if (navPoint(cand[j].fingerprint(), p))
+                    pop[j] = cand[j];
+            }
+        }
+    }
+
+    const SearchSpace &space_;
+    SearchOptions opts_;
+    Rng rng_;
+    query::ParetoArchive2D archive_;
+    SimEvaluator sim_;
+    std::unique_ptr<LearnedEvaluator> surrogate_;
+    /** Simulator-verified metrics by fingerprint. */
+    std::unordered_map<Hash128, CellMetrics> memo_;
+    /** Surrogate objective predictions by fingerprint. */
+    std::unordered_map<Hash128, ObjPair> surrMemo_;
+    /** Cells by archive insertion id (parallel to the archive). */
+    std::vector<nas::CellSpec> archiveCells_;
+    SearchStats stats_;
+};
+
+} // namespace
+
+const char *
+algoName(Algo algo)
+{
+    switch (algo) {
+      case Algo::Annealing: return "sa";
+      case Algo::Evolution: return "evo";
+    }
+    return "unknown";
+}
+
+SearchSpace
+makePoolSpace(const std::vector<nas::CellSpec> &cells,
+              const nas::SpaceLimits &limits)
+{
+    SearchSpace space;
+    space.limits = limits;
+    space.pool = &cells;
+    space.poolIndex.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); i++) {
+        space.poolIndex.emplace(cells[i].fingerprint(),
+                                static_cast<uint32_t>(i));
+    }
+    return space;
+}
+
+SearchSpace
+makeOpenSpace(const nas::SpaceLimits &limits)
+{
+    SearchSpace space;
+    space.limits = limits;
+    return space;
+}
+
+SearchResult
+runSearch(const SearchSpace &space, const SearchOptions &opts)
+{
+    SearchOptions resolved = opts;
+    if (resolved.objectives.empty()) {
+        resolved.objectives = {{Metric::Latency, false},
+                               {Metric::Energy, false}};
+    }
+    if (resolved.objectives.size() != 2)
+        etpu_fatal("search: exactly two objectives required, got ",
+                   resolved.objectives.size());
+    if (resolved.config < 0 ||
+        resolved.config >= nas::numAccelerators) {
+        etpu_fatal("search: config ", resolved.config,
+                   " out of range [0, ", nas::numAccelerators, ")");
+    }
+    if (resolved.budget == 0)
+        etpu_fatal("search: budget must be positive");
+    if (space.pool && space.pool->empty())
+        etpu_fatal("search: pool mode with an empty pool");
+    if (resolved.backend == BackendKind::Learned &&
+        resolved.modelPath.empty()) {
+        etpu_fatal("search: learned backend requires a checkpoint");
+    }
+    Driver driver(space, resolved);
+    return driver.run();
+}
+
+std::vector<FrontCell>
+exhaustiveFront(const std::vector<nas::CellSpec> &pool,
+                const std::vector<Objective> &objectives, int config,
+                unsigned threads)
+{
+    if (objectives.size() != 2)
+        etpu_fatal("exhaustiveFront: exactly two objectives required");
+    std::vector<CellMetrics> metrics(pool.size());
+    SimEvaluator sim(threads);
+    sim.evaluateBatch(pool.data(), pool.size(), metrics.data());
+    std::vector<double> x(pool.size()), y(pool.size());
+    for (size_t i = 0; i < pool.size(); i++) {
+        x[i] = objectiveValue(metrics[i], objectives[0], config);
+        y[i] = objectiveValue(metrics[i], objectives[1], config);
+    }
+    std::vector<uint32_t> idx;
+    query::paretoFront2D(x, y, objectives[0].maximize,
+                         objectives[1].maximize, idx);
+    std::vector<FrontCell> front;
+    front.reserve(idx.size());
+    for (uint32_t i : idx)
+        front.push_back({pool[i], x[i], y[i]});
+    return front;
+}
+
+double
+frontRecovery(std::span<const FrontCell> found,
+              std::span<const FrontCell> truth)
+{
+    if (truth.empty())
+        return 1.0;
+    std::unordered_set<Hash128> found_fps;
+    found_fps.reserve(found.size());
+    for (const FrontCell &f : found)
+        found_fps.insert(f.cell.fingerprint());
+    size_t recovered = 0;
+    for (const FrontCell &t : truth) {
+        if (found_fps.contains(t.cell.fingerprint()))
+            recovered++;
+    }
+    return static_cast<double>(recovered) /
+           static_cast<double>(truth.size());
+}
+
+} // namespace etpu::search

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Multi-objective design-space search over NASBench cells — ROADMAP
+ * item 3. Instead of replaying the paper's exhaustive 423K-cell sweep,
+ * a seeded optimizer walks the space through reversible local moves
+ * (search/moves.hh), spends a bounded simulation budget, and maintains
+ * the best latency/energy (or any two-metric) front found so far in a
+ * query::ParetoArchive2D — the same staircase semantics as the
+ * exhaustive fronts the query engine extracts, so "fraction of the
+ * true front recovered per budget" is a well-defined score
+ * (bench/bench_search.cc).
+ *
+ * Two optimizers share the evaluation machinery:
+ *
+ *  - Annealing: M independent simulated-annealing chains stepping in
+ *    lockstep, chain i minimizing a log-scalarized weighted cost with
+ *    weight i/(M-1) — the weight spread covers the front from the
+ *    latency-extreme to the energy-extreme end.
+ *  - Evolution: a small (mu, lambda)-style loop breeding offspring
+ *    from the current archive front (elitism lives in the archive)
+ *    and the drifting population.
+ *
+ * With --backend learned, a trained GNN checkpoint scores every
+ * proposal first (the ~6x-cheaper surrogate), chains navigate on
+ * predicted objectives, and only candidates whose margin-relaxed
+ * prediction would enter the front spend a verifying simulation; the
+ * budget counts simulations only, and the reported front holds only
+ * simulator-verified values.
+ *
+ * Determinism contract: a run is a pure function of (space, options
+ * minus threads). All random draws happen on the driver thread in a
+ * fixed order, batch evaluations are bit-stable across worker counts
+ * (PR 3/9 pins), and acceptance/insertion happen serially in proposal
+ * order — so the same seed yields a byte-identical front at any
+ * --threads value (enforced by a CI gate on the etpu_search JSON).
+ */
+
+#ifndef ETPU_SEARCH_SEARCH_HH
+#define ETPU_SEARCH_SEARCH_HH
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/hash.hh"
+#include "nasbench/cell_spec.hh"
+#include "search/objective.hh"
+
+namespace etpu::search
+{
+
+/** Optimizer flavor. */
+enum class Algo : uint8_t
+{
+    Annealing, //!< lockstep multi-chain simulated annealing
+    Evolution, //!< archive-elitist evolutionary loop
+};
+
+/** "sa" / "evo". */
+const char *algoName(Algo algo);
+
+/** Candidate evaluation engine. */
+enum class BackendKind : uint8_t
+{
+    Sim,     //!< every candidate simulated (ground truth)
+    Learned, //!< GNN surrogate filters; winners sim-verified
+};
+
+/**
+ * The space a search explores. Pool mode restricts moves to a fixed
+ * cell set (mutants outside it roll back) — the mode that makes
+ * search-vs-exhaustive front comparisons meaningful. Open mode
+ * accepts any CellSpec::valid() cell for the limits, including spaces
+ * the paper never enumerated (bigger cells via raised limits).
+ */
+struct SearchSpace
+{
+    nas::SpaceLimits limits;
+    /** Non-null = pool mode. Not owned; must outlive the search. */
+    const std::vector<nas::CellSpec> *pool = nullptr;
+    /** Fingerprint -> pool index (isomorphism-invariant membership). */
+    std::unordered_map<Hash128, uint32_t> poolIndex;
+};
+
+/** Pool-mode space over @p cells (builds the fingerprint index). */
+SearchSpace makePoolSpace(const std::vector<nas::CellSpec> &cells,
+                          const nas::SpaceLimits &limits = {});
+
+/** Open-mode space for @p limits. */
+SearchSpace makeOpenSpace(const nas::SpaceLimits &limits = {});
+
+/** Tuning knobs and run configuration. */
+struct SearchOptions
+{
+    uint64_t seed = 1;
+    /** Simulation budget: sim cell-evaluations the run may spend. */
+    uint64_t budget = 256;
+    Algo algo = Algo::Annealing;
+    BackendKind backend = BackendKind::Sim;
+    /** ETPUGNN1 checkpoint (BackendKind::Learned only). */
+    std::string modelPath;
+    /** Accelerator config for latency/energy objectives (0-based). */
+    int config = 0;
+    /** Exactly two (parseObjectives); empty = latency,energy. */
+    std::vector<Objective> objectives;
+    /** Batch-evaluation workers; never affects the result bytes. */
+    unsigned threads = 0;
+    /** SA chains / evolutionary population (0 = 8 resp. 24). */
+    unsigned chains = 0;
+    /** Per-proposal probability of a restart jump. */
+    double restartProb = 0.05;
+    /** Surrogate filter slack: predictions within this relative
+     *  margin of improving the front are still sim-verified. */
+    double surrogateMargin = 0.05;
+    /** Cap on surrogate predictions, 0 = 256x budget (termination
+     *  guard when the filter stops admitting candidates). */
+    uint64_t surrogateCap = 0;
+};
+
+/** Run counters (all deterministic for a given seed). */
+struct SearchStats
+{
+    uint64_t simEvals = 0;        //!< budget actually spent
+    uint64_t surrogatePredictions = 0;
+    uint64_t proposals = 0;       //!< candidate cells generated
+    uint64_t invalidMoves = 0;    //!< move draws that rolled back
+    uint64_t offPool = 0;         //!< valid mutants outside the pool
+    uint64_t restarts = 0;        //!< restart jumps taken
+    uint64_t memoHits = 0;        //!< proposals already evaluated
+    uint64_t verified = 0;        //!< surrogate winners sim-verified
+    uint64_t generations = 0;
+};
+
+/** One front member: the cell and its verified objective values. */
+struct FrontCell
+{
+    nas::CellSpec cell;
+    double x = 0.0; //!< objectives[0] value (simulator-verified)
+    double y = 0.0; //!< objectives[1] value
+};
+
+/** A finished search. */
+struct SearchResult
+{
+    std::vector<Objective> objectives; //!< resolved (never empty)
+    std::vector<FrontCell> front;      //!< primary-objective order
+    SearchStats stats;
+};
+
+/** Run a seeded search. Fatals on unusable options (bad checkpoint,
+ *  empty pool, objective/backend mismatch). */
+SearchResult runSearch(const SearchSpace &space,
+                       const SearchOptions &opts);
+
+/**
+ * Ground truth for pool-mode scoring: simulate every pool cell and
+ * return the exact 2D front (the "exhaustive campaign" a search is
+ * measured against). Costs pool-size simulations.
+ */
+std::vector<FrontCell>
+exhaustiveFront(const std::vector<nas::CellSpec> &pool,
+                const std::vector<Objective> &objectives, int config,
+                unsigned threads = 0);
+
+/**
+ * Fraction of @p truth recovered by @p found, matching cells by
+ * isomorphism fingerprint. 1.0 when truth is empty.
+ */
+double frontRecovery(std::span<const FrontCell> found,
+                     std::span<const FrontCell> truth);
+
+} // namespace etpu::search
+
+#endif // ETPU_SEARCH_SEARCH_HH

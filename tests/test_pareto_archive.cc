@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Pins ParetoArchive2D's contract: after any sequence of inserts and
+ * rollbacks, the archive's front is byte-identical (ids and values) to
+ * paretoFront2D recomputed from scratch over the surviving insertion
+ * history — including the cases incremental front code classically
+ * gets wrong: exact duplicates, equal-primary ties, dominated points
+ * and NaNs, under all four objective orientations.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "query/pareto.hh"
+
+using namespace etpu;
+using query::ParetoArchive2D;
+using query::paretoFront2D;
+
+namespace
+{
+
+/** The front paretoFront2D computes over @p xs/@p ys, as Points. */
+std::vector<ParetoArchive2D::Point>
+rebuildFront(const std::vector<double> &xs, const std::vector<double> &ys,
+             bool max_x, bool max_y)
+{
+    std::vector<uint32_t> idx;
+    paretoFront2D(xs, ys, max_x, max_y, idx);
+    std::vector<ParetoArchive2D::Point> out;
+    for (uint32_t i : idx)
+        out.push_back({i, xs[i], ys[i]});
+    return out;
+}
+
+/** Archive front == from-scratch rebuild, element for element. */
+void
+expectMatchesRebuild(const ParetoArchive2D &archive,
+                     const std::vector<double> &xs,
+                     const std::vector<double> &ys, bool max_x,
+                     bool max_y)
+{
+    auto rebuilt = rebuildFront(xs, ys, max_x, max_y);
+    auto front = archive.front();
+    ASSERT_EQ(front.size(), rebuilt.size());
+    for (size_t i = 0; i < rebuilt.size(); i++) {
+        EXPECT_EQ(front[i].id, rebuilt[i].id) << "slot " << i;
+        // Bitwise: the archive stores the inserted doubles verbatim.
+        EXPECT_EQ(front[i].x, rebuilt[i].x) << "slot " << i;
+        EXPECT_EQ(front[i].y, rebuilt[i].y) << "slot " << i;
+    }
+}
+
+} // namespace
+
+TEST(ParetoArchive, BasicStaircaseMinMin)
+{
+    ParetoArchive2D a(false, false);
+    EXPECT_TRUE(a.insert(3.0, 1.0)); // id 0
+    EXPECT_TRUE(a.insert(1.0, 3.0)); // id 1, coexists (better x)
+    EXPECT_TRUE(a.insert(2.0, 2.0)); // id 2, fills the staircase gap
+    EXPECT_FALSE(a.insert(2.5, 2.5)); // dominated by (2,2)
+    ASSERT_EQ(a.front().size(), 3u);
+    expectMatchesRebuild(a, {3.0, 1.0, 2.0, 2.5}, {1.0, 3.0, 2.0, 2.5},
+                         false, false);
+}
+
+TEST(ParetoArchive, DuplicatesKeepEarliestInsertion)
+{
+    ParetoArchive2D a(false, false);
+    EXPECT_TRUE(a.insert(1.0, 2.0));
+    EXPECT_FALSE(a.insert(1.0, 2.0)); // exact duplicate: rejected
+    EXPECT_FALSE(a.insert(1.0, 2.0));
+    ASSERT_EQ(a.front().size(), 1u);
+    EXPECT_EQ(a.front()[0].id, 0u);
+    expectMatchesRebuild(a, {1.0, 1.0, 1.0}, {2.0, 2.0, 2.0}, false,
+                         false);
+}
+
+TEST(ParetoArchive, EqualPrimaryTieKeepsBestSecondary)
+{
+    // Worse-y twin arrives first: the better one must evict it.
+    ParetoArchive2D a(false, false);
+    EXPECT_TRUE(a.insert(1.0, 5.0));
+    EXPECT_TRUE(a.insert(1.0, 3.0)); // equal x, better y: replaces
+    EXPECT_FALSE(a.insert(1.0, 4.0)); // equal x, worse y: rejected
+    ASSERT_EQ(a.front().size(), 1u);
+    EXPECT_EQ(a.front()[0].id, 1u);
+    EXPECT_EQ(a.front()[0].y, 3.0);
+    expectMatchesRebuild(a, {1.0, 1.0, 1.0}, {5.0, 3.0, 4.0}, false,
+                         false);
+}
+
+TEST(ParetoArchive, NanPointsAreSkippedButConsumeIds)
+{
+    double nan = std::nan("");
+    ParetoArchive2D a(false, false);
+    EXPECT_FALSE(a.insert(nan, 1.0)); // id 0
+    EXPECT_TRUE(a.insert(2.0, 2.0));  // id 1
+    EXPECT_FALSE(a.insert(1.0, nan)); // id 2
+    EXPECT_TRUE(a.insert(1.0, 3.0));  // id 3
+    ASSERT_EQ(a.front().size(), 2u);
+    EXPECT_EQ(a.front()[0].id, 3u);
+    EXPECT_EQ(a.front()[1].id, 1u);
+    expectMatchesRebuild(a, {nan, 2.0, 1.0, 1.0}, {1.0, 2.0, nan, 3.0},
+                         false, false);
+}
+
+TEST(ParetoArchive, RollbackRestoresEvictedMembers)
+{
+    ParetoArchive2D a(false, false);
+    a.insert(1.0, 3.0);
+    a.insert(2.0, 2.0);
+    a.insert(3.0, 1.0);
+    ASSERT_EQ(a.front().size(), 3u);
+    a.insert(0.5, 0.5); // dominates everything: front collapses to it
+    ASSERT_EQ(a.front().size(), 1u);
+    a.rollback();
+    expectMatchesRebuild(a, {1.0, 2.0, 3.0}, {3.0, 2.0, 1.0}, false,
+                         false);
+    ASSERT_EQ(a.front().size(), 3u);
+}
+
+TEST(ParetoArchive, WouldImproveMatchesInsertWithoutMutating)
+{
+    Rng rng(0x5eedf00d);
+    ParetoArchive2D a(false, true);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 500; i++) {
+        // A coarse value grid forces duplicates and ties often.
+        double x = static_cast<double>(rng.uniformInt(12));
+        double y = static_cast<double>(rng.uniformInt(12));
+        bool predicted = a.wouldImprove(x, y);
+        bool joined = a.insert(x, y);
+        EXPECT_EQ(predicted, joined) << "point " << i;
+        xs.push_back(x);
+        ys.push_back(y);
+    }
+    expectMatchesRebuild(a, xs, ys, false, true);
+}
+
+// The search-style workload: a long random interleaving of inserts
+// (with duplicates, ties, dominated points and the odd NaN) and
+// LIFO rollbacks, checked against a from-scratch rebuild after every
+// operation, in all four objective orientations.
+TEST(ParetoArchive, RandomizedInsertRollbackMatchesRebuild)
+{
+    for (int orient = 0; orient < 4; orient++) {
+        bool max_x = orient & 1;
+        bool max_y = orient & 2;
+        Rng rng(0xa5c11ull + static_cast<uint64_t>(orient));
+        ParetoArchive2D a(max_x, max_y);
+        std::vector<double> xs, ys;
+        for (int step = 0; step < 2000; step++) {
+            bool roll = !xs.empty() && rng.uniform() < 0.3;
+            if (roll) {
+                a.rollback();
+                xs.pop_back();
+                ys.pop_back();
+            } else {
+                double x = static_cast<double>(rng.uniformInt(10));
+                double y = static_cast<double>(rng.uniformInt(10));
+                if (rng.uniform() < 0.02)
+                    x = std::nan("");
+                if (rng.uniform() < 0.02)
+                    y = std::nan("");
+                a.insert(x, y);
+                xs.push_back(x);
+                ys.push_back(y);
+            }
+            ASSERT_EQ(a.size(), xs.size());
+            expectMatchesRebuild(a, xs, ys, max_x, max_y);
+        }
+        // Unwind everything: the archive must reach exactly empty.
+        while (!xs.empty()) {
+            a.rollback();
+            xs.pop_back();
+            ys.pop_back();
+            expectMatchesRebuild(a, xs, ys, max_x, max_y);
+        }
+        EXPECT_EQ(a.front().size(), 0u);
+        EXPECT_EQ(a.size(), 0u);
+    }
+}

@@ -1,0 +1,256 @@
+/**
+ * @file
+ * End-to-end pins for the design-space search (src/search/):
+ *
+ *  - the headline acceptance pin: on the move-closed 2,532-cell
+ *    maxVertices=5 sub-space, a seeded search spending <= 10% of the
+ *    exhaustive simulation budget recovers >= 80% of the true 2D
+ *    latency/energy Pareto front (bench/bench_search.cc reports the
+ *    same metric across budgets);
+ *  - the determinism contract: identical seeds produce identical
+ *    fronts and stats at 1 and 8 threads, for both optimizers and
+ *    both backends (CI additionally cmp's etpu_search's JSON bytes);
+ *  - budget accounting, pool containment and the learned-backend
+ *    surrogate-filter flow.
+ */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "gnn/predictor.hh"
+#include "nasbench/enumerator.hh"
+#include "search/search.hh"
+#include "test_io_util.hh"
+
+using namespace etpu;
+using namespace etpu::search;
+
+namespace
+{
+
+const std::vector<nas::CellSpec> &
+pool5()
+{
+    static const std::vector<nas::CellSpec> cells = [] {
+        nas::SpaceLimits limits;
+        limits.maxVertices = 5;
+        return nas::enumerateCells(limits);
+    }();
+    return cells;
+}
+
+const std::vector<nas::CellSpec> &
+pool4()
+{
+    static const std::vector<nas::CellSpec> cells = [] {
+        nas::SpaceLimits limits;
+        limits.maxVertices = 4;
+        return nas::enumerateCells(limits);
+    }();
+    return cells;
+}
+
+nas::SpaceLimits
+limitsFor(int max_vertices)
+{
+    nas::SpaceLimits limits;
+    limits.maxVertices = max_vertices;
+    return limits;
+}
+
+std::vector<Objective>
+latencyEnergy()
+{
+    return {{Metric::Latency, false}, {Metric::Energy, false}};
+}
+
+void
+expectSameResult(const SearchResult &a, const SearchResult &b)
+{
+    ASSERT_EQ(a.front.size(), b.front.size());
+    for (size_t i = 0; i < a.front.size(); i++) {
+        EXPECT_EQ(a.front[i].cell, b.front[i].cell) << "slot " << i;
+        // Bitwise: the contract is byte-identical artifacts.
+        EXPECT_EQ(a.front[i].x, b.front[i].x) << "slot " << i;
+        EXPECT_EQ(a.front[i].y, b.front[i].y) << "slot " << i;
+    }
+    EXPECT_EQ(a.stats.simEvals, b.stats.simEvals);
+    EXPECT_EQ(a.stats.surrogatePredictions,
+              b.stats.surrogatePredictions);
+    EXPECT_EQ(a.stats.proposals, b.stats.proposals);
+    EXPECT_EQ(a.stats.invalidMoves, b.stats.invalidMoves);
+    EXPECT_EQ(a.stats.offPool, b.stats.offPool);
+    EXPECT_EQ(a.stats.restarts, b.stats.restarts);
+    EXPECT_EQ(a.stats.memoHits, b.stats.memoHits);
+    EXPECT_EQ(a.stats.verified, b.stats.verified);
+    EXPECT_EQ(a.stats.generations, b.stats.generations);
+}
+
+/** A tiny randomly initialized predictor bundle (latency+energy@V1):
+ *  the surrogate-filter flow does not require an accurate model. */
+std::string
+syntheticCheckpoint()
+{
+    static const std::string path = [] {
+        gnn::CheckpointBundle bundle;
+        for (auto metric :
+             {gnn::TargetMetric::Latency, gnn::TargetMetric::Energy}) {
+            Rng rng(metric == gnn::TargetMetric::Latency ? 11u : 22u);
+            gnn::ModelConfig cfg;
+            cfg.latent = 8;
+            cfg.messagePassingSteps = 1;
+            gnn::Predictor p;
+            p.name = gnn::modelName(metric, 0);
+            p.model.init(cfg, rng);
+            p.targetMean = 0.5;
+            p.targetStd = 0.25;
+            bundle.models.push_back(std::move(p));
+        }
+        std::string out = test::tmpPath("etpu_test_search_gnn.ckpt");
+        EXPECT_TRUE(gnn::saveCheckpoint(out, bundle));
+        return out;
+    }();
+    return path;
+}
+
+} // namespace
+
+// The acceptance pin: <= 10% of the exhaustive budget, >= 80% of the
+// true latency/energy front. (On this space the true front is tiny —
+// latency and energy are strongly correlated — so the pin means the
+// search must locate the jointly optimal cells, not merely sample.)
+TEST(Search, RecoversFrontAtTenPercentBudget)
+{
+    auto truth = exhaustiveFront(pool5(), latencyEnergy(), 0);
+    ASSERT_FALSE(truth.empty());
+
+    SearchSpace space = makePoolSpace(pool5(), limitsFor(5));
+    SearchOptions opts;
+    opts.seed = 1;
+    opts.budget = pool5().size() / 10; // 253 of 2,532
+    opts.objectives = latencyEnergy();
+    SearchResult res = runSearch(space, opts);
+
+    EXPECT_LE(res.stats.simEvals, opts.budget);
+    EXPECT_GE(frontRecovery(res.front, truth), 0.8)
+        << "front size " << res.front.size() << " vs true "
+        << truth.size();
+}
+
+TEST(Search, EvolutionRecoversFrontAtTenPercentBudget)
+{
+    auto truth = exhaustiveFront(pool5(), latencyEnergy(), 0);
+    SearchSpace space = makePoolSpace(pool5(), limitsFor(5));
+    SearchOptions opts;
+    opts.seed = 1;
+    opts.budget = pool5().size() / 10;
+    opts.algo = Algo::Evolution;
+    opts.objectives = latencyEnergy();
+    SearchResult res = runSearch(space, opts);
+    EXPECT_LE(res.stats.simEvals, opts.budget);
+    EXPECT_GE(frontRecovery(res.front, truth), 0.8);
+}
+
+TEST(Search, ThreadCountNeverChangesTheResult)
+{
+    SearchSpace space = makePoolSpace(pool4(), limitsFor(4));
+    for (Algo algo : {Algo::Annealing, Algo::Evolution}) {
+        SearchOptions opts;
+        opts.seed = 42;
+        opts.budget = 40;
+        opts.algo = algo;
+        opts.objectives = latencyEnergy();
+        opts.threads = 1;
+        SearchResult one = runSearch(space, opts);
+        opts.threads = 8;
+        SearchResult eight = runSearch(space, opts);
+        SCOPED_TRACE(algoName(algo));
+        expectSameResult(one, eight);
+        EXPECT_FALSE(one.front.empty());
+    }
+}
+
+TEST(Search, PoolModeOnlyEverReportsPoolCells)
+{
+    SearchSpace space = makePoolSpace(pool4(), limitsFor(4));
+    SearchOptions opts;
+    opts.seed = 3;
+    opts.budget = 60;
+    opts.objectives = {{Metric::Latency, false},
+                       {Metric::Accuracy, true}};
+    SearchResult res = runSearch(space, opts);
+    ASSERT_FALSE(res.front.empty());
+    for (const FrontCell &f : res.front) {
+        EXPECT_TRUE(space.poolIndex.contains(f.cell.fingerprint()));
+    }
+}
+
+TEST(Search, OpenSpaceSearchStaysWithinLimits)
+{
+    nas::SpaceLimits limits = limitsFor(5);
+    SearchSpace space = makeOpenSpace(limits);
+    SearchOptions opts;
+    opts.seed = 9;
+    opts.budget = 48;
+    opts.objectives = latencyEnergy();
+    SearchResult res = runSearch(space, opts);
+    ASSERT_FALSE(res.front.empty());
+    EXPECT_LE(res.stats.simEvals, opts.budget);
+    for (const FrontCell &f : res.front)
+        EXPECT_TRUE(f.cell.valid(limits));
+}
+
+// The learned backend runs the surrogate-filter flow — predictions
+// navigate, only would-improve candidates spend simulations — and
+// must honor the same budget and determinism contracts even with a
+// checkpoint whose predictions are garbage.
+TEST(Search, LearnedBackendFiltersAndStaysDeterministic)
+{
+    SearchSpace space = makePoolSpace(pool4(), limitsFor(4));
+    SearchOptions opts;
+    opts.seed = 7;
+    opts.budget = 32;
+    opts.backend = BackendKind::Learned;
+    opts.modelPath = syntheticCheckpoint();
+    opts.objectives = latencyEnergy();
+    opts.threads = 1;
+    SearchResult one = runSearch(space, opts);
+    EXPECT_FALSE(one.front.empty());
+    EXPECT_LE(one.stats.simEvals, opts.budget);
+    EXPECT_GT(one.stats.surrogatePredictions, 0u);
+    // Every sim eval the filter admitted after seeding is counted.
+    EXPECT_LE(one.stats.verified, one.stats.simEvals);
+    opts.threads = 8;
+    SearchResult eight = runSearch(space, opts);
+    expectSameResult(one, eight);
+}
+
+TEST(Search, FrontRecoveryEdgeCases)
+{
+    std::vector<FrontCell> truth;
+    std::vector<FrontCell> found;
+    EXPECT_EQ(frontRecovery(found, truth), 1.0); // empty truth
+
+    truth.push_back({pool4()[0], 1.0, 2.0});
+    truth.push_back({pool4()[1], 2.0, 1.0});
+    EXPECT_EQ(frontRecovery(found, truth), 0.0);
+    found.push_back({pool4()[0], 1.0, 2.0});
+    EXPECT_EQ(frontRecovery(found, truth), 0.5);
+    found.push_back({pool4()[1], 2.0, 1.0});
+    EXPECT_EQ(frontRecovery(found, truth), 1.0);
+}
+
+TEST(Search, BudgetIsAHardCap)
+{
+    SearchSpace space = makePoolSpace(pool4(), limitsFor(4));
+    for (uint64_t budget : {1ull, 7ull, 33ull}) {
+        SearchOptions opts;
+        opts.seed = 5;
+        opts.budget = budget;
+        opts.objectives = latencyEnergy();
+        SearchResult res = runSearch(space, opts);
+        EXPECT_LE(res.stats.simEvals, budget);
+    }
+}

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Pins the reversible-move contract behind the design-space search:
+ * a successful proposeMove() leaves a cell that is valid for the
+ * limits, a failed one leaves the cell untouched, and rollbackMove()
+ * restores the pre-move cell exactly (not just isomorphically) — the
+ * property the search's apply-and-rollback walk and the pool-mode
+ * off-pool rejection both lean on.
+ */
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "nasbench/enumerator.hh"
+#include "search/moves.hh"
+
+using namespace etpu;
+using namespace etpu::search;
+
+namespace
+{
+
+/** A small but shape-diverse pool of start cells. */
+std::vector<nas::CellSpec>
+startCells()
+{
+    nas::SpaceLimits limits;
+    limits.maxVertices = 5;
+    auto cells = nas::enumerateCells(limits);
+    // Thin deterministically: every 37th cell keeps the suite fast
+    // while covering chains, diamonds and dead-op-free shapes.
+    std::vector<nas::CellSpec> out;
+    for (size_t i = 0; i < cells.size(); i += 37)
+        out.push_back(cells[i]);
+    return out;
+}
+
+} // namespace
+
+TEST(SearchMoves, RollbackRestoresExactCell)
+{
+    nas::SpaceLimits limits;
+    Rng rng(0x90115);
+    int successes = 0;
+    for (const nas::CellSpec &start : startCells()) {
+        nas::CellSpec cell = start;
+        for (int step = 0; step < 50; step++) {
+            MoveUndo undo;
+            if (!proposeMove(cell, rng, limits, undo)) {
+                // Failure must be a no-op even without rollback.
+                ASSERT_EQ(cell, start);
+                continue;
+            }
+            successes++;
+            EXPECT_TRUE(cell.valid(limits));
+            rollbackMove(cell, undo);
+            ASSERT_EQ(cell, start)
+                << "move " << moveName(undo.kind)
+                << " did not roll back exactly";
+        }
+    }
+    // The move set must actually fire on this pool, all kinds included.
+    EXPECT_GT(successes, 1000);
+}
+
+TEST(SearchMoves, AppliedMovesStayValidAndMoveTheFingerprint)
+{
+    nas::SpaceLimits limits;
+    limits.maxVertices = 5;
+    Rng rng(0xbeef);
+    nas::CellSpec cell = nas::enumerateCells(limits)[100];
+    std::set<std::string> visited;
+    int applied = 0;
+    for (int step = 0; step < 2000; step++) {
+        MoveUndo undo;
+        if (!proposeMove(cell, rng, limits, undo))
+            continue;
+        applied++;
+        ASSERT_TRUE(cell.valid(limits));
+        visited.insert(cell.fingerprint().str());
+    }
+    EXPECT_GT(applied, 500);
+    // A random walk under these limits must reach a decent slice of
+    // the 2,532-cell space, not orbit a handful of neighbours.
+    EXPECT_GT(visited.size(), 200u);
+}
+
+TEST(SearchMoves, EveryMoveKindFiresAndRollsBack)
+{
+    nas::SpaceLimits limits;
+    Rng rng(0xfeed);
+    auto cells = startCells();
+    std::set<MoveKind> seen;
+    for (int round = 0; round < 200 && seen.size() < 4; round++) {
+        for (const nas::CellSpec &start : cells) {
+            nas::CellSpec cell = start;
+            MoveUndo undo;
+            if (!proposeMove(cell, rng, limits, undo))
+                continue;
+            seen.insert(undo.kind);
+            rollbackMove(cell, undo);
+            ASSERT_EQ(cell, start);
+        }
+    }
+    EXPECT_EQ(seen.size(), 4u) << "some move kind never applied";
+}
+
+TEST(SearchMoves, StackedMovesRollBackInLifoOrder)
+{
+    nas::SpaceLimits limits;
+    Rng rng(0x57ac);
+    for (const nas::CellSpec &start : startCells()) {
+        nas::CellSpec cell = start;
+        std::vector<MoveUndo> undos;
+        for (int depth = 0; depth < 8; depth++) {
+            MoveUndo undo;
+            if (proposeMove(cell, rng, limits, undo))
+                undos.push_back(undo);
+        }
+        for (auto it = undos.rbegin(); it != undos.rend(); ++it)
+            rollbackMove(cell, *it);
+        ASSERT_EQ(cell, start);
+    }
+}
